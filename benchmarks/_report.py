@@ -1,0 +1,36 @@
+"""Reporting helper shared by every benchmark.
+
+The paper contains no numeric tables (its figures are architecture
+diagrams), so each benchmark both *prints* the quantitative rows it
+reproduces and *writes* them to ``benchmarks/results/<exp_id>.txt`` so
+the output survives pytest's capture.  EXPERIMENTS.md summarizes these
+files against the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(exp_id: str, title: str, lines: list[str]) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    header = f"=== {exp_id}: {title} ==="
+    body = "\n".join([header, *lines, ""])
+    print("\n" + body)
+    (RESULTS_DIR / f"{exp_id}.txt").write_text(body)
+
+
+def fmt_row(*cells: object, widths: tuple[int, ...] | None = None) -> str:
+    """Fixed-width row formatting for result tables."""
+    if widths is None:
+        widths = tuple(18 for _ in cells)
+    parts = []
+    for cell, width in zip(cells, widths):
+        if isinstance(cell, float):
+            parts.append(f"{cell:>{width}.4f}")
+        else:
+            parts.append(f"{str(cell):>{width}}")
+    return "  ".join(parts)

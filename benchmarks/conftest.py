@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro import RichClient, build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    """A module-scoped world: benches in one file share state knowingly."""
+    return build_world(seed=42, corpus_size=120)
+
+
+@pytest.fixture(scope="module")
+def client(world):
+    rich_client = RichClient(world.registry)
+    yield rich_client
+    rich_client.close()

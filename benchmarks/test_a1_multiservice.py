@@ -1,0 +1,140 @@
+"""A1 — redundant multi-service invocation and result combination (§2.1).
+
+Paper claims reproduced:
+* invoking several NLU services on the same document and assigning
+  "a higher degree of confidence to entities ... identified by more
+  services" yields precision/recall at least as good as any single
+  provider, and strictly better recall than the weakest;
+* the same comparison machinery measures how good each provider is
+  (the paper's "comparing the output of these services").
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, build_world
+from repro.core.aggregation import MultiServiceCombiner
+
+PROVIDERS = ("lexica-prime", "glotta", "wordsmith-lite")
+DOCS = 50
+
+
+@pytest.fixture(scope="module")
+def analyses_with_gold():
+    world = build_world(seed=61, corpus_size=DOCS)
+    client = RichClient(world.registry)
+    per_document = []
+    for doc in world.corpus.documents:
+        analyses = {
+            provider: client.invoke(provider, "analyze", {"text": doc.text},
+                                    use_cache=False).value
+            for provider in PROVIDERS
+        }
+        per_document.append((doc, analyses))
+    client.close()
+    return per_document
+
+
+def prf(found: set, gold: set) -> tuple[float, float, float]:
+    true_positive = len(found & gold)
+    precision = true_positive / len(found) if found else 1.0
+    recall = true_positive / len(gold) if gold else 1.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return precision, recall, f1
+
+
+def test_agreement_voting_vs_single_providers(analyses_with_gold):
+    tallies = {provider: [0, 0, 0] for provider in PROVIDERS}  # tp, fp, fn
+    combined_tally = [0, 0, 0]
+    union_tally = [0, 0, 0]
+
+    def add(tally, found, gold):
+        tally[0] += len(found & gold)
+        tally[1] += len(found - gold)
+        tally[2] += len(gold - found)
+
+    for doc, analyses in analyses_with_gold:
+        gold = set(doc.gold_entities)
+        for provider in PROVIDERS:
+            found = {entity["id"] for entity in analyses[provider]["entities"]
+                     if entity["disambiguated"]}
+            add(tallies[provider], found, gold)
+        combined = MultiServiceCombiner.combine_entities(analyses,
+                                                         min_confidence=0.5)
+        add(combined_tally, {entry["id"] for entry in combined}, gold)
+        union = MultiServiceCombiner.combine_entities(analyses)
+        add(union_tally, {entry["id"] for entry in union}, gold)
+
+    def metrics(tally):
+        tp, fp, fn = tally
+        precision = tp / (tp + fp) if tp + fp else 1.0
+        recall = tp / (tp + fn) if tp + fn else 1.0
+        f1 = 2 * precision * recall / (precision + recall)
+        return precision, recall, f1
+
+    rows = [fmt_row("strategy", "precision", "recall", "F1")]
+    measured = {}
+    for provider in PROVIDERS:
+        measured[provider] = metrics(tallies[provider])
+        rows.append(fmt_row(provider, *measured[provider]))
+    measured["majority (>=2 of 3)"] = metrics(combined_tally)
+    measured["union (any provider)"] = metrics(union_tally)
+    rows.append(fmt_row("majority (>=2 of 3)", *measured["majority (>=2 of 3)"]))
+    rows.append(fmt_row("union (any provider)", *measured["union (any provider)"]))
+    report("A1.voting", f"entity extraction over {DOCS} documents", rows)
+
+    weakest_recall = measured["wordsmith-lite"][1]
+    assert measured["union (any provider)"][1] > weakest_recall
+    assert measured["union (any provider)"][1] >= measured["lexica-prime"][1]
+    assert measured["majority (>=2 of 3)"][0] >= 0.99  # agreement is precise
+
+
+def test_confidence_correlates_with_correctness(analyses_with_gold):
+    """Entities found by more services are more likely to be real."""
+    from collections import defaultdict
+
+    buckets = defaultdict(lambda: [0, 0])  # confidence -> [correct, total]
+    for doc, analyses in analyses_with_gold:
+        gold = set(doc.gold_entities)
+        for entry in MultiServiceCombiner.combine_entities(analyses):
+            bucket = buckets[round(entry["confidence"], 2)]
+            bucket[1] += 1
+            bucket[0] += entry["id"] in gold
+    rows = [fmt_row("confidence", "entities", "correct fraction")]
+    fractions = {}
+    for confidence in sorted(buckets):
+        correct, total = buckets[confidence]
+        fractions[confidence] = correct / total
+        rows.append(fmt_row(confidence, total, correct / total))
+    report("A1.confidence", "agreement confidence vs correctness", rows)
+    assert fractions[max(fractions)] >= max(
+        fractions[conf] for conf in fractions if conf < max(fractions))
+
+
+def test_provider_comparison_report(analyses_with_gold):
+    """The SDK as an evaluation harness: per-provider quality scores."""
+    rows = [fmt_row("provider", "entity F1", "sentiment acc")]
+    summary = {}
+    for provider in PROVIDERS:
+        f1_total = sentiment_total = sentiment_n = 0.0
+        for doc, analyses in analyses_with_gold:
+            score = MultiServiceCombiner.score_against_gold(
+                analyses[provider], list(doc.gold_entities), doc.gold_sentiment)
+            f1_total += score["f1"]
+            if "sentiment_accuracy" in score:
+                sentiment_total += score["sentiment_accuracy"]
+                sentiment_n += 1
+        summary[provider] = (f1_total / len(analyses_with_gold),
+                             sentiment_total / max(sentiment_n, 1))
+        rows.append(fmt_row(provider, *summary[provider]))
+    report("A1.providers", "provider quality comparison vs gold", rows)
+    assert summary["lexica-prime"][0] > summary["wordsmith-lite"][0]
+    assert summary["lexica-prime"][1] > summary["wordsmith-lite"][1]
+
+
+def test_bench_combination(benchmark, analyses_with_gold):
+    """pytest-benchmark: combining three providers' entity lists."""
+    _, analyses = analyses_with_gold[0]
+    combined = benchmark(MultiServiceCombiner.combine_entities, analyses)
+    assert combined

@@ -1,0 +1,146 @@
+"""A3 — disconnected operation, resynchronization, local spell check (§3).
+
+Paper claims reproduced:
+* the PKB keeps serving reads and accepting writes while offline
+  (local storage + cache), and replays queued writes on reconnect;
+* the local spell checker beats the remote service on latency (zero
+  network time) and on money (the remote one charges per call);
+* work done offline is never lost.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import PersonalKnowledgeBase, RichClient, build_world
+from repro.crypto.cipher import StreamCipher, derive_key
+from repro.kb.secure import SecureRemoteStore
+from repro.kb.spellcheck import LocalSpellChecker
+from repro.kb.sync import OfflineSyncStore
+from repro.simnet.connectivity import ScriptedConnectivity
+from repro.util.errors import NotFoundError
+
+# Online [0, 100), offline [100, 200), online again afterwards.
+OUTAGE = ScriptedConnectivity([100.0, 200.0])
+
+
+@pytest.fixture()
+def env():
+    world = build_world(seed=71, corpus_size=40, connectivity=OUTAGE)
+    client = RichClient(world.registry)
+    cipher = StreamCipher(derive_key("a3", iterations=500))
+    sync = OfflineSyncStore(remote=SecureRemoteStore(
+        client, "store-standard", cipher))
+    yield world, client, sync
+    client.close()
+
+
+def test_connectivity_trace_replay(env):
+    """Drive a write/read workload across the outage window."""
+    world, client, sync = env
+    timeline = []
+
+    def snapshot(label):
+        timeline.append(fmt_row(
+            f"t={world.clock.now():7.1f}s", label,
+            f"pending={sync.pending_count}", widths=(14, 40, 12)))
+
+    sync.put("note-1", "written online")
+    snapshot("put note-1 (online, pushed immediately)")
+
+    world.clock.advance(110.0 - world.clock.now())  # into the outage
+    sync.put("note-2", "written offline")
+    sync.put("note-3", "also offline")
+    snapshot("two puts while offline (queued)")
+    assert sync.get("note-2") == "written offline"  # local read works
+    snapshot("offline read of note-2 served locally")
+    assert sync.sync() == 0  # still offline: nothing replays
+    snapshot("sync attempt while offline: nothing applied")
+
+    world.clock.advance(210.0 - world.clock.now())  # reconnected
+    applied = sync.sync()
+    snapshot(f"reconnected: sync replayed {applied} writes")
+
+    report("A3.trace", "offline/online write-read-sync trace", [
+        fmt_row("time", "event", "queue", widths=(14, 40, 12)),
+        *timeline,
+    ])
+    assert applied == 2
+    assert sync.pending_count == 0
+    assert sync.remote.get("note-2") == "written offline"
+
+
+def test_nothing_lost_across_outage(env):
+    world, client, sync = env
+    kb = PersonalKnowledgeBase(client=client, remote=sync)
+    kb.add_fact("journal", "repro:entry", "pre-outage", disambiguate=False)
+    kb.backup_remote("kb")
+    world.clock.advance(150.0 - world.clock.now())  # offline
+    kb.add_fact("journal", "repro:entry", "mid-outage", disambiguate=False)
+    kb.backup_remote("kb")  # queued
+    world.clock.advance(250.0 - world.clock.now())  # back online
+    sync.sync()
+    replica = PersonalKnowledgeBase(client=client, remote=sync)
+    replica.restore_remote("kb")
+    facts = {t.object for t in replica.graph.match("journal", "repro:entry", None)}
+    report("A3.durability", "facts recorded across the outage", [
+        fmt_row("facts in replica", len(facts)),
+        "mid-outage work survived the disconnection",
+    ])
+    assert facts == {"pre-outage", "mid-outage"}
+
+
+def test_local_vs_remote_spellcheck(env):
+    """'The spell checker included with the knowledge base is generally
+    faster as it avoids the overheads of remote communication.  Some
+    online spell checkers also cost money.'"""
+    world, client, sync = env
+    local = LocalSpellChecker.from_texts(
+        (doc.text for doc in world.corpus.documents), world.gazetteer)
+    words = ["excellnt", "anounced", "reslts", "compani", "markt",
+             "investr", "groth", "declin", "scandl", "recal"]
+
+    start = world.clock.now()
+    local_fixes = [local.correct_word(word) for word in words]
+    local_time = world.clock.now() - start
+
+    start = world.clock.now()
+    cost_before = client.quota.total_cost()
+    remote_fixes = []
+    for word in words:
+        value = client.invoke("orthografix", "suggest", {"word": word},
+                              use_cache=False).value
+        remote_fixes.append(value["suggestions"][0] if value["suggestions"]
+                            else word)
+    remote_time = world.clock.now() - start
+    remote_cost = client.quota.total_cost() - cost_before
+
+    agreement = sum(1 for a, b in zip(local_fixes, remote_fixes) if a == b)
+    report("A3.spellcheck", f"local vs remote spell check ({len(words)} words)", [
+        fmt_row("checker", "sim time (s)", "cost ($)", "agreement"),
+        fmt_row("local (PKB)", local_time, 0.0, f"{agreement}/{len(words)}"),
+        fmt_row("remote service", remote_time, remote_cost, "-"),
+    ])
+    assert local_time == 0.0
+    assert remote_time > 0.0
+    assert remote_cost > 0.0
+    assert agreement >= len(words) - 1  # same algorithm, same dictionary
+
+
+def test_remote_spellcheck_dies_offline_local_does_not(env):
+    world, client, sync = env
+    world.clock.advance(150.0 - world.clock.now())  # offline window
+    local = LocalSpellChecker.from_texts(
+        (doc.text for doc in world.corpus.documents), world.gazetteer)
+    assert local.correct_word("excellnt") == "excellent"
+    from repro.simnet.errors import ConnectivityError
+
+    with pytest.raises(ConnectivityError):
+        client.invoke("orthografix", "suggest", {"word": "excellnt"},
+                      use_cache=False)
+
+
+def test_bench_local_spellcheck(benchmark, env):
+    world, client, sync = env
+    local = LocalSpellChecker.from_texts(
+        (doc.text for doc in world.corpus.documents), world.gazetteer)
+    assert benchmark(local.correct_word, "excellnt") == "excellent"

@@ -1,0 +1,155 @@
+"""A4 — named entity disambiguation (§3).
+
+Paper claims reproduced:
+* naive string matching concludes that "United States of America" and
+  "USA" are different things; service-backed disambiguation maps every
+  alias to one unique country ID (with DBpedia/YAGO URLs);
+* user synonym files handle domains without disambiguation services
+  (the paper's disease-names example);
+* canonicalization prevents the "proliferation of redundant database
+  entries": measured as unique subjects created per logical entity.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import PersonalKnowledgeBase, RichClient, build_world
+from repro.kb.disambiguation import (
+    EntityDisambiguator,
+    ExactMatchStrategy,
+    ServiceBackedStrategy,
+    SynonymFileStrategy,
+)
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture(scope="module")
+def env():
+    world = build_world(seed=73, corpus_size=20)
+    client = RichClient(world.registry)
+    yield world, client
+    client.close()
+
+
+def alias_stream(world, mentions=300, seed=9):
+    """A realistic ingest stream: entity mentions using random aliases."""
+    rng = SeededRng(seed)
+    entities = [entity for entity in world.gazetteer
+                if entity.entity_type in ("Country", "Company", "Disease")]
+    stream = []
+    gold = []
+    for _ in range(mentions):
+        entity = rng.choice(entities)
+        surface = rng.choice(entity.all_surface_forms())
+        stream.append(surface)
+        gold.append(entity.entity_id)
+    return stream, gold
+
+
+def test_strategy_accuracy_comparison(env):
+    world, client = env
+    stream, gold = alias_stream(world)
+    strategies = {
+        "exact string match": EntityDisambiguator([ExactMatchStrategy({
+            entity.name: entity.entity_id for entity in world.gazetteer})]),
+        "service-backed": EntityDisambiguator([
+            ServiceBackedStrategy(client, "lexica-prime")]),
+        "synonyms + service": EntityDisambiguator([
+            SynonymFileStrategy({
+                alias: entity.entity_id
+                for entity in world.gazetteer.entities_of_type("Disease")
+                for alias in entity.aliases}),
+            ServiceBackedStrategy(client, "lexica-prime"),
+        ]),
+    }
+    rows = [fmt_row("strategy", "resolved", "correct", "accuracy",
+                    widths=(22, 10, 10, 10))]
+    accuracy = {}
+    for label, disambiguator in strategies.items():
+        correct = resolved = 0
+        for surface, expected in zip(stream, gold):
+            result = disambiguator.resolve(surface)
+            if result is not None:
+                resolved += 1
+                correct += result.entity_id == expected
+        accuracy[label] = correct / len(stream)
+        rows.append(fmt_row(label, resolved, correct, accuracy[label],
+                            widths=(22, 10, 10, 10)))
+    report("A4.accuracy", f"disambiguation accuracy over {len(stream)} mentions",
+           rows)
+    assert accuracy["service-backed"] > accuracy["exact string match"] + 0.2
+    assert accuracy["synonyms + service"] >= accuracy["service-backed"]
+
+
+def test_redundant_entry_proliferation(env):
+    """How many distinct KB subjects does each strategy create for the
+    same 300-mention stream?  (Lower is better; the gold number is the
+    count of logical entities.)"""
+    world, client = env
+    stream, gold = alias_stream(world)
+    logical_entities = len(set(gold))
+    rows = [fmt_row("strategy", "distinct subjects", "ideal",
+                    widths=(22, 18, 8))]
+    measured = {}
+    for label, disambiguator in (
+        ("exact string match", EntityDisambiguator([ExactMatchStrategy({
+            entity.name: entity.entity_id for entity in world.gazetteer})])),
+        ("service-backed", EntityDisambiguator([
+            ServiceBackedStrategy(client, "lexica-prime")])),
+    ):
+        kb = PersonalKnowledgeBase(client=client, disambiguator=disambiguator)
+        for surface in stream:
+            kb.add_fact(surface, "repro:mentioned", "true")
+        subjects = {t.subject for t in kb.graph.match(None, "repro:mentioned", None)}
+        measured[label] = len(subjects)
+        rows.append(fmt_row(label, len(subjects), logical_entities,
+                            widths=(22, 18, 8)))
+    report("A4.proliferation", "distinct KB subjects per strategy", rows)
+    assert measured["service-backed"] == logical_entities
+    assert measured["exact string match"] > logical_entities * 1.5
+
+
+def test_us_alias_bundle(env):
+    """The paper's worked example, verbatim."""
+    world, client = env
+    disambiguator = EntityDisambiguator([
+        ServiceBackedStrategy(client, "lexica-prime")])
+    aliases = ["USA", "US", "United States", "America", "the States",
+               "United States of America", "U.S.", "U.S.A."]
+    rows = [fmt_row("surface", "entity id", "dbpedia link", widths=(26, 10, 50))]
+    resolved_ids = set()
+    for alias in aliases:
+        resolved = disambiguator.resolve(alias)
+        resolved_ids.add(resolved.entity_id)
+        rows.append(fmt_row(alias, resolved.entity_id,
+                            resolved.links["dbpedia"], widths=(26, 10, 50)))
+    report("A4.us_example", "every US surface form -> one entity + URL bundle",
+           rows)
+    assert resolved_ids == {"Q30"}
+
+
+def test_caching_amortizes_disambiguation_cost(env):
+    world, client = env
+    stream, _ = alias_stream(world, mentions=300, seed=10)
+    calls_before = client.monitor.call_count("lexica-prime")
+    disambiguator = EntityDisambiguator([
+        ServiceBackedStrategy(client, "lexica-prime")])
+    for surface in stream:
+        disambiguator.resolve(surface)
+    remote_calls = client.monitor.call_count("lexica-prime") - calls_before
+    distinct = len(set(stream))
+    report("A4.caching", "remote disambiguation calls vs mentions", [
+        fmt_row("mentions processed", len(stream)),
+        fmt_row("distinct surface forms", distinct),
+        fmt_row("remote service calls", remote_calls),
+    ])
+    assert remote_calls <= distinct  # each distinct string resolved once
+
+
+def test_bench_disambiguation_lookup(benchmark, env):
+    world, client = env
+    disambiguator = EntityDisambiguator([
+        ServiceBackedStrategy(client, "lexica-prime")])
+    disambiguator.resolve("USA")  # warm the cache
+    resolved = benchmark(disambiguator.resolve, "USA")
+    assert resolved.entity_id == "Q30"

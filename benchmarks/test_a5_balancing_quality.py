@@ -1,0 +1,111 @@
+"""A5 — extension ablations: load balancing and quality drift.
+
+Two production-facing extensions of the paper's selection machinery:
+
+* **load balancing** — always-best-pick vs spreading policies: sticky
+  hashing maximizes cache locality; least-spend equalizes bills;
+  weighted-score keeps weaker providers' monitoring history warm;
+* **quality drift detection** — the rolling quality tracker notices a
+  provider silently degrading and the reference-free agreement
+  evaluator pinpoints the culprit without gold labels.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, build_world
+from repro.core.loadbalancer import (
+    LeastSpendBalancer,
+    RoundRobinBalancer,
+    StickyBalancer,
+    WeightedScoreBalancer,
+)
+from repro.core.quality import AgreementEvaluator, RollingQualityTracker
+
+PROVIDERS = ("lexica-prime", "glotta", "wordsmith-lite")
+
+
+@pytest.fixture(scope="module")
+def balancing_world():
+    return build_world(seed=83, corpus_size=60)
+
+
+def test_balancer_trade_offs(balancing_world):
+    """The same 120-request stream (40 documents × 3 sweeps) under four
+    routing policies."""
+    world = balancing_world
+    documents = [doc.text for doc in world.corpus.documents[:40]]
+
+    def run(make_balancer):
+        client = RichClient(world.registry)
+        balancer = make_balancer(client)
+        for _ in range(3):
+            for text in documents:
+                provider = balancer.choose(list(PROVIDERS), request_key=text)
+                client.invoke(provider, "analyze", {"text": text})
+        hit_ratio = client.cache.stats.hit_ratio
+        spends = [client.quota.cost(name) for name in PROVIDERS]
+        spread = max(spends) - min(spends)
+        total = client.quota.total_cost()
+        client.close()
+        return hit_ratio, total, spread
+
+    rows = [fmt_row("policy", "cache hit ratio", "total spend", "spend spread")]
+    measured = {}
+    for label, factory in (
+        ("round robin", lambda client: RoundRobinBalancer()),
+        ("sticky (hash affinity)", lambda client: StickyBalancer()),
+        ("least spend", lambda client: LeastSpendBalancer(client.monitor)),
+        ("weighted by rank", lambda client: WeightedScoreBalancer(
+            client.ranker, seed=3)),
+    ):
+        measured[label] = run(factory)
+        rows.append(fmt_row(label, *measured[label]))
+    report("A5.balancers", "routing policies over an identical stream", rows)
+    # Sticky keeps each document on one provider: best cache locality.
+    assert measured["sticky (hash affinity)"][0] > measured["round robin"][0]
+    # Least-spend equalizes the bills across providers.
+    assert measured["least spend"][2] <= measured["round robin"][2] + 1e-9
+
+
+def test_drift_detection_catches_degrading_provider(balancing_world):
+    """glotta silently degrades mid-run; the tracker flags it."""
+    world = balancing_world
+    client = RichClient(world.registry)
+    tracker = RollingQualityTracker(window=200, baseline=20, tolerance=0.1)
+    evaluator = AgreementEvaluator()
+
+    def observe_round(docs, degrade: bool):
+        for doc in docs:
+            analyses = {}
+            for provider in PROVIDERS:
+                value = client.invoke(provider, "analyze", {"text": doc.text},
+                                      use_cache=False).value
+                if degrade and provider == "glotta":
+                    value = dict(value)
+                    value["entities"] = []  # the provider breaks silently
+                analyses[provider] = value
+            for provider, score in evaluator.evaluate_all(analyses).items():
+                tracker.observe(provider, score)
+
+    healthy_docs = world.corpus.documents[:20]
+    observe_round(healthy_docs, degrade=False)
+    assert tracker.degraded_services(recent=10) == []
+    observe_round(world.corpus.documents[20:40], degrade=True)
+    degraded = tracker.degraded_services(recent=10)
+    rows = [fmt_row("service", "baseline quality", "recent quality", "drifted")]
+    for provider in PROVIDERS:
+        drift = tracker.check_drift(provider, recent=10)
+        rows.append(fmt_row(provider, drift.baseline_mean, drift.recent_mean,
+                            str(drift.drifted)))
+    report("A5.drift", "reference-free drift detection (no gold labels)", rows)
+    assert [drift.service for drift in degraded] == ["glotta"]
+    client.close()
+
+
+def test_bench_balancer_choice(benchmark, balancing_world):
+    client = RichClient(balancing_world.registry)
+    balancer = WeightedScoreBalancer(client.ranker, seed=1)
+    choice = benchmark(balancer.choose, list(PROVIDERS), request_key="doc-1")
+    assert choice in PROVIDERS
+    client.close()

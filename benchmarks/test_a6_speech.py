@@ -1,0 +1,134 @@
+"""A6 — speech recognition through the SDK (extension).
+
+The paper names speech recognition among the cognitive services its
+SDK manages.  Measured here:
+
+* per-provider word error rate (WER) on a simulated noisy channel —
+  the quality spread the ranking machinery consumes;
+* ROVER-style multi-provider combination: voting transcripts from
+  several ASR services beats the best single provider (§2.1's
+  combine-the-outputs claim, for speech);
+* noise sweep: the gap between providers widens as the channel
+  degrades.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, build_world
+from repro.services.speech import generate_utterances, rover_vote, word_error_rate
+
+PROVIDERS = ("dictaphone-pro", "mumblecorder")
+
+
+@pytest.fixture(scope="module")
+def speech_env():
+    world = build_world(seed=91, corpus_size=40)
+    client = RichClient(world.registry)
+    yield world, client
+    client.close()
+
+
+def transcribe_all(client, provider, utterances):
+    hypotheses = []
+    for utterance in utterances:
+        words = client.invoke(provider, "transcribe",
+                              {"signal": utterance.signal_words},
+                              use_cache=False).value["words"]
+        hypotheses.append(words)
+    return hypotheses
+
+
+def mean_wer(hypotheses, utterances):
+    return sum(
+        word_error_rate(hypothesis, utterance.gold_words)
+        for hypothesis, utterance in zip(hypotheses, utterances)
+    ) / len(utterances)
+
+
+def test_provider_wer_and_rover(speech_env):
+    world, client = speech_env
+    utterances = generate_utterances(
+        [doc.text for doc in world.corpus.documents[:25]],
+        seed=3, char_error=0.10)
+    raw_wer = mean_wer([u.signal_words for u in utterances], utterances)
+    per_provider = {}
+    all_hypotheses = {}
+    for provider in PROVIDERS:
+        hypotheses = transcribe_all(client, provider, utterances)
+        all_hypotheses[provider] = hypotheses
+        per_provider[provider] = mean_wer(hypotheses, utterances)
+    voted = [
+        rover_vote([all_hypotheses[provider][index] for provider in PROVIDERS])
+        for index in range(len(utterances))
+    ]
+    rover_wer = mean_wer(voted, utterances)
+
+    rows = [fmt_row("transcriber", "mean WER")]
+    rows.append(fmt_row("raw signal (no ASR)", raw_wer))
+    for provider in PROVIDERS:
+        rows.append(fmt_row(provider, per_provider[provider]))
+    rows.append(fmt_row("ROVER vote (both)", rover_wer))
+    report("A6.wer", "word error rate, 25 utterances at 10% char noise", rows)
+
+    assert per_provider["dictaphone-pro"] < per_provider["mumblecorder"]
+    assert per_provider["dictaphone-pro"] < raw_wer
+    assert rover_wer <= per_provider["dictaphone-pro"] + 0.01
+
+
+def test_noise_sweep(speech_env):
+    world, client = speech_env
+    texts = [doc.text for doc in world.corpus.documents[25:40]]
+    rows = [fmt_row("char noise", "raw WER", "premium WER", "budget WER")]
+    premium_curve = []
+    for noise in (0.05, 0.10, 0.20):
+        utterances = generate_utterances(texts, seed=5, char_error=noise)
+        raw = mean_wer([u.signal_words for u in utterances], utterances)
+        premium = mean_wer(
+            transcribe_all(client, "dictaphone-pro", utterances), utterances)
+        budget = mean_wer(
+            transcribe_all(client, "mumblecorder", utterances), utterances)
+        premium_curve.append(premium)
+        rows.append(fmt_row(f"{noise:.0%}", raw, premium, budget))
+        assert premium < raw       # decoding always helps
+        assert premium < budget    # the quality gap persists at every level
+    report("A6.noise", "WER vs channel noise", rows)
+    # Harder channels are harder for everyone: WER rises with noise.
+    assert premium_curve == sorted(premium_curve)
+
+
+def test_speech_ranked_like_any_service(speech_env):
+    """ASR providers enter the same monitoring/ranking machinery."""
+    from repro.core.ranking import Weights
+
+    world, client = speech_env
+    utterances = generate_utterances(
+        [doc.text for doc in world.corpus.documents[:8]], seed=7)
+    for provider in PROVIDERS:
+        for utterance in utterances:
+            response = client.invoke(provider, "transcribe",
+                                     {"signal": utterance.signal_words},
+                                     use_cache=False)
+            wer = word_error_rate(response.value["words"], utterance.gold_words)
+            client.monitor.rate_quality(provider, 1.0 - wer)
+    quality_first = client.rank_services(
+        "speech", weights=Weights(response_time=0, cost=0, quality=1))
+    speed_first = client.rank_services(
+        "speech", weights=Weights(response_time=1, cost=0, quality=0))
+    report("A6.ranking", "ASR ranking under different weights", [
+        fmt_row("weights", "best"),
+        fmt_row("quality-dominant", quality_first[0][0]),
+        fmt_row("latency-dominant", speed_first[0][0]),
+    ])
+    assert quality_first[0][0] == "dictaphone-pro"
+    assert speed_first[0][0] == "mumblecorder"
+
+
+def test_bench_transcription(benchmark, speech_env):
+    world, client = speech_env
+    utterance = generate_utterances(
+        [world.corpus.documents[0].text], seed=9)[0]
+    result = benchmark(
+        client.invoke, "mumblecorder", "transcribe",
+        {"signal": utterance.signal_words}, use_cache=False)
+    assert result.value["words"]

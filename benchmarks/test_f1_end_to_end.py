@@ -1,0 +1,135 @@
+"""F1 — the whole system (Figure 1): one application, many services.
+
+Runs a complete cognitive data-analytics application through the Rich
+SDK — web search, page fetches, three NLU providers, knowledge-base
+lookups, market data, geo data, visual recognition and cloud storage —
+and reports the cross-service picture Figure 1 depicts: what was
+called, what it cost, how the SDK's features (caching, ranking,
+monitoring) shaped the run.  The ablation row contrasts the same
+workload with every SDK feature disabled.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import PersonalKnowledgeBase, RichClient, WebSearchAnalyzer, Weights, build_world
+from repro.core.caching import ServiceCache
+from repro.kb.disambiguation import EntityDisambiguator, ServiceBackedStrategy
+from repro.services.datasources import StockDataService
+from repro.services.vision import generate_images
+
+
+def run_application(world, client) -> dict:
+    """The full scenario; returns headline numbers."""
+    analyzer = WebSearchAnalyzer(client)
+    kb = PersonalKnowledgeBase(
+        client=client,
+        disambiguator=EntityDisambiguator(
+            [ServiceBackedStrategy(client, "lexica-prime")]),
+    )
+    # 1. Research each of three companies on the web.
+    for company in ("IBM", "Acme Analytics", "Hooli"):
+        aggregate = analyzer.analyze_search_results(
+            f"{company} results", limit=4, nlu_service="glotta")
+        for row in aggregate.entity_sentiment_report():
+            if row["mean_sentiment"] is not None:
+                kb.add_fact(row["name"], "repro:web_favorability",
+                            row["favorability"])
+        # 2. Facts + market data per company.
+        kb.ingest_entity(company, sources=["dbpedia-sim", "wikidata-sim"])
+        history = client.invoke(
+            "tickerfeed", "history",
+            {"symbol": StockDataService.symbol_for(company), "days": 90}).value
+        entity = world.gazetteer.resolve(company)
+        kb.pipeline.analyze_series(entity.entity_id, history["days"],
+                                   history["closes"], entity_type="Company")
+    derived = kb.pipeline.infer()
+    # 3. Some geo context and a visual-recognition task.
+    client.invoke("geosphere", "climate", {"place": "New York City"})
+    for image in generate_images(count=5, seed=3):
+        client.invoke("visionary", "classify", {"descriptor": image.descriptor})
+    # 4. Back the whole knowledge base up to the best-ranked store.
+    best_store = client.best_service(
+        "storage", latency_params={"size": 50_000.0},
+        weights=Weights(response_time=1, cost=0, quality=0))
+    client.invoke(best_store, "put", {"key": "kb-backup", "value": kb.snapshot()})
+    return {
+        "facts": len(kb.graph),
+        "derived": derived,
+        "recommendations": len(kb.pipeline.recommendations()),
+        "backup_store": best_store,
+    }
+
+
+def test_full_application(world):
+    client = RichClient(world.registry)
+    start = client.clock.now()
+    outcome = run_application(world, client)
+    elapsed = client.clock.now() - start
+
+    rows = [fmt_row("service", "calls", "mean lat (ms)", "spend ($)")]
+    for summary in client.service_summaries():
+        if summary["calls"]:
+            rows.append(fmt_row(
+                summary["service"], summary["calls"],
+                (summary["mean_latency"] or 0) * 1000,
+                client.quota.cost(summary["service"])))
+    rows.append("")
+    rows.append(fmt_row("total simulated time (s)", elapsed))
+    rows.append(fmt_row("total spend ($)", client.quota.total_cost()))
+    rows.append(fmt_row("KB facts", outcome["facts"]))
+    rows.append(fmt_row("facts derived by inference", outcome["derived"]))
+    rows.append(fmt_row("backup routed to", outcome["backup_store"]))
+    report("F1.application", "full analytics application through the SDK", rows)
+
+    kinds_touched = {world.service(name).kind
+                     for name in client.monitor.services()}
+    assert {"nlu", "search", "web", "knowledge", "marketdata", "geodata",
+            "vision", "storage"} <= kinds_touched
+    assert outcome["derived"] > 0
+    assert outcome["recommendations"] > 0
+    client.close()
+
+
+def test_sdk_features_pay_for_themselves(world):
+    """The same application twice more: warm cache vs no cache."""
+    cached_client = RichClient(world.registry)
+    run_application(world, cached_client)  # cold pass to warm the cache
+    start_time = cached_client.clock.now()
+    start_cost = cached_client.quota.total_cost()
+    run_application(world, cached_client)  # warm pass
+    warm_time = cached_client.clock.now() - start_time
+    warm_cost = cached_client.quota.total_cost() - start_cost
+    cached_client.close()
+
+    bare_client = RichClient(world.registry, cache=ServiceCache(capacity=1))
+    start_time = bare_client.clock.now()
+    start_cost = bare_client.quota.total_cost()
+    run_application(world, bare_client)
+    bare_time = bare_client.clock.now() - start_time
+    bare_cost = bare_client.quota.total_cost() - start_cost
+    bare_client.close()
+
+    report("F1.ablation", "repeat run: warm SDK cache vs no cache", [
+        fmt_row("configuration", "sim time (s)", "spend ($)"),
+        fmt_row("warm cache", warm_time, warm_cost),
+        fmt_row("no cache", bare_time, bare_cost),
+        f"caching saved {1 - warm_time / bare_time:.0%} of time and "
+        f"{1 - warm_cost / bare_cost:.0%} of spend on the repeat run",
+    ])
+    assert warm_time < bare_time * 0.6
+    assert warm_cost < bare_cost * 0.6
+
+
+def test_bench_end_to_end_application(benchmark):
+    """pytest-benchmark: the full application, real wall time."""
+    world = build_world(seed=42, corpus_size=60)
+
+    def run_once():
+        client = RichClient(world.registry)
+        outcome = run_application(world, client)
+        client.close()
+        return outcome
+
+    outcome = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert outcome["facts"] > 0

@@ -1,0 +1,114 @@
+"""F2.cache — client-side caching (Figure 2; §2 caching claims).
+
+Paper claims reproduced:
+* a cache hit avoids the remote call entirely (latency → ~0, cost → 0);
+* hit ratio grows with cache capacity under a skewed (Zipf) workload;
+* TTLs bound staleness when the remote value changes (the §2
+  consistency caveat).
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, build_world
+from repro.core.caching import ServiceCache
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture(scope="module")
+def cache_world():
+    return build_world(seed=7, corpus_size=120)
+
+
+def test_cache_hit_vs_remote_latency(cache_world):
+    client = RichClient(cache_world.registry)
+    texts = [doc.text for doc in cache_world.corpus.documents[:20]]
+    cold_latencies = []
+    warm_latencies = []
+    cold_cost = warm_cost = 0.0
+    for text in texts:
+        first = client.invoke("lexica-prime", "analyze", {"text": text})
+        second = client.invoke("lexica-prime", "analyze", {"text": text})
+        cold_latencies.append(first.latency)
+        warm_latencies.append(second.latency)
+        cold_cost += first.cost
+        warm_cost += second.cost
+    mean_cold = sum(cold_latencies) / len(cold_latencies)
+    mean_warm = sum(warm_latencies) / len(warm_latencies)
+    report("F2.cache.hit", "cache hit vs remote call (20 documents)", [
+        fmt_row("path", "mean latency (ms)", "total cost ($)"),
+        fmt_row("remote (miss)", mean_cold * 1000, cold_cost),
+        fmt_row("cache (hit)", mean_warm * 1000, warm_cost),
+        "speedup: cache hits are "
+        + ("infinitely" if mean_warm == 0 else f"{mean_cold / mean_warm:.0f}x")
+        + " faster in simulated time (zero network round trip)",
+    ])
+    assert mean_warm == 0.0  # hits never touch the network
+    assert warm_cost == 0.0
+    client.close()
+
+
+def test_hit_ratio_vs_capacity(cache_world):
+    """Zipf request stream over 120 cached search queries."""
+    queries = [f"{doc.title}" for doc in cache_world.corpus.documents]
+    rows = [fmt_row("capacity", "hit ratio", "remote calls")]
+    measured = {}
+    for capacity in (4, 16, 64, 256):
+        rng = SeededRng(99)  # identical request stream for every capacity
+        client = RichClient(
+            cache_world.registry,
+            cache=ServiceCache(capacity=capacity),
+        )
+        remote_before = client.monitor.call_count("goggle")
+        for _ in range(600):
+            query = queries[rng.zipf_index(len(queries), exponent=1.1)]
+            client.invoke("goggle", "search", {"query": query, "limit": 5})
+        ratio = client.cache.stats.hit_ratio
+        measured[capacity] = ratio
+        rows.append(fmt_row(capacity, ratio,
+                            client.monitor.call_count("goggle") - remote_before))
+        client.close()
+    report("F2.cache.capacity", "hit ratio vs cache capacity (Zipf workload)", rows)
+    assert measured[16] > measured[4]
+    assert measured[256] > measured[16]
+    assert measured[256] > 0.8  # the whole working set fits
+
+
+def test_ttl_bounds_staleness(cache_world):
+    """A cached read can be obsolete after a remote update; the TTL
+    bounds how long."""
+    client = RichClient(
+        cache_world.registry,
+        cache=ServiceCache(capacity=64, ttl=10.0, clock=cache_world.clock),
+    )
+    # Another writer (bypassing this client's cache invalidation) updates
+    # the value behind our back.
+    other_writer = RichClient(cache_world.registry)
+
+    client.invoke("store-standard", "put", {"key": "cfg", "value": "v1"})
+    assert client.invoke("store-standard", "get", {"key": "cfg"}).value["value"] == "v1"
+    other_writer.invoke("store-standard", "put", {"key": "cfg", "value": "v2"})
+
+    stale = client.invoke("store-standard", "get", {"key": "cfg"})
+    cache_world.clock.advance(11.0)  # beyond the TTL
+    fresh = client.invoke("store-standard", "get", {"key": "cfg"})
+    report("F2.cache.ttl", "TTL-bounded staleness after a concurrent update", [
+        fmt_row("read", "cached", "value"),
+        fmt_row("within TTL", str(stale.cached), stale.value["value"]),
+        fmt_row("after TTL", str(fresh.cached), fresh.value["value"]),
+    ])
+    assert stale.cached and stale.value["value"] == "v1"   # the §2 caveat
+    assert not fresh.cached and fresh.value["value"] == "v2"
+    client.close()
+    other_writer.close()
+
+
+def test_bench_cache_lookup_overhead(benchmark, cache_world):
+    """pytest-benchmark: the SDK-side cost of a cache hit."""
+    client = RichClient(cache_world.registry)
+    text = cache_world.corpus.documents[0].text
+    client.invoke("glotta", "analyze", {"text": text})
+
+    result = benchmark(client.invoke, "glotta", "analyze", {"text": text})
+    assert result.cached
+    client.close()

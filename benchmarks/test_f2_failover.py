@@ -1,0 +1,131 @@
+"""F2.fail — retry and ranked failover (Figure 2; §2.1).
+
+Paper claims reproduced:
+* retrying an unresponsive service a user-chosen number of times turns
+  transient failures into successes;
+* failing over down the ranking keeps the application running even
+  when whole services are down;
+* success rate under injected failures: no-retry < retry < retry+failover.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, build_world
+from repro.core.retry import AllServicesFailedError, FailoverInvoker, RetryPolicy
+from repro.services.base import RandomFailures
+from repro.simnet.errors import NetworkError
+
+TEXT_POOL_SIZE = 60
+
+
+def run_workload(world, client, strategy: str, retries: int, failure_rate: float):
+    """Run 60 analyze calls under a failure-injection regime."""
+    for service in world.services_of_kind("nlu"):
+        service.failures = RandomFailures(failure_rate)
+    client.failover = FailoverInvoker(
+        default_policy=RetryPolicy(max_attempts=retries), clock=client.clock)
+    successes = attempts_total = 0
+    for doc in world.corpus.documents[:TEXT_POOL_SIZE]:
+        try:
+            if strategy == "failover":
+                result = client.invoke_with_failover(
+                    "nlu", "analyze", {"text": doc.text}, use_cache=False)
+                attempts_total += len(result.attempts)
+            else:
+                from repro.core.retry import invoke_with_retry
+
+                invoke_with_retry(
+                    lambda text=doc.text: client.invoke(
+                        "glotta", "analyze", {"text": text}, use_cache=False),
+                    RetryPolicy(max_attempts=retries),
+                    clock=client.clock,
+                )
+                attempts_total += 1
+            successes += 1
+        except (NetworkError, AllServicesFailedError, Exception):
+            pass
+    for service in world.services_of_kind("nlu"):
+        from repro.services.base import NeverFails
+
+        service.failures = NeverFails()
+    return successes / TEXT_POOL_SIZE
+
+
+@pytest.mark.parametrize("failure_rate", [0.3])
+def test_success_rate_by_strategy(failure_rate):
+    world = build_world(seed=31, corpus_size=TEXT_POOL_SIZE)
+    client = RichClient(world.registry)
+    rows = [fmt_row("strategy", "success rate", widths=(30, 14))]
+    measured = {}
+    for label, strategy, retries in (
+        ("single call, no retry", "single", 1),
+        ("retry x3 (one service)", "single", 3),
+        ("retry x3 + ranked failover", "failover", 3),
+    ):
+        rate = run_workload(world, client, strategy, retries, failure_rate)
+        measured[label] = rate
+        rows.append(fmt_row(label, rate, widths=(30, 14)))
+    report("F2.fail.strategies",
+           f"success rate at {failure_rate:.0%} per-call failure rate", rows)
+    assert measured["retry x3 (one service)"] > measured["single call, no retry"]
+    assert measured["retry x3 + ranked failover"] >= 0.99
+    client.close()
+
+
+def test_failure_rate_sweep():
+    """Failover keeps success ~1.0 well past the point where bare calls
+    collapse."""
+    world = build_world(seed=37, corpus_size=TEXT_POOL_SIZE)
+    client = RichClient(world.registry)
+    rows = [fmt_row("failure rate", "no retry", "retry+failover")]
+    for failure_rate in (0.1, 0.3, 0.5, 0.7):
+        bare = run_workload(world, client, "single", 1, failure_rate)
+        robust = run_workload(world, client, "failover", 3, failure_rate)
+        rows.append(fmt_row(f"{failure_rate:.0%}", bare, robust))
+        assert robust >= bare
+        if failure_rate >= 0.5:
+            assert robust > bare + 0.2  # the gap widens where it matters
+    report("F2.fail.sweep", "success rate vs injected failure rate", rows)
+    client.close()
+
+
+def test_retry_latency_cost():
+    """Reliability is not free: each retry adds latency (backoff charged
+    to the simulation clock)."""
+    world = build_world(seed=41, corpus_size=10)
+    client = RichClient(world.registry)
+    from repro.services.base import NeverFails, ScriptedFailures
+
+    service = world.service("glotta")
+    service.failures = ScriptedFailures({0, 1})  # first two calls fail
+    start = client.clock.now()
+    from repro.core.retry import invoke_with_retry
+
+    invoke_with_retry(
+        lambda: client.invoke("glotta", "analyze",
+                              {"text": "IBM had excellent results."},
+                              use_cache=False),
+        RetryPolicy(max_attempts=3, backoff=0.5),
+        clock=client.clock,
+    )
+    elapsed = client.clock.now() - start
+    service.failures = NeverFails()
+    report("F2.fail.latency", "latency cost of retrying (2 failures, backoff 0.5s)", [
+        fmt_row("metric", "value"),
+        fmt_row("total elapsed (s)", elapsed),
+        fmt_row("backoff charged (s)", 0.5 + 1.0),
+    ])
+    assert elapsed >= 1.5  # the two backoff waits really passed
+    client.close()
+
+
+def test_bench_failover_invocation(benchmark):
+    """pytest-benchmark: ranked failover with a healthy top choice."""
+    world = build_world(seed=43, corpus_size=10)
+    client = RichClient(world.registry)
+    result = benchmark(
+        client.invoke_with_failover, "nlu", "analyze",
+        {"text": "IBM had excellent results."})
+    assert result.value["entities"]
+    client.close()

@@ -1,0 +1,130 @@
+"""F2.latparam — latency parameters, prediction and the s1/s2 crossover (§2).
+
+Paper claims reproduced:
+* "the time for storing an object of size a will generally increase
+  with a", with different services growing differently;
+* "service s1 may have the lowest latency for storing small objects,
+  while s2 may have the lowest latency for storing large objects";
+* the SDK regresses latency on the stored size and predicts per-request
+  latency, recovering the crossover and routing every size class to the
+  truly fastest store.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, Weights, build_world
+
+STORES = ("store-small-fast", "store-bulk", "store-standard")
+TRAIN_SIZES = (100, 500, 1_000, 5_000, 10_000, 20_000, 50_000, 100_000)
+LATENCY_ONLY = Weights(response_time=1, cost=0, quality=0)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    world = build_world(seed=3, corpus_size=10)
+    client = RichClient(world.registry)
+    for size in TRAIN_SIZES:
+        for store in STORES:
+            client.invoke(store, "put",
+                          {"key": f"train-{size}", "value": "x" * size})
+    return world, client
+
+
+def test_latency_grows_with_size(trained):
+    world, client = trained
+    rows = [fmt_row("store", "lat @1KB (ms)", "lat @100KB (ms)")]
+    for store in STORES:
+        small = client.predictor.predict(store, {"size": 1_000})
+        large = client.predictor.predict(store, {"size": 100_000})
+        rows.append(fmt_row(store, small * 1000, large * 1000))
+        assert large > small
+    report("F2.latparam.growth", "predicted latency vs object size", rows)
+
+
+def test_regression_recovers_true_model(trained):
+    world, client = trained
+    rows = [fmt_row("store", "true µs/B", "fitted µs/B", "r^2")]
+    for store in STORES:
+        truth = world.service(store).latency
+        fitted = client.predictor.model_summary(store)
+        rows.append(fmt_row(store, truth.slope * 1e6, fitted["slope"] * 1e6,
+                            fitted["r_squared"]))
+        assert fitted["slope"] == pytest.approx(truth.slope, rel=0.25)
+        assert fitted["r_squared"] > 0.8
+    report("F2.latparam.fit", "fitted regression vs ground-truth latency model",
+           rows)
+
+
+def test_crossover_recovered(trained):
+    world, client = trained
+    predicted = client.predictor.crossover("store-small-fast", "store-bulk")
+    truth = world.service("store-small-fast").latency.crossover_with(
+        world.service("store-bulk").latency)
+    report("F2.latparam.crossover", "s1/s2 crossover: truth vs learned", [
+        fmt_row("source", "crossover (bytes)"),
+        fmt_row("analytic (ground truth)", truth),
+        fmt_row("learned from history", predicted),
+        f"relative error: {abs(predicted - truth) / truth:.1%}",
+    ])
+    assert predicted == pytest.approx(truth, rel=0.3)
+
+
+def test_routing_picks_true_fastest_store(trained):
+    """Selection accuracy across the size sweep: the learned router
+    agrees with the ground-truth winner at every probed size."""
+    world, client = trained
+    rows = [fmt_row("object size (B)", "predicted best", "true best")]
+    agreements = 0
+    probes = (200, 2_000, 8_000, 15_000, 40_000, 200_000)
+    for size in probes:
+        chosen = client.best_service("storage", latency_params={"size": float(size)},
+                                     weights=LATENCY_ONLY)
+        true_best = min(
+            STORES,
+            key=lambda store: world.service(store).latency.deterministic(
+                {"size": size}),
+        )
+        agreements += chosen == true_best
+        rows.append(fmt_row(size, chosen, true_best))
+    rows.append(f"agreement: {agreements}/{len(probes)}")
+    report("F2.latparam.routing", "size-aware routing vs ground truth", rows)
+    assert agreements == len(probes)
+
+
+def test_routing_beats_any_fixed_store(trained):
+    """End-to-end payoff: adaptive routing beats committing to any one
+    store across a mixed size workload."""
+    world, client = trained
+    from repro.util.rng import SeededRng
+
+    rng = SeededRng(77)
+    sizes = [int(10 ** rng.uniform(2, 5.3)) for _ in range(60)]
+
+    def total_latency_fixed(store):
+        return sum(
+            world.service(store).latency.deterministic({"size": size})
+            for size in sizes
+        )
+
+    adaptive = 0.0
+    for size in sizes:
+        best = client.best_service("storage", latency_params={"size": float(size)},
+                                   weights=LATENCY_ONLY)
+        adaptive += world.service(best).latency.deterministic({"size": size})
+
+    rows = [fmt_row("policy", "total latency (s)")]
+    fixed_totals = {}
+    for store in STORES:
+        fixed_totals[store] = total_latency_fixed(store)
+        rows.append(fmt_row(f"always {store}", fixed_totals[store]))
+    rows.append(fmt_row("SDK adaptive routing", adaptive))
+    report("F2.latparam.payoff", "mixed workload: adaptive vs fixed store", rows)
+    assert adaptive <= min(fixed_totals.values()) * 1.02
+
+
+def test_bench_prediction_lookup(benchmark, trained):
+    """pytest-benchmark: one latency prediction from history."""
+    _, client = trained
+    value = benchmark(client.predictor.predict, "store-standard", {"size": 12_345})
+    assert value > 0

@@ -1,0 +1,122 @@
+"""F2.rank — service scoring and ranking (Figure 2; Equations 1 and 2).
+
+Paper claims reproduced:
+* the SDK ranks services of similar functionality from collected
+  (latency, cost, quality) data; lowest score = most desirable;
+* user-supplied weights swing the decision (latency-dominant picks the
+  fast/cheap provider, quality-dominant picks the premium one);
+* Equation 1, Equation 2 and custom formulas are all supported and can
+  disagree, which is why all three exist.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, Weights, build_world
+from repro.core.aggregation import MultiServiceCombiner
+
+PROVIDERS = ("lexica-prime", "glotta", "wordsmith-lite")
+
+
+@pytest.fixture(scope="module")
+def trained_client():
+    world = build_world(seed=13, corpus_size=80)
+    client = RichClient(world.registry)
+    # Collect monitoring data: every provider analyzes 50 documents and
+    # is quality-rated against the gold annotations (entity F1 and
+    # entity-sentiment accuracy both count).
+    for provider in PROVIDERS:
+        for doc in world.corpus.documents[:50]:
+            analysis = client.invoke(provider, "analyze", {"text": doc.text},
+                                     use_cache=False).value
+            score = MultiServiceCombiner.score_against_gold(
+                analysis, list(doc.gold_entities), doc.gold_sentiment)
+            quality = (score["f1"] + score.get("sentiment_accuracy", 1.0)) / 2
+            client.monitor.rate_quality(provider, quality)
+    yield client
+    client.close()
+
+
+def test_collected_estimates(trained_client):
+    estimates = trained_client.ranker.estimates(list(PROVIDERS))
+    rows = [fmt_row("service", "r (ms)", "c ($)", "q (F1)")]
+    by_name = {}
+    for estimate in estimates:
+        by_name[estimate.service] = estimate
+        rows.append(fmt_row(estimate.service, estimate.response_time * 1000,
+                            estimate.cost, estimate.quality))
+    report("F2.rank.estimates", "collected (r, c, q) per NLU provider", rows)
+    # The configured trade-off is measurable: premium is slower,
+    # pricier and better.
+    assert by_name["lexica-prime"].response_time > by_name["wordsmith-lite"].response_time
+    assert by_name["lexica-prime"].cost > by_name["wordsmith-lite"].cost
+    assert by_name["lexica-prime"].quality > by_name["wordsmith-lite"].quality
+
+
+def test_weight_sweep_swings_the_winner(trained_client):
+    sweeps = [
+        ("latency-dominant", Weights(response_time=1, cost=0, quality=0)),
+        ("cost-dominant", Weights(response_time=0, cost=1, quality=0)),
+        ("quality-dominant", Weights(response_time=0, cost=0, quality=1)),
+        ("balanced", Weights(response_time=1, cost=50, quality=0.3)),
+    ]
+    rows = [fmt_row("weights", "ranking (best first)", widths=(18, 60))]
+    winners = {}
+    for label, weights in sweeps:
+        ranked = trained_client.rank_services("nlu", weights=weights)
+        winners[label] = ranked[0][0]
+        rows.append(fmt_row(label, " > ".join(name for name, _ in ranked),
+                            widths=(18, 60)))
+    report("F2.rank.weights", "ranking under different weight vectors", rows)
+    assert winners["latency-dominant"] == "wordsmith-lite"
+    assert winners["cost-dominant"] == "wordsmith-lite"
+    assert winners["quality-dominant"] == "lexica-prime"
+
+
+def test_equation1_vs_equation2_vs_custom(trained_client):
+    weights = Weights(response_time=1.0, cost=1.0, quality=1.0)
+    rows = [fmt_row("formula", "scores (service=score)", widths=(12, 80))]
+    rankings = {}
+    for formula in ("weighted", "normalized"):
+        ranked = trained_client.rank_services("nlu", weights=weights,
+                                              formula=formula)
+        rankings[formula] = [name for name, _ in ranked]
+        rows.append(fmt_row(
+            formula,
+            ", ".join(f"{name}={score:.4f}" for name, score in ranked),
+            widths=(12, 80)))
+
+    def quality_per_dollar(estimate, candidates):
+        return -(estimate.quality / max(estimate.cost, 1e-9))
+
+    ranked = trained_client.rank_services("nlu", formula=quality_per_dollar)
+    rankings["custom"] = [name for name, _ in ranked]
+    rows.append(fmt_row("custom", ", ".join(f"{n}={s:.1f}" for n, s in ranked),
+                        widths=(12, 80)))
+    report("F2.rank.formulas", "Eq.1 vs Eq.2 vs custom (quality per dollar)", rows)
+    # All three produce full rankings; scores ascend (lower = better).
+    for ranking in rankings.values():
+        assert len(ranking) == 3
+
+
+def test_normalized_scores_commensurable(trained_client):
+    """Equation 2's point: raw scores are dominated by whichever
+    dimension has the largest magnitude; normalized terms are not."""
+    estimates = trained_client.ranker.estimates(list(PROVIDERS))
+    max_r = max(e.response_time for e in estimates)
+    max_c = max(e.cost for e in estimates)
+    # Raw latency (~0.1s) dwarfs raw cost (~0.002$): Eq.1 with unit
+    # weights is effectively latency-only.
+    assert max_r / max_c > 10
+    scored = [
+        trained_client.ranker.score(estimate, estimates, "normalized",
+                                    Weights(1, 1, 0))
+        for estimate in estimates
+    ]
+    assert all(0.0 <= score <= 2.0 for score in scored)
+
+
+def test_bench_ranking_computation(benchmark, trained_client):
+    """pytest-benchmark: ranking three services from history."""
+    ranked = benchmark(trained_client.rank_services, "nlu")
+    assert len(ranked) == 3

@@ -1,0 +1,99 @@
+"""F3b — the image pipeline (§2.2's image paragraph, extension bench).
+
+"Search engines can identify images matching a query; these images can
+be passed to an image analysis service and/or stored locally."
+
+Measured:
+
+* tag noise vs classified truth: the image search's tags are ~15%
+  wrong, and the visual recognition pass measurably cleans the result
+  set (verdict accuracy above tag accuracy);
+* multi-provider label voting accuracy by provider count;
+* offline re-analysis of the locally stored descriptors needs no
+  further search calls.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, build_world
+from repro.core.imagery import ImageSearchAnalyzer
+
+PROVIDERS = ("visionary", "peek", "glance")
+
+
+@pytest.fixture(scope="module")
+def imagery_env():
+    world = build_world(seed=97, corpus_size=10)
+    client = RichClient(world.registry)
+    analyzer = ImageSearchAnalyzer(client)
+    gold = {image.image_id: image.gold_label
+            for image in world.service("pixfinder").images}
+    yield world, client, analyzer, gold
+    client.close()
+
+
+def test_classification_cleans_tag_noise(imagery_env):
+    world, client, analyzer, gold = imagery_env
+    rows = [fmt_row("query", "hits", "tag accuracy", "verdict accuracy")]
+    improved = 0
+    for query in ("cat", "dog", "car"):
+        result = analyzer.analyze_image_search(query, ("visionary",), limit=25)
+        hits = result["images_analyzed"]
+        if hits == 0:
+            continue
+        tag_accuracy = sum(
+            1 for verdict in result["verdicts"]
+            if gold[verdict["image_id"]] == query
+        ) / hits
+        verdict_accuracy = sum(
+            1 for verdict in result["verdicts"]
+            if verdict["label"] == gold[verdict["image_id"]]
+        ) / hits
+        improved += verdict_accuracy > tag_accuracy
+        rows.append(fmt_row(query, hits, tag_accuracy, verdict_accuracy))
+    report("F3b.tags", "image tags vs visual recognition verdicts", rows)
+    assert improved >= 2  # classification beats the tags on most queries
+
+
+def test_provider_count_vs_accuracy(imagery_env):
+    world, client, analyzer, gold = imagery_env
+    rows = [fmt_row("providers", "verdict accuracy")]
+    accuracies = {}
+    for count in (1, 2, 3):
+        providers = PROVIDERS[:count]
+        correct = total = 0
+        for query in ("cat", "dog", "beach"):
+            result = analyzer.analyze_image_search(query, providers, limit=20)
+            for verdict in result["verdicts"]:
+                total += 1
+                correct += verdict["label"] == gold[verdict["image_id"]]
+        accuracies[count] = correct / total
+        rows.append(fmt_row(f"{count} ({'+'.join(providers)})",
+                            accuracies[count]))
+    report("F3b.voting", "label accuracy vs number of voting providers", rows)
+    # The premium provider alone is strong; adding the budget providers
+    # must at least not collapse accuracy (majority keeps it honest).
+    assert accuracies[3] >= accuracies[1] - 0.1
+
+
+def test_offline_reanalysis(imagery_env):
+    world, client, analyzer, gold = imagery_env
+    analyzer.analyze_image_search("mountain", ("visionary",), limit=15)
+    search_calls = client.monitor.call_count("pixfinder")
+    replay = analyzer.reanalyze_stored(("peek",))
+    report("F3b.offline", "re-analysis from local image store", [
+        fmt_row("images re-analyzed", replay["images_analyzed"]),
+        fmt_row("new search calls", client.monitor.call_count("pixfinder")
+                - search_calls),
+    ])
+    assert replay["images_analyzed"] > 0
+    assert client.monitor.call_count("pixfinder") == search_calls
+
+
+def test_bench_image_verdict(benchmark, imagery_env):
+    world, client, analyzer, gold = imagery_env
+    hit = analyzer.search_images("cat", limit=1)[0]
+    verdict = benchmark(analyzer.classify_with_agreement, hit["descriptor"],
+                        PROVIDERS)
+    assert verdict["label"]

@@ -1,0 +1,138 @@
+"""F4.stores — the PKB's storage backends (Figure 4; §3).
+
+Paper claims reproduced:
+* data can be stored and retrieved through files/CSV, a key-value
+  store, a relational database and an RDF triple store;
+* all four hold the same dataset faithfully (round-trips agree);
+* local storage is orders of magnitude cheaper in (simulated) time
+  than a remote cloud store — the reason §2 suggests storing locally
+  and only occasionally pushing to the cloud.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import PersonalKnowledgeBase, RichClient, build_world
+from repro.stores.converters import table_to_csv_text
+from repro.stores.kvstore import FileKeyValueStore, InMemoryKeyValueStore
+from repro.stores.rdf.graph import Graph
+from repro.stores.converters import table_to_triples, triples_to_rows, rows_to_table
+
+
+def dataset(rows: int):
+    header = ["key", "category", "value"]
+    data = [[f"row-{index:05d}", f"cat-{index % 7}", float(index) * 1.5]
+            for index in range(rows)]
+    return header, data
+
+
+@pytest.fixture(scope="module")
+def remote_client():
+    world = build_world(seed=23, corpus_size=10)
+    client = RichClient(world.registry)
+    yield world, client
+    client.close()
+
+
+def test_all_backends_roundtrip(tmp_path):
+    header, data = dataset(200)
+    table = rows_to_table("facts", header, data)
+
+    # Relational.
+    assert table.select(columns=["value"], where={"key": "row-00007"}) == [
+        {"value": 10.5}]
+    # CSV.
+    from repro.stores.csvio import read_csv_text
+
+    csv_header, csv_rows = read_csv_text(table_to_csv_text(table))
+    assert csv_header == header and csv_rows == data
+    # KV (file-backed).
+    kv = FileKeyValueStore(tmp_path / "kv.json")
+    for row in data:
+        kv.put(row[0], {"category": row[1], "value": row[2]})
+    assert kv.get("row-00007") == {"category": "cat-0", "value": 10.5}
+    # RDF.
+    graph = Graph(table_to_triples(table, subject_column="key"))
+    rdf_header, rdf_rows = triples_to_rows(graph, "facts")
+    by_key = {row[rdf_header.index("key")]: row for row in rdf_rows}
+    assert by_key["row-00007"][rdf_header.index("value")] == 10.5
+
+    report("F4.stores.roundtrip", "one dataset, four storage forms", [
+        fmt_row("backend", "records", "faithful"),
+        fmt_row("relational table", len(table), "yes"),
+        fmt_row("CSV text", len(csv_rows), "yes"),
+        fmt_row("file KV store", len(kv), "yes"),
+        fmt_row("RDF triples", len(graph), "yes"),
+    ])
+
+
+@pytest.mark.parametrize("record_count", [50, 200, 800])
+def test_local_vs_remote_storage_time(remote_client, record_count):
+    """Simulated time to persist N records locally vs on a cloud store."""
+    world, client = remote_client
+    header, data = dataset(record_count)
+
+    start = client.clock.now()
+    kv = InMemoryKeyValueStore()
+    for row in data:
+        kv.put(row[0], {"category": row[1], "value": row[2]})
+    local_elapsed = client.clock.now() - start  # no network: 0 sim time
+
+    start = client.clock.now()
+    client.invoke("store-standard", "put",
+                  {"key": f"batch-{record_count}",
+                   "value": [dict(zip(header, row)) for row in data]})
+    remote_batched = client.clock.now() - start
+
+    start = client.clock.now()
+    for row in data[:20]:  # a taste of per-record remote puts
+        client.invoke("store-standard", "put",
+                      {"key": f"{record_count}:{row[0]}",
+                       "value": dict(zip(header, row))})
+    remote_per_record = (client.clock.now() - start) / 20 * record_count
+
+    report(f"F4.stores.local_remote.{record_count}",
+           f"persisting {record_count} records: local vs remote (sim s)", [
+               fmt_row("strategy", "elapsed (s)"),
+               fmt_row("local KV", local_elapsed),
+               fmt_row("remote, one batch", remote_batched),
+               fmt_row("remote, per record (extrapolated)", remote_per_record),
+           ])
+    assert local_elapsed == 0.0
+    assert remote_batched < remote_per_record
+
+
+def test_kb_holds_all_forms_simultaneously(remote_client, tmp_path):
+    world, client = remote_client
+    kb = PersonalKnowledgeBase(client=client, data_dir=tmp_path / "kb")
+    header, data = dataset(100)
+    csv_text = table_to_csv_text(rows_to_table("facts", header, data))
+    kb.ingest_csv_text("facts", csv_text)
+    kb.table_to_rdf("facts", subject_column="key")
+    kb.kv.put("facts-origin", "benchmark")
+    snapshot = kb.snapshot()
+    report("F4.stores.kb", "one PKB holding the dataset in every form", [
+        fmt_row("form", "size"),
+        fmt_row("relational rows", len(kb.database.table("facts"))),
+        fmt_row("RDF statements", len(kb.graph)),
+        fmt_row("KV entries", len(kb.kv)),
+        fmt_row("snapshot bytes", len(str(snapshot))),
+    ])
+    assert len(kb.database.table("facts")) == 100
+    assert len(kb.graph) == 400  # 100 rows x (3 columns + rdf:type)
+
+
+def test_bench_relational_select(benchmark):
+    header, data = dataset(2_000)
+    table = rows_to_table("facts", header, data)
+    result = benchmark(table.select, where={"category": "cat-3"},
+                       order_by="value", descending=True, limit=10)
+    assert len(result) == 10
+
+
+def test_bench_rdf_pattern_match(benchmark):
+    header, data = dataset(2_000)
+    graph = Graph(table_to_triples(rows_to_table("facts", header, data),
+                                   subject_column="key"))
+    result = benchmark(graph.match, None, "repro:category", "cat-3")
+    assert len(result) > 100

@@ -1,0 +1,172 @@
+"""F5b — accuracy levels on facts and confidence-propagating inference.
+
+This is the paper's §5 future work ("determining accuracy levels ...
+using these accuracy levels during the process of inferring new facts,
+and assigning accuracy levels to newly inferred facts"), implemented
+and measured as an extension experiment:
+
+* decision quality: thresholding recommendations by propagated
+  confidence suppresses conclusions built on noisy regressions, while
+  the plain (Figure-5) pipeline recommends indiscriminately;
+* corroboration: a second source strengthens downstream conclusions;
+* t-norm ablation: Gödel (min) vs product propagation.
+"""
+
+import pytest
+
+from benchmarks._report import fmt_row, report
+from repro import RichClient, build_world
+from repro.kb.pipeline import AnalysisPipeline
+from repro.kb.trust import TrustAwarePipeline
+from repro.services.datasources import StockDataService
+from repro.stores.rdf.graph import REPRO, Triple
+from repro.stores.rdf.provenance import product_tnorm
+from repro.util.rng import SeededRng
+
+
+def synthetic_series(rng, trend_up: bool, noise: float, length: int = 60):
+    """A series with known direction and controllable noise.
+
+    At the high noise level the *fitted* slope has the wrong sign for a
+    sizeable fraction of series, so an unfiltered pipeline makes real
+    mistakes — the situation confidence thresholds exist for.
+    """
+    slope = 0.12 if trend_up else -0.12
+    values = []
+    level = 50.0
+    for step in range(length):
+        values.append(level + slope * step + rng.gauss(0, noise))
+    return list(range(length)), values
+
+
+@pytest.fixture(scope="module")
+def labelled_portfolio():
+    """40 companies with known true trends at two noise levels."""
+    rng = SeededRng(131)
+    portfolio = []
+    for index in range(40):
+        trend_up = index % 2 == 0
+        noise = 0.4 if index % 4 < 2 else 30.0  # half clean, half very noisy
+        xs, ys = synthetic_series(rng.child(f"s{index}"), trend_up, noise)
+        portfolio.append((f"C_{index:02d}", trend_up, noise, xs, ys))
+    return portfolio
+
+
+def test_confidence_thresholding_improves_precision(labelled_portfolio):
+    """Recommendations above the confidence bar are much more often
+    *correct* (match the true trend) than unfiltered ones."""
+    trusted = TrustAwarePipeline(confidence_floor=0.0)
+    plain = AnalysisPipeline()
+    for subject, trend_up, noise, xs, ys in labelled_portfolio:
+        trusted.analyze_series(subject, xs, ys, entity_type="Company")
+        plain.analyze_series(subject, xs, ys, entity_type="Company")
+    trusted.infer()
+    plain.infer()
+
+    truth = {subject: "investment-candidate" if trend_up else "watch-list"
+             for subject, trend_up, _, _, _ in labelled_portfolio}
+
+    def precision(recommendations) -> tuple[int, int]:
+        judged = correct = 0
+        for subject, detail in recommendations.items():
+            recommendation = (detail["recommendation"]
+                              if isinstance(detail, dict) else detail)
+            judged += 1
+            correct += recommendation == truth[subject]
+        return correct, judged
+
+    plain_correct, plain_total = precision(plain.recommendations())
+    rows = [fmt_row("policy", "recommendations", "correct", "precision")]
+    rows.append(fmt_row("plain Figure-5 pipeline", plain_total, plain_correct,
+                        plain_correct / plain_total))
+    measured = {}
+    for threshold in (0.0, 0.4, 0.6):
+        correct, total = precision(trusted.recommendations(
+            min_confidence=threshold))
+        measured[threshold] = (correct / total if total else 1.0, total)
+        rows.append(fmt_row(f"trusted, threshold {threshold:.1f}", total,
+                            correct, correct / total if total else 1.0))
+    report("F5b.threshold", "decision precision vs confidence threshold", rows)
+    assert measured[0.6][0] > plain_correct / plain_total
+    assert measured[0.6][0] >= 0.95
+    assert 0 < measured[0.6][1] < plain_total  # it abstains on the noise
+
+
+def test_corroboration_changes_the_screen(labelled_portfolio):
+    subject, trend_up, noise, xs, ys = next(
+        item for item in labelled_portfolio if item[2] > 1.0 and item[1])
+    lone = TrustAwarePipeline()
+    lone.analyze_series(subject, xs, ys, entity_type="Company")
+    lone.infer()
+    corroborated = TrustAwarePipeline()
+    corroborated.analyze_series(subject, xs, ys, entity_type="Company")
+    trend_before = corroborated.store.confidence(
+        Triple(subject, REPRO.trend, "rising"))
+    corroborated.assert_from_source(Triple(subject, REPRO.trend, "rising"),
+                                    "user", confidence=0.9)
+    trend_after = corroborated.store.confidence(
+        Triple(subject, REPRO.trend, "rising"))
+    corroborated.infer()
+    lone_conf = lone.recommendations().get(subject, {}).get("confidence", 0.0)
+    corr_conf = corroborated.recommendations()[subject]["confidence"]
+    report("F5b.corroboration", "a second source strengthens conclusions", [
+        fmt_row("quantity", "value"),
+        fmt_row("trend confidence (regression only)", trend_before),
+        fmt_row("trend confidence (+ analyst)", trend_after),
+        fmt_row("recommendation confidence (lone)", lone_conf),
+        fmt_row("recommendation confidence (corroborated)", corr_conf),
+    ])
+    assert trend_after > trend_before
+    assert corr_conf > lone_conf
+
+
+def test_tnorm_ablation(labelled_portfolio):
+    """Product propagation decays long chains faster than Gödel/min."""
+    subject, _, _, xs, ys = labelled_portfolio[0]
+    results = {}
+    for label, tnorm in (("godel(min)", None), ("product", product_tnorm)):
+        pipeline = (TrustAwarePipeline() if tnorm is None
+                    else TrustAwarePipeline(tnorm=tnorm))
+        pipeline.analyze_series(subject, xs, ys, entity_type="Company")
+        pipeline.infer()
+        results[label] = pipeline.recommendations()[subject]["confidence"]
+    report("F5b.tnorm", "confidence propagation: Gödel vs product", [
+        fmt_row("t-norm", "recommendation confidence"),
+        fmt_row("godel(min)", results["godel(min)"]),
+        fmt_row("product", results["product"]),
+    ])
+    assert results["product"] <= results["godel(min)"]
+
+
+def test_real_feed_screen():
+    """The full trusted screen over the simulated market feed."""
+    world = build_world(seed=101, corpus_size=10)
+    client = RichClient(world.registry)
+    pipeline = TrustAwarePipeline(confidence_floor=0.2)
+    for entity in world.gazetteer.entities_of_type("Company"):
+        history = client.invoke(
+            "tickerfeed", "history",
+            {"symbol": StockDataService.symbol_for(entity.name),
+             "days": 150}).value
+        pipeline.analyze_series(entity.entity_id, history["days"],
+                                history["closes"], entity_type="Company")
+    pipeline.infer()
+    all_recs = pipeline.recommendations(min_confidence=0.0)
+    confident = pipeline.recommendations(min_confidence=0.5)
+    report("F5b.screen", "trusted investment screen (market feed)", [
+        fmt_row("threshold", "recommendations"),
+        fmt_row("0.00", len(all_recs)),
+        fmt_row("0.50", len(confident)),
+    ])
+    assert 0 < len(confident) < len(all_recs)
+    client.close()
+
+
+def test_bench_confidence_inference(benchmark, labelled_portfolio):
+    def run():
+        pipeline = TrustAwarePipeline()
+        for subject, _, _, xs, ys in labelled_portfolio:
+            pipeline.analyze_series(subject, xs, ys, entity_type="Company")
+        return pipeline.infer()
+
+    assert benchmark(run) > 0

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Using the Rich SDK from "another language" via its gateway.
+
+The paper: "In order to allow programs written in other languages to
+access the rich SDK, the rich SDK can expose an HTTP interface."  This
+example plays the part of a non-Python client: it speaks to the SDK
+purely through JSON text envelopes (the literal wire format an HTTP
+client would POST), never touching a Python object of the SDK.
+
+Run:  python examples/gateway_client.py
+"""
+
+import json
+
+from repro import RichClient, build_world
+from repro.core.gateway import SdkGateway
+
+
+def post(gateway: SdkGateway, method: str, **params) -> dict:
+    """What an HTTP client does: serialize, send, parse."""
+    request_text = json.dumps({"method": method, "params": params})
+    response_text = gateway.handle_json(request_text)
+    return json.loads(response_text)
+
+
+def main() -> None:
+    world = build_world(seed=5, corpus_size=60)
+    gateway = SdkGateway(RichClient(world.registry))
+
+    print("=== POST /invoke — analyze a document ===")
+    response = post(
+        gateway, "invoke",
+        service="lexica-prime", operation="analyze",
+        payload={"text": "Acme Analytics delivered excellent results; "
+                         "analysts praised the innovative company."},
+    )
+    print(f"  status={response['status']}  "
+          f"latency={response['result']['latency'] * 1000:.1f} ms")
+    for entity in response["result"]["value"]["entities"]:
+        print(f"  entity: {entity['name']} ({entity['type']})")
+
+    print("\n=== POST /invoke again — the gateway's client caches ===")
+    repeat = post(
+        gateway, "invoke",
+        service="lexica-prime", operation="analyze",
+        payload={"text": "Acme Analytics delivered excellent results; "
+                         "analysts praised the innovative company."},
+    )
+    print(f"  cached={repeat['result']['cached']}")
+
+    print("\n=== POST /rank_services — who should I call? ===")
+    for provider in ("lexica-prime", "glotta", "wordsmith-lite"):
+        post(gateway, "invoke", service=provider, operation="analyze",
+             payload={"text": world.corpus.documents[0].text}, use_cache=False)
+    ranked = post(gateway, "rank_services", kind="nlu",
+                  weights={"response_time": 1, "cost": 100, "quality": 0})
+    for entry in ranked["result"]:
+        print(f"  {entry['service']:<16} score={entry['score']:.4f}")
+
+    print("\n=== POST /invoke_failover — resilience over the wire ===")
+    from repro.services.base import ScriptedFailures
+
+    best = ranked["result"][0]["service"]
+    world.service(best).failures = ScriptedFailures(set(range(10)))
+    response = post(
+        gateway, "invoke_failover", kind="nlu", operation="analyze",
+        payload={"text": "Globex thrives."}, use_cache=False,
+        weights={"response_time": 1, "cost": 100, "quality": 0},
+    )
+    print(f"  served_by={response['result']['served_by']} "
+          f"after {len(response['result']['attempts'])} attempts")
+
+    print("\n=== Errors come back as statuses, never exceptions ===")
+    for method, params in (
+        ("invoke", {"service": "ghost", "operation": "op"}),
+        ("invoke", {"service": "lexica-prime", "operation": "analyze",
+                    "payload": {"text": "  "}}),
+        ("warp", {}),
+    ):
+        response = post(gateway, method, **params)
+        print(f"  {method}({params.get('service', '-')}) -> "
+              f"{response['status']} {response.get('error_type', '')}")
+
+    health = post(gateway, "health")
+    print(f"\nGateway health: {health['result']}")
+    gateway.client.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: the Rich SDK in five minutes.
+
+Builds the simulated world, then walks the SDK's headline features one
+by one: plain invocation, caching, monitoring, ranking, failover,
+asynchronous calls with callbacks, and a taste of the NLU layer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RichClient, Weights, build_world
+from repro.services.base import NeverFails, ScriptedFailures
+
+
+def main() -> None:
+    world = build_world(seed=42, corpus_size=60)
+    client = RichClient(world.registry)
+
+    print("=== 1. Invoke a cognitive service ===")
+    text = ("IBM announced excellent quarterly results and analysts praised "
+            "its innovative cloud strategy. Meanwhile Initech suffered a "
+            "terrible setback after a product recall.")
+    result = client.invoke("lexica-prime", "analyze", {"text": text})
+    print(f"latency={result.latency * 1000:.1f} ms  cost=${result.cost:.4f}")
+    for entity in result.value["entities"]:
+        print(f"  entity: {entity['name']:<22} ({entity['type']}) "
+              f"mentions={entity['count']}")
+    print(f"  document sentiment: {result.value['sentiment']}")
+    for entity_id, detail in result.value["entity_sentiment"].items():
+        print(f"  entity sentiment: {entity_id:<10} {detail['label']:<9} "
+              f"score={detail['score']:+.2f}")
+
+    print("\n=== 2. Caching makes the second call free ===")
+    repeat = client.invoke("lexica-prime", "analyze", {"text": text})
+    print(f"cached={repeat.cached}  latency={repeat.latency * 1000:.1f} ms  "
+          f"cost=${repeat.cost:.4f}")
+
+    print("\n=== 3. Monitor every provider, then rank them ===")
+    sample_docs = [doc.text for doc in world.corpus.documents[:8]]
+    for provider in ("lexica-prime", "glotta", "wordsmith-lite"):
+        for doc_text in sample_docs:
+            client.invoke(provider, "analyze", {"text": doc_text}, use_cache=False)
+    for summary in client.service_summaries():
+        if summary["calls"]:
+            print(f"  {summary['service']:<16} calls={summary['calls']:<3} "
+                  f"mean latency={summary['mean_latency'] * 1000:6.1f} ms  "
+                  f"mean cost=${summary['mean_cost']:.4f}")
+    fast_and_cheap = Weights(response_time=1.0, cost=200.0, quality=0.0)
+    print("  ranking (latency + cost):",
+          [name for name, _ in client.rank_services("nlu", weights=fast_and_cheap)])
+
+    print("\n=== 4. Failover when the best service goes down ===")
+    world.service("wordsmith-lite").failures = ScriptedFailures(set(range(50)))
+    served = client.invoke_with_failover(
+        "nlu", "analyze", {"text": "Globex thrives."},
+        weights=fast_and_cheap, use_cache=False,
+    )
+    print(f"  served by: {served.service} after "
+          f"{len(served.attempts)} attempt(s) across services")
+    world.service("wordsmith-lite").failures = NeverFails()  # service recovers
+
+    print("\n=== 5. Asynchronous calls with a ListenableFuture callback ===")
+    future = client.invoke_async(
+        "store-standard", "put", {"key": "report-1", "value": {"status": "done"}}
+    )
+    future.add_listener(
+        lambda completed: print(f"  [callback] store completed: "
+                                f"{completed.get().value}")
+    )
+    future.get()
+
+    print("\n=== 6. Search the (simulated) web and aggregate sentiment ===")
+    from repro import WebSearchAnalyzer
+
+    analyzer = WebSearchAnalyzer(client)
+    aggregate = analyzer.analyze_search_results("excellent results", limit=6)
+    for row in aggregate.entity_sentiment_report()[:5]:
+        mean = row["mean_sentiment"]
+        print(f"  {row['name']:<24} docs={row['documents']} "
+              f"sentiment={mean:+.2f}" if mean is not None else
+              f"  {row['name']:<24} docs={row['documents']}")
+
+    print(f"\nTotal simulated time elapsed: {client.clock.now():.2f} s; "
+          f"total spend: ${client.quota.total_cost():.4f}")
+    client.close()
+
+
+if __name__ == "__main__":
+    main()

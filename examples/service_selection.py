@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Service selection: latency parameters, prediction and ranking.
+
+Reproduces §2's storage-service story: "Service s1 may have the lowest
+latency for storing small objects, while s2 may have the lowest latency
+for storing large objects."  The SDK learns each service's latency *as
+a function of object size* from its own monitoring history, fits a
+regression, predicts per-request latency, finds the crossover, and
+routes every request to the predicted-fastest store.  It then contrasts
+Equation 1, Equation 2 and a custom formula for ranking.
+
+Run:  python examples/service_selection.py
+"""
+
+from repro import RichClient, Weights, build_world
+
+STORES = ("store-small-fast", "store-bulk", "store-standard")
+
+
+def train(client: RichClient, sizes: list[int]) -> None:
+    """Give the monitor (size, latency) observations for every store."""
+    for size in sizes:
+        payload_value = "x" * size
+        for store in STORES:
+            client.invoke(store, "put", {"key": f"train-{size}", "value": payload_value})
+
+
+def main() -> None:
+    world = build_world(seed=3)
+    client = RichClient(world.registry)
+
+    print("=== Training: store objects of many sizes on all three stores ===")
+    train(client, sizes=[100, 500, 1_000, 5_000, 10_000, 20_000, 50_000, 100_000])
+    for store in STORES:
+        model = client.predictor.model_summary(store)
+        print(f"  {store:<18} latency ≈ {model['intercept'] * 1000:7.1f} ms "
+              f"+ {model['slope'] * 1e6:6.2f} µs/byte   (r²={model['r_squared']:.3f})")
+
+    crossover = client.predictor.crossover("store-small-fast", "store-bulk")
+    print(f"\nPredicted s1/s2 crossover: objects of ~{crossover / 1024:.1f} KiB")
+
+    print("\n=== Routing by predicted latency ===")
+    print(f"  {'object size':>12}  predicted-fastest store")
+    for size in (200, 2_000, 8_000, 15_000, 40_000, 200_000):
+        best = client.best_service(
+            "storage", latency_params={"size": float(size)},
+            weights=Weights(response_time=1.0, cost=0.0, quality=0.0),
+        )
+        print(f"  {size:>10} B  {best}")
+
+    print("\n=== Ranking formulas (Equations 1 and 2, and a custom one) ===")
+    params = {"size": 10_000.0}
+    for formula in ("weighted", "normalized"):
+        ranked = client.rank_services(
+            "storage", latency_params=params, formula=formula,
+            weights=Weights(response_time=1.0, cost=50.0, quality=0.0),
+        )
+        rows = ", ".join(f"{name}={score:.4f}" for name, score in ranked)
+        print(f"  {formula:<10} {rows}")
+
+    def cheapest_first(estimate, candidates):
+        """Custom formula: ignore everything except monetary cost."""
+        return estimate.cost
+
+    ranked = client.rank_services("storage", latency_params=params,
+                                  formula=cheapest_first)
+    print(f"  custom     {', '.join(f'{name}={score:.6f}' for name, score in ranked)}")
+
+    print("\n=== Weight sensitivity: latency-dominant vs cost-dominant ===")
+    for label, weights in (
+        ("latency-dominant", Weights(response_time=1.0, cost=0.0, quality=0.0)),
+        ("cost-dominant", Weights(response_time=0.0, cost=1.0, quality=0.0)),
+    ):
+        best = client.best_service("storage", latency_params={"size": 50_000.0},
+                                   weights=weights)
+        print(f"  {label:<17} -> {best}")
+
+    client.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Web sentiment monitor — the paper's §2.2 flagship use case.
+
+"We have been using the rich SDK to determine how favorably people,
+companies, and other entities are represented on the Web."
+
+The scenario, end to end:
+
+1. run the same query on several search engines and merge their
+   results (engines crawl different slices of the web);
+2. fetch every hit, archiving each document **with the query and the
+   query time** (results drift, pages disappear);
+3. pass each document to *multiple* NLU providers — one request per
+   document, as real NLU APIs demand;
+4. combine the providers' entity lists with agreement-based confidence
+   and aggregate entity-level sentiment across all documents;
+5. re-analyze the archived documents from disk, proving the analysis
+   can be repeated later without the network.
+
+Run:  python examples/web_sentiment_monitor.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import RichClient, WebSearchAnalyzer, build_world
+from repro.core.aggregation import DocumentSetAggregator, MultiServiceCombiner
+from repro.textproc.html import strip_html
+
+QUERY = "company results announced"
+NLU_PROVIDERS = ("lexica-prime", "glotta")
+
+
+def main() -> None:
+    world = build_world(seed=7, corpus_size=120)
+    client = RichClient(world.registry)
+    analyzer = WebSearchAnalyzer(client)
+
+    print(f"=== Searching three engines for {QUERY!r} (news only) ===")
+    urls = analyzer.multi_engine_search(QUERY, limit=8, news_only=True)
+    for engine in ("goggle", "bung", "yahu"):
+        crawl = world.service(engine).crawl_size
+        print(f"  {engine:<8} crawl={crawl} pages")
+    print(f"  merged unique results: {len(urls)}")
+
+    print("\n=== Fetch, archive, analyze with two providers each ===")
+    aggregator = DocumentSetAggregator()
+    for url in urls:
+        analyzer.fetch(url)  # archived with timestamp
+        analyses = {
+            provider: analyzer.analyze_url(url, provider)
+            for provider in NLU_PROVIDERS
+        }
+        # Agreement-based confidence across providers (§2.1).
+        combined_entities = MultiServiceCombiner.combine_entities(analyses)
+        combined_sentiment = MultiServiceCombiner.combine_entity_sentiment(analyses)
+        aggregator.add_analysis(
+            {
+                "entities": [
+                    {**entity, "disambiguated": True} for entity in combined_entities
+                ],
+                "keywords": analyses[NLU_PROVIDERS[0]].get("keywords", []),
+                "concepts": analyses[NLU_PROVIDERS[0]].get("concepts", []),
+                "sentiment": analyses[NLU_PROVIDERS[0]].get("sentiment", {}),
+                "entity_sentiment": combined_sentiment,
+            }
+        )
+
+    print(f"  documents analyzed: {aggregator.documents_analyzed}")
+    print("\n=== How favorably is each entity represented? ===")
+    print(f"  {'entity':<24} {'type':<9} docs mentions  sentiment  verdict")
+    for row in aggregator.entity_sentiment_report()[:10]:
+        mean = row["mean_sentiment"]
+        sentiment = f"{mean:+.2f}" if mean is not None else "  n/a"
+        print(f"  {row['name']:<24} {row['type']:<9} "
+              f"{row['documents']:>4} {row['mentions']:>8}  {sentiment:>9}  "
+              f"{row['favorability']}")
+
+    print("\n=== Most relevant keywords across the result set ===")
+    for keyword, count, docs in aggregator.top_keywords(8):
+        print(f"  {keyword:<16} count={count:<4} in {docs} documents")
+
+    print("\n=== Replay offline from the local archive ===")
+    with tempfile.TemporaryDirectory() as scratch:
+        exported = analyzer.archive.export_to_directory(Path(scratch) / "snapshot")
+        offline = analyzer.analyze_directory(Path(scratch) / "snapshot",
+                                             nlu_service="lexica-prime")
+        print(f"  exported {exported} archived documents to disk")
+        print(f"  offline re-analysis covered {offline.documents_analyzed} documents; "
+              f"top entity: {offline.top_entities(1)[0].name}")
+
+    searches = analyzer.archive.searches(QUERY)
+    print(f"\nArchive holds {len(searches)} searches for this query "
+          f"(first at t={searches[0]['timestamp']:.2f}s) and "
+          f"{len(analyzer.archive.document_urls())} documents.")
+    print(f"Total spend: ${client.quota.total_cost():.4f} across "
+          f"{sum(client.monitor.call_count(s) for s in client.monitor.services())} calls.")
+    client.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the ``wheel`` package
+that PEP 517 editable installs require, so ``pip install -e .`` goes
+through this file instead (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

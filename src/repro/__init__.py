@@ -1,0 +1,53 @@
+"""repro — reproduction of "Supporting Data Analytics Applications
+Which Utilize Cognitive Services" (Iyengar, ICDCS 2017).
+
+Two systems, as in the paper:
+
+* :mod:`repro.core` — the **Rich SDK**: service monitoring, latency
+  prediction, ranking (Equations 1 and 2), retry and ranked failover,
+  redundant multi-service invocation, client-side caching, quota and
+  budget tracking, synchronous / asynchronous (ListenableFuture)
+  invocation, and the NLU support layer (web search → fetch → store →
+  analyze → aggregate).
+
+* :mod:`repro.kb` — the **Personalized Knowledge Base** built on the
+  SDK: KV / relational / RDF / CSV storage with format conversion,
+  entity disambiguation, reasoning (transitive, RDFS, user rules),
+  statistical analysis whose results feed inference, local spell
+  checking, client-side encryption and compression, and offline
+  operation with resynchronization.
+
+Everything remote is simulated locally (:mod:`repro.services` behind
+:mod:`repro.simnet`) with seeded latency / failure / cost / quality
+models; see DESIGN.md for the substitution table.
+
+Quickstart::
+
+    from repro import build_world, RichClient
+
+    world = build_world()
+    with RichClient(world.registry) as client:
+        result = client.invoke(
+            "lexica-prime", "analyze",
+            {"text": "IBM announced excellent results."},
+        )
+        print(result.value["sentiment"])
+"""
+
+from repro.core.invoker import RichClient
+from repro.core.ranking import Weights
+from repro.core.websearch import WebSearchAnalyzer
+from repro.kb.knowledge_base import PersonalKnowledgeBase
+from repro.services.catalog import World, build_world
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RichClient",
+    "Weights",
+    "WebSearchAnalyzer",
+    "PersonalKnowledgeBase",
+    "World",
+    "build_world",
+    "__version__",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the simulated world a front door for quick exploration:
+
+* ``services`` — list every registered service with its kind, latency
+  model and cost;
+* ``analyze "<text>"`` — run one NLU analysis and print the result;
+* ``search "<query>"`` — query a search engine, print ranked hits;
+* ``rank <kind>`` — warm the monitor on a sample workload and print
+  the SDK's ranking of that kind;
+* ``demo`` — a 30-second tour (invoke, cache, rank, failover).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import RichClient, Weights, build_world
+
+
+def _build(args) -> tuple:
+    world = build_world(seed=args.seed, corpus_size=args.corpus_size)
+    return world, RichClient(world.registry)
+
+
+def cmd_services(args) -> int:
+    world, client = _build(args)
+    print(f"{'name':<18} {'kind':<12} {'latency model':<24} cost model")
+    for service in sorted(world.registry, key=lambda s: (s.kind, s.name)):
+        latency = type(service.latency).__name__
+        cost = type(service.cost_model).__name__
+        print(f"{service.name:<18} {service.kind:<12} {latency:<24} {cost}")
+    client.close()
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    world, client = _build(args)
+    result = client.invoke(args.service, "analyze", {"text": args.text})
+    print(json.dumps(result.value, indent=2))
+    print(f"\n[latency {result.latency * 1000:.1f} ms, cost ${result.cost:.4f}, "
+          f"service {result.service}]", file=sys.stderr)
+    client.close()
+    return 0
+
+
+def cmd_search(args) -> int:
+    world, client = _build(args)
+    result = client.invoke(args.engine, "search",
+                           {"query": args.query, "limit": args.limit})
+    for hit in result.value["results"]:
+        print(f"{hit['rank']:>3}. [{hit['score']:6.2f}] {hit['title']}")
+        print(f"     {hit['url']}")
+    if not result.value["results"]:
+        print("(no results)")
+    client.close()
+    return 0
+
+
+def cmd_rank(args) -> int:
+    world, client = _build(args)
+    candidates = world.services_of_kind(args.kind)
+    if not candidates:
+        print(f"no services of kind {args.kind!r}", file=sys.stderr)
+        client.close()
+        return 1
+    # Warm the monitor with a few calls per candidate where possible.
+    sample_text = world.corpus.documents[0].text
+    warm_ops = {"nlu": ("analyze", {"text": sample_text}),
+                "search": ("search", {"query": "results"}),
+                "storage": ("put", {"key": "probe", "value": "x" * 2000})}
+    operation = warm_ops.get(args.kind)
+    if operation is not None:
+        for service in candidates:
+            for _ in range(args.warmup):
+                client.invoke(service.name, operation[0], operation[1],
+                              use_cache=False)
+    weights = Weights(response_time=args.latency_weight,
+                      cost=args.cost_weight, quality=args.quality_weight)
+    print(f"{'rank':<5} {'service':<20} score")
+    for position, (name, score) in enumerate(
+        client.rank_services(args.kind, weights=weights), start=1
+    ):
+        print(f"{position:<5} {name:<20} {score:.4f}")
+    client.close()
+    return 0
+
+
+def cmd_demo(args) -> int:
+    world, client = _build(args)
+    text = "IBM announced excellent results while Initech struggled."
+    print("1) invoke lexica-prime/analyze ...")
+    first = client.invoke("lexica-prime", "analyze", {"text": text})
+    print(f"   entities={[e['name'] for e in first.value['entities']]} "
+          f"sentiment={first.value['sentiment']['label']} "
+          f"({first.latency * 1000:.0f} ms)")
+    print("2) the same request again (cache) ...")
+    second = client.invoke("lexica-prime", "analyze", {"text": text})
+    print(f"   cached={second.cached} latency={second.latency * 1000:.0f} ms")
+    print("3) ranking the NLU providers ...")
+    for doc in world.corpus.documents[:5]:
+        for provider in ("lexica-prime", "glotta", "wordsmith-lite"):
+            client.invoke(provider, "analyze", {"text": doc.text},
+                          use_cache=False)
+    ranked = client.rank_services(
+        "nlu", weights=Weights(response_time=1, cost=100, quality=0))
+    print("   " + " > ".join(name for name, _ in ranked))
+    print("4) failover when the top pick goes down ...")
+    from repro.services.base import ScriptedFailures
+
+    world.service(ranked[0][0]).failures = ScriptedFailures(set(range(10)))
+    served = client.invoke_with_failover("nlu", "analyze",
+                                         {"text": "Globex thrives."},
+                                         use_cache=False)
+    print(f"   served by {served.service} after {len(served.attempts)} attempts")
+    print(f"\nsimulated time: {client.clock.now():.2f}s, "
+          f"spend: ${client.quota.total_cost():.4f}")
+    client.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Explore the simulated cognitive-services world.")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--corpus-size", type=int, default=60)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("services", help="list registered services")
+
+    analyze = commands.add_parser("analyze", help="run one NLU analysis")
+    analyze.add_argument("text")
+    analyze.add_argument("--service", default="lexica-prime")
+
+    search = commands.add_parser("search", help="query a search engine")
+    search.add_argument("query")
+    search.add_argument("--engine", default="goggle")
+    search.add_argument("--limit", type=int, default=5)
+
+    rank = commands.add_parser("rank", help="rank services of a kind")
+    rank.add_argument("kind")
+    rank.add_argument("--warmup", type=int, default=3)
+    rank.add_argument("--latency-weight", type=float, default=1.0)
+    rank.add_argument("--cost-weight", type=float, default=1.0)
+    rank.add_argument("--quality-weight", type=float, default=1.0)
+
+    commands.add_parser("demo", help="a 30-second tour of the SDK")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "services": cmd_services,
+        "analyze": cmd_analyze,
+        "search": cmd_search,
+        "rank": cmd_rank,
+        "demo": cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Statistical and mathematical analysis (the Apache Commons Math stand-in).
+
+Used in two places: the Rich SDK's latency prediction (regression of
+observed latency on latency parameters) and the personalized knowledge
+base's "statistical and mathematical analysis on numerical data ...
+regression analysis can be used to predict new data values".
+"""
+
+from repro.analytics.stats import (
+    DescriptiveStats,
+    describe,
+    mean,
+    median,
+    stddev,
+    percentile,
+    correlation,
+)
+from repro.analytics.histogram import Histogram
+from repro.analytics.regression import (
+    LinearRegression,
+    PolynomialRegression,
+    MultipleLinearRegression,
+)
+from repro.analytics.timeseries import moving_average, linear_forecast, detect_trend
+
+__all__ = [
+    "DescriptiveStats",
+    "describe",
+    "mean",
+    "median",
+    "stddev",
+    "percentile",
+    "correlation",
+    "Histogram",
+    "LinearRegression",
+    "PolynomialRegression",
+    "MultipleLinearRegression",
+    "moving_average",
+    "linear_forecast",
+    "detect_trend",
+]

@@ -1,0 +1,74 @@
+"""Fixed-bin histograms.
+
+The Rich SDK "maintains histories of latencies allowing users to
+compare latency distributions"; histograms are the comparison tool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class Histogram:
+    """Equal-width bins over [low, high] with under/overflow counters."""
+
+    def __init__(self, low: float, high: float, bins: int = 20) -> None:
+        if high <= low:
+            raise ValueError(f"need high > low, got [{low}, {high}]")
+        if bins <= 0:
+            raise ValueError(f"bins must be positive, got {bins}")
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.counts = [0] * bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    @classmethod
+    def from_values(cls, values: Sequence[float], bins: int = 20) -> "Histogram":
+        """A histogram spanning exactly the observed range."""
+        if not values:
+            raise ValueError("cannot build a histogram from no values")
+        low = float(min(values))
+        high = float(max(values))
+        if high == low:
+            high = low + 1.0
+        histogram = cls(low, high, bins)
+        for value in values:
+            histogram.add(value)
+        return histogram
+
+    def add(self, value: float) -> None:
+        self.total += 1
+        if value < self.low:
+            self.underflow += 1
+            return
+        if value > self.high:
+            self.overflow += 1
+            return
+        width = (self.high - self.low) / self.bins
+        index = min(int((value - self.low) / width), self.bins - 1)
+        self.counts[index] += 1
+
+    def bin_edges(self) -> list[float]:
+        """The ``bins + 1`` edges of the bins."""
+        width = (self.high - self.low) / self.bins
+        return [self.low + index * width for index in range(self.bins + 1)]
+
+    def densities(self) -> list[float]:
+        """Counts normalized to fractions of the total (0.0 when empty)."""
+        if self.total == 0:
+            return [0.0] * self.bins
+        return [count / self.total for count in self.counts]
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering, one row per bin — handy in benchmark output."""
+        edges = self.bin_edges()
+        peak = max(self.counts) or 1
+        lines = []
+        for index, count in enumerate(self.counts):
+            bar = "#" * int(round(count / peak * width))
+            lines.append(f"[{edges[index]:10.4f}, {edges[index + 1]:10.4f}) "
+                         f"{count:6d} {bar}")
+        return "\n".join(lines)

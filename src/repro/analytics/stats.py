@@ -1,0 +1,123 @@
+"""Descriptive statistics over numeric sequences."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises ValueError on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (average of the middle two for even lengths)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    midpoint = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[midpoint])
+    return (ordered[midpoint - 1] + ordered[midpoint]) / 2
+
+
+def variance(values: Sequence[float], sample: bool = True) -> float:
+    """Sample (default) or population variance."""
+    if len(values) < (2 if sample else 1):
+        raise ValueError("variance needs at least two values (one for population)")
+    center = mean(values)
+    total = sum((value - center) ** 2 for value in values)
+    return total / (len(values) - 1 if sample else len(values))
+
+
+def stddev(values: Sequence[float], sample: bool = True) -> float:
+    """Sample (default) or population standard deviation."""
+    return math.sqrt(variance(values, sample=sample))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    # a + w*(b-a) rather than a*(1-w) + b*w: exact when a == b, so the
+    # result never escapes [min, max] by a rounding ulp.
+    return ordered[lower] + weight * (ordered[upper] - ordered[lower])
+
+
+def correlation(first: Sequence[float], second: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    if len(first) != len(second):
+        raise ValueError(f"length mismatch: {len(first)} vs {len(second)}")
+    if len(first) < 2:
+        raise ValueError("correlation needs at least two points")
+    mean_first = mean(first)
+    mean_second = mean(second)
+    numerator = sum(
+        (x - mean_first) * (y - mean_second) for x, y in zip(first, second)
+    )
+    denom_first = math.sqrt(sum((x - mean_first) ** 2 for x in first))
+    denom_second = math.sqrt(sum((y - mean_second) ** 2 for y in second))
+    if denom_first == 0.0 or denom_second == 0.0:
+        return 0.0
+    return numerator / (denom_first * denom_second)
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """The summary bundle ``describe`` computes in one pass."""
+
+    count: int
+    mean: float
+    median: float
+    stddev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "stddev": self.stddev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def describe(values: Sequence[float]) -> DescriptiveStats:
+    """Full descriptive summary of a numeric sequence."""
+    if not values:
+        raise ValueError("describe of empty sequence")
+    return DescriptiveStats(
+        count=len(values),
+        mean=mean(values),
+        median=median(values),
+        stddev=stddev(values) if len(values) > 1 else 0.0,
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        p50=percentile(values, 0.50),
+        p90=percentile(values, 0.90),
+        p95=percentile(values, 0.95),
+        p99=percentile(values, 0.99),
+    )

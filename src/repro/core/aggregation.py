@@ -1,0 +1,247 @@
+"""Aggregating NLU results across documents and across services (§2.2).
+
+Two aggregators:
+
+* :class:`DocumentSetAggregator` — "support for analyzing multiple
+  documents and aggregating the results": entity and keyword
+  frequencies over a document set, per-entity aggregate sentiment
+  ("how favorably people, companies, and other entities are
+  represented on the Web"), concept profiles.
+
+* :class:`MultiServiceCombiner` — "if the results are inconsistent,
+  the application could assign a higher degree of confidence to
+  entities ... identified by more services": merges analyses of the
+  *same* document from several providers, with agreement-based
+  confidence, and scores providers against gold labels (the SDK's
+  quality-evaluation hook).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EntityAggregate:
+    """One entity's footprint across a document set."""
+
+    entity_id: str
+    name: str
+    entity_type: str
+    document_count: int = 0
+    total_mentions: int = 0
+    sentiment_scores: list[float] = field(default_factory=list)
+
+    @property
+    def mean_sentiment(self) -> float | None:
+        if not self.sentiment_scores:
+            return None
+        return sum(self.sentiment_scores) / len(self.sentiment_scores)
+
+    @property
+    def favorability(self) -> str:
+        """positive / negative / neutral, from the mean sentiment."""
+        mean = self.mean_sentiment
+        if mean is None or abs(mean) <= 0.05:
+            return "neutral"
+        return "positive" if mean > 0 else "negative"
+
+
+class DocumentSetAggregator:
+    """Accumulates per-document NLU analyses into corpus-level results."""
+
+    def __init__(self) -> None:
+        self.documents_analyzed = 0
+        self._entities: dict[str, EntityAggregate] = {}
+        self._keywords: dict[str, int] = defaultdict(int)
+        self._keyword_documents: dict[str, int] = defaultdict(int)
+        self._concepts: dict[str, int] = defaultdict(int)
+        self._document_sentiments: list[float] = []
+
+    def add_analysis(self, analysis: Mapping[str, object]) -> None:
+        """Fold in one document's NLU analysis (the service's JSON)."""
+        self.documents_analyzed += 1
+        for entity in analysis.get("entities", ()):  # type: ignore[union-attr]
+            if not entity.get("disambiguated", True):
+                continue
+            aggregate = self._entities.get(entity["id"])
+            if aggregate is None:
+                aggregate = EntityAggregate(entity["id"], entity["name"], entity["type"])
+                self._entities[entity["id"]] = aggregate
+            aggregate.document_count += 1
+            aggregate.total_mentions += int(entity.get("count", 1))
+        for keyword in analysis.get("keywords", ()):  # type: ignore[union-attr]
+            self._keywords[keyword["text"]] += int(keyword.get("count", 1))
+            self._keyword_documents[keyword["text"]] += 1
+        for concept in analysis.get("concepts", ()):  # type: ignore[union-attr]
+            self._concepts[concept["concept"]] += 1
+        sentiment = analysis.get("sentiment")
+        if isinstance(sentiment, Mapping) and "score" in sentiment:
+            self._document_sentiments.append(float(sentiment["score"]))
+        entity_sentiment = analysis.get("entity_sentiment")
+        if isinstance(entity_sentiment, Mapping):
+            for entity_id, details in entity_sentiment.items():
+                aggregate = self._entities.get(entity_id)
+                if aggregate is not None and isinstance(details, Mapping):
+                    aggregate.sentiment_scores.append(float(details["score"]))
+
+    # -- results ----------------------------------------------------------------
+
+    def top_entities(self, limit: int = 10) -> list[EntityAggregate]:
+        """Entities by document count then mentions — the most *relevant*
+        named entities for the query that produced the document set."""
+        ranked = sorted(
+            self._entities.values(),
+            key=lambda agg: (-agg.document_count, -agg.total_mentions, agg.entity_id),
+        )
+        return ranked[:limit]
+
+    def top_keywords(self, limit: int = 10) -> list[tuple[str, int, int]]:
+        """(keyword, total count, documents containing it), most frequent first."""
+        ranked = sorted(
+            self._keywords.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [
+            (keyword, count, self._keyword_documents[keyword])
+            for keyword, count in ranked[:limit]
+        ]
+
+    def concept_profile(self) -> dict[str, int]:
+        """Concept -> number of documents exhibiting it."""
+        return dict(self._concepts)
+
+    def entity_sentiment_report(self) -> list[dict]:
+        """Per-entity favorability across the set, most-discussed first."""
+        report = []
+        for aggregate in self.top_entities(limit=len(self._entities)):
+            report.append(
+                {
+                    "entity": aggregate.entity_id,
+                    "name": aggregate.name,
+                    "type": aggregate.entity_type,
+                    "documents": aggregate.document_count,
+                    "mentions": aggregate.total_mentions,
+                    "mean_sentiment": aggregate.mean_sentiment,
+                    "favorability": aggregate.favorability,
+                }
+            )
+        return report
+
+    def mean_document_sentiment(self) -> float | None:
+        if not self._document_sentiments:
+            return None
+        return sum(self._document_sentiments) / len(self._document_sentiments)
+
+
+class MultiServiceCombiner:
+    """Combines analyses of one document from several NLU providers."""
+
+    @staticmethod
+    def combine_entities(
+        analyses: Mapping[str, Mapping[str, object]],
+        min_confidence: float = 0.0,
+    ) -> list[dict]:
+        """Merge entity lists with agreement-based confidence.
+
+        Confidence = fraction of providers that identified the entity.
+        Entities found by more services get higher confidence, exactly
+        as §2.1 prescribes for inconsistent results.
+        """
+        provider_count = len(analyses)
+        if provider_count == 0:
+            return []
+        found_by: dict[str, list[str]] = defaultdict(list)
+        details: dict[str, dict] = {}
+        mention_counts: dict[str, list[int]] = defaultdict(list)
+        for provider, analysis in analyses.items():
+            for entity in analysis.get("entities", ()):  # type: ignore[union-attr]
+                if not entity.get("disambiguated", True):
+                    continue
+                found_by[entity["id"]].append(provider)
+                details.setdefault(entity["id"], {
+                    "id": entity["id"],
+                    "name": entity["name"],
+                    "type": entity["type"],
+                })
+                mention_counts[entity["id"]].append(int(entity.get("count", 1)))
+        combined = []
+        for entity_id, providers in found_by.items():
+            confidence = len(providers) / provider_count
+            if confidence < min_confidence:
+                continue
+            entry = dict(details[entity_id])
+            entry["confidence"] = round(confidence, 4)
+            entry["providers"] = sorted(providers)
+            entry["count"] = max(mention_counts[entity_id])
+            combined.append(entry)
+        combined.sort(key=lambda item: (-item["confidence"], item["id"]))
+        return combined
+
+    @staticmethod
+    def combine_entity_sentiment(
+        analyses: Mapping[str, Mapping[str, object]]
+    ) -> dict[str, dict]:
+        """Average per-entity sentiment across providers."""
+        totals: dict[str, list[float]] = defaultdict(list)
+        for analysis in analyses.values():
+            entity_sentiment = analysis.get("entity_sentiment")
+            if not isinstance(entity_sentiment, Mapping):
+                continue
+            for entity_id, detail in entity_sentiment.items():
+                totals[entity_id].append(float(detail["score"]))
+        combined = {}
+        for entity_id, scores in totals.items():
+            mean = sum(scores) / len(scores)
+            combined[entity_id] = {
+                "score": round(mean, 4),
+                "providers": len(scores),
+                "label": "positive" if mean > 0.05 else
+                         "negative" if mean < -0.05 else "neutral",
+            }
+        return combined
+
+    @staticmethod
+    def score_against_gold(
+        analysis: Mapping[str, object],
+        gold_entities: Sequence[str],
+        gold_sentiment: Mapping[str, int] | None = None,
+    ) -> dict[str, float]:
+        """Precision / recall / F1 of one provider's entities vs gold,
+        plus sentiment-sign accuracy when gold stances are given.
+
+        This is the kind of user-supplied quality evaluator the paper
+        says can be plugged into the SDK; its F1 feeds the monitor's
+        quality history via ``rate_quality``.
+        """
+        found = {
+            entity["id"]
+            for entity in analysis.get("entities", ())  # type: ignore[union-attr]
+            if entity.get("disambiguated", True)
+        }
+        gold = set(gold_entities)
+        true_positive = len(found & gold)
+        precision = true_positive / len(found) if found else 0.0
+        recall = true_positive / len(gold) if gold else 1.0
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if precision + recall > 0
+            else 0.0
+        )
+        result = {"precision": precision, "recall": recall, "f1": f1}
+        if gold_sentiment:
+            entity_sentiment = analysis.get("entity_sentiment", {})
+            judged = correct = 0
+            for entity_id, stance in gold_sentiment.items():
+                if stance == 0:
+                    continue
+                judged += 1
+                detail = entity_sentiment.get(entity_id) if isinstance(
+                    entity_sentiment, Mapping
+                ) else None
+                score = float(detail["score"]) if detail else 0.0
+                if score != 0 and (score > 0) == (stance > 0):
+                    correct += 1
+            result["sentiment_accuracy"] = correct / judged if judged else 1.0
+        return result

@@ -1,0 +1,183 @@
+"""Client-side response caching.
+
+"The rich SDK can cache data from remote services locally to improve
+performance and avoid the need to make redundant service calls.
+Caching can also help an application to continue executing if the
+application has poor connectivity ... Caching will not be applicable
+for all remote services" — mutating operations (``put``, ``delete``)
+must always reach the service, and "consistency issues may arise in
+which a cached value is obsolete", which the TTL bounds.
+
+:class:`ServiceCache` is an LRU cache with optional TTL keyed by
+(service, operation, canonicalized payload).  It can persist through
+any :class:`repro.stores.kvstore.KeyValueStore`, giving the PKB a
+cache that survives restarts and disconnections.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.stores.kvstore import KeyValueStore
+from repro.util.clock import Clock
+
+#: Operations that are safe to serve from cache: they read remote state
+#: without changing it.  Mutations (put/delete) and anything unknown
+#: always cross the network.
+DEFAULT_CACHEABLE_OPERATIONS = frozenset(
+    {
+        "analyze", "analyze_url", "disambiguate",
+        "search", "fetch",
+        "lookup", "entities_of_type", "property_names",
+        "quote", "history", "locate", "climate",
+        "classify", "suggest", "correct",
+        "get", "exists", "keys",
+    }
+)
+
+_SENTINEL = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting (the caching benchmarks report these)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def cache_key(service: str, operation: str, payload: Mapping[str, object]) -> str:
+    """Canonical cache key: sorted-key JSON of the full request."""
+    return json.dumps(
+        {"service": service, "operation": operation, "payload": dict(payload)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class ServiceCache:
+    """LRU + TTL cache over service responses."""
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ttl: float | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive (or None), got {ttl}")
+        if ttl is not None and clock is None:
+            raise ValueError("a clock is required when ttl is set")
+        self.capacity = capacity
+        self.ttl = ttl
+        self.clock = clock
+        self.stats = CacheStats()
+        # key -> (value, stored_at); insertion order tracks recency.
+        self._entries: OrderedDict[str, tuple[object, float]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key, default=None) is not None or key in self._entries
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _expired(self, stored_at: float) -> bool:
+        return self.ttl is not None and self._now() - stored_at > self.ttl
+
+    def get(self, key: str, default: object = _SENTINEL) -> object:
+        """Cached value, refreshing recency; counts a miss when absent/expired."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            value, stored_at = entry
+            if self._expired(stored_at):
+                del self._entries[key]
+                self.stats.expirations += 1
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        if default is _SENTINEL:
+            return None
+        return default
+
+    def peek(self, key: str) -> object | None:
+        """Like :meth:`get` but without touching stats or recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, stored_at = entry
+        return None if self._expired(stored_at) else value
+
+    def put(self, key: str, value: object) -> None:
+        """Insert/refresh an entry, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (value, self._now())
+        self.stats.puts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (consistency hook); returns whether it existed."""
+        existed = self._entries.pop(key, None) is not None
+        if existed:
+            self.stats.invalidations += 1
+        return existed
+
+    def invalidate_service(self, service: str) -> int:
+        """Drop every entry belonging to one service."""
+        prefix = json.dumps({"service": service}, separators=(",", ":"))[1:-1]
+        doomed = [key for key in self._entries if prefix in key]
+        for key in doomed:
+            del self._entries[key]
+        self.stats.invalidations += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- persistence -------------------------------------------------------
+
+    def save_to(self, store: KeyValueStore, namespace: str = "cache") -> int:
+        """Persist all live entries into a key-value store."""
+        snapshot = {
+            key: [value, stored_at]
+            for key, (value, stored_at) in self._entries.items()
+            if not self._expired(stored_at)
+        }
+        store.put(namespace, snapshot)
+        return len(snapshot)
+
+    def load_from(self, store: KeyValueStore, namespace: str = "cache") -> int:
+        """Restore entries previously saved with :meth:`save_to`."""
+        snapshot = store.get(namespace, default=None)
+        if not isinstance(snapshot, dict):
+            return 0
+        loaded = 0
+        for key, (value, stored_at) in snapshot.items():
+            if not self._expired(stored_at):
+                self._entries[key] = (value, stored_at)
+                loaded += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return loaded

@@ -1,0 +1,150 @@
+"""Circuit breakers: stop hammering a service that keeps failing.
+
+Retry (§2.1) handles *transient* failures; a circuit breaker handles
+*sustained* ones.  After ``failure_threshold`` consecutive failures the
+circuit **opens**: calls fail immediately (no network, no waiting)
+until ``cooldown`` simulated seconds pass.  Then the circuit goes
+**half-open**: one probe call is allowed through; success closes the
+circuit, failure re-opens it for another cooldown.  This protects both
+the client (no latency wasted on a dead service) and the service (no
+retry storm while it recovers).
+
+State transitions run on the simulation clock, so tests can script
+hour-long outages instantly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+from enum import Enum
+from typing import TypeVar
+
+from repro.util.clock import Clock
+from repro.util.errors import ReproError
+
+T = TypeVar("T")
+
+
+class CircuitState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(ReproError):
+    """The circuit is open: the call was rejected without being sent."""
+
+    def __init__(self, service: str, retry_at: float) -> None:
+        super().__init__(
+            f"circuit for {service!r} is open; next probe allowed at "
+            f"t={retry_at:.3f}s")
+        self.service = service
+        self.retry_at = retry_at
+
+
+@dataclass
+class BreakerStats:
+    calls_allowed: int = 0
+    calls_rejected: int = 0
+    opens: int = 0
+    closes: int = 0
+
+
+class CircuitBreaker:
+    """One service's circuit."""
+
+    def __init__(self, clock: Clock, service: str = "<service>",
+                 failure_threshold: int = 5, cooldown: float = 30.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got "
+                             f"{failure_threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.clock = clock
+        self.service = service
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.stats = BreakerStats()
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> CircuitState:
+        if (self._state is CircuitState.OPEN
+                and self.clock.now() - self._opened_at >= self.cooldown):
+            self._state = CircuitState.HALF_OPEN
+        return self._state
+
+    # -- bookkeeping hooks --------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        state = self.state
+        if state is CircuitState.OPEN:
+            self.stats.calls_rejected += 1
+            return False
+        self.stats.calls_allowed += 1
+        return True
+
+    def record_success(self) -> None:
+        if self._state in (CircuitState.HALF_OPEN, CircuitState.OPEN):
+            self.stats.closes += 1
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self._state is CircuitState.HALF_OPEN:
+            self._trip()  # the probe failed: straight back to open
+        elif (self._state is CircuitState.CLOSED
+              and self._consecutive_failures >= self.failure_threshold):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = CircuitState.OPEN
+        self._opened_at = self.clock.now()
+        self.stats.opens += 1
+
+    # -- call wrapper ----------------------------------------------------------
+
+    def call(self, function: Callable[[], T]) -> T:
+        """Run ``function`` under the circuit's protection."""
+        if not self.allow():
+            raise CircuitOpenError(self.service, self._opened_at + self.cooldown)
+        try:
+            result = function()
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+class CircuitBreakerRegistry:
+    """Per-service breakers sharing one configuration."""
+
+    def __init__(self, clock: Clock, failure_threshold: int = 5,
+                 cooldown: float = 30.0,
+                 overrides: Mapping[str, tuple[int, float]] | None = None) -> None:
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.overrides = dict(overrides or {})
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, service: str) -> CircuitBreaker:
+        if service not in self._breakers:
+            threshold, cooldown = self.overrides.get(
+                service, (self.failure_threshold, self.cooldown))
+            self._breakers[service] = CircuitBreaker(
+                self.clock, service, threshold, cooldown)
+        return self._breakers[service]
+
+    def call(self, service: str, function: Callable[[], T]) -> T:
+        return self.breaker(service).call(function)
+
+    def open_circuits(self) -> list[str]:
+        return [name for name, breaker in self._breakers.items()
+                if breaker.state is CircuitState.OPEN]

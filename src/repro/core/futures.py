@@ -1,0 +1,142 @@
+"""ListenableFuture-style asynchronous results.
+
+The paper implements asynchronous service calls with Guava's
+``ListenableFuture``: a future plus the ability to register callbacks
+that run when the computation completes.  :class:`ListenableFuture`
+reproduces that contract over :mod:`concurrent.futures`, and
+:class:`CallbackExecutor` is the bounded thread pool §2.1 prescribes
+("to prevent the number of threads from becoming too large in corner
+cases, we use thread pools of limited size").
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class ListenableFuture(Generic[T]):
+    """A future with registered completion callbacks.
+
+    Callbacks receive the future itself and run exactly once, on the
+    completing thread — or immediately on the registering thread when
+    the future is already done (Guava's semantics).
+    """
+
+    def __init__(self) -> None:
+        self._future: Future = Future()
+        self._listeners: list[Callable[["ListenableFuture[T]"], None]] = []
+        self._lock = threading.Lock()
+
+    # -- producer side -----------------------------------------------------
+
+    def set_result(self, value: T) -> None:
+        self._future.set_result(value)
+        self._fire()
+
+    def set_exception(self, error: BaseException) -> None:
+        self._future.set_exception(error)
+        self._fire()
+
+    def _fire(self) -> None:
+        with self._lock:
+            listeners, self._listeners = self._listeners, []
+        for listener in listeners:
+            listener(self)
+
+    # -- consumer side -----------------------------------------------------
+
+    def is_done(self) -> bool:
+        """Whether the computation has completed (successfully or not)."""
+        return self._future.done()
+
+    def get(self, timeout: float | None = None) -> T:
+        """Block until done and return the result (or raise its error)."""
+        return self._future.result(timeout=timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The exception the computation raised, if any."""
+        return self._future.exception(timeout=timeout)
+
+    def add_listener(self, listener: Callable[["ListenableFuture[T]"], None]) -> None:
+        """Register a completion callback (fires immediately if done)."""
+        fire_now = False
+        with self._lock:
+            if self._future.done():
+                fire_now = True
+            else:
+                self._listeners.append(listener)
+        if fire_now:
+            listener(self)
+
+    def transform(self, mapper: Callable[[T], object]) -> "ListenableFuture":
+        """Derived future holding ``mapper(result)`` (errors propagate)."""
+        derived: ListenableFuture = ListenableFuture()
+
+        def relay(completed: "ListenableFuture[T]") -> None:
+            error = completed.exception()
+            if error is not None:
+                derived.set_exception(error)
+                return
+            try:
+                derived.set_result(mapper(completed.get()))
+            except BaseException as mapping_error:  # noqa: BLE001 — relayed to waiter
+                derived.set_exception(mapping_error)
+
+        self.add_listener(relay)
+        return derived
+
+    @classmethod
+    def completed(cls, value: T) -> "ListenableFuture[T]":
+        """An already-successful future."""
+        future: ListenableFuture[T] = cls()
+        future.set_result(value)
+        return future
+
+    @classmethod
+    def failed(cls, error: BaseException) -> "ListenableFuture":
+        """An already-failed future."""
+        future: ListenableFuture = cls()
+        future.set_exception(error)
+        return future
+
+
+class CallbackExecutor:
+    """Bounded thread pool producing :class:`ListenableFuture` results."""
+
+    def __init__(self, max_workers: int = 8) -> None:
+        if max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool = ThreadPoolExecutor(max_workers=max_workers,
+                                        thread_name_prefix="repro-sdk")
+
+    def submit(self, function: Callable[..., T], *args, **kwargs) -> ListenableFuture[T]:
+        """Run ``function`` on the pool; returns its listenable future."""
+        listenable: ListenableFuture[T] = ListenableFuture()
+
+        def run() -> None:
+            try:
+                listenable.set_result(function(*args, **kwargs))
+            except BaseException as error:  # noqa: BLE001 — relayed to waiter
+                listenable.set_exception(error)
+
+        self._pool.submit(run)
+        return listenable
+
+    def map_all(self, function: Callable[[object], T], items: list) -> list[ListenableFuture[T]]:
+        """Submit ``function`` for every item; returns all futures."""
+        return [self.submit(function, item) for item in items]
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "CallbackExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

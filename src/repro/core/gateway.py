@@ -1,0 +1,209 @@
+"""The SDK's HTTP-style gateway.
+
+"In order to allow programs written in other languages to access the
+rich SDK, the rich SDK can expose an HTTP interface."  There is no real
+network in this reproduction, so the gateway is modelled the way the
+transport is: JSON request dict in, JSON response dict out, with every
+payload round-tripped through ``json`` to guarantee that only
+serializable data crosses — exactly the contract an HTTP server would
+impose.  A non-Python client is anything that can produce these
+envelopes.
+
+Request envelope::
+
+    {"method": "invoke",
+     "params": {"service": "lexica-prime", "operation": "analyze",
+                "payload": {"text": "..."}}}
+
+Response envelope::
+
+    {"status": 200, "result": ...}
+    {"status": 404, "error": "...", "error_type": "NotFoundError"}
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from repro.core.invoker import RichClient
+from repro.core.quota import BudgetExceededError
+from repro.core.ranking import Weights
+from repro.core.retry import AllServicesFailedError
+from repro.simnet.errors import (
+    ConnectivityError,
+    RemoteServiceError,
+    ServiceTimeoutError,
+)
+from repro.util.errors import NotFoundError, SerializationError
+
+
+def _status_for(error: Exception) -> int:
+    if isinstance(error, NotFoundError):
+        return 404
+    if isinstance(error, BudgetExceededError):
+        return 429
+    if isinstance(error, ServiceTimeoutError):
+        return 504
+    if isinstance(error, (ConnectivityError, AllServicesFailedError)):
+        return 503
+    if isinstance(error, RemoteServiceError):
+        return error.status
+    if isinstance(error, (ValueError, KeyError, TypeError, SerializationError)):
+        return 400
+    return 500
+
+
+class SdkGateway:
+    """Dispatches JSON envelopes onto a :class:`RichClient`.
+
+    Methods: ``invoke``, ``invoke_failover``, ``rank_services``,
+    ``best_service``, ``service_summaries``, ``cache_stats``, ``spend``
+    and ``health``.
+    """
+
+    def __init__(self, client: RichClient) -> None:
+        self.client = client
+        self.requests_served = 0
+        self.errors_returned = 0
+
+    # -- envelope handling ---------------------------------------------------
+
+    def handle(self, request: Mapping[str, object]) -> dict:
+        """Serve one request envelope; never raises."""
+        self.requests_served += 1
+        try:
+            request = json.loads(json.dumps(dict(request)))
+        except (TypeError, ValueError) as error:
+            return self._error(400, f"request is not JSON-serializable: {error}",
+                               "SerializationError")
+        method = request.get("method")
+        params = request.get("params") or {}
+        if not isinstance(method, str):
+            return self._error(400, "missing or invalid 'method'", "ValueError")
+        if not isinstance(params, dict):
+            return self._error(400, "'params' must be an object", "ValueError")
+        handler = getattr(self, f"_method_{method}", None)
+        if handler is None:
+            return self._error(404, f"unknown method {method!r}", "NotFoundError")
+        try:
+            result = handler(params)
+        except Exception as error:  # noqa: BLE001 — mapped to a status code
+            return self._error(_status_for(error), str(error),
+                               type(error).__name__)
+        return json.loads(json.dumps({"status": 200, "result": result}))
+
+    def handle_json(self, request_text: str) -> str:
+        """Text-in/text-out variant: the literal wire format."""
+        try:
+            request = json.loads(request_text)
+        except json.JSONDecodeError as error:
+            return json.dumps(self._error(400, f"invalid JSON: {error}",
+                                          "SerializationError"))
+        if not isinstance(request, dict):
+            return json.dumps(self._error(400, "request must be a JSON object",
+                                          "ValueError"))
+        return json.dumps(self.handle(request))
+
+    def _error(self, status: int, message: str, error_type: str) -> dict:
+        self.errors_returned += 1
+        return {"status": status, "error": message, "error_type": error_type}
+
+    # -- methods ------------------------------------------------------------
+
+    @staticmethod
+    def _weights_from(params: Mapping[str, object]) -> Weights:
+        raw = params.get("weights") or {}
+        if not isinstance(raw, Mapping):
+            raise ValueError("'weights' must be an object")
+        return Weights(
+            response_time=float(raw.get("response_time", 1.0)),
+            cost=float(raw.get("cost", 1.0)),
+            quality=float(raw.get("quality", 1.0)),
+        )
+
+    def _method_invoke(self, params: Mapping[str, object]) -> dict:
+        result = self.client.invoke(
+            str(params["service"]),
+            str(params["operation"]),
+            params.get("payload") or {},
+            timeout=params.get("timeout"),
+            use_cache=bool(params.get("use_cache", True)),
+        )
+        return {
+            "value": result.value,
+            "latency": result.latency,
+            "cost": result.cost,
+            "service": result.service,
+            "cached": result.cached,
+        }
+
+    def _method_invoke_failover(self, params: Mapping[str, object]) -> dict:
+        result = self.client.invoke_with_failover(
+            str(params["kind"]),
+            str(params["operation"]),
+            params.get("payload") or {},
+            timeout=params.get("timeout"),
+            weights=self._weights_from(params),
+            use_cache=bool(params.get("use_cache", True)),
+        )
+        return {
+            "value": result.value,
+            "served_by": result.service,
+            "attempts": [
+                {"service": log.service, "attempt": log.attempt,
+                 "failed": log.error is not None}
+                for log in result.attempts
+            ],
+        }
+
+    def _method_rank_services(self, params: Mapping[str, object]) -> list:
+        ranked = self.client.rank_services(
+            str(params["kind"]),
+            latency_params=params.get("latency_params"),
+            weights=self._weights_from(params),
+            formula=str(params.get("formula", "weighted")),
+        )
+        return [{"service": name, "score": score} for name, score in ranked]
+
+    def _method_best_service(self, params: Mapping[str, object]) -> dict:
+        return {
+            "service": self.client.best_service(
+                str(params["kind"]),
+                latency_params=params.get("latency_params"),
+                weights=self._weights_from(params),
+            )
+        }
+
+    def _method_service_summaries(self, params: Mapping[str, object]) -> list:
+        return self.client.service_summaries()
+
+    def _method_cache_stats(self, params: Mapping[str, object]) -> dict:
+        stats = self.client.cache.stats
+        return {
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_ratio": stats.hit_ratio,
+            "entries": len(self.client.cache),
+        }
+
+    def _method_spend(self, params: Mapping[str, object]) -> dict:
+        service = params.get("service")
+        if service is not None:
+            return {
+                "service": service,
+                "calls": self.client.quota.calls(str(service)),
+                "cost": self.client.quota.cost(str(service)),
+            }
+        return {"total_cost": self.client.quota.total_cost()}
+
+    def _method_health(self, params: Mapping[str, object]) -> dict:
+        online = True
+        for service in self.client.registry:
+            online = service.transport.is_online()
+            break
+        return {
+            "online": online,
+            "services_registered": len(self.client.registry),
+            "requests_served": self.requests_served,
+        }

@@ -1,0 +1,175 @@
+"""Hedged requests: racing a backup call against a slow primary.
+
+Another way to "mitigate the latency" of remote services when several
+provide similar functionality (§2): send the request to the best-ranked
+service, and if no reply arrives within a deadline (typically that
+service's observed p95), fire the same request at the runner-up and
+take whichever answers first.  Hedging trades a small amount of extra
+load (only the slowest ~5% of requests fire a backup) for a large
+reduction in tail latency — the classic tail-at-scale technique, built
+here from the SDK's own monitoring, ranking and async machinery.
+
+Requires a real (scaled) clock: hedging is inherently about racing
+wall-clock timers against in-flight calls.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.invoker import InvocationResult, RichClient
+from repro.core.ranking import Weights
+
+
+@dataclass
+class HedgeStats:
+    """How often the hedge fired and who won."""
+
+    requests: int = 0
+    hedges_fired: int = 0
+    hedge_wins: int = 0
+    primary_wins: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def hedge_rate(self) -> float:
+        return self.hedges_fired / self.requests if self.requests else 0.0
+
+
+class HedgedInvoker:
+    """Race a backup service against a slow primary."""
+
+    def __init__(
+        self,
+        client: RichClient,
+        deadline_percentile: float = 0.95,
+        default_deadline: float = 0.5,
+        weights: Weights = Weights(),
+    ) -> None:
+        if not 0.0 < deadline_percentile < 1.0:
+            raise ValueError(
+                f"deadline_percentile must be in (0, 1), got {deadline_percentile}")
+        self.client = client
+        self.deadline_percentile = deadline_percentile
+        self.default_deadline = default_deadline
+        self.weights = weights
+        self.stats = HedgeStats()
+
+    def deadline_for(self, service: str) -> float:
+        """The hedge deadline: the service's observed latency percentile."""
+        latencies = self.client.monitor.latencies(service)
+        if len(latencies) < 5:
+            return self.default_deadline
+        from repro.analytics.stats import percentile
+
+        return percentile(latencies, self.deadline_percentile)
+
+    def invoke(
+        self,
+        kind: str,
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        use_cache: bool = True,
+        candidates: list[str] | None = None,
+    ) -> InvocationResult:
+        """Invoke with hedging across the top two ranked services.
+
+        The primary request goes to the best-ranked service; if it has
+        not completed within the primary's deadline, the same request
+        is issued to the second-ranked service and the first completed
+        result wins.  With fewer than two candidates this degrades to a
+        plain invocation.  ``candidates`` (already ordered, best first)
+        overrides the live ranking — the ranking is adaptive, so pin it
+        when an experiment needs a fixed primary.
+        """
+        if candidates is None:
+            candidates = [service.name for service in
+                          self.client.registry.services_of_kind(kind)]
+            if not candidates:
+                raise ValueError(f"no services of kind {kind!r}")
+            ranked = [name for name, _ in self.client.ranker.rank(
+                candidates, weights=self.weights)]
+        else:
+            if not candidates:
+                raise ValueError("empty candidates override")
+            ranked = list(candidates)
+        primary = ranked[0]
+        self.stats.requests += 1
+        start = self.client.clock.now()
+
+        if len(ranked) == 1:
+            result = self.client.invoke(primary, operation, payload,
+                                        use_cache=use_cache)
+            self.stats.primary_wins += 1
+            self.stats.latencies.append(self.client.clock.now() - start)
+            return result
+
+        backup = ranked[1]
+        first_done = threading.Event()
+        outcomes: list[tuple[str, InvocationResult | Exception]] = []
+        lock = threading.Lock()
+
+        def record(role: str):
+            def callback(future):
+                error = future.exception()
+                with lock:
+                    outcomes.append((role, error if error is not None
+                                     else future.get()))
+                first_done.set()
+            return callback
+
+        primary_future = self.client.invoke_async(
+            primary, operation, payload, use_cache=use_cache)
+        primary_future.add_listener(record("primary"))
+
+        def first_success():
+            with lock:
+                for role, outcome in outcomes:
+                    if not isinstance(outcome, Exception):
+                        return role, outcome
+            return None
+
+        deadline = self.deadline_for(primary)
+        real_deadline = deadline * getattr(self.client.clock, "time_scale", 1.0)
+        completed_early = first_done.wait(timeout=real_deadline)
+        # Hedge when the primary is slow — or when it already failed
+        # (an error is the slowest possible answer).
+        fired_hedge = not completed_early or (
+            completed_early and first_success() is None
+        )
+        if fired_hedge:
+            self.stats.hedges_fired += 1
+            backup_future = self.client.invoke_async(
+                backup, operation, payload, use_cache=use_cache)
+            backup_future.add_listener(record("backup"))
+            first_done.wait()
+
+        expected = 2 if fired_hedge else 1
+        winner = None
+        while winner is None:
+            # Snapshot once so the success check and the all-finished
+            # check see the same state (a success landing between two
+            # separate reads must not be missed).
+            with lock:
+                snapshot = list(outcomes)
+            for role, outcome in snapshot:
+                if not isinstance(outcome, Exception):
+                    winner = (role, outcome)
+                    break
+            if winner is not None:
+                break
+            if len(snapshot) >= expected:
+                raise snapshot[0][1]  # every leg failed
+            # Poll-wait: avoids the lost-wakeup race between checking
+            # outcomes and re-arming the event.
+            first_done.wait(timeout=0.005)
+
+        role, result = winner
+        if role == "primary":
+            self.stats.primary_wins += 1
+        else:
+            self.stats.hedge_wins += 1
+        self.stats.latencies.append(self.client.clock.now() - start)
+        return result

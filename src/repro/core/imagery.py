@@ -1,0 +1,133 @@
+"""The image analogue of the Figure-3 pipeline.
+
+"Similar types of analyses can be performed on other types of data such
+as image files.  Search engines can identify images matching a query;
+these images can be passed to an image analysis service and/or stored
+locally" (§2.2).
+
+:class:`ImageSearchAnalyzer` searches for images, stores their
+descriptors locally (so re-analysis needs no network), classifies each
+image with one or several visual recognition providers, combines the
+providers' verdicts by agreement, and aggregates the label distribution
+across the whole result set.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Sequence
+
+from repro.core.invoker import RichClient
+from repro.stores.kvstore import InMemoryKeyValueStore, KeyValueStore
+
+
+class ImageSearchAnalyzer:
+    """Search → store → classify → aggregate, for images."""
+
+    def __init__(
+        self,
+        client: RichClient,
+        search_service: str = "pixfinder",
+        store: KeyValueStore | None = None,
+    ) -> None:
+        self.client = client
+        self.search_service = search_service
+        self.store = store if store is not None else InMemoryKeyValueStore()
+
+    # -- search and local storage -------------------------------------------
+
+    def search_images(self, query: str, limit: int = 10) -> list[dict]:
+        """Find images and store each descriptor locally."""
+        result = self.client.invoke(
+            self.search_service, "search_images",
+            {"query": query, "limit": limit})
+        hits = result.value["results"]
+        for hit in hits:
+            self.store.put(f"img::{hit['image_id']}", {
+                "descriptor": hit["descriptor"],
+                "tags": hit["tags"],
+                "query": query,
+                "stored_at": self.client.clock.now(),
+            })
+        return hits
+
+    def stored_image(self, image_id: str) -> dict | None:
+        value = self.store.get(f"img::{image_id}", default=None)
+        return value if isinstance(value, dict) else None
+
+    # -- classification -------------------------------------------------------
+
+    def classify(self, descriptor: list[float], provider: str) -> list[dict]:
+        """One provider's ranked labels for one image."""
+        result = self.client.invoke(provider, "classify",
+                                    {"descriptor": descriptor})
+        return result.value["classes"]
+
+    def classify_with_agreement(
+        self, descriptor: list[float], providers: Sequence[str]
+    ) -> dict:
+        """Several providers vote; confidence = agreement fraction.
+
+        Mirrors the entity-combination rule of §2.1 applied to image
+        labels: a label named top-1 by more providers is more credible.
+        """
+        votes: Counter[str] = Counter()
+        per_provider: dict[str, str] = {}
+        for provider in providers:
+            top = self.classify(descriptor, provider)[0]["label"]
+            votes[top] += 1
+            per_provider[provider] = top
+        label, count = max(sorted(votes.items()), key=lambda item: item[1])
+        return {
+            "label": label,
+            "confidence": count / len(providers),
+            "votes": per_provider,
+        }
+
+    # -- the full pipeline -------------------------------------------------------
+
+    def analyze_image_search(
+        self,
+        query: str,
+        providers: Sequence[str],
+        limit: int = 10,
+    ) -> dict:
+        """Search, store, classify every hit, aggregate the label mix.
+
+        Returns the per-image verdicts and the aggregate label
+        distribution — e.g. how *on-topic* the image search results for
+        a query actually are.
+        """
+        hits = self.search_images(query, limit=limit)
+        verdicts = []
+        label_counts: Counter[str] = Counter()
+        agreement_by_label: dict[str, list[float]] = defaultdict(list)
+        for hit in hits:
+            verdict = self.classify_with_agreement(hit["descriptor"], providers)
+            verdicts.append({"image_id": hit["image_id"], **verdict})
+            label_counts[verdict["label"]] += 1
+            agreement_by_label[verdict["label"]].append(verdict["confidence"])
+        on_topic = label_counts.get(query, 0)
+        return {
+            "query": query,
+            "images_analyzed": len(hits),
+            "verdicts": verdicts,
+            "label_distribution": dict(label_counts),
+            "on_topic_fraction": on_topic / len(hits) if hits else 0.0,
+            "mean_agreement": {
+                label: sum(values) / len(values)
+                for label, values in agreement_by_label.items()
+            },
+        }
+
+    def reanalyze_stored(self, providers: Sequence[str]) -> dict:
+        """Re-classify every locally stored image without re-searching."""
+        label_counts: Counter[str] = Counter()
+        analyzed = 0
+        for key in self.store.keys("img::"):
+            record = self.store.get(key)
+            verdict = self.classify_with_agreement(record["descriptor"], providers)
+            label_counts[verdict["label"]] += 1
+            analyzed += 1
+        return {"images_analyzed": analyzed,
+                "label_distribution": dict(label_counts)}

@@ -1,0 +1,330 @@
+"""RichClient: the Rich SDK's facade.
+
+Wraps a :class:`repro.services.base.ServiceRegistry` and layers on the
+paper's features in one coherent client:
+
+* synchronous invocation with monitoring, caching, client-side budget
+  enforcement and optional per-response quality rating;
+* asynchronous invocation returning :class:`ListenableFuture`s, and
+  parallel fan-out over a bounded thread pool;
+* ranked failover across services of a kind (retry each per its
+  policy, move down the ranking);
+* redundant multi-service invocation for comparison/combination.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.caching import DEFAULT_CACHEABLE_OPERATIONS, ServiceCache, cache_key
+from repro.core.futures import CallbackExecutor, ListenableFuture
+from repro.core.latency import LatencyPredictor
+from repro.core.monitoring import InvocationRecord, ServiceMonitor
+from repro.core.quota import ClientQuotaTracker
+from repro.core.ranking import ScoreFormula, ServiceRanker, Weights
+from repro.core.retry import AttemptLog, FailoverInvoker, RetryPolicy
+from repro.services.base import ServiceRegistry, ServiceRequest
+from repro.util.clock import Clock
+
+QualityRater = Callable[[object], float]
+"""User-provided function rating a response's quality (higher = better)."""
+
+
+@dataclass(frozen=True)
+class InvocationResult:
+    """What the client hands back for one logical invocation."""
+
+    value: object
+    latency: float
+    cost: float
+    service: str
+    operation: str
+    cached: bool = False
+    attempts: tuple[AttemptLog, ...] = ()
+
+
+class RichClient:
+    """The paper's rich SDK, as one client object.
+
+    All collaborators are injectable; by default the client builds its
+    own monitor, predictor, ranker, cache (1024 entries, no TTL),
+    failover invoker and thread pool, sharing the registry's simulated
+    clock throughout.
+    """
+
+    def __init__(
+        self,
+        registry: ServiceRegistry,
+        monitor: ServiceMonitor | None = None,
+        cache: ServiceCache | None = None,
+        predictor: LatencyPredictor | None = None,
+        ranker: ServiceRanker | None = None,
+        failover: FailoverInvoker | None = None,
+        quota: ClientQuotaTracker | None = None,
+        executor: CallbackExecutor | None = None,
+        cacheable_operations: frozenset[str] = DEFAULT_CACHEABLE_OPERATIONS,
+        quality_raters: Mapping[str, QualityRater] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.clock = self._registry_clock(registry)
+        self.monitor = monitor if monitor is not None else ServiceMonitor()
+        self.cache = cache if cache is not None else ServiceCache(
+            capacity=1024, ttl=None, clock=self.clock
+        )
+        self.predictor = predictor if predictor is not None else LatencyPredictor(self.monitor)
+        self.ranker = ranker if ranker is not None else ServiceRanker(
+            self.monitor, self.predictor
+        )
+        self.failover = failover if failover is not None else FailoverInvoker(
+            clock=self.clock
+        )
+        self.quota = quota if quota is not None else ClientQuotaTracker()
+        self.executor = executor if executor is not None else CallbackExecutor(max_workers=8)
+        self.cacheable_operations = cacheable_operations
+        # Per-operation quality raters, e.g. {"analyze": rate_analysis}.
+        self.quality_raters = dict(quality_raters or {})
+
+    @staticmethod
+    def _registry_clock(registry: ServiceRegistry) -> Clock:
+        for service in registry:
+            return service.transport.clock
+        from repro.util.clock import ManualClock
+
+        return ManualClock()
+
+    # -- core invocation -------------------------------------------------------
+
+    def invoke(
+        self,
+        service_name: str,
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+        use_cache: bool = True,
+        quality_rater: QualityRater | None = None,
+    ) -> InvocationResult:
+        """Invoke one service synchronously.
+
+        Serves cacheable operations from the local cache when possible
+        (a hit costs no latency, no money and no quota).  Successful
+        remote calls are recorded in the monitor together with their
+        latency parameters; failures are recorded and re-raised.
+        """
+        payload = dict(payload or {})
+        service = self.registry.get(service_name)
+        cacheable = use_cache and operation in self.cacheable_operations
+        key = cache_key(service_name, operation, payload) if cacheable else None
+
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return InvocationResult(
+                    value=hit,
+                    latency=0.0,
+                    cost=0.0,
+                    service=service_name,
+                    operation=operation,
+                    cached=True,
+                )
+
+        self.quota.check(service_name)
+        params = service.latency_params(ServiceRequest(operation, payload))
+        rater = quality_rater or self.quality_raters.get(operation)
+        try:
+            response = service.invoke(operation, payload, timeout=timeout)
+        except Exception as error:
+            self.monitor.record(
+                InvocationRecord(
+                    service=service_name,
+                    operation=operation,
+                    timestamp=self.clock.now(),
+                    latency=None,
+                    cost=0.0,
+                    success=False,
+                    error=repr(error),
+                    latency_params=params,
+                )
+            )
+            raise
+
+        quality = rater(response.value) if rater is not None else None
+        self.quota.record(service_name, response.cost)
+        self.monitor.record(
+            InvocationRecord(
+                service=service_name,
+                operation=operation,
+                timestamp=self.clock.now(),
+                latency=response.latency,
+                cost=response.cost,
+                success=True,
+                latency_params=params,
+                quality=quality,
+            )
+        )
+        if key is not None:
+            self.cache.put(key, response.value)
+        if operation in ("put", "delete"):
+            # A mutation makes this service's cached reads suspect —
+            # the consistency issue §2 warns about.
+            self.cache.invalidate_service(service_name)
+        return InvocationResult(
+            value=response.value,
+            latency=response.latency,
+            cost=response.cost,
+            service=service_name,
+            operation=operation,
+        )
+
+    # -- asynchronous invocation -------------------------------------------------
+
+    def invoke_async(
+        self,
+        service_name: str,
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+        use_cache: bool = True,
+    ) -> ListenableFuture[InvocationResult]:
+        """Invoke on the thread pool; returns a listenable future.
+
+        Register callbacks with ``future.add_listener`` — e.g. the
+        paper's example of being notified when a cloud-database store
+        completes without blocking the application.
+        """
+        return self.executor.submit(
+            self.invoke, service_name, operation, payload,
+            timeout=timeout, use_cache=use_cache,
+        )
+
+    def invoke_all(
+        self,
+        calls: Sequence[tuple[str, str, Mapping[str, object]]],
+        timeout: float | None = None,
+        use_cache: bool = True,
+    ) -> list[InvocationResult | Exception]:
+        """Run many calls in parallel; preserves order.
+
+        Failed calls come back as their exception rather than raising,
+        so one bad service does not lose the other results.
+        """
+        futures = [
+            self.invoke_async(service, operation, payload,
+                              timeout=timeout, use_cache=use_cache)
+            for service, operation, payload in calls
+        ]
+        results: list[InvocationResult | Exception] = []
+        for future in futures:
+            error = future.exception()
+            results.append(error if error is not None else future.get())
+        return results
+
+    # -- ranked failover -----------------------------------------------------------
+
+    def invoke_with_failover(
+        self,
+        kind: str,
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+        weights: Weights = Weights(),
+        formula: str | ScoreFormula = "weighted",
+        use_cache: bool = True,
+    ) -> InvocationResult:
+        """Invoke the best-ranked service of ``kind``, failing over down
+        the ranking until one responds (§2.1's strategy)."""
+        candidates = [service.name for service in self.registry.services_of_kind(kind)]
+        if not candidates:
+            raise ValueError(f"no services of kind {kind!r}")
+        request = ServiceRequest(operation, dict(payload or {}))
+        params = self.registry.get(candidates[0]).latency_params(request)
+        ranked = [name for name, _ in self.ranker.rank(candidates, params, formula, weights)]
+
+        served_by, result, attempts = self.failover.invoke(
+            ranked,
+            lambda name: self.invoke(name, operation, payload,
+                                     timeout=timeout, use_cache=use_cache),
+        )
+        return InvocationResult(
+            value=result.value,
+            latency=result.latency,
+            cost=result.cost,
+            service=served_by,
+            operation=operation,
+            cached=result.cached,
+            attempts=tuple(attempts),
+        )
+
+    # -- redundant multi-service invocation ------------------------------------------
+
+    def invoke_redundant(
+        self,
+        service_names: Sequence[str],
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+        parallel: bool = True,
+        use_cache: bool = True,
+    ) -> dict[str, InvocationResult | Exception]:
+        """Invoke the *same* request on several services.
+
+        §2.1: invoke more than one service to add redundancy, to
+        compare providers, or to combine their outputs (see
+        :class:`repro.core.aggregation.MultiServiceCombiner`).
+        Returns per-service results; failures are captured per service.
+        """
+        names = list(service_names)
+        if parallel:
+            outcomes = self.invoke_all(
+                [(name, operation, dict(payload or {})) for name in names],
+                timeout=timeout, use_cache=use_cache,
+            )
+            return dict(zip(names, outcomes))
+        results: dict[str, InvocationResult | Exception] = {}
+        for name in names:
+            try:
+                results[name] = self.invoke(name, operation, payload,
+                                            timeout=timeout, use_cache=use_cache)
+            except Exception as error:
+                results[name] = error
+        return results
+
+    # -- convenience -----------------------------------------------------------------
+
+    def rank_services(
+        self,
+        kind: str,
+        latency_params: Mapping[str, float] | None = None,
+        weights: Weights = Weights(),
+        formula: str | ScoreFormula = "weighted",
+    ) -> list[tuple[str, float]]:
+        """Rank every registered service of ``kind`` (best first)."""
+        names = [service.name for service in self.registry.services_of_kind(kind)]
+        return self.ranker.rank(names, latency_params, formula, weights)
+
+    def best_service(
+        self,
+        kind: str,
+        latency_params: Mapping[str, float] | None = None,
+        weights: Weights = Weights(),
+        formula: str | ScoreFormula = "weighted",
+    ) -> str:
+        """The top-ranked service of ``kind``."""
+        ranked = self.rank_services(kind, latency_params, weights, formula)
+        if not ranked:
+            raise ValueError(f"no services of kind {kind!r}")
+        return ranked[0][0]
+
+    def service_summaries(self) -> list[dict]:
+        """Monitoring summaries for every service seen so far."""
+        return [self.monitor.summary(name) for name in self.monitor.services()]
+
+    def close(self) -> None:
+        """Shut down the thread pool."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "RichClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

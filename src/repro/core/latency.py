@@ -1,0 +1,109 @@
+"""Latency prediction from latency parameters.
+
+The paper: "Latency values can also be correlated with one or more
+parameters ... The rich SDK can store past latency measurements along
+with the latency parameters ... It can then predict the latency of a
+service invocation based on the latency parameters."
+
+:class:`LatencyPredictor` fits a per-service regression of observed
+latency on a chosen latency parameter (simple linear by default,
+polynomial on request) over the monitor's history, and falls back to
+the plain mean latency when there is no parameter correlation to
+exploit or too little data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.analytics.regression import LinearRegression, PolynomialRegression
+from repro.core.monitoring import ServiceMonitor
+
+
+class LatencyPredictor:
+    """Regression-backed latency estimates over monitoring history."""
+
+    def __init__(
+        self,
+        monitor: ServiceMonitor,
+        param: str = "size",
+        min_observations: int = 5,
+        degree: int = 1,
+    ) -> None:
+        if min_observations < 2:
+            raise ValueError("min_observations must be at least 2")
+        self.monitor = monitor
+        self.param = param
+        self.min_observations = min_observations
+        self.degree = degree
+
+    def _fit(self, service: str):
+        observations = self.monitor.latency_observations(service, self.param)
+        if len(observations) < self.min_observations:
+            return None
+        xs = [x for x, _ in observations]
+        ys = [y for _, y in observations]
+        if len(set(xs)) < 2:
+            return None  # no parameter variation — nothing to regress on
+        if self.degree == 1:
+            return LinearRegression(xs, ys)
+        return PolynomialRegression(xs, ys, degree=self.degree)
+
+    def predict(
+        self,
+        service: str,
+        latency_params: Mapping[str, float] | None = None,
+    ) -> float | None:
+        """Predicted latency for a request with the given parameters.
+
+        Falls back to the service's mean observed latency when no
+        usable regression exists; returns None with no history at all.
+        Predictions are clamped to be non-negative (an extrapolated
+        regression can dip below zero).
+        """
+        params = dict(latency_params or {})
+        if self.param in params:
+            model = self._fit(service)
+            if model is not None:
+                return max(0.0, model.predict(float(params[self.param])))
+        return self.monitor.mean_latency(service)
+
+    def model_summary(self, service: str) -> dict | None:
+        """Slope/intercept/r² of the fitted model (None if unfittable)."""
+        model = self._fit(service)
+        if model is None:
+            return None
+        if isinstance(model, LinearRegression):
+            return {
+                "kind": "linear",
+                "slope": model.slope,
+                "intercept": model.intercept,
+                "r_squared": model.r_squared,
+                "observations": model.n,
+            }
+        return {
+            "kind": f"poly-{model.degree}",
+            "coefficients": model.coefficients,
+            "r_squared": model.r_squared,
+        }
+
+    def crossover(self, first: str, second: str) -> float | None:
+        """Parameter value where the two services' predicted latencies cross.
+
+        Only defined when both services have linear models with
+        different slopes and the crossing is at a non-negative
+        parameter value — the paper's small-objects-vs-large-objects
+        routing point.
+        """
+        model_first = self._fit(first)
+        model_second = self._fit(second)
+        if not isinstance(model_first, LinearRegression):
+            return None
+        if not isinstance(model_second, LinearRegression):
+            return None
+        if model_first.slope == model_second.slope:
+            return None
+        crossing = (model_second.intercept - model_first.intercept) / (
+            model_first.slope - model_second.slope
+        )
+        return crossing if crossing >= 0 else None

@@ -1,0 +1,117 @@
+"""Load balancing across services with similar functionality.
+
+The paper's SDK chooses *the best* service per request; a natural
+production extension (and a useful ablation against pure best-pick) is
+to *spread* requests across the candidate set.  Four policies:
+
+* :class:`RoundRobinBalancer` — equal rotation;
+* :class:`WeightedScoreBalancer` — random choice weighted by ranking
+  score (better-ranked services get proportionally more traffic, but
+  weaker ones stay warm and keep their monitoring history fresh);
+* :class:`LeastSpendBalancer` — send each request to the candidate with
+  the lowest accumulated monetary spend, equalizing bills;
+* :class:`StickyBalancer` — hash affinity: the same request key always
+  lands on the same service (maximizes that service's cache locality).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+
+from repro.core.monitoring import ServiceMonitor
+from repro.core.ranking import ServiceRanker, Weights
+from repro.util.rng import SeededRng
+
+
+class Balancer(ABC):
+    """Chooses which of several equivalent services takes a request."""
+
+    @abstractmethod
+    def choose(self, candidates: Sequence[str],
+               request_key: str | None = None) -> str:
+        """Pick a service for one request."""
+
+    def _require(self, candidates: Sequence[str]) -> None:
+        if not candidates:
+            raise ValueError("no candidate services to balance across")
+
+
+class RoundRobinBalancer(Balancer):
+    """Strict rotation, independent of request content."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def choose(self, candidates: Sequence[str],
+               request_key: str | None = None) -> str:
+        self._require(candidates)
+        chosen = candidates[self._cursor % len(candidates)]
+        self._cursor += 1
+        return chosen
+
+
+class WeightedScoreBalancer(Balancer):
+    """Traffic proportional to ranking goodness.
+
+    Scores come from the SDK's ranker (lower = better); they are
+    converted to weights by rank position (1, 1/2, 1/3, ...) so the
+    distribution is robust to the scores' absolute scale.
+    """
+
+    def __init__(self, ranker: ServiceRanker, weights: Weights = Weights(),
+                 seed: int = 0) -> None:
+        self.ranker = ranker
+        self.weights = weights
+        self._rng = SeededRng(seed)
+
+    def choose(self, candidates: Sequence[str],
+               request_key: str | None = None,
+               latency_params: Mapping[str, float] | None = None) -> str:
+        self._require(candidates)
+        ranked = self.ranker.rank(list(candidates), latency_params,
+                                  weights=self.weights)
+        names = [name for name, _ in ranked]
+        harmonic = [1.0 / (position + 1) for position in range(len(names))]
+        return self._rng.weighted_choice(names, harmonic)
+
+
+class LeastSpendBalancer(Balancer):
+    """Route to the candidate we have spent the least money on."""
+
+    def __init__(self, monitor: ServiceMonitor) -> None:
+        self.monitor = monitor
+
+    def choose(self, candidates: Sequence[str],
+               request_key: str | None = None) -> str:
+        self._require(candidates)
+        return min(candidates,
+                   key=lambda name: (self.monitor.total_cost(name), name))
+
+
+class StickyBalancer(Balancer):
+    """Hash affinity: one request key, one service, forever.
+
+    Maximizes per-service cache locality when the services themselves
+    cache (and keeps A/B comparisons clean: each document is always
+    judged by the same provider).
+    """
+
+    def choose(self, candidates: Sequence[str],
+               request_key: str | None = None) -> str:
+        self._require(candidates)
+        if request_key is None:
+            return candidates[0]
+        digest = hashlib.sha256(request_key.encode()).digest()
+        index = int.from_bytes(digest[:4], "big") % len(candidates)
+        return candidates[index]
+
+
+def traffic_distribution(balancer: Balancer, candidates: Sequence[str],
+                         request_keys: Sequence[str]) -> dict[str, int]:
+    """How a key stream would be spread — used by tests and benches."""
+    counts = {name: 0 for name in candidates}
+    for key in request_keys:
+        counts[balancer.choose(candidates, request_key=key)] += 1
+    return counts

@@ -1,0 +1,181 @@
+"""Quality evaluation for service responses.
+
+The paper lets "users provide methods to the rich SDK which evaluate
+the quality of data provided by a service" and names "more
+sophisticated methods ... for evaluating the quality of responses" as
+future work.  This module supplies that machinery:
+
+* :class:`GoldBasedEvaluator` — quality against labelled ground truth
+  (entity F1 + sentiment accuracy), when gold data exists;
+* :class:`AgreementEvaluator` — *reference-free* quality: score one
+  provider's output by its agreement with the consensus of its peers,
+  usable in production where no gold labels exist;
+* :class:`CompositeEvaluator` — weighted blend of evaluators;
+* :class:`RollingQualityTracker` — windowed quality averages per
+  service with simple drift detection (recent window vs baseline), so
+  an application notices a provider silently degrading.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.aggregation import MultiServiceCombiner
+
+
+class GoldBasedEvaluator:
+    """Quality from labelled documents: mean of entity F1 and sentiment
+    accuracy (each in [0, 1])."""
+
+    def evaluate(self, analysis: Mapping[str, object],
+                 gold_entities: Sequence[str],
+                 gold_sentiment: Mapping[str, int] | None = None) -> float:
+        score = MultiServiceCombiner.score_against_gold(
+            analysis, list(gold_entities), gold_sentiment)
+        parts = [score["f1"]]
+        if "sentiment_accuracy" in score:
+            parts.append(score["sentiment_accuracy"])
+        return sum(parts) / len(parts)
+
+
+class AgreementEvaluator:
+    """Reference-free quality: agreement with the peer consensus.
+
+    Given analyses of the *same* document from several providers, a
+    provider's quality is the F1 between its entity set and the set of
+    entities a majority of providers found.  A provider that hallucinates
+    entities or misses common ones scores low without any gold labels —
+    the "comparing the output of these services" idea from §2.1 turned
+    into a number.
+    """
+
+    def __init__(self, majority_fraction: float = 0.5) -> None:
+        if not 0.0 < majority_fraction <= 1.0:
+            raise ValueError(
+                f"majority_fraction must be in (0, 1], got {majority_fraction}")
+        self.majority_fraction = majority_fraction
+
+    def consensus_entities(
+        self, analyses: Mapping[str, Mapping[str, object]]
+    ) -> set[str]:
+        combined = MultiServiceCombiner.combine_entities(
+            analyses, min_confidence=self.majority_fraction)
+        return {entry["id"] for entry in combined}
+
+    def evaluate_all(
+        self, analyses: Mapping[str, Mapping[str, object]]
+    ) -> dict[str, float]:
+        """Per-provider agreement-F1 against the consensus."""
+        consensus = self.consensus_entities(analyses)
+        scores: dict[str, float] = {}
+        for provider, analysis in analyses.items():
+            found = {
+                entity["id"]
+                for entity in analysis.get("entities", ())  # type: ignore[union-attr]
+                if entity.get("disambiguated", True)
+            }
+            if not consensus and not found:
+                scores[provider] = 1.0
+                continue
+            true_positive = len(found & consensus)
+            precision = true_positive / len(found) if found else 0.0
+            recall = true_positive / len(consensus) if consensus else 0.0
+            scores[provider] = (
+                2 * precision * recall / (precision + recall)
+                if precision + recall else 0.0
+            )
+        return scores
+
+
+class CompositeEvaluator:
+    """Weighted blend of already-computed quality components."""
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise ValueError("CompositeEvaluator needs at least one component")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.weights = {name: weight / total for name, weight in weights.items()}
+
+    def evaluate(self, components: Mapping[str, float]) -> float:
+        missing = set(self.weights) - set(components)
+        if missing:
+            raise ValueError(f"missing quality components: {sorted(missing)}")
+        return sum(self.weights[name] * components[name] for name in self.weights)
+
+
+@dataclass
+class DriftReport:
+    """Outcome of a drift check for one service."""
+
+    service: str
+    baseline_mean: float
+    recent_mean: float
+    drifted: bool
+
+    @property
+    def delta(self) -> float:
+        return self.recent_mean - self.baseline_mean
+
+
+class RollingQualityTracker:
+    """Windowed quality history with degradation detection.
+
+    Keeps the last ``window`` observations per service; the first
+    ``baseline`` of them form the reference.  :meth:`check_drift`
+    reports services whose recent mean quality fell more than
+    ``tolerance`` below their baseline mean — the signal to re-rank or
+    fail away from a provider that got worse.
+    """
+
+    def __init__(self, window: int = 200, baseline: int = 50,
+                 tolerance: float = 0.1) -> None:
+        if baseline <= 0 or window <= baseline:
+            raise ValueError("need window > baseline > 0")
+        self.window = window
+        self.baseline = baseline
+        self.tolerance = tolerance
+        self._history: dict[str, deque[float]] = {}
+        self._baselines: dict[str, list[float]] = {}
+
+    def observe(self, service: str, quality: float) -> None:
+        history = self._history.setdefault(service, deque(maxlen=self.window))
+        history.append(float(quality))
+        reference = self._baselines.setdefault(service, [])
+        if len(reference) < self.baseline:
+            reference.append(float(quality))
+
+    def mean_quality(self, service: str, recent: int | None = None) -> float | None:
+        history = self._history.get(service)
+        if not history:
+            return None
+        values = list(history)[-recent:] if recent else list(history)
+        return sum(values) / len(values)
+
+    def check_drift(self, service: str, recent: int = 20) -> DriftReport | None:
+        """Compare the last ``recent`` observations to the baseline."""
+        reference = self._baselines.get(service)
+        history = self._history.get(service)
+        if not reference or history is None or len(history) < recent:
+            return None
+        baseline_mean = sum(reference) / len(reference)
+        recent_values = list(history)[-recent:]
+        recent_mean = sum(recent_values) / len(recent_values)
+        return DriftReport(
+            service=service,
+            baseline_mean=baseline_mean,
+            recent_mean=recent_mean,
+            drifted=recent_mean < baseline_mean - self.tolerance,
+        )
+
+    def degraded_services(self, recent: int = 20) -> list[DriftReport]:
+        """All services currently drifting below their baseline."""
+        reports = []
+        for service in self._history:
+            report = self.check_drift(service, recent=recent)
+            if report is not None and report.drifted:
+                reports.append(report)
+        return reports

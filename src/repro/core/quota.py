@@ -1,0 +1,84 @@
+"""Client-side quota and budget tracking.
+
+Services enforce quotas server-side (:class:`repro.services.base.Quota`);
+this tracker is the *client's* bookkeeping: how many invocations and how
+much money the application has spent per service, and how much remains
+of an optional self-imposed budget.  Together with caching it implements
+§2.2's point that "for some services, the client may have a limited
+quota of service invocations in a time period ... there is thus an
+incentive to limit the number of service invocations."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ReproError
+
+
+class BudgetExceededError(ReproError):
+    """The client refused a call that would exceed its own budget."""
+
+    def __init__(self, service: str, kind: str, limit: float) -> None:
+        super().__init__(f"budget for {service!r} exhausted ({kind} limit {limit})")
+        self.service = service
+        self.kind = kind
+        self.limit = limit
+
+
+@dataclass
+class ServiceBudget:
+    """Self-imposed per-service limits (None = unlimited)."""
+
+    max_calls: int | None = None
+    max_cost: float | None = None
+
+
+@dataclass
+class _Spend:
+    calls: int = 0
+    cost: float = 0.0
+
+
+@dataclass
+class ClientQuotaTracker:
+    """Tracks spend and enforces optional self-imposed budgets."""
+
+    budgets: dict[str, ServiceBudget] = field(default_factory=dict)
+    _spend: dict[str, _Spend] = field(default_factory=dict)
+
+    def set_budget(self, service: str, max_calls: int | None = None,
+                   max_cost: float | None = None) -> None:
+        self.budgets[service] = ServiceBudget(max_calls=max_calls, max_cost=max_cost)
+
+    def check(self, service: str, upcoming_cost: float = 0.0) -> None:
+        """Raise :class:`BudgetExceededError` if one more call would overspend."""
+        budget = self.budgets.get(service)
+        if budget is None:
+            return
+        spend = self._spend.get(service, _Spend())
+        if budget.max_calls is not None and spend.calls + 1 > budget.max_calls:
+            raise BudgetExceededError(service, "calls", budget.max_calls)
+        if budget.max_cost is not None and spend.cost + upcoming_cost > budget.max_cost:
+            raise BudgetExceededError(service, "cost", budget.max_cost)
+
+    def record(self, service: str, cost: float) -> None:
+        spend = self._spend.setdefault(service, _Spend())
+        spend.calls += 1
+        spend.cost += cost
+
+    def calls(self, service: str) -> int:
+        return self._spend.get(service, _Spend()).calls
+
+    def cost(self, service: str) -> float:
+        return self._spend.get(service, _Spend()).cost
+
+    def total_cost(self) -> float:
+        return sum(spend.cost for spend in self._spend.values())
+
+    def remaining_calls(self, service: str) -> int | None:
+        """Calls left under the budget (None = unlimited)."""
+        budget = self.budgets.get(service)
+        if budget is None or budget.max_calls is None:
+            return None
+        return max(0, budget.max_calls - self.calls(service))

@@ -1,0 +1,231 @@
+"""Service scoring and ranking — Equations 1 and 2 of the paper.
+
+Equation 1 (raw weighted score)::
+
+    S = alpha1 * r + beta1 * c - gamma1 * q
+
+Equation 2 (normalized against the candidate set's maxima)::
+
+    Sn = alpha2 * r/r_max + beta2 * c/c_max - gamma2 * q/q_max
+
+where ``r`` is predicted response time, ``c`` predicted monetary cost
+and ``q`` predicted quality (higher is better).  **Lower scores are
+better**; ranking sorts ascending by score.  Custom scoring formulas
+are supported, as the paper requires.
+
+Predictions come from collected monitoring data.  When a service has
+insufficient history, the paper prescribes defaults: "the average value
+for similar services, the median value for similar services, or default
+values provided by the user" — all three fallbacks are implemented.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.analytics.stats import mean, median
+from repro.core.latency import LatencyPredictor
+from repro.core.monitoring import ServiceMonitor
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Weights:
+    """Relative importance of response time, cost and quality.
+
+    Applies to either equation (alpha/beta/gamma 1 or 2).
+    """
+
+    response_time: float = 1.0
+    cost: float = 1.0
+    quality: float = 1.0
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Predicted (r, c, q) for one service, with fallback provenance."""
+
+    service: str
+    response_time: float
+    cost: float
+    quality: float
+    defaults_used: tuple[str, ...] = field(default=())
+
+
+def weighted_score(response_time: float, cost: float, quality: float,
+                   weights: Weights = Weights()) -> float:
+    """Equation 1: raw weighted score (lower is better)."""
+    return (
+        weights.response_time * response_time
+        + weights.cost * cost
+        - weights.quality * quality
+    )
+
+
+def normalized_score(
+    response_time: float,
+    cost: float,
+    quality: float,
+    max_response_time: float,
+    max_cost: float,
+    max_quality: float,
+    weights: Weights = Weights(),
+) -> float:
+    """Equation 2: each term normalized by the candidate set's maximum.
+
+    The paper assumes r, c, q non-negative; a zero maximum makes that
+    term vanish for every candidate (all equal), so it contributes 0.
+    """
+    for name, value in (("response_time", response_time), ("cost", cost),
+                        ("quality", quality)):
+        if value < 0:
+            raise ValueError(f"Equation 2 requires non-negative {name}, got {value}")
+    time_term = response_time / max_response_time if max_response_time > 0 else 0.0
+    cost_term = cost / max_cost if max_cost > 0 else 0.0
+    quality_term = quality / max_quality if max_quality > 0 else 0.0
+    return (
+        weights.response_time * time_term
+        + weights.cost * cost_term
+        - weights.quality * quality_term
+    )
+
+
+ScoreFormula = Callable[[Estimate, Sequence[Estimate]], float]
+"""Custom formula: (this service's estimate, all candidates) -> score."""
+
+
+class ServiceRanker:
+    """Ranks services with similar functionality from monitoring data."""
+
+    def __init__(
+        self,
+        monitor: ServiceMonitor,
+        predictor: LatencyPredictor | None = None,
+        fallback: str = "mean",
+        user_defaults: Mapping[str, float] | None = None,
+    ) -> None:
+        if fallback not in ("mean", "median", "user"):
+            raise ConfigurationError(
+                f"fallback must be 'mean', 'median' or 'user', got {fallback!r}"
+            )
+        self.monitor = monitor
+        self.predictor = predictor if predictor is not None else LatencyPredictor(monitor)
+        self.fallback = fallback
+        # User-provided defaults for services with no history at all.
+        self.user_defaults = {
+            "response_time": 1.0,
+            "cost": 0.0,
+            "quality": 0.0,
+            **(dict(user_defaults) if user_defaults else {}),
+        }
+
+    # -- estimation -----------------------------------------------------------
+
+    def _fallback_value(self, known: list[float], dimension: str) -> float:
+        if self.fallback == "user" or not known:
+            return self.user_defaults[dimension]
+        if self.fallback == "median":
+            return median(known)
+        return mean(known)
+
+    def estimates(
+        self,
+        services: Sequence[str],
+        latency_params: Mapping[str, float] | None = None,
+    ) -> list[Estimate]:
+        """Predicted (r, c, q) per candidate, filling gaps per the paper."""
+        raw: dict[str, dict[str, float | None]] = {}
+        for service in services:
+            raw[service] = {
+                "response_time": self.predictor.predict(service, latency_params),
+                "cost": self.monitor.mean_cost(service),
+                "quality": self.monitor.mean_quality(service),
+            }
+        estimates = []
+        for service in services:
+            values = {}
+            defaults_used = []
+            for dimension in ("response_time", "cost", "quality"):
+                value = raw[service][dimension]
+                if value is None:
+                    known = [
+                        raw[other][dimension]
+                        for other in services
+                        if other != service and raw[other][dimension] is not None
+                    ]
+                    value = self._fallback_value(known, dimension)
+                    defaults_used.append(dimension)
+                values[dimension] = value
+            estimates.append(
+                Estimate(
+                    service=service,
+                    response_time=values["response_time"],
+                    cost=values["cost"],
+                    quality=values["quality"],
+                    defaults_used=tuple(defaults_used),
+                )
+            )
+        return estimates
+
+    # -- ranking ---------------------------------------------------------------
+
+    def score(
+        self,
+        estimate: Estimate,
+        candidates: Sequence[Estimate],
+        formula: str | ScoreFormula = "weighted",
+        weights: Weights = Weights(),
+    ) -> float:
+        """Score one estimate with Eq.1, Eq.2 or a custom formula."""
+        if callable(formula):
+            return formula(estimate, candidates)
+        if formula == "weighted":
+            return weighted_score(
+                estimate.response_time, estimate.cost, estimate.quality, weights
+            )
+        if formula == "normalized":
+            return normalized_score(
+                estimate.response_time,
+                estimate.cost,
+                estimate.quality,
+                max(candidate.response_time for candidate in candidates),
+                max(candidate.cost for candidate in candidates),
+                max(candidate.quality for candidate in candidates),
+                weights,
+            )
+        raise ConfigurationError(f"unknown formula {formula!r}")
+
+    def rank(
+        self,
+        services: Sequence[str],
+        latency_params: Mapping[str, float] | None = None,
+        formula: str | ScoreFormula = "weighted",
+        weights: Weights = Weights(),
+    ) -> list[tuple[str, float]]:
+        """Candidates sorted ascending by score (best first).
+
+        "The service with the lowest score is the most desirable one."
+        """
+        if not services:
+            return []
+        estimates = self.estimates(services, latency_params)
+        scored = [
+            (estimate.service, self.score(estimate, estimates, formula, weights))
+            for estimate in estimates
+        ]
+        scored.sort(key=lambda item: (item[1], item[0]))
+        return scored
+
+    def best(
+        self,
+        services: Sequence[str],
+        latency_params: Mapping[str, float] | None = None,
+        formula: str | ScoreFormula = "weighted",
+        weights: Weights = Weights(),
+    ) -> str:
+        """The top-ranked service name."""
+        ranked = self.rank(services, latency_params, formula, weights)
+        if not ranked:
+            raise ValueError("cannot pick the best of zero services")
+        return ranked[0][0]

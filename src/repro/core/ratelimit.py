@@ -1,0 +1,131 @@
+"""Proactive client-side rate limiting (token bucket on simulated time).
+
+Services enforce quotas by *rejecting* over-limit calls (HTTP 429);
+a well-behaved client should not get there.  :class:`TokenBucket`
+smooths the client's own request rate so it stays under a service's
+published limit, complementing the reactive budget checks in
+:mod:`repro.core.quota`: the budget says "stop when spent", the bucket
+says "slow down so you never trip the server".
+
+Time comes from the simulation clock, so tests and benchmarks can
+drive weeks of traffic in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.clock import Clock
+from repro.util.errors import ReproError
+
+
+class RateLimitExceededError(ReproError):
+    """A non-blocking acquire found the bucket empty."""
+
+    def __init__(self, service: str, wait_needed: float) -> None:
+        super().__init__(
+            f"rate limit for {service!r}: next permit in {wait_needed:.3f}s")
+        self.service = service
+        self.wait_needed = wait_needed
+
+
+@dataclass
+class BucketStats:
+    acquired: int = 0
+    throttled: int = 0
+    total_wait: float = 0.0
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` permits/second, ``burst`` capacity."""
+
+    def __init__(self, clock: Clock, rate: float, burst: int = 1,
+                 service: str = "<service>") -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.clock = clock
+        self.rate = rate
+        self.burst = burst
+        self.service = service
+        self.stats = BucketStats()
+        self._tokens = float(burst)
+        self._last_refill = clock.now()
+
+    def _refill(self) -> None:
+        now = self.clock.now()
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last_refill = now
+
+    @property
+    def available(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self) -> bool:
+        """Take a permit if one is available; never waits."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.stats.acquired += 1
+            return True
+        self.stats.throttled += 1
+        return False
+
+    def acquire(self) -> float:
+        """Take a permit, waiting (on the simulation clock) if needed.
+
+        Returns the time waited.  Waiting *charges* the clock, so the
+        throttling shows up in end-to-end simulated latency, as it
+        would in wall time.
+        """
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.stats.acquired += 1
+            return 0.0
+        needed = (1.0 - self._tokens) / self.rate
+        self.clock.charge(needed)
+        self.stats.total_wait += needed
+        self.stats.throttled += 1
+        self._refill()
+        self._tokens -= 1.0
+        self.stats.acquired += 1
+        return needed
+
+    def acquire_or_raise(self) -> None:
+        """Non-blocking acquire; raises when empty (for async callers)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            self.stats.acquired += 1
+            return
+        self.stats.throttled += 1
+        raise RateLimitExceededError(self.service,
+                                     (1.0 - self._tokens) / self.rate)
+
+
+class ServiceRateLimiter:
+    """Per-service buckets, typically sized from the services' quotas."""
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def configure(self, service: str, rate: float, burst: int = 1) -> TokenBucket:
+        bucket = TokenBucket(self.clock, rate, burst, service=service)
+        self._buckets[service] = bucket
+        return bucket
+
+    def bucket(self, service: str) -> TokenBucket | None:
+        return self._buckets.get(service)
+
+    def acquire(self, service: str) -> float:
+        """Wait for a permit (no-op for unconfigured services)."""
+        bucket = self._buckets.get(service)
+        if bucket is None:
+            return 0.0
+        return bucket.acquire()

@@ -1,0 +1,165 @@
+"""Failure handling: retries and ranked failover (§2.1).
+
+"If a service is unresponsive, the rich SDK has the ability to retry a
+service multiple times.  The number of retries can be specified by the
+user. ... It would generally be preferable to start with higher ranked
+services and continue with lower ranked services until a responsive
+service is found.  The number of times to retry each service before
+moving on to the next one ... may be different for different services."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import TypeVar
+
+from repro.simnet.errors import NetworkError
+from repro.util.clock import Clock
+from repro.util.errors import ReproError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry one service.
+
+    ``max_attempts`` counts the first try (``max_attempts=3`` means up
+    to two retries).  ``backoff`` seconds are waited before the first
+    retry, multiplied by ``backoff_multiplier`` each further retry.
+    Only ``retryable`` exception types are retried; anything else (e.g.
+    a 400-style validation error) propagates immediately.
+    """
+
+    max_attempts: int = 3
+    backoff: float = 0.0
+    backoff_multiplier: float = 2.0
+    retryable: tuple[type[BaseException], ...] = field(default=(NetworkError,))
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+
+    def delay_before_attempt(self, attempt_index: int) -> float:
+        """Seconds to wait before attempt ``attempt_index`` (0-based)."""
+        if attempt_index == 0 or self.backoff == 0.0:
+            return 0.0
+        return self.backoff * self.backoff_multiplier ** (attempt_index - 1)
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retryable)
+
+
+@dataclass
+class AttemptLog:
+    """What happened on one attempt (for diagnostics and benchmarks)."""
+
+    service: str
+    attempt: int
+    error: str | None
+
+
+class RetriesExhaustedError(ReproError):
+    """A single service kept failing through its whole retry budget."""
+
+    def __init__(self, service: str, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"service {service!r} failed {attempts} attempt(s); last error: {last_error}"
+        )
+        self.service = service
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class AllServicesFailedError(ReproError):
+    """Every candidate service failed through its retry budget."""
+
+    def __init__(self, attempts: list[AttemptLog]) -> None:
+        services = sorted({log.service for log in attempts})
+        super().__init__(
+            f"all {len(services)} candidate service(s) failed after "
+            f"{len(attempts)} total attempt(s): {services}"
+        )
+        self.attempts = attempts
+
+
+def invoke_with_retry(
+    invoke_once: Callable[[], T],
+    policy: RetryPolicy,
+    clock: Clock | None = None,
+    service: str = "<service>",
+    log: list[AttemptLog] | None = None,
+) -> T:
+    """Call ``invoke_once`` under a retry policy.
+
+    Backoff waits are charged to ``clock`` (simulated time).  Raises
+    :class:`RetriesExhaustedError` once the budget is spent.
+    """
+    last_error: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        delay = policy.delay_before_attempt(attempt)
+        if delay and clock is not None:
+            clock.charge(delay)
+        try:
+            result = invoke_once()
+        except BaseException as error:  # noqa: BLE001 — classified below
+            if not policy.is_retryable(error):
+                raise
+            last_error = error
+            if log is not None:
+                log.append(AttemptLog(service, attempt, repr(error)))
+            continue
+        if log is not None:
+            log.append(AttemptLog(service, attempt, None))
+        return result
+    assert last_error is not None
+    raise RetriesExhaustedError(service, policy.max_attempts, last_error)
+
+
+class FailoverInvoker:
+    """Tries ranked candidates in order, each under its own retry policy."""
+
+    def __init__(
+        self,
+        default_policy: RetryPolicy | None = None,
+        per_service: Mapping[str, RetryPolicy] | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.default_policy = default_policy if default_policy is not None else RetryPolicy()
+        self.per_service = dict(per_service or {})
+        self.clock = clock
+
+    def policy_for(self, service: str) -> RetryPolicy:
+        return self.per_service.get(service, self.default_policy)
+
+    def invoke(
+        self,
+        ordered_services: Sequence[str],
+        invoke_once: Callable[[str], T],
+    ) -> tuple[str, T, list[AttemptLog]]:
+        """Invoke the first responsive service.
+
+        ``ordered_services`` should come pre-ranked (best first) from
+        :class:`repro.core.ranking.ServiceRanker`.  Returns the serving
+        service's name, its result and the full attempt log; raises
+        :class:`AllServicesFailedError` when every candidate is down.
+        """
+        if not ordered_services:
+            raise ValueError("no candidate services to invoke")
+        attempts: list[AttemptLog] = []
+        for service in ordered_services:
+            try:
+                result = invoke_with_retry(
+                    lambda: invoke_once(service),
+                    self.policy_for(service),
+                    clock=self.clock,
+                    service=service,
+                    log=attempts,
+                )
+            except RetriesExhaustedError:
+                continue
+            return service, result, attempts
+        raise AllServicesFailedError(attempts)

@@ -1,0 +1,266 @@
+"""The Figure-3 pipeline: web search → fetch → store → NLU → aggregate.
+
+"We provide the ability to perform Web searches, analyze all of the
+documents returned by a Web search, and aggregate the results from all
+analyzed documents."  Key behaviours reproduced:
+
+* each URL goes to the NLU service in a **separate request** ("the
+  APIs generally only support analysis of a single document at a
+  time");
+* services that can analyze URLs directly are used that way; others
+  get the fetched, HTML-stripped text;
+* fetched documents are archived locally **along with the query itself
+  and the time the query was made**, because web documents disappear
+  and search results drift;
+* whole directories of stored files can be re-analyzed without
+  touching the network.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.aggregation import DocumentSetAggregator
+from repro.core.invoker import InvocationResult, RichClient
+from repro.services.nlu import ALL_FEATURES
+from repro.simnet.errors import RemoteServiceError
+from repro.stores.kvstore import InMemoryKeyValueStore, KeyValueStore
+from repro.textproc.html import strip_html
+
+
+class DocumentArchive:
+    """Local store of fetched documents and the searches that found them."""
+
+    def __init__(self, store: KeyValueStore | None = None) -> None:
+        self.store = store if store is not None else InMemoryKeyValueStore()
+
+    @staticmethod
+    def _doc_key(url: str) -> str:
+        return f"doc::{url}"
+
+    @staticmethod
+    def _search_key(query: str, engine: str, timestamp: float) -> str:
+        return f"search::{engine}::{query}::{timestamp:.6f}"
+
+    def store_document(self, url: str, html: str, fetched_at: float) -> None:
+        self.store.put(self._doc_key(url), {
+            "url": url, "html": html, "fetched_at": fetched_at,
+        })
+
+    def get_document(self, url: str) -> dict | None:
+        value = self.store.get(self._doc_key(url), default=None)
+        return value if isinstance(value, dict) else None
+
+    def has_document(self, url: str) -> bool:
+        return self.get_document(url) is not None
+
+    def document_urls(self) -> list[str]:
+        return [key[len("doc::"):] for key in self.store.keys("doc::")]
+
+    def store_search(self, query: str, engine: str, timestamp: float,
+                     result_urls: list[str]) -> None:
+        """Record a search with its query, engine, time and result URLs."""
+        self.store.put(self._search_key(query, engine, timestamp), {
+            "query": query,
+            "engine": engine,
+            "timestamp": timestamp,
+            "result_urls": result_urls,
+        })
+
+    def searches(self, query: str | None = None) -> list[dict]:
+        """All recorded searches, optionally filtered by query text."""
+        found = []
+        for key in self.store.keys("search::"):
+            record = self.store.get(key)
+            if isinstance(record, dict) and (query is None or record["query"] == query):
+                found.append(record)
+        found.sort(key=lambda record: record["timestamp"])
+        return found
+
+    def export_to_directory(self, directory: str | Path) -> int:
+        """Write every archived document as an .html file; returns count.
+
+        File names are derived from URLs so a directory re-analysis
+        (:meth:`WebSearchAnalyzer.analyze_directory`) can proceed
+        offline, as §2.2 describes.
+        """
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        count = 0
+        for url in self.document_urls():
+            document = self.get_document(url)
+            safe_name = url.replace("://", "_").replace("/", "_") + ".html"
+            (target / safe_name).write_text(document["html"])
+            count += 1
+        return count
+
+
+class WebSearchAnalyzer:
+    """Search engines + the web + NLU services, composed via the RichClient."""
+
+    def __init__(
+        self,
+        client: RichClient,
+        web_service: str = "worldwide-web",
+        archive: DocumentArchive | None = None,
+    ) -> None:
+        self.client = client
+        self.web_service = web_service
+        self.archive = archive if archive is not None else DocumentArchive()
+
+    # -- search ------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        engine: str | None = None,
+        limit: int = 10,
+        news_only: bool = False,
+    ) -> InvocationResult:
+        """Run one search (on the best-ranked engine unless named) and
+        archive the query, engine, time and result URLs."""
+        engine = engine or self.client.best_service("search")
+        result = self.client.invoke(
+            engine, "search", {"query": query, "limit": limit, "news_only": news_only}
+        )
+        self.archive.store_search(
+            query=query,
+            engine=engine,
+            timestamp=self.client.clock.now(),
+            result_urls=[hit["url"] for hit in result.value["results"]],
+        )
+        return result
+
+    def multi_engine_search(
+        self,
+        query: str,
+        engines: list[str] | None = None,
+        limit: int = 10,
+        news_only: bool = False,
+    ) -> list[str]:
+        """Union of several engines' results, preserving best-rank order.
+
+        Different engines crawl different slices of the web, so the
+        union sees more than any single engine — the reason the SDK
+        "allows different search engines to be used".
+        """
+        if engines is None:
+            engines = [service.name for service in
+                       self.client.registry.services_of_kind("search")]
+        merged: list[str] = []
+        seen: set[str] = set()
+        per_engine = [
+            self.search(query, engine, limit=limit, news_only=news_only).value["results"]
+            for engine in engines
+        ]
+        for rank in range(max((len(results) for results in per_engine), default=0)):
+            for results in per_engine:
+                if rank < len(results):
+                    url = results[rank]["url"]
+                    if url not in seen:
+                        seen.add(url)
+                        merged.append(url)
+        return merged
+
+    # -- fetch and store ------------------------------------------------------
+
+    def fetch(self, url: str, store: bool = True) -> str:
+        """Fetch a page's HTML (archive-first, then the web service)."""
+        archived = self.archive.get_document(url)
+        if archived is not None:
+            return archived["html"]
+        result = self.client.invoke(self.web_service, "fetch", {"url": url})
+        html = result.value["html"]
+        if store:
+            self.archive.store_document(url, html, fetched_at=self.client.clock.now())
+        return html
+
+    # -- analyze ------------------------------------------------------------------
+
+    def analyze_url(
+        self,
+        url: str,
+        nlu_service: str,
+        features: tuple[str, ...] = ALL_FEATURES,
+    ) -> dict:
+        """Analyze one URL with one NLU service (one request per URL).
+
+        Prefers the service's own ``analyze_url`` (paper: "if the
+        natural language understanding service has the ability to
+        analyze Web documents specified by a URL, the rich SDK can pass
+        the URLs"); otherwise fetches the page and sends stripped text.
+        """
+        try:
+            result = self.client.invoke(
+                nlu_service, "analyze_url", {"url": url, "features": list(features)}
+            )
+            return result.value
+        except RemoteServiceError as error:
+            if error.status != 400:
+                raise
+        html = self.fetch(url)
+        result = self.client.invoke(
+            nlu_service, "analyze", {"text": strip_html(html), "features": list(features)}
+        )
+        return result.value
+
+    def analyze_search_results(
+        self,
+        query: str,
+        engine: str | None = None,
+        nlu_service: str | None = None,
+        limit: int = 10,
+        news_only: bool = False,
+        features: tuple[str, ...] = ALL_FEATURES,
+    ) -> DocumentSetAggregator:
+        """The full Figure-3 flow for one query.
+
+        Searches, fetches and archives each hit, analyzes every
+        document individually, and aggregates the results.
+        """
+        nlu_service = nlu_service or self.client.best_service("nlu")
+        search_result = self.search(query, engine, limit=limit, news_only=news_only)
+        aggregator = DocumentSetAggregator()
+        for hit in search_result.value["results"]:
+            self.fetch(hit["url"])  # archive before analysis, per the paper
+            analysis = self.analyze_url(hit["url"], nlu_service, features)
+            aggregator.add_analysis(analysis)
+        return aggregator
+
+    def analyze_texts(
+        self,
+        texts: list[str],
+        nlu_service: str | None = None,
+        features: tuple[str, ...] = ALL_FEATURES,
+    ) -> DocumentSetAggregator:
+        """Analyze a list of local text documents and aggregate."""
+        nlu_service = nlu_service or self.client.best_service("nlu")
+        aggregator = DocumentSetAggregator()
+        for text in texts:
+            result = self.client.invoke(
+                nlu_service, "analyze", {"text": text, "features": list(features)}
+            )
+            aggregator.add_analysis(result.value)
+        return aggregator
+
+    def analyze_directory(
+        self,
+        directory: str | Path,
+        nlu_service: str | None = None,
+        features: tuple[str, ...] = ALL_FEATURES,
+        pattern: str = "*.html",
+    ) -> DocumentSetAggregator:
+        """Analyze every matching file in a directory and aggregate.
+
+        HTML files are stripped to text first; the directory typically
+        holds the archived results of an earlier web search (§2.2's
+        "directory contains all HTML documents identified by responses
+        to a search engine query made at a certain point in time").
+        """
+        texts = []
+        for path in sorted(Path(directory).glob(pattern)):
+            content = path.read_text()
+            if path.suffix.lower() in (".html", ".htm"):
+                content = strip_html(content)
+            texts.append(content)
+        return self.analyze_texts(texts, nlu_service, features)

@@ -1,0 +1,37 @@
+"""Client-side encryption and compression for the PKB.
+
+Section 3: the personal knowledge base encrypts confidential data
+*before* sending it to an untrusted remote store, and compresses before
+upload to save bandwidth and storage charges — even when the remote
+store offers its own encryption or compression.  These modules are that
+client-side layer.
+
+The cipher is a SHA-256-based stream cipher in counter mode with an
+HMAC-SHA256 authentication tag (encrypt-then-MAC), built only on
+:mod:`hashlib`/:mod:`hmac`; it is a faithful construction for the
+simulation, not a vetted production cipher.
+"""
+
+from repro.crypto.cipher import StreamCipher, derive_key, DecryptionError
+from repro.crypto.compression import (
+    Codec,
+    ZlibCodec,
+    HuffmanCodec,
+    IdentityCodec,
+    compression_ratio,
+)
+from repro.crypto.envelope import SealedEnvelope, seal, unseal
+
+__all__ = [
+    "StreamCipher",
+    "derive_key",
+    "DecryptionError",
+    "Codec",
+    "ZlibCodec",
+    "HuffmanCodec",
+    "IdentityCodec",
+    "compression_ratio",
+    "SealedEnvelope",
+    "seal",
+    "unseal",
+]

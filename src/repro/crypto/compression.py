@@ -1,0 +1,171 @@
+"""Compression codecs.
+
+Two real codecs behind one interface: zlib (the workhorse) and a pure
+Python canonical Huffman coder (from scratch, useful as an ablation
+point and to keep the library self-contained conceptually).  Both are
+self-describing: ``decode(encode(data)) == data`` with no side channel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import zlib
+from abc import ABC, abstractmethod
+from collections import Counter
+
+
+class Codec(ABC):
+    """A reversible bytes→bytes transform."""
+
+    name: str = "codec"
+
+    @abstractmethod
+    def encode(self, data: bytes) -> bytes: ...
+
+    @abstractmethod
+    def decode(self, data: bytes) -> bytes: ...
+
+
+class IdentityCodec(Codec):
+    """No-op codec — the baseline for compression benchmarks."""
+
+    name = "identity"
+
+    def encode(self, data: bytes) -> bytes:
+        return data
+
+    def decode(self, data: bytes) -> bytes:
+        return data
+
+
+class ZlibCodec(Codec):
+    """DEFLATE via zlib at a configurable level."""
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise ValueError(f"level must be in [0, 9], got {level}")
+        self.level = level
+        self.name = f"zlib-{level}"
+
+    def encode(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decode(self, data: bytes) -> bytes:
+        return zlib.decompress(data)
+
+
+class HuffmanCodec(Codec):
+    """Canonical Huffman coding implemented from scratch.
+
+    Wire format: a JSON header (symbol → code length), a NUL byte, the
+    bit-packed payload prefixed with its bit length.  Not fast — it
+    exists to demonstrate the technique and as a second real codec for
+    the F4.secure ablation.
+    """
+
+    name = "huffman"
+
+    @staticmethod
+    def _code_lengths(data: bytes) -> dict[int, int]:
+        counts = Counter(data)
+        if len(counts) == 1:
+            symbol = next(iter(counts))
+            return {symbol: 1}
+        heap: list[tuple[int, int, object]] = [
+            (count, symbol, symbol) for symbol, count in counts.items()
+        ]
+        heapq.heapify(heap)
+        while len(heap) > 1:
+            count_a, tie_a, tree_a = heapq.heappop(heap)
+            count_b, tie_b, tree_b = heapq.heappop(heap)
+            heapq.heappush(heap, (count_a + count_b, min(tie_a, tie_b), (tree_a, tree_b)))
+        lengths: dict[int, int] = {}
+
+        def walk(tree: object, depth: int) -> None:
+            if isinstance(tree, tuple):
+                walk(tree[0], depth + 1)
+                walk(tree[1], depth + 1)
+            else:
+                lengths[tree] = max(depth, 1)
+
+        walk(heap[0][2], 0)
+        return lengths
+
+    @staticmethod
+    def _canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+        """Symbol -> (code, length), assigned canonically."""
+        ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+        codes: dict[int, tuple[int, int]] = {}
+        code = 0
+        previous_length = 0
+        for symbol, length in ordered:
+            code <<= length - previous_length
+            codes[symbol] = (code, length)
+            code += 1
+            previous_length = length
+        return codes
+
+    def encode(self, data: bytes) -> bytes:
+        if not data:
+            return b"{}\x00" + (0).to_bytes(8, "big")
+        lengths = self._code_lengths(data)
+        codes = self._canonical_codes(lengths)
+        header = json.dumps(
+            {str(symbol): length for symbol, length in sorted(lengths.items())},
+            separators=(",", ":"),
+        ).encode()
+
+        bit_buffer = 0
+        bit_count = 0
+        out = bytearray()
+        for byte in data:
+            code, length = codes[byte]
+            bit_buffer = (bit_buffer << length) | code
+            bit_count += length
+            while bit_count >= 8:
+                bit_count -= 8
+                out.append((bit_buffer >> bit_count) & 0xFF)
+        total_bits = sum(lengths[byte] for byte in data)
+        if bit_count:
+            out.append((bit_buffer << (8 - bit_count)) & 0xFF)
+        return header + b"\x00" + total_bits.to_bytes(8, "big") + bytes(out)
+
+    def decode(self, data: bytes) -> bytes:
+        separator = data.index(b"\x00")
+        lengths = {
+            int(symbol): length
+            for symbol, length in json.loads(data[:separator].decode()).items()
+        }
+        total_bits = int.from_bytes(data[separator + 1 : separator + 9], "big")
+        payload = data[separator + 9 :]
+        if not lengths:
+            return b""
+        codes = self._canonical_codes(lengths)
+        decoder = {code: symbol for symbol, code in codes.items()}
+
+        out = bytearray()
+        current_code = 0
+        current_length = 0
+        consumed = 0
+        for byte in payload:
+            for bit_index in range(7, -1, -1):
+                if consumed >= total_bits:
+                    break
+                bit = (byte >> bit_index) & 1
+                current_code = (current_code << 1) | bit
+                current_length += 1
+                consumed += 1
+                entry = decoder.get((current_code, current_length))
+                if entry is not None:
+                    out.append(entry)
+                    current_code = 0
+                    current_length = 0
+        return bytes(out)
+
+
+def compression_ratio(codec: Codec, data: bytes) -> float:
+    """Encoded size / original size (lower is better); 1.0 for empty input."""
+    if not data:
+        return 1.0
+    return len(codec.encode(data)) / len(data)

@@ -1,0 +1,71 @@
+"""Sealed envelopes: compress-then-encrypt for remote storage.
+
+The PKB never ships plaintext to a remote store: values are JSON-
+encoded, compressed, encrypted and base64-wrapped into a JSON-safe
+envelope the cloud KV services can hold.  ``unseal`` reverses the
+pipeline and fails loudly on tampering.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from dataclasses import dataclass
+
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.compression import Codec, ZlibCodec
+
+
+@dataclass(frozen=True)
+class SealedEnvelope:
+    """The JSON-safe wrapper stored remotely."""
+
+    ciphertext_b64: str
+    codec: str
+    plaintext_bytes: int
+    sealed_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "ciphertext": self.ciphertext_b64,
+            "codec": self.codec,
+            "plaintext_bytes": self.plaintext_bytes,
+            "sealed_bytes": self.sealed_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SealedEnvelope":
+        return cls(
+            ciphertext_b64=payload["ciphertext"],
+            codec=payload["codec"],
+            plaintext_bytes=payload["plaintext_bytes"],
+            sealed_bytes=payload["sealed_bytes"],
+        )
+
+
+def seal(value: object, cipher: StreamCipher, codec: Codec | None = None,
+         nonce: bytes | None = None) -> SealedEnvelope:
+    """JSON-encode, compress, encrypt and wrap ``value``."""
+    codec = codec if codec is not None else ZlibCodec()
+    plaintext = json.dumps(value, separators=(",", ":")).encode()
+    compressed = codec.encode(plaintext)
+    sealed = cipher.encrypt(compressed, nonce=nonce)
+    return SealedEnvelope(
+        ciphertext_b64=base64.b64encode(sealed).decode(),
+        codec=codec.name,
+        plaintext_bytes=len(plaintext),
+        sealed_bytes=len(sealed),
+    )
+
+
+def unseal(envelope: SealedEnvelope | dict, cipher: StreamCipher,
+           codec: Codec | None = None) -> object:
+    """Reverse :func:`seal`; raises
+    :class:`repro.crypto.DecryptionError` on tampering."""
+    if isinstance(envelope, dict):
+        envelope = SealedEnvelope.from_dict(envelope)
+    codec = codec if codec is not None else ZlibCodec()
+    sealed = base64.b64decode(envelope.ciphertext_b64)
+    compressed = cipher.decrypt(sealed)
+    plaintext = codec.decode(compressed)
+    return json.loads(plaintext.decode())

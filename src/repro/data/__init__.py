@@ -1,0 +1,32 @@
+"""The simulated world the services operate over.
+
+* :mod:`repro.data.gazetteer` — a catalogue of named entities (countries,
+  companies, people, cities, diseases, technologies) with aliases,
+  cross-knowledge-base links (DBpedia/YAGO/Wikidata-style URLs) and
+  structured properties.
+* :mod:`repro.data.lexicon` — an AFINN-style sentiment lexicon with
+  negation and intensifier handling rules.
+* :mod:`repro.data.taxonomy` — a concept taxonomy with subclass edges,
+  used by the NLU concept taggers and the RDF reasoner demos.
+* :mod:`repro.data.corpus` — a seeded synthetic web-corpus generator
+  that emits HTML documents *with gold annotations* (which entities are
+  mentioned, with what polarity), so NLU provider quality is measurable.
+"""
+
+from repro.data.gazetteer import Entity, Gazetteer, default_gazetteer
+from repro.data.lexicon import SentimentLexicon, default_sentiment_lexicon
+from repro.data.taxonomy import ConceptTaxonomy, default_taxonomy
+from repro.data.corpus import CorpusDocument, SyntheticCorpus, generate_corpus
+
+__all__ = [
+    "Entity",
+    "Gazetteer",
+    "default_gazetteer",
+    "SentimentLexicon",
+    "default_sentiment_lexicon",
+    "ConceptTaxonomy",
+    "default_taxonomy",
+    "CorpusDocument",
+    "SyntheticCorpus",
+    "generate_corpus",
+]

@@ -1,0 +1,237 @@
+"""Entity gazetteer: the named entities the simulated world knows about.
+
+This is the shared ground truth behind several simulated services:
+
+* the NER/disambiguation NLU providers look aliases up here,
+* the DBpedia/Wikidata/YAGO-like data services serve (partial,
+  differently-named) views of these entities,
+* the corpus generator writes documents about them,
+* benchmark A4 measures disambiguation accuracy against the alias table.
+
+The paper's running example — that "USA", "US", "United States" and
+"United States of America" must resolve to one country ID with DBpedia
+and YAGO URLs — is reproduced directly by :meth:`Gazetteer.resolve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+
+def _slug(name: str) -> str:
+    return name.replace(" ", "_")
+
+
+@dataclass(frozen=True)
+class Entity:
+    """One named entity with aliases, cross-source links and properties."""
+
+    entity_id: str
+    name: str
+    entity_type: str
+    aliases: tuple[str, ...] = ()
+    properties: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def links(self) -> dict[str, str]:
+        """DBpedia/YAGO/Wikidata-style URLs for this entity.
+
+        Mirrors the URL bundle the paper shows Watson returning for the
+        United States.
+        """
+        slug = _slug(self.name)
+        return {
+            "dbpedia": f"http://dbpedia.org/resource/{slug}",
+            "yago": f"http://yago-knowledge.org/resource/{slug}",
+            "wikidata": f"http://www.wikidata.org/entity/{self.entity_id}",
+        }
+
+    def all_surface_forms(self) -> tuple[str, ...]:
+        """The canonical name plus every alias."""
+        return (self.name, *self.aliases)
+
+
+class Gazetteer:
+    """Alias-indexed collection of entities."""
+
+    def __init__(self, entities: list[Entity]) -> None:
+        self._by_id: dict[str, Entity] = {}
+        self._by_surface: dict[str, Entity] = {}
+        for entity in entities:
+            self.add(entity)
+
+    def add(self, entity: Entity) -> None:
+        if entity.entity_id in self._by_id:
+            raise ValueError(f"duplicate entity id {entity.entity_id!r}")
+        self._by_id[entity.entity_id] = entity
+        for surface in entity.all_surface_forms():
+            key = surface.lower()
+            if key in self._by_surface:
+                other = self._by_surface[key]
+                raise ValueError(
+                    f"alias {surface!r} of {entity.entity_id} collides with {other.entity_id}"
+                )
+            self._by_surface[key] = entity
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def get(self, entity_id: str) -> Entity | None:
+        return self._by_id.get(entity_id)
+
+    def resolve(self, surface: str) -> Entity | None:
+        """Resolve a surface form (name or alias) to its entity."""
+        return self._by_surface.get(surface.strip().lower())
+
+    def entities_of_type(self, entity_type: str) -> list[Entity]:
+        return [entity for entity in self if entity.entity_type == entity_type]
+
+    def surface_forms(self) -> list[str]:
+        """Every known surface form, longest first (for greedy matching)."""
+        return sorted(self._by_surface, key=lambda form: (-len(form), form))
+
+
+def _country(entity_id, name, aliases, capital, population_millions, continent):
+    return Entity(
+        entity_id,
+        name,
+        "Country",
+        tuple(aliases),
+        MappingProxyType(
+            {
+                "capital": capital,
+                "population_millions": population_millions,
+                "continent": continent,
+            }
+        ),
+    )
+
+
+def _company(entity_id, name, aliases, sector, founded, headquarters):
+    return Entity(
+        entity_id,
+        name,
+        "Company",
+        tuple(aliases),
+        MappingProxyType(
+            {"sector": sector, "founded": founded, "headquarters": headquarters}
+        ),
+    )
+
+
+def _person(entity_id, name, aliases, occupation, affiliation):
+    return Entity(
+        entity_id,
+        name,
+        "Person",
+        tuple(aliases),
+        MappingProxyType({"occupation": occupation, "affiliation": affiliation}),
+    )
+
+
+def _city(entity_id, name, aliases, country, population_millions):
+    return Entity(
+        entity_id,
+        name,
+        "City",
+        tuple(aliases),
+        MappingProxyType({"country": country, "population_millions": population_millions}),
+    )
+
+
+def _disease(entity_id, name, aliases, icd_chapter):
+    return Entity(
+        entity_id, name, "Disease", tuple(aliases), MappingProxyType({"icd_chapter": icd_chapter})
+    )
+
+
+def _technology(entity_id, name, aliases, concept):
+    return Entity(
+        entity_id, name, "Technology", tuple(aliases), MappingProxyType({"concept": concept})
+    )
+
+
+def default_gazetteer() -> Gazetteer:
+    """The built-in world: a modest but realistic entity catalogue."""
+    entities = [
+        # Countries — note the US alias set from the paper's §3 example.
+        _country("Q30", "United States of America",
+                 ["USA", "US", "United States", "America", "the States", "U.S.", "U.S.A."],
+                 "Washington", 331, "North America"),
+        _country("Q16", "Canada", ["CA", "the Great White North"], "Ottawa", 38, "North America"),
+        _country("Q183", "Germany", ["Deutschland", "DE", "Federal Republic of Germany"],
+                 "Berlin", 83, "Europe"),
+        _country("Q142", "France", ["FR", "French Republic"], "Paris", 67, "Europe"),
+        _country("Q145", "United Kingdom", ["UK", "Britain", "Great Britain", "U.K."],
+                 "London", 67, "Europe"),
+        _country("Q148", "China", ["PRC", "People's Republic of China"], "Beijing", 1411, "Asia"),
+        _country("Q17", "Japan", ["JP", "Nippon"], "Tokyo", 125, "Asia"),
+        _country("Q668", "India", ["IN", "Bharat", "Republic of India"], "New Delhi", 1380, "Asia"),
+        _country("Q155", "Brazil", ["BR", "Brasil"], "Brasilia", 213, "South America"),
+        _country("Q96", "Mexico", ["MX", "Estados Unidos Mexicanos"], "Mexico City", 128,
+                 "North America"),
+        _country("Q38", "Italy", ["IT", "Italia", "Italian Republic"], "Rome", 59, "Europe"),
+        _country("Q39", "Switzerland", ["CH", "Swiss Confederation", "Helvetia"], "Bern", 8,
+                 "Europe"),
+        # Companies.
+        _company("C_ibm", "IBM", ["International Business Machines", "Big Blue"],
+                 "Technology", 1911, "Armonk"),
+        _company("C_acme", "Acme Analytics", ["Acme", "Acme Corp"], "Technology", 1998, "Boston"),
+        _company("C_globex", "Globex Corporation", ["Globex"], "Energy", 1989, "Springfield"),
+        _company("C_initech", "Initech", ["Initech Software"], "Technology", 1995, "Austin"),
+        _company("C_umbrella", "Umbrella Health", ["Umbrella"], "Healthcare", 1979, "Raccoon City"),
+        _company("C_stark", "Stark Industries", ["Stark"], "Defense", 1940, "Los Angeles"),
+        _company("C_wayne", "Wayne Enterprises", ["WayneCorp"], "Conglomerate", 1939, "Gotham"),
+        _company("C_tyrell", "Tyrell Corporation", ["Tyrell"], "Biotechnology", 2016,
+                 "Los Angeles"),
+        _company("C_hooli", "Hooli", ["Hooli Inc"], "Technology", 2004, "Palo Alto"),
+        _company("C_soylent", "Soylent Industries", ["Soylent"], "Food", 2022, "New York City"),
+        _company("C_vandelay", "Vandelay Industries", ["Vandelay"], "Import Export", 1991,
+                 "New York City"),
+        _company("C_cyberdyne", "Cyberdyne Systems", ["Cyberdyne"], "Technology", 1984,
+                 "Sunnyvale"),
+        # People.
+        _person("P_ada", "Ada Lovelace", ["Countess of Lovelace", "Augusta Ada King"],
+                "Mathematician", "Analytical Engine"),
+        _person("P_turing", "Alan Turing", ["Turing"], "Computer Scientist", "Bletchley Park"),
+        _person("P_curie", "Marie Curie", ["Madame Curie", "Maria Sklodowska"],
+                "Physicist", "Sorbonne"),
+        _person("P_einstein", "Albert Einstein", ["Einstein"], "Physicist", "Princeton"),
+        _person("P_hopper", "Grace Hopper", ["Amazing Grace", "Grace Murray Hopper"],
+                "Computer Scientist", "US Navy"),
+        _person("P_shannon", "Claude Shannon", ["Shannon"], "Mathematician", "Bell Labs"),
+        _person("P_mccarthy", "John McCarthy", [], "Computer Scientist", "Stanford"),
+        _person("P_hamilton", "Margaret Hamilton", [], "Software Engineer", "MIT"),
+        # Cities.
+        _city("CT_nyc", "New York City", ["NYC", "New York", "the Big Apple"],
+              "United States of America", 8.8),
+        _city("CT_london", "London", [], "United Kingdom", 9.0),
+        _city("CT_paris", "Paris", ["City of Light"], "France", 2.1),
+        _city("CT_tokyo", "Tokyo", [], "Japan", 14.0),
+        _city("CT_berlin", "Berlin", [], "Germany", 3.6),
+        _city("CT_toronto", "Toronto", [], "Canada", 2.9),
+        _city("CT_mumbai", "Mumbai", ["Bombay"], "India", 20.4),
+        _city("CT_sao_paulo", "Sao Paulo", [], "Brazil", 12.3),
+        # Diseases — per §3 the naming conventions diverge across data sets.
+        _disease("D_influenza", "Influenza", ["flu", "the flu", "grippe"], "respiratory"),
+        _disease("D_diabetes", "Diabetes Mellitus", ["diabetes", "sugar diabetes"], "endocrine"),
+        _disease("D_hypertension", "Hypertension", ["high blood pressure", "HTN"], "circulatory"),
+        _disease("D_asthma", "Asthma", ["bronchial asthma"], "respiratory"),
+        _disease("D_malaria", "Malaria", ["marsh fever", "paludism"], "parasitic"),
+        _disease("D_measles", "Measles", ["rubeola", "morbilli"], "viral"),
+        # Technologies.
+        _technology("T_ml", "Machine Learning", ["ML", "statistical learning"],
+                    "Artificial Intelligence"),
+        _technology("T_nlp", "Natural Language Processing", ["NLP", "language processing"],
+                    "Artificial Intelligence"),
+        _technology("T_cloud", "Cloud Computing", ["the cloud"], "Distributed Systems"),
+        _technology("T_blockchain", "Blockchain", ["distributed ledger"], "Distributed Systems"),
+        _technology("T_quantum", "Quantum Computing", ["quantum computers"], "Computing Hardware"),
+        _technology("T_iot", "Internet of Things", ["IoT"], "Distributed Systems"),
+    ]
+    return Gazetteer(entities)

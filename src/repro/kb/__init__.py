@@ -1,0 +1,37 @@
+"""The Personalized Knowledge Base (§3 of the paper), built on the Rich SDK.
+
+Stores personal and public data in files/CSV, a relational database, a
+key-value store and an RDF triple store; converts between the formats;
+disambiguates named entities (service-backed, with user synonym files
+for domains no service covers); spell-checks locally; runs statistical
+analysis whose results become RDF statements that the inference engine
+extends into new facts (Figure 5); encrypts and compresses before
+remote storage; and keeps operating while disconnected, resynchronizing
+later.
+"""
+
+from repro.kb.knowledge_base import PersonalKnowledgeBase
+from repro.kb.disambiguation import (
+    EntityDisambiguator,
+    ExactMatchStrategy,
+    ServiceBackedStrategy,
+    SynonymFileStrategy,
+)
+from repro.kb.spellcheck import LocalSpellChecker
+from repro.kb.secure import SecureRemoteStore
+from repro.kb.sync import OfflineSyncStore
+from repro.kb.pipeline import AnalysisPipeline
+from repro.kb.trust import TrustAwarePipeline
+
+__all__ = [
+    "TrustAwarePipeline",
+    "PersonalKnowledgeBase",
+    "EntityDisambiguator",
+    "ExactMatchStrategy",
+    "ServiceBackedStrategy",
+    "SynonymFileStrategy",
+    "LocalSpellChecker",
+    "SecureRemoteStore",
+    "OfflineSyncStore",
+    "AnalysisPipeline",
+]

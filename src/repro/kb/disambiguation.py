@@ -1,0 +1,199 @@
+"""Named entity disambiguation for the PKB.
+
+The paper's §3 problem: "the same entity can be referred to in
+different ways ... United States of America is also referred to as USA,
+US, United States, America, and even the States.  If we use a simple
+string matching algorithm to identify entities, then we might
+mistakenly conclude that 'United States of America' refers to a
+different country than 'USA'."
+
+Three strategies, tried in order by :class:`EntityDisambiguator`:
+
+* :class:`ExactMatchStrategy` — the naive baseline (canonical names
+  only); exists so benchmark A4 can show how badly plain string
+  matching proliferates entities;
+* :class:`ServiceBackedStrategy` — calls an NLU service's
+  ``disambiguate`` operation through the Rich SDK (cached, so repeated
+  mentions are free), reproducing the Watson-backed flow;
+* :class:`SynonymFileStrategy` — user-provided synonym tables "for
+  domains for which there are no existing services or tools" (the
+  paper's disease-names example).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.invoker import RichClient
+from repro.simnet.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class ResolvedEntity:
+    """A unique entity ID plus its cross-knowledge-base link bundle."""
+
+    entity_id: str
+    name: str
+    entity_type: str
+    links: Mapping[str, str]
+    strategy: str
+
+
+class DisambiguationStrategy(ABC):
+    """One way of resolving a surface string to a unique entity."""
+
+    name: str = "strategy"
+
+    @abstractmethod
+    def resolve(self, surface: str) -> ResolvedEntity | None:
+        """The entity this surface form denotes, or None if unknown."""
+
+
+class ExactMatchStrategy(DisambiguationStrategy):
+    """Naive string matching against canonical names only.
+
+    Misses every alias — "USA" and "United States of America" resolve
+    to *different* identities (the raw strings themselves), which is
+    precisely the redundant-entry proliferation the paper warns about.
+    """
+
+    name = "exact"
+
+    def __init__(self, canonical_names: Mapping[str, str]) -> None:
+        # name (lowercased) -> entity id
+        self._names = {name.lower(): entity_id
+                       for name, entity_id in canonical_names.items()}
+
+    def resolve(self, surface: str) -> ResolvedEntity | None:
+        entity_id = self._names.get(surface.strip().lower())
+        if entity_id is None:
+            return None
+        return ResolvedEntity(entity_id, surface.strip(), "Unknown", {}, self.name)
+
+
+class ServiceBackedStrategy(DisambiguationStrategy):
+    """Disambiguation via a remote NLU service through the Rich SDK.
+
+    Responses are cached by the client, so a string seen before costs
+    nothing; network failures degrade to "unresolved" rather than
+    erroring the ingest pipeline.
+    """
+
+    name = "service"
+
+    def __init__(self, client: RichClient, nlu_service: str) -> None:
+        self.client = client
+        self.nlu_service = nlu_service
+
+    def resolve(self, surface: str) -> ResolvedEntity | None:
+        try:
+            result = self.client.invoke(
+                self.nlu_service, "disambiguate", {"phrase": surface}
+            )
+        except NetworkError:
+            return None
+        resolved = result.value.get("resolved")
+        if resolved is None:
+            return None
+        return ResolvedEntity(
+            entity_id=resolved["id"],
+            name=resolved["name"],
+            entity_type=resolved["type"],
+            links=resolved["links"],
+            strategy=self.name,
+        )
+
+
+class SynonymFileStrategy(DisambiguationStrategy):
+    """User-provided synonym tables (surface form -> canonical id).
+
+    "Users can provide their own files which identify synonyms which
+    map to the same entity" — the file format is one mapping per line:
+    ``surface form = entity_id`` (blank lines and ``#`` comments
+    allowed).
+    """
+
+    name = "synonyms"
+
+    def __init__(self, synonyms: Mapping[str, str],
+                 entity_names: Mapping[str, str] | None = None) -> None:
+        self._synonyms = {surface.strip().lower(): entity_id
+                          for surface, entity_id in synonyms.items()}
+        self._entity_names = dict(entity_names or {})
+
+    @classmethod
+    def from_file_text(cls, text: str) -> "SynonymFileStrategy":
+        """Parse the user synonym-file format."""
+        synonyms: dict[str, str] = {}
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if "=" not in stripped:
+                raise ValueError(
+                    f"line {line_number}: expected 'surface = entity_id', got {line!r}"
+                )
+            surface, _, entity_id = stripped.partition("=")
+            synonyms[surface.strip()] = entity_id.strip()
+        return cls(synonyms)
+
+    def resolve(self, surface: str) -> ResolvedEntity | None:
+        entity_id = self._synonyms.get(surface.strip().lower())
+        if entity_id is None:
+            return None
+        return ResolvedEntity(
+            entity_id=entity_id,
+            name=self._entity_names.get(entity_id, surface.strip()),
+            entity_type="Unknown",
+            links={},
+            strategy=self.name,
+        )
+
+
+class EntityDisambiguator:
+    """Chain of strategies; the first hit wins.
+
+    The usual PKB configuration is ``[SynonymFileStrategy,
+    ServiceBackedStrategy]`` — user overrides first, then the service.
+    """
+
+    def __init__(self, strategies: list[DisambiguationStrategy]) -> None:
+        if not strategies:
+            raise ValueError("need at least one disambiguation strategy")
+        self.strategies = list(strategies)
+        self.resolved_count = 0
+        self.unresolved_count = 0
+
+    def resolve(self, surface: str) -> ResolvedEntity | None:
+        for strategy in self.strategies:
+            resolved = strategy.resolve(surface)
+            if resolved is not None:
+                self.resolved_count += 1
+                return resolved
+        self.unresolved_count += 1
+        return None
+
+    def canonicalize_stream(self, surfaces: list[str]) -> dict:
+        """Resolve a stream of raw strings; report the dedup effect.
+
+        Returns the id per surface plus the proliferation numbers the
+        A4 benchmark prints: how many distinct raw strings collapsed to
+        how many unique entity IDs.
+        """
+        mapping: dict[str, str | None] = {}
+        for surface in surfaces:
+            if surface not in mapping:
+                resolved = self.resolve(surface)
+                mapping[surface] = resolved.entity_id if resolved else None
+        distinct_surfaces = len(mapping)
+        unique_ids = len({entity_id for entity_id in mapping.values()
+                          if entity_id is not None})
+        unresolved = sum(1 for entity_id in mapping.values() if entity_id is None)
+        return {
+            "mapping": mapping,
+            "distinct_surfaces": distinct_surfaces,
+            "unique_entities": unique_ids,
+            "unresolved_surfaces": unresolved,
+        }

@@ -1,0 +1,137 @@
+"""The Figure-5 pipeline: analyze data → store results as RDF → infer.
+
+"One powerful way of using mathematical analysis is to store the key
+mathematical results as RDF statements.  The RDF store has the ability
+to perform inferencing on the statements ... Therefore, mathematical
+analysis combined with inferencing on the RDF store can generate new
+knowledge beyond that produced by just the mathematical analysis
+itself."
+
+:class:`AnalysisPipeline` regresses numeric series, writes the fitted
+slope / r² / trend / forecast into the graph as statements, and runs a
+user-extensible rulebase over them.  The default rulebase turns trends
+into outlooks and outlooks plus type facts into recommendations — new
+facts no single regression produced.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analytics.regression import LinearRegression
+from repro.analytics.timeseries import detect_trend, linear_forecast
+from repro.stores.rdf.graph import Graph, RDF, REPRO, Triple
+from repro.stores.rdf.rules import GenericRuleReasoner, Rule
+
+
+def default_rules() -> list[Rule]:
+    """The built-in trend → outlook → recommendation rulebase."""
+    return [
+        Rule(
+            premises=[("?s", REPRO.trend, "rising")],
+            conclusions=[("?s", REPRO.outlook, "positive")],
+            name="rising-implies-positive-outlook",
+        ),
+        Rule(
+            premises=[("?s", REPRO.trend, "falling")],
+            conclusions=[("?s", REPRO.outlook, "negative")],
+            name="falling-implies-negative-outlook",
+        ),
+        Rule(
+            premises=[
+                ("?s", REPRO.outlook, "positive"),
+                ("?s", REPRO.goodness_of_fit, "strong"),
+            ],
+            conclusions=[("?s", REPRO.signal, "reliable-uptrend")],
+            name="strong-fit-uptrend",
+        ),
+        Rule(
+            premises=[
+                ("?s", REPRO.signal, "reliable-uptrend"),
+                ("?s", RDF.type, REPRO.Company),
+            ],
+            conclusions=[("?s", REPRO.recommendation, "investment-candidate")],
+            name="uptrending-company-is-candidate",
+        ),
+        Rule(
+            premises=[
+                ("?s", REPRO.outlook, "negative"),
+                ("?s", RDF.type, REPRO.Company),
+            ],
+            conclusions=[("?s", REPRO.recommendation, "watch-list")],
+            name="downtrending-company-watchlist",
+        ),
+    ]
+
+
+class AnalysisPipeline:
+    """Regression over numeric data, materialized as RDF, then inferred."""
+
+    def __init__(
+        self,
+        graph: Graph | None = None,
+        rules: Sequence[Rule] | None = None,
+        r_squared_strong: float = 0.5,
+        trend_threshold: float = 0.0,
+    ) -> None:
+        self.graph = graph if graph is not None else Graph()
+        self.reasoner = GenericRuleReasoner(
+            list(rules) if rules is not None else default_rules()
+        )
+        self.r_squared_strong = r_squared_strong
+        self.trend_threshold = trend_threshold
+        self.series_analyzed = 0
+
+    def analyze_series(
+        self,
+        subject: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        series_name: str = "series",
+        entity_type: str | None = None,
+    ) -> dict:
+        """Regress one series and store the key results as statements.
+
+        Adds to the graph: slope, intercept, r², a discrete trend
+        label, a goodness-of-fit label and a one-step forecast — the
+        "key mathematical results" Figure 5 shows flowing into the RDF
+        store.  Returns the numbers for the caller too.
+        """
+        model = LinearRegression(xs, ys)
+        trend = detect_trend(ys, threshold=self.trend_threshold)
+        forecast = linear_forecast(ys, horizon=1)[0]
+        fit_label = "strong" if model.r_squared >= self.r_squared_strong else "weak"
+
+        self.graph.add(Triple(subject, REPRO.analyzed_series, series_name))
+        self.graph.add(Triple(subject, REPRO.slope, round(model.slope, 6)))
+        self.graph.add(Triple(subject, REPRO.intercept, round(model.intercept, 6)))
+        self.graph.add(Triple(subject, REPRO.r_squared, round(model.r_squared, 6)))
+        self.graph.add(Triple(subject, REPRO.trend, trend))
+        self.graph.add(Triple(subject, REPRO.goodness_of_fit, fit_label))
+        self.graph.add(Triple(subject, REPRO.forecast_next, round(forecast, 6)))
+        if entity_type is not None:
+            self.graph.add(Triple(subject, RDF.type, REPRO(entity_type)))
+        self.series_analyzed += 1
+        return {
+            "subject": subject,
+            "slope": model.slope,
+            "intercept": model.intercept,
+            "r_squared": model.r_squared,
+            "trend": trend,
+            "fit": fit_label,
+            "forecast_next": forecast,
+        }
+
+    def infer(self) -> int:
+        """Run the rulebase to fixpoint; returns newly derived facts."""
+        return self.reasoner.forward(self.graph)
+
+    def recommendations(self) -> dict[str, str]:
+        """subject -> recommendation, from the inferred facts."""
+        return {
+            triple.subject: str(triple.object)
+            for triple in self.graph.match(None, REPRO.recommendation, None)
+        }
+
+    def facts_about(self, subject: str) -> list[Triple]:
+        return self.graph.match(subject, None, None)

@@ -1,0 +1,102 @@
+"""Secure remote storage: compress, encrypt, then upload.
+
+Section 3: the PKB "might need to encrypt confidential data before
+sending it to the remote data store even if the remote data store has
+encryption capabilities", and compressing before upload saves network
+bandwidth and money "even if the cloud data store provides
+compression".  :class:`SecureRemoteStore` is that client-side layer
+over any cloud KV service reachable through the Rich SDK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.invoker import RichClient
+from repro.crypto.cipher import StreamCipher
+from repro.crypto.compression import Codec, ZlibCodec
+from repro.crypto.envelope import seal, unseal
+from repro.util.errors import NotFoundError
+
+
+@dataclass
+class SecureStoreStats:
+    """Bandwidth accounting: what compression+encryption saved/cost."""
+
+    puts: int = 0
+    gets: int = 0
+    plaintext_bytes: int = 0
+    uploaded_bytes: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.plaintext_bytes - self.uploaded_bytes
+
+    @property
+    def upload_ratio(self) -> float:
+        """Uploaded / plaintext (values < 1 mean compression won)."""
+        if self.plaintext_bytes == 0:
+            return 1.0
+        return self.uploaded_bytes / self.plaintext_bytes
+
+
+class SecureRemoteStore:
+    """Encrypt-and-compress wrapper around a remote KV store service."""
+
+    def __init__(
+        self,
+        client: RichClient,
+        store_service: str,
+        cipher: StreamCipher,
+        codec: Codec | None = None,
+        key_prefix: str = "pkb/",
+    ) -> None:
+        self.client = client
+        self.store_service = store_service
+        self.cipher = cipher
+        self.codec = codec if codec is not None else ZlibCodec()
+        self.key_prefix = key_prefix
+        self.stats = SecureStoreStats()
+
+    def _remote_key(self, key: str) -> str:
+        return self.key_prefix + key
+
+    def put(self, key: str, value: object) -> None:
+        """Seal ``value`` and store it remotely under ``key``."""
+        envelope = seal(value, self.cipher, self.codec)
+        self.stats.puts += 1
+        self.stats.plaintext_bytes += envelope.plaintext_bytes
+        self.stats.uploaded_bytes += envelope.sealed_bytes
+        self.client.invoke(
+            self.store_service,
+            "put",
+            {"key": self._remote_key(key), "value": envelope.as_dict()},
+        )
+
+    def get(self, key: str) -> object:
+        """Fetch and unseal; raises :class:`NotFoundError` when absent."""
+        from repro.simnet.errors import RemoteServiceError
+
+        self.stats.gets += 1
+        try:
+            result = self.client.invoke(
+                self.store_service, "get", {"key": self._remote_key(key)},
+                use_cache=False,
+            )
+        except RemoteServiceError as error:
+            if error.status == 404:
+                raise NotFoundError(f"no remote value for key {key!r}") from error
+            raise
+        return unseal(result.value["value"], self.cipher, self.codec)
+
+    def delete(self, key: str) -> bool:
+        result = self.client.invoke(
+            self.store_service, "delete", {"key": self._remote_key(key)}
+        )
+        return bool(result.value["deleted"])
+
+    def keys(self) -> list[str]:
+        result = self.client.invoke(
+            self.store_service, "keys", {"prefix": self.key_prefix}, use_cache=False
+        )
+        return [key[len(self.key_prefix):] for key in result.value["keys"]]

@@ -1,0 +1,58 @@
+"""The PKB's local spell checker.
+
+"While there are many spell checking services which are offered over
+the Web, the spell checker included with the knowledge base is
+generally faster as it avoids the overheads of remote communication.
+Some online spell checkers also cost money."
+
+Shares the :class:`repro.services.spellcheck.SpellChecker` algorithm
+with the remote service, but runs in-process: zero latency charged to
+the simulation clock, zero monetary cost.  Benchmark A3 measures the
+gap.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.data.gazetteer import Gazetteer
+from repro.services.spellcheck import SpellChecker
+
+
+class LocalSpellChecker:
+    """In-process spell checking over a user-extendable dictionary."""
+
+    def __init__(self, checker: SpellChecker) -> None:
+        self._checker = checker
+        self.calls = 0
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str],
+                   gazetteer: Gazetteer | None = None) -> "LocalSpellChecker":
+        """Build the dictionary from local documents plus entity names."""
+        extra: list[str] = []
+        if gazetteer is not None:
+            for entity in gazetteer:
+                for surface in entity.all_surface_forms():
+                    extra.extend(surface.split())
+        return cls(SpellChecker.from_texts(texts, extra_words=extra))
+
+    def add_words(self, words: Iterable[str]) -> None:
+        """Teach the dictionary new words (user jargon, local names)."""
+        for word in words:
+            self._checker.counts.setdefault(word.lower(), 1)
+
+    def is_known(self, word: str) -> bool:
+        return self._checker.is_known(word)
+
+    def suggestions(self, word: str, limit: int = 5) -> list[str]:
+        self.calls += 1
+        return self._checker.suggestions(word, limit=limit)
+
+    def correct_word(self, word: str) -> str:
+        self.calls += 1
+        return self._checker.correct_word(word)
+
+    def correct_text(self, text: str) -> dict:
+        self.calls += 1
+        return self._checker.correct_text(text)

@@ -1,0 +1,160 @@
+"""Offline operation and resynchronization.
+
+Section 3: "The personalized knowledge base tries to accommodate
+scenarios where the computer(s) on which it runs may be disconnected
+from the network.  Caching and local storage can be used when remote
+data sources and services are not accessible. ... it may be appropriate
+to synchronize the contents of local storage and the cloud data store
+after connectivity ... is re-established."
+
+:class:`OfflineSyncStore` writes locally always (so reads never need
+the network), pushes writes through to the remote store when online,
+queues them while offline, and replays the queue on :meth:`sync`.
+Writes are last-writer-wins by local sequence number, which is the
+right semantics for a *personal*, single-writer knowledge base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kb.secure import SecureRemoteStore
+from repro.simnet.errors import NetworkError
+from repro.stores.kvstore import InMemoryKeyValueStore, KeyValueStore
+from repro.util.errors import NotFoundError
+
+
+@dataclass
+class SyncStats:
+    """What happened at the local/remote boundary."""
+
+    local_reads: int = 0
+    remote_reads: int = 0
+    immediate_pushes: int = 0
+    queued_writes: int = 0
+    replayed_writes: int = 0
+    failed_syncs: int = 0
+    pending: int = 0
+
+
+@dataclass
+class _PendingOp:
+    sequence: int
+    operation: str  # "put" | "delete"
+    key: str
+    value: object = None
+
+
+@dataclass
+class OfflineSyncStore:
+    """Local-first store with write-behind to a secure remote store."""
+
+    remote: SecureRemoteStore
+    local: KeyValueStore = field(default_factory=InMemoryKeyValueStore)
+
+    def __post_init__(self) -> None:
+        self.stats = SyncStats()
+        self._pending: list[_PendingOp] = []
+        self._sequence = 0
+
+    # -- client API ----------------------------------------------------------
+
+    def put(self, key: str, value: object) -> None:
+        """Write locally, then push (or queue) the remote write."""
+        self.local.put(key, value)
+        self._push_or_queue("put", key, value)
+
+    def delete(self, key: str) -> None:
+        self.local.delete(key)
+        self._push_or_queue("delete", key)
+
+    def get(self, key: str) -> object:
+        """Read local-first; fall back to the remote store when missing.
+
+        A remote hit is written back into local storage so subsequent
+        reads (including disconnected ones) are served locally.
+        """
+        sentinel = object()
+        value = self.local.get(key, default=sentinel)
+        if value is not sentinel:
+            self.stats.local_reads += 1
+            return value
+        self.stats.remote_reads += 1
+        try:
+            value = self.remote.get(key)
+        except NetworkError as error:
+            raise NotFoundError(
+                f"key {key!r} is not cached locally and the network is unavailable"
+            ) from error
+        self.local.put(key, value)
+        return value
+
+    def keys(self, prefix: str = "") -> list[str]:
+        return self.local.keys(prefix)
+
+    # -- synchronization ----------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _push_or_queue(self, operation: str, key: str, value: object = None) -> None:
+        self._sequence += 1
+        op = _PendingOp(self._sequence, operation, key, value)
+        try:
+            self._apply_remote(op)
+            self.stats.immediate_pushes += 1
+        except NetworkError:
+            self._pending.append(op)
+            self.stats.queued_writes += 1
+        self.stats.pending = len(self._pending)
+
+    def _apply_remote(self, op: _PendingOp) -> None:
+        if op.operation == "put":
+            self.remote.put(op.key, op.value)
+        else:
+            self.remote.delete(op.key)
+
+    def sync(self) -> int:
+        """Replay queued writes against the remote store.
+
+        Coalesces to the latest operation per key (last-writer-wins),
+        replays in sequence order, and returns how many remote writes
+        were applied.  Stops (keeping the rest queued) if connectivity
+        drops mid-sync.
+        """
+        if not self._pending:
+            return 0
+        latest: dict[str, _PendingOp] = {}
+        for op in self._pending:
+            latest[op.key] = op
+        ordered = sorted(latest.values(), key=lambda op: op.sequence)
+        applied = 0
+        remaining: list[_PendingOp] = []
+        for index, op in enumerate(ordered):
+            try:
+                self._apply_remote(op)
+                applied += 1
+            except NetworkError:
+                remaining = ordered[index:]
+                self.stats.failed_syncs += 1
+                break
+        self._pending = remaining
+        self.stats.replayed_writes += applied
+        self.stats.pending = len(self._pending)
+        return applied
+
+    def pull(self) -> int:
+        """Refresh local storage from every remote key (full pull).
+
+        Local keys with queued writes are *not* overwritten — the local
+        copy is newer by definition.
+        """
+        dirty = {op.key for op in self._pending}
+        pulled = 0
+        for key in self.remote.keys():
+            if key in dirty:
+                continue
+            self.local.put(key, self.remote.get(key))
+            pulled += 1
+        return pulled

@@ -1,0 +1,232 @@
+"""Simulated external data sources.
+
+* :class:`KnowledgeService` — DBpedia/Wikidata/YAGO-style fact lookup
+  over the shared gazetteer.  Each instance has partial coverage and its
+  own property-naming convention, reproducing the §3 pain point that
+  "data sets might use different conventions for naming" and making the
+  PKB's disambiguation layer necessary rather than decorative.
+* :class:`StockDataService` — seeded synthetic daily price series per
+  company (geometric-ish random walk with drift), so the PKB's
+  regression/prediction pipeline has numeric data to chew on.
+* :class:`GeoDataService` — coordinates and monthly climate normals for
+  cities and countries (deterministic sinusoid + noise).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.data.gazetteer import Gazetteer
+from repro.services.base import ServiceRequest, SimulatedService
+from repro.simnet.errors import RemoteServiceError
+from repro.simnet.latency import LatencyDistribution
+from repro.simnet.transport import Transport
+from repro.util.rng import SeededRng
+
+
+def _covered(seed: int, key: str, coverage: float) -> bool:
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") / 2**32 < coverage
+
+
+_NAMING_STYLES = {
+    # DBpedia-style camelCase properties, canonical names kept as-is.
+    "camel": lambda prop: prop.split("_")[0] + "".join(
+        part.capitalize() for part in prop.split("_")[1:]
+    ),
+    # YAGO-style: angle-bracket-free but underscored and prefixed.
+    "underscore": lambda prop: "has_" + prop,
+    # Wikidata-style opaque property codes derived from the name.
+    "pcode": lambda prop: "P" + str(
+        int.from_bytes(hashlib.sha256(prop.encode()).digest()[:2], "big") % 900 + 100
+    ),
+}
+
+
+class KnowledgeService(SimulatedService):
+    """A public knowledge base endpoint with partial coverage.
+
+    Operations:
+
+    * ``lookup`` — ``{"entity": <surface form or entity id>}`` →
+      this source's record (its own property names and resource URI);
+    * ``entities_of_type`` — ``{"type": ...}`` → all covered entities of
+      a type;
+    * ``property_names`` — the source's property-name mapping, so
+      clients can learn the convention.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transport: Transport,
+        gazetteer: Gazetteer,
+        coverage: float = 1.0,
+        naming_style: str = "camel",
+        uri_prefix: str = "http://dbpedia.org/resource/",
+        seed: int = 0,
+        latency: LatencyDistribution | None = None,
+        **service_kwargs,
+    ) -> None:
+        if naming_style not in _NAMING_STYLES:
+            raise ValueError(f"unknown naming style {naming_style!r}")
+        super().__init__(name, "knowledge", transport, latency=latency, **service_kwargs)
+        self.gazetteer = gazetteer
+        self.coverage = coverage
+        self.naming_style = naming_style
+        self.uri_prefix = uri_prefix
+        self.seed = seed
+        self._rename = _NAMING_STYLES[naming_style]
+
+    def covers(self, entity_id: str) -> bool:
+        """Whether this source has a record for the entity."""
+        return _covered(self.seed, entity_id, self.coverage)
+
+    def _record_for(self, entity_id: str) -> dict | None:
+        entity = self.gazetteer.get(entity_id)
+        if entity is None or not self.covers(entity_id):
+            return None
+        facts = {self._rename(prop): value for prop, value in entity.properties.items()}
+        return {
+            "uri": self.uri_prefix + entity.name.replace(" ", "_"),
+            "label": entity.name,
+            "type": self._rename("entity_type"),
+            "type_value": entity.entity_type,
+            "facts": facts,
+            "source": self.name,
+        }
+
+    def _handle(self, request: ServiceRequest) -> object:
+        payload = request.payload
+        if request.operation == "lookup":
+            key = str(payload.get("entity", ""))
+            entity = self.gazetteer.get(key) or self.gazetteer.resolve(key)
+            if entity is None:
+                raise RemoteServiceError(self.name, f"unknown entity {key!r}", status=404)
+            record = self._record_for(entity.entity_id)
+            if record is None:
+                raise RemoteServiceError(self.name, f"{key!r} not in this knowledge base",
+                                         status=404)
+            return record
+        if request.operation == "entities_of_type":
+            wanted = str(payload.get("type", ""))
+            records = [
+                self._record_for(entity.entity_id)
+                for entity in self.gazetteer.entities_of_type(wanted)
+                if self.covers(entity.entity_id)
+            ]
+            return {"type": wanted, "records": [record for record in records if record]}
+        if request.operation == "property_names":
+            sample_props = {"population_millions", "capital", "sector", "founded"}
+            return {prop: self._rename(prop) for prop in sorted(sample_props)}
+        raise RemoteServiceError(self.name, f"unknown operation {request.operation!r}",
+                                 status=400)
+
+
+class StockDataService(SimulatedService):
+    """Synthetic daily stock prices for the gazetteer's companies.
+
+    The series is a seeded random walk with a per-company drift, so
+    linear regression over it recovers a meaningful trend (benchmark F5
+    relies on this).  Operations:
+
+    * ``quote`` — ``{"symbol": ...}`` → latest price;
+    * ``history`` — ``{"symbol": ..., "days": N}`` → the last N closes.
+    """
+
+    def __init__(self, name: str, transport: Transport, gazetteer: Gazetteer,
+                 seed: int = 17, series_length: int = 365,
+                 latency: LatencyDistribution | None = None, **service_kwargs) -> None:
+        super().__init__(name, "marketdata", transport, latency=latency, **service_kwargs)
+        self.gazetteer = gazetteer
+        self._series: dict[str, list[float]] = {}
+        for entity in gazetteer.entities_of_type("Company"):
+            symbol = self.symbol_for(entity.name)
+            rng = SeededRng(seed).child(f"stock:{symbol}")
+            base = 20.0 + rng.uniform(0, 180.0)
+            drift = rng.uniform(-0.08, 0.15)
+            prices = [base]
+            for _ in range(series_length - 1):
+                shock = rng.gauss(drift, 1.2)
+                prices.append(max(1.0, prices[-1] + shock))
+            self._series[symbol] = [round(price, 2) for price in prices]
+
+    @staticmethod
+    def symbol_for(company_name: str) -> str:
+        """Deterministic ticker symbol for a company name."""
+        consonants = [char for char in company_name.upper() if char.isalpha()]
+        return "".join(consonants[:4]) if consonants else "XXXX"
+
+    @property
+    def symbols(self) -> list[str]:
+        return sorted(self._series)
+
+    def _handle(self, request: ServiceRequest) -> object:
+        payload = request.payload
+        symbol = str(payload.get("symbol", ""))
+        if symbol not in self._series:
+            raise RemoteServiceError(self.name, f"unknown symbol {symbol!r}", status=404)
+        series = self._series[symbol]
+        if request.operation == "quote":
+            return {"symbol": symbol, "price": series[-1], "day": len(series) - 1}
+        if request.operation == "history":
+            days = int(payload.get("days", 30))
+            if days <= 0:
+                raise RemoteServiceError(self.name, "days must be positive", status=400)
+            window = series[-days:]
+            start_day = len(series) - len(window)
+            return {
+                "symbol": symbol,
+                "days": [start_day + offset for offset in range(len(window))],
+                "closes": window,
+            }
+        raise RemoteServiceError(self.name, f"unknown operation {request.operation!r}",
+                                 status=400)
+
+
+class GeoDataService(SimulatedService):
+    """Coordinates and monthly climate normals for places.
+
+    Operations:
+
+    * ``locate`` — ``{"place": ...}`` → deterministic lat/lon;
+    * ``climate`` — ``{"place": ...}`` → 12 monthly mean temperatures
+      (sinusoidal seasonal cycle + seeded noise).
+    """
+
+    def __init__(self, name: str, transport: Transport, gazetteer: Gazetteer,
+                 seed: int = 23, latency: LatencyDistribution | None = None,
+                 **service_kwargs) -> None:
+        super().__init__(name, "geodata", transport, latency=latency, **service_kwargs)
+        self.gazetteer = gazetteer
+        self.seed = seed
+
+    def _place(self, surface: str):
+        entity = self.gazetteer.get(surface) or self.gazetteer.resolve(surface)
+        if entity is None or entity.entity_type not in ("City", "Country"):
+            return None
+        return entity
+
+    def _handle(self, request: ServiceRequest) -> object:
+        payload = request.payload
+        place = self._place(str(payload.get("place", "")))
+        if place is None:
+            raise RemoteServiceError(
+                self.name, f"unknown place {payload.get('place')!r}", status=404
+            )
+        rng = SeededRng(self.seed).child(f"geo:{place.entity_id}")
+        latitude = round(rng.uniform(-60, 70), 4)
+        longitude = round(rng.uniform(-180, 180), 4)
+        if request.operation == "locate":
+            return {"place": place.name, "latitude": latitude, "longitude": longitude}
+        if request.operation == "climate":
+            amplitude = abs(latitude) / 90.0 * 18.0
+            mean_temp = 27.0 - abs(latitude) * 0.35
+            months = []
+            for month in range(12):
+                seasonal = amplitude * math.cos((month - 6) / 12.0 * 2 * math.pi)
+                months.append(round(mean_temp + seasonal + rng.gauss(0, 0.8), 2))
+            return {"place": place.name, "monthly_mean_temperature": months}
+        raise RemoteServiceError(self.name, f"unknown operation {request.operation!r}",
+                                 status=400)

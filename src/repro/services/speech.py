@@ -1,0 +1,203 @@
+"""Simulated speech recognition services.
+
+Speech recognition is one of the cognitive services the paper names
+alongside NLU ("natural language processing, speech recognition, and
+video recognition").  No audio exists offline, so an "utterance" is
+simulated as a word sequence passed through a noisy channel: each word
+survives, is corrupted character-wise, is dropped, or gains an inserted
+neighbour, all seeded.  An ASR provider then decodes the corrupted
+stream back to text using a dictionary language model (the shared
+Norvig corrector): providers with better language models and lower
+channel loss achieve measurably lower word error rate (WER), giving the
+Rich SDK's ranking and multi-service combination real material — e.g.
+ROVER-style voting across providers beats each one alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.services.base import ServiceRequest, SimulatedService
+from repro.services.spellcheck import SpellChecker
+from repro.simnet.errors import RemoteServiceError
+from repro.simnet.latency import LatencyDistribution
+from repro.simnet.transport import Transport
+from repro.textproc.tokenizer import word_tokens
+from repro.util.rng import SeededRng
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+@dataclass
+class Utterance:
+    """A simulated audio clip: the corrupted signal plus gold text."""
+
+    utterance_id: str
+    signal_words: list[str]
+    gold_words: list[str]
+
+
+def _corrupt_word(rng: SeededRng, word: str, char_error: float) -> str:
+    characters = list(word)
+    for index in range(len(characters)):
+        if rng.bernoulli(char_error):
+            characters[index] = rng.choice(_ALPHABET)
+    return "".join(characters)
+
+
+def generate_utterances(
+    texts: list[str],
+    seed: int = 9,
+    char_error: float = 0.12,
+    drop_rate: float = 0.03,
+) -> list[Utterance]:
+    """Turn clean sentences into noisy 'audio' with gold transcripts."""
+    rng = SeededRng(seed)
+    utterances = []
+    for index, text in enumerate(texts):
+        gold = word_tokens(text)
+        signal: list[str] = []
+        clip_rng = rng.child(f"utt-{index}")
+        for word in gold:
+            if clip_rng.bernoulli(drop_rate):
+                continue  # the word was inaudible
+            signal.append(_corrupt_word(clip_rng, word, char_error))
+        utterances.append(Utterance(f"utt-{index:04d}", signal, gold))
+    return utterances
+
+
+def word_error_rate(hypothesis: list[str], reference: list[str]) -> float:
+    """WER: word-level edit distance / reference length."""
+    if not reference:
+        return 0.0 if not hypothesis else 1.0
+    previous = list(range(len(hypothesis) + 1))
+    for row, ref_word in enumerate(reference, start=1):
+        current = [row]
+        for column, hyp_word in enumerate(hypothesis, start=1):
+            cost = 0 if ref_word == hyp_word else 1
+            current.append(min(previous[column] + 1,
+                               current[column - 1] + 1,
+                               previous[column - 1] + cost))
+        previous = current
+    return previous[-1] / len(reference)
+
+
+class SpeechRecognitionService(SimulatedService):
+    """A remote ASR endpoint.
+
+    Operation ``transcribe`` — ``{"signal": ["wrd", "sequnce", ...]}`` →
+    ``{"transcript": "...", "words": [...]}``.
+
+    ``acuity`` is the probability of hearing each signal word at all
+    (below it the word is lost before decoding); the provider's
+    dictionary corrector then repairs the surviving words.  Weaker
+    providers have lower acuity and a thinner language model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        transport: Transport,
+        language_model: SpellChecker,
+        acuity: float = 1.0,
+        seed: int = 0,
+        latency: LatencyDistribution | None = None,
+        **service_kwargs,
+    ) -> None:
+        if not 0.0 < acuity <= 1.0:
+            raise ValueError(f"acuity must be in (0, 1], got {acuity}")
+        super().__init__(name, "speech", transport, latency=latency, **service_kwargs)
+        self.language_model = language_model
+        self.acuity = acuity
+        self._decode_rng = SeededRng(seed)
+
+    def latency_params(self, request: ServiceRequest) -> dict[str, float]:
+        signal = request.payload.get("signal", [])
+        return {"size": float(len(signal)) if isinstance(signal, list) else 0.0}
+
+    def _handle(self, request: ServiceRequest) -> object:
+        if request.operation != "transcribe":
+            raise RemoteServiceError(self.name, f"unknown operation "
+                                     f"{request.operation!r}", status=400)
+        signal = request.payload.get("signal")
+        if not isinstance(signal, list) or not all(
+            isinstance(word, str) for word in signal
+        ):
+            raise RemoteServiceError(self.name,
+                                     "transcribe requires 'signal': [words]",
+                                     status=400)
+        decoded: list[str] = []
+        for word in signal:
+            if not self._decode_rng.bernoulli(self.acuity):
+                continue  # below this provider's acuity threshold
+            decoded.append(self.language_model.correct_word(word.lower()))
+        return {"transcript": " ".join(decoded), "words": decoded}
+
+
+def _align_to_backbone(backbone: list[str], other: list[str]) -> list[str | None]:
+    """Edit-distance alignment of ``other`` onto the backbone's slots.
+
+    Returns, per backbone position, the word of ``other`` aligned there
+    (None where ``other`` has a deletion).  Insertions in ``other`` are
+    dropped — ROVER's word transition network does the same when the
+    backbone lacks a slot for them.
+    """
+    rows = len(backbone) + 1
+    columns = len(other) + 1
+    distance = [[0] * columns for _ in range(rows)]
+    for row in range(rows):
+        distance[row][0] = row
+    for column in range(columns):
+        distance[0][column] = column
+    for row in range(1, rows):
+        for column in range(1, columns):
+            cost = 0 if backbone[row - 1] == other[column - 1] else 1
+            distance[row][column] = min(
+                distance[row - 1][column] + 1,        # deletion in other
+                distance[row][column - 1] + 1,        # insertion in other
+                distance[row - 1][column - 1] + cost,  # match/substitution
+            )
+    aligned: list[str | None] = [None] * len(backbone)
+    row, column = len(backbone), len(other)
+    while row > 0 and column > 0:
+        cost = 0 if backbone[row - 1] == other[column - 1] else 1
+        if distance[row][column] == distance[row - 1][column - 1] + cost:
+            aligned[row - 1] = other[column - 1]
+            row -= 1
+            column -= 1
+        elif distance[row][column] == distance[row - 1][column] + 1:
+            row -= 1  # other deleted this backbone word
+        else:
+            column -= 1  # other inserted a word; skip it
+    return aligned
+
+
+def rover_vote(hypotheses: list[list[str]]) -> list[str]:
+    """ROVER-style combination of several ASR hypotheses.
+
+    The longest hypothesis is the backbone; every other hypothesis is
+    edit-aligned onto it, then each slot takes a majority vote (the
+    backbone's own word breaks ties).  Robust to dropped words, unlike
+    naive positional voting.
+    """
+    if not hypotheses:
+        return []
+    backbone = max(hypotheses, key=len)
+    per_slot: list[dict[str, int]] = [
+        {word: 1} for word in backbone
+    ]
+    for hypothesis in hypotheses:
+        if hypothesis is backbone:
+            continue
+        for slot, word in enumerate(_align_to_backbone(backbone, hypothesis)):
+            if word is not None:
+                per_slot[slot][word] = per_slot[slot].get(word, 0) + 1
+    voted = []
+    for slot, candidates in enumerate(per_slot):
+        backbone_word = backbone[slot]
+        best = max(
+            sorted(candidates),
+            key=lambda word: (candidates[word], word == backbone_word),
+        )
+        voted.append(best)
+    return voted

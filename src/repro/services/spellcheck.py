@@ -1,0 +1,133 @@
+"""Remote spell-checking service.
+
+Section 3 claims the PKB's *local* spell checker is "generally faster
+as it avoids the overheads of remote communication" and that some
+online checkers "cost money".  This service is the remote, metered
+counterpart: same Norvig-style algorithm (shared with
+:mod:`repro.kb.spellcheck`), but behind network latency and a per-call
+fee, so benchmark A3 can measure the local-vs-remote gap the paper
+asserts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.services.base import PerCallCost, ServiceRequest, SimulatedService
+from repro.simnet.errors import RemoteServiceError
+from repro.simnet.latency import LatencyDistribution, LogNormalLatency
+from repro.simnet.transport import Transport
+from repro.textproc.distance import damerau_levenshtein
+from repro.textproc.tokenizer import word_tokens
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+class SpellChecker:
+    """Norvig-style corrector over a known-word dictionary.
+
+    Candidates within edit distance 1 are generated directly; distance-2
+    candidates come from a bounded dictionary scan.  Ties break by word
+    frequency, then alphabetically.
+    """
+
+    def __init__(self, dictionary_counts: dict[str, int]) -> None:
+        if not dictionary_counts:
+            raise ValueError("spell checker needs a non-empty dictionary")
+        self.counts = {word.lower(): count for word, count in dictionary_counts.items()}
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str],
+                   extra_words: Iterable[str] = ()) -> "SpellChecker":
+        """Build the dictionary from a text corpus plus extra known words."""
+        counts: dict[str, int] = {}
+        for text in texts:
+            for token in word_tokens(text):
+                counts[token] = counts.get(token, 0) + 1
+        for word in extra_words:
+            counts.setdefault(word.lower(), 1)
+        return cls(counts)
+
+    def is_known(self, word: str) -> bool:
+        return word.lower() in self.counts
+
+    def _edits1(self, word: str) -> set[str]:
+        splits = [(word[:index], word[index:]) for index in range(len(word) + 1)]
+        deletes = {left + right[1:] for left, right in splits if right}
+        transposes = {left + right[1] + right[0] + right[2:]
+                      for left, right in splits if len(right) > 1}
+        replaces = {left + char + right[1:]
+                    for left, right in splits if right for char in _ALPHABET}
+        inserts = {left + char + right for left, right in splits for char in _ALPHABET}
+        return deletes | transposes | replaces | inserts
+
+    def suggestions(self, word: str, limit: int = 5) -> list[str]:
+        """Correction candidates for ``word``, best first."""
+        lowered = word.lower()
+        if self.is_known(lowered):
+            return [lowered]
+        known_edit1 = {edit for edit in self._edits1(lowered) if edit in self.counts}
+        if known_edit1:
+            ranked = sorted(known_edit1, key=lambda w: (-self.counts[w], w))
+            return ranked[:limit]
+        # Distance-2 fallback: scan the dictionary with an early-exit metric.
+        candidates = [
+            dict_word for dict_word in self.counts
+            if abs(len(dict_word) - len(lowered)) <= 2
+            and damerau_levenshtein(dict_word, lowered) <= 2
+        ]
+        ranked = sorted(candidates, key=lambda w: (-self.counts[w], w))
+        return ranked[:limit]
+
+    def correct_word(self, word: str) -> str:
+        """The single best correction (the word itself when known)."""
+        ranked = self.suggestions(word, limit=1)
+        return ranked[0] if ranked else word.lower()
+
+    def correct_text(self, text: str) -> dict:
+        """Correct every unknown word in ``text``.
+
+        Returns the corrected token sequence and the list of
+        (original, correction) replacements made.
+        """
+        tokens = word_tokens(text, lowercase=True)
+        corrected: list[str] = []
+        replacements: list[tuple[str, str]] = []
+        for token in tokens:
+            fixed = self.correct_word(token)
+            corrected.append(fixed)
+            if fixed != token:
+                replacements.append((token, fixed))
+        return {"tokens": corrected, "replacements": replacements}
+
+
+class SpellcheckService(SimulatedService):
+    """The remote, metered wrapper around :class:`SpellChecker`.
+
+    Operations: ``suggest`` — ``{"word": ...}``; ``correct`` —
+    ``{"text": ...}``.
+    """
+
+    def __init__(self, name: str, transport: Transport, checker: SpellChecker,
+                 latency: LatencyDistribution | None = None,
+                 fee_per_call: float = 0.0002, **service_kwargs) -> None:
+        if latency is None:
+            latency = LogNormalLatency(median=0.08, sigma=0.3)
+        service_kwargs.setdefault("cost_model", PerCallCost(fee_per_call))
+        super().__init__(name, "spellcheck", transport, latency=latency, **service_kwargs)
+        self.checker = checker
+
+    def _handle(self, request: ServiceRequest) -> object:
+        payload = request.payload
+        if request.operation == "suggest":
+            word = str(payload.get("word", ""))
+            if not word:
+                raise RemoteServiceError(self.name, "suggest requires 'word'", status=400)
+            return {"word": word, "suggestions": self.checker.suggestions(word)}
+        if request.operation == "correct":
+            text = str(payload.get("text", ""))
+            result = self.checker.correct_text(text)
+            return {"corrected": " ".join(result["tokens"]),
+                    "replacements": [list(pair) for pair in result["replacements"]]}
+        raise RemoteServiceError(self.name, f"unknown operation {request.operation!r}",
+                                 status=400)

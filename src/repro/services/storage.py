@@ -1,0 +1,72 @@
+"""Simulated cloud storage services.
+
+Remote key-value stores with size-dependent latency — the substrate for
+the paper's running example: storage service *s1* has the lowest
+latency for small objects while *s2* wins for large objects, and the
+Rich SDK should learn the crossover from observed (size, latency)
+pairs and route accordingly.
+
+Operations: ``put`` / ``get`` / ``delete`` / ``exists`` / ``keys``.
+Values must be JSON-serializable (the PKB's secure client encrypts and
+compresses to strings before calling ``put``).
+"""
+
+from __future__ import annotations
+
+from repro.services.base import ServiceRequest, SimulatedService
+from repro.simnet.errors import RemoteServiceError
+from repro.simnet.latency import LatencyDistribution, SizeDependentLatency
+from repro.simnet.transport import Transport, wire_size
+
+
+class CloudStoreService(SimulatedService):
+    """A remote KV store behind the simulated network."""
+
+    def __init__(self, name: str, transport: Transport,
+                 latency: LatencyDistribution | None = None, **service_kwargs) -> None:
+        if latency is None:
+            latency = SizeDependentLatency(base=0.05, slope=0.00002)
+        super().__init__(name, "storage", transport, latency=latency, **service_kwargs)
+        self._data: dict[str, object] = {}
+
+    @property
+    def object_count(self) -> int:
+        return len(self._data)
+
+    def latency_params(self, request: ServiceRequest) -> dict[str, float]:
+        # Charge by the size of the value being moved: the stored value
+        # for puts, the fetched value for gets.
+        if request.operation == "put":
+            return {"size": float(wire_size(request.payload.get("value")))}
+        if request.operation == "get":
+            key = str(request.payload.get("key", ""))
+            if key in self._data:
+                return {"size": float(wire_size(self._data[key]))}
+        return {"size": 0.0}
+
+    def _handle(self, request: ServiceRequest) -> object:
+        payload = request.payload
+        operation = request.operation
+        if operation == "put":
+            key = payload.get("key")
+            if not isinstance(key, str) or not key:
+                raise RemoteServiceError(self.name, "put requires a non-empty 'key'",
+                                         status=400)
+            self._data[key] = payload.get("value")
+            return {"stored": key, "bytes": wire_size(payload.get("value"))}
+        if operation == "get":
+            key = str(payload.get("key", ""))
+            if key not in self._data:
+                raise RemoteServiceError(self.name, f"no such key {key!r}", status=404)
+            return {"key": key, "value": self._data[key]}
+        if operation == "delete":
+            key = str(payload.get("key", ""))
+            existed = key in self._data
+            self._data.pop(key, None)
+            return {"deleted": existed}
+        if operation == "exists":
+            return {"exists": str(payload.get("key", "")) in self._data}
+        if operation == "keys":
+            prefix = str(payload.get("prefix", ""))
+            return {"keys": sorted(key for key in self._data if key.startswith(prefix))}
+        raise RemoteServiceError(self.name, f"unknown operation {operation!r}", status=400)

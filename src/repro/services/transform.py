@@ -1,0 +1,87 @@
+"""Simulated data transformation and extraction services.
+
+The introduction lists "services which provide data transformations
+from one format to another as well as data extraction" among the web
+services applications build on.  This endpoint offers the remote
+counterparts of the PKB's local converters — useful both as another
+service kind for the SDK to manage and as the remote-vs-local ablation
+target (the PKB can do all of this locally for free).
+
+Operations:
+
+* ``csv_to_records`` — CSV text → list of typed row objects;
+* ``records_to_csv`` — the reverse;
+* ``html_to_text`` — strip markup (remote counterpart of
+  :func:`repro.textproc.html.strip_html`);
+* ``extract_numbers`` — pull all numeric values out of free text;
+* ``extract_dates`` — pull ISO-format dates (YYYY-MM-DD) out of text.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.services.base import ServiceRequest, SimulatedService
+from repro.simnet.errors import RemoteServiceError
+from repro.simnet.latency import LatencyDistribution
+from repro.simnet.transport import Transport
+from repro.stores.csvio import read_csv_text, write_csv_text
+from repro.textproc.html import strip_html
+
+_NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?")
+_DATE_RE = re.compile(r"\b(\d{4})-(\d{2})-(\d{2})\b")
+
+
+class TransformService(SimulatedService):
+    """Remote format conversion and extraction."""
+
+    def __init__(self, name: str, transport: Transport,
+                 latency: LatencyDistribution | None = None,
+                 **service_kwargs) -> None:
+        super().__init__(name, "transform", transport, latency=latency,
+                         **service_kwargs)
+
+    def _handle(self, request: ServiceRequest) -> object:
+        payload = request.payload
+        operation = request.operation
+        if operation == "csv_to_records":
+            text = payload.get("csv")
+            if not isinstance(text, str):
+                raise RemoteServiceError(self.name, "csv_to_records requires 'csv'",
+                                         status=400)
+            header, rows = read_csv_text(text)
+            return {"records": [dict(zip(header, row)) for row in rows],
+                    "columns": header}
+        if operation == "records_to_csv":
+            records = payload.get("records")
+            if not isinstance(records, list) or not records:
+                raise RemoteServiceError(
+                    self.name, "records_to_csv requires non-empty 'records'",
+                    status=400)
+            header = sorted({key for record in records for key in record})
+            rows = [[record.get(column) for column in header]
+                    for record in records]
+            return {"csv": write_csv_text(header, rows)}
+        if operation == "html_to_text":
+            html = payload.get("html")
+            if not isinstance(html, str):
+                raise RemoteServiceError(self.name, "html_to_text requires 'html'",
+                                         status=400)
+            return {"text": strip_html(html)}
+        if operation == "extract_numbers":
+            text = str(payload.get("text", ""))
+            numbers = []
+            for match in _NUMBER_RE.finditer(text):
+                token = match.group(0)
+                numbers.append(float(token) if "." in token else int(token))
+            return {"numbers": numbers}
+        if operation == "extract_dates":
+            text = str(payload.get("text", ""))
+            dates = []
+            for match in _DATE_RE.finditer(text):
+                year, month, day = (int(part) for part in match.groups())
+                if 1 <= month <= 12 and 1 <= day <= 31:
+                    dates.append(match.group(0))
+            return {"dates": dates}
+        raise RemoteServiceError(self.name, f"unknown operation {operation!r}",
+                                 status=400)

@@ -1,0 +1,114 @@
+"""Simulated visual recognition services.
+
+The paper's SDK treats image analysis exactly like text analysis:
+search engines find images for a query, each image goes to a visual
+recognition service, and results are aggregated.  Real image data is
+not available offline, so images are simulated as labelled feature
+descriptors: each class has a prototype vector, and an "image" is its
+class prototype plus seeded noise.  A recognition provider classifies
+by nearest prototype — but sees only its own (per-provider) subset of
+descriptor dimensions, so providers differ in accuracy the same
+measurable way the NLU providers do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.services.base import ServiceRequest, SimulatedService
+from repro.simnet.errors import RemoteServiceError
+from repro.simnet.latency import LatencyDistribution
+from repro.simnet.transport import Transport
+from repro.util.rng import SeededRng
+
+DEFAULT_LABELS = (
+    "cat", "dog", "car", "airplane", "building", "tree", "mountain",
+    "beach", "food", "person",
+)
+
+DESCRIPTOR_DIMS = 16
+
+
+def class_prototypes(labels: tuple[str, ...] = DEFAULT_LABELS,
+                     seed: int = 5) -> dict[str, list[float]]:
+    """Deterministic prototype descriptor per class label."""
+    prototypes: dict[str, list[float]] = {}
+    for label in labels:
+        rng = SeededRng(seed).child(f"proto:{label}")
+        prototypes[label] = [rng.uniform(-1, 1) for _ in range(DESCRIPTOR_DIMS)]
+    return prototypes
+
+
+@dataclass
+class SyntheticImage:
+    """A simulated image: an id, a descriptor and its gold label."""
+
+    image_id: str
+    descriptor: list[float]
+    gold_label: str
+
+
+def generate_images(count: int = 100, noise: float = 0.35, seed: int = 11,
+                    labels: tuple[str, ...] = DEFAULT_LABELS) -> list[SyntheticImage]:
+    """Generate ``count`` labelled images as noisy prototype copies."""
+    prototypes = class_prototypes(labels)
+    rng = SeededRng(seed)
+    images = []
+    for index in range(count):
+        label = rng.choice(labels)
+        prototype = prototypes[label]
+        descriptor = [value + rng.gauss(0, noise) for value in prototype]
+        images.append(SyntheticImage(f"img-{index:04d}", descriptor, label))
+    return images
+
+
+def _distance(first: list[float], second: list[float], dims: list[int]) -> float:
+    return math.sqrt(sum((first[dim] - second[dim]) ** 2 for dim in dims))
+
+
+class VisualRecognitionService(SimulatedService):
+    """Nearest-prototype image classifier with per-provider acuity.
+
+    ``visible_dims`` controls how many of the descriptor's dimensions
+    the provider can see; fewer dimensions means lower accuracy.
+    Operation ``classify`` — ``{"descriptor": [floats]}`` → ranked
+    ``[{"label", "confidence"}]``.
+    """
+
+    def __init__(self, name: str, transport: Transport,
+                 visible_dims: int = DESCRIPTOR_DIMS, seed: int = 5,
+                 labels: tuple[str, ...] = DEFAULT_LABELS,
+                 latency: LatencyDistribution | None = None, **service_kwargs) -> None:
+        if not 1 <= visible_dims <= DESCRIPTOR_DIMS:
+            raise ValueError(f"visible_dims must be in [1, {DESCRIPTOR_DIMS}]")
+        super().__init__(name, "vision", transport, latency=latency, **service_kwargs)
+        self.prototypes = class_prototypes(labels, seed=seed)
+        rng = SeededRng(seed).child(f"dims:{name}")
+        self.dims = sorted(rng.sample(range(DESCRIPTOR_DIMS), visible_dims))
+
+    def _handle(self, request: ServiceRequest) -> object:
+        if request.operation != "classify":
+            raise RemoteServiceError(self.name, f"unknown operation {request.operation!r}",
+                                     status=400)
+        descriptor = request.payload.get("descriptor")
+        if not isinstance(descriptor, list) or len(descriptor) != DESCRIPTOR_DIMS:
+            raise RemoteServiceError(
+                self.name, f"classify requires a {DESCRIPTOR_DIMS}-dim 'descriptor'",
+                status=400,
+            )
+        distances = {
+            label: _distance(descriptor, prototype, self.dims)
+            for label, prototype in self.prototypes.items()
+        }
+        # Convert distances to confidences with a softmax over -distance.
+        peak = min(distances.values())
+        weights = {label: math.exp(-(dist - peak) * 2.0) for label, dist in distances.items()}
+        total = sum(weights.values())
+        ranked = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
+        return {
+            "classes": [
+                {"label": label, "confidence": round(weight / total, 4)}
+                for label, weight in ranked[:5]
+            ]
+        }

@@ -1,0 +1,44 @@
+"""Simulated network substrate.
+
+Stands in for the HTTP transport the paper's SDK uses to reach cloud
+services.  Provides seeded latency distributions, a connectivity model
+with offline periods, timeouts, and a JSON-serializing request/response
+boundary, so every "remote" call in this reproduction crosses a
+realistic network edge.
+"""
+
+from repro.simnet.errors import (
+    NetworkError,
+    ServiceTimeoutError,
+    ConnectivityError,
+    RemoteServiceError,
+)
+from repro.simnet.latency import (
+    LatencyDistribution,
+    ConstantLatency,
+    UniformLatency,
+    LogNormalLatency,
+    SizeDependentLatency,
+    CompositeLatency,
+)
+from repro.simnet.connectivity import ConnectivityModel, AlwaysOnline, ScriptedConnectivity
+from repro.simnet.transport import Transport, TransportStats, wire_size
+
+__all__ = [
+    "NetworkError",
+    "ServiceTimeoutError",
+    "ConnectivityError",
+    "RemoteServiceError",
+    "LatencyDistribution",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "SizeDependentLatency",
+    "CompositeLatency",
+    "ConnectivityModel",
+    "AlwaysOnline",
+    "ScriptedConnectivity",
+    "Transport",
+    "TransportStats",
+    "wire_size",
+]

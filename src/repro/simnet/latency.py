@@ -1,0 +1,159 @@
+"""Latency distributions for simulated services and transports.
+
+The paper's SDK records latency as a function of user-supplied *latency
+parameters* (e.g. the size of an argument) and predicts future latency
+from that history.  To make that machinery testable we need services
+whose latency genuinely depends on such parameters:
+:class:`SizeDependentLatency` implements the paper's running example of
+a storage service whose time to store an object of size ``a`` grows
+with ``a``, with configurable slope so that service *s1* can win for
+small objects while *s2* wins for large ones.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping
+
+from repro.util.rng import SeededRng
+
+Params = Mapping[str, float]
+
+
+class LatencyDistribution(ABC):
+    """Maps a request's latency parameters to a sampled latency in seconds."""
+
+    @abstractmethod
+    def sample(self, rng: SeededRng, params: Params) -> float:
+        """Draw one latency for a request with the given parameters."""
+
+    def mean(self, params: Params) -> float:
+        """Analytic mean latency for the given parameters, if known.
+
+        Used by tests and benchmark harnesses to compare measured
+        behaviour against ground truth; subclasses should override when
+        a closed form exists.
+        """
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyDistribution):
+    """Always the same latency; the degenerate but very testable case."""
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds}")
+        self.seconds = seconds
+
+    def sample(self, rng: SeededRng, params: Params) -> float:
+        return self.seconds
+
+    def mean(self, params: Params) -> float:
+        return self.seconds
+
+
+class UniformLatency(LatencyDistribution):
+    """Uniform latency in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: SeededRng, params: Params) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self, params: Params) -> float:
+        return (self.low + self.high) / 2
+
+
+class LogNormalLatency(LatencyDistribution):
+    """Lognormal latency around a median — the canonical WAN shape.
+
+    ``median`` is the 50th percentile in seconds; ``sigma`` controls the
+    heaviness of the tail.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.25) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.median = median
+        self.sigma = sigma
+        import math
+
+        self._mu = math.log(median)
+
+    def sample(self, rng: SeededRng, params: Params) -> float:
+        return rng.lognormal(self._mu, self.sigma)
+
+    def mean(self, params: Params) -> float:
+        import math
+
+        return math.exp(self._mu + self.sigma**2 / 2)
+
+
+class SizeDependentLatency(LatencyDistribution):
+    """Latency that is affine in one latency parameter, plus noise.
+
+    ``latency = base + slope * params[param]``, multiplied by a lognormal
+    noise factor with median 1.  This realizes the paper's example where
+    the time to store an object of size ``a`` increases with ``a`` and
+    different services have different base/slope trade-offs.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        slope: float,
+        param: str = "size",
+        noise_sigma: float = 0.05,
+    ) -> None:
+        if base < 0 or slope < 0:
+            raise ValueError(f"base and slope must be non-negative, got {base}, {slope}")
+        self.base = base
+        self.slope = slope
+        self.param = param
+        self.noise_sigma = noise_sigma
+
+    def deterministic(self, params: Params) -> float:
+        """The noise-free latency for the given parameters."""
+        return self.base + self.slope * float(params.get(self.param, 0.0))
+
+    def sample(self, rng: SeededRng, params: Params) -> float:
+        noise = rng.lognormal(0.0, self.noise_sigma) if self.noise_sigma > 0 else 1.0
+        return self.deterministic(params) * noise
+
+    def mean(self, params: Params) -> float:
+        import math
+
+        return self.deterministic(params) * math.exp(self.noise_sigma**2 / 2)
+
+    def crossover_with(self, other: "SizeDependentLatency") -> float | None:
+        """Parameter value at which this service's mean latency equals ``other``'s.
+
+        Returns ``None`` when the two affine curves are parallel (no
+        crossover) or identical.  Benchmark F2.latparam checks that the
+        SDK's regression predictor recovers this analytic crossover.
+        """
+        if self.slope == other.slope:
+            return None
+        crossing = (other.base - self.base) / (self.slope - other.slope)
+        return crossing if crossing >= 0 else None
+
+
+class CompositeLatency(LatencyDistribution):
+    """Sum of several distributions (e.g. network RTT + compute time)."""
+
+    def __init__(self, *components: LatencyDistribution) -> None:
+        if not components:
+            raise ValueError("CompositeLatency needs at least one component")
+        self.components = components
+
+    def sample(self, rng: SeededRng, params: Params) -> float:
+        return sum(component.sample(rng, params) for component in self.components)
+
+    def mean(self, params: Params) -> float:
+        return sum(component.mean(params) for component in self.components)

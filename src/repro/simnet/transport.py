@@ -1,0 +1,167 @@
+"""The simulated wire between clients and services.
+
+Every "remote" call in this reproduction goes through
+:meth:`Transport.call`, which enforces the same boundary a real HTTP
+transport would:
+
+* the request and response payloads are round-tripped through JSON, so
+  only serializable data crosses and the caller never shares mutable
+  state with the service;
+* connectivity is checked against a :class:`ConnectivityModel`;
+* network latency is sampled per direction and, together with the
+  service's compute latency, charged to the simulation clock;
+* a caller-supplied timeout aborts calls whose total latency exceeds it,
+  raising :class:`ServiceTimeoutError` after charging the timeout (the
+  client really did wait that long).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.simnet.connectivity import AlwaysOnline, ConnectivityModel
+from repro.simnet.errors import ConnectivityError, ServiceTimeoutError
+from repro.simnet.latency import ConstantLatency, LatencyDistribution
+from repro.util.clock import Clock, ManualClock
+from repro.util.errors import SerializationError
+from repro.util.rng import SeededRng
+
+ServerFn = Callable[[dict], tuple[dict, float]]
+"""A service entry point: payload -> (response payload, compute latency)."""
+
+
+def wire_size(payload: object) -> int:
+    """Bytes the payload occupies on the simulated wire (JSON-encoded)."""
+    try:
+        return len(json.dumps(payload, separators=(",", ":")).encode())
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"payload is not JSON-serializable: {exc}") from exc
+
+
+def _roundtrip(payload: object, direction: str) -> dict:
+    """JSON round-trip a payload to enforce the serialization boundary."""
+    try:
+        encoded = json.dumps(payload, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"{direction} payload is not JSON-serializable: {exc}") from exc
+    return json.loads(encoded)
+
+
+@dataclass
+class TransportStats:
+    """Running totals of everything that crossed this transport."""
+
+    calls: int = 0
+    successes: int = 0
+    timeouts: int = 0
+    offline_failures: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    total_latency: float = 0.0
+    per_endpoint_calls: dict[str, int] = field(default_factory=dict)
+
+    def record_call(self, endpoint: str) -> None:
+        self.calls += 1
+        self.per_endpoint_calls[endpoint] = self.per_endpoint_calls.get(endpoint, 0) + 1
+
+
+@dataclass
+class TransportResult:
+    """Outcome of one successful transport call."""
+
+    payload: dict
+    latency: float
+    bytes_sent: int
+    bytes_received: int
+
+
+class Transport:
+    """Simulated client-side network stack.
+
+    One transport is typically shared by all services a client talks to,
+    so its :class:`TransportStats` give the application-wide picture of
+    network usage that benchmark F1 reports.
+    """
+
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        rng: SeededRng | None = None,
+        connectivity: ConnectivityModel | None = None,
+        network_latency: LatencyDistribution | None = None,
+    ) -> None:
+        self.clock = clock if clock is not None else ManualClock()
+        self.rng = rng if rng is not None else SeededRng(0)
+        self.connectivity = connectivity if connectivity is not None else AlwaysOnline()
+        self.network_latency = (
+            network_latency if network_latency is not None else ConstantLatency(0.0)
+        )
+        self.stats = TransportStats()
+
+    def is_online(self) -> bool:
+        """Whether the network is currently reachable."""
+        return self.connectivity.is_online(self.clock.now())
+
+    def call(
+        self,
+        endpoint: str,
+        server_fn: ServerFn,
+        request: Mapping[str, object],
+        timeout: float | None = None,
+        latency_params: Mapping[str, float] | None = None,
+    ) -> TransportResult:
+        """Deliver ``request`` to ``server_fn`` across the simulated wire.
+
+        ``latency_params`` flow to the network latency distribution
+        (some distributions are size-dependent).  Raises
+        :class:`ConnectivityError` when offline,
+        :class:`ServiceTimeoutError` when the sampled total latency
+        exceeds ``timeout``, and lets service-level exceptions propagate
+        after charging the latency spent before the failure.
+        """
+        self.stats.record_call(endpoint)
+        params = dict(latency_params or {})
+
+        if not self.is_online():
+            self.stats.offline_failures += 1
+            raise ConnectivityError(endpoint)
+
+        request_payload = _roundtrip(dict(request), "request")
+        sent = wire_size(request_payload)
+        outbound = self.network_latency.sample(self.rng, params)
+
+        try:
+            response_payload, compute_latency = server_fn(request_payload)
+        except Exception:
+            # The request crossed the wire and the service failed while
+            # working on it; the client still paid the outbound trip and
+            # the wait for the error response.
+            self.clock.charge(outbound)
+            self.stats.bytes_sent += sent
+            raise
+
+        inbound = self.network_latency.sample(self.rng, params)
+        total = outbound + compute_latency + inbound
+
+        if timeout is not None and total > timeout:
+            self.clock.charge(timeout)
+            self.stats.timeouts += 1
+            self.stats.bytes_sent += sent
+            raise ServiceTimeoutError(endpoint, timeout)
+
+        response_payload = _roundtrip(response_payload, "response")
+        received = wire_size(response_payload)
+
+        self.clock.charge(total)
+        self.stats.successes += 1
+        self.stats.bytes_sent += sent
+        self.stats.bytes_received += received
+        self.stats.total_latency += total
+        return TransportResult(
+            payload=response_payload,
+            latency=total,
+            bytes_sent=sent,
+            bytes_received=received,
+        )

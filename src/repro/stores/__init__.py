@@ -1,0 +1,37 @@
+"""Local persistent stores used by the personalized knowledge base.
+
+The paper's PKB stores data "in multiple ways": files/CSV, a relational
+DBMS (MySQL in the paper), key-value stores, and an RDF triple store
+with reasoning (Apache Jena in the paper).  Each has a from-scratch
+equivalent here, plus the format converters the paper calls "a key
+property" of the PKB.
+"""
+
+from repro.stores.kvstore import KeyValueStore, InMemoryKeyValueStore, FileKeyValueStore
+from repro.stores.csvio import read_csv, write_csv, read_csv_text, write_csv_text
+from repro.stores.relational import Column, Database, Table
+from repro.stores.converters import (
+    table_to_triples,
+    triples_to_rows,
+    rows_to_table,
+    csv_text_to_table,
+    table_to_csv_text,
+)
+
+__all__ = [
+    "KeyValueStore",
+    "InMemoryKeyValueStore",
+    "FileKeyValueStore",
+    "read_csv",
+    "write_csv",
+    "read_csv_text",
+    "write_csv_text",
+    "Column",
+    "Database",
+    "Table",
+    "table_to_triples",
+    "triples_to_rows",
+    "rows_to_table",
+    "csv_text_to_table",
+    "table_to_csv_text",
+]

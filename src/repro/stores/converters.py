@@ -1,0 +1,119 @@
+"""Format converters: CSV ↔ relational table ↔ RDF statements.
+
+"The ability to convert data between different formats is a key
+property of our personalized knowledge base" — these functions are that
+property.  A relational row becomes a bundle of RDF statements with a
+row URI as subject and one predicate per column; the reverse direction
+pivots (subject, predicate, object) triples back into rows.
+"""
+
+from __future__ import annotations
+
+from repro.stores.csvio import read_csv_text, write_csv_text
+from repro.stores.rdf.graph import Graph, RDF, REPRO, Triple
+from repro.stores.relational import Column, Table
+
+_PYTHON_TO_COLUMN = {int: "int", float: "float", str: "str", bool: "bool"}
+
+
+def _infer_column_type(values: list[object]) -> str:
+    present = [value for value in values if value is not None]
+    if not present:
+        return "any"
+    kinds = {_PYTHON_TO_COLUMN.get(type(value), "any") for value in present}
+    if kinds == {"int"}:
+        return "int"
+    if kinds <= {"int", "float"}:
+        return "float"
+    if len(kinds) == 1:
+        return kinds.pop()
+    return "any"
+
+
+def rows_to_table(name: str, header: list[str], rows: list[list[object]]) -> Table:
+    """Build a typed table from raw (header, rows) data, inferring types."""
+    columns = []
+    for index, column_name in enumerate(header):
+        values = [row[index] if index < len(row) else None for row in rows]
+        columns.append(Column(column_name, _infer_column_type(values)))
+    table = Table(name, columns)
+    for row in rows:
+        padded = list(row) + [None] * (len(header) - len(row))
+        table.insert(dict(zip(header, padded)))
+    return table
+
+
+def csv_text_to_table(name: str, csv_text: str) -> Table:
+    """Parse CSV text straight into a typed table."""
+    header, rows = read_csv_text(csv_text)
+    return rows_to_table(name, header, rows)
+
+
+def table_to_csv_text(table: Table) -> str:
+    """Render a table as CSV (header + rows in insertion order)."""
+    header = table.column_names
+    rows = [[row[name] for name in header] for row in table.rows]
+    return write_csv_text(header, rows)
+
+
+def table_to_triples(
+    table: Table,
+    subject_column: str | None = None,
+    predicate_prefix: str = "repro:",
+) -> list[Triple]:
+    """Convert every row to RDF statements.
+
+    The subject is ``repro:<table>/<key>`` where the key comes from
+    ``subject_column`` (or the row index).  Each non-null column value
+    becomes one statement; every row also gets an ``rdf:type`` linking
+    it back to its table, so the reverse conversion can find it.
+    """
+    triples: list[Triple] = []
+    table_type = REPRO(f"table/{table.name}")
+    for index, row in enumerate(table.rows):
+        if subject_column is not None:
+            key = row[subject_column]
+            if key is None:
+                raise ValueError(f"row {index} has NULL in subject column {subject_column!r}")
+        else:
+            key = index
+        subject = f"{predicate_prefix}{table.name}/{key}"
+        triples.append(Triple(subject, RDF.type, table_type))
+        for column in table.columns:
+            value = row[column.name]
+            if value is None:
+                continue
+            triples.append(Triple(subject, f"{predicate_prefix}{column.name}", value))
+    return triples
+
+
+def triples_to_rows(graph: Graph, table_name: str,
+                    predicate_prefix: str = "repro:") -> tuple[list[str], list[list[object]]]:
+    """Pivot a table's statements back into (header, rows).
+
+    Finds all subjects typed as the table, collects their predicates as
+    columns (sorted for determinism), and emits one row per subject.
+    Multi-valued predicates keep one deterministic value (the smallest
+    by string order) — relational rows cannot hold sets.
+    """
+    table_type = REPRO(f"table/{table_name}")
+    subjects = sorted(graph.subjects(RDF.type, table_type))
+    columns: set[str] = set()
+    per_subject: dict[str, dict[str, object]] = {}
+    for subject in subjects:
+        record: dict[str, object] = {}
+        for triple in graph.match(subject, None, None):
+            if triple.predicate == RDF.type:
+                continue
+            if not triple.predicate.startswith(predicate_prefix):
+                continue
+            column = triple.predicate[len(predicate_prefix):]
+            columns.add(column)
+            if column in record:
+                record[column] = min(record[column], triple.object, key=str)
+            else:
+                record[column] = triple.object
+        per_subject[subject] = record
+    header = sorted(columns)
+    rows = [[per_subject[subject].get(column) for column in header] for subject in subjects]
+    return header, rows

@@ -1,0 +1,70 @@
+"""CSV reading and writing with light type inference.
+
+The PKB reads analysis results back from "MATLAB, Excel, Python
+programs, R" via CSV, so values arrive as strings; ``read_csv`` infers
+int/float/bool where unambiguous and leaves everything else as text.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+
+def _infer(value: str) -> object:
+    text = value.strip()
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return value
+
+
+def read_csv_text(text: str, infer_types: bool = True) -> tuple[list[str], list[list[object]]]:
+    """Parse CSV text into (header, rows)."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        return [], []
+    rows = []
+    for raw_row in reader:
+        if not raw_row:
+            continue
+        row = [_infer(cell) if infer_types else cell for cell in raw_row]
+        rows.append(row)
+    return header, rows
+
+
+def write_csv_text(header: list[str], rows: list[list[object]]) -> str:
+    """Render (header, rows) as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(header)
+    for row in rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue()
+
+
+def read_csv(path: str | Path, infer_types: bool = True) -> tuple[list[str], list[list[object]]]:
+    """Read a CSV file into (header, rows)."""
+    return read_csv_text(Path(path).read_text(), infer_types=infer_types)
+
+
+def write_csv(path: str | Path, header: list[str], rows: list[list[object]]) -> None:
+    """Write (header, rows) to a CSV file, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(write_csv_text(header, rows))

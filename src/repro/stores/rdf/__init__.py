@@ -1,0 +1,47 @@
+"""RDF triple store with reasoning (the PKB's Apache Jena stand-in).
+
+* :mod:`repro.stores.rdf.graph` — triples, the indexed graph, and the
+  RDF/RDFS vocabulary constants.
+* :mod:`repro.stores.rdf.query` — a SPARQL-like SELECT engine over
+  basic graph patterns with filters.
+* :mod:`repro.stores.rdf.reasoner` — the predefined reasoners the paper
+  lists: transitive and RDFS-subset rule reasoners.
+* :mod:`repro.stores.rdf.rules` — the "generic rule reasoner that
+  supports user-defined rules", with forward chaining and tabled
+  backward chaining.
+"""
+
+from repro.stores.rdf.graph import Triple, Graph, RDF, RDFS, REPRO
+from repro.stores.rdf.query import select, Pattern, is_variable
+from repro.stores.rdf.reasoner import TransitiveReasoner, RdfsReasoner
+from repro.stores.rdf.rules import Rule, GenericRuleReasoner
+from repro.stores.rdf.serialization import to_turtle, from_turtle
+from repro.stores.rdf.provenance import (
+    ConfidenceGraph,
+    ConfidenceRuleEngine,
+    WeightedRule,
+    godel_tnorm,
+    product_tnorm,
+)
+
+__all__ = [
+    "to_turtle",
+    "from_turtle",
+    "ConfidenceGraph",
+    "ConfidenceRuleEngine",
+    "WeightedRule",
+    "godel_tnorm",
+    "product_tnorm",
+    "Triple",
+    "Graph",
+    "RDF",
+    "RDFS",
+    "REPRO",
+    "select",
+    "Pattern",
+    "is_variable",
+    "TransitiveReasoner",
+    "RdfsReasoner",
+    "Rule",
+    "GenericRuleReasoner",
+]

@@ -1,0 +1,194 @@
+"""Triples and the indexed RDF graph.
+
+A statement has a subject, predicate and object (the paper's "The Java
+HashMap class implements the Java Map interface" example).  Subjects
+and predicates are strings (URIs or names); objects may be strings or
+numbers — numeric literals matter because the PKB stores regression
+results as statements.
+
+The graph keeps three hash indexes (SPO, POS, OSP) so that any
+wildcard pattern is answered from the most selective index, the same
+layout classic triple stores use.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+Term = str | int | float | bool
+
+
+class _Namespace:
+    """Attribute-style URI factory: ``RDFS.subClassOf`` etc."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+
+    def __getattr__(self, name: str) -> str:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._prefix + name
+
+    def __call__(self, name: str) -> str:
+        return self._prefix + name
+
+
+RDF = _Namespace("rdf:")
+RDFS = _Namespace("rdfs:")
+REPRO = _Namespace("repro:")
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement."""
+
+    subject: str
+    predicate: str
+    object: Term
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter((self.subject, self.predicate, self.object))
+
+
+class Graph:
+    """A set of triples with SPO / POS / OSP hash indexes."""
+
+    def __init__(self, triples: Iterable[Triple | tuple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._spo: dict[str, dict[str, set[Term]]] = {}
+        self._pos: dict[str, dict[Term, set[str]]] = {}
+        self._osp: dict[Term, dict[str, set[str]]] = {}
+        for triple in triples:
+            self.add(triple)
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, triple: Triple | tuple) -> bool:
+        return self._coerce(triple) in self._triples
+
+    @staticmethod
+    def _coerce(triple: Triple | tuple) -> Triple:
+        if isinstance(triple, Triple):
+            return triple
+        subject, predicate, obj = triple
+        return Triple(subject, predicate, obj)
+
+    def add(self, triple: Triple | tuple) -> bool:
+        """Insert a triple; returns False when it was already present."""
+        triple = self._coerce(triple)
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._spo.setdefault(triple.subject, {}).setdefault(triple.predicate, set()).add(
+            triple.object
+        )
+        self._pos.setdefault(triple.predicate, {}).setdefault(triple.object, set()).add(
+            triple.subject
+        )
+        self._osp.setdefault(triple.object, {}).setdefault(triple.subject, set()).add(
+            triple.predicate
+        )
+        return True
+
+    def add_all(self, triples: Iterable[Triple | tuple]) -> int:
+        """Insert many triples; returns how many were new."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def remove(self, triple: Triple | tuple) -> bool:
+        """Delete a triple; returns whether it was present."""
+        triple = self._coerce(triple)
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+
+        def prune(index: dict, first, second, third) -> None:
+            index[first][second].discard(third)
+            if not index[first][second]:
+                del index[first][second]
+            if not index[first]:
+                del index[first]
+
+        prune(self._spo, triple.subject, triple.predicate, triple.object)
+        prune(self._pos, triple.predicate, triple.object, triple.subject)
+        prune(self._osp, triple.object, triple.subject, triple.predicate)
+        return True
+
+    def match(
+        self,
+        subject: str | None = None,
+        predicate: str | None = None,
+        obj: Term | None = None,
+    ) -> list[Triple]:
+        """All triples matching the pattern; ``None`` is a wildcard.
+
+        Dispatches to the index that binds the most components, so even
+        single-wildcard patterns avoid a full scan.
+        """
+        if subject is not None and predicate is not None and obj is not None:
+            triple = Triple(subject, predicate, obj)
+            return [triple] if triple in self._triples else []
+        if subject is not None and predicate is not None:
+            objects = self._spo.get(subject, {}).get(predicate, set())
+            return [Triple(subject, predicate, item) for item in objects]
+        if predicate is not None and obj is not None:
+            subjects = self._pos.get(predicate, {}).get(obj, set())
+            return [Triple(item, predicate, obj) for item in subjects]
+        if subject is not None and obj is not None:
+            predicates = self._osp.get(obj, {}).get(subject, set())
+            return [Triple(subject, item, obj) for item in predicates]
+        if subject is not None:
+            return [
+                Triple(subject, predicate_key, item)
+                for predicate_key, objects in self._spo.get(subject, {}).items()
+                for item in objects
+            ]
+        if predicate is not None:
+            return [
+                Triple(item, predicate, object_key)
+                for object_key, subjects in self._pos.get(predicate, {}).items()
+                for item in subjects
+            ]
+        if obj is not None:
+            return [
+                Triple(subject_key, item, obj)
+                for subject_key, predicates in self._osp.get(obj, {}).items()
+                for item in predicates
+            ]
+        return list(self._triples)
+
+    def objects(self, subject: str, predicate: str) -> set[Term]:
+        """All objects of (subject, predicate, ?)."""
+        return set(self._spo.get(subject, {}).get(predicate, set()))
+
+    def subjects(self, predicate: str, obj: Term) -> set[str]:
+        """All subjects of (?, predicate, object)."""
+        return set(self._pos.get(predicate, {}).get(obj, set()))
+
+    def predicates(self) -> set[str]:
+        return set(self._pos)
+
+    def copy(self) -> "Graph":
+        return Graph(self._triples)
+
+    # -- persistence -------------------------------------------------------
+
+    def to_list(self) -> list[list[Term]]:
+        """JSON-friendly dump, deterministically ordered.
+
+        The sort key stringifies objects because literals may mix types
+        (numbers from regression results next to string labels).
+        """
+        ordered = sorted(
+            self._triples,
+            key=lambda t: (t.subject, t.predicate, type(t.object).__name__, str(t.object)),
+        )
+        return [[t.subject, t.predicate, t.object] for t in ordered]
+
+    @classmethod
+    def from_list(cls, payload: Iterable[list]) -> "Graph":
+        return cls(tuple(item) for item in payload)

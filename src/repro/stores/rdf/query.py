@@ -1,0 +1,194 @@
+"""A SPARQL-like SELECT engine over basic graph patterns.
+
+Patterns are (subject, predicate, object) tuples whose components are
+either concrete terms or variables — strings starting with ``?``.
+``select`` solves the conjunction of patterns against a graph, applies
+optional filters over the bindings, and projects the requested
+variables.  This is the query layer Jena's SPARQL engine provides in
+the paper (used there to query DBpedia; used here against the local
+graph and the simulated knowledge services' exports).
+
+Example::
+
+    select(
+        graph,
+        patterns=[("?country", "rdf:type", "repro:Country"),
+                  ("?country", "repro:population_millions", "?pop")],
+        variables=["?country", "?pop"],
+        filters=[lambda b: b["?pop"] > 100],
+        order_by="?pop", descending=True,
+    )
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.stores.rdf.graph import Graph, Term
+
+Pattern = tuple[object, object, object]
+Binding = dict[str, Term]
+
+
+def is_variable(term: object) -> bool:
+    """Whether a pattern component is a variable (``?name``)."""
+    return isinstance(term, str) and term.startswith("?")
+
+
+def _substitute(component: object, binding: Binding) -> object:
+    if is_variable(component) and component in binding:
+        return binding[component]
+    return component
+
+
+def _match_pattern(graph: Graph, pattern: Pattern, binding: Binding) -> list[Binding]:
+    """All extensions of ``binding`` that satisfy one pattern."""
+    subject, predicate, obj = (_substitute(component, binding) for component in pattern)
+    query = (
+        None if is_variable(subject) else subject,
+        None if is_variable(predicate) else predicate,
+        None if is_variable(obj) else obj,
+    )
+    extensions = []
+    for triple in graph.match(*query):
+        extended = dict(binding)
+        consistent = True
+        for component, value in zip((subject, predicate, obj), iter(triple)):
+            if is_variable(component):
+                if component in extended and extended[component] != value:
+                    consistent = False
+                    break
+                extended[component] = value
+            elif component != value:
+                consistent = False
+                break
+        if consistent:
+            extensions.append(extended)
+    return extensions
+
+
+def solve(graph: Graph, patterns: Sequence[Pattern]) -> list[Binding]:
+    """All variable bindings satisfying every pattern (natural join)."""
+    bindings: list[Binding] = [{}]
+    for pattern in patterns:
+        next_bindings: list[Binding] = []
+        for binding in bindings:
+            next_bindings.extend(_match_pattern(graph, pattern, binding))
+        bindings = next_bindings
+        if not bindings:
+            break
+    return bindings
+
+
+def solve_optional(
+    graph: Graph,
+    solutions: list[Binding],
+    optional_patterns: Sequence[Pattern],
+) -> list[Binding]:
+    """SPARQL OPTIONAL semantics (left join).
+
+    Each existing solution is extended by the optional pattern group
+    where possible; solutions with no compatible extension survive
+    unchanged (their optional variables stay unbound).
+    """
+    extended: list[Binding] = []
+    for binding in solutions:
+        matches = [dict(binding)]
+        for pattern in optional_patterns:
+            next_matches: list[Binding] = []
+            for candidate in matches:
+                next_matches.extend(_match_pattern(graph, pattern, candidate))
+            matches = next_matches
+            if not matches:
+                break
+        if matches:
+            extended.extend(matches)
+        else:
+            extended.append(binding)
+    return extended
+
+
+def select(
+    graph: Graph,
+    patterns: Sequence[Pattern],
+    variables: Sequence[str] | None = None,
+    filters: Sequence[Callable[[Binding], bool]] = (),
+    distinct: bool = False,
+    order_by: str | None = None,
+    descending: bool = False,
+    limit: int | None = None,
+    optional: Sequence[Pattern] = (),
+) -> list[Binding]:
+    """Run a SELECT query; returns a list of projected bindings.
+
+    ``variables=None`` projects every variable that appears in the
+    patterns.  Filters receive full (pre-projection) bindings.
+    ``optional`` patterns have SPARQL OPTIONAL (left-join) semantics:
+    they enrich solutions when they match but never eliminate one.
+    """
+    for pattern in list(patterns) + list(optional):
+        if len(pattern) != 3:
+            raise ValueError(f"patterns must be triples, got {pattern!r}")
+    solutions = solve(graph, patterns)
+    if optional:
+        solutions = solve_optional(graph, solutions, optional)
+    for predicate in filters:
+        solutions = [binding for binding in solutions if predicate(binding)]
+    if order_by is not None:
+        solutions.sort(
+            key=lambda binding: (str(type(binding.get(order_by)).__name__),
+                                 binding.get(order_by) is None,
+                                 binding.get(order_by)),
+            reverse=descending,
+        )
+    if variables is not None:
+        unknown = [name for name in variables if not is_variable(name)]
+        if unknown:
+            raise ValueError(f"projection must list variables, got {unknown}")
+        solutions = [
+            {name: binding[name] for name in variables if name in binding}
+            for binding in solutions
+        ]
+    if distinct:
+        seen = set()
+        unique = []
+        for binding in solutions:
+            key = tuple(sorted(binding.items(), key=lambda item: item[0]))
+            if key not in seen:
+                seen.add(key)
+                unique.append(binding)
+        solutions = unique
+    if limit is not None:
+        solutions = solutions[:limit]
+    return solutions
+
+
+def union(
+    graph: Graph,
+    pattern_groups: Sequence[Sequence[Pattern]],
+    variables: Sequence[str] | None = None,
+    distinct: bool = True,
+    **select_kwargs,
+) -> list[Binding]:
+    """SPARQL UNION: the concatenation of each group's solutions.
+
+    Groups may bind different variable subsets (as in SPARQL); with
+    ``distinct`` (the default) duplicate bindings across groups are
+    collapsed.
+    """
+    combined: list[Binding] = []
+    for patterns in pattern_groups:
+        combined.extend(
+            select(graph, patterns, variables=variables, distinct=False,
+                   **select_kwargs)
+        )
+    if distinct:
+        seen = set()
+        unique = []
+        for binding in combined:
+            key = tuple(sorted(binding.items(), key=lambda item: item[0]))
+            if key not in seen:
+                seen.add(key)
+                unique.append(binding)
+        combined = unique
+    return combined

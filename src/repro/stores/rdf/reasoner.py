@@ -1,0 +1,146 @@
+"""Predefined reasoners: transitive closure and an RDFS subset.
+
+These mirror the first three of Jena's predefined reasoners that the
+paper lists (the fourth, the generic rule reasoner, lives in
+:mod:`repro.stores.rdf.rules`).  Both reasoners are *materializing*:
+``apply`` adds entailed triples to the graph and returns how many were
+new, so repeated application is idempotent — a property the test suite
+checks.
+"""
+
+from __future__ import annotations
+
+from repro.stores.rdf.graph import Graph, RDF, RDFS, Triple
+
+
+class TransitiveReasoner:
+    """Computes the transitive closure of selected predicates.
+
+    By default closes ``rdfs:subClassOf`` and ``rdfs:subPropertyOf`` —
+    "storing and traversing class and property lattices" as the paper
+    puts it.  Additional transitive predicates (e.g. a ``locatedIn``
+    hierarchy) can be supplied.
+    """
+
+    def __init__(self, predicates: list[str] | None = None) -> None:
+        self.predicates = list(predicates) if predicates is not None else [
+            RDFS.subClassOf,
+            RDFS.subPropertyOf,
+        ]
+
+    def apply(self, graph: Graph) -> int:
+        """Materialize the closure; returns the number of new triples."""
+        added_total = 0
+        for predicate in self.predicates:
+            added_total += self._close(graph, predicate)
+        return added_total
+
+    @staticmethod
+    def _close(graph: Graph, predicate: str) -> int:
+        # Warshall-style fixpoint over the adjacency of one predicate.
+        successors: dict[str, set] = {}
+        for triple in graph.match(None, predicate, None):
+            successors.setdefault(triple.subject, set()).add(triple.object)
+        changed = True
+        while changed:
+            changed = False
+            for subject, objects in list(successors.items()):
+                expansion = set()
+                for middle in objects:
+                    expansion |= successors.get(middle, set())
+                new = expansion - objects
+                if new:
+                    objects |= new
+                    changed = True
+        added = 0
+        for subject, objects in successors.items():
+            for obj in objects:
+                if subject != obj and graph.add(Triple(subject, predicate, obj)):
+                    added += 1
+        return added
+
+
+class RdfsReasoner:
+    """A configurable subset of the RDF Schema entailment rules.
+
+    Implemented rules (names from the RDFS semantics spec):
+
+    * ``rdfs2`` — domain: ``(p domain c), (x p y) -> (x type c)``
+    * ``rdfs3`` — range: ``(p range c), (x p y) -> (y type c)``
+    * ``rdfs5`` — subPropertyOf transitivity
+    * ``rdfs7`` — property inheritance: ``(p subPropertyOf q), (x p y) -> (x q y)``
+    * ``rdfs9`` — instance inheritance: ``(c subClassOf d), (x type c) -> (x type d)``
+    * ``rdfs11`` — subClassOf transitivity
+
+    The ``rules`` argument selects a subset, mirroring Jena's
+    "configurable subset of the RDF Schema entailments".
+    """
+
+    ALL_RULES = ("rdfs2", "rdfs3", "rdfs5", "rdfs7", "rdfs9", "rdfs11")
+
+    def __init__(self, rules: tuple[str, ...] | None = None) -> None:
+        selected = tuple(rules) if rules is not None else self.ALL_RULES
+        unknown = set(selected) - set(self.ALL_RULES)
+        if unknown:
+            raise ValueError(f"unknown RDFS rules: {sorted(unknown)}")
+        self.rules = selected
+
+    def apply(self, graph: Graph) -> int:
+        """Run all selected rules to fixpoint; returns new-triple count."""
+        added_total = 0
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                step = getattr(self, f"_{rule}")(graph)
+                if step:
+                    added_total += step
+                    changed = True
+        return added_total
+
+    @staticmethod
+    def _rdfs2(graph: Graph) -> int:
+        added = 0
+        for domain_triple in graph.match(None, RDFS.domain, None):
+            for usage in graph.match(None, domain_triple.subject, None):
+                added += graph.add(Triple(usage.subject, RDF.type, domain_triple.object))
+        return added
+
+    @staticmethod
+    def _rdfs3(graph: Graph) -> int:
+        added = 0
+        for range_triple in graph.match(None, RDFS.range, None):
+            for usage in graph.match(None, range_triple.subject, None):
+                if isinstance(usage.object, str):
+                    added += graph.add(Triple(usage.object, RDF.type, range_triple.object))
+        return added
+
+    @staticmethod
+    def _rdfs5(graph: Graph) -> int:
+        return TransitiveReasoner._close(graph, RDFS.subPropertyOf)
+
+    @staticmethod
+    def _rdfs7(graph: Graph) -> int:
+        added = 0
+        for sub_property in graph.match(None, RDFS.subPropertyOf, None):
+            if not isinstance(sub_property.object, str):
+                continue
+            for usage in graph.match(None, sub_property.subject, None):
+                added += graph.add(
+                    Triple(usage.subject, sub_property.object, usage.object)
+                )
+        return added
+
+    @staticmethod
+    def _rdfs9(graph: Graph) -> int:
+        added = 0
+        for subclass in graph.match(None, RDFS.subClassOf, None):
+            if not isinstance(subclass.object, str):
+                continue
+            for instance in graph.match(None, RDF.type, subclass.subject):
+                added += graph.add(Triple(instance.subject, RDF.type, subclass.object))
+        return added
+
+    @staticmethod
+    def _rdfs11(graph: Graph) -> int:
+        return TransitiveReasoner._close(graph, RDFS.subClassOf)

@@ -1,0 +1,152 @@
+"""Turtle-style serialization for the triple store.
+
+A compact, line-oriented subset of Turtle: one ``subject predicate
+object .`` statement per line, string objects quoted with escapes,
+numbers and booleans bare.  Good enough to interchange with external
+tooling and to keep human-inspectable dumps of the PKB's graph in
+version control.
+"""
+
+from __future__ import annotations
+
+from repro.stores.rdf.graph import Graph, Term, Triple
+from repro.util.errors import SerializationError
+
+
+_BARE_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    ":_/-."
+)
+
+
+def _encode_term(term: Term) -> str:
+    if isinstance(term, bool):
+        return "true" if term else "false"
+    if isinstance(term, (int, float)):
+        return repr(term)
+    if isinstance(term, str):
+        bare_ok = (
+            term != ""
+            and all(ch in _BARE_SAFE for ch in term)
+            and not term.endswith(".")
+            and not _looks_literal(term)
+        )
+        if bare_ok:
+            return term
+        escaped = term.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\r", "\\r")
+        return f'"{escaped}"'
+    raise SerializationError(f"cannot serialize term of type {type(term).__name__}")
+
+
+def _looks_literal(text: str) -> bool:
+    """Strings that would parse back as numbers/booleans must be quoted."""
+    if text in ("true", "false"):
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _decode_term(token: str) -> Term:
+    if token.startswith('"'):
+        if not token.endswith('"') or len(token) < 2:
+            raise SerializationError(f"unterminated string literal: {token!r}")
+        body = token[1:-1]
+        out = []
+        index = 0
+        while index < len(body):
+            ch = body[index]
+            if ch == "\\" and index + 1 < len(body):
+                follower = body[index + 1]
+                out.append({"n": "\n", "r": "\r", '"': '"',
+                            "\\": "\\"}.get(follower, follower))
+                index += 2
+            else:
+                out.append(ch)
+                index += 1
+        return "".join(out)
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def _split_statement(line: str) -> list[str]:
+    """Split a statement line into three tokens, respecting quotes."""
+    tokens = []
+    current = []
+    in_string = False
+    index = 0
+    while index < len(line):
+        ch = line[index]
+        if in_string:
+            current.append(ch)
+            if ch == "\\" and index + 1 < len(line):
+                current.append(line[index + 1])
+                index += 1
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+            current.append(ch)
+        elif ch.isspace():
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+        index += 1
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def to_turtle(graph: Graph) -> str:
+    """Serialize a graph, deterministically ordered, one triple per line."""
+    lines = []
+    for subject, predicate, obj in graph.to_list():
+        lines.append(f"{_encode_term(subject)} {_encode_term(predicate)} "
+                     f"{_encode_term(obj)} .")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def from_turtle(text: str) -> Graph:
+    """Parse the subset emitted by :func:`to_turtle`.
+
+    Blank lines and ``#`` comment lines are ignored; every other line
+    must be ``subject predicate object .``.
+    """
+    graph = Graph()
+    # Split on '\n' only: splitlines() would also break on form feeds
+    # and other unicode boundaries that may sit inside quoted literals.
+    for line_number, raw_line in enumerate(text.split("\n"), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if not line.endswith("."):
+            raise SerializationError(
+                f"line {line_number}: statement must end with '.': {raw_line!r}")
+        tokens = _split_statement(line[:-1].strip())
+        if len(tokens) != 3:
+            raise SerializationError(
+                f"line {line_number}: expected 3 terms, got {len(tokens)}")
+        subject = _decode_term(tokens[0])
+        predicate = _decode_term(tokens[1])
+        obj = _decode_term(tokens[2])
+        if not isinstance(subject, str) or not isinstance(predicate, str):
+            raise SerializationError(
+                f"line {line_number}: subject and predicate must be names")
+        graph.add(Triple(subject, predicate, obj))
+    return graph

@@ -1,0 +1,378 @@
+"""A small relational database engine (the PKB's MySQL stand-in).
+
+Implements the slice of an RDBMS the personalized knowledge base needs:
+typed schemas, inserts with validation/coercion, selection with
+predicates, projection, ordering and limits, updates and deletes,
+grouped aggregates, equi-joins, CSV import/export and JSON persistence.
+
+Predicates (``where=``) are either a dict of column equalities
+(``{"country": "Japan"}``) or an arbitrary ``row -> bool`` callable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError, NotFoundError, ReproError
+
+Predicate = Callable[[dict], bool] | Mapping[str, object] | None
+
+_TYPES: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (float, int),
+    "str": (str,),
+    "bool": (bool,),
+    "any": (object,),
+}
+
+
+class SchemaError(ReproError):
+    """A row or query does not fit the table's schema."""
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column.  ``type`` is int / float / str / bool / any."""
+
+    name: str
+    type: str = "any"
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.type not in _TYPES:
+            raise ConfigurationError(
+                f"unknown column type {self.type!r}; choose from {sorted(_TYPES)}"
+            )
+
+    def validate(self, value: object) -> object:
+        """Check (and where sensible coerce) a value for this column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return None
+        expected = _TYPES[self.type]
+        if self.type == "float" and isinstance(value, int) and not isinstance(value, bool):
+            return float(value)
+        if self.type in ("int", "float") and isinstance(value, bool):
+            raise SchemaError(f"column {self.name!r} expects {self.type}, got bool")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type}, got {type(value).__name__}"
+            )
+        return value
+
+
+def _as_predicate(where: Predicate) -> Callable[[dict], bool]:
+    if where is None:
+        return lambda row: True
+    if callable(where):
+        return where
+    conditions = dict(where)
+    return lambda row: all(row.get(column) == value for column, value in conditions.items())
+
+
+class Table:
+    """One table: a schema plus rows stored as dicts."""
+
+    def __init__(self, name: str, columns: list[Column]) -> None:
+        if not columns:
+            raise ConfigurationError(f"table {name!r} needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns = list(columns)
+        self._by_name = {column.name: column for column in columns}
+        self.rows: list[dict] = []
+        # Hash indexes: rebuilt lazily after mutations (see create_index).
+        self._indexed_columns: set[str] = set()
+        self._indexes: dict[str, dict[object, list[dict]]] = {}
+        self._indexes_dirty = False
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- mutation ---------------------------------------------------------
+
+    def insert(self, row: Mapping[str, object]) -> None:
+        """Insert one row; missing columns become NULL, extras are an error."""
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise SchemaError(f"table {self.name!r} has no columns {sorted(unknown)}")
+        validated = {
+            column.name: column.validate(row.get(column.name))
+            for column in self.columns
+        }
+        self.rows.append(validated)
+        self._indexes_dirty = True
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def update(self, changes: Mapping[str, object], where: Predicate = None) -> int:
+        """Apply ``changes`` to matching rows; returns the number updated."""
+        predicate = _as_predicate(where)
+        validated_changes = {
+            name: self._column(name).validate(value) for name, value in changes.items()
+        }
+        updated = 0
+        for row in self.rows:
+            if predicate(row):
+                row.update(validated_changes)
+                updated += 1
+        if updated:
+            self._indexes_dirty = True
+        return updated
+
+    def delete(self, where: Predicate = None) -> int:
+        """Delete matching rows; returns the number removed."""
+        predicate = _as_predicate(where)
+        before = len(self.rows)
+        self.rows = [row for row in self.rows if not predicate(row)]
+        removed = before - len(self.rows)
+        if removed:
+            self._indexes_dirty = True
+        return removed
+
+    # -- indexes ------------------------------------------------------------
+
+    def create_index(self, column: str) -> None:
+        """Create a hash index on ``column`` (idempotent).
+
+        Indexes accelerate dict-equality ``where`` clauses in
+        :meth:`select`; they are rebuilt lazily after any mutation, so
+        write-heavy phases pay nothing until the next indexed read.
+        """
+        self._column(column)
+        self._indexed_columns.add(column)
+        self._indexes_dirty = True
+
+    def indexed_columns(self) -> set[str]:
+        return set(self._indexed_columns)
+
+    def _rebuild_indexes(self) -> None:
+        self._indexes = {column: {} for column in self._indexed_columns}
+        for row in self.rows:
+            for column in self._indexed_columns:
+                self._indexes[column].setdefault(row[column], []).append(row)
+        self._indexes_dirty = False
+
+    def _candidate_rows(self, where: Predicate) -> list[dict] | None:
+        """Rows matching the most selective indexed equality, if any."""
+        if not isinstance(where, Mapping) or not self._indexed_columns:
+            return None
+        usable = [column for column in where if column in self._indexed_columns]
+        if not usable:
+            return None
+        if self._indexes_dirty:
+            self._rebuild_indexes()
+        best = min(
+            usable,
+            key=lambda column: len(self._indexes[column].get(where[column], ())),
+        )
+        return self._indexes[best].get(where[best], [])
+
+    # -- queries ----------------------------------------------------------
+
+    def _column(self, name: str) -> Column:
+        if name not in self._by_name:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return self._by_name[name]
+
+    def select(
+        self,
+        columns: list[str] | None = None,
+        where: Predicate = None,
+        order_by: str | list[str] | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+    ) -> list[dict]:
+        """Filter, order, project and limit — returns copies of the rows.
+
+        Dict-equality predicates use a hash index when one exists on a
+        referenced column (see :meth:`create_index`).
+        """
+        predicate = _as_predicate(where)
+        candidates = self._candidate_rows(where)
+        source = candidates if candidates is not None else self.rows
+        matched = [dict(row) for row in source if predicate(row)]
+        if order_by is not None:
+            keys = [order_by] if isinstance(order_by, str) else list(order_by)
+            for key in keys:
+                self._column(key)
+            # None sorts first; a (is-not-None, value) tuple keeps mixed
+            # NULL columns orderable.
+            matched.sort(
+                key=lambda row: tuple((row[key] is not None, row[key]) for key in keys),
+                reverse=descending,
+            )
+        if limit is not None:
+            matched = matched[:limit]
+        if columns is not None:
+            for name in columns:
+                self._column(name)
+            matched = [{name: row[name] for name in columns} for row in matched]
+        return matched
+
+    def aggregate(
+        self,
+        function: str,
+        column: str | None = None,
+        where: Predicate = None,
+        group_by: str | None = None,
+    ) -> object:
+        """count/sum/avg/min/max, optionally grouped.
+
+        Without ``group_by`` returns a scalar; with it, a dict keyed by
+        group value.  NULLs are skipped (SQL semantics); aggregates over
+        no values return None except ``count`` which returns 0.
+        """
+        functions = {
+            "count": len,
+            "sum": sum,
+            "avg": lambda values: sum(values) / len(values) if values else None,
+            "min": lambda values: min(values) if values else None,
+            "max": lambda values: max(values) if values else None,
+        }
+        if function not in functions:
+            raise SchemaError(f"unknown aggregate {function!r}")
+        if function != "count" and column is None:
+            raise SchemaError(f"aggregate {function!r} needs a column")
+        if column is not None:
+            self._column(column)
+        if group_by is not None:
+            self._column(group_by)
+        predicate = _as_predicate(where)
+        matched = [row for row in self.rows if predicate(row)]
+
+        def compute(rows: list[dict]) -> object:
+            if function == "count" and column is None:
+                return len(rows)
+            values = [row[column] for row in rows if row[column] is not None]
+            if function == "count":
+                return len(values)
+            return functions[function](values)
+
+        if group_by is None:
+            return compute(matched)
+        groups: dict[object, list[dict]] = {}
+        for row in matched:
+            groups.setdefault(row[group_by], []).append(row)
+        return {key: compute(rows) for key, rows in groups.items()}
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "columns": [
+                {"name": column.name, "type": column.type, "nullable": column.nullable}
+                for column in self.columns
+            ],
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Table":
+        table = cls(
+            payload["name"],
+            [Column(spec["name"], spec["type"], spec["nullable"])
+             for spec in payload["columns"]],
+        )
+        for row in payload["rows"]:
+            table.insert(row)
+        return table
+
+
+class Database:
+    """A named collection of tables with joins and persistence."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: list[Column]) -> Table:
+        if name in self._tables:
+            raise ConfigurationError(f"table {name!r} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def replace_table(self, table: Table) -> Table:
+        """Install ``table`` under its own name, replacing any existing one."""
+        self._tables[table.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise NotFoundError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise NotFoundError(f"no table named {name!r}")
+        return self._tables[name]
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def join(
+        self,
+        left: str,
+        right: str,
+        on: tuple[str, str],
+        columns: list[str] | None = None,
+        where: Predicate = None,
+    ) -> list[dict]:
+        """Inner equi-join: ``left.on[0] == right.on[1]``.
+
+        Output columns are prefixed ``table.column``; ``columns`` and
+        ``where`` apply to the joined rows.  Implemented as a hash join.
+        """
+        left_table = self.table(left)
+        right_table = self.table(right)
+        left_key, right_key = on
+        left_table._column(left_key)
+        right_table._column(right_key)
+
+        buckets: dict[object, list[dict]] = {}
+        for row in right_table.rows:
+            buckets.setdefault(row[right_key], []).append(row)
+
+        predicate = _as_predicate(where)
+        joined = []
+        for left_row in left_table.rows:
+            for right_row in buckets.get(left_row[left_key], []):
+                combined = {f"{left}.{name}": value for name, value in left_row.items()}
+                combined.update(
+                    {f"{right}.{name}": value for name, value in right_row.items()}
+                )
+                if predicate(combined):
+                    if columns is not None:
+                        combined = {name: combined[name] for name in columns}
+                    joined.append(combined)
+        return joined
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"tables": [table.to_dict() for table in self._tables.values()]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Database":
+        database = cls()
+        for table_payload in payload["tables"]:
+            table = Table.from_dict(table_payload)
+            database._tables[table.name] = table
+        return database

@@ -1,0 +1,75 @@
+"""String edit distances, used by the spell checkers and disambiguation."""
+
+from __future__ import annotations
+
+
+def levenshtein(first: str, second: str, limit: int | None = None) -> int:
+    """Classic Levenshtein distance (insert / delete / substitute).
+
+    When ``limit`` is given and the true distance exceeds it, returns
+    ``limit + 1`` — the early exit keeps dictionary scans fast.
+    """
+    if first == second:
+        return 0
+    if len(first) > len(second):
+        first, second = second, first
+    if limit is not None and len(second) - len(first) > limit:
+        return limit + 1
+
+    previous = list(range(len(first) + 1))
+    for row, char_second in enumerate(second, start=1):
+        current = [row]
+        best_in_row = row
+        for column, char_first in enumerate(first, start=1):
+            cost = 0 if char_first == char_second else 1
+            value = min(
+                previous[column] + 1,       # deletion
+                current[column - 1] + 1,    # insertion
+                previous[column - 1] + cost # substitution
+            )
+            current.append(value)
+            best_in_row = min(best_in_row, value)
+        if limit is not None and best_in_row > limit:
+            return limit + 1
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein(first: str, second: str) -> int:
+    """Edit distance that also counts adjacent transpositions as one edit.
+
+    (The restricted "optimal string alignment" variant, which is what
+    spell checkers conventionally use.)
+    """
+    rows = len(first) + 1
+    columns = len(second) + 1
+    table = [[0] * columns for _ in range(rows)]
+    for row in range(rows):
+        table[row][0] = row
+    for column in range(columns):
+        table[0][column] = column
+    for row in range(1, rows):
+        for column in range(1, columns):
+            cost = 0 if first[row - 1] == second[column - 1] else 1
+            value = min(
+                table[row - 1][column] + 1,
+                table[row][column - 1] + 1,
+                table[row - 1][column - 1] + cost,
+            )
+            if (
+                row > 1
+                and column > 1
+                and first[row - 1] == second[column - 2]
+                and first[row - 2] == second[column - 1]
+            ):
+                value = min(value, table[row - 2][column - 2] + 1)
+            table[row][column] = value
+    return table[-1][-1]
+
+
+def similarity_ratio(first: str, second: str) -> float:
+    """Normalized similarity in [0, 1]: 1 − distance / max length."""
+    if not first and not second:
+        return 1.0
+    longest = max(len(first), len(second))
+    return 1.0 - levenshtein(first, second) / longest

@@ -1,0 +1,58 @@
+"""Minimal HTML generation and stripping.
+
+The simulated web corpus serves documents as HTML (like the real web);
+the Rich SDK fetches pages, stores them, strips the markup and hands
+plain text to NLU services — exactly the flow in Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_TITLE_RE = re.compile(r"<title[^>]*>(.*?)</title>", re.IGNORECASE | re.DOTALL)
+_SCRIPT_STYLE_RE = re.compile(
+    r"<(script|style)[^>]*>.*?</\1>", re.IGNORECASE | re.DOTALL
+)
+_BLOCK_TAG_RE = re.compile(r"</?(p|div|br|h[1-6]|li|tr|title)[^>]*>", re.IGNORECASE)
+_WHITESPACE_RE = re.compile(r"[ \t]+")
+_BLANK_LINES_RE = re.compile(r"\n\s*\n+")
+
+
+def render_html(title: str, paragraphs: list[str], metadata: dict[str, str] | None = None) -> str:
+    """Render a simple HTML page with a title and body paragraphs."""
+    meta_tags = "".join(
+        f'<meta name="{_html.escape(name)}" content="{_html.escape(value)}">'
+        for name, value in (metadata or {}).items()
+    )
+    body = "".join(f"<p>{_html.escape(paragraph)}</p>" for paragraph in paragraphs)
+    return (
+        "<!DOCTYPE html><html><head>"
+        f"<title>{_html.escape(title)}</title>{meta_tags}"
+        f"</head><body><h1>{_html.escape(title)}</h1>{body}</body></html>"
+    )
+
+
+def extract_title(document: str) -> str:
+    """The contents of the first ``<title>`` element, or an empty string."""
+    match = _TITLE_RE.search(document)
+    if match is None:
+        return ""
+    return _html.unescape(match.group(1)).strip()
+
+
+def strip_html(document: str) -> str:
+    """Convert an HTML document to plain text.
+
+    Scripts and styles are removed entirely; block-level tags become
+    newlines so sentence splitting still sees paragraph boundaries;
+    entities are unescaped; runs of whitespace are collapsed.
+    """
+    text = _SCRIPT_STYLE_RE.sub(" ", document)
+    text = _BLOCK_TAG_RE.sub("\n", text)
+    text = _TAG_RE.sub(" ", text)
+    text = _html.unescape(text)
+    text = _WHITESPACE_RE.sub(" ", text)
+    text = _BLANK_LINES_RE.sub("\n", text)
+    return "\n".join(line.strip() for line in text.splitlines() if line.strip())

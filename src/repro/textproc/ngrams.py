@@ -1,0 +1,25 @@
+"""N-gram extraction over token sequences."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def ngrams(tokens: Sequence[str], n: int) -> list[tuple[str, ...]]:
+    """All contiguous n-grams of ``tokens`` in order.
+
+    Returns an empty list when the sequence is shorter than ``n``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return [tuple(tokens[index : index + n]) for index in range(len(tokens) - n + 1)]
+
+
+def bigrams(tokens: Sequence[str]) -> list[tuple[str, str]]:
+    """All contiguous bigrams of ``tokens``."""
+    return ngrams(tokens, 2)  # type: ignore[return-value]
+
+
+def ngram_strings(tokens: Sequence[str], n: int, separator: str = " ") -> list[str]:
+    """N-grams joined into strings, handy as phrase keys."""
+    return [separator.join(gram) for gram in ngrams(tokens, n)]

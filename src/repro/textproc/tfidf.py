@@ -1,0 +1,164 @@
+"""Term statistics: term frequencies and a TF-IDF index.
+
+The TF-IDF index is the shared workhorse of the keyword-extraction NLU
+providers and the BM25 search engines (BM25 needs the same document
+frequencies and length statistics).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.textproc.stemmer import porter_stem
+from repro.textproc.stopwords import remove_stopwords
+from repro.textproc.tokenizer import word_tokens
+
+
+def term_frequencies(text: str, stem: bool = True) -> Counter[str]:
+    """Counts of content terms in ``text`` (stop words removed)."""
+    tokens = remove_stopwords(word_tokens(text))
+    if stem:
+        tokens = [porter_stem(token) for token in tokens]
+    return Counter(tokens)
+
+
+class TfidfIndex:
+    """An inverted index with TF-IDF and BM25 scoring.
+
+    Documents are added with a stable ``doc_id``.  The index keeps raw
+    term frequencies per document, document frequencies per term, and
+    document lengths, which is everything both scoring functions need.
+    """
+
+    def __init__(self, stem: bool = True) -> None:
+        self.stem = stem
+        self._doc_terms: dict[str, Counter[str]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._document_frequency: Counter[str] = Counter()
+        self._postings: dict[str, set[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._doc_terms)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_terms
+
+    @property
+    def doc_ids(self) -> list[str]:
+        return list(self._doc_terms)
+
+    def _terms_of(self, text: str) -> list[str]:
+        tokens = remove_stopwords(word_tokens(text))
+        if self.stem:
+            tokens = [porter_stem(token) for token in tokens]
+        return tokens
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index ``text`` under ``doc_id``; re-adding replaces the old copy."""
+        if doc_id in self._doc_terms:
+            self.remove_document(doc_id)
+        counts = Counter(self._terms_of(text))
+        self._doc_terms[doc_id] = counts
+        self._doc_lengths[doc_id] = sum(counts.values())
+        for term in counts:
+            self._document_frequency[term] += 1
+            self._postings.setdefault(term, set()).add(doc_id)
+
+    def remove_document(self, doc_id: str) -> None:
+        """Drop ``doc_id`` from the index; unknown ids are a no-op."""
+        counts = self._doc_terms.pop(doc_id, None)
+        if counts is None:
+            return
+        del self._doc_lengths[doc_id]
+        for term in counts:
+            self._document_frequency[term] -= 1
+            if self._document_frequency[term] == 0:
+                del self._document_frequency[term]
+            postings = self._postings[term]
+            postings.discard(doc_id)
+            if not postings:
+                del self._postings[term]
+
+    # -- statistics ------------------------------------------------------
+
+    def document_frequency(self, term: str) -> int:
+        return self._document_frequency.get(term, 0)
+
+    def inverse_document_frequency(self, term: str) -> float:
+        """Smoothed IDF: log((N + 1) / (df + 1)) + 1, always positive."""
+        count = len(self._doc_terms)
+        return math.log((count + 1) / (self.document_frequency(term) + 1)) + 1.0
+
+    def average_document_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def tfidf_vector(self, doc_id: str) -> dict[str, float]:
+        """TF-IDF weights of every term in one document."""
+        counts = self._doc_terms[doc_id]
+        length = max(self._doc_lengths[doc_id], 1)
+        return {
+            term: (frequency / length) * self.inverse_document_frequency(term)
+            for term, frequency in counts.items()
+        }
+
+    def top_terms(self, doc_id: str, limit: int = 10) -> list[tuple[str, float]]:
+        """The highest-TF-IDF terms of one document, best first."""
+        vector = self.tfidf_vector(doc_id)
+        ranked = sorted(vector.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:limit]
+
+    # -- retrieval -------------------------------------------------------
+
+    def candidates(self, query_terms: Iterable[str]) -> set[str]:
+        """Documents containing at least one query term."""
+        matches: set[str] = set()
+        for term in query_terms:
+            matches |= self._postings.get(term, set())
+        return matches
+
+    def bm25_scores(
+        self,
+        query: str,
+        k1: float = 1.5,
+        b: float = 0.75,
+    ) -> list[tuple[str, float]]:
+        """BM25 scores of all candidate documents for ``query``, best first.
+
+        The ``k1`` and ``b`` knobs are exposed so that the different
+        simulated search engines can rank genuinely differently.
+        """
+        query_terms = self._terms_of(query)
+        if not query_terms:
+            return []
+        total_docs = len(self._doc_terms)
+        avg_length = self.average_document_length() or 1.0
+        scores: dict[str, float] = {}
+        for term in set(query_terms):
+            doc_frequency = self.document_frequency(term)
+            if doc_frequency == 0:
+                continue
+            idf = math.log(1 + (total_docs - doc_frequency + 0.5) / (doc_frequency + 0.5))
+            for doc_id in self._postings[term]:
+                frequency = self._doc_terms[doc_id][term]
+                length_norm = 1 - b + b * self._doc_lengths[doc_id] / avg_length
+                scores[doc_id] = scores.get(doc_id, 0.0) + idf * (
+                    frequency * (k1 + 1) / (frequency + k1 * length_norm)
+                )
+        return sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+
+
+def cosine_similarity(vector_a: dict[str, float], vector_b: dict[str, float]) -> float:
+    """Cosine similarity between two sparse term-weight vectors."""
+    if not vector_a or not vector_b:
+        return 0.0
+    shorter, longer = sorted((vector_a, vector_b), key=len)
+    dot = sum(weight * longer.get(term, 0.0) for term, weight in shorter.items())
+    norm_a = math.sqrt(sum(weight**2 for weight in vector_a.values()))
+    norm_b = math.sqrt(sum(weight**2 for weight in vector_b.values()))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)

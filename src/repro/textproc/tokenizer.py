@@ -1,0 +1,67 @@
+"""Tokenization and sentence splitting.
+
+Deliberately rule-based and dependency-free: the goal is predictable,
+testable behaviour for the simulated NLU services, not state-of-the-art
+segmentation.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-z]+(?:'[A-Za-z]+)?   # words, with an optional internal apostrophe
+    | \d+(?:\.\d+)?            # integers and decimals
+    """,
+    re.VERBOSE,
+)
+
+_ABBREVIATIONS = frozenset(
+    {"mr", "mrs", "ms", "dr", "prof", "inc", "corp", "ltd", "co", "vs", "etc", "e.g", "i.e", "u.s", "st"}
+)
+
+_SENTENCE_END_RE = re.compile(r"([.!?]+)(\s+|$)")
+
+
+def tokenize(text: str, lowercase: bool = True) -> list[str]:
+    """Split ``text`` into word and number tokens.
+
+    Punctuation is dropped; apostrophes inside words are kept
+    (``don't`` stays one token).
+    """
+    tokens = _TOKEN_RE.findall(text)
+    if lowercase:
+        tokens = [token.lower() for token in tokens]
+    return tokens
+
+
+def word_tokens(text: str, lowercase: bool = True) -> list[str]:
+    """Tokens that are words (numbers filtered out)."""
+    return [token for token in tokenize(text, lowercase=lowercase) if not token[0].isdigit()]
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on ., ! and ? boundaries.
+
+    Common abbreviations (Mr., Inc., U.S., ...) do not end a sentence.
+    Whitespace-only fragments are dropped; each returned sentence is
+    stripped.
+    """
+    sentences: list[str] = []
+    start = 0
+    for match in _SENTENCE_END_RE.finditer(text):
+        candidate = text[start : match.end(1)]
+        preceding = candidate[: match.start(1) - start]
+        last_word = preceding.rsplit(None, 1)[-1].lower() if preceding.split() else ""
+        last_word = last_word.rstrip(".")
+        if match.group(1) == "." and last_word in _ABBREVIATIONS:
+            continue
+        stripped = candidate.strip()
+        if stripped:
+            sentences.append(stripped)
+        start = match.end()
+    tail = text[start:].strip()
+    if tail:
+        sentences.append(tail)
+    return sentences

@@ -1,0 +1,25 @@
+"""Low-level utilities shared by every other subpackage.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`
+so that anything may import it without creating cycles.
+"""
+
+from repro.util.clock import Clock, ManualClock, RealClock, SYSTEM_CLOCK
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    SerializationError,
+)
+from repro.util.rng import SeededRng, derive_seed
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "RealClock",
+    "SYSTEM_CLOCK",
+    "ReproError",
+    "ConfigurationError",
+    "SerializationError",
+    "SeededRng",
+    "derive_seed",
+]

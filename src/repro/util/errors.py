@@ -1,0 +1,26 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised by library code derives from :class:`ReproError`
+so applications can catch one base class.  Subpackages define their own
+more specific subclasses (e.g. :class:`repro.simnet.errors.NetworkError`)
+rooted here.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid settings."""
+
+
+class SerializationError(ReproError):
+    """A value could not be serialized or deserialized at a boundary."""
+
+
+class NotFoundError(ReproError, KeyError):
+    """A requested object (key, entity, table, document) does not exist."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep a message
+        return Exception.__str__(self)

@@ -1,0 +1,100 @@
+"""Tests for histograms and time-series helpers."""
+
+import pytest
+
+from repro.analytics.histogram import Histogram
+from repro.analytics.timeseries import detect_trend, linear_forecast, moving_average
+
+
+class TestHistogram:
+    def test_counts_land_in_bins(self):
+        histogram = Histogram(0.0, 10.0, bins=10)
+        for value in (0.5, 1.5, 1.6, 9.99):
+            histogram.add(value)
+        assert histogram.counts[0] == 1
+        assert histogram.counts[1] == 2
+        assert histogram.counts[9] == 1
+        assert histogram.total == 4
+
+    def test_underflow_overflow(self):
+        histogram = Histogram(0.0, 1.0, bins=2)
+        histogram.add(-5.0)
+        histogram.add(5.0)
+        assert histogram.underflow == 1
+        assert histogram.overflow == 1
+        assert sum(histogram.counts) == 0
+
+    def test_max_value_lands_in_last_bin(self):
+        histogram = Histogram(0.0, 1.0, bins=4)
+        histogram.add(1.0)
+        assert histogram.counts[-1] == 1
+
+    def test_from_values_spans_range(self):
+        histogram = Histogram.from_values([1.0, 2.0, 3.0], bins=4)
+        assert histogram.low == 1.0
+        assert histogram.high == 3.0
+        assert histogram.total == 3
+        assert sum(histogram.counts) == 3
+
+    def test_from_values_constant_series(self):
+        histogram = Histogram.from_values([2.0, 2.0], bins=4)
+        assert histogram.total == 2
+
+    def test_densities_sum_to_one(self):
+        histogram = Histogram.from_values([1.0, 2.0, 3.0, 4.0], bins=4)
+        assert sum(histogram.densities()) == pytest.approx(1.0)
+
+    def test_bin_edges_count(self):
+        histogram = Histogram(0.0, 1.0, bins=5)
+        assert len(histogram.bin_edges()) == 6
+
+    def test_render_produces_rows(self):
+        histogram = Histogram.from_values([1.0, 1.1, 5.0], bins=3)
+        rendered = histogram.render()
+        assert len(rendered.splitlines()) == 3
+        assert "#" in rendered
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, bins=0)
+        with pytest.raises(ValueError):
+            Histogram.from_values([])
+
+
+class TestMovingAverage:
+    def test_window_average(self):
+        assert moving_average([1, 2, 3, 4], 2) == [1.0, 1.5, 2.5, 3.5]
+
+    def test_window_one_is_identity(self):
+        assert moving_average([3, 1, 4], 1) == [3.0, 1.0, 4.0]
+
+    def test_window_longer_than_series(self):
+        assert moving_average([2, 4], 10) == [2.0, 3.0]
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            moving_average([1], 0)
+
+
+class TestForecastAndTrend:
+    def test_linear_forecast_extends_line(self):
+        forecast = linear_forecast([1, 2, 3, 4], horizon=2)
+        assert forecast == [pytest.approx(5.0), pytest.approx(6.0)]
+
+    def test_zero_horizon(self):
+        assert linear_forecast([1, 2], horizon=0) == []
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            linear_forecast([1, 2], horizon=-1)
+
+    def test_detect_trend(self):
+        assert detect_trend([1, 2, 3, 4]) == "rising"
+        assert detect_trend([4, 3, 2, 1]) == "falling"
+        assert detect_trend([2, 2, 2, 2]) == "flat"
+
+    def test_threshold_damps_noise(self):
+        noisy_flat = [1.0, 1.01, 0.99, 1.02, 1.0]
+        assert detect_trend(noisy_flat, threshold=0.05) == "flat"

@@ -1,0 +1,115 @@
+"""Tests for descriptive statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analytics.stats import (
+    correlation,
+    describe,
+    mean,
+    median,
+    percentile,
+    stddev,
+    variance,
+)
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_median_even(self):
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_variance_sample_vs_population(self):
+        values = [2, 4, 4, 4, 5, 5, 7, 9]
+        assert variance(values, sample=False) == pytest.approx(4.0)
+        assert variance(values, sample=True) == pytest.approx(32 / 7)
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9], sample=False) == pytest.approx(2.0)
+
+    def test_variance_needs_two_points(self):
+        with pytest.raises(ValueError):
+            variance([1.0])
+
+
+class TestPercentile:
+    def test_bounds(self):
+        values = [1, 2, 3, 4, 5]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 5
+        assert percentile(values, 0.5) == 3
+
+    def test_interpolation(self):
+        assert percentile([1, 2], 0.5) == 1.5
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    @given(st.lists(floats, min_size=1, max_size=50),
+           st.floats(min_value=0, max_value=1))
+    def test_within_range(self, values, fraction):
+        result = percentile(values, fraction)
+        assert min(values) <= result <= max(values)
+
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_monotone_in_fraction(self, values):
+        assert percentile(values, 0.25) <= percentile(values, 0.75)
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            correlation([1, 2], [1])
+
+    @given(st.lists(st.tuples(floats, floats), min_size=2, max_size=40))
+    def test_bounded(self, pairs):
+        xs = [pair[0] for pair in pairs]
+        ys = [pair[1] for pair in pairs]
+        assert -1.0001 <= correlation(xs, ys) <= 1.0001
+
+
+class TestDescribe:
+    def test_summary_fields(self):
+        stats = describe([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert stats.count == 5
+        assert stats.mean == 22.0
+        assert stats.median == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 100.0
+        assert stats.p50 == 3.0
+        assert stats.p99 <= 100.0
+
+    def test_single_value(self):
+        stats = describe([5.0])
+        assert stats.stddev == 0.0
+        assert stats.mean == 5.0
+
+    def test_as_dict(self):
+        payload = describe([1.0, 2.0]).as_dict()
+        assert set(payload) == {"count", "mean", "median", "stddev", "min",
+                                "max", "p50", "p90", "p95", "p99"}
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe([])

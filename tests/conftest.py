@@ -1,0 +1,37 @@
+"""Shared fixtures for the whole test suite."""
+
+import pytest
+
+from repro import RichClient, build_world
+from repro.simnet.transport import Transport
+from repro.util.clock import ManualClock
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture
+def world():
+    """A small, fully deterministic simulated world."""
+    return build_world(seed=42, corpus_size=30)
+
+
+@pytest.fixture
+def client(world):
+    """A RichClient over the world's registry (closed after the test)."""
+    rich_client = RichClient(world.registry)
+    yield rich_client
+    rich_client.close()
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(123)
+
+
+@pytest.fixture
+def transport(clock, rng):
+    return Transport(clock=clock, rng=rng)

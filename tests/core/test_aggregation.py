@@ -1,0 +1,176 @@
+"""Tests for document-set and multi-service aggregation."""
+
+import pytest
+
+from repro.core.aggregation import DocumentSetAggregator, MultiServiceCombiner
+
+
+def analysis(entities=(), keywords=(), concepts=(), sentiment=None,
+             entity_sentiment=None):
+    return {
+        "entities": [
+            {"id": eid, "name": name, "type": etype, "count": count,
+             "disambiguated": True}
+            for eid, name, etype, count in entities
+        ],
+        "keywords": [{"text": text, "count": count, "relevance": 1.0}
+                     for text, count in keywords],
+        "concepts": [{"concept": concept, "path": f"/{concept}", "relevance": 1.0}
+                     for concept in concepts],
+        "sentiment": sentiment or {},
+        "entity_sentiment": entity_sentiment or {},
+    }
+
+
+class TestDocumentSetAggregator:
+    def test_entity_frequencies_across_documents(self):
+        aggregator = DocumentSetAggregator()
+        aggregator.add_analysis(analysis(entities=[("e1", "IBM", "Company", 3)]))
+        aggregator.add_analysis(analysis(entities=[("e1", "IBM", "Company", 2),
+                                                   ("e2", "Acme", "Company", 1)]))
+        top = aggregator.top_entities()
+        assert top[0].entity_id == "e1"
+        assert top[0].document_count == 2
+        assert top[0].total_mentions == 5
+        assert top[1].document_count == 1
+
+    def test_keyword_totals(self):
+        aggregator = DocumentSetAggregator()
+        aggregator.add_analysis(analysis(keywords=[("growth", 4)]))
+        aggregator.add_analysis(analysis(keywords=[("growth", 2), ("loss", 1)]))
+        top = aggregator.top_keywords()
+        assert top[0] == ("growth", 6, 2)
+        assert ("loss", 1, 1) in top
+
+    def test_concept_profile(self):
+        aggregator = DocumentSetAggregator()
+        aggregator.add_analysis(analysis(concepts=["finance"]))
+        aggregator.add_analysis(analysis(concepts=["finance", "politics"]))
+        assert aggregator.concept_profile() == {"finance": 2, "politics": 1}
+
+    def test_entity_sentiment_aggregation(self):
+        aggregator = DocumentSetAggregator()
+        aggregator.add_analysis(analysis(
+            entities=[("e1", "IBM", "Company", 1)],
+            entity_sentiment={"e1": {"score": 0.8, "label": "positive"}},
+        ))
+        aggregator.add_analysis(analysis(
+            entities=[("e1", "IBM", "Company", 1)],
+            entity_sentiment={"e1": {"score": 0.4, "label": "positive"}},
+        ))
+        report = aggregator.entity_sentiment_report()
+        assert report[0]["mean_sentiment"] == pytest.approx(0.6)
+        assert report[0]["favorability"] == "positive"
+
+    def test_favorability_labels(self):
+        aggregate = DocumentSetAggregator()
+        aggregate.add_analysis(analysis(
+            entities=[("e1", "X", "T", 1)],
+            entity_sentiment={"e1": {"score": -0.5, "label": "negative"}},
+        ))
+        assert aggregate.entity_sentiment_report()[0]["favorability"] == "negative"
+
+    def test_entity_without_sentiment_is_neutral(self):
+        aggregator = DocumentSetAggregator()
+        aggregator.add_analysis(analysis(entities=[("e1", "X", "T", 1)]))
+        row = aggregator.entity_sentiment_report()[0]
+        assert row["mean_sentiment"] is None
+        assert row["favorability"] == "neutral"
+
+    def test_document_sentiment_mean(self):
+        aggregator = DocumentSetAggregator()
+        aggregator.add_analysis(analysis(sentiment={"score": 0.5}))
+        aggregator.add_analysis(analysis(sentiment={"score": -0.1}))
+        assert aggregator.mean_document_sentiment() == pytest.approx(0.2)
+        assert aggregator.documents_analyzed == 2
+
+    def test_non_disambiguated_entities_skipped(self):
+        aggregator = DocumentSetAggregator()
+        aggregator.add_analysis({
+            "entities": [{"id": "unk:x", "name": "X", "type": "Unknown",
+                          "count": 1, "disambiguated": False}],
+        })
+        assert aggregator.top_entities() == []
+
+    def test_empty_aggregator(self):
+        aggregator = DocumentSetAggregator()
+        assert aggregator.top_entities() == []
+        assert aggregator.top_keywords() == []
+        assert aggregator.mean_document_sentiment() is None
+
+
+class TestMultiServiceCombiner:
+    def test_confidence_is_agreement_fraction(self):
+        analyses = {
+            "p1": analysis(entities=[("e1", "IBM", "Company", 2),
+                                     ("e2", "Acme", "Company", 1)]),
+            "p2": analysis(entities=[("e1", "IBM", "Company", 1)]),
+            "p3": analysis(entities=[("e1", "IBM", "Company", 3)]),
+        }
+        combined = MultiServiceCombiner.combine_entities(analyses)
+        by_id = {entry["id"]: entry for entry in combined}
+        assert by_id["e1"]["confidence"] == pytest.approx(1.0)
+        assert by_id["e2"]["confidence"] == pytest.approx(1 / 3, abs=1e-4)
+        assert by_id["e1"]["count"] == 3  # max across providers
+        assert combined[0]["id"] == "e1"  # highest confidence first
+
+    def test_min_confidence_filters(self):
+        analyses = {
+            "p1": analysis(entities=[("e1", "IBM", "Company", 1)]),
+            "p2": analysis(),
+        }
+        assert MultiServiceCombiner.combine_entities(analyses, min_confidence=0.6) == []
+
+    def test_heuristic_entities_ignored(self):
+        analyses = {
+            "p1": {"entities": [{"id": "unk:x", "name": "X", "type": "Unknown",
+                                 "count": 1, "disambiguated": False}]},
+        }
+        assert MultiServiceCombiner.combine_entities(analyses) == []
+
+    def test_empty_input(self):
+        assert MultiServiceCombiner.combine_entities({}) == []
+
+    def test_combined_entity_sentiment_averages(self):
+        analyses = {
+            "p1": analysis(entity_sentiment={"e1": {"score": 0.6}}),
+            "p2": analysis(entity_sentiment={"e1": {"score": 0.2}}),
+        }
+        combined = MultiServiceCombiner.combine_entity_sentiment(analyses)
+        assert combined["e1"]["score"] == pytest.approx(0.4)
+        assert combined["e1"]["providers"] == 2
+        assert combined["e1"]["label"] == "positive"
+
+
+class TestGoldScoring:
+    def test_perfect_match(self):
+        scores = MultiServiceCombiner.score_against_gold(
+            analysis(entities=[("e1", "IBM", "Company", 1)]), ["e1"])
+        assert scores == {"precision": 1.0, "recall": 1.0, "f1": 1.0}
+
+    def test_partial_recall(self):
+        scores = MultiServiceCombiner.score_against_gold(
+            analysis(entities=[("e1", "IBM", "Company", 1)]), ["e1", "e2"])
+        assert scores["recall"] == pytest.approx(0.5)
+        assert scores["precision"] == 1.0
+
+    def test_false_positive_hits_precision(self):
+        scores = MultiServiceCombiner.score_against_gold(
+            analysis(entities=[("e1", "IBM", "Company", 1),
+                               ("e9", "Wrong", "Company", 1)]), ["e1"])
+        assert scores["precision"] == pytest.approx(0.5)
+
+    def test_empty_analysis(self):
+        scores = MultiServiceCombiner.score_against_gold(analysis(), ["e1"])
+        assert scores["f1"] == 0.0
+
+    def test_sentiment_accuracy(self):
+        result = MultiServiceCombiner.score_against_gold(
+            analysis(
+                entities=[("e1", "IBM", "Company", 1)],
+                entity_sentiment={"e1": {"score": 0.5}, "e2": {"score": 0.5}},
+            ),
+            ["e1", "e2"],
+            gold_sentiment={"e1": 1, "e2": -1, "e3": 0},
+        )
+        assert result["sentiment_accuracy"] == pytest.approx(0.5)

@@ -1,0 +1,129 @@
+"""Tests for ListenableFuture and the bounded executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.futures import CallbackExecutor, ListenableFuture
+
+
+class TestListenableFuture:
+    def test_get_returns_result(self):
+        future = ListenableFuture()
+        future.set_result(42)
+        assert future.is_done()
+        assert future.get() == 42
+
+    def test_get_raises_stored_exception(self):
+        future = ListenableFuture()
+        future.set_exception(ValueError("boom"))
+        with pytest.raises(ValueError):
+            future.get()
+        assert isinstance(future.exception(), ValueError)
+
+    def test_listener_fires_on_completion(self):
+        future = ListenableFuture()
+        seen = []
+        future.add_listener(lambda completed: seen.append(completed.get()))
+        assert seen == []
+        future.set_result("done")
+        assert seen == ["done"]
+
+    def test_listener_fires_immediately_when_already_done(self):
+        future = ListenableFuture.completed("early")
+        seen = []
+        future.add_listener(lambda completed: seen.append(completed.get()))
+        assert seen == ["early"]
+
+    def test_multiple_listeners_all_fire(self):
+        future = ListenableFuture()
+        seen = []
+        for index in range(3):
+            future.add_listener(lambda _completed, index=index: seen.append(index))
+        future.set_result(None)
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_listener_fires_on_failure_too(self):
+        future = ListenableFuture()
+        seen = []
+        future.add_listener(lambda completed: seen.append(type(completed.exception())))
+        future.set_exception(RuntimeError())
+        assert seen == [RuntimeError]
+
+    def test_completed_and_failed_constructors(self):
+        assert ListenableFuture.completed(1).get() == 1
+        failed = ListenableFuture.failed(KeyError("k"))
+        assert isinstance(failed.exception(), KeyError)
+
+    def test_transform_maps_result(self):
+        future = ListenableFuture()
+        doubled = future.transform(lambda value: value * 2)
+        future.set_result(21)
+        assert doubled.get() == 42
+
+    def test_transform_propagates_error(self):
+        future = ListenableFuture()
+        derived = future.transform(lambda value: value)
+        future.set_exception(ValueError("nope"))
+        with pytest.raises(ValueError):
+            derived.get()
+
+    def test_transform_mapper_error_captured(self):
+        future = ListenableFuture.completed(1)
+        derived = future.transform(lambda value: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            derived.get()
+
+    def test_get_timeout(self):
+        future = ListenableFuture()
+        with pytest.raises(Exception):
+            future.get(timeout=0.01)
+
+
+class TestCallbackExecutor:
+    def test_submit_runs_function(self):
+        with CallbackExecutor(max_workers=2) as executor:
+            future = executor.submit(lambda: 7)
+            assert future.get(timeout=5) == 7
+
+    def test_submit_captures_exception(self):
+        with CallbackExecutor(max_workers=2) as executor:
+            future = executor.submit(lambda: 1 / 0)
+            assert isinstance(future.exception(timeout=5), ZeroDivisionError)
+
+    def test_callbacks_fire_from_worker(self):
+        with CallbackExecutor(max_workers=2) as executor:
+            done = threading.Event()
+            future = executor.submit(lambda: "ok")
+            future.add_listener(lambda _completed: done.set())
+            assert done.wait(timeout=5)
+
+    def test_map_all_preserves_order(self):
+        with CallbackExecutor(max_workers=4) as executor:
+            futures = executor.map_all(lambda item: item * 10, [1, 2, 3])
+            assert [future.get(timeout=5) for future in futures] == [10, 20, 30]
+
+    def test_pool_is_bounded(self):
+        """More tasks than workers still all complete (queued, not spawned)."""
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def tracked():
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            time.sleep(0.01)
+            with lock:
+                active.pop()
+            return True
+
+        with CallbackExecutor(max_workers=3) as executor:
+            futures = [executor.submit(tracked) for _ in range(12)]
+            assert all(future.get(timeout=10) for future in futures)
+        assert max(peak) <= 3
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            CallbackExecutor(max_workers=0)

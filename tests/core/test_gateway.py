@@ -1,0 +1,169 @@
+"""Tests for the HTTP-style SDK gateway."""
+
+import json
+
+import pytest
+
+from repro.core.gateway import SdkGateway
+from repro.services.base import ScriptedFailures
+
+TEXT = "IBM announced excellent results."
+
+
+@pytest.fixture
+def gateway(client):
+    return SdkGateway(client)
+
+
+class TestEnvelopes:
+    def test_invoke_roundtrip(self, gateway):
+        response = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "lexica-prime", "operation": "analyze",
+                       "payload": {"text": TEXT}},
+        })
+        assert response["status"] == 200
+        assert any(entity["id"] == "C_ibm"
+                   for entity in response["result"]["value"]["entities"])
+        assert response["result"]["cached"] is False
+
+    def test_response_is_json_pure(self, gateway):
+        response = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "glotta", "operation": "analyze",
+                       "payload": {"text": TEXT}},
+        })
+        json.dumps(response)  # must not raise
+
+    def test_text_wire_format(self, gateway):
+        request = json.dumps({
+            "method": "invoke",
+            "params": {"service": "glotta", "operation": "analyze",
+                       "payload": {"text": TEXT}},
+        })
+        response = json.loads(gateway.handle_json(request))
+        assert response["status"] == 200
+
+    def test_invalid_json_text(self, gateway):
+        response = json.loads(gateway.handle_json("{not json"))
+        assert response["status"] == 400
+
+    def test_non_object_request(self, gateway):
+        response = json.loads(gateway.handle_json("[1, 2]"))
+        assert response["status"] == 400
+
+    def test_missing_method(self, gateway):
+        assert gateway.handle({"params": {}})["status"] == 400
+
+    def test_unknown_method(self, gateway):
+        response = gateway.handle({"method": "teleport", "params": {}})
+        assert response["status"] == 404
+        assert response["error_type"] == "NotFoundError"
+
+    def test_bad_params_type(self, gateway):
+        assert gateway.handle({"method": "invoke", "params": 5})["status"] == 400
+
+
+class TestErrorMapping:
+    def test_unknown_service_is_404(self, gateway):
+        response = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "ghost", "operation": "op"},
+        })
+        assert response["status"] == 404
+
+    def test_service_validation_error_propagates_status(self, gateway):
+        response = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "lexica-prime", "operation": "analyze",
+                       "payload": {"text": "  "}},
+        })
+        assert response["status"] == 400
+
+    def test_offline_is_503(self, gateway, world):
+        from repro.simnet.connectivity import ManualConnectivity
+
+        connectivity = ManualConnectivity()
+        world.transport.connectivity = connectivity
+        connectivity.go_offline()
+        response = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "lexica-prime", "operation": "analyze",
+                       "payload": {"text": TEXT}, "use_cache": False},
+        })
+        connectivity.go_online()
+        assert response["status"] == 503
+
+    def test_budget_exceeded_is_429(self, gateway):
+        gateway.client.quota.set_budget("glotta", max_calls=0)
+        response = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "glotta", "operation": "analyze",
+                       "payload": {"text": TEXT}},
+        })
+        assert response["status"] == 429
+
+    def test_errors_never_raise(self, gateway):
+        for request in ({}, {"method": 7}, {"method": "invoke"},
+                        {"method": "invoke", "params": {"service": "x"}}):
+            response = gateway.handle(request)
+            assert response["status"] >= 400
+        assert gateway.errors_returned >= 4
+
+
+class TestMethods:
+    def test_failover_method(self, gateway, world):
+        ranked = [name for name, _ in gateway.client.rank_services("nlu")]
+        world.service(ranked[0]).failures = ScriptedFailures(set(range(10)))
+        response = gateway.handle({
+            "method": "invoke_failover",
+            "params": {"kind": "nlu", "operation": "analyze",
+                       "payload": {"text": TEXT}, "use_cache": False},
+        })
+        assert response["status"] == 200
+        assert response["result"]["served_by"] != ranked[0]
+        assert any(attempt["failed"] for attempt in response["result"]["attempts"])
+
+    def test_rank_and_best(self, gateway):
+        gateway.handle({
+            "method": "invoke",
+            "params": {"service": "glotta", "operation": "analyze",
+                       "payload": {"text": TEXT}},
+        })
+        ranked = gateway.handle({
+            "method": "rank_services",
+            "params": {"kind": "nlu",
+                       "weights": {"response_time": 1, "cost": 0, "quality": 0}},
+        })
+        assert ranked["status"] == 200
+        assert len(ranked["result"]) == 3
+        best = gateway.handle({"method": "best_service", "params": {"kind": "nlu"}})
+        assert best["result"]["service"] in {entry["service"]
+                                             for entry in ranked["result"]}
+
+    def test_summaries_cache_and_spend(self, gateway):
+        gateway.handle({
+            "method": "invoke",
+            "params": {"service": "glotta", "operation": "analyze",
+                       "payload": {"text": TEXT}},
+        })
+        gateway.handle({
+            "method": "invoke",
+            "params": {"service": "glotta", "operation": "analyze",
+                       "payload": {"text": TEXT}},
+        })
+        summaries = gateway.handle({"method": "service_summaries", "params": {}})
+        assert any(entry["service"] == "glotta" for entry in summaries["result"])
+        cache = gateway.handle({"method": "cache_stats", "params": {}})
+        assert cache["result"]["hits"] >= 1
+        spend = gateway.handle({"method": "spend",
+                                "params": {"service": "glotta"}})
+        assert spend["result"]["calls"] >= 1
+        total = gateway.handle({"method": "spend", "params": {}})
+        assert total["result"]["total_cost"] > 0
+
+    def test_health(self, gateway):
+        response = gateway.handle({"method": "health", "params": {}})
+        assert response["status"] == 200
+        assert response["result"]["online"] is True
+        assert response["result"]["services_registered"] > 10

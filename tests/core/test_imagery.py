@@ -1,0 +1,72 @@
+"""Tests for the image search → classify → aggregate pipeline."""
+
+import pytest
+
+from repro.core.imagery import ImageSearchAnalyzer
+
+VISION_PROVIDERS = ("visionary", "peek", "glance")
+
+
+@pytest.fixture
+def analyzer(client):
+    return ImageSearchAnalyzer(client)
+
+
+class TestSearchAndStore:
+    def test_hits_stored_locally(self, analyzer):
+        hits = analyzer.search_images("cat", limit=5)
+        assert hits
+        for hit in hits:
+            stored = analyzer.stored_image(hit["image_id"])
+            assert stored["descriptor"] == hit["descriptor"]
+            assert stored["query"] == "cat"
+
+    def test_unknown_image_not_stored(self, analyzer):
+        assert analyzer.stored_image("missing") is None
+
+
+class TestClassification:
+    def test_single_provider(self, analyzer):
+        hit = analyzer.search_images("dog", limit=1)[0]
+        classes = analyzer.classify(hit["descriptor"], "visionary")
+        assert classes[0]["confidence"] >= classes[-1]["confidence"]
+
+    def test_agreement_voting(self, analyzer):
+        hit = analyzer.search_images("dog", limit=1)[0]
+        verdict = analyzer.classify_with_agreement(hit["descriptor"],
+                                                   VISION_PROVIDERS)
+        assert 0 < verdict["confidence"] <= 1.0
+        assert set(verdict["votes"]) == set(VISION_PROVIDERS)
+        assert verdict["label"] in verdict["votes"].values()
+
+
+class TestPipeline:
+    def test_full_pipeline(self, analyzer, world):
+        report = analyzer.analyze_image_search("cat", VISION_PROVIDERS, limit=10)
+        assert report["images_analyzed"] == len(report["verdicts"])
+        assert sum(report["label_distribution"].values()) == report[
+            "images_analyzed"]
+        assert 0.0 <= report["on_topic_fraction"] <= 1.0
+
+    def test_classification_beats_tags(self, analyzer, world):
+        """§2.2's point: tags lie; the image analysis service tells you
+        what the pictures really show."""
+        search = world.service("pixfinder")
+        gold = {image.image_id: image.gold_label for image in search.images}
+        report = analyzer.analyze_image_search("cat", ("visionary",), limit=30)
+        correct = sum(
+            1 for verdict in report["verdicts"]
+            if verdict["label"] == gold[verdict["image_id"]]
+        )
+        # Tag accuracy for the same result set:
+        tag_correct = sum(
+            1 for verdict in report["verdicts"] if gold[verdict["image_id"]] == "cat"
+        )
+        assert correct > tag_correct
+
+    def test_offline_reanalysis(self, analyzer, world, client):
+        analyzer.analyze_image_search("dog", ("visionary",), limit=6)
+        search_calls = client.monitor.call_count("pixfinder")
+        replay = analyzer.reanalyze_stored(("peek",))
+        assert replay["images_analyzed"] >= 6
+        assert client.monitor.call_count("pixfinder") == search_calls  # no re-search

@@ -1,0 +1,103 @@
+"""Tests for latency prediction from latency parameters."""
+
+import pytest
+
+from repro.core.latency import LatencyPredictor
+from repro.core.monitoring import InvocationRecord, ServiceMonitor
+
+
+def observe(monitor, service, size, latency):
+    monitor.record(InvocationRecord(
+        service=service, operation="put", timestamp=0.0, latency=latency,
+        cost=0.0, success=True, latency_params={"size": size},
+    ))
+
+
+@pytest.fixture
+def monitor():
+    return ServiceMonitor()
+
+
+class TestPrediction:
+    def test_learns_affine_latency(self, monitor):
+        for size in (100, 200, 400, 800, 1600):
+            observe(monitor, "s1", size, 0.01 + 1e-5 * size)
+        predictor = LatencyPredictor(monitor)
+        assert predictor.predict("s1", {"size": 1000}) == pytest.approx(
+            0.01 + 1e-5 * 1000, rel=1e-6)
+
+    def test_model_summary(self, monitor):
+        for size in (100, 200, 400, 800, 1600):
+            observe(monitor, "s1", size, 0.01 + 1e-5 * size)
+        summary = LatencyPredictor(monitor).model_summary("s1")
+        assert summary["kind"] == "linear"
+        assert summary["slope"] == pytest.approx(1e-5, rel=1e-6)
+        assert summary["r_squared"] == pytest.approx(1.0)
+
+    def test_falls_back_to_mean_with_few_observations(self, monitor):
+        observe(monitor, "s1", 100, 0.5)
+        observe(monitor, "s1", 200, 0.7)
+        predictor = LatencyPredictor(monitor, min_observations=5)
+        assert predictor.predict("s1", {"size": 1000}) == pytest.approx(0.6)
+
+    def test_falls_back_without_param(self, monitor):
+        for size in (100, 200, 400, 800, 1600):
+            observe(monitor, "s1", size, 0.1)
+        predictor = LatencyPredictor(monitor)
+        assert predictor.predict("s1") == pytest.approx(0.1)
+
+    def test_none_with_no_history(self, monitor):
+        assert LatencyPredictor(monitor).predict("ghost", {"size": 10}) is None
+
+    def test_no_param_variation_uses_mean(self, monitor):
+        for _ in range(6):
+            observe(monitor, "s1", 100, 0.2)
+        predictor = LatencyPredictor(monitor)
+        assert predictor.predict("s1", {"size": 100}) == pytest.approx(0.2)
+
+    def test_prediction_clamped_non_negative(self, monitor):
+        # Steeply decreasing latency extrapolates below zero.
+        for size, latency in ((1, 1.0), (2, 0.5), (3, 0.1), (4, 0.05), (5, 0.01)):
+            observe(monitor, "s1", size, latency)
+        predictor = LatencyPredictor(monitor)
+        assert predictor.predict("s1", {"size": 100}) >= 0.0
+
+    def test_polynomial_degree(self, monitor):
+        for size in range(1, 12):
+            observe(monitor, "s1", size, 0.01 * size * size)
+        predictor = LatencyPredictor(monitor, degree=2)
+        assert predictor.predict("s1", {"size": 20}) == pytest.approx(4.0, rel=0.01)
+        assert predictor.model_summary("s1")["kind"] == "poly-2"
+
+    def test_min_observations_validated(self, monitor):
+        with pytest.raises(ValueError):
+            LatencyPredictor(monitor, min_observations=1)
+
+
+class TestCrossover:
+    def test_recovers_crossover_of_two_services(self, monitor):
+        # s1: fast base, steep slope.  s2: slow base, flat slope.
+        for size in (100, 1000, 5000, 20_000, 50_000):
+            observe(monitor, "s1", size, 0.02 + 2e-5 * size)
+            observe(monitor, "s2", size, 0.25 + 1e-6 * size)
+        predictor = LatencyPredictor(monitor)
+        crossing = predictor.crossover("s1", "s2")
+        expected = (0.25 - 0.02) / (2e-5 - 1e-6)
+        assert crossing == pytest.approx(expected, rel=1e-6)
+        # Below the crossover s1 is predicted faster; above, s2.
+        below = crossing * 0.5
+        above = crossing * 2.0
+        assert predictor.predict("s1", {"size": below}) < predictor.predict(
+            "s2", {"size": below})
+        assert predictor.predict("s1", {"size": above}) > predictor.predict(
+            "s2", {"size": above})
+
+    def test_no_crossover_without_models(self, monitor):
+        observe(monitor, "s1", 100, 0.1)
+        assert LatencyPredictor(monitor).crossover("s1", "s2") is None
+
+    def test_parallel_slopes_no_crossover(self, monitor):
+        for size in (100, 1000, 5000, 20_000, 50_000):
+            observe(monitor, "s1", size, 0.1 + 1e-5 * size)
+            observe(monitor, "s2", size, 0.2 + 1e-5 * size)
+        assert LatencyPredictor(monitor).crossover("s1", "s2") is None

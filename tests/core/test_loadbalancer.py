@@ -1,0 +1,115 @@
+"""Tests for load-balancing policies."""
+
+import pytest
+
+from repro.core.loadbalancer import (
+    LeastSpendBalancer,
+    RoundRobinBalancer,
+    StickyBalancer,
+    WeightedScoreBalancer,
+    traffic_distribution,
+)
+from repro.core.monitoring import InvocationRecord, ServiceMonitor
+from repro.core.ranking import ServiceRanker, Weights
+
+CANDIDATES = ["a", "b", "c"]
+
+
+def monitor_with_history():
+    monitor = ServiceMonitor()
+    for service, latency, cost in (("a", 0.1, 0.01), ("b", 0.2, 0.002),
+                                   ("c", 0.4, 0.0005)):
+        for _ in range(5):
+            monitor.record(InvocationRecord(service, "op", 0.0, latency, cost, True))
+    return monitor
+
+
+class TestRoundRobin:
+    def test_rotates_evenly(self):
+        balancer = RoundRobinBalancer()
+        picks = [balancer.choose(CANDIDATES) for _ in range(9)]
+        assert picks == ["a", "b", "c"] * 3
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinBalancer().choose([])
+
+
+class TestWeightedScore:
+    def test_better_ranked_gets_more_traffic(self):
+        monitor = monitor_with_history()
+        ranker = ServiceRanker(monitor)
+        balancer = WeightedScoreBalancer(
+            ranker, weights=Weights(response_time=1, cost=0, quality=0), seed=5)
+        counts = traffic_distribution(balancer, CANDIDATES,
+                                      [str(index) for index in range(600)])
+        assert counts["a"] > counts["b"] > counts["c"]
+        assert counts["c"] > 0  # the weakest still gets warmed
+
+    def test_deterministic_per_seed(self):
+        monitor = monitor_with_history()
+        ranker = ServiceRanker(monitor)
+        first = WeightedScoreBalancer(ranker, seed=9)
+        second = WeightedScoreBalancer(ranker, seed=9)
+        assert [first.choose(CANDIDATES) for _ in range(20)] == [
+            second.choose(CANDIDATES) for _ in range(20)]
+
+
+class TestLeastSpend:
+    def test_balances_bills(self):
+        monitor = ServiceMonitor()
+        balancer = LeastSpendBalancer(monitor)
+        spends = {"a": 0.0, "b": 0.0}
+        for index in range(100):
+            choice = balancer.choose(["a", "b"])
+            # 'a' is twice as expensive per call.
+            cost = 0.02 if choice == "a" else 0.01
+            spends[choice] += cost
+            monitor.record(InvocationRecord(choice, "op", 0.0, 0.1, cost, True))
+        # Total spend converges: the cheap service absorbs more calls.
+        assert abs(spends["a"] - spends["b"]) <= 0.02
+
+    def test_ties_break_deterministically(self):
+        balancer = LeastSpendBalancer(ServiceMonitor())
+        assert balancer.choose(["b", "a"]) == "a"
+
+
+class TestSticky:
+    def test_same_key_same_service(self):
+        balancer = StickyBalancer()
+        first = balancer.choose(CANDIDATES, request_key="doc-1")
+        assert all(balancer.choose(CANDIDATES, request_key="doc-1") == first
+                   for _ in range(10))
+
+    def test_keys_spread_across_services(self):
+        balancer = StickyBalancer()
+        counts = traffic_distribution(
+            balancer, CANDIDATES, [f"doc-{index}" for index in range(300)])
+        assert all(count > 50 for count in counts.values())
+
+    def test_no_key_defaults_to_first(self):
+        assert StickyBalancer().choose(CANDIDATES) == "a"
+
+
+class TestStickyCacheLocality:
+    def test_sticky_maximizes_cache_hits(self, world):
+        """Ablation: sticky routing beats round robin on cache hit ratio
+        when the same documents recur."""
+        from repro import RichClient
+
+        documents = [doc.text for doc in world.corpus.documents[:10]]
+        providers = [service.name for service in world.services_of_kind("nlu")]
+
+        def run(balancer):
+            client = RichClient(world.registry)
+            for _ in range(3):  # the same 10 documents, three sweeps
+                for text in documents:
+                    provider = balancer.choose(providers, request_key=text)
+                    client.invoke(provider, "analyze", {"text": text})
+            ratio = client.cache.stats.hit_ratio
+            client.close()
+            return ratio
+
+        sticky_ratio = run(StickyBalancer())
+        rr_ratio = run(RoundRobinBalancer())
+        assert sticky_ratio > rr_ratio

@@ -1,0 +1,74 @@
+"""Tests for monitor history persistence."""
+
+import pytest
+
+from repro.core.latency import LatencyPredictor
+from repro.core.monitoring import InvocationRecord, ServiceMonitor
+from repro.stores.kvstore import FileKeyValueStore, InMemoryKeyValueStore
+
+
+def seeded_monitor():
+    monitor = ServiceMonitor()
+    for size in (100, 200, 400, 800, 1600):
+        monitor.record(InvocationRecord(
+            "store", "put", 0.0, 0.01 + 1e-5 * size, 0.001, True,
+            latency_params={"size": float(size)}))
+    monitor.record(InvocationRecord("store", "put", 1.0, None, 0.0, False,
+                                    error="boom"))
+    monitor.rate_quality("store", 0.8)
+    return monitor
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_statistics(self):
+        original = seeded_monitor()
+        store = InMemoryKeyValueStore()
+        saved = original.save_to(store)
+        assert saved == 6
+
+        restored = ServiceMonitor()
+        loaded = restored.load_from(store)
+        assert loaded == 6
+        assert restored.mean_latency("store") == original.mean_latency("store")
+        assert restored.availability("store") == original.availability("store")
+        assert restored.mean_quality("store") == pytest.approx(0.8)
+        assert restored.latency_observations("store", "size") == \
+            original.latency_observations("store", "size")
+
+    def test_restored_history_drives_prediction(self):
+        store = InMemoryKeyValueStore()
+        seeded_monitor().save_to(store)
+        restored = ServiceMonitor()
+        restored.load_from(store)
+        predictor = LatencyPredictor(restored)
+        assert predictor.predict("store", {"size": 1000}) == pytest.approx(
+            0.01 + 1e-5 * 1000, rel=1e-6)
+
+    def test_file_backed_roundtrip(self, tmp_path):
+        store = FileKeyValueStore(tmp_path / "monitor.json")
+        seeded_monitor().save_to(store)
+        restored = ServiceMonitor()
+        assert restored.load_from(FileKeyValueStore(tmp_path / "monitor.json")) == 6
+
+    def test_load_from_empty_store(self):
+        assert ServiceMonitor().load_from(InMemoryKeyValueStore()) == 0
+
+    def test_client_restart_scenario(self, world):
+        """A restarted client ranks correctly from the persisted history."""
+        from repro import RichClient, Weights
+
+        first = RichClient(world.registry)
+        for provider in ("lexica-prime", "wordsmith-lite"):
+            for doc in world.corpus.documents[:5]:
+                first.invoke(provider, "analyze", {"text": doc.text},
+                             use_cache=False)
+        store = InMemoryKeyValueStore()
+        first.monitor.save_to(store)
+        first.close()
+
+        reborn = RichClient(world.registry, monitor=ServiceMonitor())
+        reborn.monitor.load_from(store)
+        ranked = reborn.rank_services(
+            "nlu", weights=Weights(response_time=1, cost=0, quality=0))
+        assert ranked[0][0] == "wordsmith-lite"  # knowledge survived restart
+        reborn.close()

@@ -1,0 +1,161 @@
+"""Tests for quality evaluators and drift detection."""
+
+import pytest
+
+from repro.core.quality import (
+    AgreementEvaluator,
+    CompositeEvaluator,
+    GoldBasedEvaluator,
+    RollingQualityTracker,
+)
+
+
+def analysis(entity_ids, sentiments=None):
+    return {
+        "entities": [
+            {"id": entity_id, "name": entity_id, "type": "T", "count": 1,
+             "disambiguated": True}
+            for entity_id in entity_ids
+        ],
+        "entity_sentiment": {
+            entity_id: {"score": score}
+            for entity_id, score in (sentiments or {}).items()
+        },
+    }
+
+
+class TestGoldBasedEvaluator:
+    def test_perfect(self):
+        evaluator = GoldBasedEvaluator()
+        assert evaluator.evaluate(analysis(["a", "b"]), ["a", "b"]) == 1.0
+
+    def test_blends_f1_and_sentiment(self):
+        evaluator = GoldBasedEvaluator()
+        quality = evaluator.evaluate(
+            analysis(["a"], sentiments={"a": 0.5}),
+            ["a"],
+            gold_sentiment={"a": -1},  # wrong sign
+        )
+        assert quality == pytest.approx(0.5)  # F1 1.0, sentiment 0.0
+
+    def test_empty_analysis_scores_zero(self):
+        assert GoldBasedEvaluator().evaluate(analysis([]), ["a"]) == pytest.approx(0.0)
+
+
+class TestAgreementEvaluator:
+    def test_unanimous_agreement(self):
+        evaluator = AgreementEvaluator()
+        analyses = {"p1": analysis(["a"]), "p2": analysis(["a"]),
+                    "p3": analysis(["a"])}
+        scores = evaluator.evaluate_all(analyses)
+        assert all(score == 1.0 for score in scores.values())
+
+    def test_outlier_scores_low_without_gold(self):
+        analyses = {
+            "good1": analysis(["a", "b"]),
+            "good2": analysis(["a", "b"]),
+            "weird": analysis(["z"]),
+        }
+        scores = AgreementEvaluator().evaluate_all(analyses)
+        assert scores["weird"] < scores["good1"] == scores["good2"]
+
+    def test_missing_entity_hurts_recall(self):
+        analyses = {
+            "full1": analysis(["a", "b"]),
+            "full2": analysis(["a", "b"]),
+            "partial": analysis(["a"]),
+        }
+        scores = AgreementEvaluator().evaluate_all(analyses)
+        assert scores["partial"] < 1.0
+
+    def test_consensus_threshold(self):
+        analyses = {
+            "p1": analysis(["a", "b"]),
+            "p2": analysis(["a"]),
+            "p3": analysis(["a"]),
+        }
+        assert AgreementEvaluator(0.9).consensus_entities(analyses) == {"a"}
+        assert AgreementEvaluator(0.3).consensus_entities(analyses) == {"a", "b"}
+
+    def test_all_empty_is_perfect_agreement(self):
+        analyses = {"p1": analysis([]), "p2": analysis([])}
+        scores = AgreementEvaluator().evaluate_all(analyses)
+        assert all(score == 1.0 for score in scores.values())
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            AgreementEvaluator(0.0)
+
+
+class TestCompositeEvaluator:
+    def test_weighted_blend(self):
+        evaluator = CompositeEvaluator({"f1": 3.0, "speed": 1.0})
+        assert evaluator.evaluate({"f1": 1.0, "speed": 0.0}) == pytest.approx(0.75)
+
+    def test_weights_normalized(self):
+        first = CompositeEvaluator({"a": 1, "b": 1})
+        second = CompositeEvaluator({"a": 10, "b": 10})
+        components = {"a": 0.8, "b": 0.2}
+        assert first.evaluate(components) == second.evaluate(components)
+
+    def test_missing_component_rejected(self):
+        evaluator = CompositeEvaluator({"a": 1.0})
+        with pytest.raises(ValueError):
+            evaluator.evaluate({"b": 1.0})
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeEvaluator({})
+
+
+class TestRollingQualityTracker:
+    def test_mean_quality(self):
+        tracker = RollingQualityTracker(window=10, baseline=3)
+        for value in (0.8, 0.9, 1.0):
+            tracker.observe("svc", value)
+        assert tracker.mean_quality("svc") == pytest.approx(0.9)
+        assert tracker.mean_quality("ghost") is None
+
+    def test_no_drift_when_stable(self):
+        tracker = RollingQualityTracker(window=100, baseline=10, tolerance=0.1)
+        for _ in range(40):
+            tracker.observe("svc", 0.9)
+        report = tracker.check_drift("svc", recent=10)
+        assert report is not None
+        assert not report.drifted
+        assert report.delta == pytest.approx(0.0)
+
+    def test_degradation_detected(self):
+        tracker = RollingQualityTracker(window=100, baseline=10, tolerance=0.1)
+        for _ in range(10):
+            tracker.observe("svc", 0.9)   # healthy baseline
+        for _ in range(20):
+            tracker.observe("svc", 0.5)   # the provider got worse
+        report = tracker.check_drift("svc", recent=10)
+        assert report.drifted
+        assert report.recent_mean == pytest.approx(0.5)
+        assert tracker.degraded_services() and (
+            tracker.degraded_services()[0].service == "svc")
+
+    def test_improvement_is_not_drift(self):
+        tracker = RollingQualityTracker(window=100, baseline=10, tolerance=0.1)
+        for _ in range(10):
+            tracker.observe("svc", 0.5)
+        for _ in range(20):
+            tracker.observe("svc", 0.95)
+        assert not tracker.check_drift("svc", recent=10).drifted
+
+    def test_insufficient_history_returns_none(self):
+        tracker = RollingQualityTracker(window=100, baseline=10)
+        tracker.observe("svc", 0.9)
+        assert tracker.check_drift("svc", recent=20) is None
+
+    def test_window_bounds_memory(self):
+        tracker = RollingQualityTracker(window=5, baseline=2)
+        for index in range(50):
+            tracker.observe("svc", index / 50)
+        assert len(tracker._history["svc"]) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingQualityTracker(window=5, baseline=5)

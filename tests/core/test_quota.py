@@ -1,0 +1,61 @@
+"""Tests for client-side quota/budget tracking."""
+
+import pytest
+
+from repro.core.quota import BudgetExceededError, ClientQuotaTracker
+
+
+@pytest.fixture
+def tracker():
+    return ClientQuotaTracker()
+
+
+class TestSpendTracking:
+    def test_record_accumulates(self, tracker):
+        tracker.record("svc", 0.01)
+        tracker.record("svc", 0.02)
+        assert tracker.calls("svc") == 2
+        assert tracker.cost("svc") == pytest.approx(0.03)
+
+    def test_total_cost_across_services(self, tracker):
+        tracker.record("a", 0.01)
+        tracker.record("b", 0.04)
+        assert tracker.total_cost() == pytest.approx(0.05)
+
+    def test_unknown_service_is_zero(self, tracker):
+        assert tracker.calls("ghost") == 0
+        assert tracker.cost("ghost") == 0.0
+
+
+class TestBudgets:
+    def test_no_budget_never_blocks(self, tracker):
+        for _ in range(1000):
+            tracker.check("svc")
+            tracker.record("svc", 1.0)
+
+    def test_call_budget_enforced(self, tracker):
+        tracker.set_budget("svc", max_calls=2)
+        tracker.check("svc"); tracker.record("svc", 0)
+        tracker.check("svc"); tracker.record("svc", 0)
+        with pytest.raises(BudgetExceededError):
+            tracker.check("svc")
+
+    def test_cost_budget_enforced(self, tracker):
+        tracker.set_budget("svc", max_cost=0.05)
+        tracker.record("svc", 0.04)
+        tracker.check("svc", upcoming_cost=0.005)
+        with pytest.raises(BudgetExceededError):
+            tracker.check("svc", upcoming_cost=0.02)
+
+    def test_remaining_calls(self, tracker):
+        tracker.set_budget("svc", max_calls=3)
+        tracker.record("svc", 0)
+        assert tracker.remaining_calls("svc") == 2
+        assert tracker.remaining_calls("unbudgeted") is None
+
+    def test_budget_per_service(self, tracker):
+        tracker.set_budget("a", max_calls=1)
+        tracker.record("a", 0)
+        with pytest.raises(BudgetExceededError):
+            tracker.check("a")
+        tracker.check("b")  # other services unaffected

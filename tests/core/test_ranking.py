@@ -1,0 +1,187 @@
+"""Tests for service scoring and ranking (Equations 1 and 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.latency import LatencyPredictor
+from repro.core.monitoring import InvocationRecord, ServiceMonitor
+from repro.core.ranking import (
+    Estimate,
+    ServiceRanker,
+    Weights,
+    normalized_score,
+    weighted_score,
+)
+from repro.util.errors import ConfigurationError
+
+non_negative = st.floats(min_value=0, max_value=1e6, allow_nan=False)
+
+
+class TestEquationOne:
+    def test_formula(self):
+        weights = Weights(response_time=2.0, cost=3.0, quality=4.0)
+        assert weighted_score(0.5, 0.1, 0.8, weights) == pytest.approx(
+            2.0 * 0.5 + 3.0 * 0.1 - 4.0 * 0.8)
+
+    def test_lower_latency_scores_better(self):
+        assert weighted_score(0.1, 0.0, 0.0) < weighted_score(0.5, 0.0, 0.0)
+
+    def test_higher_quality_scores_better(self):
+        assert weighted_score(0.1, 0.0, 0.9) < weighted_score(0.1, 0.0, 0.1)
+
+    @given(non_negative, non_negative, non_negative, non_negative)
+    def test_monotone_in_each_dimension(self, r, c, q, delta):
+        base = weighted_score(r, c, q)
+        assert weighted_score(r + delta, c, q) >= base
+        assert weighted_score(r, c + delta, q) >= base
+        assert weighted_score(r, c, q + delta) <= base
+
+
+class TestEquationTwo:
+    def test_formula(self):
+        score = normalized_score(0.5, 0.1, 0.8, 1.0, 0.2, 1.0)
+        assert score == pytest.approx(0.5 / 1.0 + 0.1 / 0.2 - 0.8 / 1.0)
+
+    def test_terms_bounded_by_weights(self):
+        """With unit weights every term of Sn is in [0, 1]."""
+        score = normalized_score(1.0, 1.0, 0.0, 1.0, 1.0, 1.0)
+        assert score == pytest.approx(2.0)
+        score = normalized_score(0.0, 0.0, 1.0, 1.0, 1.0, 1.0)
+        assert score == pytest.approx(-1.0)
+
+    def test_zero_max_vanishes_term(self):
+        assert normalized_score(0.5, 0.0, 0.0, 1.0, 0.0, 0.0) == pytest.approx(0.5)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_score(-0.1, 0.0, 0.0, 1.0, 1.0, 1.0)
+
+    @given(non_negative, non_negative, non_negative)
+    def test_bounded_for_unit_weights(self, r, c, q):
+        rmax = max(r, 1.0)
+        cmax = max(c, 1.0)
+        qmax = max(q, 1.0)
+        score = normalized_score(r, c, q, rmax, cmax, qmax)
+        assert -1.0 <= score <= 2.0 + 1e-9
+
+
+def seeded_monitor():
+    """History: fast/expensive 'a', slow/cheap 'b', unknown 'c'."""
+    monitor = ServiceMonitor()
+    for _ in range(5):
+        monitor.record(InvocationRecord("a", "op", 0.0, 0.1, 0.02, True))
+        monitor.record(InvocationRecord("b", "op", 0.0, 0.4, 0.001, True))
+    monitor.rate_quality("a", 0.9)
+    monitor.rate_quality("b", 0.5)
+    return monitor
+
+
+class TestEstimates:
+    def test_estimates_from_history(self):
+        ranker = ServiceRanker(seeded_monitor())
+        estimates = {e.service: e for e in ranker.estimates(["a", "b"])}
+        assert estimates["a"].response_time == pytest.approx(0.1)
+        assert estimates["a"].cost == pytest.approx(0.02)
+        assert estimates["a"].quality == pytest.approx(0.9)
+        assert estimates["a"].defaults_used == ()
+
+    def test_mean_fallback_for_unknown_service(self):
+        ranker = ServiceRanker(seeded_monitor(), fallback="mean")
+        estimates = {e.service: e for e in ranker.estimates(["a", "b", "c"])}
+        unknown = estimates["c"]
+        assert unknown.response_time == pytest.approx(0.25)  # mean of peers
+        assert set(unknown.defaults_used) == {"response_time", "cost", "quality"}
+
+    def test_median_fallback(self):
+        monitor = seeded_monitor()
+        for _ in range(5):
+            monitor.record(InvocationRecord("x", "op", 0.0, 10.0, 0.0, True))
+        ranker = ServiceRanker(monitor, fallback="median")
+        estimates = {e.service: e for e in ranker.estimates(["a", "b", "x", "c"])}
+        assert estimates["c"].response_time == pytest.approx(0.4)  # median
+
+    def test_user_fallback(self):
+        ranker = ServiceRanker(
+            seeded_monitor(), fallback="user",
+            user_defaults={"response_time": 9.0, "cost": 0.5, "quality": 0.1},
+        )
+        estimates = {e.service: e for e in ranker.estimates(["a", "c"])}
+        assert estimates["c"].response_time == 9.0
+        assert estimates["c"].cost == 0.5
+
+    def test_invalid_fallback_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceRanker(seeded_monitor(), fallback="guess")
+
+
+class TestRanking:
+    def test_latency_dominant_ranking(self):
+        ranker = ServiceRanker(seeded_monitor())
+        ranked = ranker.rank(["a", "b"],
+                             weights=Weights(response_time=1, cost=0, quality=0))
+        assert [name for name, _ in ranked] == ["a", "b"]
+
+    def test_cost_dominant_ranking(self):
+        ranker = ServiceRanker(seeded_monitor())
+        ranked = ranker.rank(["a", "b"],
+                             weights=Weights(response_time=0, cost=1, quality=0))
+        assert [name for name, _ in ranked] == ["b", "a"]
+
+    def test_quality_dominant_ranking(self):
+        ranker = ServiceRanker(seeded_monitor())
+        ranked = ranker.rank(["a", "b"],
+                             weights=Weights(response_time=0, cost=0, quality=1))
+        assert [name for name, _ in ranked] == ["a", "b"]
+
+    def test_scores_ascending(self):
+        ranker = ServiceRanker(seeded_monitor())
+        ranked = ranker.rank(["a", "b"])
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores)
+
+    def test_normalized_formula_ranking(self):
+        ranker = ServiceRanker(seeded_monitor())
+        ranked = ranker.rank(["a", "b"], formula="normalized",
+                             weights=Weights(response_time=1, cost=0, quality=0))
+        assert ranked[0][0] == "a"
+
+    def test_custom_formula(self):
+        ranker = ServiceRanker(seeded_monitor())
+
+        def prefer_expensive(estimate: Estimate, candidates):
+            return -estimate.cost
+
+        ranked = ranker.rank(["a", "b"], formula=prefer_expensive)
+        assert ranked[0][0] == "a"
+
+    def test_unknown_formula_rejected(self):
+        ranker = ServiceRanker(seeded_monitor())
+        with pytest.raises(ConfigurationError):
+            ranker.rank(["a", "b"], formula="alchemy")
+
+    def test_best(self):
+        ranker = ServiceRanker(seeded_monitor())
+        assert ranker.best(["a", "b"],
+                           weights=Weights(1, 0, 0)) == "a"
+
+    def test_best_of_none_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceRanker(seeded_monitor()).best([])
+
+    def test_empty_rank(self):
+        assert ServiceRanker(seeded_monitor()).rank([]) == []
+
+    def test_rank_uses_latency_params(self):
+        """With size-dependent history, ranking flips at the crossover."""
+        monitor = ServiceMonitor()
+        for size in (100, 1000, 10_000, 50_000, 100_000):
+            monitor.record(InvocationRecord(
+                "s1", "put", 0.0, 0.02 + 2e-5 * size, 0.0, True,
+                latency_params={"size": size}))
+            monitor.record(InvocationRecord(
+                "s2", "put", 0.0, 0.25 + 1e-6 * size, 0.0, True,
+                latency_params={"size": size}))
+        ranker = ServiceRanker(monitor, LatencyPredictor(monitor))
+        weights = Weights(response_time=1, cost=0, quality=0)
+        assert ranker.best(["s1", "s2"], {"size": 100.0}, weights=weights) == "s1"
+        assert ranker.best(["s1", "s2"], {"size": 90_000.0}, weights=weights) == "s2"

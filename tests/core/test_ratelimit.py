@@ -1,0 +1,103 @@
+"""Tests for the token-bucket rate limiter."""
+
+import pytest
+
+from repro.core.ratelimit import (
+    RateLimitExceededError,
+    ServiceRateLimiter,
+    TokenBucket,
+)
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+class TestTokenBucket:
+    def test_burst_available_immediately(self, clock):
+        bucket = TokenBucket(clock, rate=1.0, burst=3)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_over_time(self, clock):
+        bucket = TokenBucket(clock, rate=2.0, burst=1)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_acquire()
+
+    def test_refill_capped_at_burst(self, clock):
+        bucket = TokenBucket(clock, rate=10.0, burst=2)
+        clock.advance(100.0)
+        assert bucket.available == pytest.approx(2.0)
+
+    def test_acquire_waits_on_the_clock(self, clock):
+        bucket = TokenBucket(clock, rate=1.0, burst=1)
+        assert bucket.acquire() == 0.0
+        waited = bucket.acquire()
+        assert waited == pytest.approx(1.0)
+        assert clock.now() == pytest.approx(1.0)
+        assert bucket.stats.throttled == 1
+        assert bucket.stats.total_wait == pytest.approx(1.0)
+
+    def test_sustained_rate_is_honoured(self, clock):
+        bucket = TokenBucket(clock, rate=5.0, burst=1)
+        start = clock.now()
+        for _ in range(11):
+            bucket.acquire()
+        elapsed = clock.now() - start
+        # 10 post-burst permits at 5/s = 2 seconds.
+        assert elapsed == pytest.approx(2.0)
+
+    def test_acquire_or_raise(self, clock):
+        bucket = TokenBucket(clock, rate=1.0, burst=1, service="svc")
+        bucket.acquire_or_raise()
+        with pytest.raises(RateLimitExceededError) as excinfo:
+            bucket.acquire_or_raise()
+        assert excinfo.value.wait_needed == pytest.approx(1.0)
+        assert clock.now() == 0.0  # never waited
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            TokenBucket(clock, rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(clock, rate=1.0, burst=0)
+
+
+class TestServiceRateLimiter:
+    def test_per_service_buckets(self, clock):
+        limiter = ServiceRateLimiter(clock)
+        limiter.configure("a", rate=1.0, burst=1)
+        assert limiter.acquire("a") == 0.0
+        assert limiter.acquire("a") == pytest.approx(1.0)
+
+    def test_unconfigured_service_is_unlimited(self, clock):
+        limiter = ServiceRateLimiter(clock)
+        for _ in range(100):
+            assert limiter.acquire("anything") == 0.0
+        assert clock.now() == 0.0
+
+    def test_stays_under_server_quota(self, world, clock):
+        """End to end: a bucket sized to the server quota means the
+        client never sees a 429."""
+        from repro import RichClient
+        from repro.services.base import Quota, QuotaExceededError
+
+        # 10 calls per 100 simulated seconds.
+        world.service("glotta").quota = Quota(limit=10, window=100.0)
+        client = RichClient(world.registry)
+        limiter = ServiceRateLimiter(world.clock)
+        limiter.configure("glotta", rate=10 / 100.0, burst=1)
+        completed = 0
+        for index in range(25):
+            limiter.acquire("glotta")
+            client.invoke("glotta", "analyze",
+                          {"text": f"document number {index} looks excellent"},
+                          use_cache=False)
+            completed += 1
+        assert completed == 25  # zero QuotaExceededError raised
+        client.close()

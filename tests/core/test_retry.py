@@ -1,0 +1,151 @@
+"""Tests for retry policies and ranked failover."""
+
+import pytest
+
+from repro.core.retry import (
+    AllServicesFailedError,
+    FailoverInvoker,
+    RetriesExhaustedError,
+    RetryPolicy,
+    invoke_with_retry,
+)
+from repro.simnet.errors import RemoteServiceError
+from repro.util.clock import ManualClock
+
+
+class Flaky:
+    """Callable failing the first ``failures`` times."""
+
+    def __init__(self, failures, result="ok"):
+        self.failures = failures
+        self.result = result
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RemoteServiceError("svc", "transient")
+        return self.result
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 3
+        assert policy.delay_before_attempt(0) == 0.0
+
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.1, backoff_multiplier=2.0)
+        assert policy.delay_before_attempt(1) == pytest.approx(0.1)
+        assert policy.delay_before_attempt(2) == pytest.approx(0.2)
+        assert policy.delay_before_attempt(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff=-1.0)
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(RemoteServiceError("s", "x"))
+        assert not policy.is_retryable(ValueError())
+
+
+class TestInvokeWithRetry:
+    def test_succeeds_after_transient_failures(self):
+        flaky = Flaky(failures=2)
+        result = invoke_with_retry(flaky, RetryPolicy(max_attempts=3))
+        assert result == "ok"
+        assert flaky.calls == 3
+
+    def test_exhausts_budget(self):
+        flaky = Flaky(failures=10)
+        with pytest.raises(RetriesExhaustedError) as excinfo:
+            invoke_with_retry(flaky, RetryPolicy(max_attempts=2), service="svc")
+        assert excinfo.value.attempts == 2
+        assert flaky.calls == 2
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            invoke_with_retry(broken, RetryPolicy(max_attempts=5))
+        assert len(calls) == 1
+
+    def test_backoff_charged_to_clock(self):
+        clock = ManualClock()
+        flaky = Flaky(failures=2)
+        invoke_with_retry(flaky, RetryPolicy(max_attempts=3, backoff=0.1),
+                          clock=clock)
+        # delays before attempts 1 and 2: 0.1 + 0.2
+        assert clock.now() == pytest.approx(0.3)
+
+    def test_attempt_log(self):
+        log = []
+        flaky = Flaky(failures=1)
+        invoke_with_retry(flaky, RetryPolicy(max_attempts=3), service="svc", log=log)
+        assert len(log) == 2
+        assert log[0].error is not None
+        assert log[1].error is None
+
+
+class TestFailoverInvoker:
+    def test_first_service_wins_when_healthy(self):
+        invoker = FailoverInvoker(RetryPolicy(max_attempts=2))
+        served, result, attempts = invoker.invoke(
+            ["a", "b"], lambda name: f"result-from-{name}")
+        assert served == "a"
+        assert result == "result-from-a"
+        assert len(attempts) == 1
+
+    def test_fails_over_down_the_ranking(self):
+        down = {"a", "b"}
+
+        def call(name):
+            if name in down:
+                raise RemoteServiceError(name, "down")
+            return name
+
+        invoker = FailoverInvoker(RetryPolicy(max_attempts=2))
+        served, result, attempts = invoker.invoke(["a", "b", "c"], call)
+        assert served == "c"
+        # a tried twice, b tried twice, c once.
+        assert [log.service for log in attempts] == ["a", "a", "b", "b", "c"]
+
+    def test_per_service_budgets(self):
+        """'The number of times to retry each service ... may be
+        different for different services.'"""
+        def call(name):
+            raise RemoteServiceError(name, "down")
+
+        invoker = FailoverInvoker(
+            default_policy=RetryPolicy(max_attempts=1),
+            per_service={"a": RetryPolicy(max_attempts=3)},
+        )
+        with pytest.raises(AllServicesFailedError) as excinfo:
+            invoker.invoke(["a", "b"], call)
+        attempts = [log.service for log in excinfo.value.attempts]
+        assert attempts == ["a", "a", "a", "b"]
+
+    def test_all_failed_raises_with_log(self):
+        invoker = FailoverInvoker(RetryPolicy(max_attempts=1))
+        with pytest.raises(AllServicesFailedError):
+            invoker.invoke(["a"], lambda name: (_ for _ in ()).throw(
+                RemoteServiceError(name, "down")))
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            FailoverInvoker().invoke([], lambda name: name)
+
+    def test_retry_then_succeed_within_one_service(self):
+        flaky = Flaky(failures=1)
+        invoker = FailoverInvoker(RetryPolicy(max_attempts=3))
+        served, result, attempts = invoker.invoke(["a", "b"],
+                                                  lambda name: flaky())
+        assert served == "a"
+        assert len(attempts) == 2

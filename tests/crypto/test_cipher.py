@@ -1,0 +1,110 @@
+"""Tests for the authenticated stream cipher."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import (
+    DecryptionError,
+    KEY_BYTES,
+    NONCE_BYTES,
+    StreamCipher,
+    derive_key,
+)
+
+FIXED_NONCE = b"n" * NONCE_BYTES
+
+
+@pytest.fixture(scope="module")
+def cipher():
+    return StreamCipher(derive_key("test passphrase", iterations=1_000))
+
+
+class TestKeyDerivation:
+    def test_deterministic(self):
+        assert derive_key("pw", iterations=500) == derive_key("pw", iterations=500)
+
+    def test_passphrase_matters(self):
+        assert derive_key("a", iterations=500) != derive_key("b", iterations=500)
+
+    def test_salt_matters(self):
+        assert derive_key("pw", salt=b"s1", iterations=500) != derive_key(
+            "pw", salt=b"s2", iterations=500)
+
+    def test_key_length(self):
+        assert len(derive_key("pw", iterations=500)) == KEY_BYTES
+
+    def test_empty_passphrase_rejected(self):
+        with pytest.raises(ValueError):
+            derive_key("")
+
+
+class TestRoundtrip:
+    def test_basic(self, cipher):
+        message = b"attack at dawn"
+        assert cipher.decrypt(cipher.encrypt(message)) == message
+
+    def test_empty_plaintext(self, cipher):
+        assert cipher.decrypt(cipher.encrypt(b"")) == b""
+
+    def test_large_plaintext(self, cipher):
+        message = bytes(range(256)) * 500
+        assert cipher.decrypt(cipher.encrypt(message)) == message
+
+    @settings(max_examples=30)
+    @given(st.binary(max_size=2000))
+    def test_roundtrip_property(self, cipher, message):
+        assert cipher.decrypt(cipher.encrypt(message)) == message
+
+    def test_ciphertext_differs_from_plaintext(self, cipher):
+        message = b"x" * 100
+        sealed = cipher.encrypt(message, nonce=FIXED_NONCE)
+        assert message not in sealed
+
+    def test_random_nonce_randomizes_ciphertext(self, cipher):
+        message = b"same message"
+        assert cipher.encrypt(message) != cipher.encrypt(message)
+
+    def test_fixed_nonce_is_deterministic(self, cipher):
+        message = b"same message"
+        assert cipher.encrypt(message, nonce=FIXED_NONCE) == cipher.encrypt(
+            message, nonce=FIXED_NONCE)
+
+
+class TestAuthentication:
+    def test_flipped_ciphertext_byte_detected(self, cipher):
+        sealed = bytearray(cipher.encrypt(b"important data", nonce=FIXED_NONCE))
+        sealed[NONCE_BYTES + 2] ^= 0x01
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(sealed))
+
+    def test_flipped_nonce_byte_detected(self, cipher):
+        sealed = bytearray(cipher.encrypt(b"important data"))
+        sealed[0] ^= 0x01
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(sealed))
+
+    def test_flipped_tag_byte_detected(self, cipher):
+        sealed = bytearray(cipher.encrypt(b"important data"))
+        sealed[-1] ^= 0x01
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(bytes(sealed))
+
+    def test_truncated_ciphertext_detected(self, cipher):
+        sealed = cipher.encrypt(b"important data")
+        with pytest.raises(DecryptionError):
+            cipher.decrypt(sealed[:10])
+
+    def test_wrong_key_fails(self, cipher):
+        other = StreamCipher(derive_key("different", iterations=500))
+        with pytest.raises(DecryptionError):
+            other.decrypt(cipher.encrypt(b"secret"))
+
+
+class TestValidation:
+    def test_key_length_checked(self):
+        with pytest.raises(ValueError):
+            StreamCipher(b"short")
+
+    def test_nonce_length_checked(self, cipher):
+        with pytest.raises(ValueError):
+            cipher.encrypt(b"x", nonce=b"tiny")

@@ -1,0 +1,70 @@
+"""Tests for the compression codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.compression import (
+    HuffmanCodec,
+    IdentityCodec,
+    ZlibCodec,
+    compression_ratio,
+)
+
+CODECS = [IdentityCodec(), ZlibCodec(), HuffmanCodec()]
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=lambda codec: codec.name)
+class TestRoundtrip:
+    def test_simple(self, codec):
+        data = b"hello world " * 20
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_empty(self, codec):
+        assert codec.decode(codec.encode(b"")) == b""
+
+    def test_single_byte(self, codec):
+        assert codec.decode(codec.encode(b"a")) == b"a"
+
+    def test_single_symbol_run(self, codec):
+        data = b"a" * 1000
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_all_byte_values(self, codec):
+        data = bytes(range(256)) * 4
+        assert codec.decode(codec.encode(data)) == data
+
+    @settings(max_examples=25)
+    @given(data=st.binary(max_size=1500))
+    def test_roundtrip_property(self, codec, data):
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestCompressionBehaviour:
+    def test_zlib_compresses_redundancy(self):
+        data = b"abcabcabc" * 200
+        assert compression_ratio(ZlibCodec(), data) < 0.2
+
+    def test_huffman_compresses_skewed_text(self):
+        data = (b"e" * 500) + (b"t" * 300) + (b"z" * 10)
+        assert compression_ratio(HuffmanCodec(), data) < 0.7
+
+    def test_identity_ratio_is_one(self):
+        assert compression_ratio(IdentityCodec(), b"anything") == 1.0
+
+    def test_empty_ratio_is_one(self):
+        assert compression_ratio(ZlibCodec(), b"") == 1.0
+
+    def test_zlib_levels_trade_size(self):
+        data = bytes(i % 251 for i in range(20_000))
+        fast = len(ZlibCodec(level=1).encode(data))
+        best = len(ZlibCodec(level=9).encode(data))
+        assert best <= fast
+
+    def test_zlib_level_validated(self):
+        with pytest.raises(ValueError):
+            ZlibCodec(level=11)
+
+    def test_huffman_beats_identity_on_english(self):
+        text = (b"the quick brown fox jumps over the lazy dog and then "
+                b"the dog chases the fox around the quiet meadow ") * 30
+        assert compression_ratio(HuffmanCodec(), text) < 1.0

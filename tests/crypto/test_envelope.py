@@ -1,0 +1,79 @@
+"""Tests for sealed envelopes (compress-then-encrypt)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.cipher import DecryptionError, StreamCipher, derive_key
+from repro.crypto.compression import HuffmanCodec, IdentityCodec
+from repro.crypto.envelope import SealedEnvelope, seal, unseal
+
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(min_value=-10**6, max_value=10**6),
+              st.text(max_size=20)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@pytest.fixture(scope="module")
+def cipher():
+    return StreamCipher(derive_key("envelope tests", iterations=1_000))
+
+
+class TestSealUnseal:
+    def test_roundtrip(self, cipher):
+        value = {"facts": [1, 2, 3], "note": "confidential"}
+        assert unseal(seal(value, cipher), cipher) == value
+
+    def test_roundtrip_via_dict_form(self, cipher):
+        """The envelope survives a trip through a JSON store."""
+        envelope = seal([1, "two", None], cipher)
+        restored = unseal(envelope.as_dict(), cipher)
+        assert restored == [1, "two", None]
+
+    @settings(max_examples=25)
+    @given(value=json_values)
+    def test_roundtrip_property(self, cipher, value):
+        assert unseal(seal(value, cipher), cipher) == value
+
+    def test_alternate_codec(self, cipher):
+        value = {"data": "x" * 500}
+        envelope = seal(value, cipher, codec=HuffmanCodec())
+        assert envelope.codec == "huffman"
+        assert unseal(envelope, cipher, codec=HuffmanCodec()) == value
+
+    def test_compression_shrinks_redundant_payloads(self, cipher):
+        value = {"data": "abc" * 2000}
+        compressed = seal(value, cipher)
+        raw = seal(value, cipher, codec=IdentityCodec())
+        assert compressed.sealed_bytes < raw.sealed_bytes
+
+    def test_size_accounting(self, cipher):
+        envelope = seal({"k": "v"}, cipher)
+        assert envelope.plaintext_bytes == len(b'{"k":"v"}')
+        assert envelope.sealed_bytes > 0
+
+    def test_wrong_key_rejected(self, cipher):
+        envelope = seal({"secret": 1}, cipher)
+        other = StreamCipher(derive_key("other", iterations=500))
+        with pytest.raises(DecryptionError):
+            unseal(envelope, other)
+
+    def test_tampered_envelope_rejected(self, cipher):
+        envelope = seal({"secret": 1}, cipher)
+        payload = envelope.as_dict()
+        tampered = dict(payload)
+        ciphertext = payload["ciphertext"]
+        flipped_char = "A" if ciphertext[10] != "A" else "B"
+        tampered["ciphertext"] = (
+            ciphertext[:10] + flipped_char + ciphertext[11:]
+        )
+        with pytest.raises(DecryptionError):
+            unseal(SealedEnvelope.from_dict(tampered), cipher)
+
+    def test_plaintext_absent_from_wire_form(self, cipher):
+        envelope = seal({"secret": "tell-no-one"}, cipher)
+        assert "tell-no-one" not in envelope.ciphertext_b64

@@ -1,0 +1,114 @@
+"""Tests for the synthetic corpus generator."""
+
+import pytest
+
+from repro.data.corpus import generate_corpus
+from repro.data.gazetteer import default_gazetteer
+from repro.textproc.html import extract_title, strip_html
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(size=50, seed=42)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        first = generate_corpus(size=10, seed=1)
+        second = generate_corpus(size=10, seed=1)
+        assert [doc.text for doc in first] == [doc.text for doc in second]
+        assert [doc.url for doc in first] == [doc.url for doc in second]
+
+    def test_different_seed_differs(self):
+        first = generate_corpus(size=10, seed=1)
+        second = generate_corpus(size=10, seed=2)
+        assert [doc.text for doc in first] != [doc.text for doc in second]
+
+
+class TestStructure:
+    def test_requested_size(self, corpus):
+        assert len(corpus) == 50
+
+    def test_unique_ids_and_urls(self, corpus):
+        assert len({doc.doc_id for doc in corpus}) == 50
+        assert len({doc.url for doc in corpus}) == 50
+
+    def test_lookup_by_id_and_url(self, corpus):
+        doc = corpus.documents[3]
+        assert corpus.by_id(doc.doc_id) is doc
+        assert corpus.by_url(doc.url) is doc
+        assert corpus.by_url("http://nowhere.example/") is None
+
+    def test_doc_types_mixed(self, corpus):
+        types = {doc.doc_type for doc in corpus}
+        assert types == {"news", "blog", "reference"}
+
+    def test_of_type_filter(self, corpus):
+        news = corpus.of_type("news")
+        assert news
+        assert all(doc.doc_type == "news" for doc in news)
+
+    def test_timestamps_increase(self, corpus):
+        stamps = [doc.timestamp for doc in corpus]
+        assert stamps == sorted(stamps)
+
+    def test_html_well_formed(self, corpus):
+        doc = corpus.documents[0]
+        assert extract_title(doc.html) == doc.title
+        assert doc.title in doc.text
+
+
+class TestGoldAnnotations:
+    def test_every_document_has_entities(self, corpus):
+        assert all(doc.gold_entities for doc in corpus)
+
+    def test_gold_aliases_appear_in_text(self, corpus):
+        for doc in corpus.documents[:20]:
+            for aliases in doc.gold_aliases.values():
+                for alias in aliases:
+                    assert alias in doc.text
+
+    def test_single_surface_per_entity_per_doc(self, corpus):
+        """A document refers to an entity by one consistent surface form."""
+        for doc in corpus:
+            for aliases in doc.gold_aliases.values():
+                assert len(set(aliases)) == 1
+
+    def test_gold_sentiment_matches_entity_set(self, corpus):
+        for doc in corpus:
+            assert set(doc.gold_sentiment) == set(doc.gold_entities)
+
+    def test_reference_documents_are_neutral(self, corpus):
+        for doc in corpus.of_type("reference"):
+            assert all(stance == 0 for stance in doc.gold_sentiment.values())
+
+    def test_mentioning_index(self, corpus):
+        doc = corpus.documents[0]
+        entity_id = next(iter(doc.gold_entities))
+        assert doc in corpus.mentioning(entity_id)
+
+    def test_overall_sentiment_sign(self, corpus):
+        for doc in corpus:
+            total = sum(doc.gold_sentiment.values())
+            expected = 0 if total == 0 else (1 if total > 0 else -1)
+            assert doc.overall_gold_sentiment == expected
+
+    def test_stance_wording_matches_gold(self, corpus):
+        """Positive-stance text should contain positive lexicon words."""
+        from repro.data.lexicon import default_sentiment_lexicon
+        from repro.textproc.tokenizer import tokenize
+
+        lexicon = default_sentiment_lexicon()
+        for doc in corpus.documents[:15]:
+            text = strip_html(doc.html)
+            score = lexicon.score_tokens(tokenize(text))
+            if doc.overall_gold_sentiment > 0:
+                assert score > 0
+            elif doc.overall_gold_sentiment < 0:
+                assert score < 0
+
+    def test_entities_come_from_gazetteer(self, corpus):
+        gazetteer = default_gazetteer()
+        for doc in corpus:
+            for entity_id in doc.gold_entities:
+                assert gazetteer.get(entity_id) is not None

@@ -1,0 +1,75 @@
+"""Tests for the entity gazetteer."""
+
+import pytest
+
+from repro.data.gazetteer import Entity, Gazetteer, default_gazetteer
+
+
+@pytest.fixture
+def gazetteer():
+    return default_gazetteer()
+
+
+class TestDefaultGazetteer:
+    def test_nonempty_and_typed(self, gazetteer):
+        assert len(gazetteer) >= 40
+        types = {entity.entity_type for entity in gazetteer}
+        assert {"Country", "Company", "Person", "City", "Disease", "Technology"} <= types
+
+    def test_paper_us_alias_example(self, gazetteer):
+        """The §3 running example: every US alias resolves to one entity."""
+        target = gazetteer.resolve("United States of America")
+        assert target is not None
+        for alias in ("USA", "US", "United States", "America", "the States"):
+            assert gazetteer.resolve(alias) is target
+
+    def test_links_mirror_paper_url_bundle(self, gazetteer):
+        links = gazetteer.resolve("USA").links
+        assert links["dbpedia"] == "http://dbpedia.org/resource/United_States_of_America"
+        assert links["yago"].startswith("http://yago-knowledge.org/resource/")
+        assert "wikidata" in links
+
+    def test_resolution_case_insensitive(self, gazetteer):
+        assert gazetteer.resolve("usa") is gazetteer.resolve("USA")
+
+    def test_resolution_strips_whitespace(self, gazetteer):
+        assert gazetteer.resolve("  USA  ") is not None
+
+    def test_unknown_surface(self, gazetteer):
+        assert gazetteer.resolve("Atlantis") is None
+
+    def test_get_by_id(self, gazetteer):
+        assert gazetteer.get("Q30").name == "United States of America"
+        assert gazetteer.get("nope") is None
+
+    def test_entities_of_type(self, gazetteer):
+        countries = gazetteer.entities_of_type("Country")
+        assert len(countries) >= 10
+        assert all(entity.entity_type == "Country" for entity in countries)
+
+    def test_disease_synonyms(self, gazetteer):
+        assert gazetteer.resolve("flu").entity_id == "D_influenza"
+        assert gazetteer.resolve("high blood pressure").entity_id == "D_hypertension"
+
+    def test_surface_forms_longest_first(self, gazetteer):
+        forms = gazetteer.surface_forms()
+        lengths = [len(form) for form in forms]
+        assert lengths == sorted(lengths, reverse=True)
+
+
+class TestGazetteerConstruction:
+    def test_duplicate_id_rejected(self):
+        entity = Entity("X1", "Thing One", "Test")
+        with pytest.raises(ValueError):
+            Gazetteer([entity, Entity("X1", "Thing Two", "Test")])
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ValueError):
+            Gazetteer([
+                Entity("A", "Alpha", "Test", ("shared",)),
+                Entity("B", "Beta", "Test", ("SHARED",)),
+            ])
+
+    def test_all_surface_forms(self):
+        entity = Entity("A", "Alpha", "Test", ("Al", "Alph"))
+        assert entity.all_surface_forms() == ("Alpha", "Al", "Alph")

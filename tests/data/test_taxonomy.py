@@ -1,0 +1,56 @@
+"""Tests for the concept taxonomy."""
+
+import pytest
+
+from repro.data.taxonomy import ConceptTaxonomy, default_taxonomy
+
+
+@pytest.fixture
+def taxonomy():
+    return default_taxonomy()
+
+
+class TestStructure:
+    def test_paths_are_rooted(self, taxonomy):
+        path = taxonomy.path("machine learning")
+        assert path == ["technology", "artificial intelligence", "machine learning"]
+
+    def test_root_path(self, taxonomy):
+        assert taxonomy.path("technology") == ["technology"]
+
+    def test_ancestors(self, taxonomy):
+        assert taxonomy.ancestors("machine learning") == [
+            "artificial intelligence", "technology",
+        ]
+
+    def test_subclass_pairs_cover_non_roots(self, taxonomy):
+        pairs = taxonomy.subclass_pairs()
+        children = {child for child, _ in pairs}
+        roots = {concept for concept in taxonomy if taxonomy.parent(concept) is None}
+        assert children | roots == set(iter(taxonomy))
+
+    def test_triggers(self, taxonomy):
+        assert "machine learning" in taxonomy.concepts_for_token("training")
+        assert taxonomy.concepts_for_token("xyzzy") == set()
+
+    def test_trigger_case_insensitive(self, taxonomy):
+        assert taxonomy.concepts_for_token("Training") == taxonomy.concepts_for_token("training")
+
+
+class TestConstruction:
+    def test_unknown_parent_rejected(self):
+        taxonomy = ConceptTaxonomy()
+        with pytest.raises(ValueError):
+            taxonomy.add_concept("child", parent="ghost")
+
+    def test_duplicate_concept_rejected(self):
+        taxonomy = ConceptTaxonomy()
+        taxonomy.add_concept("root")
+        with pytest.raises(ValueError):
+            taxonomy.add_concept("root")
+
+    def test_contains(self):
+        taxonomy = ConceptTaxonomy()
+        taxonomy.add_concept("root")
+        assert "root" in taxonomy
+        assert "leaf" not in taxonomy

@@ -1,0 +1,123 @@
+"""Integration: a cognitive data-analytics application, end to end.
+
+Exercises the paper's Figure-1 shape: one application, one Rich SDK,
+many heterogeneous services — search, web, NLU, knowledge bases, market
+data, storage — with monitoring, caching, ranking and failover all
+engaged at once.
+"""
+
+import pytest
+
+from repro import PersonalKnowledgeBase, RichClient, Weights, WebSearchAnalyzer, build_world
+from repro.core.aggregation import MultiServiceCombiner
+from repro.kb.disambiguation import EntityDisambiguator, ServiceBackedStrategy
+from repro.services.base import ScriptedFailures
+from repro.services.datasources import StockDataService
+
+
+@pytest.fixture
+def world():
+    return build_world(seed=21, corpus_size=60)
+
+
+@pytest.fixture
+def client(world):
+    rich_client = RichClient(world.registry)
+    yield rich_client
+    rich_client.close()
+
+
+class TestAnalyticsApplication:
+    def test_full_scenario(self, world, client):
+        analyzer = WebSearchAnalyzer(client)
+        kb = PersonalKnowledgeBase(
+            client=client,
+            disambiguator=EntityDisambiguator(
+                [ServiceBackedStrategy(client, "lexica-prime")]),
+        )
+
+        # 1. Research a company across the web.
+        aggregate = analyzer.analyze_search_results(
+            "IBM excellent results", limit=5, nlu_service="lexica-prime")
+        assert aggregate.documents_analyzed > 0
+
+        # 2. Store the sentiment verdicts as facts.
+        for row in aggregate.entity_sentiment_report():
+            if row["mean_sentiment"] is not None:
+                kb.add_fact(row["name"], "repro:web_favorability",
+                            row["favorability"])
+        assert len(kb.graph) > 0
+
+        # 3. Pull public facts and market data for the lead entity.
+        kb.ingest_entity("IBM")
+        history = client.invoke(
+            "tickerfeed", "history",
+            {"symbol": StockDataService.symbol_for("IBM"), "days": 90}).value
+        kb.pipeline.analyze_series("C_ibm", history["days"], history["closes"],
+                                   entity_type="Company")
+        kb.pipeline.infer()
+
+        # 4. The knowledge base now holds fused knowledge about IBM.
+        facts = kb.facts_about("Big Blue")  # via alias
+        predicates = {fact.predicate for fact in facts}
+        assert "repro:trend" in predicates           # from analysis
+        assert any(p.startswith("repro:source_") for p in predicates)  # ingest
+
+        # 5. Monitoring saw every service the app touched.
+        seen = set(client.monitor.services())
+        assert {"lexica-prime", "worldwide-web", "tickerfeed"} <= seen
+
+    def test_caching_reduces_spend_on_repeat_analysis(self, world, client):
+        analyzer = WebSearchAnalyzer(client)
+        analyzer.analyze_search_results("excellent results", limit=4,
+                                        nlu_service="lexica-prime")
+        spend_after_first = client.quota.total_cost()
+        calls_after_first = client.monitor.call_count("lexica-prime")
+        analyzer.analyze_search_results("excellent results", limit=4,
+                                        nlu_service="lexica-prime")
+        # Search, fetch and analysis responses were all cached.
+        assert client.monitor.call_count("lexica-prime") == calls_after_first
+        assert client.quota.total_cost() == pytest.approx(spend_after_first)
+
+    def test_multi_provider_agreement_beats_weakest(self, world, client):
+        """Combining three providers recovers entities the weakest one
+        misses, with confidence reflecting agreement."""
+        providers = ("lexica-prime", "glotta", "wordsmith-lite")
+        mismatches = 0
+        for doc in world.corpus.documents[:10]:
+            analyses = {
+                name: client.invoke(name, "analyze", {"text": doc.text},
+                                    use_cache=False).value
+                for name in providers
+            }
+            combined = MultiServiceCombiner.combine_entities(analyses)
+            combined_ids = {entry["id"] for entry in combined}
+            weakest_ids = {
+                entity["id"] for entity in analyses["wordsmith-lite"]["entities"]
+                if entity["disambiguated"]
+            }
+            assert weakest_ids <= combined_ids
+            mismatches += len(combined_ids - weakest_ids)
+        assert mismatches > 0  # the union really added something
+
+    def test_failover_keeps_the_app_running(self, world, client):
+        ranked = [name for name, _ in client.rank_services(
+            "nlu", weights=Weights(response_time=1, cost=100, quality=0))]
+        world.service(ranked[0]).failures = ScriptedFailures(set(range(1000)))
+        for doc in world.corpus.documents[:5]:
+            result = client.invoke_with_failover(
+                "nlu", "analyze", {"text": doc.text},
+                weights=Weights(response_time=1, cost=100, quality=0),
+                use_cache=False)
+            assert result.service != ranked[0]
+        assert client.monitor.availability(ranked[0]) == 0.0
+
+    def test_simulated_time_accounts_for_everything(self, world, client):
+        start = client.clock.now()
+        client.invoke("lexica-prime", "analyze",
+                      {"text": world.corpus.documents[0].text})
+        client.invoke("goggle", "search", {"query": "results"})
+        elapsed = client.clock.now() - start
+        recorded = (client.monitor.latencies("lexica-prime")
+                    + client.monitor.latencies("goggle"))
+        assert elapsed == pytest.approx(sum(recorded))

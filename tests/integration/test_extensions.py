@@ -1,0 +1,134 @@
+"""Integration tests across the extension features."""
+
+import json
+
+import pytest
+
+from repro import RichClient, build_world
+from repro.core.circuitbreaker import CircuitBreakerRegistry, CircuitOpenError
+from repro.core.gateway import SdkGateway
+from repro.core.imagery import ImageSearchAnalyzer
+from repro.kb.trust import TrustAwarePipeline
+from repro.services.speech import generate_utterances, rover_vote, word_error_rate
+from repro.stores.rdf.graph import REPRO, Triple
+
+
+@pytest.fixture
+def world():
+    return build_world(seed=121, corpus_size=40)
+
+
+@pytest.fixture
+def client(world):
+    rich_client = RichClient(world.registry)
+    yield rich_client
+    rich_client.close()
+
+
+class TestSpeechToKnowledge:
+    def test_dictation_becomes_facts(self, world, client):
+        """Voice note → ASR → NLU → trusted knowledge base."""
+        note = ("Acme Analytics delivered excellent results and analysts "
+                "praised the innovative company")
+        utterance = generate_utterances([note], seed=3, char_error=0.10)[0]
+        hypotheses = [
+            client.invoke(provider, "transcribe",
+                          {"signal": utterance.signal_words}).value["words"]
+            for provider in ("dictaphone-pro", "mumblecorder")
+        ]
+        transcript = " ".join(rover_vote(hypotheses))
+        assert word_error_rate(transcript.split(), utterance.gold_words) < 0.2
+
+        analysis = client.invoke("lexica-prime", "analyze",
+                                 {"text": transcript}).value
+        pipeline = TrustAwarePipeline()
+        for entity in analysis["entities"]:
+            if not entity["disambiguated"]:
+                continue
+            sentiment = analysis["entity_sentiment"].get(entity["id"])
+            if sentiment is None:
+                continue
+            stance = ("positive" if sentiment["score"] > 0 else "negative")
+            # Voice-note provenance: trust it like web sentiment.
+            pipeline.assert_from_source(
+                Triple(entity["id"], REPRO("voice_sentiment"), stance),
+                "web-sentiment", confidence=abs(sentiment["score"]))
+        facts = pipeline.store.match(None, REPRO("voice_sentiment"), None)
+        assert facts
+        assert all(0 < confidence <= 0.6 for _, confidence in facts)
+
+
+class TestGatewayDrivesMediaPipelines:
+    def test_image_pipeline_over_the_wire(self, world, client):
+        """A non-Python client can run the image flow via the gateway."""
+        gateway = SdkGateway(client)
+        search = json.loads(gateway.handle_json(json.dumps({
+            "method": "invoke",
+            "params": {"service": "pixfinder", "operation": "search_images",
+                       "payload": {"query": "cat", "limit": 4}},
+        })))
+        assert search["status"] == 200
+        hits = search["result"]["value"]["results"]
+        assert hits
+        classify = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "visionary", "operation": "classify",
+                       "payload": {"descriptor": hits[0]["descriptor"]}},
+        })
+        assert classify["status"] == 200
+        assert classify["result"]["value"]["classes"]
+
+    def test_transcription_over_the_wire(self, world, client):
+        gateway = SdkGateway(client)
+        utterance = generate_utterances(
+            [world.corpus.documents[0].text], seed=5)[0]
+        response = gateway.handle({
+            "method": "invoke",
+            "params": {"service": "dictaphone-pro", "operation": "transcribe",
+                       "payload": {"signal": utterance.signal_words}},
+        })
+        assert response["status"] == 200
+        assert response["result"]["value"]["words"]
+
+
+class TestBreakerPlusFailover:
+    def test_breaker_feeds_ranking_decision(self, world, client):
+        """Circuit state and monitoring cooperate: during the outage the
+        broken provider's availability collapses, so even after the
+        circuit half-opens, ranking has learned to prefer the others."""
+        from repro.core.ranking import Weights
+        from repro.services.base import NeverFails, ScriptedFailures
+
+        world.service("glotta").failures = ScriptedFailures(set(range(6)))
+        registry = CircuitBreakerRegistry(world.clock, failure_threshold=3,
+                                          cooldown=30.0)
+
+        def attempt():
+            return client.invoke("glotta", "analyze", {"text": "ping"},
+                                 use_cache=False)
+
+        outcomes = []
+        for _ in range(6):
+            try:
+                registry.call("glotta", attempt)
+                outcomes.append("ok")
+            except CircuitOpenError:
+                outcomes.append("rejected")
+            except Exception:
+                outcomes.append("failed")
+        assert outcomes == ["failed", "failed", "failed",
+                            "rejected", "rejected", "rejected"]
+        assert client.monitor.availability("glotta") == 0.0
+
+        # After the cooldown the service recovered; the probe closes it.
+        world.service("glotta").failures = NeverFails()
+        world.clock.advance(31.0)
+        result = registry.call("glotta", attempt)
+        assert result.value["language"] == "en"
+
+    def test_imagery_and_breakers_share_the_clock(self, world, client):
+        analyzer = ImageSearchAnalyzer(client)
+        registry = CircuitBreakerRegistry(world.clock)
+        before = world.clock.now()
+        registry.call("pixfinder", lambda: analyzer.search_images("dog", 3))
+        assert world.clock.now() > before  # the search cost simulated time

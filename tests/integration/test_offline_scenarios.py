@@ -1,0 +1,90 @@
+"""Integration: disconnected operation on the shared simulation clock."""
+
+import pytest
+
+from repro import PersonalKnowledgeBase, RichClient, build_world
+from repro.crypto.cipher import StreamCipher, derive_key
+from repro.kb.secure import SecureRemoteStore
+from repro.kb.spellcheck import LocalSpellChecker
+from repro.kb.sync import OfflineSyncStore
+from repro.simnet.connectivity import ScriptedConnectivity
+from repro.simnet.errors import ConnectivityError
+
+
+@pytest.fixture
+def world():
+    # Online during [0, 5), offline during [5, 10), online again after.
+    return build_world(seed=33, corpus_size=30,
+                       connectivity=ScriptedConnectivity([5.0, 10.0]))
+
+
+@pytest.fixture
+def client(world):
+    rich_client = RichClient(world.registry)
+    yield rich_client
+    rich_client.close()
+
+
+class TestScriptedOutage:
+    def test_calls_fail_during_the_window(self, world, client):
+        text = world.corpus.documents[0].text
+        client.invoke("lexica-prime", "analyze", {"text": text}, use_cache=False)
+        world.clock.advance(6.0)  # into the outage
+        with pytest.raises(ConnectivityError):
+            client.invoke("lexica-prime", "analyze", {"text": "new text"},
+                          use_cache=False)
+        world.clock.advance(10.0)  # well past the outage
+        client.invoke("lexica-prime", "analyze", {"text": "new text"},
+                      use_cache=False)
+
+    def test_cache_serves_during_outage(self, world, client):
+        """'Caching can also help an application to continue executing
+        if the application has poor connectivity.'"""
+        text = world.corpus.documents[0].text
+        online_result = client.invoke("lexica-prime", "analyze", {"text": text})
+        world.clock.advance(6.0)
+        cached = client.invoke("lexica-prime", "analyze", {"text": text})
+        assert cached.cached
+        assert cached.value == online_result.value
+
+    def test_kb_keeps_working_offline_then_syncs(self, world, client):
+        cipher = StreamCipher(derive_key("integration", iterations=500))
+        remote = SecureRemoteStore(client, "store-standard", cipher)
+        kb = PersonalKnowledgeBase(client=client,
+                                   remote=OfflineSyncStore(remote=remote))
+        kb.add_fact("home", "repro:rooms", 5, disambiguate=False)
+        kb.backup_remote("snap")
+
+        world.clock.advance(6.0)  # offline now
+        kb.add_fact("garden", "repro:trees", 3, disambiguate=False)
+        kb.backup_remote("snap")  # queued, not lost
+        assert kb.remote.pending_count == 1
+
+        world.clock.advance(10.0)  # back online
+        assert kb.remote.sync() == 1
+
+        replica = PersonalKnowledgeBase(
+            client=client, remote=OfflineSyncStore(remote=remote))
+        replica.restore_remote("snap")
+        assert ("garden", "repro:trees", 3) in replica.graph
+
+    def test_local_spellcheck_unaffected_by_outage(self, world, client):
+        checker = LocalSpellChecker.from_texts(
+            (doc.text for doc in world.corpus.documents), world.gazetteer)
+        world.clock.advance(6.0)  # offline
+        result = checker.correct_text("excellnt resluts")
+        assert result["replacements"]
+        # The remote spell service, by contrast, is unreachable.
+        with pytest.raises(ConnectivityError):
+            client.invoke("orthografix", "suggest", {"word": "excellnt"},
+                          use_cache=False)
+
+    def test_local_analytics_run_offline(self, world, client):
+        """'The personalized knowledge base has data analytics
+        capabilities which it can execute locally.'"""
+        kb = PersonalKnowledgeBase()
+        world.clock.advance(6.0)  # offline; nothing below touches the net
+        kb.ingest_csv_text("data", "x,y\n0,1\n1,3\n2,5\n")
+        result = kb.analyze_numeric_table("data", "x", "y", subject="series")
+        assert result["slope"] == pytest.approx(2.0)
+        assert kb.pipeline.infer() >= 0

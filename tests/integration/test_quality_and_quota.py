@@ -1,0 +1,84 @@
+"""Integration: measurable provider quality and quota-driven caching."""
+
+import pytest
+
+from repro import RichClient, Weights, build_world
+from repro.core.aggregation import MultiServiceCombiner
+from repro.services.base import Quota, QuotaExceededError
+
+
+@pytest.fixture
+def world():
+    return build_world(seed=55, corpus_size=50)
+
+
+@pytest.fixture
+def client(world):
+    rich_client = RichClient(world.registry)
+    yield rich_client
+    rich_client.close()
+
+
+def measure_f1(client, world, provider, docs=20):
+    scores = []
+    for doc in world.corpus.documents[:docs]:
+        analysis = client.invoke(provider, "analyze", {"text": doc.text},
+                                 use_cache=False).value
+        score = MultiServiceCombiner.score_against_gold(
+            analysis, list(doc.gold_entities), doc.gold_sentiment)
+        scores.append(score["f1"])
+        client.monitor.rate_quality(provider, score["f1"])
+    return sum(scores) / len(scores)
+
+
+class TestQualityEvaluation:
+    def test_providers_have_distinct_measured_quality(self, world, client):
+        premium = measure_f1(client, world, "lexica-prime")
+        budget = measure_f1(client, world, "wordsmith-lite")
+        assert premium > budget
+
+    def test_quality_feeds_ranking(self, world, client):
+        for provider in ("lexica-prime", "glotta", "wordsmith-lite"):
+            measure_f1(client, world, provider, docs=15)
+        # Quality-dominant weights rank the premium provider first even
+        # though it is the slowest and most expensive.
+        ranked = client.rank_services(
+            "nlu", weights=Weights(response_time=0, cost=0, quality=1))
+        assert ranked[0][0] == "lexica-prime"
+        # Latency-dominant weights invert the decision.
+        ranked = client.rank_services(
+            "nlu", weights=Weights(response_time=1, cost=0, quality=0))
+        assert ranked[0][0] == "wordsmith-lite"
+
+
+class TestQuotaAndPersistence:
+    def test_server_quota_enforced_and_cache_stretches_it(self, world, client):
+        """§2.2: a limited quota of invocations per period is an
+        incentive to persist analysis results."""
+        service = world.service("lexica-prime")
+        service.quota = Quota(limit=3, window=3600.0)
+        texts = [doc.text for doc in world.corpus.documents[:3]]
+        for text in texts:
+            client.invoke("lexica-prime", "analyze", {"text": text})
+        # A fourth *distinct* request exceeds the quota...
+        with pytest.raises(QuotaExceededError):
+            client.invoke("lexica-prime", "analyze", {"text": "fresh text"})
+        # ...but every already-analyzed document is still available.
+        for text in texts:
+            assert client.invoke("lexica-prime", "analyze", {"text": text}).cached
+
+    def test_cache_persists_across_client_restarts(self, world, client):
+        from repro.core.caching import ServiceCache
+        from repro.stores.kvstore import InMemoryKeyValueStore
+
+        text = world.corpus.documents[0].text
+        client.invoke("lexica-prime", "analyze", {"text": text})
+        store = InMemoryKeyValueStore()
+        client.cache.save_to(store)
+
+        second_client = RichClient(world.registry,
+                                   cache=ServiceCache(capacity=1024))
+        second_client.cache.load_from(store)
+        result = second_client.invoke("lexica-prime", "analyze", {"text": text})
+        assert result.cached
+        second_client.close()

@@ -1,0 +1,125 @@
+"""Tests for entity disambiguation strategies."""
+
+import pytest
+
+from repro.kb.disambiguation import (
+    EntityDisambiguator,
+    ExactMatchStrategy,
+    ServiceBackedStrategy,
+    SynonymFileStrategy,
+)
+
+US_ALIASES = ["USA", "US", "United States", "America", "the States",
+              "United States of America"]
+
+
+class TestExactMatchStrategy:
+    def test_canonical_name_resolves(self):
+        strategy = ExactMatchStrategy({"United States of America": "Q30"})
+        assert strategy.resolve("united states of america").entity_id == "Q30"
+
+    def test_aliases_do_not_resolve(self):
+        """The paper's warning: plain string matching splits one entity."""
+        strategy = ExactMatchStrategy({"United States of America": "Q30"})
+        assert strategy.resolve("USA") is None
+        assert strategy.resolve("America") is None
+
+
+class TestServiceBackedStrategy:
+    def test_all_aliases_collapse(self, client):
+        strategy = ServiceBackedStrategy(client, "lexica-prime")
+        ids = {strategy.resolve(alias).entity_id for alias in US_ALIASES}
+        assert ids == {"Q30"}
+
+    def test_resolved_entity_carries_links(self, client):
+        resolved = ServiceBackedStrategy(client, "lexica-prime").resolve("US")
+        assert resolved.links["dbpedia"].endswith("United_States_of_America")
+        assert resolved.strategy == "service"
+
+    def test_unknown_surface(self, client):
+        assert ServiceBackedStrategy(client, "lexica-prime").resolve("Wakanda") is None
+
+    def test_repeated_resolutions_are_cached(self, client):
+        strategy = ServiceBackedStrategy(client, "lexica-prime")
+        strategy.resolve("USA")
+        calls_before = client.monitor.call_count("lexica-prime")
+        strategy.resolve("USA")
+        assert client.monitor.call_count("lexica-prime") == calls_before
+
+    def test_offline_degrades_to_none(self, client):
+        from repro.simnet.connectivity import ManualConnectivity
+
+        connectivity = ManualConnectivity()
+        client.registry.get("lexica-prime").transport.connectivity = connectivity
+        connectivity.go_offline()
+        strategy = ServiceBackedStrategy(client, "lexica-prime")
+        assert strategy.resolve("USA") is None
+        connectivity.go_online()
+
+
+class TestSynonymFileStrategy:
+    def test_from_file_text(self):
+        strategy = SynonymFileStrategy.from_file_text(
+            """
+            # disease synonyms
+            grippe = D_influenza
+            sugar diabetes = D_diabetes
+            """
+        )
+        assert strategy.resolve("grippe").entity_id == "D_influenza"
+        assert strategy.resolve("Sugar Diabetes").entity_id == "D_diabetes"
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            SynonymFileStrategy.from_file_text("this line has no equals sign")
+
+    def test_unknown_surface(self):
+        strategy = SynonymFileStrategy({"x": "E1"})
+        assert strategy.resolve("y") is None
+
+    def test_entity_names_used_when_known(self):
+        strategy = SynonymFileStrategy({"htn": "D_hyp"},
+                                       entity_names={"D_hyp": "Hypertension"})
+        assert strategy.resolve("HTN").name == "Hypertension"
+
+
+class TestDisambiguatorChain:
+    def test_first_strategy_wins(self, client):
+        synonyms = SynonymFileStrategy({"usa": "USER_OVERRIDE"})
+        chain = EntityDisambiguator([synonyms,
+                                     ServiceBackedStrategy(client, "lexica-prime")])
+        assert chain.resolve("USA").entity_id == "USER_OVERRIDE"
+
+    def test_falls_through_to_later_strategies(self, client):
+        synonyms = SynonymFileStrategy({"grippe": "D_influenza"})
+        chain = EntityDisambiguator([synonyms,
+                                     ServiceBackedStrategy(client, "lexica-prime")])
+        assert chain.resolve("USA").entity_id == "Q30"
+        assert chain.resolve("grippe").entity_id == "D_influenza"
+
+    def test_counts(self, client):
+        chain = EntityDisambiguator([ServiceBackedStrategy(client, "lexica-prime")])
+        chain.resolve("USA")
+        chain.resolve("Wakanda")
+        assert chain.resolved_count == 1
+        assert chain.unresolved_count == 1
+
+    def test_needs_strategies(self):
+        with pytest.raises(ValueError):
+            EntityDisambiguator([])
+
+    def test_canonicalize_stream_collapses_aliases(self, client):
+        chain = EntityDisambiguator([ServiceBackedStrategy(client, "lexica-prime")])
+        report = chain.canonicalize_stream(US_ALIASES + ["Wakanda"])
+        assert report["distinct_surfaces"] == 7
+        assert report["unique_entities"] == 1
+        assert report["unresolved_surfaces"] == 1
+        assert report["mapping"]["USA"] == "Q30"
+
+    def test_exact_match_proliferates_entities(self, client):
+        """Contrast: the naive baseline resolves only the canonical name."""
+        exact = EntityDisambiguator([ExactMatchStrategy(
+            {"United States of America": "Q30"})])
+        report = exact.canonicalize_stream(US_ALIASES)
+        assert report["unique_entities"] == 1
+        assert report["unresolved_surfaces"] == 5  # five aliases lost

@@ -1,0 +1,100 @@
+"""Tests for the local spell checker and the secure remote store."""
+
+import pytest
+
+from repro.crypto.cipher import StreamCipher, derive_key
+from repro.crypto.compression import IdentityCodec
+from repro.kb.secure import SecureRemoteStore
+from repro.kb.spellcheck import LocalSpellChecker
+from repro.util.errors import NotFoundError
+
+
+@pytest.fixture
+def cipher():
+    return StreamCipher(derive_key("kb tests", iterations=500))
+
+
+@pytest.fixture
+def secure(client, cipher):
+    return SecureRemoteStore(client, "store-standard", cipher)
+
+
+class TestLocalSpellChecker:
+    def test_built_from_world_texts(self, world):
+        checker = LocalSpellChecker.from_texts(
+            (doc.text for doc in world.corpus.documents), world.gazetteer)
+        assert checker.is_known("results")
+        assert checker.is_known("ibm")  # gazetteer name included
+
+    def test_corrections(self, world):
+        checker = LocalSpellChecker.from_texts(
+            (doc.text for doc in world.corpus.documents), world.gazetteer)
+        result = checker.correct_text("excellnt resuts")
+        corrected = dict(result["replacements"])
+        assert corrected.get("excellnt") == "excellent"
+
+    def test_no_simulated_time_consumed(self, world):
+        """The local checker is 'generally faster': zero network time."""
+        checker = LocalSpellChecker.from_texts(
+            (doc.text for doc in world.corpus.documents), world.gazetteer)
+        before = world.clock.now()
+        checker.correct_text("excellnt results were anounced")
+        assert world.clock.now() == before
+
+    def test_add_words(self, world):
+        checker = LocalSpellChecker.from_texts(["plain text"])
+        assert not checker.is_known("kubernetes")
+        checker.add_words(["Kubernetes"])
+        assert checker.is_known("kubernetes")
+
+    def test_call_counter(self):
+        checker = LocalSpellChecker.from_texts(["some words here"])
+        checker.correct_word("words")
+        checker.suggestions("wrds")
+        assert checker.calls == 2
+
+
+class TestSecureRemoteStore:
+    def test_put_get_roundtrip(self, secure):
+        secure.put("facts", {"graph": [1, 2, 3]})
+        assert secure.get("facts") == {"graph": [1, 2, 3]}
+
+    def test_remote_holds_only_ciphertext(self, secure, world):
+        secure.put("secret", {"password": "hunter2"})
+        raw = world.service("store-standard")._data["pkb/secret"]
+        import json
+
+        assert "hunter2" not in json.dumps(raw)
+        assert "ciphertext" in raw
+
+    def test_get_missing_raises_not_found(self, secure):
+        with pytest.raises(NotFoundError):
+            secure.get("ghost")
+
+    def test_delete(self, secure):
+        secure.put("k", 1)
+        assert secure.delete("k") is True
+        assert secure.delete("k") is False
+
+    def test_keys_strip_prefix(self, secure):
+        secure.put("alpha", 1)
+        secure.put("beta", 2)
+        assert secure.keys() == ["alpha", "beta"]
+
+    def test_compression_saves_bandwidth(self, client, cipher):
+        compressed = SecureRemoteStore(client, "store-standard", cipher,
+                                       key_prefix="c/")
+        raw = SecureRemoteStore(client, "store-standard", cipher,
+                                codec=IdentityCodec(), key_prefix="r/")
+        payload = {"text": "repetition " * 500}
+        compressed.put("k", payload)
+        raw.put("k", payload)
+        assert compressed.stats.uploaded_bytes < raw.stats.uploaded_bytes
+        assert compressed.stats.upload_ratio < 1.0
+        assert compressed.stats.bytes_saved > 0
+
+    def test_stats_track_operations(self, secure):
+        secure.put("a", 1)
+        secure.get("a")
+        assert secure.stats.puts == 1
+        assert secure.stats.gets == 1

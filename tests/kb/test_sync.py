@@ -1,0 +1,125 @@
+"""Tests for offline operation and resynchronization."""
+
+import pytest
+
+from repro.crypto.cipher import StreamCipher, derive_key
+from repro.kb.secure import SecureRemoteStore
+from repro.kb.sync import OfflineSyncStore
+from repro.simnet.connectivity import ManualConnectivity
+from repro.util.errors import NotFoundError
+
+
+@pytest.fixture
+def connectivity(world):
+    model = ManualConnectivity()
+    world.transport.connectivity = model
+    return model
+
+
+@pytest.fixture
+def sync(client, connectivity):
+    cipher = StreamCipher(derive_key("sync tests", iterations=500))
+    remote = SecureRemoteStore(client, "store-standard", cipher)
+    return OfflineSyncStore(remote=remote)
+
+
+class TestOnlineOperation:
+    def test_put_pushes_through_immediately(self, sync):
+        sync.put("k", {"v": 1})
+        assert sync.pending_count == 0
+        assert sync.stats.immediate_pushes == 1
+        assert sync.remote.get("k") == {"v": 1}
+
+    def test_get_prefers_local(self, sync):
+        sync.put("k", 1)
+        sync.get("k")
+        assert sync.stats.local_reads == 1
+        assert sync.stats.remote_reads == 0
+
+    def test_get_falls_back_to_remote_and_caches(self, sync):
+        sync.remote.put("remote-only", 42)
+        assert sync.get("remote-only") == 42
+        assert sync.stats.remote_reads == 1
+        # Second read is local.
+        sync.get("remote-only")
+        assert sync.stats.local_reads == 1
+
+    def test_delete_propagates(self, sync):
+        sync.put("k", 1)
+        sync.delete("k")
+        with pytest.raises(NotFoundError):
+            sync.remote.get("k")
+
+
+class TestOfflineOperation:
+    def test_writes_queue_while_offline(self, sync, connectivity):
+        connectivity.go_offline()
+        sync.put("a", 1)
+        sync.put("b", 2)
+        assert sync.pending_count == 2
+        assert sync.stats.queued_writes == 2
+        # Local reads still work.
+        assert sync.get("a") == 1
+
+    def test_offline_read_of_unknown_key_raises(self, sync, connectivity):
+        connectivity.go_offline()
+        with pytest.raises(NotFoundError):
+            sync.get("never-seen")
+
+    def test_sync_replays_after_reconnect(self, sync, connectivity):
+        connectivity.go_offline()
+        sync.put("a", 1)
+        sync.put("b", 2)
+        connectivity.go_online()
+        applied = sync.sync()
+        assert applied == 2
+        assert sync.pending_count == 0
+        assert sync.remote.get("a") == 1
+        assert sync.remote.get("b") == 2
+
+    def test_sync_coalesces_to_latest_write(self, sync, connectivity):
+        connectivity.go_offline()
+        sync.put("k", 1)
+        sync.put("k", 2)
+        sync.put("k", 3)
+        connectivity.go_online()
+        assert sync.sync() == 1  # one remote write, the latest value
+        assert sync.remote.get("k") == 3
+
+    def test_offline_delete_then_sync(self, sync, connectivity):
+        sync.put("k", 1)
+        connectivity.go_offline()
+        sync.delete("k")
+        connectivity.go_online()
+        sync.sync()
+        with pytest.raises(NotFoundError):
+            sync.remote.get("k")
+
+    def test_sync_stops_if_connectivity_drops_again(self, sync, connectivity):
+        connectivity.go_offline()
+        sync.put("a", 1)
+        sync.put("b", 2)
+        # Still offline: sync applies nothing, keeps the queue.
+        assert sync.sync() == 0
+        assert sync.pending_count == 2
+        assert sync.stats.failed_syncs == 1
+
+    def test_sync_noop_with_empty_queue(self, sync):
+        assert sync.sync() == 0
+
+    def test_pull_refreshes_local(self, sync, connectivity):
+        sync.remote.put("server-side", "fresh")
+        pulled = sync.pull()
+        assert pulled >= 1
+        connectivity.go_offline()
+        assert sync.get("server-side") == "fresh"
+
+    def test_pull_keeps_dirty_keys(self, sync, connectivity):
+        sync.put("k", "old-remote")
+        connectivity.go_offline()
+        sync.put("k", "newer-local")
+        connectivity.go_online()
+        sync.pull()
+        assert sync.get("k") == "newer-local"  # local wins until synced
+        sync.sync()
+        assert sync.remote.get("k") == "newer-local"

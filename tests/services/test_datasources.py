@@ -1,0 +1,136 @@
+"""Tests for knowledge, stock and geo data services."""
+
+import pytest
+
+from repro.data.gazetteer import default_gazetteer
+from repro.services.datasources import GeoDataService, KnowledgeService, StockDataService
+from repro.simnet.errors import RemoteServiceError
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return default_gazetteer()
+
+
+class TestKnowledgeService:
+    def test_lookup_by_alias(self, transport, gazetteer):
+        service = KnowledgeService("kb", transport, gazetteer, coverage=1.0)
+        record = service.invoke("lookup", {"entity": "USA"}).value
+        assert record["label"] == "United States of America"
+        assert record["uri"].endswith("United_States_of_America")
+        assert record["type_value"] == "Country"
+
+    def test_naming_styles_differ(self, transport, gazetteer):
+        camel = KnowledgeService("c", transport, gazetteer, naming_style="camel")
+        underscore = KnowledgeService("u", transport, gazetteer,
+                                      naming_style="underscore")
+        pcode = KnowledgeService("p", transport, gazetteer, naming_style="pcode")
+        camel_facts = camel.invoke("lookup", {"entity": "USA"}).value["facts"]
+        under_facts = underscore.invoke("lookup", {"entity": "USA"}).value["facts"]
+        pcode_facts = pcode.invoke("lookup", {"entity": "USA"}).value["facts"]
+        assert "populationMillions" in camel_facts
+        assert "has_population_millions" in under_facts
+        assert any(key.startswith("P") and key[1:].isdigit() for key in pcode_facts)
+
+    def test_property_names_mapping_invertible(self, transport, gazetteer):
+        service = KnowledgeService("kb", transport, gazetteer, naming_style="pcode")
+        mapping = service.invoke("property_names", {}).value
+        assert len(set(mapping.values())) == len(mapping)  # invertible
+
+    def test_unknown_entity_404(self, transport, gazetteer):
+        service = KnowledgeService("kb", transport, gazetteer)
+        with pytest.raises(RemoteServiceError) as excinfo:
+            service.invoke("lookup", {"entity": "Narnia"})
+        assert excinfo.value.status == 404
+
+    def test_partial_coverage_misses_some(self, transport, gazetteer):
+        service = KnowledgeService("kb", transport, gazetteer, coverage=0.5, seed=7)
+        covered = [entity for entity in gazetteer if service.covers(entity.entity_id)]
+        assert 0 < len(covered) < len(gazetteer)
+
+    def test_uncovered_entity_404(self, transport, gazetteer):
+        service = KnowledgeService("kb", transport, gazetteer, coverage=0.5, seed=7)
+        missing = next(entity for entity in gazetteer
+                       if not service.covers(entity.entity_id))
+        with pytest.raises(RemoteServiceError):
+            service.invoke("lookup", {"entity": missing.name})
+
+    def test_entities_of_type(self, transport, gazetteer):
+        service = KnowledgeService("kb", transport, gazetteer, coverage=1.0)
+        records = service.invoke("entities_of_type", {"type": "Country"}).value["records"]
+        assert len(records) == len(gazetteer.entities_of_type("Country"))
+
+    def test_invalid_naming_style(self, transport, gazetteer):
+        with pytest.raises(ValueError):
+            KnowledgeService("kb", transport, gazetteer, naming_style="kebab")
+
+
+class TestStockDataService:
+    def test_symbols_for_all_companies(self, transport, gazetteer):
+        service = StockDataService("stocks", transport, gazetteer)
+        assert len(service.symbols) == len(gazetteer.entities_of_type("Company"))
+
+    def test_symbol_derivation(self):
+        assert StockDataService.symbol_for("IBM") == "IBM"
+        assert StockDataService.symbol_for("Acme Analytics") == "ACME"
+
+    def test_quote_and_history_consistent(self, transport, gazetteer):
+        service = StockDataService("stocks", transport, gazetteer)
+        symbol = service.symbols[0]
+        quote = service.invoke("quote", {"symbol": symbol}).value
+        history = service.invoke("history", {"symbol": symbol, "days": 10}).value
+        assert quote["price"] == history["closes"][-1]
+        assert len(history["closes"]) == 10
+        assert history["days"] == sorted(history["days"])
+
+    def test_prices_positive(self, transport, gazetteer):
+        service = StockDataService("stocks", transport, gazetteer)
+        for symbol in service.symbols:
+            history = service.invoke("history", {"symbol": symbol, "days": 365}).value
+            assert all(price >= 1.0 for price in history["closes"])
+
+    def test_deterministic_across_instances(self, transport, gazetteer):
+        first = StockDataService("s1", transport, gazetteer, seed=17)
+        second = StockDataService("s2", transport, gazetteer, seed=17)
+        symbol = first.symbols[0]
+        assert (first.invoke("quote", {"symbol": symbol}).value["price"]
+                == second.invoke("quote", {"symbol": symbol}).value["price"])
+
+    def test_unknown_symbol_404(self, transport, gazetteer):
+        service = StockDataService("stocks", transport, gazetteer)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("quote", {"symbol": "ZZZZ"})
+
+    def test_invalid_days(self, transport, gazetteer):
+        service = StockDataService("stocks", transport, gazetteer)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("history", {"symbol": service.symbols[0], "days": 0})
+
+
+class TestGeoDataService:
+    def test_locate_city(self, transport, gazetteer):
+        service = GeoDataService("geo", transport, gazetteer)
+        location = service.invoke("locate", {"place": "Tokyo"}).value
+        assert -90 <= location["latitude"] <= 90
+        assert -180 <= location["longitude"] <= 180
+
+    def test_locate_deterministic(self, transport, gazetteer):
+        service = GeoDataService("geo", transport, gazetteer)
+        first = service.invoke("locate", {"place": "Paris"}).value
+        second = service.invoke("locate", {"place": "Paris"}).value
+        assert first == second
+
+    def test_climate_has_twelve_months(self, transport, gazetteer):
+        service = GeoDataService("geo", transport, gazetteer)
+        climate = service.invoke("climate", {"place": "Berlin"}).value
+        assert len(climate["monthly_mean_temperature"]) == 12
+
+    def test_unknown_place_404(self, transport, gazetteer):
+        service = GeoDataService("geo", transport, gazetteer)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("locate", {"place": "Middle Earth"})
+
+    def test_company_is_not_a_place(self, transport, gazetteer):
+        service = GeoDataService("geo", transport, gazetteer)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("locate", {"place": "IBM"})

@@ -1,0 +1,98 @@
+"""Tests for image search and data transformation services."""
+
+import pytest
+
+from repro.services.imagesearch import ImageSearchService
+from repro.services.transform import TransformService
+from repro.simnet.errors import RemoteServiceError
+
+
+@pytest.fixture
+def image_search(transport):
+    return ImageSearchService("imgs", transport, mistag_rate=0.2, seed=7)
+
+
+@pytest.fixture
+def transform(transport):
+    return TransformService("shape", transport)
+
+
+class TestImageSearch:
+    def test_search_returns_tagged_descriptors(self, image_search):
+        results = image_search.invoke("search_images",
+                                      {"query": "cat", "limit": 5}).value
+        assert results["results"]
+        for hit in results["results"]:
+            assert len(hit["descriptor"]) == 16
+            assert "cat" in [tag.lower() for tag in hit["tags"]]
+
+    def test_limit_respected(self, image_search):
+        results = image_search.invoke("search_images",
+                                      {"query": "dog", "limit": 3}).value
+        assert len(results["results"]) <= 3
+
+    def test_mistagged_images_exist(self, image_search):
+        """Some images tagged 'cat' are not really cats — downstream
+        classification has real work."""
+        results = image_search.invoke("search_images",
+                                      {"query": "cat", "limit": 100}).value
+        gold = {image.image_id: image.gold_label
+                for image in image_search.images}
+        wrong = [hit for hit in results["results"]
+                 if gold[hit["image_id"]] != "cat"]
+        assert wrong  # the noise is really there
+
+    def test_get_image(self, image_search):
+        image_id = image_search.images[0].image_id
+        record = image_search.invoke("get_image", {"image_id": image_id}).value
+        assert record["image_id"] == image_id
+
+    def test_unknown_image_404(self, image_search):
+        with pytest.raises(RemoteServiceError):
+            image_search.invoke("get_image", {"image_id": "nope"})
+
+    def test_empty_query_rejected(self, image_search):
+        with pytest.raises(RemoteServiceError):
+            image_search.invoke("search_images", {"query": "  "})
+
+
+class TestTransformService:
+    def test_csv_to_records(self, transform):
+        value = transform.invoke("csv_to_records",
+                                 {"csv": "a,b\n1,x\n2,y\n"}).value
+        assert value["records"] == [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        assert value["columns"] == ["a", "b"]
+
+    def test_records_to_csv_roundtrip(self, transform):
+        records = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        csv_text = transform.invoke("records_to_csv",
+                                    {"records": records}).value["csv"]
+        back = transform.invoke("csv_to_records", {"csv": csv_text}).value
+        assert back["records"] == records
+
+    def test_html_to_text(self, transform):
+        value = transform.invoke("html_to_text",
+                                 {"html": "<p>Hello <b>world</b></p>"}).value
+        assert value["text"] == "Hello world"
+
+    def test_extract_numbers(self, transform):
+        value = transform.invoke(
+            "extract_numbers",
+            {"text": "revenue rose 12.5 percent to 340 million, -3 below plan"},
+        ).value
+        assert value["numbers"] == [12.5, 340, -3]
+
+    def test_extract_dates_validates(self, transform):
+        value = transform.invoke(
+            "extract_dates",
+            {"text": "due 2026-07-08, not 2026-13-40 or 1999-12-31"},
+        ).value
+        assert value["dates"] == ["2026-07-08", "1999-12-31"]
+
+    def test_bad_inputs_rejected(self, transform):
+        with pytest.raises(RemoteServiceError):
+            transform.invoke("csv_to_records", {})
+        with pytest.raises(RemoteServiceError):
+            transform.invoke("records_to_csv", {"records": []})
+        with pytest.raises(RemoteServiceError):
+            transform.invoke("reticulate", {})

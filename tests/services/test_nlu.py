@@ -1,0 +1,199 @@
+"""Tests for the NLU engine and service wrapper."""
+
+import pytest
+
+from repro.data.gazetteer import default_gazetteer
+from repro.data.lexicon import default_sentiment_lexicon
+from repro.data.taxonomy import default_taxonomy
+from repro.services.nlu import ALL_FEATURES, NluEngine, NluService
+from repro.simnet.errors import RemoteServiceError
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return NluEngine(default_gazetteer(), default_taxonomy(), default_sentiment_lexicon())
+
+
+class TestEntityExtraction:
+    def test_finds_canonical_names(self, engine):
+        entities = engine.extract_entities("IBM and Initech are companies.")
+        ids = {entity["id"] for entity in entities}
+        assert ids == {"C_ibm", "C_initech"}
+
+    def test_finds_aliases(self, engine):
+        entities = engine.extract_entities("Big Blue announced a partnership.")
+        assert entities[0]["id"] == "C_ibm"
+
+    def test_longest_match_wins(self, engine):
+        entities = engine.extract_entities("The United States of America is large.")
+        assert len(entities) == 1
+        assert entities[0]["id"] == "Q30"
+        assert entities[0]["mentions"] == ["United States of America"]
+
+    def test_counts_mentions(self, engine):
+        entities = engine.extract_entities("IBM grew. IBM hired. IBM expanded.")
+        assert entities[0]["count"] == 3
+
+    def test_short_alias_requires_exact_case(self, engine):
+        # "in" must not match India's alias "IN".
+        entities = engine.extract_entities("She lives in a small town.")
+        assert all(entity["id"] != "Q668" for entity in entities)
+        entities = engine.extract_entities("Exports from IN rose sharply.")
+        assert any(entity["id"] == "Q668" for entity in entities)
+
+    def test_links_included(self, engine):
+        entities = engine.extract_entities("USA")
+        assert "dbpedia" in entities[0]["links"]
+
+    def test_no_entities(self, engine):
+        assert engine.extract_entities("nothing notable here") == []
+
+    def test_alias_recall_thins_surfaces(self):
+        full = NluEngine(default_gazetteer(), default_taxonomy(),
+                         default_sentiment_lexicon(), alias_recall=1.0, seed=9)
+        thin = NluEngine(default_gazetteer(), default_taxonomy(),
+                         default_sentiment_lexicon(), alias_recall=0.3, seed=9)
+        assert len(thin._known_surfaces) < len(full._known_surfaces)
+        # Canonical names always survive.
+        assert "United States of America" in thin._known_surfaces
+
+    def test_heuristic_ner_flags_unknown_capitalized(self):
+        engine = NluEngine(default_gazetteer(), default_taxonomy(),
+                           default_sentiment_lexicon(), heuristic_ner=True)
+        entities = engine.extract_entities("Flurbcorp Devices shipped units to IBM.")
+        heuristic = [e for e in entities if not e["disambiguated"]]
+        assert any("Flurbcorp" in e["name"] for e in heuristic)
+        assert any(e["id"] == "C_ibm" and e["disambiguated"] for e in entities)
+
+
+class TestKeywordsConceptsSentiment:
+    def test_keywords_exclude_stopwords(self, engine):
+        keywords = engine.extract_keywords(
+            "the the the market market rally rally rally rally")
+        texts = [keyword["text"] for keyword in keywords]
+        assert "the" not in texts
+        assert texts[0] == "rally"
+        assert keywords[0]["relevance"] == 1.0
+
+    def test_keywords_empty_text(self, engine):
+        assert engine.extract_keywords("the a an") == []
+
+    def test_concepts_triggered(self, engine):
+        concepts = engine.extract_concepts(
+            "Investors watched the stock market as earnings and revenue grew.")
+        names = {concept["concept"] for concept in concepts}
+        assert "finance" in names
+        top = concepts[0]
+        assert top["path"].startswith("/business") or top["path"].startswith("/")
+
+    def test_document_sentiment_positive(self, engine):
+        result = engine.document_sentiment("The results were excellent and wonderful.")
+        assert result["label"] == "positive"
+        assert result["score"] > 0
+
+    def test_document_sentiment_negative(self, engine):
+        result = engine.document_sentiment("A terrible, disastrous scandal unfolded.")
+        assert result["label"] == "negative"
+
+    def test_document_sentiment_neutral(self, engine):
+        result = engine.document_sentiment("The meeting is scheduled for Tuesday.")
+        assert result["label"] == "neutral"
+
+    def test_score_clamped(self, engine):
+        text = "excellent " * 200
+        assert -1.0 <= engine.document_sentiment(text)["score"] <= 1.0
+
+    def test_entity_sentiment_separates_entities(self, engine):
+        text = ("IBM delivered excellent wonderful results. "
+                "Initech suffered a terrible disaster.")
+        sentiment = engine.entity_sentiment(text)
+        assert sentiment["C_ibm"]["label"] == "positive"
+        assert sentiment["C_initech"]["label"] == "negative"
+
+    def test_entity_sentiment_skips_heuristic_entities(self):
+        engine = NluEngine(default_gazetteer(), default_taxonomy(),
+                           default_sentiment_lexicon(), heuristic_ner=True)
+        sentiment = engine.entity_sentiment("Blorbtech had excellent results.")
+        assert all(not key.startswith("unk:") for key in sentiment)
+
+
+class TestDisambiguation:
+    def test_direct_alias(self, engine):
+        resolved = engine.disambiguate("USA")
+        assert resolved["id"] == "Q30"
+        assert resolved["links"]["dbpedia"].endswith("United_States_of_America")
+
+    def test_sentence_scan(self, engine):
+        """The paper's example sentence resolves to the US."""
+        resolved = engine.disambiguate("The US is a country")
+        assert resolved["id"] == "Q30"
+
+    def test_unknown_phrase(self, engine):
+        assert engine.disambiguate("the quick brown fox") is None
+
+
+class TestAnalyze:
+    def test_full_analysis_has_all_features(self, engine):
+        analysis = engine.analyze("IBM had excellent results in the stock market.")
+        for feature in ALL_FEATURES:
+            assert feature in analysis
+
+    def test_feature_subset(self, engine):
+        analysis = engine.analyze("IBM rose.", features=("entities",))
+        assert "entities" in analysis
+        assert "sentiment" not in analysis
+
+    def test_unknown_feature_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.analyze("text", features=("entities", "emotions"))
+
+
+class TestNluService:
+    def test_analyze_over_the_wire(self, transport, engine):
+        service = NluService("nlu-test", transport, engine)
+        response = service.invoke("analyze", {"text": "IBM thrived."})
+        assert response.value["entities"][0]["id"] == "C_ibm"
+
+    def test_empty_text_rejected(self, transport, engine):
+        service = NluService("nlu-test", transport, engine)
+        with pytest.raises(RemoteServiceError) as excinfo:
+            service.invoke("analyze", {"text": "   "})
+        assert excinfo.value.status == 400
+
+    def test_analyze_url_with_fetcher(self, transport, engine):
+        pages = {"http://x/1": "<html><title>T</title><body><p>IBM thrived.</p></body></html>"}
+        service = NluService("nlu-test", transport, engine,
+                             web_fetcher=pages.get)
+        response = service.invoke("analyze_url", {"url": "http://x/1"})
+        assert response.value["retrieved_url"] == "http://x/1"
+        assert any(e["id"] == "C_ibm" for e in response.value["entities"])
+
+    def test_analyze_url_without_fetcher_rejected(self, transport, engine):
+        service = NluService("nlu-test", transport, engine)
+        with pytest.raises(RemoteServiceError) as excinfo:
+            service.invoke("analyze_url", {"url": "http://x/1"})
+        assert excinfo.value.status == 400
+
+    def test_analyze_url_missing_page_404(self, transport, engine):
+        service = NluService("nlu-test", transport, engine,
+                             web_fetcher=lambda url: None)
+        with pytest.raises(RemoteServiceError) as excinfo:
+            service.invoke("analyze_url", {"url": "http://gone/"})
+        assert excinfo.value.status == 404
+
+    def test_disambiguate_operation(self, transport, engine):
+        service = NluService("nlu-test", transport, engine)
+        response = service.invoke("disambiguate", {"phrase": "US"})
+        assert response.value["resolved"]["id"] == "Q30"
+
+    def test_unknown_operation(self, transport, engine):
+        service = NluService("nlu-test", transport, engine)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("summon", {})
+
+    def test_latency_params_use_text_length(self, transport, engine):
+        from repro.services.base import ServiceRequest
+
+        service = NluService("nlu-test", transport, engine)
+        params = service.latency_params(ServiceRequest("analyze", {"text": "abcde"}))
+        assert params["size"] == 5.0

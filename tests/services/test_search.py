@@ -1,0 +1,113 @@
+"""Tests for the simulated web and search engines."""
+
+import pytest
+
+from repro.data.corpus import generate_corpus
+from repro.services.search import SearchEngineService, WebService
+from repro.simnet.errors import RemoteServiceError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(size=40, seed=5)
+
+
+@pytest.fixture
+def web(transport, corpus):
+    return WebService("web", transport, corpus)
+
+
+@pytest.fixture
+def engine(transport, corpus):
+    return SearchEngineService("engine", transport, corpus, coverage=1.0)
+
+
+class TestWebService:
+    def test_fetch_known_url(self, web, corpus):
+        doc = corpus.documents[0]
+        response = web.invoke("fetch", {"url": doc.url})
+        assert response.value["html"] == doc.html
+        assert response.value["timestamp"] == doc.timestamp
+
+    def test_fetch_unknown_url_404(self, web):
+        with pytest.raises(RemoteServiceError) as excinfo:
+            web.invoke("fetch", {"url": "http://missing.example/x"})
+        assert excinfo.value.status == 404
+
+    def test_fetcher_callable(self, web, corpus):
+        fetch = web.fetcher()
+        doc = corpus.documents[1]
+        assert fetch(doc.url) == doc.html
+        assert fetch("http://missing/") is None
+
+    def test_unknown_operation(self, web):
+        with pytest.raises(RemoteServiceError):
+            web.invoke("crawl", {})
+
+
+class TestSearchEngine:
+    def test_full_coverage_indexes_everything(self, engine, corpus):
+        assert engine.crawl_size == len(corpus)
+
+    def test_search_returns_ranked_results(self, engine, corpus):
+        doc = corpus.documents[0]
+        response = engine.invoke("search", {"query": doc.title, "limit": 5})
+        results = response.value["results"]
+        assert results
+        assert [r["rank"] for r in results] == list(range(1, len(results) + 1))
+        scores = [r["score"] for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_result_fields(self, engine, corpus):
+        doc = corpus.documents[0]
+        response = engine.invoke("search", {"query": doc.title, "limit": 3})
+        hit = response.value["results"][0]
+        assert set(hit) >= {"rank", "url", "title", "snippet", "score", "doc_type"}
+        assert hit["snippet"]
+
+    def test_limit_respected(self, engine):
+        response = engine.invoke("search", {"query": "thrives results", "limit": 2})
+        assert len(response.value["results"]) <= 2
+
+    def test_news_only_filter(self, engine):
+        response = engine.invoke(
+            "search", {"query": "thrives results announced", "limit": 50,
+                       "news_only": True}
+        )
+        assert response.value["results"]
+        assert all(hit["doc_type"] == "news" for hit in response.value["results"])
+
+    def test_empty_query_rejected(self, engine):
+        with pytest.raises(RemoteServiceError):
+            engine.invoke("search", {"query": "  "})
+
+    def test_no_results_for_gibberish(self, engine):
+        response = engine.invoke("search", {"query": "zzzqqqxxx"})
+        assert response.value["results"] == []
+
+    def test_coverage_shrinks_crawl(self, transport, corpus):
+        partial = SearchEngineService("partial", transport, corpus,
+                                      coverage=0.5, seed=3)
+        assert 0 < partial.crawl_size < len(corpus)
+
+    def test_coverage_deterministic_per_seed(self, transport, corpus):
+        first = SearchEngineService("e1", transport, corpus, coverage=0.5, seed=3)
+        second = SearchEngineService("e2", transport, corpus, coverage=0.5, seed=3)
+        assert first._crawled.keys() == second._crawled.keys()
+
+    def test_engines_with_different_seeds_crawl_differently(self, transport, corpus):
+        first = SearchEngineService("e1", transport, corpus, coverage=0.6, seed=1)
+        second = SearchEngineService("e2", transport, corpus, coverage=0.6, seed=2)
+        assert first._crawled.keys() != second._crawled.keys()
+
+    def test_coverage_validated(self, transport, corpus):
+        with pytest.raises(ValueError):
+            SearchEngineService("bad", transport, corpus, coverage=0.0)
+
+    def test_results_only_from_own_crawl(self, transport, corpus):
+        partial = SearchEngineService("partial", transport, corpus,
+                                      coverage=0.3, seed=3)
+        crawled_urls = set(partial._crawled.values())
+        response = partial.invoke("search", {"query": "thrives results announced",
+                                             "limit": 50})
+        assert all(hit["url"] in crawled_urls for hit in response.value["results"])

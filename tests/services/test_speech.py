@@ -1,0 +1,167 @@
+"""Tests for simulated speech recognition."""
+
+import pytest
+
+from repro.services.speech import (
+    SpeechRecognitionService,
+    Utterance,
+    generate_utterances,
+    rover_vote,
+    word_error_rate,
+)
+from repro.services.spellcheck import SpellChecker
+from repro.simnet.errors import RemoteServiceError
+
+SENTENCES = [
+    "the company announced excellent quarterly results",
+    "the market reacted to the announcement with strong gains",
+    "investors praised the innovative strategy of the company",
+]
+
+
+@pytest.fixture(scope="module")
+def language_model():
+    return SpellChecker.from_texts(SENTENCES * 3)
+
+
+class TestWordErrorRate:
+    def test_perfect_transcript(self):
+        assert word_error_rate(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_substitution(self):
+        assert word_error_rate(["a", "x"], ["a", "b"]) == pytest.approx(0.5)
+
+    def test_deletion_and_insertion(self):
+        assert word_error_rate(["a"], ["a", "b"]) == pytest.approx(0.5)
+        assert word_error_rate(["a", "x", "b"], ["a", "b"]) == pytest.approx(0.5)
+
+    def test_empty_reference(self):
+        assert word_error_rate([], []) == 0.0
+        assert word_error_rate(["x"], []) == 1.0
+
+
+class TestUtteranceGeneration:
+    def test_deterministic(self):
+        first = generate_utterances(SENTENCES, seed=4)
+        second = generate_utterances(SENTENCES, seed=4)
+        assert [u.signal_words for u in first] == [u.signal_words for u in second]
+
+    def test_signal_is_corrupted(self):
+        utterances = generate_utterances(SENTENCES, seed=4, char_error=0.3)
+        corrupted = sum(
+            1 for utterance in utterances
+            for signal, gold in zip(utterance.signal_words, utterance.gold_words)
+            if signal != gold
+        )
+        assert corrupted > 0
+
+    def test_zero_noise_is_clean(self):
+        utterances = generate_utterances(SENTENCES, char_error=0.0, drop_rate=0.0)
+        for utterance in utterances:
+            assert utterance.signal_words == utterance.gold_words
+
+
+class TestSpeechService:
+    def test_transcription_repairs_noise(self, transport, language_model):
+        service = SpeechRecognitionService("asr", transport, language_model,
+                                           acuity=1.0)
+        utterances = generate_utterances(SENTENCES, seed=4, char_error=0.12,
+                                         drop_rate=0.0)
+        total_raw = total_decoded = 0.0
+        for utterance in utterances:
+            response = service.invoke("transcribe",
+                                      {"signal": utterance.signal_words})
+            total_decoded += word_error_rate(response.value["words"],
+                                             utterance.gold_words)
+            total_raw += word_error_rate(utterance.signal_words,
+                                         utterance.gold_words)
+        assert total_decoded < total_raw  # decoding genuinely helps
+
+    def test_acuity_degrades_wer(self, transport, language_model):
+        sharp = SpeechRecognitionService("sharp", transport, language_model,
+                                         acuity=1.0, seed=1)
+        deaf = SpeechRecognitionService("deaf", transport, language_model,
+                                        acuity=0.6, seed=1)
+        utterances = generate_utterances(SENTENCES * 3, seed=6, char_error=0.05)
+
+        def total_wer(service):
+            return sum(
+                word_error_rate(
+                    service.invoke("transcribe",
+                                   {"signal": u.signal_words}).value["words"],
+                    u.gold_words)
+                for u in utterances
+            )
+
+        assert total_wer(deaf) > total_wer(sharp)
+
+    def test_invalid_signal_rejected(self, transport, language_model):
+        service = SpeechRecognitionService("asr", transport, language_model)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("transcribe", {"signal": "not a list"})
+        with pytest.raises(RemoteServiceError):
+            service.invoke("sing", {})
+
+    def test_latency_scales_with_signal_length(self, transport, language_model):
+        from repro.services.base import ServiceRequest
+
+        service = SpeechRecognitionService("asr", transport, language_model)
+        params = service.latency_params(
+            ServiceRequest("transcribe", {"signal": ["a"] * 40}))
+        assert params["size"] == 40.0
+
+    def test_acuity_validated(self, transport, language_model):
+        with pytest.raises(ValueError):
+            SpeechRecognitionService("asr", transport, language_model, acuity=0.0)
+
+
+class TestRoverVoting:
+    def test_majority_fixes_isolated_errors(self):
+        reference = ["the", "market", "gained", "today"]
+        hypotheses = [
+            ["the", "market", "gained", "today"],
+            ["the", "marked", "gained", "today"],
+            ["the", "market", "gained", "toady"],
+        ]
+        assert rover_vote(hypotheses) == reference
+
+    def test_handles_dropped_words(self):
+        hypotheses = [
+            ["the", "market", "gained", "today"],
+            ["market", "gained", "today"],          # leading word lost
+            ["the", "market", "gained"],             # trailing word lost
+        ]
+        assert rover_vote(hypotheses) == ["the", "market", "gained", "today"]
+
+    def test_empty_input(self):
+        assert rover_vote([]) == []
+
+    def test_single_hypothesis_passthrough(self):
+        assert rover_vote([["a", "b"]]) == ["a", "b"]
+
+    def test_rover_beats_weakest_provider(self, transport, language_model):
+        """End to end: the combined transcript has lower WER than the
+        weaker provider's own."""
+        providers = [
+            SpeechRecognitionService("p1", transport, language_model,
+                                     acuity=0.99, seed=1),
+            SpeechRecognitionService("p2", transport, language_model,
+                                     acuity=0.85, seed=2),
+            SpeechRecognitionService("p3", transport, language_model,
+                                     acuity=0.90, seed=3),
+        ]
+        utterances = generate_utterances(SENTENCES * 4, seed=8, char_error=0.10)
+        per_provider = {service.name: 0.0 for service in providers}
+        combined = 0.0
+        for utterance in utterances:
+            hypotheses = []
+            for service in providers:
+                words = service.invoke(
+                    "transcribe", {"signal": utterance.signal_words}
+                ).value["words"]
+                hypotheses.append(words)
+                per_provider[service.name] += word_error_rate(
+                    words, utterance.gold_words)
+            combined += word_error_rate(rover_vote(hypotheses),
+                                        utterance.gold_words)
+        assert combined < max(per_provider.values())

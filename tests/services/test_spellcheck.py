@@ -1,0 +1,85 @@
+"""Tests for the spell checker algorithm and its remote service."""
+
+import pytest
+
+from repro.services.spellcheck import SpellChecker, SpellcheckService
+from repro.simnet.errors import RemoteServiceError
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return SpellChecker.from_texts(
+        [
+            "the company announced excellent results this quarter",
+            "the market reacted to the announcement with excellent gains",
+            "companies announced results",
+        ]
+    )
+
+
+class TestSpellChecker:
+    def test_known_word_returned_as_is(self, checker):
+        assert checker.correct_word("company") == "company"
+        assert checker.suggestions("company") == ["company"]
+
+    def test_distance_one_correction(self, checker):
+        assert checker.correct_word("compani") == "company"
+        assert checker.correct_word("markett") == "market"
+
+    def test_transposition_corrected(self, checker):
+        assert checker.correct_word("teh") == "the"
+
+    def test_distance_two_fallback(self, checker):
+        assert checker.correct_word("excellnet") == "excellent"
+
+    def test_frequency_breaks_ties(self):
+        checker = SpellChecker({"cat": 100, "car": 1})
+        # "cak" is distance 1 from both; the frequent word wins.
+        assert checker.correct_word("cak") == "cat"
+
+    def test_unfixable_word_returned_lowercase(self, checker):
+        assert checker.correct_word("Xqzpfw") == "xqzpfw"
+
+    def test_correct_text_reports_replacements(self, checker):
+        result = checker.correct_text("the compay announced excelent results")
+        assert ("compay", "company") in result["replacements"]
+        assert ("excelent", "excellent") in result["replacements"]
+
+    def test_correct_text_clean_input(self, checker):
+        result = checker.correct_text("the company announced results")
+        assert result["replacements"] == []
+
+    def test_extra_words_added_to_dictionary(self):
+        checker = SpellChecker.from_texts(["plain text"], extra_words=["Kubernetes"])
+        assert checker.is_known("kubernetes")
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(ValueError):
+            SpellChecker({})
+
+
+class TestSpellcheckService:
+    def test_suggest_over_wire(self, transport, checker):
+        service = SpellcheckService("spell", transport, checker)
+        response = service.invoke("suggest", {"word": "compani"})
+        assert response.value["suggestions"][0] == "company"
+
+    def test_correct_over_wire(self, transport, checker):
+        service = SpellcheckService("spell", transport, checker)
+        response = service.invoke("correct", {"text": "excelent resuls"})
+        assert "excellent" in response.value["corrected"]
+
+    def test_costs_money(self, transport, checker):
+        service = SpellcheckService("spell", transport, checker, fee_per_call=0.001)
+        response = service.invoke("suggest", {"word": "compani"})
+        assert response.cost == 0.001
+
+    def test_has_network_latency(self, transport, checker, clock):
+        service = SpellcheckService("spell", transport, checker)
+        service.invoke("suggest", {"word": "compani"})
+        assert clock.now() > 0  # the remote call took simulated time
+
+    def test_missing_word_rejected(self, transport, checker):
+        service = SpellcheckService("spell", transport, checker)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("suggest", {})

@@ -1,0 +1,71 @@
+"""Tests for the simulated visual recognition services."""
+
+import pytest
+
+from repro.services.vision import (
+    DESCRIPTOR_DIMS,
+    VisualRecognitionService,
+    class_prototypes,
+    generate_images,
+)
+from repro.simnet.errors import RemoteServiceError
+
+
+class TestImageGeneration:
+    def test_deterministic(self):
+        first = generate_images(count=10, seed=3)
+        second = generate_images(count=10, seed=3)
+        assert [img.descriptor for img in first] == [img.descriptor for img in second]
+
+    def test_descriptor_dimensions(self):
+        for image in generate_images(count=5):
+            assert len(image.descriptor) == DESCRIPTOR_DIMS
+
+    def test_prototypes_stable(self):
+        assert class_prototypes() == class_prototypes()
+
+
+class TestClassification:
+    def test_full_acuity_is_accurate(self, transport):
+        service = VisualRecognitionService("v", transport, visible_dims=16)
+        images = generate_images(count=60, noise=0.3, seed=9)
+        correct = 0
+        for image in images:
+            result = service.invoke("classify", {"descriptor": image.descriptor})
+            if result.value["classes"][0]["label"] == image.gold_label:
+                correct += 1
+        assert correct / len(images) > 0.9
+
+    def test_fewer_dims_lower_accuracy(self, transport):
+        sharp = VisualRecognitionService("sharp", transport, visible_dims=16)
+        blurry = VisualRecognitionService("blurry", transport, visible_dims=2)
+        images = generate_images(count=80, noise=0.5, seed=10)
+
+        def accuracy(service):
+            hits = 0
+            for image in images:
+                top = service.invoke(
+                    "classify", {"descriptor": image.descriptor}
+                ).value["classes"][0]["label"]
+                hits += top == image.gold_label
+            return hits / len(images)
+
+        assert accuracy(sharp) > accuracy(blurry)
+
+    def test_confidences_sum_near_one_over_top5(self, transport):
+        service = VisualRecognitionService("v", transport)
+        image = generate_images(count=1, seed=1)[0]
+        classes = service.invoke("classify", {"descriptor": image.descriptor}).value["classes"]
+        assert len(classes) == 5
+        assert 0.5 <= sum(c["confidence"] for c in classes) <= 1.001
+        confidences = [c["confidence"] for c in classes]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_wrong_descriptor_size_rejected(self, transport):
+        service = VisualRecognitionService("v", transport)
+        with pytest.raises(RemoteServiceError):
+            service.invoke("classify", {"descriptor": [0.0] * 3})
+
+    def test_visible_dims_validated(self, transport):
+        with pytest.raises(ValueError):
+            VisualRecognitionService("v", transport, visible_dims=0)

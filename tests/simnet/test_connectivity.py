@@ -1,0 +1,52 @@
+"""Tests for connectivity models."""
+
+import pytest
+
+from repro.simnet.connectivity import AlwaysOnline, ManualConnectivity, ScriptedConnectivity
+
+
+class TestAlwaysOnline:
+    def test_always_true(self):
+        model = AlwaysOnline()
+        assert model.is_online(0.0)
+        assert model.is_online(1e9)
+
+
+class TestScriptedConnectivity:
+    def test_flips_at_transitions(self):
+        model = ScriptedConnectivity([10.0, 20.0])
+        assert model.is_online(0.0)
+        assert model.is_online(9.99)
+        assert not model.is_online(10.0)
+        assert not model.is_online(15.0)
+        assert model.is_online(20.0)
+        assert model.is_online(100.0)
+
+    def test_initially_offline(self):
+        model = ScriptedConnectivity([5.0], initially_online=False)
+        assert not model.is_online(0.0)
+        assert model.is_online(5.0)
+
+    def test_unsorted_transitions_rejected(self):
+        with pytest.raises(ValueError):
+            ScriptedConnectivity([20.0, 10.0])
+
+    def test_next_transition_after(self):
+        model = ScriptedConnectivity([10.0, 20.0])
+        assert model.next_transition_after(0.0) == 10.0
+        assert model.next_transition_after(10.0) == 20.0
+        assert model.next_transition_after(25.0) is None
+
+    def test_empty_schedule_never_changes(self):
+        model = ScriptedConnectivity([])
+        assert model.is_online(123.0)
+
+
+class TestManualConnectivity:
+    def test_toggling(self):
+        model = ManualConnectivity()
+        assert model.is_online(0.0)
+        model.go_offline()
+        assert not model.is_online(0.0)
+        model.go_online()
+        assert model.is_online(0.0)

@@ -1,0 +1,115 @@
+"""Tests for latency distributions."""
+
+import pytest
+
+from repro.simnet.latency import (
+    CompositeLatency,
+    ConstantLatency,
+    LogNormalLatency,
+    SizeDependentLatency,
+    UniformLatency,
+)
+from repro.util.rng import SeededRng
+
+
+@pytest.fixture
+def rng():
+    return SeededRng(7)
+
+
+class TestConstantLatency:
+    def test_sample_is_constant(self, rng):
+        dist = ConstantLatency(0.25)
+        assert dist.sample(rng, {}) == 0.25
+        assert dist.mean({}) == 0.25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+
+class TestUniformLatency:
+    def test_within_bounds(self, rng):
+        dist = UniformLatency(0.1, 0.2)
+        for _ in range(200):
+            assert 0.1 <= dist.sample(rng, {}) <= 0.2
+
+    def test_mean(self):
+        assert UniformLatency(0.1, 0.3).mean({}) == pytest.approx(0.2)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.3, 0.1)
+
+
+class TestLogNormalLatency:
+    def test_always_positive(self, rng):
+        dist = LogNormalLatency(median=0.1, sigma=0.5)
+        assert all(dist.sample(rng, {}) > 0 for _ in range(500))
+
+    def test_median_roughly_holds(self, rng):
+        dist = LogNormalLatency(median=0.1, sigma=0.3)
+        samples = sorted(dist.sample(rng, {}) for _ in range(2001))
+        assert samples[1000] == pytest.approx(0.1, rel=0.15)
+
+    def test_mean_formula(self):
+        dist = LogNormalLatency(median=0.1, sigma=0.0)
+        assert dist.mean({}) == pytest.approx(0.1)
+
+    def test_zero_sigma_is_constant(self, rng):
+        dist = LogNormalLatency(median=0.2, sigma=0.0)
+        assert dist.sample(rng, {}) == pytest.approx(0.2)
+
+    def test_median_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+
+
+class TestSizeDependentLatency:
+    def test_grows_with_size(self, rng):
+        dist = SizeDependentLatency(base=0.01, slope=0.001, noise_sigma=0.0)
+        small = dist.sample(rng, {"size": 10})
+        large = dist.sample(rng, {"size": 1000})
+        assert large > small
+        assert small == pytest.approx(0.01 + 0.001 * 10)
+
+    def test_missing_param_uses_zero(self, rng):
+        dist = SizeDependentLatency(base=0.05, slope=0.001, noise_sigma=0.0)
+        assert dist.sample(rng, {}) == pytest.approx(0.05)
+
+    def test_crossover_analytic(self):
+        s1 = SizeDependentLatency(base=0.02, slope=2e-5)
+        s2 = SizeDependentLatency(base=0.25, slope=1e-6)
+        crossing = s1.crossover_with(s2)
+        # At the crossing the two deterministic curves agree.
+        assert s1.deterministic({"size": crossing}) == pytest.approx(
+            s2.deterministic({"size": crossing})
+        )
+
+    def test_crossover_parallel_lines_is_none(self):
+        s1 = SizeDependentLatency(base=0.1, slope=1e-5)
+        s2 = SizeDependentLatency(base=0.2, slope=1e-5)
+        assert s1.crossover_with(s2) is None
+
+    def test_crossover_negative_is_none(self):
+        # s1 is strictly better everywhere: crossing would be negative.
+        s1 = SizeDependentLatency(base=0.1, slope=1e-6)
+        s2 = SizeDependentLatency(base=0.2, slope=2e-6)
+        assert s2.crossover_with(s1) is None
+
+    def test_noise_multiplies(self, rng):
+        dist = SizeDependentLatency(base=0.1, slope=0.0, noise_sigma=0.3)
+        samples = [dist.sample(rng, {"size": 0}) for _ in range(500)]
+        assert min(samples) > 0
+        assert len(set(samples)) > 1
+
+
+class TestCompositeLatency:
+    def test_sums_components(self, rng):
+        dist = CompositeLatency(ConstantLatency(0.1), ConstantLatency(0.05))
+        assert dist.sample(rng, {}) == pytest.approx(0.15)
+        assert dist.mean({}) == pytest.approx(0.15)
+
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            CompositeLatency()

@@ -1,0 +1,121 @@
+"""Tests for CSV ↔ table ↔ RDF conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stores.converters import (
+    csv_text_to_table,
+    rows_to_table,
+    table_to_csv_text,
+    table_to_triples,
+    triples_to_rows,
+)
+from repro.stores.rdf.graph import Graph, RDF, REPRO
+
+
+@pytest.fixture
+def table():
+    return rows_to_table(
+        "cities",
+        ["name", "country", "population"],
+        [["tokyo", "japan", 14], ["paris", "france", 2], ["lyon", "france", None]],
+    )
+
+
+class TestRowsToTable:
+    def test_type_inference(self, table):
+        types = {column.name: column.type for column in table.columns}
+        assert types == {"name": "str", "country": "str", "population": "int"}
+
+    def test_mixed_int_float_widens(self):
+        table = rows_to_table("t", ["v"], [[1], [2.5]])
+        assert table.columns[0].type == "float"
+        assert table.rows[0]["v"] == 1.0
+
+    def test_all_null_column_is_any(self):
+        table = rows_to_table("t", ["v"], [[None], [None]])
+        assert table.columns[0].type == "any"
+
+    def test_short_rows_padded(self):
+        table = rows_to_table("t", ["a", "b"], [[1]])
+        assert table.rows[0]["b"] is None
+
+
+class TestCsvTableRoundtrip:
+    def test_roundtrip(self, table):
+        csv_text = table_to_csv_text(table)
+        reparsed = csv_text_to_table("cities", csv_text)
+        assert reparsed.select() == table.select()
+
+    @given(st.lists(
+        st.tuples(st.text(alphabet="abcxyz", min_size=1, max_size=6),
+                  st.integers(min_value=-1000, max_value=1000)),
+        min_size=1, max_size=20,
+    ))
+    def test_roundtrip_property(self, pairs):
+        table = rows_to_table("t", ["k", "v"], [list(pair) for pair in pairs])
+        reparsed = csv_text_to_table("t", table_to_csv_text(table))
+        assert reparsed.select() == table.select()
+
+
+class TestTableToTriples:
+    def test_row_subjects_and_type(self, table):
+        triples = table_to_triples(table, subject_column="name")
+        graph = Graph(triples)
+        assert ("repro:cities/tokyo", RDF.type, REPRO("table/cities")) in graph
+        assert ("repro:cities/tokyo", "repro:population", 14) in graph
+
+    def test_index_subjects_without_key_column(self, table):
+        triples = table_to_triples(table)
+        subjects = {t.subject for t in triples}
+        assert "repro:cities/0" in subjects
+
+    def test_nulls_skipped(self, table):
+        triples = table_to_triples(table, subject_column="name")
+        assert all(
+            not (t.subject == "repro:cities/lyon" and t.predicate == "repro:population")
+            for t in triples
+        )
+
+    def test_null_key_rejected(self):
+        table = rows_to_table("t", ["k", "v"], [[None, 1]])
+        with pytest.raises(ValueError):
+            table_to_triples(table, subject_column="k")
+
+
+class TestTriplesToRows:
+    def test_roundtrip_table_rdf_table(self, table):
+        graph = Graph(table_to_triples(table, subject_column="name"))
+        header, rows = triples_to_rows(graph, "cities")
+        assert header == ["country", "name", "population"]
+        by_name = {row[header.index("name")]: row for row in rows}
+        assert by_name["tokyo"][header.index("population")] == 14
+        assert by_name["lyon"][header.index("population")] is None
+
+    def test_only_matching_table_extracted(self, table):
+        graph = Graph(table_to_triples(table, subject_column="name"))
+        graph.add(("unrelated", "repro:population", 99))
+        header, rows = triples_to_rows(graph, "cities")
+        assert len(rows) == 3
+
+    def test_inferred_facts_included(self, table):
+        """Facts added *after* conversion show up when pivoting back —
+        the Figure-5 'convert inferred facts to other formats' flow."""
+        graph = Graph(table_to_triples(table, subject_column="name"))
+        graph.add(("repro:cities/tokyo", "repro:crowded", True))
+        header, rows = triples_to_rows(graph, "cities")
+        assert "crowded" in header
+        tokyo = next(row for row in rows if row[header.index("name")] == "tokyo")
+        assert tokyo[header.index("crowded")] is True
+
+    def test_multivalued_predicate_deterministic(self, table):
+        graph = Graph(table_to_triples(table, subject_column="name"))
+        graph.add(("repro:cities/tokyo", "repro:nickname", "big-mikan"))
+        graph.add(("repro:cities/tokyo", "repro:nickname", "edo"))
+        _, first = triples_to_rows(graph, "cities")
+        _, second = triples_to_rows(graph, "cities")
+        assert first == second
+
+    def test_empty_table_name(self):
+        graph = Graph()
+        assert triples_to_rows(graph, "ghost") == ([], [])

@@ -1,0 +1,74 @@
+"""Tests for CSV reading/writing with type inference."""
+
+from hypothesis import given, strategies as st
+
+from repro.stores.csvio import read_csv, read_csv_text, write_csv, write_csv_text
+
+
+class TestReadCsvText:
+    def test_header_and_rows(self):
+        header, rows = read_csv_text("a,b\n1,2\n3,4\n")
+        assert header == ["a", "b"]
+        assert rows == [[1, 2], [3, 4]]
+
+    def test_type_inference(self):
+        _, rows = read_csv_text("v\n1\n1.5\ntrue\nFALSE\nhello\n\n")
+        assert rows == [[1], [1.5], [True], [False], ["hello"]]
+
+    def test_empty_cell_is_none(self):
+        _, rows = read_csv_text("a,b\n1,\n")
+        assert rows == [[1, None]]
+
+    def test_no_inference_mode(self):
+        _, rows = read_csv_text("a\n1\n", infer_types=False)
+        assert rows == [["1"]]
+
+    def test_empty_text(self):
+        assert read_csv_text("") == ([], [])
+
+    def test_quoted_commas(self):
+        header, rows = read_csv_text('name,desc\nwidget,"small, round"\n')
+        assert rows == [["widget", "small, round"]]
+
+
+class TestWriteCsvText:
+    def test_roundtrip(self):
+        header = ["name", "count", "ratio", "flag"]
+        rows = [["alpha", 1, 2.5, True], ["beta", -3, 0.1, False]]
+        parsed_header, parsed_rows = read_csv_text(write_csv_text(header, rows))
+        assert parsed_header == header
+        assert parsed_rows == rows
+
+    def test_none_roundtrips_via_empty_field(self):
+        text = write_csv_text(["a", "b"], [[None, 1]])
+        _, rows = read_csv_text(text)
+        assert rows == [[None, 1]]
+
+
+class TestFiles:
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "data.csv"
+        write_csv(path, ["x", "y"], [[1, 2.0], [3, 4.5]])
+        header, rows = read_csv(path)
+        assert header == ["x", "y"]
+        assert rows == [[1, 2.0], [3, 4.5]]
+
+
+simple_cell = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    st.text(alphabet="abcdefgh XYZ", max_size=10).filter(
+        lambda s: s.strip() == s and s != ""
+        and s.lower() not in ("true", "false") and not s.isdigit()
+    ),
+)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.lists(simple_cell, min_size=2, max_size=2), max_size=15))
+    def test_roundtrip_preserves_rows(self, rows):
+        header = ["col_a", "col_b"]
+        text = write_csv_text(header, rows)
+        parsed_header, parsed_rows = read_csv_text(text)
+        assert parsed_header == header
+        assert parsed_rows == rows

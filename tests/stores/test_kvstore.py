@@ -1,0 +1,124 @@
+"""Tests for key-value stores."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stores.kvstore import FileKeyValueStore, InMemoryKeyValueStore
+from repro.util.errors import NotFoundError, SerializationError
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryKeyValueStore()
+    return FileKeyValueStore(tmp_path / "store.json")
+
+
+class TestBasicOperations:
+    def test_put_get(self, store):
+        store.put("a", {"x": 1})
+        assert store.get("a") == {"x": 1}
+
+    def test_get_missing_raises(self, store):
+        with pytest.raises(NotFoundError):
+            store.get("missing")
+
+    def test_get_with_default(self, store):
+        assert store.get("missing", default="fallback") == "fallback"
+
+    def test_overwrite(self, store):
+        store.put("a", 1)
+        store.put("a", 2)
+        assert store.get("a") == 2
+
+    def test_delete(self, store):
+        store.put("a", 1)
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+        assert "a" not in store
+
+    def test_contains(self, store):
+        store.put("a", 1)
+        assert "a" in store
+        assert "b" not in store
+
+    def test_keys_sorted_with_prefix(self, store):
+        for key in ("b", "a", "ab"):
+            store.put(key, 0)
+        assert store.keys() == ["a", "ab", "b"]
+        assert store.keys("a") == ["a", "ab"]
+
+    def test_len_and_items(self, store):
+        store.put("a", 1)
+        store.put("b", 2)
+        assert len(store) == 2
+        assert store.items() == [("a", 1), ("b", 2)]
+
+    def test_clear(self, store):
+        store.put("a", 1)
+        store.clear()
+        assert len(store) == 0
+
+    def test_none_value_is_storable(self, store):
+        store.put("a", None)
+        assert "a" in store
+        assert store.get("a") is None
+
+
+class TestFilePersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "kv.json"
+        store = FileKeyValueStore(path)
+        store.put("greeting", "hello")
+        reopened = FileKeyValueStore(path)
+        assert reopened.get("greeting") == "hello"
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "kv.json"
+        store = FileKeyValueStore(path)
+        store.put("a", [1, 2])
+        assert json.loads(path.read_text()) == {"a": [1, 2]}
+
+    def test_unserializable_value_rejected_without_corruption(self, tmp_path):
+        path = tmp_path / "kv.json"
+        store = FileKeyValueStore(path)
+        store.put("good", 1)
+        with pytest.raises(SerializationError):
+            store.put("bad", object())
+        assert FileKeyValueStore(path).get("good") == 1
+
+    def test_delete_persists(self, tmp_path):
+        path = tmp_path / "kv.json"
+        store = FileKeyValueStore(path)
+        store.put("a", 1)
+        store.delete("a")
+        assert "a" not in FileKeyValueStore(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "kv.json"
+        store = FileKeyValueStore(path)
+        store.put("a", 1)
+        assert path.exists()
+
+
+class TestPropertyBased:
+    @given(st.dictionaries(st.text(min_size=1, max_size=10),
+                           st.integers(), max_size=20))
+    def test_contents_match_inserts(self, mapping):
+        store = InMemoryKeyValueStore()
+        for key, value in mapping.items():
+            store.put(key, value)
+        assert dict(store.items()) == mapping
+
+    @given(st.lists(st.tuples(st.text(min_size=1, max_size=5), st.integers()),
+                    max_size=30))
+    def test_last_write_wins(self, writes):
+        store = InMemoryKeyValueStore()
+        expected = {}
+        for key, value in writes:
+            store.put(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert store.get(key) == value

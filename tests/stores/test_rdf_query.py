@@ -1,0 +1,109 @@
+"""Tests for the SPARQL-like SELECT engine."""
+
+import pytest
+
+from repro.stores.rdf.graph import Graph
+from repro.stores.rdf.query import is_variable, select, solve
+
+
+@pytest.fixture
+def graph():
+    return Graph([
+        ("japan", "rdf:type", "Country"),
+        ("france", "rdf:type", "Country"),
+        ("tokyo", "rdf:type", "City"),
+        ("tokyo", "inCountry", "japan"),
+        ("paris", "inCountry", "france"),
+        ("paris", "rdf:type", "City"),
+        ("japan", "population", 125),
+        ("france", "population", 67),
+        ("tokyo", "population", 14),
+        ("paris", "population", 2),
+    ])
+
+
+class TestIsVariable:
+    def test_variables(self):
+        assert is_variable("?x")
+        assert not is_variable("x")
+        assert not is_variable(42)
+
+
+class TestSolve:
+    def test_single_pattern(self, graph):
+        bindings = solve(graph, [("?c", "rdf:type", "Country")])
+        assert {binding["?c"] for binding in bindings} == {"japan", "france"}
+
+    def test_join_across_patterns(self, graph):
+        bindings = solve(graph, [
+            ("?city", "inCountry", "?country"),
+            ("?country", "population", "?pop"),
+        ])
+        pairs = {(b["?city"], b["?pop"]) for b in bindings}
+        assert pairs == {("tokyo", 125), ("paris", 67)}
+
+    def test_shared_variable_consistency(self, graph):
+        # ?x both a City and having population — joins on the same binding.
+        bindings = solve(graph, [
+            ("?x", "rdf:type", "City"),
+            ("?x", "population", "?p"),
+        ])
+        assert {(b["?x"], b["?p"]) for b in bindings} == {("tokyo", 14), ("paris", 2)}
+
+    def test_unsatisfiable(self, graph):
+        assert solve(graph, [("?x", "rdf:type", "Planet")]) == []
+
+    def test_ground_pattern_acts_as_check(self, graph):
+        assert solve(graph, [("japan", "rdf:type", "Country")]) == [{}]
+        assert solve(graph, [("japan", "rdf:type", "City")]) == []
+
+    def test_repeated_variable_in_one_pattern(self):
+        graph = Graph([("a", "knows", "a"), ("a", "knows", "b")])
+        bindings = solve(graph, [("?x", "knows", "?x")])
+        assert bindings == [{"?x": "a"}]
+
+
+class TestSelect:
+    def test_projection(self, graph):
+        rows = select(graph, [("?c", "rdf:type", "Country")], variables=["?c"])
+        assert all(set(row) == {"?c"} for row in rows)
+
+    def test_filters(self, graph):
+        rows = select(
+            graph,
+            [("?p", "population", "?n")],
+            filters=[lambda binding: binding["?n"] > 50],
+        )
+        assert {row["?p"] for row in rows} == {"japan", "france"}
+
+    def test_order_by_and_limit(self, graph):
+        rows = select(
+            graph,
+            [("?p", "population", "?n")],
+            order_by="?n",
+            descending=True,
+            limit=2,
+        )
+        assert [row["?p"] for row in rows] == ["japan", "france"]
+
+    def test_distinct(self, graph):
+        graph.add(("osaka", "inCountry", "japan"))
+        rows = select(
+            graph,
+            [("?city", "inCountry", "?country")],
+            variables=["?country"],
+            distinct=True,
+        )
+        assert sorted(row["?country"] for row in rows) == ["france", "japan"]
+
+    def test_invalid_projection_rejected(self, graph):
+        with pytest.raises(ValueError):
+            select(graph, [("?x", "rdf:type", "City")], variables=["x"])
+
+    def test_malformed_pattern_rejected(self, graph):
+        with pytest.raises(ValueError):
+            select(graph, [("?x", "rdf:type")])
+
+    def test_default_projects_all_variables(self, graph):
+        rows = select(graph, [("?x", "inCountry", "?y")])
+        assert all(set(row) == {"?x", "?y"} for row in rows)

@@ -1,0 +1,220 @@
+"""Tests for the relational engine."""
+
+import pytest
+
+from repro.stores.relational import Column, Database, SchemaError, Table
+from repro.util.errors import ConfigurationError, NotFoundError
+
+
+@pytest.fixture
+def people():
+    table = Table("people", [
+        Column("name", "str", nullable=False),
+        Column("age", "int"),
+        Column("city", "str"),
+        Column("score", "float"),
+    ])
+    table.insert_many([
+        {"name": "ann", "age": 34, "city": "tokyo", "score": 8.5},
+        {"name": "bob", "age": 28, "city": "paris", "score": 6.0},
+        {"name": "cal", "age": 41, "city": "tokyo", "score": 9.1},
+        {"name": "dee", "age": None, "city": "paris", "score": 7.2},
+    ])
+    return table
+
+
+class TestSchema:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Column("x", "varchar")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table("t", [])
+
+    def test_type_enforced_on_insert(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"name": "eve", "age": "forty"})
+
+    def test_not_null_enforced(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"age": 10})
+
+    def test_unknown_column_rejected(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"name": "eve", "height": 170})
+
+    def test_int_widens_to_float(self, people):
+        people.insert({"name": "eve", "score": 7})
+        row = people.select(where={"name": "eve"})[0]
+        assert row["score"] == 7.0
+        assert isinstance(row["score"], float)
+
+    def test_bool_not_accepted_as_int(self, people):
+        with pytest.raises(SchemaError):
+            people.insert({"name": "eve", "age": True})
+
+
+class TestSelect:
+    def test_where_dict(self, people):
+        rows = people.select(where={"city": "tokyo"})
+        assert {row["name"] for row in rows} == {"ann", "cal"}
+
+    def test_where_callable(self, people):
+        rows = people.select(where=lambda row: row["age"] is not None and row["age"] > 30)
+        assert {row["name"] for row in rows} == {"ann", "cal"}
+
+    def test_projection(self, people):
+        rows = people.select(columns=["name"], limit=1)
+        assert list(rows[0].keys()) == ["name"]
+
+    def test_order_by_descending(self, people):
+        rows = people.select(order_by="score", descending=True)
+        assert [row["name"] for row in rows] == ["cal", "ann", "dee", "bob"]
+
+    def test_order_by_with_nulls(self, people):
+        rows = people.select(order_by="age")
+        assert rows[0]["name"] == "dee"  # NULL sorts first
+
+    def test_limit(self, people):
+        assert len(people.select(limit=2)) == 2
+
+    def test_unknown_order_column(self, people):
+        with pytest.raises(SchemaError):
+            people.select(order_by="height")
+
+    def test_select_returns_copies(self, people):
+        rows = people.select()
+        rows[0]["name"] = "mutated"
+        assert people.select()[0]["name"] != "mutated"
+
+
+class TestMutation:
+    def test_update(self, people):
+        updated = people.update({"city": "osaka"}, where={"city": "tokyo"})
+        assert updated == 2
+        assert len(people.select(where={"city": "osaka"})) == 2
+
+    def test_update_validates_types(self, people):
+        with pytest.raises(SchemaError):
+            people.update({"age": "old"}, where={"name": "ann"})
+
+    def test_delete(self, people):
+        deleted = people.delete(where={"city": "paris"})
+        assert deleted == 2
+        assert len(people) == 2
+
+    def test_delete_all(self, people):
+        assert people.delete() == 4
+        assert len(people) == 0
+
+
+class TestAggregates:
+    def test_count(self, people):
+        assert people.aggregate("count") == 4
+
+    def test_count_column_skips_nulls(self, people):
+        assert people.aggregate("count", "age") == 3
+
+    def test_sum_avg_min_max(self, people):
+        assert people.aggregate("sum", "age") == 103
+        assert people.aggregate("avg", "age") == pytest.approx(103 / 3)
+        assert people.aggregate("min", "score") == 6.0
+        assert people.aggregate("max", "score") == 9.1
+
+    def test_group_by(self, people):
+        by_city = people.aggregate("avg", "score", group_by="city")
+        assert by_city["tokyo"] == pytest.approx(8.8)
+        assert by_city["paris"] == pytest.approx(6.6)
+
+    def test_aggregate_over_empty_selection(self, people):
+        assert people.aggregate("avg", "age", where={"city": "berlin"}) is None
+        assert people.aggregate("count", where={"city": "berlin"}) == 0
+
+    def test_unknown_aggregate(self, people):
+        with pytest.raises(SchemaError):
+            people.aggregate("median", "age")
+
+    def test_sum_needs_column(self, people):
+        with pytest.raises(SchemaError):
+            people.aggregate("sum")
+
+
+class TestDatabase:
+    def test_create_and_get(self, people):
+        db = Database()
+        db.create_table("t", [Column("a")])
+        assert db.table("t").name == "t"
+        assert "t" in db
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", [Column("a")])
+        with pytest.raises(ConfigurationError):
+            db.create_table("t", [Column("a")])
+
+    def test_replace_table(self, people):
+        db = Database()
+        db.create_table("people", [Column("x")])
+        db.replace_table(people)
+        assert len(db.table("people")) == 4
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", [Column("a")])
+        db.drop_table("t")
+        with pytest.raises(NotFoundError):
+            db.table("t")
+
+    def test_join(self, people):
+        db = Database()
+        db.replace_table(people)
+        cities = db.create_table("cities", [
+            Column("city", "str"), Column("country", "str"),
+        ])
+        cities.insert_many([
+            {"city": "tokyo", "country": "japan"},
+            {"city": "paris", "country": "france"},
+        ])
+        joined = db.join("people", "cities", on=("city", "city"))
+        assert len(joined) == 4
+        sample = next(row for row in joined if row["people.name"] == "ann")
+        assert sample["cities.country"] == "japan"
+
+    def test_join_with_projection_and_where(self, people):
+        db = Database()
+        db.replace_table(people)
+        cities = db.create_table("cities", [
+            Column("city", "str"), Column("country", "str"),
+        ])
+        cities.insert({"city": "tokyo", "country": "japan"})
+        joined = db.join(
+            "people", "cities", on=("city", "city"),
+            columns=["people.name", "cities.country"],
+            where=lambda row: row["people.age"] > 35,
+        )
+        assert joined == [{"people.name": "cal", "cities.country": "japan"}]
+
+    def test_join_no_matches(self, people):
+        db = Database()
+        db.replace_table(people)
+        db.create_table("empty", [Column("city", "str")])
+        assert db.join("people", "empty", on=("city", "city")) == []
+
+
+class TestPersistence:
+    def test_roundtrip(self, people):
+        db = Database()
+        db.replace_table(people)
+        restored = Database.from_dict(db.to_dict())
+        assert restored.table_names() == ["people"]
+        assert restored.table("people").select() == people.select()
+
+    def test_schema_survives(self, people):
+        restored = Table.from_dict(people.to_dict())
+        with pytest.raises(SchemaError):
+            restored.insert({"name": None})

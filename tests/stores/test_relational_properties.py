@@ -1,0 +1,84 @@
+"""Property-based test: the relational engine vs a naive oracle.
+
+Random sequences of insert/update/delete/select are applied both to a
+:class:`Table` (with an index on one column, so the indexed fast path
+is exercised) and to a plain list of dicts; every select must agree.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.stores.relational import Column, Table
+
+CATEGORIES = ["red", "green", "blue"]
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.sampled_from(CATEGORIES),
+                  st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("update"), st.sampled_from(CATEGORIES),
+                  st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("delete"), st.sampled_from(CATEGORIES), st.none()),
+        st.tuples(st.just("select"), st.sampled_from(CATEGORIES), st.none()),
+    ),
+    max_size=40,
+)
+
+
+def fresh_table() -> Table:
+    table = Table("t", [Column("category", "str"), Column("value", "int")])
+    table.create_index("category")
+    return table
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_table_matches_oracle(ops):
+    table = fresh_table()
+    oracle: list[dict] = []
+    for operation, category, value in ops:
+        if operation == "insert":
+            row = {"category": category, "value": value}
+            table.insert(row)
+            oracle.append(dict(row))
+        elif operation == "update":
+            table.update({"value": value}, where={"category": category})
+            for row in oracle:
+                if row["category"] == category:
+                    row["value"] = value
+        elif operation == "delete":
+            table.delete(where={"category": category})
+            oracle = [row for row in oracle if row["category"] != category]
+        else:  # select — the invariant check
+            got = table.select(where={"category": category})
+            expected = [row for row in oracle if row["category"] == category]
+            assert got == expected
+
+    # Final full-state agreement, both via scan and via the index.
+    assert table.select() == oracle
+    for category in CATEGORIES:
+        assert table.select(where={"category": category}) == [
+            row for row in oracle if row["category"] == category
+        ]
+    assert table.aggregate("count") == len(oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=operations)
+def test_indexed_and_unindexed_tables_agree(ops):
+    indexed = fresh_table()
+    plain = Table("t", [Column("category", "str"), Column("value", "int")])
+    for operation, category, value in ops:
+        if operation == "insert":
+            row = {"category": category, "value": value}
+            indexed.insert(row)
+            plain.insert(dict(row))
+        elif operation == "update":
+            indexed.update({"value": value}, where={"category": category})
+            plain.update({"value": value}, where={"category": category})
+        elif operation == "delete":
+            indexed.delete(where={"category": category})
+            plain.delete(where={"category": category})
+        else:
+            assert indexed.select(where={"category": category}) == plain.select(
+                where={"category": category})
+    assert indexed.select() == plain.select()

@@ -1,0 +1,168 @@
+"""Tests for the generic (user-defined) rule reasoner."""
+
+import pytest
+
+from repro.stores.rdf.graph import Graph
+from repro.stores.rdf.rules import GenericRuleReasoner, Rule
+
+PARENT = "repro:parent"
+GRANDPARENT = "repro:grandparent"
+ANCESTOR = "repro:ancestor"
+SIBLING = "repro:sibling"
+
+
+@pytest.fixture
+def family():
+    return Graph([
+        ("tom", PARENT, "bob"),
+        ("tom", PARENT, "liz"),
+        ("bob", PARENT, "ann"),
+        ("ann", PARENT, "sue"),
+    ])
+
+
+GRANDPARENT_RULE = Rule(
+    premises=[("?x", PARENT, "?y"), ("?y", PARENT, "?z")],
+    conclusions=[("?x", GRANDPARENT, "?z")],
+    name="grandparent",
+)
+
+ANCESTOR_RULES = [
+    Rule([("?x", PARENT, "?y")], [("?x", ANCESTOR, "?y")], name="anc-base"),
+    Rule([("?x", PARENT, "?y"), ("?y", ANCESTOR, "?z")],
+         [("?x", ANCESTOR, "?z")], name="anc-rec"),
+]
+
+
+class TestRuleValidation:
+    def test_unbound_conclusion_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Rule([("?x", PARENT, "?y")], [("?x", GRANDPARENT, "?z")])
+
+    def test_ground_conclusions_allowed(self):
+        Rule([("?x", PARENT, "?y")], [("someone", "repro:hasChildren", "yes")])
+
+
+class TestForwardChaining:
+    def test_simple_join_rule(self, family):
+        reasoner = GenericRuleReasoner([GRANDPARENT_RULE])
+        added = reasoner.forward(family)
+        assert added == 2
+        assert ("tom", GRANDPARENT, "ann") in family
+        assert ("bob", GRANDPARENT, "sue") in family
+
+    def test_recursive_rules_reach_fixpoint(self, family):
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES)
+        reasoner.forward(family)
+        ancestors_of_tom = {t.object for t in family.match("tom", ANCESTOR, None)}
+        assert ancestors_of_tom == {"bob", "liz", "ann", "sue"}
+
+    def test_forward_idempotent(self, family):
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES)
+        reasoner.forward(family)
+        assert reasoner.forward(family) == 0
+
+    def test_guards_filter_bindings(self, family):
+        family.add(("bob", "repro:age", 60))
+        family.add(("ann", "repro:age", 30))
+        rule = Rule(
+            premises=[("?x", "repro:age", "?a")],
+            conclusions=[("?x", "repro:senior", "true")],
+            guards=[lambda binding: binding["?a"] >= 50],
+        )
+        GenericRuleReasoner([rule]).forward(family)
+        assert ("bob", "repro:senior", "true") in family
+        assert ("ann", "repro:senior", "true") not in family
+
+    def test_multiple_conclusions(self, family):
+        rule = Rule(
+            premises=[("?x", PARENT, "?y")],
+            conclusions=[("?y", "repro:child_of", "?x"),
+                         ("?x", "repro:has_child", "true")],
+        )
+        GenericRuleReasoner([rule]).forward(family)
+        assert ("bob", "repro:child_of", "tom") in family
+        assert ("tom", "repro:has_child", "true") in family
+
+    def test_max_rounds_bounds_iteration(self, family):
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES)
+        reasoner.forward(family, max_rounds=1)
+        # Only one round: base facts derived, deep recursion not yet.
+        assert ("tom", ANCESTOR, "bob") in family
+        assert ("tom", ANCESTOR, "sue") not in family
+
+    def test_cyclic_data_terminates(self):
+        graph = Graph([("a", PARENT, "b"), ("b", PARENT, "a")])
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES)
+        reasoner.forward(graph)
+        assert ("a", ANCESTOR, "a") in graph  # cycles make you your own ancestor
+
+    def test_semi_naive_matches_naive(self, family):
+        """The frontier optimization must not change the result."""
+        fast = family.copy()
+        GenericRuleReasoner(ANCESTOR_RULES + [GRANDPARENT_RULE]).forward(fast)
+
+        slow = family.copy()
+        # Naive fixpoint: re-run single rounds from scratch until stable.
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES + [GRANDPARENT_RULE])
+        while True:
+            before = len(slow)
+            reasoner.forward(slow, max_rounds=1)
+            if len(slow) == before:
+                break
+        assert set(fast) == set(slow)
+
+
+class TestBackwardChaining:
+    def test_prove_ground_fact(self, family):
+        reasoner = GenericRuleReasoner([GRANDPARENT_RULE])
+        assert reasoner.holds(family, ("tom", GRANDPARENT, "ann"))
+        assert not reasoner.holds(family, ("tom", GRANDPARENT, "sue"))
+
+    def test_prove_with_variables(self, family):
+        reasoner = GenericRuleReasoner([GRANDPARENT_RULE])
+        answers = reasoner.prove(family, ("?g", GRANDPARENT, "?c"))
+        assert {(a["?g"], a["?c"]) for a in answers} == {("tom", "ann"), ("bob", "sue")}
+
+    def test_prove_recursive_goal(self, family):
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES)
+        answers = reasoner.prove(family, ("tom", ANCESTOR, "?who"))
+        assert {a["?who"] for a in answers} == {"bob", "liz", "ann", "sue"}
+
+    def test_prove_does_not_mutate_graph(self, family):
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES)
+        before = set(family)
+        reasoner.prove(family, ("tom", ANCESTOR, "?who"))
+        assert set(family) == before
+
+    def test_tabling_handles_cycles(self):
+        graph = Graph([("a", PARENT, "b"), ("b", PARENT, "a")])
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES)
+        answers = reasoner.prove(graph, ("a", ANCESTOR, "?x"))
+        assert {a["?x"] for a in answers} == {"a", "b"}
+
+    def test_facts_provable_without_rules(self, family):
+        reasoner = GenericRuleReasoner([])
+        assert reasoner.holds(family, ("tom", PARENT, "bob"))
+
+    def test_backward_agrees_with_forward(self, family):
+        reasoner = GenericRuleReasoner(ANCESTOR_RULES + [GRANDPARENT_RULE])
+        materialized = family.copy()
+        reasoner.forward(materialized)
+        for predicate in (ANCESTOR, GRANDPARENT):
+            forward_facts = {
+                (t.subject, t.object) for t in materialized.match(None, predicate, None)
+            }
+            backward_facts = {
+                (a["?x"], a["?y"])
+                for a in reasoner.prove(family, ("?x", predicate, "?y"))
+            }
+            assert forward_facts == backward_facts
+
+
+class TestHybrid:
+    def test_hybrid_materializes_then_answers(self, family):
+        reasoner = GenericRuleReasoner([GRANDPARENT_RULE])
+        answers = reasoner.hybrid(family, ("?g", GRANDPARENT, "ann"))
+        assert ("tom", GRANDPARENT, "ann") in family  # forward pass ran
+        assert answers and answers[0]["?g"] == "tom"

@@ -1,0 +1,61 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def small(monkeypatch):
+    """Keep CLI worlds small so the tests stay fast."""
+    return ["--corpus-size", "20"]
+
+
+class TestCli:
+    def test_services_lists_catalog(self, capsys, small):
+        assert main(small + ["services"]) == 0
+        out = capsys.readouterr().out
+        assert "lexica-prime" in out
+        assert "goggle" in out
+        assert "storage" in out
+
+    def test_analyze_prints_json(self, capsys, small):
+        assert main(small + ["analyze", "IBM had excellent results."]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        payload = json.loads(out)
+        assert any(entity["id"] == "C_ibm" for entity in payload["entities"])
+
+    def test_analyze_with_other_service(self, capsys, small):
+        assert main(small + ["analyze", "Globex thrives.",
+                             "--service", "glotta"]) == 0
+
+    def test_search_prints_hits(self, capsys, small):
+        assert main(small + ["search", "thrives results", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "http://" in out
+
+    def test_search_no_results(self, capsys, small):
+        assert main(small + ["search", "zzzqqqxxx"]) == 0
+        assert "(no results)" in capsys.readouterr().out
+
+    def test_rank_nlu(self, capsys, small):
+        assert main(small + ["rank", "nlu", "--warmup", "2",
+                             "--cost-weight", "100"]) == 0
+        out = capsys.readouterr().out
+        for provider in ("lexica-prime", "glotta", "wordsmith-lite"):
+            assert provider in out
+
+    def test_rank_unknown_kind_fails(self, capsys, small):
+        assert main(small + ["rank", "teleportation"]) == 1
+
+    def test_demo_runs_end_to_end(self, capsys, small):
+        assert main(small + ["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "cached=True" in out
+        assert "served by" in out
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,82 @@
+"""Tests for edit distances, including metric properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.textproc.distance import damerau_levenshtein, levenshtein, similarity_ratio
+
+words = st.text(alphabet="abcdef", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "first,second,expected",
+        [
+            ("", "", 0),
+            ("a", "", 1),
+            ("", "abc", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("same", "same", 0),
+            ("abc", "abd", 1),
+        ],
+    )
+    def test_known_distances(self, first, second, expected):
+        assert levenshtein(first, second) == expected
+
+    def test_limit_early_exit(self):
+        assert levenshtein("completely", "different", limit=2) == 3  # limit + 1
+
+    def test_limit_respected_when_under(self):
+        assert levenshtein("abc", "abd", limit=2) == 1
+
+    def test_limit_length_gap_shortcut(self):
+        assert levenshtein("a", "abcdefgh", limit=3) == 4
+
+    @given(words, words)
+    def test_symmetry(self, first, second):
+        assert levenshtein(first, second) == levenshtein(second, first)
+
+    @given(words)
+    def test_identity(self, word):
+        assert levenshtein(word, word) == 0
+
+    @given(words, words, words)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(words, words)
+    def test_bounded_by_longer_length(self, first, second):
+        assert levenshtein(first, second) <= max(len(first), len(second))
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_costs_one(self):
+        assert damerau_levenshtein("abcd", "abdc") == 1
+        assert levenshtein("abcd", "abdc") == 2
+
+    def test_plain_edits_match_levenshtein(self):
+        assert damerau_levenshtein("kitten", "sitting") == 3
+
+    @given(words, words)
+    def test_never_exceeds_levenshtein(self, first, second):
+        assert damerau_levenshtein(first, second) <= levenshtein(first, second)
+
+    @given(words, words)
+    def test_symmetry(self, first, second):
+        assert damerau_levenshtein(first, second) == damerau_levenshtein(second, first)
+
+
+class TestSimilarityRatio:
+    def test_identical(self):
+        assert similarity_ratio("abc", "abc") == 1.0
+
+    def test_empty_pair(self):
+        assert similarity_ratio("", "") == 1.0
+
+    def test_disjoint(self):
+        assert similarity_ratio("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_in_unit_interval(self, first, second):
+        assert 0.0 <= similarity_ratio(first, second) <= 1.0

@@ -1,0 +1,55 @@
+"""Tests for HTML rendering and stripping."""
+
+from repro.textproc.html import extract_title, render_html, strip_html
+
+
+class TestRenderHtml:
+    def test_roundtrip_title(self):
+        html = render_html("My Title", ["Paragraph one.", "Paragraph two."])
+        assert extract_title(html) == "My Title"
+
+    def test_escapes_content(self):
+        html = render_html("A < B", ["x & y"])
+        assert "A &lt; B" in html
+        assert "x &amp; y" in html
+
+    def test_metadata_embedded(self):
+        html = render_html("T", ["p"], metadata={"doc-type": "news"})
+        assert 'name="doc-type"' in html
+        assert 'content="news"' in html
+
+
+class TestStripHtml:
+    def test_removes_tags(self):
+        assert strip_html("<p>Hello <b>world</b></p>") == "Hello world"
+
+    def test_removes_scripts_and_styles(self):
+        html = "<style>.x{color:red}</style><script>alert(1)</script><p>Body</p>"
+        assert strip_html(html) == "Body"
+
+    def test_block_tags_become_line_breaks(self):
+        text = strip_html("<p>First.</p><p>Second.</p>")
+        assert text.splitlines() == ["First.", "Second."]
+
+    def test_entities_unescaped(self):
+        assert strip_html("<p>a &amp; b</p>") == "a & b"
+
+    def test_render_strip_roundtrip_preserves_text(self):
+        paragraphs = ["IBM thrived this quarter.", "Analysts were impressed."]
+        text = strip_html(render_html("Report", paragraphs))
+        for paragraph in paragraphs:
+            assert paragraph in text
+
+    def test_whitespace_collapsed(self):
+        assert strip_html("<p>a    b\t\tc</p>") == "a b c"
+
+
+class TestExtractTitle:
+    def test_missing_title(self):
+        assert extract_title("<html><body>x</body></html>") == ""
+
+    def test_title_with_entities(self):
+        assert extract_title("<title>A &amp; B</title>") == "A & B"
+
+    def test_case_insensitive_tag(self):
+        assert extract_title("<TITLE>Loud</TITLE>") == "Loud"

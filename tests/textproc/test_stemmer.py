@@ -1,0 +1,118 @@
+"""Tests for the Porter stemmer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.textproc.stemmer import porter_stem
+
+# Classic examples from Porter's paper and the reference vocabulary.
+KNOWN_STEMS = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", KNOWN_STEMS)
+def test_known_stems(word, expected):
+    assert porter_stem(word) == expected
+
+
+def test_short_words_untouched():
+    assert porter_stem("a") == "a"
+    assert porter_stem("is") == "is"
+
+
+def test_idempotent_on_common_words():
+    for word in ("connection", "running", "flies", "analysis", "happily"):
+        once = porter_stem(word)
+        assert porter_stem(once) == porter_stem(once)
+
+
+def test_morphological_variants_collapse():
+    assert porter_stem("connect") == porter_stem("connected")
+    assert porter_stem("connect") == porter_stem("connecting")
+    assert porter_stem("connect") == porter_stem("connection")
+    assert porter_stem("connect") == porter_stem("connections")
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=0, max_size=20))
+def test_never_longer_than_input(word):
+    assert len(porter_stem(word)) <= max(len(word), 1) or word == ""
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+def test_always_returns_nonempty(word):
+    assert porter_stem(word)

@@ -1,0 +1,61 @@
+"""Tests for tokenization and sentence splitting."""
+
+from repro.textproc.tokenizer import split_sentences, tokenize, word_tokens
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("Hello world") == ["hello", "world"]
+
+    def test_punctuation_dropped(self):
+        assert tokenize("Hello, world!") == ["hello", "world"]
+
+    def test_keeps_case_when_asked(self):
+        assert tokenize("Hello World", lowercase=False) == ["Hello", "World"]
+
+    def test_numbers_tokenized(self):
+        assert tokenize("pi is 3.14 and e is 2") == ["pi", "is", "3.14", "and", "e", "is", "2"]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ") == []
+
+
+class TestWordTokens:
+    def test_filters_numbers(self):
+        assert word_tokens("room 42 is open") == ["room", "is", "open"]
+
+
+class TestSplitSentences:
+    def test_basic_split(self):
+        assert split_sentences("One. Two. Three.") == ["One.", "Two.", "Three."]
+
+    def test_question_and_exclamation(self):
+        sentences = split_sentences("Really? Yes! Good.")
+        assert sentences == ["Really?", "Yes!", "Good."]
+
+    def test_abbreviations_do_not_split(self):
+        sentences = split_sentences("Mr. Smith arrived. He sat down.")
+        assert sentences == ["Mr. Smith arrived.", "He sat down."]
+
+    def test_corporate_abbreviation(self):
+        sentences = split_sentences("Acme Inc. reported gains. Shares rose.")
+        assert len(sentences) == 2
+
+    def test_trailing_text_without_period(self):
+        sentences = split_sentences("First sentence. trailing fragment")
+        assert sentences == ["First sentence.", "trailing fragment"]
+
+    def test_empty_input(self):
+        assert split_sentences("") == []
+
+    def test_single_sentence(self):
+        assert split_sentences("Just one sentence.") == ["Just one sentence."]
+
+    def test_multiple_terminators(self):
+        assert split_sentences("What?! No way.") == ["What?!", "No way."]

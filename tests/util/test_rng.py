@@ -1,0 +1,94 @@
+"""Tests for deterministic random generation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import SeededRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_parent_changes_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    @given(st.integers(min_value=0, max_value=2**62), st.text(max_size=30))
+    def test_always_in_63_bit_range(self, parent, label):
+        seed = derive_seed(parent, label)
+        assert 0 <= seed < 2**63
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        first = [SeededRng(7).random() for _ in range(5)]
+        second = [SeededRng(7).random() for _ in range(5)]
+        # Each constructor restarts the stream.
+        assert first[0] == second[0]
+
+    def test_children_are_independent(self):
+        parent = SeededRng(7)
+        child_a = parent.child("a")
+        child_b = parent.child("b")
+        assert child_a.random() != child_b.random()
+
+    def test_children_are_reproducible(self):
+        assert SeededRng(7).child("x").random() == SeededRng(7).child("x").random()
+
+    def test_bernoulli_bounds_checked(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).bernoulli(1.5)
+
+    def test_bernoulli_extremes(self):
+        rng = SeededRng(1)
+        assert all(not rng.bernoulli(0.0) for _ in range(20))
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+
+    def test_bernoulli_rate_roughly_matches(self):
+        rng = SeededRng(99)
+        hits = sum(rng.bernoulli(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_exponential_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).exponential(0.0)
+
+    def test_lognormal_positive(self):
+        rng = SeededRng(5)
+        assert all(rng.lognormal(0.0, 0.5) > 0 for _ in range(100))
+
+    def test_randint_inclusive(self):
+        rng = SeededRng(3)
+        draws = {rng.randint(1, 3) for _ in range(200)}
+        assert draws == {1, 2, 3}
+
+    def test_shuffled_preserves_elements(self):
+        rng = SeededRng(3)
+        items = list(range(20))
+        shuffled = rng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(20))  # input untouched
+
+    def test_sample_unique(self):
+        rng = SeededRng(3)
+        picked = rng.sample(range(100), 10)
+        assert len(set(picked)) == 10
+
+    def test_zipf_prefers_low_indexes(self):
+        rng = SeededRng(11)
+        draws = [rng.zipf_index(100, exponent=1.2) for _ in range(3000)]
+        head = sum(1 for draw in draws if draw < 10)
+        tail = sum(1 for draw in draws if draw >= 50)
+        assert head > tail
+
+    def test_zipf_size_validated(self):
+        with pytest.raises(ValueError):
+            SeededRng(1).zipf_index(0)
+
+    def test_weighted_choice_respects_weights(self):
+        rng = SeededRng(13)
+        draws = [rng.weighted_choice(["a", "b"], [0.99, 0.01]) for _ in range(500)]
+        assert draws.count("a") > 400

@@ -38,6 +38,7 @@ from repro.core.invoker import RichClient
 from repro.core.ranking import Weights
 from repro.core.websearch import WebSearchAnalyzer
 from repro.kb.knowledge_base import PersonalKnowledgeBase
+from repro.obs import Observability
 from repro.services.catalog import World, build_world
 
 __version__ = "1.0.0"
@@ -47,6 +48,7 @@ __all__ = [
     "Weights",
     "WebSearchAnalyzer",
     "PersonalKnowledgeBase",
+    "Observability",
     "World",
     "build_world",
     "__version__",

@@ -88,6 +88,30 @@ class ServiceCache:
         self.stats = CacheStats()
         # key -> (value, stored_at); insertion order tracks recency.
         self._entries: OrderedDict[str, tuple[object, float]] = OrderedDict()
+        # Pre-bound metric counters (see bind_metrics); None = unmirrored.
+        self._metric_hits = None
+        self._metric_misses = None
+        self._metric_evictions = None
+        self._metric_expirations = None
+        self._metric_invalidations = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror hit/miss/eviction accounting into a MetricsRegistry.
+
+        The counters are pre-bound so the per-probe cost is one lock and
+        one add — :class:`CacheStats` stays the source of truth and the
+        registry can never disagree with it from this point on.
+        """
+        self._metric_hits = registry.counter(
+            "cache_hits_total", "Service responses served from the local cache.").bind()
+        self._metric_misses = registry.counter(
+            "cache_misses_total", "Cache probes that had to go remote.").bind()
+        self._metric_evictions = registry.counter(
+            "cache_evictions_total", "Entries evicted by LRU capacity pressure.").bind()
+        self._metric_expirations = registry.counter(
+            "cache_expirations_total", "Entries dropped because their TTL passed.").bind()
+        self._metric_invalidations = registry.counter(
+            "cache_invalidations_total", "Entries dropped by explicit invalidation.").bind()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -109,11 +133,17 @@ class ServiceCache:
             if self._expired(stored_at):
                 del self._entries[key]
                 self.stats.expirations += 1
+                if self._metric_expirations is not None:
+                    self._metric_expirations.inc()
             else:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                if self._metric_hits is not None:
+                    self._metric_hits.inc()
                 return value
         self.stats.misses += 1
+        if self._metric_misses is not None:
+            self._metric_misses.inc()
         if default is _SENTINEL:
             return None
         return default
@@ -135,12 +165,16 @@ class ServiceCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._metric_evictions is not None:
+                self._metric_evictions.inc()
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry (consistency hook); returns whether it existed."""
         existed = self._entries.pop(key, None) is not None
         if existed:
             self.stats.invalidations += 1
+            if self._metric_invalidations is not None:
+                self._metric_invalidations.inc()
         return existed
 
     def invalidate_service(self, service: str) -> int:
@@ -150,6 +184,8 @@ class ServiceCache:
         for key in doomed:
             del self._entries[key]
         self.stats.invalidations += len(doomed)
+        if doomed and self._metric_invalidations is not None:
+            self._metric_invalidations.inc(len(doomed))
         return len(doomed)
 
     def clear(self) -> None:

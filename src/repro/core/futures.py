@@ -11,6 +11,7 @@ cases, we use thread pools of limited size").
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from collections.abc import Callable
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -25,12 +26,19 @@ class ListenableFuture(Generic[T]):
     Callbacks receive the future itself and run exactly once, on the
     completing thread — or immediately on the registering thread when
     the future is already done (Guava's semantics).
+
+    A callback that raises cannot poison the completing thread or
+    starve the remaining callbacks: the exception is captured into
+    ``listener_errors`` (Guava logs it the same way) and delivery
+    continues.
     """
 
     def __init__(self) -> None:
         self._future: Future = Future()
         self._listeners: list[Callable[["ListenableFuture[T]"], None]] = []
         self._lock = threading.Lock()
+        #: Exceptions raised by listeners, in delivery order.
+        self.listener_errors: list[BaseException] = []
 
     # -- producer side -----------------------------------------------------
 
@@ -46,7 +54,13 @@ class ListenableFuture(Generic[T]):
         with self._lock:
             listeners, self._listeners = self._listeners, []
         for listener in listeners:
+            self._deliver(listener)
+
+    def _deliver(self, listener: Callable[["ListenableFuture[T]"], None]) -> None:
+        try:
             listener(self)
+        except Exception as error:  # noqa: BLE001 — a bad callback is quarantined
+            self.listener_errors.append(error)
 
     # -- consumer side -----------------------------------------------------
 
@@ -71,7 +85,7 @@ class ListenableFuture(Generic[T]):
             else:
                 self._listeners.append(listener)
         if fire_now:
-            listener(self)
+            self._deliver(listener)
 
     def transform(self, mapper: Callable[[T], object]) -> "ListenableFuture":
         """Derived future holding ``mapper(result)`` (errors propagate)."""
@@ -116,7 +130,12 @@ class CallbackExecutor:
                                         thread_name_prefix="repro-sdk")
 
     def submit(self, function: Callable[..., T], *args, **kwargs) -> ListenableFuture[T]:
-        """Run ``function`` on the pool; returns its listenable future."""
+        """Run ``function`` on the pool; returns its listenable future.
+
+        The submitting thread's context (contextvars) is copied onto
+        the worker, so an observability span that is current at submit
+        time is still the parent of spans started on the pool thread.
+        """
         listenable: ListenableFuture[T] = ListenableFuture()
 
         def run() -> None:
@@ -125,7 +144,8 @@ class CallbackExecutor:
             except BaseException as error:  # noqa: BLE001 — relayed to waiter
                 listenable.set_exception(error)
 
-        self._pool.submit(run)
+        context = contextvars.copy_context()
+        self._pool.submit(context.run, run)
         return listenable
 
     def map_all(self, function: Callable[[object], T], items: list) -> list[ListenableFuture[T]]:

@@ -26,10 +26,13 @@ from __future__ import annotations
 import json
 from collections.abc import Mapping
 
+from repro.core.circuitbreaker import CircuitOpenError
 from repro.core.invoker import RichClient
 from repro.core.quota import BudgetExceededError
 from repro.core.ranking import Weights
+from repro.core.ratelimit import RateLimitExceededError
 from repro.core.retry import AllServicesFailedError
+from repro.obs.attribution import TraceAnalyzer
 from repro.simnet.errors import (
     ConnectivityError,
     RemoteServiceError,
@@ -41,7 +44,11 @@ from repro.util.errors import NotFoundError, SerializationError
 def _status_for(error: Exception) -> int:
     if isinstance(error, NotFoundError):
         return 404
-    if isinstance(error, BudgetExceededError):
+    # 429-family: the caller should back off and retry, not report a
+    # server failure.  Rate limits and open circuits carry a concrete
+    # "when" that handle() surfaces as a retry_after hint.
+    if isinstance(error, (BudgetExceededError, RateLimitExceededError,
+                          CircuitOpenError)):
         return 429
     if isinstance(error, ServiceTimeoutError):
         return 504
@@ -58,8 +65,8 @@ class SdkGateway:
     """Dispatches JSON envelopes onto a :class:`RichClient`.
 
     Methods: ``invoke``, ``invoke_failover``, ``rank_services``,
-    ``best_service``, ``service_summaries``, ``cache_stats``, ``spend``
-    and ``health``.
+    ``best_service``, ``service_summaries``, ``cache_stats``, ``spend``,
+    ``metrics``, ``traces``, ``attribution`` and ``health``.
     """
 
     def __init__(self, client: RichClient) -> None:
@@ -90,8 +97,17 @@ class SdkGateway:
             result = handler(params)
         except Exception as error:  # noqa: BLE001 — mapped to a status code
             return self._error(_status_for(error), str(error),
-                               type(error).__name__)
+                               type(error).__name__,
+                               retry_after=self._retry_after(error))
         return json.loads(json.dumps({"status": 200, "result": result}))
+
+    def _retry_after(self, error: Exception) -> float | None:
+        """Seconds until a 429'd caller can usefully try again."""
+        if isinstance(error, RateLimitExceededError):
+            return max(0.0, error.wait_needed)
+        if isinstance(error, CircuitOpenError):
+            return max(0.0, error.retry_at - self.client.clock.now())
+        return None
 
     def handle_json(self, request_text: str) -> str:
         """Text-in/text-out variant: the literal wire format."""
@@ -105,9 +121,13 @@ class SdkGateway:
                                           "ValueError"))
         return json.dumps(self.handle(request))
 
-    def _error(self, status: int, message: str, error_type: str) -> dict:
+    def _error(self, status: int, message: str, error_type: str,
+               retry_after: float | None = None) -> dict:
         self.errors_returned += 1
-        return {"status": status, "error": message, "error_type": error_type}
+        envelope = {"status": status, "error": message, "error_type": error_type}
+        if retry_after is not None:
+            envelope["retry_after"] = round(retry_after, 6)
+        return envelope
 
     # -- methods ------------------------------------------------------------
 
@@ -196,6 +216,38 @@ class SdkGateway:
                 "cost": self.client.quota.cost(str(service)),
             }
         return {"total_cost": self.client.quota.total_cost()}
+
+    def _method_metrics(self, params: Mapping[str, object]) -> dict:
+        """The SDK's metrics registry: exposition text plus raw numbers."""
+        registry = self.client.obs.metrics
+        return {
+            "exposition": registry.render(),
+            "metrics": registry.snapshot(),
+        }
+
+    def _method_traces(self, params: Mapping[str, object]) -> dict:
+        """Completed traces from the in-memory span collector."""
+        collector = self.client.obs.collector
+        limit = params.get("limit")
+        traces = [
+            {"trace_id": trace_id,
+             "spans": [span.to_dict() for span in spans]}
+            for trace_id, spans in collector.traces().items()
+        ]
+        if limit is not None:
+            traces = traces[-int(limit):]
+        return {
+            "traces": traces,
+            "dropped_spans": collector.dropped,
+        }
+
+    def _method_attribution(self, params: Mapping[str, object]) -> dict:
+        """Latency attribution rolled up from the collected traces."""
+        analyzer = TraceAnalyzer(self.client.obs.collector)
+        return {
+            "traces": [report.to_dict() for report in analyzer.report()],
+            "aggregate": analyzer.aggregate(),
+        }
 
     def _method_health(self, params: Mapping[str, object]) -> dict:
         online = True

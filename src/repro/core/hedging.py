@@ -56,6 +56,16 @@ class HedgedInvoker:
         self.default_deadline = default_deadline
         self.weights = weights
         self.stats = HedgeStats()
+        obs = client.obs
+        if obs.enabled:
+            self._metric_requests = obs.metrics.counter(
+                "hedge_requests_total", "Requests that went through the hedged invoker.")
+            self._metric_fired = obs.metrics.counter(
+                "hedges_fired_total", "Requests whose backup call was actually sent.")
+            self._metric_wins = obs.metrics.counter(
+                "hedge_wins_total", "Requests won by the backup call.")
+        else:
+            self._metric_requests = self._metric_fired = self._metric_wins = None
 
     def deadline_for(self, service: str) -> float:
         """The hedge deadline: the service's observed latency percentile."""
@@ -84,6 +94,20 @@ class HedgedInvoker:
         overrides the live ranking — the ranking is adaptive, so pin it
         when an experiment needs a fixed primary.
         """
+        with self.client.obs.tracer.span(
+                "sdk.hedged_invoke", {"kind": kind, "operation": operation}):
+            return self._invoke_traced(kind, operation, payload, use_cache,
+                                       candidates)
+
+    def _invoke_traced(
+        self,
+        kind: str,
+        operation: str,
+        payload: Mapping[str, object] | None,
+        use_cache: bool,
+        candidates: list[str] | None,
+    ) -> InvocationResult:
+        tracer = self.client.obs.tracer
         if candidates is None:
             candidates = [service.name for service in
                           self.client.registry.services_of_kind(kind)]
@@ -97,6 +121,8 @@ class HedgedInvoker:
             ranked = list(candidates)
         primary = ranked[0]
         self.stats.requests += 1
+        if self._metric_requests is not None:
+            self._metric_requests.inc()
         start = self.client.clock.now()
 
         if len(ranked) == 1:
@@ -133,7 +159,12 @@ class HedgedInvoker:
 
         deadline = self.deadline_for(primary)
         real_deadline = deadline * getattr(self.client.clock, "time_scale", 1.0)
+        wait_start = self.client.clock.now()
         completed_early = first_done.wait(timeout=real_deadline)
+        tracer.add_event("hedge.wait",
+                         {"service": primary,
+                          "seconds": self.client.clock.now() - wait_start,
+                          "deadline": deadline})
         # Hedge when the primary is slow — or when it already failed
         # (an error is the slowest possible answer).
         fired_hedge = not completed_early or (
@@ -141,6 +172,8 @@ class HedgedInvoker:
         )
         if fired_hedge:
             self.stats.hedges_fired += 1
+            if self._metric_fired is not None:
+                self._metric_fired.inc()
             backup_future = self.client.invoke_async(
                 backup, operation, payload, use_cache=use_cache)
             backup_future.add_listener(record("backup"))
@@ -171,5 +204,7 @@ class HedgedInvoker:
             self.stats.primary_wins += 1
         else:
             self.stats.hedge_wins += 1
+            if self._metric_wins is not None:
+                self._metric_wins.inc()
         self.stats.latencies.append(self.client.clock.now() - start)
         return result

@@ -23,7 +23,9 @@ from repro.core.latency import LatencyPredictor
 from repro.core.monitoring import InvocationRecord, ServiceMonitor
 from repro.core.quota import ClientQuotaTracker
 from repro.core.ranking import ScoreFormula, ServiceRanker, Weights
+from repro.core.ratelimit import ServiceRateLimiter
 from repro.core.retry import AttemptLog, FailoverInvoker, RetryPolicy
+from repro.obs import Observability
 from repro.services.base import ServiceRegistry, ServiceRequest
 from repro.util.clock import Clock
 
@@ -65,9 +67,12 @@ class RichClient:
         executor: CallbackExecutor | None = None,
         cacheable_operations: frozenset[str] = DEFAULT_CACHEABLE_OPERATIONS,
         quality_raters: Mapping[str, QualityRater] | None = None,
+        obs: Observability | None = None,
+        rate_limiter: ServiceRateLimiter | None = None,
     ) -> None:
         self.registry = registry
         self.clock = self._registry_clock(registry)
+        self.obs = obs if obs is not None else Observability(clock=self.clock)
         self.monitor = monitor if monitor is not None else ServiceMonitor()
         self.cache = cache if cache is not None else ServiceCache(
             capacity=1024, ttl=None, clock=self.clock
@@ -84,6 +89,29 @@ class RichClient:
         self.cacheable_operations = cacheable_operations
         # Per-operation quality raters, e.g. {"analyze": rate_analysis}.
         self.quality_raters = dict(quality_raters or {})
+        # Proactive client-side rate limiting (None = unlimited): invoke
+        # raises RateLimitExceededError instead of tripping the server.
+        self.rate_limiter = rate_limiter
+        if self.obs.enabled:
+            self._wire_observability()
+
+    def _wire_observability(self) -> None:
+        """Thread the obs bundle through every hot-path collaborator.
+
+        The monitor's ``record`` is the metrics choke point, the cache
+        mirrors its hit/miss stats, the failover invoker emits attempt
+        spans, and each (typically shared) transport reports wire spans
+        to whichever client bound it first.
+        """
+        self.monitor.bind_metrics(self.obs.metrics)
+        self.cache.bind_metrics(self.obs.metrics)
+        self.failover.bind_obs(self.obs)
+        seen = set()
+        for service in self.registry:
+            transport = service.transport
+            if id(transport) not in seen:
+                seen.add(id(transport))
+                transport.bind_obs(self.obs)
 
     @staticmethod
     def _registry_clock(registry: ServiceRegistry) -> Clock:
@@ -110,15 +138,44 @@ class RichClient:
         (a hit costs no latency, no money and no quota).  Successful
         remote calls are recorded in the monitor together with their
         latency parameters; failures are recorded and re-raised.
+
+        Every remote call runs inside an ``sdk.invoke`` span (nesting
+        under whatever span is current, e.g. a failover attempt), and
+        the resulting monitor record carries the trace id.  Cache hits
+        are counted in the metrics and monitor; they only produce a
+        zero-duration span when an enclosing trace is active, keeping
+        the hit fast path cheap.
         """
         payload = dict(payload or {})
         service = self.registry.get(service_name)
         cacheable = use_cache and operation in self.cacheable_operations
         key = cache_key(service_name, operation, payload) if cacheable else None
+        tracer = self.obs.tracer
 
         if key is not None:
             hit = self.cache.get(key)
             if hit is not None:
+                now = self.clock.now()
+                trace_id = None
+                if tracer.enabled and tracer.current_span() is not None:
+                    span = tracer.instant_span(
+                        "sdk.invoke",
+                        {"service": service_name, "operation": operation,
+                         "cached": True, "obs.category": "cache"},
+                        timestamp=now)
+                    trace_id = span.trace_id
+                self.monitor.record(
+                    InvocationRecord(
+                        service=service_name,
+                        operation=operation,
+                        timestamp=now,
+                        latency=0.0,
+                        cost=0.0,
+                        success=True,
+                        cached=True,
+                        trace_id=trace_id,
+                    )
+                )
                 return InvocationResult(
                     value=hit,
                     latency=0.0,
@@ -128,53 +185,62 @@ class RichClient:
                     cached=True,
                 )
 
-        self.quota.check(service_name)
-        params = service.latency_params(ServiceRequest(operation, payload))
-        rater = quality_rater or self.quality_raters.get(operation)
-        try:
-            response = service.invoke(operation, payload, timeout=timeout)
-        except Exception as error:
+        with tracer.span("sdk.invoke",
+                         {"service": service_name, "operation": operation}) as span:
+            trace_id = span.trace_id
+            self.quota.check(service_name)
+            if self.rate_limiter is not None:
+                self.rate_limiter.acquire_or_raise(service_name)
+            params = service.latency_params(ServiceRequest(operation, payload))
+            rater = quality_rater or self.quality_raters.get(operation)
+            try:
+                response = service.invoke(operation, payload, timeout=timeout)
+            except Exception as error:
+                self.monitor.record(
+                    InvocationRecord(
+                        service=service_name,
+                        operation=operation,
+                        timestamp=self.clock.now(),
+                        latency=None,
+                        cost=0.0,
+                        success=False,
+                        error=repr(error),
+                        latency_params=params,
+                        trace_id=trace_id,
+                    )
+                )
+                raise
+
+            quality = rater(response.value) if rater is not None else None
+            self.quota.record(service_name, response.cost)
             self.monitor.record(
                 InvocationRecord(
                     service=service_name,
                     operation=operation,
                     timestamp=self.clock.now(),
-                    latency=None,
-                    cost=0.0,
-                    success=False,
-                    error=repr(error),
+                    latency=response.latency,
+                    cost=response.cost,
+                    success=True,
                     latency_params=params,
+                    quality=quality,
+                    trace_id=trace_id,
                 )
             )
-            raise
-
-        quality = rater(response.value) if rater is not None else None
-        self.quota.record(service_name, response.cost)
-        self.monitor.record(
-            InvocationRecord(
-                service=service_name,
-                operation=operation,
-                timestamp=self.clock.now(),
+            span.set_attribute("latency", response.latency)
+            span.set_attribute("cost", response.cost)
+            if key is not None:
+                self.cache.put(key, response.value)
+            if operation in ("put", "delete"):
+                # A mutation makes this service's cached reads suspect —
+                # the consistency issue §2 warns about.
+                self.cache.invalidate_service(service_name)
+            return InvocationResult(
+                value=response.value,
                 latency=response.latency,
                 cost=response.cost,
-                success=True,
-                latency_params=params,
-                quality=quality,
+                service=service_name,
+                operation=operation,
             )
-        )
-        if key is not None:
-            self.cache.put(key, response.value)
-        if operation in ("put", "delete"):
-            # A mutation makes this service's cached reads suspect —
-            # the consistency issue §2 warns about.
-            self.cache.invalidate_service(service_name)
-        return InvocationResult(
-            value=response.value,
-            latency=response.latency,
-            cost=response.cost,
-            service=service_name,
-            operation=operation,
-        )
 
     # -- asynchronous invocation -------------------------------------------------
 
@@ -232,19 +298,28 @@ class RichClient:
         use_cache: bool = True,
     ) -> InvocationResult:
         """Invoke the best-ranked service of ``kind``, failing over down
-        the ranking until one responds (§2.1's strategy)."""
-        candidates = [service.name for service in self.registry.services_of_kind(kind)]
-        if not candidates:
-            raise ValueError(f"no services of kind {kind!r}")
-        request = ServiceRequest(operation, dict(payload or {}))
-        params = self.registry.get(candidates[0]).latency_params(request)
-        ranked = [name for name, _ in self.ranker.rank(candidates, params, formula, weights)]
+        the ranking until one responds (§2.1's strategy).
 
-        served_by, result, attempts = self.failover.invoke(
-            ranked,
-            lambda name: self.invoke(name, operation, payload,
-                                     timeout=timeout, use_cache=use_cache),
-        )
+        Runs inside an ``sdk.invoke_with_failover`` root span; each
+        attempt becomes a child span and backoff sleeps become events,
+        so the attribution analyzer can split the call's wall time
+        between retry waits and wire time."""
+        with self.obs.tracer.span("sdk.invoke_with_failover",
+                                  {"kind": kind, "operation": operation}):
+            candidates = [service.name
+                          for service in self.registry.services_of_kind(kind)]
+            if not candidates:
+                raise ValueError(f"no services of kind {kind!r}")
+            request = ServiceRequest(operation, dict(payload or {}))
+            params = self.registry.get(candidates[0]).latency_params(request)
+            ranked = [name for name, _ in
+                      self.ranker.rank(candidates, params, formula, weights)]
+
+            served_by, result, attempts = self.failover.invoke(
+                ranked,
+                lambda name: self.invoke(name, operation, payload,
+                                         timeout=timeout, use_cache=use_cache),
+            )
         return InvocationResult(
             value=result.value,
             latency=result.latency,

@@ -35,6 +35,7 @@ class InvocationRecord:
     latency_params: Mapping[str, float] = field(default_factory=dict)
     quality: float | None = None
     cached: bool = False
+    trace_id: str | None = None  # cross-reference into repro.obs traces
 
 
 class ServiceMonitor:
@@ -51,6 +52,32 @@ class ServiceMonitor:
         self._records: dict[str, deque[InvocationRecord]] = {}
         self._ratings: dict[str, deque[float]] = {}
         self._lock = threading.Lock()
+        # Metrics mirroring (bind_metrics): record() is the single choke
+        # point every invocation passes through, so incrementing here is
+        # what guarantees monitor and metrics can never disagree.
+        self._metric_invocations = None
+        self._metric_latency = None
+        self._bound_counters: dict[tuple[str, str], object] = {}
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror per-service success/failure/cached counts and latency
+        histograms into a MetricsRegistry."""
+        self._metric_invocations = registry.counter(
+            "sdk_invocations_total",
+            "SDK invocations by service and outcome (success/failure/cached).")
+        self._metric_latency = registry.histogram(
+            "sdk_invocation_latency_seconds",
+            "Observed latency of successful remote invocations.",
+            low=0.0, high=2.0, bins=20)
+        self._bound_counters.clear()  # drop binds into any previous registry
+
+    def _outcome_counter(self, service: str, outcome: str):
+        key = (service, outcome)
+        bound = self._bound_counters.get(key)
+        if bound is None:
+            bound = self._metric_invocations.bind(service=service, outcome=outcome)
+            self._bound_counters[key] = bound
+        return bound
 
     def record(self, record: InvocationRecord) -> None:
         """Append one observation."""
@@ -59,6 +86,12 @@ class ServiceMonitor:
                 record.service, deque(maxlen=self.max_records)
             )
             history.append(record)
+        if self._metric_invocations is not None:
+            outcome = ("cached" if record.cached
+                       else "success" if record.success else "failure")
+            self._outcome_counter(record.service, outcome).inc()
+            if record.success and not record.cached and record.latency is not None:
+                self._metric_latency.observe(record.latency, service=record.service)
 
     def services(self) -> list[str]:
         with self._lock:
@@ -179,6 +212,7 @@ class ServiceMonitor:
                             "latency_params": dict(record.latency_params),
                             "quality": record.quality,
                             "cached": record.cached,
+                            "trace_id": record.trace_id,
                         }
                         for record in history
                     ]

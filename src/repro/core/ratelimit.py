@@ -129,3 +129,14 @@ class ServiceRateLimiter:
         if bucket is None:
             return 0.0
         return bucket.acquire()
+
+    def acquire_or_raise(self, service: str) -> None:
+        """Non-blocking acquire (no-op for unconfigured services).
+
+        Raises :class:`RateLimitExceededError` when the bucket is empty —
+        the error carries ``wait_needed``, which the SDK gateway turns
+        into a 429 envelope with a ``retry_after`` hint.
+        """
+        bucket = self._buckets.get(service)
+        if bucket is not None:
+            bucket.acquire_or_raise()

@@ -92,19 +92,39 @@ def invoke_with_retry(
     clock: Clock | None = None,
     service: str = "<service>",
     log: list[AttemptLog] | None = None,
+    tracer=None,
+    backoff_counter=None,
 ) -> T:
     """Call ``invoke_once`` under a retry policy.
 
     Backoff waits are charged to ``clock`` (simulated time).  Raises
     :class:`RetriesExhaustedError` once the budget is spent.
+
+    With a ``tracer``, every attempt runs inside its own child span and
+    each backoff wait is recorded as a ``retry.backoff`` event (with its
+    duration in seconds) on the enclosing span, which is what lets the
+    attribution analyzer bill sleep time separately from wire time.
+    ``backoff_counter`` (a metrics counter) accumulates the same waits
+    fleet-wide.
     """
     last_error: BaseException | None = None
     for attempt in range(policy.max_attempts):
         delay = policy.delay_before_attempt(attempt)
         if delay and clock is not None:
+            if tracer is not None:
+                tracer.add_event(
+                    "retry.backoff",
+                    {"service": service, "attempt": attempt, "seconds": delay})
+            if backoff_counter is not None:
+                backoff_counter.inc(delay, service=service)
             clock.charge(delay)
         try:
-            result = invoke_once()
+            if tracer is not None and tracer.enabled:
+                with tracer.span("failover.attempt",
+                                 {"service": service, "attempt": attempt}):
+                    result = invoke_once()
+            else:
+                result = invoke_once()
         except BaseException as error:  # noqa: BLE001 — classified below
             if not policy.is_retryable(error):
                 raise
@@ -131,6 +151,17 @@ class FailoverInvoker:
         self.default_policy = default_policy if default_policy is not None else RetryPolicy()
         self.per_service = dict(per_service or {})
         self.clock = clock
+        self.tracer = None
+        self._metric_backoff = None
+
+    def bind_obs(self, obs) -> None:
+        """Attach observability: attempt spans, backoff events/counters."""
+        if obs is None or not obs.enabled or self.tracer is not None:
+            return
+        self.tracer = obs.tracer
+        self._metric_backoff = obs.metrics.counter(
+            "retry_backoff_seconds_total",
+            "Simulated seconds slept in retry backoff, by service.")
 
     def policy_for(self, service: str) -> RetryPolicy:
         return self.per_service.get(service, self.default_policy)
@@ -158,6 +189,8 @@ class FailoverInvoker:
                     clock=self.clock,
                     service=service,
                     log=attempts,
+                    tracer=self.tracer,
+                    backoff_counter=self._metric_backoff,
                 )
             except RetriesExhaustedError:
                 continue

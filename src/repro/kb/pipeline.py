@@ -17,6 +17,7 @@ facts no single regression produced.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from contextlib import nullcontext
 
 from repro.analytics.regression import LinearRegression
 from repro.analytics.timeseries import detect_trend, linear_forecast
@@ -73,6 +74,7 @@ class AnalysisPipeline:
         rules: Sequence[Rule] | None = None,
         r_squared_strong: float = 0.5,
         trend_threshold: float = 0.0,
+        obs=None,
     ) -> None:
         self.graph = graph if graph is not None else Graph()
         self.reasoner = GenericRuleReasoner(
@@ -81,6 +83,22 @@ class AnalysisPipeline:
         self.r_squared_strong = r_squared_strong
         self.trend_threshold = trend_threshold
         self.series_analyzed = 0
+        # Optional repro.obs.Observability: spans around each analysis
+        # and inference run, plus fleet counters.
+        if obs is not None and obs.enabled:
+            self._tracer = obs.tracer
+            self._metric_series = obs.metrics.counter(
+                "kb_series_analyzed_total", "Series run through the analysis pipeline.")
+            self._metric_facts = obs.metrics.counter(
+                "kb_facts_inferred_total", "New facts derived by the rulebase.")
+        else:
+            self._tracer = None
+            self._metric_series = self._metric_facts = None
+
+    def _span(self, name: str, attributes: dict):
+        if self._tracer is None:
+            return nullcontext()
+        return self._tracer.span(name, attributes)
 
     def analyze_series(
         self,
@@ -97,6 +115,18 @@ class AnalysisPipeline:
         "key mathematical results" Figure 5 shows flowing into the RDF
         store.  Returns the numbers for the caller too.
         """
+        with self._span("kb.analyze_series",
+                        {"subject": subject, "series": series_name}):
+            return self._analyze_series(subject, xs, ys, series_name, entity_type)
+
+    def _analyze_series(
+        self,
+        subject: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        series_name: str,
+        entity_type: str | None,
+    ) -> dict:
         model = LinearRegression(xs, ys)
         trend = detect_trend(ys, threshold=self.trend_threshold)
         forecast = linear_forecast(ys, horizon=1)[0]
@@ -112,6 +142,8 @@ class AnalysisPipeline:
         if entity_type is not None:
             self.graph.add(Triple(subject, RDF.type, REPRO(entity_type)))
         self.series_analyzed += 1
+        if self._metric_series is not None:
+            self._metric_series.inc()
         return {
             "subject": subject,
             "slope": model.slope,
@@ -124,7 +156,13 @@ class AnalysisPipeline:
 
     def infer(self) -> int:
         """Run the rulebase to fixpoint; returns newly derived facts."""
-        return self.reasoner.forward(self.graph)
+        with self._span("kb.infer", {"series_analyzed": self.series_analyzed}) as span:
+            derived = self.reasoner.forward(self.graph)
+            if span is not None:
+                span.set_attribute("facts_derived", derived)
+        if self._metric_facts is not None and derived:
+            self._metric_facts.inc(derived)
+        return derived
 
     def recommendations(self) -> dict[str, str]:
         """subject -> recommendation, from the inferred facts."""

@@ -1,0 +1,101 @@
+"""repro.obs — tracing and metrics observability for the Rich SDK.
+
+Three pieces, one bundle:
+
+* :mod:`repro.obs.tracing` — :class:`Span`/:class:`Tracer` with
+  parent/child context propagation (contextvars, surviving the SDK's
+  thread pool) and a bounded :class:`SpanCollector` with JSONL export;
+* :mod:`repro.obs.metrics` — a thread-safe :class:`MetricsRegistry` of
+  counters, gauges and bucketed histograms with Prometheus-style text
+  exposition;
+* :mod:`repro.obs.attribution` — a :class:`TraceAnalyzer` that rolls
+  completed traces into latency-attribution reports (share of wall
+  time in cache / retry-backoff / transport / hedge-wait).
+
+:class:`Observability` bundles one of each around a shared clock and
+is what :class:`repro.core.invoker.RichClient` wires through the hot
+path.  ``Observability.disabled()`` gives a no-op bundle for callers
+that want zero telemetry overhead.
+"""
+
+from __future__ import annotations
+
+from repro.obs.attribution import (
+    CATEGORY_BACKOFF,
+    CATEGORY_CACHE,
+    CATEGORY_HEDGE_WAIT,
+    CATEGORY_OTHER,
+    CATEGORY_TRANSPORT,
+    EVENT_BACKOFF,
+    EVENT_HEDGE_WAIT,
+    TraceAnalyzer,
+    TraceAttribution,
+    attribute_trace,
+)
+from repro.obs.metrics import (
+    BoundCounter,
+    Counter,
+    Gauge,
+    HistogramMetric,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    CATEGORY_ATTRIBUTE,
+    NULL_SPAN,
+    Span,
+    SpanCollector,
+    SpanEvent,
+    Tracer,
+)
+from repro.util.clock import Clock
+
+
+class Observability:
+    """One tracer + one metrics registry + one span collector.
+
+    All components share ``clock`` so traces, histograms and the
+    simulated network agree on what a second is.
+    """
+
+    def __init__(self, clock: Clock | None = None, max_spans: int = 4096,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.metrics = MetricsRegistry()
+        self.collector = SpanCollector(capacity=max_spans)
+        self.tracer = Tracer(clock=clock, collector=self.collector,
+                             enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A bundle whose tracer is a no-op and whose hooks never bind."""
+        return cls(enabled=False)
+
+    def analyzer(self) -> TraceAnalyzer:
+        """A latency-attribution analyzer over the collected spans."""
+        return TraceAnalyzer(self.collector)
+
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "Span",
+    "SpanEvent",
+    "SpanCollector",
+    "NULL_SPAN",
+    "CATEGORY_ATTRIBUTE",
+    "MetricsRegistry",
+    "Counter",
+    "BoundCounter",
+    "Gauge",
+    "HistogramMetric",
+    "TraceAnalyzer",
+    "TraceAttribution",
+    "attribute_trace",
+    "CATEGORY_TRANSPORT",
+    "CATEGORY_CACHE",
+    "CATEGORY_BACKOFF",
+    "CATEGORY_HEDGE_WAIT",
+    "CATEGORY_OTHER",
+    "EVENT_BACKOFF",
+    "EVENT_HEDGE_WAIT",
+]

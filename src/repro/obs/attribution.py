@@ -1,0 +1,170 @@
+"""Latency attribution: where did a traced call spend its wall time?
+
+The paper's motivation for monitoring is choosing and debugging
+services by "performance, availability, and the quality and accuracy of
+responses".  A flat latency number cannot distinguish a slow wire from
+an over-eager retry policy; this analyzer rolls a completed trace into
+a per-category, per-service breakdown:
+
+* ``transport``   — time inside :meth:`repro.simnet.transport.Transport.call`
+  (spans tagged ``obs.category == "transport"``);
+* ``retry-backoff`` — time slept between failover attempts
+  (``retry.backoff`` span events carrying a ``seconds`` attribute);
+* ``hedge-wait``  — time a hedged invoker spent waiting on a slow
+  primary before firing its backup (``hedge.wait`` events);
+* ``cache``       — time inside cache probes (zero under simulated
+  clocks, but the category exists so real-clock deployments can see it);
+* ``other``       — whatever remains of the root span's wall time
+  (ranking, serialization, SDK bookkeeping).
+
+All times are in the simulation's seconds, because spans are timed off
+the same :class:`~repro.util.clock.Clock` the transport charges — which
+is what lets tests assert the attribution reconciles with the
+simnet-charged latencies to within rounding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.obs.tracing import CATEGORY_ATTRIBUTE, Span, SpanCollector
+
+CATEGORY_TRANSPORT = "transport"
+CATEGORY_CACHE = "cache"
+CATEGORY_BACKOFF = "retry-backoff"
+CATEGORY_HEDGE_WAIT = "hedge-wait"
+CATEGORY_OTHER = "other"
+
+#: Span event names that carry attributable durations in ``seconds``.
+EVENT_BACKOFF = "retry.backoff"
+EVENT_HEDGE_WAIT = "hedge.wait"
+
+_EVENT_CATEGORIES = {
+    EVENT_BACKOFF: CATEGORY_BACKOFF,
+    EVENT_HEDGE_WAIT: CATEGORY_HEDGE_WAIT,
+}
+
+
+@dataclass
+class TraceAttribution:
+    """One trace's wall time split across categories and services."""
+
+    trace_id: str
+    root_name: str
+    wall_time: float
+    categories: dict[str, float] = field(default_factory=dict)
+    per_service: dict[str, dict[str, float]] = field(default_factory=dict)
+    span_count: int = 0
+
+    @property
+    def unattributed(self) -> float:
+        attributed = sum(self.categories.values())
+        return max(0.0, self.wall_time - attributed)
+
+    def share(self, category: str) -> float:
+        """Fraction of wall time spent in ``category`` (0.0 when idle)."""
+        if self.wall_time <= 0.0:
+            return 0.0
+        return self.categories.get(category, 0.0) / self.wall_time
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "root": self.root_name,
+            "wall_time": self.wall_time,
+            "span_count": self.span_count,
+            "categories": dict(self.categories),
+            "per_service": {service: dict(split)
+                            for service, split in self.per_service.items()},
+            "unattributed": self.unattributed,
+        }
+
+
+def _bump(bucket: dict[str, float], key: str, amount: float) -> None:
+    if amount:
+        bucket[key] = bucket.get(key, 0.0) + amount
+
+
+def attribute_trace(spans: Sequence[Span]) -> TraceAttribution | None:
+    """Roll one trace's spans into a :class:`TraceAttribution`.
+
+    Returns None when the trace has no completed root span (the trace
+    is still in flight, or its root was evicted from the collector).
+    """
+    roots = [span for span in spans
+             if span.parent_id is None and span.end_time is not None]
+    if not roots:
+        return None
+    root = min(roots, key=lambda span: span.start_time)
+    wall = max(root.duration or 0.0, 0.0)
+    report = TraceAttribution(
+        trace_id=root.trace_id, root_name=root.name, wall_time=wall,
+        span_count=len(spans))
+
+    for span in spans:
+        category = span.attributes.get(CATEGORY_ATTRIBUTE)
+        if category in (CATEGORY_TRANSPORT, CATEGORY_CACHE) and span.duration:
+            service = str(span.attributes.get("endpoint")
+                          or span.attributes.get("service") or "<unknown>")
+            _bump(report.categories, category, span.duration)
+            _bump(report.per_service.setdefault(service, {}),
+                  category, span.duration)
+        for event in span.events:
+            event_category = _EVENT_CATEGORIES.get(event.name)
+            if event_category is None:
+                continue
+            seconds = float(event.attributes.get("seconds", 0.0))
+            service = str(event.attributes.get("service") or "<unknown>")
+            _bump(report.categories, event_category, seconds)
+            _bump(report.per_service.setdefault(service, {}),
+                  event_category, seconds)
+    return report
+
+
+class TraceAnalyzer:
+    """Attribution reports over everything a collector has gathered."""
+
+    def __init__(self, collector: SpanCollector) -> None:
+        self.collector = collector
+
+    def report(self) -> list[TraceAttribution]:
+        """One attribution per completed trace, oldest first."""
+        reports = []
+        for spans in self.collector.traces().values():
+            attribution = attribute_trace(spans)
+            if attribution is not None:
+                reports.append(attribution)
+        return reports
+
+    def aggregate(self) -> dict:
+        """Fleet view: total wall time and per-category shares."""
+        reports = self.report()
+        total_wall = sum(item.wall_time for item in reports)
+        categories: dict[str, float] = {}
+        for item in reports:
+            for category, seconds in item.categories.items():
+                _bump(categories, category, seconds)
+            _bump(categories, CATEGORY_OTHER, item.unattributed)
+        shares = {category: (seconds / total_wall if total_wall else 0.0)
+                  for category, seconds in categories.items()}
+        return {
+            "traces": len(reports),
+            "total_wall_time": total_wall,
+            "categories": categories,
+            "shares": shares,
+        }
+
+    def render(self, limit: int = 10) -> str:
+        """ASCII table of the most recent traces (examples/debugging)."""
+        lines = [f"{'trace':<12} {'root':<26} {'wall(s)':>9} "
+                 f"{'transport':>10} {'backoff':>8} {'hedge':>7} {'other':>8}"]
+        for item in self.report()[-limit:]:
+            lines.append(
+                f"{item.trace_id:<12} {item.root_name:<26} "
+                f"{item.wall_time:>9.4f} "
+                f"{item.categories.get(CATEGORY_TRANSPORT, 0.0):>10.4f} "
+                f"{item.categories.get(CATEGORY_BACKOFF, 0.0):>8.4f} "
+                f"{item.categories.get(CATEGORY_HEDGE_WAIT, 0.0):>7.4f} "
+                f"{item.unattributed:>8.4f}")
+        return "\n".join(lines)

@@ -99,6 +99,37 @@ class Transport:
             network_latency if network_latency is not None else ConstantLatency(0.0)
         )
         self.stats = TransportStats()
+        # Observability hooks (bind_obs); None = uninstrumented.
+        self._tracer = None
+        self._metric_calls = None
+        self._metric_bytes_sent = None
+        self._metric_bytes_received = None
+        self._metric_timeouts = None
+        self._metric_offline = None
+
+    def bind_obs(self, obs) -> None:
+        """Attach a :class:`repro.obs.Observability` bundle.
+
+        Every call then produces a ``transport.call`` span (category
+        ``transport``, so the attribution analyzer can bill wire time to
+        the right service) and byte/call/timeout counters.  First binder
+        wins: a transport shared by several clients reports to the
+        observability of whichever client claimed it first.
+        """
+        if obs is None or not obs.enabled or self._tracer is not None:
+            return
+        self._tracer = obs.tracer
+        metrics = obs.metrics
+        self._metric_calls = metrics.counter(
+            "transport_calls_total", "Calls that entered the simulated wire.")
+        self._metric_bytes_sent = metrics.counter(
+            "transport_bytes_sent_total", "Request bytes crossing the wire.")
+        self._metric_bytes_received = metrics.counter(
+            "transport_bytes_received_total", "Response bytes crossing the wire.")
+        self._metric_timeouts = metrics.counter(
+            "transport_timeouts_total", "Calls aborted by the caller's timeout.")
+        self._metric_offline = metrics.counter(
+            "transport_offline_failures_total", "Calls rejected while offline.")
 
     def is_online(self) -> bool:
         """Whether the network is currently reachable."""
@@ -121,11 +152,40 @@ class Transport:
         exceeds ``timeout``, and lets service-level exceptions propagate
         after charging the latency spent before the failure.
         """
+        tracer = self._tracer
+        if tracer is None:
+            return self._call(endpoint, server_fn, request, timeout, latency_params)
+        span = tracer.start_span(
+            "transport.call", {"endpoint": endpoint, "obs.category": "transport"})
+        try:
+            result = self._call(endpoint, server_fn, request, timeout,
+                                latency_params)
+        except Exception as error:
+            tracer.end_span(span, error)
+            raise
+        span.attributes["latency"] = result.latency
+        span.attributes["bytes_sent"] = result.bytes_sent
+        span.attributes["bytes_received"] = result.bytes_received
+        tracer.end_span(span)
+        return result
+
+    def _call(
+        self,
+        endpoint: str,
+        server_fn: ServerFn,
+        request: Mapping[str, object],
+        timeout: float | None,
+        latency_params: Mapping[str, float] | None,
+    ) -> TransportResult:
         self.stats.record_call(endpoint)
+        if self._metric_calls is not None:
+            self._metric_calls.inc(endpoint=endpoint)
         params = dict(latency_params or {})
 
         if not self.is_online():
             self.stats.offline_failures += 1
+            if self._metric_offline is not None:
+                self._metric_offline.inc()
             raise ConnectivityError(endpoint)
 
         request_payload = _roundtrip(dict(request), "request")
@@ -140,6 +200,8 @@ class Transport:
             # the wait for the error response.
             self.clock.charge(outbound)
             self.stats.bytes_sent += sent
+            if self._metric_bytes_sent is not None:
+                self._metric_bytes_sent.inc(sent)
             raise
 
         inbound = self.network_latency.sample(self.rng, params)
@@ -149,6 +211,9 @@ class Transport:
             self.clock.charge(timeout)
             self.stats.timeouts += 1
             self.stats.bytes_sent += sent
+            if self._metric_timeouts is not None:
+                self._metric_timeouts.inc()
+                self._metric_bytes_sent.inc(sent)
             raise ServiceTimeoutError(endpoint, timeout)
 
         response_payload = _roundtrip(response_payload, "response")
@@ -159,6 +224,9 @@ class Transport:
         self.stats.bytes_sent += sent
         self.stats.bytes_received += received
         self.stats.total_latency += total
+        if self._metric_bytes_sent is not None:
+            self._metric_bytes_sent.inc(sent)
+            self._metric_bytes_received.inc(received)
         return TransportResult(
             payload=response_payload,
             latency=total,

@@ -80,6 +80,30 @@ class TestListenableFuture:
         with pytest.raises(Exception):
             future.get(timeout=0.01)
 
+    def test_raising_listener_is_quarantined(self):
+        """A bad callback must not starve the listeners behind it."""
+        future = ListenableFuture()
+        seen = []
+        future.add_listener(lambda _completed: 1 / 0)
+        future.add_listener(lambda completed: seen.append(completed.get()))
+        future.set_result("ok")  # must not raise on the completing thread
+        assert seen == ["ok"]
+        assert len(future.listener_errors) == 1
+        assert isinstance(future.listener_errors[0], ZeroDivisionError)
+
+    def test_raising_listener_on_already_done_future(self):
+        """The fire-immediately path quarantines exceptions the same way."""
+        future = ListenableFuture.completed("ok")
+        future.add_listener(lambda _completed: 1 / 0)
+        assert len(future.listener_errors) == 1
+
+    def test_result_unaffected_by_listener_errors(self):
+        future = ListenableFuture()
+        future.add_listener(lambda _completed: 1 / 0)
+        future.set_result(42)
+        assert future.get() == 42
+        assert future.exception() is None
+
 
 class TestCallbackExecutor:
     def test_submit_runs_function(self):

@@ -1,0 +1,140 @@
+"""Latency attribution: synthetic traces and the failover acceptance case."""
+
+import pytest
+
+from repro import RichClient, build_world
+from repro.core.retry import FailoverInvoker, RetryPolicy
+from repro.obs.attribution import (
+    CATEGORY_BACKOFF,
+    CATEGORY_TRANSPORT,
+    EVENT_BACKOFF,
+    TraceAnalyzer,
+    attribute_trace,
+)
+from repro.obs.tracing import SpanCollector, Tracer
+from repro.services.base import ScriptedFailures
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock, collector=SpanCollector())
+
+
+class TestAttributeTrace:
+    def test_splits_transport_and_backoff(self, tracer, clock):
+        with tracer.span("root") as root:
+            root.add_event(EVENT_BACKOFF,
+                           {"service": "svc", "seconds": 0.5})
+            clock.charge(0.5)
+            with tracer.span("transport.call",
+                             {"endpoint": "svc", "obs.category": "transport"}):
+                clock.charge(0.3)
+            clock.charge(0.2)  # SDK bookkeeping: unattributed
+        report = attribute_trace(tracer.collector.trace(root.trace_id))
+        assert report.wall_time == pytest.approx(1.0)
+        assert report.categories[CATEGORY_TRANSPORT] == pytest.approx(0.3)
+        assert report.categories[CATEGORY_BACKOFF] == pytest.approx(0.5)
+        assert report.unattributed == pytest.approx(0.2)
+        assert report.share(CATEGORY_TRANSPORT) == pytest.approx(0.3)
+        assert report.per_service["svc"][CATEGORY_TRANSPORT] == pytest.approx(0.3)
+
+    def test_returns_none_without_a_completed_root(self, tracer, clock):
+        span = tracer.start_span("open-root")
+        assert attribute_trace([span]) is None
+
+    def test_to_dict_is_json_safe(self, tracer, clock):
+        import json
+
+        with tracer.span("root"):
+            clock.charge(0.1)
+        report = attribute_trace(tracer.collector.spans())
+        json.dumps(report.to_dict())
+
+
+class TestAnalyzer:
+    def test_aggregate_shares_sum_to_one(self, tracer, clock):
+        for _ in range(3):
+            with tracer.span("root") as root:
+                root.add_event(EVENT_BACKOFF, {"service": "s", "seconds": 0.4})
+                clock.charge(0.4)
+                with tracer.span("transport.call",
+                                 {"endpoint": "s", "obs.category": "transport"}):
+                    clock.charge(0.6)
+        aggregate = TraceAnalyzer(tracer.collector).aggregate()
+        assert aggregate["traces"] == 3
+        assert aggregate["total_wall_time"] == pytest.approx(3.0)
+        assert sum(aggregate["shares"].values()) == pytest.approx(1.0)
+        assert aggregate["shares"][CATEGORY_TRANSPORT] == pytest.approx(0.6)
+
+    def test_render_lists_recent_traces(self, tracer, clock):
+        with tracer.span("sdk.invoke"):
+            clock.charge(0.2)
+        text = TraceAnalyzer(tracer.collector).render()
+        assert "sdk.invoke" in text
+        assert "wall(s)" in text
+
+
+class TestFailoverAcceptance:
+    """ISSUE acceptance: a traced failover across three NLU services,
+    two of them down, must decompose into transport + backoff that
+    reconcile with the simnet-charged wall time."""
+
+    def test_failover_trace_reconciles_with_charged_latency(self):
+        world = build_world(seed=42, corpus_size=30)
+        client = RichClient(
+            world.registry,
+            failover=FailoverInvoker(
+                default_policy=RetryPolicy(max_attempts=2, backoff=0.5),
+                clock=world.clock,
+            ),
+        )
+        try:
+            ranked = [name for name, _ in client.rank_services("nlu")]
+            failing = ranked[:2]
+            for name in failing:
+                world.registry.get(name).failures = ScriptedFailures(set(range(10)))
+
+            start = world.clock.now()
+            result = client.invoke_with_failover(
+                "nlu", "analyze", {"text": "Acme Corp shares rallied."})
+            elapsed = world.clock.now() - start
+            assert result.service == ranked[2]
+
+            traces = client.obs.collector.traces()
+            root_traces = [
+                spans for spans in traces.values()
+                if any(span.name == "sdk.invoke_with_failover" for span in spans)
+            ]
+            assert len(root_traces) == 1
+            spans = root_traces[0]
+            root = next(span for span in spans
+                        if span.name == "sdk.invoke_with_failover")
+
+            # One child span per attempt: two failing services x two
+            # attempts each, plus the final success.
+            attempts = [span for span in spans if span.name == "failover.attempt"]
+            assert len(attempts) == 5
+            assert all(span.parent_id == root.span_id for span in attempts)
+            assert [span.attributes["service"] for span in attempts] == [
+                failing[0], failing[0], failing[1], failing[1], ranked[2]]
+
+            # Backoff sleeps are events on the root span: one per retried
+            # service, each 0.5 simulated seconds.
+            backoffs = [event for event in root.events
+                        if event.name == EVENT_BACKOFF]
+            assert len(backoffs) == 2
+            assert [event.attributes["seconds"] for event in backoffs] == [0.5, 0.5]
+
+            # Attribution reconciles with what the simnet charged: the
+            # root's wall time is exactly the elapsed simulated time, and
+            # transport + backoff account for all of it (within 5%).
+            report = attribute_trace(spans)
+            assert report.wall_time == pytest.approx(elapsed)
+            attributed = (report.categories[CATEGORY_TRANSPORT]
+                          + report.categories[CATEGORY_BACKOFF])
+            assert attributed == pytest.approx(elapsed, rel=0.05)
+            assert report.categories[CATEGORY_BACKOFF] == pytest.approx(1.0)
+            # The winning service is billed its wire time.
+            assert report.per_service[ranked[2]][CATEGORY_TRANSPORT] > 0.0
+        finally:
+            client.close()

@@ -1,0 +1,136 @@
+"""Documentation checker: runnable snippets, live links, docstring audit.
+
+Run as ``python -m docs_check`` from the repository root (CI's docs job
+does).  Three passes, any failure exits non-zero with a report:
+
+1. **Snippets execute** — every ```python fence in ``docs/*.md`` and
+   ``README.md`` is compiled and executed.  Blocks within one file run
+   in order and share a namespace, so a page can build on its own
+   earlier snippets (the way a reader follows them).
+2. **Relative links resolve** — every ``[text](target)`` markdown link
+   that is not an absolute URL or a pure anchor must point at an
+   existing file relative to the page that contains it.
+3. **Core docstrings** — every module, public class and public method
+   in ``src/repro/core`` carries a docstring (the locally-runnable
+   equivalent of CI's ``pydocstyle --select=D100,D101,D102`` pass).
+"""
+
+from __future__ import annotations
+
+import ast
+import contextlib
+import io
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent
+DOCS = ROOT / "docs"
+CORE = ROOT / "src" / "repro" / "core"
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _snippet_files() -> list[Path]:
+    return sorted(DOCS.glob("*.md")) + [ROOT / "README.md"]
+
+
+def check_snippets(failures: list[str]) -> int:
+    """Execute every python fence; returns the number of blocks run."""
+    sys.path.insert(0, str(ROOT / "src"))
+    ran = 0
+    for path in _snippet_files():
+        text = path.read_text(encoding="utf-8")
+        namespace: dict = {"__name__": f"docs_check.{path.stem}"}
+        for index, match in enumerate(FENCE.finditer(text), start=1):
+            source = match.group(1)
+            line = text[: match.start()].count("\n") + 2
+            label = f"{path.relative_to(ROOT)} block {index} (line {line})"
+            try:
+                code = compile(source, str(path), "exec")
+            except SyntaxError as error:
+                failures.append(f"{label}: does not compile: {error}")
+                continue
+            buffer = io.StringIO()
+            try:
+                with contextlib.redirect_stdout(buffer):
+                    exec(code, namespace)  # noqa: S102 — our own docs
+            except Exception as error:  # noqa: BLE001 — reported below
+                failures.append(
+                    f"{label}: raised {type(error).__name__}: {error}")
+                continue
+            ran += 1
+    return ran
+
+
+def check_links(failures: list[str]) -> int:
+    """Verify relative markdown links; returns the number checked."""
+    checked = 0
+    for path in _snippet_files():
+        for match in LINK.finditer(path.read_text(encoding="utf-8")):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            checked += 1
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path.relative_to(ROOT)}: broken link -> {target}")
+    return checked
+
+
+def _missing_docstrings(tree: ast.Module) -> list[tuple[int, str]]:
+    problems: list[tuple[int, str]] = []
+    if ast.get_docstring(tree) is None:
+        problems.append((1, "missing module docstring (D100)"))
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+            continue
+        if ast.get_docstring(node) is None:
+            problems.append(
+                (node.lineno, f"class {node.name}: missing docstring (D101)"))
+        for item in node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name.startswith("_"):
+                continue
+            if ast.get_docstring(item) is None:
+                problems.append(
+                    (item.lineno,
+                     f"method {node.name}.{item.name}: "
+                     "missing docstring (D102)"))
+    return problems
+
+
+def check_core_docstrings(failures: list[str]) -> int:
+    """Audit src/repro/core for missing docstrings; returns files scanned."""
+    scanned = 0
+    for path in sorted(CORE.glob("*.py")):
+        scanned += 1
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for line, problem in _missing_docstrings(tree):
+            failures.append(f"{path.relative_to(ROOT)}:{line}: {problem}")
+    return scanned
+
+
+def main() -> int:
+    """Run all three passes; print a summary; 0 on success."""
+    failures: list[str] = []
+    ran = check_snippets(failures)
+    links = check_links(failures)
+    scanned = check_core_docstrings(failures)
+    print(f"docs_check: {ran} snippet blocks executed, "
+          f"{links} relative links verified, "
+          f"{scanned} core modules docstring-audited")
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("docs_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,18 @@ Typical entry point::
     response = client.invoke("lexica-prime", "analyze", {"text": "..."})
 """
 
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionLimit,
+    AdmissionRejectedError,
+    Bulkhead,
+)
+from repro.core.batching import (
+    Flight,
+    FlightCancelledError,
+    MicroBatcher,
+    RequestCoalescer,
+)
 from repro.core.futures import ListenableFuture, CallbackExecutor
 from repro.core.monitoring import ServiceMonitor, InvocationRecord
 from repro.core.latency import LatencyPredictor
@@ -52,6 +64,14 @@ from repro.core.imagery import ImageSearchAnalyzer
 from repro.core.ratelimit import ServiceRateLimiter, TokenBucket
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionLimit",
+    "AdmissionRejectedError",
+    "Bulkhead",
+    "Flight",
+    "FlightCancelledError",
+    "MicroBatcher",
+    "RequestCoalescer",
     "ListenableFuture",
     "CallbackExecutor",
     "ServiceMonitor",

@@ -1,0 +1,326 @@
+"""Admission control: per-service bulkheads with a bounded wait queue.
+
+Retry, circuit breaking and rate limiting are all *reactive* — they act
+after a service has already started failing or throttling.  Admission
+control is the proactive complement for heavy-traffic clients: each
+service gets a **bulkhead** (a concurrency limit) plus a small bounded
+queue, so a slow or overloaded dependency can never absorb every thread
+in the SDK's pool.  A request that finds the bulkhead full either waits
+briefly in the queue or is **shed** immediately with
+:class:`AdmissionRejectedError`, which the gateway maps to HTTP 429 —
+load is refused at the front door instead of melting the thread pool.
+
+Queue waits run on the simulation clock: under a :class:`ManualClock`
+the wait is *charged* (deterministic, instant in wall time), while a
+scaled :class:`RealClock` makes racing threads genuinely block, so the
+same bulkhead works in both the simulated and the threaded paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.util.clock import Clock
+from repro.util.errors import ReproError
+
+#: Rejection reasons carried by :class:`AdmissionRejectedError`.
+REASON_QUEUE_FULL = "queue-full"
+REASON_QUEUE_TIMEOUT = "queue-timeout"
+
+
+class AdmissionRejectedError(ReproError):
+    """A request was shed by admission control before reaching the wire.
+
+    ``reason`` is :data:`REASON_QUEUE_FULL` (the bulkhead and its wait
+    queue were both full — fast fail, no time spent) or
+    :data:`REASON_QUEUE_TIMEOUT` (the request queued but no permit
+    freed up within ``queue_timeout``).  The SDK gateway maps this to a
+    429 envelope so non-Python callers can back off and retry.
+    """
+
+    def __init__(self, service: str, reason: str, retry_after: float = 0.0) -> None:
+        super().__init__(
+            f"admission control shed call to {service!r} ({reason}); "
+            f"retry in ~{retry_after:.3f}s")
+        self.service = service
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class AdmissionLimit:
+    """One service's bulkhead sizing.
+
+    ``max_concurrent`` calls may be in flight at once; up to
+    ``max_queue`` further callers wait at most ``queue_timeout``
+    (simulated) seconds for a permit before being shed.
+    """
+
+    max_concurrent: int = 8
+    max_queue: int = 16
+    queue_timeout: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.queue_timeout < 0:
+            raise ValueError(
+                f"queue_timeout must be >= 0, got {self.queue_timeout}")
+
+
+@dataclass
+class BulkheadStats:
+    """What one bulkhead admitted, queued and shed."""
+
+    admitted: int = 0
+    queued: int = 0
+    shed_queue_full: int = 0
+    shed_timeout: int = 0
+    peak_inflight: int = 0
+    total_queue_wait: float = 0.0
+
+    @property
+    def shed(self) -> int:
+        """Total requests rejected, for whatever reason."""
+        return self.shed_queue_full + self.shed_timeout
+
+
+class Bulkhead:
+    """One service's concurrency limit plus bounded wait queue.
+
+    Thread-safe.  :meth:`acquire` either admits the caller (possibly
+    after a bounded queue wait) or raises
+    :class:`AdmissionRejectedError`; every successful acquire must be
+    paired with :meth:`release` (use :meth:`admit` for the context-
+    managed form).
+    """
+
+    def __init__(self, clock: Clock, service: str,
+                 limit: AdmissionLimit | None = None) -> None:
+        self.clock = clock
+        self.service = service
+        self.limit = limit if limit is not None else AdmissionLimit()
+        self.stats = BulkheadStats()
+        self._inflight = 0
+        self._waiting = 0
+        self._condition = threading.Condition()
+        # Pre-bound obs instruments (bind_metrics); None = unmirrored.
+        self._gauge_inflight = None
+        self._gauge_queue = None
+        self._metric_admitted = None
+        self._metric_shed = None
+        self._metric_wait = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror admission accounting into a MetricsRegistry.
+
+        Registers ``admission_inflight`` / ``admission_queue_depth``
+        gauges and ``admission_admitted_total`` / ``admission_shed_total``
+        / ``admission_queue_wait_seconds_total`` counters, all labelled
+        by service (shed additionally by reason).
+        """
+        self._gauge_inflight = registry.gauge(
+            "admission_inflight", "Calls currently holding a bulkhead permit.")
+        self._gauge_queue = registry.gauge(
+            "admission_queue_depth", "Callers waiting for a bulkhead permit.")
+        self._metric_admitted = registry.counter(
+            "admission_admitted_total", "Calls admitted through the bulkhead.")
+        self._metric_shed = registry.counter(
+            "admission_shed_total",
+            "Calls shed by admission control, by service and reason.")
+        self._metric_wait = registry.counter(
+            "admission_queue_wait_seconds_total",
+            "Simulated seconds spent queued for a bulkhead permit.")
+
+    @property
+    def inflight(self) -> int:
+        """Calls currently holding a permit."""
+        with self._condition:
+            return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Callers currently waiting for a permit."""
+        with self._condition:
+            return self._waiting
+
+    def try_acquire(self) -> bool:
+        """Take a permit if one is free right now; never waits or sheds."""
+        with self._condition:
+            if self._inflight < self.limit.max_concurrent:
+                self._admit_locked()
+                return True
+            return False
+
+    def acquire(self) -> float:
+        """Take a permit, queueing briefly if the bulkhead is full.
+
+        Returns the (simulated) seconds spent waiting in the queue.
+        Raises :class:`AdmissionRejectedError` with reason
+        :data:`REASON_QUEUE_FULL` when the wait queue is already at
+        capacity (fast fail — no time is spent), or
+        :data:`REASON_QUEUE_TIMEOUT` when no permit frees up within the
+        limit's ``queue_timeout`` (the wait is charged to the clock).
+        """
+        with self._condition:
+            if self._inflight < self.limit.max_concurrent:
+                self._admit_locked()
+                return 0.0
+            if self._waiting >= self.limit.max_queue:
+                self.stats.shed_queue_full += 1
+                if self._metric_shed is not None:
+                    self._metric_shed.inc(service=self.service,
+                                          reason=REASON_QUEUE_FULL)
+                raise AdmissionRejectedError(
+                    self.service, REASON_QUEUE_FULL,
+                    retry_after=self.limit.queue_timeout)
+            self._waiting += 1
+            self.stats.queued += 1
+            if self._gauge_queue is not None:
+                self._gauge_queue.set(self._waiting, service=self.service)
+        try:
+            waited = self._wait_for_permit()
+        finally:
+            with self._condition:
+                self._waiting -= 1
+                if self._gauge_queue is not None:
+                    self._gauge_queue.set(self._waiting, service=self.service)
+        return waited
+
+    def _wait_for_permit(self) -> float:
+        """Block (scaled real clock) or charge (manual clock) for a permit."""
+        timeout = self.limit.queue_timeout
+        time_scale = getattr(self.clock, "time_scale", None)
+        started = self.clock.now()
+        if time_scale is not None:
+            # Real clock: genuinely wait for a release() notification.
+            deadline = started + timeout
+            with self._condition:
+                while self._inflight >= self.limit.max_concurrent:
+                    remaining = deadline - self.clock.now()
+                    if remaining <= 0 or not self._condition.wait(
+                            timeout=remaining * time_scale):
+                        if self._inflight < self.limit.max_concurrent:
+                            break
+                        return self._timed_out(started)
+                self._admit_locked()
+            waited = self.clock.now() - started
+        else:
+            # Virtual clock: charge the whole queue window, then re-probe.
+            # Single-threaded simulations cannot release a permit while we
+            # "wait", so this deterministically models the worst case.
+            self.clock.charge(timeout)
+            with self._condition:
+                if self._inflight >= self.limit.max_concurrent:
+                    return self._timed_out(started)
+                self._admit_locked()
+            waited = timeout
+        self.stats.total_queue_wait += waited
+        if self._metric_wait is not None:
+            self._metric_wait.inc(waited, service=self.service)
+        return waited
+
+    def _timed_out(self, started: float) -> float:
+        waited = self.clock.now() - started
+        self.stats.total_queue_wait += waited
+        self.stats.shed_timeout += 1
+        if self._metric_wait is not None:
+            self._metric_wait.inc(waited, service=self.service)
+        if self._metric_shed is not None:
+            self._metric_shed.inc(service=self.service,
+                                  reason=REASON_QUEUE_TIMEOUT)
+        raise AdmissionRejectedError(self.service, REASON_QUEUE_TIMEOUT,
+                                     retry_after=self.limit.queue_timeout)
+
+    def _admit_locked(self) -> None:
+        """Caller holds the condition lock."""
+        self._inflight += 1
+        self.stats.admitted += 1
+        self.stats.peak_inflight = max(self.stats.peak_inflight, self._inflight)
+        if self._gauge_inflight is not None:
+            self._gauge_inflight.set(self._inflight, service=self.service)
+        if self._metric_admitted is not None:
+            self._metric_admitted.inc(service=self.service)
+
+    def release(self) -> None:
+        """Return a permit and wake one queued waiter."""
+        with self._condition:
+            if self._inflight <= 0:
+                raise RuntimeError(
+                    f"bulkhead for {self.service!r}: release without acquire")
+            self._inflight -= 1
+            if self._gauge_inflight is not None:
+                self._gauge_inflight.set(self._inflight, service=self.service)
+            self._condition.notify()
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Context-managed acquire/release pair."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
+
+
+class AdmissionController:
+    """Per-service bulkheads sharing one clock and default sizing.
+
+    Unconfigured services get ``default_limit`` (pass ``None`` to admit
+    them without any limit, mirroring :class:`ServiceRateLimiter`'s
+    opt-in behaviour).  :class:`repro.core.invoker.RichClient` consults
+    the controller on every remote call and releases the permit when
+    the wire call finishes, so the bulkhead bounds *concurrency*, not
+    call counts.
+    """
+
+    def __init__(self, clock: Clock,
+                 default_limit: AdmissionLimit | None = None,
+                 limits: Mapping[str, AdmissionLimit] | None = None) -> None:
+        self.clock = clock
+        self.default_limit = default_limit
+        self._limits = dict(limits or {})
+        self._bulkheads: dict[str, Bulkhead] = {}
+        self._metrics = None
+        self._lock = threading.Lock()
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror every bulkhead's accounting into ``registry``."""
+        self._metrics = registry
+        with self._lock:
+            for bulkhead in self._bulkheads.values():
+                bulkhead.bind_metrics(registry)
+
+    def configure(self, service: str, limit: AdmissionLimit) -> Bulkhead:
+        """Set one service's bulkhead sizing and return its bulkhead."""
+        with self._lock:
+            self._limits[service] = limit
+            self._bulkheads.pop(service, None)
+        return self.bulkhead_for(service)
+
+    def bulkhead_for(self, service: str) -> Bulkhead | None:
+        """The service's bulkhead, or None when it is unlimited."""
+        with self._lock:
+            bulkhead = self._bulkheads.get(service)
+            if bulkhead is not None:
+                return bulkhead
+            limit = self._limits.get(service, self.default_limit)
+            if limit is None:
+                return None
+            bulkhead = Bulkhead(self.clock, service, limit)
+            if self._metrics is not None:
+                bulkhead.bind_metrics(self._metrics)
+            self._bulkheads[service] = bulkhead
+            return bulkhead
+
+    def shed_total(self) -> int:
+        """Requests shed across every bulkhead so far."""
+        with self._lock:
+            return sum(bulkhead.stats.shed
+                       for bulkhead in self._bulkheads.values())

@@ -36,6 +36,7 @@ class EntityAggregate:
 
     @property
     def mean_sentiment(self) -> float | None:
+        """Average sentiment across mentions, or None with no scores."""
         if not self.sentiment_scores:
             return None
         return sum(self.sentiment_scores) / len(self.sentiment_scores)
@@ -130,6 +131,7 @@ class DocumentSetAggregator:
         return report
 
     def mean_document_sentiment(self) -> float | None:
+        """Average document-level sentiment, or None before any add()."""
         if not self._document_sentiments:
             return None
         return sum(self._document_sentiments) / len(self._document_sentiments)

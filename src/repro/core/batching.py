@@ -1,0 +1,409 @@
+"""Request coalescing and adaptive micro-batching for the SDK hot path.
+
+Two throughput levers for heavy-traffic clients, both built on the
+SDK's own :class:`ListenableFuture` machinery:
+
+* **Single-flight coalescing** (:class:`RequestCoalescer`) — when many
+  callers concurrently issue the *same* idempotent request, exactly one
+  upstream call is made; every other caller joins the in-flight
+  :class:`Flight` and receives the shared result (or the shared error)
+  when it lands.  This is the classic ``singleflight`` pattern: a cache
+  deduplicates *sequential* repeats, coalescing deduplicates
+  *concurrent* ones, and together a miss populates the cache exactly
+  once no matter how many callers raced on it.
+
+* **Adaptive micro-batching** (:class:`MicroBatcher`) — services that
+  declare batch support in the catalog (``batch_max_size`` on
+  :class:`repro.services.base.SimulatedService`) accept N requests in
+  one transport call.  The batcher holds a bounded window per
+  (service, operation): it flushes as soon as ``max_batch_size``
+  requests are queued, or when the window has been open longer than
+  ``max_wait`` *simulated* seconds.  The window is clock-driven —
+  deadlines are checked against the simulation clock on every submit
+  and on explicit :meth:`MicroBatcher.flush_due` ticks — so batching is
+  fully deterministic under simnet.
+
+Per-item results and errors are unpacked individually: one poisoned
+request fails only its own future, never the rest of the batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generic, TypeVar
+
+from repro.core.futures import ListenableFuture
+from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle (invoker imports us)
+    from repro.core.invoker import InvocationResult, RichClient
+
+T = TypeVar("T")
+
+
+class FlightCancelledError(ReproError):
+    """Every waiter abandoned a coalesced flight before it completed."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"coalesced flight {key!r} cancelled: all waiters left")
+        self.key = key
+
+
+class Flight(Generic[T]):
+    """One in-flight upstream call that any number of waiters may share.
+
+    The caller that created the flight (the *leader*) performs the real
+    work and settles the flight with :meth:`complete` or :meth:`fail`;
+    everyone else :meth:`join`\\ s and blocks on :meth:`result`.  A
+    waiter that gives up calls :meth:`abandon`; when the last waiter
+    abandons an unsettled flight it is **cancelled** — the future is
+    failed with :class:`FlightCancelledError` and a late
+    ``complete``/``fail`` from the leader becomes a no-op.
+    """
+
+    def __init__(self, key: str, on_cancel=None) -> None:
+        self.key = key
+        self.future: ListenableFuture[T] = ListenableFuture()
+        self.cancelled = False
+        self._waiters = 1  # the leader
+        self._on_cancel = on_cancel
+        self._lock = threading.Lock()
+
+    @property
+    def waiters(self) -> int:
+        """Callers (leader included) still interested in the result."""
+        with self._lock:
+            return self._waiters
+
+    def join(self) -> "Flight[T]":
+        """Register one more waiter on this flight; returns ``self``."""
+        with self._lock:
+            self._waiters += 1
+        return self
+
+    def abandon(self) -> bool:
+        """Drop one waiter; cancels the flight when the last one leaves.
+
+        Returns True when this call cancelled the flight.  Abandoning a
+        flight that already settled is a harmless no-op bookkeeping
+        decrement.
+        """
+        cancel = False
+        with self._lock:
+            self._waiters = max(0, self._waiters - 1)
+            if (self._waiters == 0 and not self.cancelled
+                    and not self.future.is_done()):
+                self.cancelled = True
+                cancel = True
+        if cancel:
+            self.future.set_exception(FlightCancelledError(self.key))
+            if self._on_cancel is not None:
+                self._on_cancel(self)
+        return cancel
+
+    def complete(self, value: T) -> bool:
+        """Settle the flight successfully; False if it was cancelled."""
+        with self._lock:
+            if self.cancelled or self.future.is_done():
+                return False
+        self.future.set_result(value)
+        return True
+
+    def fail(self, error: BaseException) -> bool:
+        """Settle the flight with an error; False if it was cancelled."""
+        with self._lock:
+            if self.cancelled or self.future.is_done():
+                return False
+        self.future.set_exception(error)
+        return True
+
+    def result(self, timeout: float | None = None) -> T:
+        """Block until the flight settles; raises its error if it failed."""
+        return self.future.get(timeout=timeout)
+
+
+@dataclass
+class CoalesceStats:
+    """Single-flight accounting (mirrored to metrics when bound)."""
+
+    flights: int = 0
+    coalesced: int = 0
+    cancelled: int = 0
+
+    @property
+    def upstream_saved(self) -> int:
+        """Wire calls avoided: one per coalesced waiter."""
+        return self.coalesced
+
+
+class RequestCoalescer:
+    """Single-flight table keyed by the full request.
+
+    ``lead_or_join(key)`` either installs a new :class:`Flight` (caller
+    becomes leader, performs the upstream call, then settles via
+    :meth:`complete`/:meth:`fail`) or joins the existing one.  The
+    table entry is removed when the flight settles or is cancelled, so
+    later identical requests start a fresh flight — coalescing only
+    ever shares *concurrent* duplicates, never stale results.
+
+    Thread-safe.  Note the thread-pool caveat: waiters block their
+    thread, so on a bounded pool at most ``max_workers - 1`` callers
+    should wait on one flight (the leader needs a thread to run on).
+    """
+
+    def __init__(self) -> None:
+        self.stats = CoalesceStats()
+        self._flights: dict[str, Flight] = {}
+        self._lock = threading.Lock()
+        # Pre-bound metric counters (bind_metrics); None = unmirrored.
+        self._metric_flights = None
+        self._metric_hits = None
+        self._metric_cancelled = None
+
+    def bind_metrics(self, registry) -> None:
+        """Mirror coalescing accounting into a MetricsRegistry.
+
+        Registers ``coalesce_flights_total`` (upstream calls led),
+        ``coalesce_hits_total`` (duplicate calls that shared a flight)
+        and ``coalesce_cancelled_total``.
+        """
+        self._metric_flights = registry.counter(
+            "coalesce_flights_total",
+            "Upstream flights led by the request coalescer.").bind()
+        self._metric_hits = registry.counter(
+            "coalesce_hits_total",
+            "Duplicate in-flight requests folded into a shared flight.").bind()
+        self._metric_cancelled = registry.counter(
+            "coalesce_cancelled_total",
+            "Coalesced flights cancelled because every waiter left.").bind()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def lead_or_join(self, key: str) -> tuple[bool, Flight]:
+        """Install a new flight for ``key``, or join the in-flight one.
+
+        Returns ``(is_leader, flight)``.  The leader **must** settle the
+        flight (:meth:`complete` / :meth:`fail`) exactly once.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.join()
+                self.stats.coalesced += 1
+                if self._metric_hits is not None:
+                    self._metric_hits.inc()
+                return False, flight
+            flight = Flight(key, on_cancel=self._discard)
+            self._flights[key] = flight
+            self.stats.flights += 1
+            if self._metric_flights is not None:
+                self._metric_flights.inc()
+            return True, flight
+
+    def complete(self, flight: Flight, value) -> None:
+        """Leader callback: publish the result to every waiter."""
+        self._discard(flight)
+        flight.complete(value)
+
+    def fail(self, flight: Flight, error: BaseException) -> None:
+        """Leader callback: share the upstream error with every waiter."""
+        self._discard(flight)
+        flight.fail(error)
+
+    def count_folded(self, amount: int = 1) -> None:
+        """Account duplicates folded outside the flight table.
+
+        :meth:`RichClient.invoke_many` deduplicates identical payloads
+        *within* a batch; those shares are coalesce hits too, and this
+        keeps them on the same counter the acceptance criteria watch.
+        """
+        if amount > 0:
+            self.stats.coalesced += amount
+            if self._metric_hits is not None:
+                self._metric_hits.inc(amount)
+
+    def _discard(self, flight: Flight) -> None:
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+        if flight.cancelled:
+            self.stats.cancelled += 1
+            if self._metric_cancelled is not None:
+                self._metric_cancelled.inc()
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BatchStats:
+    """What the batcher packed and flushed."""
+
+    submitted: int = 0
+    flushes: int = 0
+    empty_flushes: int = 0
+    items_flushed: int = 0
+    max_batch: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average items per non-empty flush."""
+        return self.items_flushed / self.flushes if self.flushes else 0.0
+
+
+@dataclass
+class _Window:
+    """One (service, operation) batch window awaiting flush."""
+
+    service: str
+    operation: str
+    #: Absolute flush deadline (opened_at + max_wait, computed once so a
+    #: manual clock advanced by exactly max_wait compares equal bit-for-bit;
+    #: ``now - opened_at >= max_wait`` loses that to float rounding).
+    deadline: float
+    items: list[tuple[dict, ListenableFuture]] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Bounded-window batcher over a :class:`RichClient`.
+
+    :meth:`submit` enqueues a request and returns a
+    :class:`ListenableFuture` for its individual result.  A window
+    flushes synchronously on the submitting caller's thread as soon as
+    it holds ``max_batch_size`` items, or on the first submit/tick after
+    it has been open ``max_wait`` simulated seconds — there is no
+    background thread, which keeps the batcher deterministic under the
+    simulated clock.  Call :meth:`flush_due` from an event loop (or
+    :meth:`flush_all` at the end of a burst) to drain stragglers.
+
+    Flushing delegates to :meth:`RichClient.invoke_batched`, which packs
+    the window into one batch transport call, charges admission control
+    once per batch, records per-item monitor entries and populates the
+    cache for each item.
+    """
+
+    def __init__(self, client: "RichClient", max_batch_size: int | None = None,
+                 max_wait: float = 0.05) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.client = client
+        self.max_batch_size = max_batch_size
+        self.max_wait = max_wait
+        self.stats = BatchStats()
+        self._windows: dict[tuple[str, str], _Window] = {}
+        self._lock = threading.Lock()
+
+    def _limit_for(self, service_name: str) -> int:
+        service = self.client.registry.get(service_name)
+        declared = service.batch_max_size
+        if declared is None:
+            raise ValueError(
+                f"service {service_name!r} does not declare batch support")
+        if self.max_batch_size is None:
+            return declared
+        return min(declared, self.max_batch_size)
+
+    def submit(self, service_name: str, operation: str,
+               payload: dict | None = None,
+               use_cache: bool = True) -> "ListenableFuture[InvocationResult]":
+        """Queue one request; returns the future for its own result.
+
+        Cache hits resolve immediately without entering a window.  A
+        full window flushes before this method returns; an expired
+        window (older than ``max_wait``) flushes together with the new
+        item.  Raises ``ValueError`` when the service does not declare
+        batch support in the catalog.
+        """
+        payload = dict(payload or {})
+        limit = self._limit_for(service_name)
+        cached = self.client.cached_result(service_name, operation, payload,
+                                           use_cache=use_cache)
+        if cached is not None:
+            return ListenableFuture.completed(cached)
+        future: ListenableFuture = ListenableFuture()
+        now = self.client.clock.now()
+        flush_window = None
+        with self._lock:
+            window = self._windows.get((service_name, operation))
+            if window is None:
+                window = _Window(service_name, operation,
+                                 deadline=now + self.max_wait)
+                self._windows[(service_name, operation)] = window
+            window.items.append((payload, future))
+            self.stats.submitted += 1
+            if len(window.items) >= limit:
+                flush_window = self._take_locked(window)
+                self.stats.size_flushes += 1
+            elif now >= window.deadline:
+                flush_window = self._take_locked(window)
+                self.stats.deadline_flushes += 1
+        if flush_window is not None:
+            self._flush_window(flush_window, use_cache=use_cache)
+        return future
+
+    def flush_due(self) -> int:
+        """Flush every window older than ``max_wait``; returns items sent.
+
+        This is the clock-driven tick: deterministic under a manual
+        clock (compare ``clock.now()`` against each window's open time),
+        and cheap to call from a polling loop under a real clock.
+        """
+        now = self.client.clock.now()
+        due: list[_Window] = []
+        with self._lock:
+            for window in list(self._windows.values()):
+                if now >= window.deadline:
+                    due.append(self._take_locked(window))
+                    self.stats.deadline_flushes += 1
+        return sum(self._flush_window(window) for window in due)
+
+    def flush_all(self) -> int:
+        """Flush every open window regardless of age; returns items sent.
+
+        Flushing with nothing queued is a counted no-op (the "empty
+        flush window" case): no transport call is made.
+        """
+        with self._lock:
+            taken = [self._take_locked(window)
+                     for window in list(self._windows.values())]
+        if not taken:
+            self.stats.empty_flushes += 1
+            return 0
+        return sum(self._flush_window(window) for window in taken)
+
+    def pending(self) -> int:
+        """Items currently queued across all open windows."""
+        with self._lock:
+            return sum(len(window.items) for window in self._windows.values())
+
+    def _take_locked(self, window: _Window) -> _Window:
+        """Caller holds the lock: detach a window for flushing."""
+        del self._windows[(window.service, window.operation)]
+        return window
+
+    def _flush_window(self, window: _Window, use_cache: bool = True) -> int:
+        """Send one detached window as a single batch transport call."""
+        if not window.items:
+            self.stats.empty_flushes += 1
+            return 0
+        payloads = [payload for payload, _ in window.items]
+        outcomes = self.client.invoke_batched(
+            window.service, window.operation, payloads, use_cache=use_cache)
+        self.stats.flushes += 1
+        self.stats.items_flushed += len(window.items)
+        self.stats.max_batch = max(self.stats.max_batch, len(window.items))
+        for (_, future), outcome in zip(window.items, outcomes):
+            if isinstance(outcome, BaseException):
+                future.set_exception(outcome)
+            else:
+                future.set_result(outcome)
+        return len(window.items)

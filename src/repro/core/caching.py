@@ -43,17 +43,41 @@ _SENTINEL = object()
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting (the caching benchmarks report these)."""
+    """Hit/miss accounting (the caching benchmarks report these).
+
+    The removal counters are disjoint and precise:
+
+    * ``evictions`` — entries pushed out by LRU **capacity pressure**
+      only (on :meth:`ServiceCache.put` or when :meth:`~ServiceCache.load_from`
+      overfills the cache).  TTL plays no part in this number.
+    * ``expirations`` — entries dropped because their **TTL passed**,
+      wherever that is detected (currently on read; see
+      ``expired_reads``).
+    * ``expired_reads`` — the subset of ``expirations`` discovered by a
+      read probe: :meth:`~ServiceCache.get` found the key but the entry
+      was stale, so the probe *also* counts as a miss.  Earlier
+      versions folded these into ``evictions``/``expirations``
+      interchangeably in the docs; they are distinct events and are
+      now counted separately.
+    * ``invalidations`` — entries dropped explicitly
+      (:meth:`~ServiceCache.invalidate` / consistency-driven
+      :meth:`~ServiceCache.invalidate_service`).
+
+    ``hits + misses`` equals the number of :meth:`~ServiceCache.get`
+    probes; :meth:`~ServiceCache.peek` and ``in`` checks touch neither.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     evictions: int = 0
     expirations: int = 0
+    expired_reads: int = 0
     invalidations: int = 0
 
     @property
     def hit_ratio(self) -> float:
+        """hits / (hits + misses), 0.0 before any probe."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -117,7 +141,10 @@ class ServiceCache:
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return self.get(key, default=None) is not None or key in self._entries
+        """Live-entry membership; stat-free (an earlier version routed
+        through :meth:`get`, inflating hit/miss counts on every ``in``
+        check)."""
+        return self.peek(key) is not None or key in self._entries
 
     def _now(self) -> float:
         return self.clock.now() if self.clock is not None else 0.0
@@ -133,6 +160,7 @@ class ServiceCache:
             if self._expired(stored_at):
                 del self._entries[key]
                 self.stats.expirations += 1
+                self.stats.expired_reads += 1
                 if self._metric_expirations is not None:
                     self._metric_expirations.inc()
             else:
@@ -189,6 +217,7 @@ class ServiceCache:
         return len(doomed)
 
     def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
         self._entries.clear()
 
     # -- persistence -------------------------------------------------------
@@ -216,4 +245,6 @@ class ServiceCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self._metric_evictions is not None:
+                self._metric_evictions.inc()
         return loaded

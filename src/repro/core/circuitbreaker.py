@@ -27,6 +27,7 @@ T = TypeVar("T")
 
 
 class CircuitState(Enum):
+    """The classic three breaker states."""
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half-open"
@@ -45,6 +46,7 @@ class CircuitOpenError(ReproError):
 
 @dataclass
 class BreakerStats:
+    """Counters for one breaker: allowed/rejected calls, opens, closes."""
     calls_allowed: int = 0
     calls_rejected: int = 0
     opens: int = 0
@@ -72,6 +74,7 @@ class CircuitBreaker:
 
     @property
     def state(self) -> CircuitState:
+        """Current state; an expired cooldown lazily moves OPEN to HALF_OPEN."""
         if (self._state is CircuitState.OPEN
                 and self.clock.now() - self._opened_at >= self.cooldown):
             self._state = CircuitState.HALF_OPEN
@@ -89,12 +92,14 @@ class CircuitBreaker:
         return True
 
     def record_success(self) -> None:
+        """Note a success: closes the circuit and resets the failure run."""
         if self._state in (CircuitState.HALF_OPEN, CircuitState.OPEN):
             self.stats.closes += 1
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
 
     def record_failure(self) -> None:
+        """Note a failure: trips on a failed probe or a full failure run."""
         self._consecutive_failures += 1
         if self._state is CircuitState.HALF_OPEN:
             self._trip()  # the probe failed: straight back to open
@@ -135,6 +140,7 @@ class CircuitBreakerRegistry:
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def breaker(self, service: str) -> CircuitBreaker:
+        """This service's breaker, created on first use (with overrides)."""
         if service not in self._breakers:
             threshold, cooldown = self.overrides.get(
                 service, (self.failure_threshold, self.cooldown))
@@ -143,8 +149,10 @@ class CircuitBreakerRegistry:
         return self._breakers[service]
 
     def call(self, service: str, function: Callable[[], T]) -> T:
+        """Run ``function`` through this service's breaker."""
         return self.breaker(service).call(function)
 
     def open_circuits(self) -> list[str]:
+        """Names of services whose circuit is currently open."""
         return [name for name, breaker in self._breakers.items()
                 if breaker.state is CircuitState.OPEN]

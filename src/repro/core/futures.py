@@ -43,10 +43,12 @@ class ListenableFuture(Generic[T]):
     # -- producer side -----------------------------------------------------
 
     def set_result(self, value: T) -> None:
+        """Settle the future with a value and fire listeners."""
         self._future.set_result(value)
         self._fire()
 
     def set_exception(self, error: BaseException) -> None:
+        """Settle the future with an error and fire listeners."""
         self._future.set_exception(error)
         self._fire()
 
@@ -153,6 +155,7 @@ class CallbackExecutor:
         return [self.submit(function, item) for item in items]
 
     def shutdown(self, wait: bool = True) -> None:
+        """Shut the pool down (optionally waiting for queued work)."""
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "CallbackExecutor":

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 from collections.abc import Mapping
 
+from repro.core.admission import AdmissionRejectedError
 from repro.core.circuitbreaker import CircuitOpenError
 from repro.core.invoker import RichClient
 from repro.core.quota import BudgetExceededError
@@ -45,10 +46,11 @@ def _status_for(error: Exception) -> int:
     if isinstance(error, NotFoundError):
         return 404
     # 429-family: the caller should back off and retry, not report a
-    # server failure.  Rate limits and open circuits carry a concrete
-    # "when" that handle() surfaces as a retry_after hint.
+    # server failure.  Rate limits, open circuits and shed admissions
+    # carry a concrete "when" that handle() surfaces as a retry_after
+    # hint.
     if isinstance(error, (BudgetExceededError, RateLimitExceededError,
-                          CircuitOpenError)):
+                          CircuitOpenError, AdmissionRejectedError)):
         return 429
     if isinstance(error, ServiceTimeoutError):
         return 504
@@ -64,7 +66,7 @@ def _status_for(error: Exception) -> int:
 class SdkGateway:
     """Dispatches JSON envelopes onto a :class:`RichClient`.
 
-    Methods: ``invoke``, ``invoke_failover``, ``rank_services``,
+    Methods: ``invoke``, ``invoke_many``, ``invoke_failover``, ``rank_services``,
     ``best_service``, ``service_summaries``, ``cache_stats``, ``spend``,
     ``metrics``, ``traces``, ``attribution`` and ``health``.
     """
@@ -107,6 +109,8 @@ class SdkGateway:
             return max(0.0, error.wait_needed)
         if isinstance(error, CircuitOpenError):
             return max(0.0, error.retry_at - self.client.clock.now())
+        if isinstance(error, AdmissionRejectedError):
+            return max(0.0, error.retry_after)
         return None
 
     def handle_json(self, request_text: str) -> str:
@@ -158,6 +162,38 @@ class SdkGateway:
             "cached": result.cached,
         }
 
+    def _method_invoke_many(self, params: Mapping[str, object]) -> dict:
+        """Batch entry point: one envelope, many payloads, per-item results."""
+        payloads = params.get("payloads")
+        if not isinstance(payloads, list):
+            raise ValueError("'payloads' must be a list of objects")
+        outcomes = self.client.invoke_many(
+            str(params["service"]),
+            str(params["operation"]),
+            [dict(payload) for payload in payloads],
+            timeout=params.get("timeout"),
+            use_cache=bool(params.get("use_cache", True)),
+        )
+        items = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                items.append({
+                    "status": _status_for(outcome),
+                    "error": str(outcome),
+                    "error_type": type(outcome).__name__,
+                })
+            else:
+                items.append({
+                    "status": 200,
+                    "value": outcome.value,
+                    "latency": outcome.latency,
+                    "cost": outcome.cost,
+                    "cached": outcome.cached,
+                    "coalesced": outcome.coalesced,
+                    "batched": outcome.batched,
+                })
+        return {"results": items}
+
     def _method_invoke_failover(self, params: Mapping[str, object]) -> dict:
         result = self.client.invoke_with_failover(
             str(params["kind"]),
@@ -204,6 +240,9 @@ class SdkGateway:
             "hits": stats.hits,
             "misses": stats.misses,
             "hit_ratio": stats.hit_ratio,
+            "evictions": stats.evictions,
+            "expirations": stats.expirations,
+            "expired_reads": stats.expired_reads,
             "entries": len(self.client.cache),
         }
 

@@ -35,11 +35,20 @@ class HedgeStats:
 
     @property
     def hedge_rate(self) -> float:
+        """Fraction of hedged requests whose backup actually fired."""
         return self.hedges_fired / self.requests if self.requests else 0.0
 
 
 class HedgedInvoker:
-    """Race a backup service against a slow primary."""
+    """Race a backup call against a slow primary.
+
+    The primary leg goes through the normal :meth:`RichClient.invoke`
+    path (cache, coalescing, admission); the backup leg is fired with
+    ``coalesce=False`` so it never joins an in-flight identical call —
+    a hedge that waits behind the request it is hedging would be
+    useless.  Mirrors its fire/win counters to the client's metrics
+    registry when observability is enabled.
+    """
 
     def __init__(
         self,
@@ -174,8 +183,13 @@ class HedgedInvoker:
             self.stats.hedges_fired += 1
             if self._metric_fired is not None:
                 self._metric_fired.inc()
+            # The backup must be an independent upstream probe: if it
+            # coalesced onto an already-slow in-flight identical call
+            # it would just wait behind the same laggard it is meant to
+            # outrun.
             backup_future = self.client.invoke_async(
-                backup, operation, payload, use_cache=use_cache)
+                backup, operation, payload, use_cache=use_cache,
+                coalesce=False)
             backup_future.add_listener(record("backup"))
             first_done.wait()
 

@@ -52,6 +52,7 @@ class ImageSearchAnalyzer:
         return hits
 
     def stored_image(self, image_id: str) -> dict | None:
+        """An archived image record by id, or None."""
         value = self.store.get(f"img::{image_id}", default=None)
         return value if isinstance(value, dict) else None
 

@@ -15,8 +15,10 @@ paper's features in one coherent client:
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.core.admission import AdmissionController
+from repro.core.batching import MicroBatcher, RequestCoalescer
 from repro.core.caching import DEFAULT_CACHEABLE_OPERATIONS, ServiceCache, cache_key
 from repro.core.futures import CallbackExecutor, ListenableFuture
 from repro.core.latency import LatencyPredictor
@@ -35,7 +37,15 @@ QualityRater = Callable[[object], float]
 
 @dataclass(frozen=True)
 class InvocationResult:
-    """What the client hands back for one logical invocation."""
+    """What the client hands back for one logical invocation.
+
+    ``cached`` marks a local cache hit (zero latency, zero cost);
+    ``coalesced`` marks a result shared from another caller's in-flight
+    upstream call (the leader paid the cost, so this result reports
+    cost 0); ``batched`` marks an item served by a batched transport
+    call, whose ``latency`` is the whole batch's round-trip time (that
+    is what this caller actually waited).
+    """
 
     value: object
     latency: float
@@ -44,6 +54,8 @@ class InvocationResult:
     operation: str
     cached: bool = False
     attempts: tuple[AttemptLog, ...] = ()
+    coalesced: bool = False
+    batched: bool = False
 
 
 class RichClient:
@@ -51,8 +63,11 @@ class RichClient:
 
     All collaborators are injectable; by default the client builds its
     own monitor, predictor, ranker, cache (1024 entries, no TTL),
-    failover invoker and thread pool, sharing the registry's simulated
-    clock throughout.
+    failover invoker, single-flight request coalescer and thread pool,
+    sharing the registry's simulated clock throughout.  Admission
+    control (per-service bulkheads) is opt-in: pass an
+    :class:`AdmissionController` to bound per-service concurrency and
+    shed overload with 429-style fast failures.
     """
 
     def __init__(
@@ -69,7 +84,33 @@ class RichClient:
         quality_raters: Mapping[str, QualityRater] | None = None,
         obs: Observability | None = None,
         rate_limiter: ServiceRateLimiter | None = None,
+        coalescer: RequestCoalescer | None = None,
+        admission: AdmissionController | None = None,
+        coalesce_identical: bool = True,
     ) -> None:
+        """Build the client around ``registry``.
+
+        Args:
+            registry: the services this client can reach.
+            monitor/cache/predictor/ranker/failover/quota/executor:
+                optional collaborator overrides; defaults are built
+                around the registry's clock.
+            cacheable_operations: operations safe to serve from cache
+                (and to coalesce — both require idempotent reads).
+            quality_raters: per-operation response quality functions.
+            obs: observability bundle; ``Observability.disabled()``
+                yields a zero-telemetry client.
+            rate_limiter: proactive client-side token buckets (None =
+                unlimited); invoke raises RateLimitExceededError
+                instead of tripping the server.
+            coalescer: single-flight table sharing concurrent identical
+                requests; a default one is created unless
+                ``coalesce_identical`` is False.
+            admission: per-service bulkheads; None = no admission
+                control.
+            coalesce_identical: set False to disable coalescing without
+                supplying a coalescer.
+        """
         self.registry = registry
         self.clock = self._registry_clock(registry)
         self.obs = obs if obs is not None else Observability(clock=self.clock)
@@ -92,6 +133,14 @@ class RichClient:
         # Proactive client-side rate limiting (None = unlimited): invoke
         # raises RateLimitExceededError instead of tripping the server.
         self.rate_limiter = rate_limiter
+        if coalescer is None and coalesce_identical:
+            coalescer = RequestCoalescer()
+        self.coalescer = coalescer
+        self.admission = admission
+        # Batch metrics, bound lazily in _wire_observability.
+        self._metric_batch_flushes = None
+        self._metric_batch_items = None
+        self._metric_batch_size = None
         if self.obs.enabled:
             self._wire_observability()
 
@@ -100,12 +149,25 @@ class RichClient:
 
         The monitor's ``record`` is the metrics choke point, the cache
         mirrors its hit/miss stats, the failover invoker emits attempt
-        spans, and each (typically shared) transport reports wire spans
-        to whichever client bound it first.
+        spans, the coalescer/admission controller mirror their shed and
+        share counters, and each (typically shared) transport reports
+        wire spans to whichever client bound it first.
         """
         self.monitor.bind_metrics(self.obs.metrics)
         self.cache.bind_metrics(self.obs.metrics)
         self.failover.bind_obs(self.obs)
+        if self.coalescer is not None:
+            self.coalescer.bind_metrics(self.obs.metrics)
+        if self.admission is not None:
+            self.admission.bind_metrics(self.obs.metrics)
+        metrics = self.obs.metrics
+        self._metric_batch_flushes = metrics.counter(
+            "batch_flushes_total", "Batched transport calls sent.").bind()
+        self._metric_batch_items = metrics.counter(
+            "batch_items_total", "Requests shipped inside batched calls.").bind()
+        self._metric_batch_size = metrics.histogram(
+            "batch_size", "Items per batched transport call.",
+            low=0.0, high=64.0, bins=16)
         seen = set()
         for service in self.registry:
             transport = service.transport
@@ -123,6 +185,60 @@ class RichClient:
 
     # -- core invocation -------------------------------------------------------
 
+    def cached_result(
+        self,
+        service_name: str,
+        operation: str,
+        payload: Mapping[str, object],
+        use_cache: bool = True,
+    ) -> InvocationResult | None:
+        """Serve one request from the local cache, or return None.
+
+        A hit costs no latency, no money and no quota; it is counted in
+        the cache metrics and recorded in the monitor (as a cached,
+        zero-latency success).  A hit only produces a zero-duration
+        span when an enclosing trace is active, keeping the fast path
+        cheap.  Used by :meth:`invoke`, :meth:`invoke_many` and the
+        :class:`MicroBatcher` so every entry point shares one probe
+        path.
+        """
+        if not use_cache or operation not in self.cacheable_operations:
+            return None
+        key = cache_key(service_name, operation, dict(payload))
+        hit = self.cache.get(key)
+        if hit is None:
+            return None
+        tracer = self.obs.tracer
+        now = self.clock.now()
+        trace_id = None
+        if tracer.enabled and tracer.current_span() is not None:
+            span = tracer.instant_span(
+                "sdk.invoke",
+                {"service": service_name, "operation": operation,
+                 "cached": True, "obs.category": "cache"},
+                timestamp=now)
+            trace_id = span.trace_id
+        self.monitor.record(
+            InvocationRecord(
+                service=service_name,
+                operation=operation,
+                timestamp=now,
+                latency=0.0,
+                cost=0.0,
+                success=True,
+                cached=True,
+                trace_id=trace_id,
+            )
+        )
+        return InvocationResult(
+            value=hit,
+            latency=0.0,
+            cost=0.0,
+            service=service_name,
+            operation=operation,
+            cached=True,
+        )
+
     def invoke(
         self,
         service_name: str,
@@ -131,66 +247,96 @@ class RichClient:
         timeout: float | None = None,
         use_cache: bool = True,
         quality_rater: QualityRater | None = None,
+        coalesce: bool = True,
     ) -> InvocationResult:
         """Invoke one service synchronously.
 
         Serves cacheable operations from the local cache when possible
-        (a hit costs no latency, no money and no quota).  Successful
-        remote calls are recorded in the monitor together with their
-        latency parameters; failures are recorded and re-raised.
+        (a hit costs no latency, no money and no quota).  On a miss,
+        concurrent identical requests are **coalesced**: the first
+        caller leads one upstream call, every other caller blocks on
+        the shared flight and receives the same result (or the same
+        error) with ``coalesced=True`` and cost 0 — the cache is
+        populated exactly once.  Pass ``coalesce=False`` to force an
+        independent upstream call (the hedged invoker does this for its
+        backup leg, which must not wait behind the primary's flight).
+        Successful remote calls are recorded in the monitor together
+        with their latency parameters; failures are recorded and
+        re-raised.
 
         Every remote call runs inside an ``sdk.invoke`` span (nesting
         under whatever span is current, e.g. a failover attempt), and
-        the resulting monitor record carries the trace id.  Cache hits
-        are counted in the metrics and monitor; they only produce a
-        zero-duration span when an enclosing trace is active, keeping
-        the hit fast path cheap.
+        the resulting monitor record carries the trace id.
+
+        Raises whatever the remote call raises, plus
+        :class:`~repro.core.quota.BudgetExceededError` /
+        :class:`~repro.core.ratelimit.RateLimitExceededError` /
+        :class:`~repro.core.admission.AdmissionRejectedError` from the
+        client-side protections, in that order.
         """
         payload = dict(payload or {})
         service = self.registry.get(service_name)
+        hit = self.cached_result(service_name, operation, payload, use_cache)
+        if hit is not None:
+            return hit
+
         cacheable = use_cache and operation in self.cacheable_operations
         key = cache_key(service_name, operation, payload) if cacheable else None
+
+        flight = None
+        if self.coalescer is not None and coalesce and key is not None:
+            leader, flight = self.coalescer.lead_or_join(key)
+            if not leader:
+                # Follower: the leader pays the wire call, the quota and
+                # the monitor record; we report the shared outcome.
+                shared = flight.result(timeout=self._real_timeout(timeout))
+                return replace(shared, coalesced=True, cost=0.0)
+        try:
+            result = self._invoke_remote(
+                service, service_name, operation, payload, timeout,
+                key, quality_rater)
+        except Exception as error:
+            if flight is not None:
+                self.coalescer.fail(flight, error)
+            raise
+        if flight is not None:
+            self.coalescer.complete(flight, result)
+        return result
+
+    def _real_timeout(self, timeout: float | None) -> float | None:
+        """Simulated timeout -> wall seconds for blocking waits."""
+        if timeout is None:
+            return None
+        return timeout * getattr(self.clock, "time_scale", 1.0)
+
+    def _invoke_remote(
+        self,
+        service,
+        service_name: str,
+        operation: str,
+        payload: dict,
+        timeout: float | None,
+        key: str | None,
+        quality_rater: QualityRater | None,
+    ) -> InvocationResult:
+        """One real upstream call: protections, span, monitor, cache.
+
+        The client-side protections run in order: budget check, rate
+        limiter, then admission control — the bulkhead permit is held
+        for exactly the duration of the wire call, so it bounds
+        concurrency rather than call counts.
+        """
         tracer = self.obs.tracer
-
-        if key is not None:
-            hit = self.cache.get(key)
-            if hit is not None:
-                now = self.clock.now()
-                trace_id = None
-                if tracer.enabled and tracer.current_span() is not None:
-                    span = tracer.instant_span(
-                        "sdk.invoke",
-                        {"service": service_name, "operation": operation,
-                         "cached": True, "obs.category": "cache"},
-                        timestamp=now)
-                    trace_id = span.trace_id
-                self.monitor.record(
-                    InvocationRecord(
-                        service=service_name,
-                        operation=operation,
-                        timestamp=now,
-                        latency=0.0,
-                        cost=0.0,
-                        success=True,
-                        cached=True,
-                        trace_id=trace_id,
-                    )
-                )
-                return InvocationResult(
-                    value=hit,
-                    latency=0.0,
-                    cost=0.0,
-                    service=service_name,
-                    operation=operation,
-                    cached=True,
-                )
-
         with tracer.span("sdk.invoke",
                          {"service": service_name, "operation": operation}) as span:
             trace_id = span.trace_id
             self.quota.check(service_name)
             if self.rate_limiter is not None:
                 self.rate_limiter.acquire_or_raise(service_name)
+            bulkhead = (self.admission.bulkhead_for(service_name)
+                        if self.admission is not None else None)
+            if bulkhead is not None:
+                bulkhead.acquire()
             params = service.latency_params(ServiceRequest(operation, payload))
             rater = quality_rater or self.quality_raters.get(operation)
             try:
@@ -210,6 +356,9 @@ class RichClient:
                     )
                 )
                 raise
+            finally:
+                if bulkhead is not None:
+                    bulkhead.release()
 
             quality = rater(response.value) if rater is not None else None
             self.quota.record(service_name, response.cost)
@@ -251,17 +400,203 @@ class RichClient:
         payload: Mapping[str, object] | None = None,
         timeout: float | None = None,
         use_cache: bool = True,
+        coalesce: bool = True,
     ) -> ListenableFuture[InvocationResult]:
         """Invoke on the thread pool; returns a listenable future.
 
         Register callbacks with ``future.add_listener`` — e.g. the
         paper's example of being notified when a cloud-database store
-        completes without blocking the application.
+        completes without blocking the application.  ``coalesce=False``
+        forces an independent upstream call even when an identical
+        request is already in flight (hedging relies on this).
         """
         return self.executor.submit(
             self.invoke, service_name, operation, payload,
-            timeout=timeout, use_cache=use_cache,
+            timeout=timeout, use_cache=use_cache, coalesce=coalesce,
         )
+
+    # -- batched invocation ------------------------------------------------------
+
+    def invoke_batched(
+        self,
+        service_name: str,
+        operation: str,
+        payloads: Sequence[Mapping[str, object]],
+        timeout: float | None = None,
+        use_cache: bool = True,
+    ) -> list[InvocationResult | Exception]:
+        """Ship ``payloads`` to the service's batch endpoint in ONE call.
+
+        The whole batch pays one wire round trip, one quota check, one
+        rate-limiter token and holds one bulkhead permit; the service
+        executes the items vectorized (compute latency is the max of
+        the per-item samples, not their sum).  Per-item outcomes come
+        back in input order — a failed item is returned as its
+        exception, isolated from its batch-mates.  Each successful item
+        is recorded in the monitor, charged to the quota tracker and
+        written to the cache individually.
+
+        Raises ``ValueError`` when the service declares no batch
+        support (see ``batch_max_size`` in the catalog) or the batch
+        exceeds its declared limit; transport-level failures (offline,
+        timeout) raise for the whole batch, because the single wire
+        call failed for every item.
+        """
+        payloads = [dict(payload) for payload in payloads]
+        if not payloads:
+            return []
+        service = self.registry.get(service_name)
+        tracer = self.obs.tracer
+        with tracer.span("sdk.invoke_batch",
+                         {"service": service_name, "operation": operation,
+                          "batch_size": len(payloads),
+                          "obs.category": "batch"}) as span:
+            trace_id = span.trace_id
+            self.quota.check(service_name)
+            if self.rate_limiter is not None:
+                self.rate_limiter.acquire_or_raise(service_name)
+            bulkhead = (self.admission.bulkhead_for(service_name)
+                        if self.admission is not None else None)
+            if bulkhead is not None:
+                bulkhead.acquire()
+            try:
+                responses = service.invoke_batch(operation, payloads,
+                                                 timeout=timeout)
+            finally:
+                if bulkhead is not None:
+                    bulkhead.release()
+            if self._metric_batch_flushes is not None:
+                self._metric_batch_flushes.inc()
+                self._metric_batch_items.inc(len(payloads))
+                self._metric_batch_size.observe(float(len(payloads)))
+            now = self.clock.now()
+            cacheable = use_cache and operation in self.cacheable_operations
+            batch_latency = 0.0
+            outcomes: list[InvocationResult | Exception] = []
+            for payload, response in zip(payloads, responses):
+                if isinstance(response, Exception):
+                    self.monitor.record(
+                        InvocationRecord(
+                            service=service_name,
+                            operation=operation,
+                            timestamp=now,
+                            latency=None,
+                            cost=0.0,
+                            success=False,
+                            error=repr(response),
+                            trace_id=trace_id,
+                        )
+                    )
+                    outcomes.append(response)
+                    continue
+                batch_latency = response.latency
+                self.quota.record(service_name, response.cost)
+                self.monitor.record(
+                    InvocationRecord(
+                        service=service_name,
+                        operation=operation,
+                        timestamp=now,
+                        latency=response.latency,
+                        cost=response.cost,
+                        success=True,
+                        trace_id=trace_id,
+                    )
+                )
+                if cacheable:
+                    self.cache.put(
+                        cache_key(service_name, operation, payload),
+                        response.value)
+                outcomes.append(InvocationResult(
+                    value=response.value,
+                    latency=response.latency,
+                    cost=response.cost,
+                    service=service_name,
+                    operation=operation,
+                    batched=True,
+                ))
+            span.set_attribute("latency", batch_latency)
+            return outcomes
+
+    def invoke_many(
+        self,
+        service_name: str,
+        operation: str,
+        payloads: Sequence[Mapping[str, object]],
+        timeout: float | None = None,
+        use_cache: bool = True,
+    ) -> list[InvocationResult | Exception]:
+        """Run one operation over many payloads as efficiently as possible.
+
+        The burst-shaped front door: serves cache hits first, folds
+        identical payloads within the burst into one upstream item
+        (counted as coalesce hits), then ships the remaining unique
+        payloads through the batch endpoint in ``batch_max_size``
+        chunks — or falls back to sequential :meth:`invoke` calls when
+        the service declares no batch support.  Results come back in
+        input order; folded duplicates share the leader's result with
+        ``coalesced=True`` and cost 0.  Per-item failures are returned
+        as exceptions rather than raised.
+        """
+        payloads = [dict(payload) for payload in payloads]
+        service = self.registry.get(service_name)
+        results: list[InvocationResult | Exception | None] = [None] * len(payloads)
+
+        remaining: list[int] = []
+        for index, payload in enumerate(payloads):
+            hit = self.cached_result(service_name, operation, payload, use_cache)
+            if hit is not None:
+                results[index] = hit
+            else:
+                remaining.append(index)
+
+        # In-batch dedup: identical payloads ride one upstream item.
+        groups: dict[str, list[int]] = {}
+        for index in remaining:
+            key = cache_key(service_name, operation, payloads[index])
+            groups.setdefault(key, []).append(index)
+        folded = len(remaining) - len(groups)
+        if folded and self.coalescer is not None:
+            self.coalescer.count_folded(folded)
+        leaders = [indices[0] for indices in groups.values()]
+
+        if service.supports_batching and leaders:
+            limit = service.batch_max_size
+            for start in range(0, len(leaders), limit):
+                chunk = leaders[start:start + limit]
+                outcomes = self.invoke_batched(
+                    service_name, operation,
+                    [payloads[index] for index in chunk],
+                    timeout=timeout, use_cache=use_cache)
+                for index, outcome in zip(chunk, outcomes):
+                    results[index] = outcome
+        else:
+            for index in leaders:
+                try:
+                    results[index] = self.invoke(
+                        service_name, operation, payloads[index],
+                        timeout=timeout, use_cache=use_cache)
+                except Exception as error:
+                    results[index] = error
+
+        for indices in groups.values():
+            shared = results[indices[0]]
+            for index in indices[1:]:
+                if isinstance(shared, InvocationResult):
+                    results[index] = replace(shared, coalesced=True, cost=0.0)
+                else:
+                    results[index] = shared
+        return results
+
+    def batcher(self, max_batch_size: int | None = None,
+                max_wait: float = 0.05) -> MicroBatcher:
+        """A :class:`MicroBatcher` bound to this client.
+
+        ``max_batch_size`` caps windows below the service's declared
+        limit (None = use the catalog's ``batch_max_size`` as-is);
+        ``max_wait`` is the bounded window in simulated seconds.
+        """
+        return MicroBatcher(self, max_batch_size=max_batch_size,
+                            max_wait=max_wait)
 
     def invoke_all(
         self,

@@ -46,6 +46,7 @@ class RoundRobinBalancer(Balancer):
 
     def choose(self, candidates: Sequence[str],
                request_key: str | None = None) -> str:
+        """Next candidate in rotation."""
         self._require(candidates)
         chosen = candidates[self._cursor % len(candidates)]
         self._cursor += 1
@@ -69,6 +70,7 @@ class WeightedScoreBalancer(Balancer):
     def choose(self, candidates: Sequence[str],
                request_key: str | None = None,
                latency_params: Mapping[str, float] | None = None) -> str:
+        """Weighted-random candidate, biased toward the live ranking."""
         self._require(candidates)
         ranked = self.ranker.rank(list(candidates), latency_params,
                                   weights=self.weights)
@@ -85,6 +87,7 @@ class LeastSpendBalancer(Balancer):
 
     def choose(self, candidates: Sequence[str],
                request_key: str | None = None) -> str:
+        """The candidate with the lowest total spend so far."""
         self._require(candidates)
         return min(candidates,
                    key=lambda name: (self.monitor.total_cost(name), name))
@@ -100,6 +103,7 @@ class StickyBalancer(Balancer):
 
     def choose(self, candidates: Sequence[str],
                request_key: str | None = None) -> str:
+        """The candidate this request key always hashes to."""
         self._require(candidates)
         if request_key is None:
             return candidates[0]

@@ -94,6 +94,7 @@ class ServiceMonitor:
                 self._metric_latency.observe(record.latency, service=record.service)
 
     def services(self) -> list[str]:
+        """Names of every service with at least one record."""
         with self._lock:
             return sorted(self._records)
 
@@ -107,11 +108,13 @@ class ServiceMonitor:
         return [record for record in history if not record.cached]
 
     def call_count(self, service: str) -> int:
+        """Remote calls recorded (cache hits excluded)."""
         return len(self.records(service))
 
     # -- performance --------------------------------------------------------
 
     def latencies(self, service: str) -> list[float]:
+        """Observed latencies of successful calls."""
         return [
             record.latency
             for record in self.records(service)
@@ -124,6 +127,7 @@ class ServiceMonitor:
         return sum(values) / len(values) if values else None
 
     def latency_stats(self, service: str) -> DescriptiveStats | None:
+        """Descriptive stats over observed latencies, or None."""
         values = self.latencies(service)
         return describe(values) if values else None
 
@@ -152,17 +156,20 @@ class ServiceMonitor:
         return sum(1 for record in history if record.success) / len(history)
 
     def failure_count(self, service: str) -> int:
+        """Failed remote calls recorded."""
         return sum(1 for record in self.records(service) if not record.success)
 
     # -- cost and quality -------------------------------------------------------
 
     def mean_cost(self, service: str) -> float | None:
+        """Average cost of successful calls, or None."""
         history = [record for record in self.records(service) if record.success]
         if not history:
             return None
         return sum(record.cost for record in history) / len(history)
 
     def total_cost(self, service: str) -> float:
+        """Total spend recorded for this service."""
         return sum(record.cost for record in self.records(service))
 
     def mean_quality(self, service: str) -> float | None:

@@ -32,6 +32,7 @@ class GoldBasedEvaluator:
     def evaluate(self, analysis: Mapping[str, object],
                  gold_entities: Sequence[str],
                  gold_sentiment: Mapping[str, int] | None = None) -> float:
+        """Score an analysis against gold labels, in [0, 1]."""
         score = MultiServiceCombiner.score_against_gold(
             analysis, list(gold_entities), gold_sentiment)
         parts = [score["f1"]]
@@ -60,6 +61,7 @@ class AgreementEvaluator:
     def consensus_entities(
         self, analyses: Mapping[str, Mapping[str, object]]
     ) -> set[str]:
+        """Entity ids found by at least the majority fraction of providers."""
         combined = MultiServiceCombiner.combine_entities(
             analyses, min_confidence=self.majority_fraction)
         return {entry["id"] for entry in combined}
@@ -101,6 +103,7 @@ class CompositeEvaluator:
         self.weights = {name: weight / total for name, weight in weights.items()}
 
     def evaluate(self, components: Mapping[str, float]) -> float:
+        """Weighted sum of the named components (all must be present)."""
         missing = set(self.weights) - set(components)
         if missing:
             raise ValueError(f"missing quality components: {sorted(missing)}")
@@ -118,6 +121,7 @@ class DriftReport:
 
     @property
     def delta(self) -> float:
+        """recent_mean - baseline_mean (negative = got worse)."""
         return self.recent_mean - self.baseline_mean
 
 
@@ -142,6 +146,7 @@ class RollingQualityTracker:
         self._baselines: dict[str, list[float]] = {}
 
     def observe(self, service: str, quality: float) -> None:
+        """Record one quality observation for a service."""
         history = self._history.setdefault(service, deque(maxlen=self.window))
         history.append(float(quality))
         reference = self._baselines.setdefault(service, [])
@@ -149,6 +154,7 @@ class RollingQualityTracker:
             reference.append(float(quality))
 
     def mean_quality(self, service: str, recent: int | None = None) -> float | None:
+        """Mean quality over the window (or the last ``recent``), or None."""
         history = self._history.get(service)
         if not history:
             return None

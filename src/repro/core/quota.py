@@ -49,6 +49,7 @@ class ClientQuotaTracker:
 
     def set_budget(self, service: str, max_calls: int | None = None,
                    max_cost: float | None = None) -> None:
+        """Set (or replace) this service's self-imposed budget."""
         self.budgets[service] = ServiceBudget(max_calls=max_calls, max_cost=max_cost)
 
     def check(self, service: str, upcoming_cost: float = 0.0) -> None:
@@ -63,17 +64,21 @@ class ClientQuotaTracker:
             raise BudgetExceededError(service, "cost", budget.max_cost)
 
     def record(self, service: str, cost: float) -> None:
+        """Charge one completed call's cost against the ledger."""
         spend = self._spend.setdefault(service, _Spend())
         spend.calls += 1
         spend.cost += cost
 
     def calls(self, service: str) -> int:
+        """Calls recorded for this service."""
         return self._spend.get(service, _Spend()).calls
 
     def cost(self, service: str) -> float:
+        """Spend recorded for this service."""
         return self._spend.get(service, _Spend()).cost
 
     def total_cost(self) -> float:
+        """Spend recorded across every service."""
         return sum(spend.cost for spend in self._spend.values())
 
     def remaining_calls(self, service: str) -> int | None:

@@ -31,6 +31,7 @@ class RateLimitExceededError(ReproError):
 
 @dataclass
 class BucketStats:
+    """Counters for one bucket: permits granted, throttles, wait time."""
     acquired: int = 0
     throttled: int = 0
     total_wait: float = 0.0
@@ -62,6 +63,7 @@ class TokenBucket:
 
     @property
     def available(self) -> float:
+        """Permits available right now (after refill)."""
         self._refill()
         return self._tokens
 
@@ -116,11 +118,13 @@ class ServiceRateLimiter:
         self._buckets: dict[str, TokenBucket] = {}
 
     def configure(self, service: str, rate: float, burst: int = 1) -> TokenBucket:
+        """Install a token bucket for this service."""
         bucket = TokenBucket(self.clock, rate, burst, service=service)
         self._buckets[service] = bucket
         return bucket
 
     def bucket(self, service: str) -> TokenBucket | None:
+        """This service's bucket, or None if unconfigured."""
         return self._buckets.get(service)
 
     def acquire(self, service: str) -> float:

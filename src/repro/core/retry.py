@@ -50,6 +50,7 @@ class RetryPolicy:
         return self.backoff * self.backoff_multiplier ** (attempt_index - 1)
 
     def is_retryable(self, error: BaseException) -> bool:
+        """Whether this error class is worth another attempt."""
         return isinstance(error, self.retryable)
 
 
@@ -164,6 +165,7 @@ class FailoverInvoker:
             "Simulated seconds slept in retry backoff, by service.")
 
     def policy_for(self, service: str) -> RetryPolicy:
+        """This service's retry policy (or the default)."""
         return self.per_service.get(service, self.default_policy)
 
     def invoke(

@@ -43,18 +43,22 @@ class DocumentArchive:
         return f"search::{engine}::{query}::{timestamp:.6f}"
 
     def store_document(self, url: str, html: str, fetched_at: float) -> None:
+        """Archive one fetched page under its URL."""
         self.store.put(self._doc_key(url), {
             "url": url, "html": html, "fetched_at": fetched_at,
         })
 
     def get_document(self, url: str) -> dict | None:
+        """The archived record for a URL, or None."""
         value = self.store.get(self._doc_key(url), default=None)
         return value if isinstance(value, dict) else None
 
     def has_document(self, url: str) -> bool:
+        """Whether a URL has been archived."""
         return self.get_document(url) is not None
 
     def document_urls(self) -> list[str]:
+        """Every archived document URL."""
         return [key[len("doc::"):] for key in self.store.keys("doc::")]
 
     def store_search(self, query: str, engine: str, timestamp: float,

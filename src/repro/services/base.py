@@ -20,7 +20,7 @@ payloads are serialized and connectivity/timeout semantics apply.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.simnet.errors import RemoteServiceError
@@ -221,7 +221,17 @@ class SimulatedService(ABC):
     ``kind`` groups services with similar functionality — the unit over
     which the Rich SDK ranks and fails over (e.g. three services of kind
     ``"nlu"``).
+
+    Services that can serve several requests in one round trip declare
+    it by setting :attr:`batch_max_size` (the catalog does this for the
+    providers whose real-world counterparts expose batch endpoints);
+    :meth:`invoke_batch` then packs up to that many payloads into a
+    single transport call.
     """
+
+    #: Max items accepted per batched transport call; None = the service
+    #: has no batch endpoint.  Set per instance by the catalog.
+    batch_max_size: int | None = None
 
     def __init__(
         self,
@@ -296,7 +306,114 @@ class SimulatedService(ABC):
             operation=operation,
         )
 
+    @property
+    def supports_batching(self) -> bool:
+        """Whether this service declares a batch endpoint in the catalog."""
+        return self.batch_max_size is not None
+
+    def invoke_batch(
+        self,
+        operation: str,
+        payloads: Sequence[Mapping[str, object]],
+        timeout: float | None = None,
+    ) -> list[ServiceResponse | RemoteServiceError]:
+        """Invoke up to :attr:`batch_max_size` requests in ONE round trip.
+
+        The whole batch crosses the transport as a single call (one
+        connectivity check, one timeout, one latency charge), modelling
+        a vectorized inference endpoint: the batch's compute latency is
+        the *maximum* of the per-item samples rather than their sum,
+        which is where micro-batching wins its throughput.  Per-item
+        failures are isolated — each item comes back as either a
+        :class:`ServiceResponse` or a :class:`RemoteServiceError`
+        (quota rejections carry status 429), in input order.  Raises
+        ``ValueError`` when the service declares no batch support or
+        the batch exceeds ``batch_max_size``; transport-level errors
+        (offline, timeout) still raise for the batch as a whole because
+        the one wire call failed for every item.
+        """
+        if not self.supports_batching:
+            raise ValueError(f"service {self.name!r} has no batch endpoint")
+        payloads = [dict(payload) for payload in payloads]
+        if not payloads:
+            return []
+        if len(payloads) > self.batch_max_size:
+            raise ValueError(
+                f"batch of {len(payloads)} exceeds {self.name!r}'s "
+                f"batch_max_size={self.batch_max_size}")
+        requests = [ServiceRequest(operation, payload) for payload in payloads]
+        params = self.latency_params(requests[0])
+        params["batch"] = float(len(requests))
+
+        def server_fn(request_payload: dict) -> tuple[dict, float]:
+            return self._serve_batch(requests)
+
+        result = self.transport.call(
+            endpoint=self.name,
+            server_fn=server_fn,
+            request={"operation": operation, "batch": payloads},
+            timeout=timeout,
+            latency_params=params,
+            batch_size=len(requests),
+        )
+        outcomes: list[ServiceResponse | RemoteServiceError] = []
+        for item in result.payload["results"]:
+            if "error" in item:
+                outcomes.append(RemoteServiceError(
+                    self.name, str(item["error"]),
+                    status=int(item.get("status", 500))))
+            else:
+                outcomes.append(ServiceResponse(
+                    value=item["value"],
+                    latency=result.latency,
+                    cost=float(item["cost"]),
+                    service_name=self.name,
+                    operation=operation,
+                ))
+        return outcomes
+
     # -- server side -----------------------------------------------------
+
+    def _serve_batch(self, requests: Sequence[ServiceRequest]) -> tuple[dict, float]:
+        """Serve a batch server-side: per-item isolation, max-of latency.
+
+        Each item runs through the same quota/failure/handler path as a
+        single call (consuming quota and advancing the failure model's
+        call index per item); a failing item becomes an ``error`` entry
+        instead of poisoning its batch-mates.  Compute latency is the
+        max of the per-item samples — the vectorized-execution model.
+        """
+        now = self.transport.clock.now()
+        samples: list[float] = []
+        results: list[dict] = []
+        for request in requests:
+            call_index = self._call_index
+            self._call_index += 1
+            self.stats.calls += 1
+            samples.append(self.latency.sample(
+                self._rng, self.latency_params(request)))
+            if self.quota is not None and not self.quota.consume(now):
+                self.stats.quota_rejections += 1
+                results.append({
+                    "error": f"quota of {self.quota.limit} calls per "
+                             f"{self.quota.window:.0f}s exceeded",
+                    "status": 429,
+                })
+                continue
+            if self.failures.should_fail(call_index, now, self._rng):
+                self.stats.failures += 1
+                results.append({"error": "internal service failure",
+                                "status": 500})
+                continue
+            try:
+                value = self._handle(request)
+            except Exception as error:  # noqa: BLE001 — isolated per item
+                results.append({"error": str(error), "status": 500})
+                continue
+            cost = self.cost_model.cost(request)
+            self.stats.revenue += cost
+            results.append({"value": value, "cost": cost})
+        return {"results": results}, max(samples) if samples else 0.0
 
     def _serve(self, request: ServiceRequest, params: dict[str, float]) -> tuple[dict, float]:
         call_index = self._call_index

@@ -226,6 +226,19 @@ def build_world(
         cost_model=PerCallCost(0.0008),
     ))
 
+    # --- Batch capability flags ------------------------------------------------
+    # The inference-style providers expose batch endpoints (real NLU /
+    # vision / spellcheck APIs accept document arrays and amortize the
+    # model invocation); stores and feeds stay strictly per-call.  The
+    # Rich SDK's MicroBatcher and invoke_many only batch against
+    # services flagged here.
+    for batchable, batch_size in (
+        ("lexica-prime", 16), ("glotta", 16), ("wordsmith-lite", 32),
+        ("visionary", 8), ("peek", 8), ("glance", 16),
+        ("orthografix", 32),
+    ):
+        registry.get(batchable).batch_max_size = batch_size
+
     return World(
         transport=transport,
         gazetteer=gazetteer,

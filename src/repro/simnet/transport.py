@@ -61,10 +61,17 @@ class TransportStats:
     bytes_received: int = 0
     total_latency: float = 0.0
     per_endpoint_calls: dict[str, int] = field(default_factory=dict)
+    # Batched calls: one wire round trip carrying several requests.
+    batch_calls: int = 0
+    batched_items: int = 0
 
-    def record_call(self, endpoint: str) -> None:
+    def record_call(self, endpoint: str, batch_size: int | None = None) -> None:
+        """Count one wire call (carrying ``batch_size`` items if batched)."""
         self.calls += 1
         self.per_endpoint_calls[endpoint] = self.per_endpoint_calls.get(endpoint, 0) + 1
+        if batch_size is not None:
+            self.batch_calls += 1
+            self.batched_items += batch_size
 
 
 @dataclass
@@ -142,11 +149,15 @@ class Transport:
         request: Mapping[str, object],
         timeout: float | None = None,
         latency_params: Mapping[str, float] | None = None,
+        batch_size: int | None = None,
     ) -> TransportResult:
         """Deliver ``request`` to ``server_fn`` across the simulated wire.
 
         ``latency_params`` flow to the network latency distribution
-        (some distributions are size-dependent).  Raises
+        (some distributions are size-dependent).  ``batch_size`` marks a
+        batched endpoint call: the wire semantics are identical (one
+        round trip, one timeout), but the call is counted in the batch
+        stats and its span carries the batch size.  Raises
         :class:`ConnectivityError` when offline,
         :class:`ServiceTimeoutError` when the sampled total latency
         exceeds ``timeout``, and lets service-level exceptions propagate
@@ -154,12 +165,15 @@ class Transport:
         """
         tracer = self._tracer
         if tracer is None:
-            return self._call(endpoint, server_fn, request, timeout, latency_params)
-        span = tracer.start_span(
-            "transport.call", {"endpoint": endpoint, "obs.category": "transport"})
+            return self._call(endpoint, server_fn, request, timeout,
+                              latency_params, batch_size)
+        attributes = {"endpoint": endpoint, "obs.category": "transport"}
+        if batch_size is not None:
+            attributes["batch_size"] = batch_size
+        span = tracer.start_span("transport.call", attributes)
         try:
             result = self._call(endpoint, server_fn, request, timeout,
-                                latency_params)
+                                latency_params, batch_size)
         except Exception as error:
             tracer.end_span(span, error)
             raise
@@ -176,8 +190,9 @@ class Transport:
         request: Mapping[str, object],
         timeout: float | None,
         latency_params: Mapping[str, float] | None,
+        batch_size: int | None = None,
     ) -> TransportResult:
-        self.stats.record_call(endpoint)
+        self.stats.record_call(endpoint, batch_size)
         if self._metric_calls is not None:
             self._metric_calls.inc(endpoint=endpoint)
         params = dict(latency_params or {})

@@ -11,6 +11,7 @@ secure / offline remote persistence.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from contextlib import nullcontext
 from pathlib import Path
 
 from repro.core.invoker import RichClient
@@ -29,6 +30,8 @@ from repro.stores.converters import (
 from repro.stores.csvio import read_csv, write_csv
 from repro.stores.kvstore import FileKeyValueStore, InMemoryKeyValueStore, KeyValueStore
 from repro.stores.rdf.graph import Graph, RDF, RDFS, REPRO, Triple
+from repro.stores.rdf.materialize import MaterializedGraph
+from repro.stores.rdf.plan import QueryPlan, build_plan
 from repro.stores.rdf.query import select
 from repro.stores.rdf.reasoner import RdfsReasoner, TransitiveReasoner
 from repro.stores.rdf.rules import GenericRuleReasoner, Rule
@@ -52,6 +55,7 @@ class PersonalKnowledgeBase:
         disambiguator: EntityDisambiguator | None = None,
         spellchecker: LocalSpellChecker | None = None,
         remote: OfflineSyncStore | None = None,
+        obs=None,
     ) -> None:
         self.client = client
         self.data_dir = Path(data_dir) if data_dir is not None else None
@@ -66,7 +70,26 @@ class PersonalKnowledgeBase:
         self.disambiguator = disambiguator
         self.spellchecker = spellchecker
         self.remote = remote
-        self.pipeline = AnalysisPipeline(self.graph)
+        # Observability: an explicit bundle wins; otherwise reuse the
+        # client's so KB spans land in the same trace collector.
+        self.obs = obs if obs is not None else (
+            client.obs if client is not None else None)
+        self.view: MaterializedGraph | None = None
+        self._view_reasoners: list | None = None
+        self.pipeline = AnalysisPipeline(self.graph, obs=self.obs)
+        if self.obs is not None and self.obs.enabled:
+            self._tracer = self.obs.tracer
+            self._metric_queries = self.obs.metrics.counter(
+                "kb_queries_total", "SELECT queries answered by the PKB.")
+        else:
+            self._tracer = None
+            self._metric_queries = None
+
+    @property
+    def _store(self):
+        """Where writes go: the materialized view when enabled, else
+        the raw graph (both share the same underlying triples)."""
+        return self.view if self.view is not None else self.graph
 
     # ------------------------------------------------------------------
     # Fact entry ("it is very easy for users to enter new facts")
@@ -93,16 +116,16 @@ class PersonalKnowledgeBase:
         if disambiguate:
             subject_id, resolved = self._canonical_subject(subject)
             if resolved is not None:
-                self.graph.add(Triple(subject_id, RDFS.label, resolved.name))
-                self.graph.add(Triple(subject_id, RDF.type, REPRO(resolved.entity_type)))
+                self._store.add(Triple(subject_id, RDFS.label, resolved.name))
+                self._store.add(Triple(subject_id, RDF.type, REPRO(resolved.entity_type)))
                 for source, url in resolved.links.items():
-                    self.graph.add(Triple(subject_id, REPRO(f"link_{source}"), url))
+                    self._store.add(Triple(subject_id, REPRO(f"link_{source}"), url))
             if isinstance(obj, str):
                 object_id, object_resolved = self._canonical_subject(obj)
                 if object_resolved is not None:
                     obj = object_id
         triple = Triple(subject_id, predicate, obj)
-        self.graph.add(triple)
+        self._store.add(triple)
         return triple
 
     def facts_about(self, subject: str) -> list[Triple]:
@@ -145,11 +168,11 @@ class PersonalKnowledgeBase:
             stored = 0
             for renamed_property, value in record["facts"].items():
                 canonical = reverse.get(renamed_property, renamed_property)
-                self.graph.add(Triple(subject_id, REPRO(canonical), value))
+                self._store.add(Triple(subject_id, REPRO(canonical), value))
                 stored += 1
-            self.graph.add(Triple(subject_id, REPRO(f"source_{source}"), record["uri"]))
+            self._store.add(Triple(subject_id, REPRO(f"source_{source}"), record["uri"]))
             if record.get("type_value"):
-                self.graph.add(Triple(subject_id, RDF.type, REPRO(record["type_value"])))
+                self._store.add(Triple(subject_id, RDF.type, REPRO(record["type_value"])))
             outcomes[source] = f"ok ({stored} facts)"
         return outcomes
 
@@ -178,7 +201,7 @@ class PersonalKnowledgeBase:
     def table_to_rdf(self, table_name: str, subject_column: str | None = None) -> int:
         """Convert a relational table into statements in the RDF store."""
         triples = table_to_triples(self.database.table(table_name), subject_column)
-        return self.graph.add_all(triples)
+        return self._store.add_all(triples)
 
     def rdf_to_table(self, table_name: str) -> Table:
         """Pivot a table's statements (incl. inferred ones) back into a table."""
@@ -190,8 +213,51 @@ class PersonalKnowledgeBase:
     # ------------------------------------------------------------------
 
     def query(self, patterns, **kwargs):
-        """SPARQL-like SELECT over the RDF store (see stores.rdf.query)."""
-        return select(self.graph, patterns, **kwargs)
+        """SPARQL-like SELECT over the RDF store (see stores.rdf.query).
+
+        Answered by the cost-based planner by default (pass
+        ``optimize=False`` for the naive engine — results are
+        identical either way, only the join order differs).  With
+        materialization enabled, results come through the view's
+        version-keyed cache.
+        """
+        if self._metric_queries is not None:
+            self._metric_queries.inc()
+        span = (self._tracer.span("kb.query", {"patterns": len(patterns)})
+                if self._tracer is not None else nullcontext())
+        with span:
+            if self.view is not None:
+                return self.view.select(patterns, **kwargs)
+            return select(self.graph, patterns, **kwargs)
+
+    def explain(self, patterns, filters: Sequence = ()) -> QueryPlan:
+        """The planner's chosen join order and filter placement.
+
+        Returns a :class:`QueryPlan`; its :meth:`~QueryPlan.explain`
+        gives a stable dict (pattern order, per-step cardinality
+        estimates, pushed-down filters) and :meth:`~QueryPlan.describe`
+        a human-readable rendering.
+        """
+        return build_plan(self.graph, patterns, filters)
+
+    def enable_materialization(
+        self, reasoners: Sequence[object] | None = None
+    ) -> MaterializedGraph:
+        """Keep the store closed under ``reasoners`` incrementally.
+
+        Wraps the graph in a :class:`MaterializedGraph` (defaults to an
+        RDFS reasoner): every later write through the KB derives only
+        the consequences of the change instead of re-running a full
+        fixpoint, and :meth:`query` results are cached until the next
+        mutation.  The analysis pipeline is rewired so its statements
+        flow through the view too.  Idempotent-ish: calling again
+        rebuilds the view with the new reasoner set.
+        """
+        self._view_reasoners = list(reasoners) if reasoners is not None else None
+        self.view = MaterializedGraph(
+            self.graph, reasoners=self._view_reasoners, obs=self.obs)
+        self.pipeline.graph = self.view
+        return self.view
 
     def reason(self, reasoner: str = "rdfs") -> int:
         """Apply a predefined reasoner; returns new-triple count."""
@@ -264,7 +330,7 @@ class PersonalKnowledgeBase:
         except OSError:
             is_file = False  # long inline text is not a valid path
         text = candidate.read_text() if is_file else str(text_or_path)
-        return self.graph.add_all(from_turtle(text))
+        return self._store.add_all(from_turtle(text))
 
     def snapshot(self) -> dict:
         """The whole knowledge base as one JSON-safe dict."""
@@ -277,7 +343,14 @@ class PersonalKnowledgeBase:
     def restore(self, snapshot: dict) -> None:
         """Replace current contents with a snapshot's."""
         self.graph = Graph.from_list(snapshot.get("graph", []))
-        self.pipeline.graph = self.graph
+        if self.view is not None:
+            # Re-wrap the fresh graph; restored triples all count as
+            # base facts (a snapshot of a closed graph stays closed).
+            self.view = MaterializedGraph(
+                self.graph, reasoners=self._view_reasoners, obs=self.obs)
+            self.pipeline.graph = self.view
+        else:
+            self.pipeline.graph = self.graph
         self.database = Database.from_dict(snapshot.get("database", {"tables": []}))
         self.kv.clear()
         for key, value in snapshot.get("kv", {}).items():

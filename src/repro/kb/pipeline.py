@@ -66,7 +66,16 @@ def default_rules() -> list[Rule]:
 
 
 class AnalysisPipeline:
-    """Regression over numeric data, materialized as RDF, then inferred."""
+    """Regression over numeric data, materialized as RDF, then inferred.
+
+    Inference is *incremental by default*: the pipeline remembers which
+    statements it added since the last :meth:`infer` and, when nothing
+    else touched the graph in between (checked via the graph's
+    monotonic ``version``), runs the rulebase semi-naively over just
+    that delta instead of rescanning the whole store.  Any external
+    mutation safely falls back to a full fixpoint — results are always
+    identical to full re-materialization, only cheaper.
+    """
 
     def __init__(
         self,
@@ -83,6 +92,7 @@ class AnalysisPipeline:
         self.r_squared_strong = r_squared_strong
         self.trend_threshold = trend_threshold
         self.series_analyzed = 0
+        self.last_infer_mode: str | None = None
         # Optional repro.obs.Observability: spans around each analysis
         # and inference run, plus fleet counters.
         if obs is not None and obs.enabled:
@@ -91,9 +101,33 @@ class AnalysisPipeline:
                 "kb_series_analyzed_total", "Series run through the analysis pipeline.")
             self._metric_facts = obs.metrics.counter(
                 "kb_facts_inferred_total", "New facts derived by the rulebase.")
+            self._metric_infer_full = obs.metrics.counter(
+                "kb_infer_full_total", "Full-fixpoint inference runs.")
+            self._metric_infer_delta = obs.metrics.counter(
+                "kb_infer_delta_total", "Incremental (delta) inference runs.")
         else:
             self._tracer = None
             self._metric_series = self._metric_facts = None
+            self._metric_infer_full = self._metric_infer_delta = None
+
+    @property
+    def graph(self) -> Graph:
+        """The graph analysis results are written to."""
+        return self._graph
+
+    @graph.setter
+    def graph(self, graph: Graph) -> None:
+        # Swapping the graph invalidates all incremental-inference
+        # bookkeeping: start over with a mandatory full fixpoint.
+        self._graph = graph
+        self._pending: set[Triple] = set()
+        self._synced_version: object = None
+        self._full_fixpoint_done = False
+
+    def _record_add(self, triple: Triple) -> None:
+        if self._graph.add(triple):
+            self._pending.add(triple)
+        self._synced_version = getattr(self._graph, "version", None)
 
     def _span(self, name: str, attributes: dict):
         if self._tracer is None:
@@ -132,15 +166,15 @@ class AnalysisPipeline:
         forecast = linear_forecast(ys, horizon=1)[0]
         fit_label = "strong" if model.r_squared >= self.r_squared_strong else "weak"
 
-        self.graph.add(Triple(subject, REPRO.analyzed_series, series_name))
-        self.graph.add(Triple(subject, REPRO.slope, round(model.slope, 6)))
-        self.graph.add(Triple(subject, REPRO.intercept, round(model.intercept, 6)))
-        self.graph.add(Triple(subject, REPRO.r_squared, round(model.r_squared, 6)))
-        self.graph.add(Triple(subject, REPRO.trend, trend))
-        self.graph.add(Triple(subject, REPRO.goodness_of_fit, fit_label))
-        self.graph.add(Triple(subject, REPRO.forecast_next, round(forecast, 6)))
+        self._record_add(Triple(subject, REPRO.analyzed_series, series_name))
+        self._record_add(Triple(subject, REPRO.slope, round(model.slope, 6)))
+        self._record_add(Triple(subject, REPRO.intercept, round(model.intercept, 6)))
+        self._record_add(Triple(subject, REPRO.r_squared, round(model.r_squared, 6)))
+        self._record_add(Triple(subject, REPRO.trend, trend))
+        self._record_add(Triple(subject, REPRO.goodness_of_fit, fit_label))
+        self._record_add(Triple(subject, REPRO.forecast_next, round(forecast, 6)))
         if entity_type is not None:
-            self.graph.add(Triple(subject, RDF.type, REPRO(entity_type)))
+            self._record_add(Triple(subject, RDF.type, REPRO(entity_type)))
         self.series_analyzed += 1
         if self._metric_series is not None:
             self._metric_series.inc()
@@ -155,13 +189,38 @@ class AnalysisPipeline:
         }
 
     def infer(self) -> int:
-        """Run the rulebase to fixpoint; returns newly derived facts."""
+        """Run the rulebase; returns newly derived facts.
+
+        Incremental when possible: if a full fixpoint already ran and
+        every graph mutation since then came through this pipeline,
+        only the pending delta is re-derived (``last_infer_mode`` is
+        set to ``"delta"``, else ``"full"``).
+        """
+        current_version = getattr(self.graph, "version", None)
+        incremental = (
+            self._full_fixpoint_done
+            and current_version is not None
+            and current_version == self._synced_version
+        )
         with self._span("kb.infer", {"series_analyzed": self.series_analyzed}) as span:
-            derived = self.reasoner.forward(self.graph)
+            if incremental:
+                derived = self.reasoner.forward_delta(self.graph, self._pending)
+                self.last_infer_mode = "delta"
+            else:
+                derived = self.reasoner.forward(self.graph)
+                self._full_fixpoint_done = True
+                self.last_infer_mode = "full"
+            self._pending.clear()
+            self._synced_version = getattr(self.graph, "version", None)
             if span is not None:
                 span.set_attribute("facts_derived", derived)
+                span.set_attribute("mode", self.last_infer_mode)
         if self._metric_facts is not None and derived:
             self._metric_facts.inc(derived)
+        metric_mode = (self._metric_infer_delta if self.last_infer_mode == "delta"
+                       else self._metric_infer_full)
+        if metric_mode is not None:
+            metric_mode.inc()
         return derived
 
     def recommendations(self) -> dict[str, str]:

@@ -9,10 +9,31 @@
 * :mod:`repro.stores.rdf.rules` — the "generic rule reasoner that
   supports user-defined rules", with forward chaining and tabled
   backward chaining.
+* :mod:`repro.stores.rdf.stats` / :mod:`repro.stores.rdf.plan` —
+  per-predicate cardinality statistics and the cost-based query
+  planner built on them.
+* :mod:`repro.stores.rdf.materialize` — incrementally maintained
+  materialized views with a version-keyed query-result cache.
 """
 
 from repro.stores.rdf.graph import Triple, Graph, RDF, RDFS, REPRO
-from repro.stores.rdf.query import select, Pattern, is_variable
+from repro.stores.rdf.query import (
+    select,
+    union,
+    distinct_bindings,
+    Pattern,
+    is_variable,
+)
+from repro.stores.rdf.stats import BOUND, GraphStatistics, PredicateStats
+from repro.stores.rdf.plan import (
+    QueryPlan,
+    PlanStep,
+    build_plan,
+    execute_plan,
+    bound_filter,
+    filter_variables,
+)
+from repro.stores.rdf.materialize import MaterializedGraph, QueryResultCache
 from repro.stores.rdf.reasoner import TransitiveReasoner, RdfsReasoner
 from repro.stores.rdf.rules import Rule, GenericRuleReasoner
 from repro.stores.rdf.serialization import to_turtle, from_turtle
@@ -38,8 +59,21 @@ __all__ = [
     "RDFS",
     "REPRO",
     "select",
+    "union",
+    "distinct_bindings",
     "Pattern",
     "is_variable",
+    "BOUND",
+    "GraphStatistics",
+    "PredicateStats",
+    "QueryPlan",
+    "PlanStep",
+    "build_plan",
+    "execute_plan",
+    "bound_filter",
+    "filter_variables",
+    "MaterializedGraph",
+    "QueryResultCache",
     "TransitiveReasoner",
     "RdfsReasoner",
     "Rule",

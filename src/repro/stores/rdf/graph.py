@@ -1,4 +1,4 @@
-"""Triples and the indexed RDF graph.
+"""Triples and the indexed, dictionary-encoded RDF graph.
 
 A statement has a subject, predicate and object (the paper's "The Java
 HashMap class implements the Java Map interface" example).  Subjects
@@ -6,15 +6,25 @@ and predicates are strings (URIs or names); objects may be strings or
 numbers — numeric literals matter because the PKB stores regression
 results as statements.
 
-The graph keeps three hash indexes (SPO, POS, OSP) so that any
-wildcard pattern is answered from the most selective index, the same
-layout classic triple stores use.
+Internally the graph *interns* every term into a small integer id
+(dictionary encoding, the layout production triple stores use): the
+SPO / POS / OSP hash indexes then store ints, which hash faster,
+compare faster during joins, and keep each index entry a machine word
+instead of a repeated string.  Terms are decoded back only at the API
+boundary, so callers still see plain :class:`Triple` values.
+
+The graph also maintains per-predicate cardinality statistics
+(:mod:`repro.stores.rdf.stats`) on every ``add`` / ``discard`` and a
+monotonically increasing ``version`` — the inputs the query planner
+and the incremental materializer rely on.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
+
+from repro.stores.rdf.stats import BOUND, GraphStatistics, PredicateStats
 
 Term = str | int | float | bool
 
@@ -52,13 +62,21 @@ class Triple:
 
 
 class Graph:
-    """A set of triples with SPO / POS / OSP hash indexes."""
+    """A set of triples with interned terms and SPO / POS / OSP indexes."""
 
     def __init__(self, triples: Iterable[Triple | tuple] = ()) -> None:
-        self._triples: set[Triple] = set()
-        self._spo: dict[str, dict[str, set[Term]]] = {}
-        self._pos: dict[str, dict[Term, set[str]]] = {}
-        self._osp: dict[Term, dict[str, set[str]]] = {}
+        # Term dictionary: term -> id and id -> term.  The first-seen
+        # representation of equal terms wins (1, 1.0 and True hash and
+        # compare equal in Python, exactly as the previous set-of-Triples
+        # storage collapsed them).
+        self._term_ids: dict[Term, int] = {}
+        self._terms: list[Term] = []
+        self._triples: set[tuple[int, int, int]] = set()
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        self._osp: dict[int, dict[int, set[int]]] = {}
+        self._stats = GraphStatistics()
+        self._version = 0
         for triple in triples:
             self.add(triple)
 
@@ -66,10 +84,22 @@ class Graph:
         return len(self._triples)
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        terms = self._terms
+        for subject_id, predicate_id, object_id in self._triples:
+            yield Triple(terms[subject_id], terms[predicate_id], terms[object_id])
 
     def __contains__(self, triple: Triple | tuple) -> bool:
-        return self._coerce(triple) in self._triples
+        key = self._key_of(self._coerce(triple))
+        return key is not None and key in self._triples
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every successful change.
+
+        Never decreases (not even on :meth:`clear`), so it is safe as a
+        cache-invalidation key.
+        """
+        return self._version
 
     @staticmethod
     def _coerce(triple: Triple | tuple) -> Triple:
@@ -78,21 +108,53 @@ class Graph:
         subject, predicate, obj = triple
         return Triple(subject, predicate, obj)
 
+    # -- interning ---------------------------------------------------------
+
+    def _intern(self, term: Term) -> int:
+        term_id = self._term_ids.get(term)
+        if term_id is None:
+            term_id = len(self._terms)
+            self._term_ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def _key_of(self, triple: Triple) -> tuple[int, int, int] | None:
+        """The triple's id-key, or None when any term was never interned."""
+        ids = self._term_ids
+        subject_id = ids.get(triple.subject)
+        if subject_id is None:
+            return None
+        predicate_id = ids.get(triple.predicate)
+        if predicate_id is None:
+            return None
+        object_id = ids.get(triple.object)
+        if object_id is None:
+            return None
+        return subject_id, predicate_id, object_id
+
+    # -- mutation ----------------------------------------------------------
+
     def add(self, triple: Triple | tuple) -> bool:
         """Insert a triple; returns False when it was already present."""
         triple = self._coerce(triple)
-        if triple in self._triples:
+        subject_id = self._intern(triple.subject)
+        predicate_id = self._intern(triple.predicate)
+        object_id = self._intern(triple.object)
+        key = (subject_id, predicate_id, object_id)
+        if key in self._triples:
             return False
-        self._triples.add(triple)
-        self._spo.setdefault(triple.subject, {}).setdefault(triple.predicate, set()).add(
-            triple.object
+        self._triples.add(key)
+        self._spo.setdefault(subject_id, {}).setdefault(predicate_id, set()).add(
+            object_id
         )
-        self._pos.setdefault(triple.predicate, {}).setdefault(triple.object, set()).add(
-            triple.subject
+        self._pos.setdefault(predicate_id, {}).setdefault(object_id, set()).add(
+            subject_id
         )
-        self._osp.setdefault(triple.object, {}).setdefault(triple.subject, set()).add(
-            triple.predicate
+        self._osp.setdefault(object_id, {}).setdefault(subject_id, set()).add(
+            predicate_id
         )
+        self._stats.record_add(subject_id, predicate_id, object_id)
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable[Triple | tuple]) -> int:
@@ -100,23 +162,47 @@ class Graph:
         return sum(1 for triple in triples if self.add(triple))
 
     def remove(self, triple: Triple | tuple) -> bool:
-        """Delete a triple; returns whether it was present."""
-        triple = self._coerce(triple)
-        if triple not in self._triples:
-            return False
-        self._triples.discard(triple)
+        """Delete a triple; returns whether it was present.
 
-        def prune(index: dict, first, second, third) -> None:
+        Term-dictionary entries are kept even when their last triple
+        goes away (standard interning behavior; ids stay stable).
+        """
+        key = self._key_of(self._coerce(triple))
+        if key is None or key not in self._triples:
+            return False
+        self._triples.discard(key)
+        subject_id, predicate_id, object_id = key
+
+        def prune(index: dict, first: int, second: int, third: int) -> None:
             index[first][second].discard(third)
             if not index[first][second]:
                 del index[first][second]
             if not index[first]:
                 del index[first]
 
-        prune(self._spo, triple.subject, triple.predicate, triple.object)
-        prune(self._pos, triple.predicate, triple.object, triple.subject)
-        prune(self._osp, triple.object, triple.subject, triple.predicate)
+        prune(self._spo, subject_id, predicate_id, object_id)
+        prune(self._pos, predicate_id, object_id, subject_id)
+        prune(self._osp, object_id, subject_id, predicate_id)
+        self._stats.record_remove(subject_id, predicate_id, object_id)
+        self._version += 1
         return True
+
+    def discard(self, triple: Triple | tuple) -> bool:
+        """Alias of :meth:`remove` (set-like naming)."""
+        return self.remove(triple)
+
+    def clear(self) -> None:
+        """Drop every triple and the term dictionary; version still advances."""
+        self._term_ids.clear()
+        self._terms.clear()
+        self._triples.clear()
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._stats.clear()
+        self._version += 1
+
+    # -- matching ----------------------------------------------------------
 
     def match(
         self,
@@ -129,51 +215,167 @@ class Graph:
         Dispatches to the index that binds the most components, so even
         single-wildcard patterns avoid a full scan.
         """
+        ids = self._term_ids
+        terms = self._terms
+        subject_id = predicate_id = object_id = None
+        if subject is not None:
+            subject_id = ids.get(subject)
+            if subject_id is None:
+                return []
+        if predicate is not None:
+            predicate_id = ids.get(predicate)
+            if predicate_id is None:
+                return []
+        if obj is not None:
+            object_id = ids.get(obj)
+            if object_id is None:
+                return []
         if subject is not None and predicate is not None and obj is not None:
-            triple = Triple(subject, predicate, obj)
-            return [triple] if triple in self._triples else []
+            present = (subject_id, predicate_id, object_id) in self._triples
+            return [Triple(subject, predicate, obj)] if present else []
         if subject is not None and predicate is not None:
-            objects = self._spo.get(subject, {}).get(predicate, set())
-            return [Triple(subject, predicate, item) for item in objects]
+            objects = self._spo.get(subject_id, {}).get(predicate_id, set())
+            return [Triple(subject, predicate, terms[item]) for item in objects]
         if predicate is not None and obj is not None:
-            subjects = self._pos.get(predicate, {}).get(obj, set())
-            return [Triple(item, predicate, obj) for item in subjects]
+            subjects = self._pos.get(predicate_id, {}).get(object_id, set())
+            return [Triple(terms[item], predicate, obj) for item in subjects]
         if subject is not None and obj is not None:
-            predicates = self._osp.get(obj, {}).get(subject, set())
-            return [Triple(subject, item, obj) for item in predicates]
+            predicates = self._osp.get(object_id, {}).get(subject_id, set())
+            return [Triple(subject, terms[item], obj) for item in predicates]
         if subject is not None:
             return [
-                Triple(subject, predicate_key, item)
-                for predicate_key, objects in self._spo.get(subject, {}).items()
+                Triple(subject, terms[predicate_key], terms[item])
+                for predicate_key, objects in self._spo.get(subject_id, {}).items()
                 for item in objects
             ]
         if predicate is not None:
             return [
-                Triple(item, predicate, object_key)
-                for object_key, subjects in self._pos.get(predicate, {}).items()
+                Triple(terms[item], predicate, terms[object_key])
+                for object_key, subjects in self._pos.get(predicate_id, {}).items()
                 for item in subjects
             ]
         if obj is not None:
             return [
-                Triple(subject_key, item, obj)
-                for subject_key, predicates in self._osp.get(obj, {}).items()
+                Triple(terms[subject_key], terms[item], obj)
+                for subject_key, predicates in self._osp.get(object_id, {}).items()
                 for item in predicates
             ]
-        return list(self._triples)
+        return list(self)
 
     def objects(self, subject: str, predicate: str) -> set[Term]:
         """All objects of (subject, predicate, ?)."""
-        return set(self._spo.get(subject, {}).get(predicate, set()))
+        subject_id = self._term_ids.get(subject)
+        predicate_id = self._term_ids.get(predicate)
+        if subject_id is None or predicate_id is None:
+            return set()
+        object_ids = self._spo.get(subject_id, {}).get(predicate_id, set())
+        return {self._terms[item] for item in object_ids}
 
     def subjects(self, predicate: str, obj: Term) -> set[str]:
         """All subjects of (?, predicate, object)."""
-        return set(self._pos.get(predicate, {}).get(obj, set()))
+        predicate_id = self._term_ids.get(predicate)
+        object_id = self._term_ids.get(obj)
+        if predicate_id is None or object_id is None:
+            return set()
+        subject_ids = self._pos.get(predicate_id, {}).get(object_id, set())
+        return {self._terms[item] for item in subject_ids}
 
     def predicates(self) -> set[str]:
-        return set(self._pos)
+        """Every predicate with at least one triple."""
+        return {self._terms[predicate_id] for predicate_id in self._pos}
 
     def copy(self) -> "Graph":
-        return Graph(self._triples)
+        return Graph(self)
+
+    # -- statistics and cardinality estimation -----------------------------
+
+    def predicate_statistics(self) -> dict[str, PredicateStats]:
+        """A snapshot of per-predicate statistics, keyed by predicate term."""
+        stats = self._stats
+        return {
+            self._terms[predicate_id]: PredicateStats(
+                predicate=self._terms[predicate_id],
+                count=stats.predicate_count(predicate_id),
+                distinct_subjects=stats.distinct_subjects(predicate_id),
+                distinct_objects=stats.distinct_objects(predicate_id),
+            )
+            for predicate_id in stats.predicate_ids()
+        }
+
+    def estimate_cardinality(
+        self,
+        subject: object = None,
+        predicate: object = None,
+        obj: object = None,
+    ) -> float:
+        """Estimated rows for a pattern, from indexes and statistics.
+
+        Each position is a concrete term, ``None`` (free variable) or
+        :data:`repro.stores.rdf.stats.BOUND` (a variable whose value
+        will be supplied by earlier join steps but is unknown at
+        planning time).  Concrete positions use exact index counts;
+        BOUND positions discount by the average fan-out.  O(1) except
+        for subject-only / object-only patterns, which sum one small
+        index bucket.
+        """
+        total = len(self._triples)
+        if total == 0:
+            return 0.0
+        subject_id = predicate_id = object_id = None
+        if subject is not None and subject is not BOUND:
+            subject_id = self._term_ids.get(subject)
+            if subject_id is None:
+                return 0.0
+        if predicate is not None and predicate is not BOUND:
+            predicate_id = self._term_ids.get(predicate)
+            if predicate_id is None:
+                return 0.0
+        if obj is not None and obj is not BOUND:
+            object_id = self._term_ids.get(obj)
+            if object_id is None:
+                return 0.0
+
+        s_const = subject_id is not None
+        p_const = predicate_id is not None
+        o_const = object_id is not None
+        if s_const and p_const and o_const:
+            key = (subject_id, predicate_id, object_id)
+            return 1.0 if key in self._triples else 0.0
+        if s_const and p_const:
+            base = len(self._spo.get(subject_id, {}).get(predicate_id, ()))
+        elif p_const and o_const:
+            base = len(self._pos.get(predicate_id, {}).get(object_id, ()))
+        elif s_const and o_const:
+            base = len(self._osp.get(object_id, {}).get(subject_id, ()))
+        elif s_const:
+            base = sum(len(objs) for objs in self._spo.get(subject_id, {}).values())
+        elif p_const:
+            base = self._stats.predicate_count(predicate_id)
+        elif o_const:
+            base = sum(len(preds) for preds in self._osp.get(object_id, {}).values())
+        else:
+            base = total
+        if base == 0:
+            return 0.0
+
+        estimate = float(base)
+        if subject is BOUND:
+            distinct = (
+                self._stats.distinct_subjects(predicate_id)
+                if p_const
+                else len(self._spo)
+            )
+            estimate /= max(1, distinct)
+        if obj is BOUND:
+            distinct = (
+                self._stats.distinct_objects(predicate_id)
+                if p_const
+                else len(self._osp)
+            )
+            estimate /= max(1, distinct)
+        if predicate is BOUND:
+            estimate /= max(1, len(self._pos))
+        return estimate
 
     # -- persistence -------------------------------------------------------
 
@@ -184,7 +386,7 @@ class Graph:
         (numbers from regression results next to string labels).
         """
         ordered = sorted(
-            self._triples,
+            self,
             key=lambda t: (t.subject, t.predicate, type(t.object).__name__, str(t.object)),
         )
         return [[t.subject, t.predicate, t.object] for t in ordered]

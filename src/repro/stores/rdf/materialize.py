@@ -1,0 +1,311 @@
+"""Incrementally maintained materialized views over the triple store.
+
+Full re-materialization — rerunning every reasoner over the whole
+graph — is what made "add one regression result, re-infer" scale with
+graph size instead of change size.  :class:`MaterializedGraph` keeps a
+graph *closed under its reasoners at all times*: every ``add`` routes
+the new triples through each reasoner's semi-naive ``apply_delta``, so
+only consequences of the change are derived.  Deletion falls back to
+rebuild-from-base (exact truth maintenance under deletes needs full
+DRed bookkeeping; the PKB's write mix is overwhelmingly additive).
+
+Reads are served through a bounded, graph-version-keyed query-result
+cache: the graph's monotonic ``version`` is part of every entry, so
+any mutation — direct or derived — invalidates stale results without
+bookkeeping; an LRU bound keeps memory flat.  Queries carrying filter
+callables bypass the cache (callables have no stable identity).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.stores.rdf.graph import Graph, Term, Triple
+from repro.stores.rdf.query import Binding, Pattern, select
+from repro.stores.rdf.reasoner import RdfsReasoner
+from repro.stores.rdf.rules import GenericRuleReasoner
+
+
+class QueryResultCache:
+    """A bounded LRU cache of query results keyed by graph version.
+
+    An entry is only a hit when its recorded version equals the
+    caller's current version; stale entries are dropped on sight.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple[int, list[Binding]]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, version: int, key: tuple) -> list[Binding] | None:
+        """The cached result for ``key`` at ``version``, or None."""
+        entry = self._entries.get(key)
+        if entry is None or entry[0] != version:
+            if entry is not None:
+                del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, version: int, key: tuple, result: list[Binding]) -> None:
+        """Store a result, evicting least-recently-used entries."""
+        self._entries[key] = (version, result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+
+def _delta_consequences(reasoner, graph: Graph,
+                        frontier: set[Triple]) -> set[Triple]:
+    """The triples ``reasoner`` derives from ``frontier``, as a set."""
+    if isinstance(reasoner, GenericRuleReasoner):
+        return reasoner._run(graph, set(frontier), None)
+    return reasoner._delta_set(graph, frontier)
+
+
+def _full_apply(reasoner, graph: Graph) -> int:
+    """Run a reasoner fully, whatever its API flavor."""
+    if isinstance(reasoner, GenericRuleReasoner):
+        return reasoner.forward(graph)
+    return reasoner.apply(graph)
+
+
+class MaterializedGraph:
+    """A graph kept closed under a set of reasoners, incrementally.
+
+    Wraps a base :class:`Graph` (shared, not copied) plus reasoners —
+    any mix of :class:`RdfsReasoner`, :class:`TransitiveReasoner` and
+    :class:`GenericRuleReasoner` — and maintains the joint fixpoint:
+
+    * construction runs a full materialization;
+    * :meth:`add` / :meth:`add_all` derive only the consequences of
+      the new triples (semi-naive), iterating across reasoners until
+      no reasoner adds anything;
+    * :meth:`remove` / :meth:`discard` rebuild from the recorded base
+      facts (derived triples are never explicitly stored anywhere
+      else, so deletion must re-derive);
+    * :meth:`select` answers queries through a bounded cache keyed by
+      the graph version.
+
+    Reads may keep going through the wrapped graph directly; writes
+    must come through this wrapper to stay materialized.
+    """
+
+    def __init__(
+        self,
+        base: Graph | None = None,
+        reasoners: Sequence[object] | None = None,
+        cache_size: int = 128,
+        obs=None,
+    ) -> None:
+        self.graph = base if base is not None else Graph()
+        self.reasoners = (
+            list(reasoners) if reasoners is not None else [RdfsReasoner()]
+        )
+        self._base: set[Triple] = set(self.graph)
+        self._cache = QueryResultCache(capacity=cache_size)
+        # Optional repro.obs.Observability wiring.
+        if obs is not None and obs.enabled:
+            self._metric_delta = obs.metrics.counter(
+                "rdf_materialize_delta_total",
+                "Incremental (semi-naive) materialization runs.")
+            self._metric_full = obs.metrics.counter(
+                "rdf_materialize_full_total",
+                "Full re-materialization runs.")
+            self._metric_cache_hits = obs.metrics.counter(
+                "rdf_query_cache_hits_total",
+                "Materialized-view query cache hits.")
+            self._metric_cache_misses = obs.metrics.counter(
+                "rdf_query_cache_misses_total",
+                "Materialized-view query cache misses.")
+        else:
+            self._metric_delta = self._metric_full = None
+            self._metric_cache_hits = self._metric_cache_misses = None
+        self.refresh()
+
+    # -- delegation --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self.graph)
+
+    def __contains__(self, triple: Triple | tuple) -> bool:
+        return triple in self.graph
+
+    @property
+    def version(self) -> int:
+        """The wrapped graph's monotonic version counter."""
+        return self.graph.version
+
+    def match(self, subject: str | None = None, predicate: str | None = None,
+              obj: Term | None = None) -> list[Triple]:
+        """Pattern match over the materialized graph."""
+        return self.graph.match(subject, predicate, obj)
+
+    def base_facts(self) -> set[Triple]:
+        """The explicitly asserted (non-derived) triples."""
+        return set(self._base)
+
+    @property
+    def inferred_count(self) -> int:
+        """How many currently held triples are derived, not asserted."""
+        return len(self.graph) - len(self._base)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, triple: Triple | tuple) -> bool:
+        """Insert a triple and derive its consequences incrementally."""
+        triple = Graph._coerce(triple)
+        if not self.graph.add(triple):
+            # Already present (possibly as a derived fact) — still a
+            # base assertion from now on, so deletes keep it.
+            self._base.add(triple)
+            return False
+        self._base.add(triple)
+        self._derive({triple})
+        return True
+
+    def add_all(self, triples: Iterable[Triple | tuple]) -> int:
+        """Insert many triples, then derive from the whole batch once."""
+        fresh: set[Triple] = set()
+        for triple in triples:
+            triple = Graph._coerce(triple)
+            self._base.add(triple)
+            if self.graph.add(triple):
+                fresh.add(triple)
+        if fresh:
+            self._derive(fresh)
+        return len(fresh)
+
+    def remove(self, triple: Triple | tuple) -> bool:
+        """Retract a base fact; rebuilds the materialization."""
+        triple = Graph._coerce(triple)
+        if triple not in self._base:
+            return False
+        self._base.discard(triple)
+        self._rebuild()
+        return True
+
+    def discard(self, triple: Triple | tuple) -> bool:
+        """Alias of :meth:`remove` (set-like naming)."""
+        return self.remove(triple)
+
+    # -- materialization ---------------------------------------------------
+
+    def refresh(self) -> int:
+        """Run every reasoner to a joint fixpoint; returns new triples."""
+        added_total = 0
+        changed = True
+        while changed:
+            changed = False
+            for reasoner in self.reasoners:
+                step = _full_apply(reasoner, self.graph)
+                if step:
+                    added_total += step
+                    changed = True
+        if self._metric_full is not None:
+            self._metric_full.inc()
+        return added_total
+
+    def _derive(self, frontier: set[Triple]) -> int:
+        """Joint incremental fixpoint: feed each reasoner's output to
+        the others until nobody derives anything new."""
+        added_total = 0
+        while frontier:
+            derived: set[Triple] = set()
+            for reasoner in self.reasoners:
+                derived |= _delta_consequences(reasoner, self.graph, frontier)
+            added_total += len(derived)
+            frontier = derived
+        if self._metric_delta is not None:
+            self._metric_delta.inc()
+        return added_total
+
+    def _rebuild(self) -> None:
+        self.graph.clear()
+        for triple in self._base:
+            self.graph.add(triple)
+        self.refresh()
+
+    # -- cached queries ----------------------------------------------------
+
+    @property
+    def cache(self) -> QueryResultCache:
+        """The bounded, version-keyed query-result cache."""
+        return self._cache
+
+    @staticmethod
+    def _cache_key(
+        patterns: Sequence[Pattern],
+        variables: Sequence[str] | None,
+        distinct: bool,
+        order_by: str | None,
+        descending: bool,
+        limit: int | None,
+        optional: Sequence[Pattern],
+    ) -> tuple:
+        return (
+            tuple(tuple(pattern) for pattern in patterns),
+            tuple(variables) if variables is not None else None,
+            distinct,
+            order_by,
+            descending,
+            limit,
+            tuple(tuple(pattern) for pattern in optional),
+        )
+
+    def select(
+        self,
+        patterns: Sequence[Pattern],
+        variables: Sequence[str] | None = None,
+        filters: Sequence = (),
+        distinct: bool = False,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        optional: Sequence[Pattern] = (),
+        optimize: bool = True,
+    ) -> list[Binding]:
+        """A planned SELECT with version-keyed result caching.
+
+        Queries with ``filters`` bypass the cache: a callable has no
+        stable identity to key on.  Cached results are returned as
+        fresh copies, so callers may mutate them safely.
+        """
+        cacheable = not filters and optimize
+        key = None
+        if cacheable:
+            key = self._cache_key(patterns, variables, distinct, order_by,
+                                  descending, limit, optional)
+            cached = self._cache.get(self.graph.version, key)
+            if cached is not None:
+                if self._metric_cache_hits is not None:
+                    self._metric_cache_hits.inc()
+                return [dict(binding) for binding in cached]
+            if self._metric_cache_misses is not None:
+                self._metric_cache_misses.inc()
+        result = select(
+            self.graph, patterns, variables=variables, filters=filters,
+            distinct=distinct, order_by=order_by, descending=descending,
+            limit=limit, optional=optional, optimize=optimize,
+        )
+        if cacheable:
+            self._cache.put(self.graph.version, key,
+                            [dict(binding) for binding in result])
+        return result

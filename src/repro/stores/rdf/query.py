@@ -8,6 +8,15 @@ variables.  This is the query layer Jena's SPARQL engine provides in
 the paper (used there to query DBpedia; used here against the local
 graph and the simulated knowledge services' exports).
 
+By default ``select`` routes the join through the cost-based planner
+(:mod:`repro.stores.rdf.plan`): patterns run most-selective-first and
+filters are pushed down to the earliest step that binds their
+variables.  ``optimize=False`` keeps the literal user-given order (the
+naive engine), which the property tests use as the reference
+implementation.  When both ``order_by`` and ``limit`` are given (and
+``distinct`` is not), the engine switches to heap-based top-k instead
+of a full sort.
+
 Example::
 
     select(
@@ -22,6 +31,7 @@ Example::
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Callable, Sequence
 
 from repro.stores.rdf.graph import Graph, Term
@@ -68,7 +78,12 @@ def _match_pattern(graph: Graph, pattern: Pattern, binding: Binding) -> list[Bin
 
 
 def solve(graph: Graph, patterns: Sequence[Pattern]) -> list[Binding]:
-    """All variable bindings satisfying every pattern (natural join)."""
+    """All variable bindings satisfying every pattern (natural join).
+
+    Joins in the literal pattern order — the naive reference engine.
+    ``select`` reorders via the planner instead; use this directly when
+    the given order is meaningful.
+    """
     bindings: list[Binding] = [{}]
     for pattern in patterns:
         next_bindings: list[Binding] = []
@@ -108,6 +123,40 @@ def solve_optional(
     return extended
 
 
+def _order_key(value: object) -> tuple[int, object]:
+    """A total-order sort key over mixed-type binding values.
+
+    Values are ranked by class — None, then numerics, then strings,
+    then everything else by its repr — and compared by value within a
+    rank.  bool / int / float all coerce to float, so mixed numeric
+    columns sort numerically instead of grouping by type name.
+    """
+    if value is None:
+        return (0, 0.0)
+    if isinstance(value, (bool, int, float)):
+        return (1, float(value))
+    if isinstance(value, str):
+        return (2, value)
+    return (3, str(value))
+
+
+def _binding_key(binding: Binding) -> frozenset:
+    """A hashable identity for a binding (order-independent)."""
+    return frozenset(binding.items())
+
+
+def distinct_bindings(bindings: Sequence[Binding]) -> list[Binding]:
+    """Drop duplicate bindings, keeping first occurrences in order."""
+    seen: set[frozenset] = set()
+    unique: list[Binding] = []
+    for binding in bindings:
+        key = _binding_key(binding)
+        if key not in seen:
+            seen.add(key)
+            unique.append(binding)
+    return unique
+
+
 def select(
     graph: Graph,
     patterns: Sequence[Pattern],
@@ -118,6 +167,7 @@ def select(
     descending: bool = False,
     limit: int | None = None,
     optional: Sequence[Pattern] = (),
+    optimize: bool = True,
 ) -> list[Binding]:
     """Run a SELECT query; returns a list of projected bindings.
 
@@ -125,22 +175,41 @@ def select(
     patterns.  Filters receive full (pre-projection) bindings.
     ``optional`` patterns have SPARQL OPTIONAL (left-join) semantics:
     they enrich solutions when they match but never eliminate one.
+    ``optimize=True`` (the default) plans the join order and filter
+    placement by cost; the result set is identical to the naive
+    engine's, only the evaluation order changes.
     """
     for pattern in list(patterns) + list(optional):
         if len(pattern) != 3:
             raise ValueError(f"patterns must be triples, got {pattern!r}")
-    solutions = solve(graph, patterns)
+    filters = list(filters)
+    if optimize and patterns:
+        # Imported lazily: plan.py imports this module for pattern
+        # matching, so a top-level import would be circular.
+        from repro.stores.rdf.plan import build_plan, execute_plan
+
+        plan = build_plan(graph, patterns, filters)
+        solutions = execute_plan(graph, plan, filters)
+        remaining_filters = [filters[index] for index in plan.residual_filters]
+    else:
+        solutions = solve(graph, patterns)
+        remaining_filters = filters
     if optional:
         solutions = solve_optional(graph, solutions, optional)
-    for predicate in filters:
+    for predicate in remaining_filters:
         solutions = [binding for binding in solutions if predicate(binding)]
     if order_by is not None:
-        solutions.sort(
-            key=lambda binding: (str(type(binding.get(order_by)).__name__),
-                                 binding.get(order_by) is None,
-                                 binding.get(order_by)),
-            reverse=descending,
-        )
+        def sort_key(binding: Binding) -> tuple[int, object]:
+            return _order_key(binding.get(order_by))
+
+        if limit is not None and limit >= 0 and not distinct:
+            # Top-k: a bounded heap instead of sorting everything.
+            # nsmallest/nlargest are stable, so the outcome matches
+            # sort + slice exactly.
+            chooser = heapq.nlargest if descending else heapq.nsmallest
+            solutions = chooser(limit, solutions, key=sort_key)
+        else:
+            solutions.sort(key=sort_key, reverse=descending)
     if variables is not None:
         unknown = [name for name in variables if not is_variable(name)]
         if unknown:
@@ -150,14 +219,7 @@ def select(
             for binding in solutions
         ]
     if distinct:
-        seen = set()
-        unique = []
-        for binding in solutions:
-            key = tuple(sorted(binding.items(), key=lambda item: item[0]))
-            if key not in seen:
-                seen.add(key)
-                unique.append(binding)
-        solutions = unique
+        solutions = distinct_bindings(solutions)
     if limit is not None:
         solutions = solutions[:limit]
     return solutions
@@ -183,12 +245,5 @@ def union(
                    **select_kwargs)
         )
     if distinct:
-        seen = set()
-        unique = []
-        for binding in combined:
-            key = tuple(sorted(binding.items(), key=lambda item: item[0]))
-            if key not in seen:
-                seen.add(key)
-                unique.append(binding)
-        combined = unique
+        combined = distinct_bindings(combined)
     return combined

@@ -6,11 +6,39 @@ paper lists (the fourth, the generic rule reasoner, lives in
 ``apply`` adds entailed triples to the graph and returns how many were
 new, so repeated application is idempotent — a property the test suite
 checks.
+
+Both are implemented as semi-naive delta rules on top of
+:class:`~repro.stores.rdf.rules.GenericRuleReasoner`.  That buys an
+incremental mode for free: :meth:`apply_delta` derives only the
+consequences of newly added triples instead of rescanning the whole
+graph every fixpoint round, which is what
+:class:`~repro.stores.rdf.materialize.MaterializedGraph` uses to keep
+a materialized view fresh under a stream of additions.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from repro.stores.rdf.graph import Graph, RDF, RDFS, Triple
+from repro.stores.rdf.rules import GenericRuleReasoner, Rule
+
+
+def _no_self_loop(head: str, tail: str):
+    """Guard factory: keep transitive closure free of ``x -> x`` edges."""
+    def guard(binding: dict) -> bool:
+        return binding[head] != binding[tail]
+
+    return guard
+
+
+def _transitive_rule(predicate: str, name: str) -> Rule:
+    return Rule(
+        premises=[("?a", predicate, "?b"), ("?b", predicate, "?c")],
+        conclusions=[("?a", predicate, "?c")],
+        name=name,
+        guards=(_no_self_loop("?a", "?c"),),
+    )
 
 
 class TransitiveReasoner:
@@ -28,36 +56,30 @@ class TransitiveReasoner:
             RDFS.subPropertyOf,
         ]
 
+    def _engine(self) -> GenericRuleReasoner:
+        # Built per call so callers may mutate ``predicates`` freely.
+        return GenericRuleReasoner([
+            _transitive_rule(predicate, f"transitive:{predicate}")
+            for predicate in self.predicates
+        ])
+
     def apply(self, graph: Graph) -> int:
         """Materialize the closure; returns the number of new triples."""
-        added_total = 0
-        for predicate in self.predicates:
-            added_total += self._close(graph, predicate)
-        return added_total
+        return self._engine().forward(graph)
 
-    @staticmethod
-    def _close(graph: Graph, predicate: str) -> int:
-        # Warshall-style fixpoint over the adjacency of one predicate.
-        successors: dict[str, set] = {}
-        for triple in graph.match(None, predicate, None):
-            successors.setdefault(triple.subject, set()).add(triple.object)
-        changed = True
-        while changed:
-            changed = False
-            for subject, objects in list(successors.items()):
-                expansion = set()
-                for middle in objects:
-                    expansion |= successors.get(middle, set())
-                new = expansion - objects
-                if new:
-                    objects |= new
-                    changed = True
-        added = 0
-        for subject, objects in successors.items():
-            for obj in objects:
-                if subject != obj and graph.add(Triple(subject, predicate, obj)):
-                    added += 1
-        return added
+    def apply_delta(self, graph: Graph, delta: Iterable[Triple | tuple]) -> int:
+        """Extend the closure with the consequences of ``delta`` only.
+
+        Assumes the graph was closed before the delta triples were
+        inserted (they must already be present).  Returns new-triple
+        count.
+        """
+        return len(self._delta_set(graph, delta))
+
+    def _delta_set(self, graph: Graph, delta: Iterable[Triple | tuple]) -> set[Triple]:
+        """Like :meth:`apply_delta` but returns the added triples."""
+        frontier = {Graph._coerce(triple) for triple in delta}
+        return self._engine()._run(graph, frontier, None) if frontier else set()
 
 
 class RdfsReasoner:
@@ -84,63 +106,56 @@ class RdfsReasoner:
         if unknown:
             raise ValueError(f"unknown RDFS rules: {sorted(unknown)}")
         self.rules = selected
+        self._reasoner = GenericRuleReasoner(
+            [self._RULE_FACTORIES[name]() for name in selected]
+        )
+
+    # Each RDFS entailment as a Horn rule.  Premise order matters for
+    # the naive first round: the schema-level premise (domain / range /
+    # subClassOf / subPropertyOf) comes first because schema triples
+    # are few, instance triples many.
+    _RULE_FACTORIES = {
+        "rdfs2": lambda: Rule(
+            premises=[("?p", RDFS.domain, "?c"), ("?x", "?p", "?y")],
+            conclusions=[("?x", RDF.type, "?c")],
+            name="rdfs2",
+        ),
+        "rdfs3": lambda: Rule(
+            premises=[("?p", RDFS.range, "?c"), ("?x", "?p", "?y")],
+            conclusions=[("?y", RDF.type, "?c")],
+            name="rdfs3",
+            guards=(lambda binding: isinstance(binding["?y"], str),),
+        ),
+        "rdfs5": lambda: _transitive_rule(RDFS.subPropertyOf, "rdfs5"),
+        "rdfs7": lambda: Rule(
+            premises=[("?p", RDFS.subPropertyOf, "?q"), ("?x", "?p", "?y")],
+            conclusions=[("?x", "?q", "?y")],
+            name="rdfs7",
+            guards=(lambda binding: isinstance(binding["?q"], str),),
+        ),
+        "rdfs9": lambda: Rule(
+            premises=[("?c", RDFS.subClassOf, "?d"), ("?x", RDF.type, "?c")],
+            conclusions=[("?x", RDF.type, "?d")],
+            name="rdfs9",
+            guards=(lambda binding: isinstance(binding["?d"], str),),
+        ),
+        "rdfs11": lambda: _transitive_rule(RDFS.subClassOf, "rdfs11"),
+    }
 
     def apply(self, graph: Graph) -> int:
         """Run all selected rules to fixpoint; returns new-triple count."""
-        added_total = 0
-        changed = True
-        while changed:
-            changed = False
-            for rule in self.rules:
-                step = getattr(self, f"_{rule}")(graph)
-                if step:
-                    added_total += step
-                    changed = True
-        return added_total
+        return self._reasoner.forward(graph)
 
-    @staticmethod
-    def _rdfs2(graph: Graph) -> int:
-        added = 0
-        for domain_triple in graph.match(None, RDFS.domain, None):
-            for usage in graph.match(None, domain_triple.subject, None):
-                added += graph.add(Triple(usage.subject, RDF.type, domain_triple.object))
-        return added
+    def apply_delta(self, graph: Graph, delta: Iterable[Triple | tuple]) -> int:
+        """Derive only the consequences of ``delta`` (semi-naive).
 
-    @staticmethod
-    def _rdfs3(graph: Graph) -> int:
-        added = 0
-        for range_triple in graph.match(None, RDFS.range, None):
-            for usage in graph.match(None, range_triple.subject, None):
-                if isinstance(usage.object, str):
-                    added += graph.add(Triple(usage.object, RDF.type, range_triple.object))
-        return added
+        Assumes the graph held an RDFS fixpoint before the delta
+        triples were inserted (they must already be present).  Returns
+        new-triple count.
+        """
+        return len(self._delta_set(graph, delta))
 
-    @staticmethod
-    def _rdfs5(graph: Graph) -> int:
-        return TransitiveReasoner._close(graph, RDFS.subPropertyOf)
-
-    @staticmethod
-    def _rdfs7(graph: Graph) -> int:
-        added = 0
-        for sub_property in graph.match(None, RDFS.subPropertyOf, None):
-            if not isinstance(sub_property.object, str):
-                continue
-            for usage in graph.match(None, sub_property.subject, None):
-                added += graph.add(
-                    Triple(usage.subject, sub_property.object, usage.object)
-                )
-        return added
-
-    @staticmethod
-    def _rdfs9(graph: Graph) -> int:
-        added = 0
-        for subclass in graph.match(None, RDFS.subClassOf, None):
-            if not isinstance(subclass.object, str):
-                continue
-            for instance in graph.match(None, RDF.type, subclass.subject):
-                added += graph.add(Triple(instance.subject, RDF.type, subclass.object))
-        return added
-
-    @staticmethod
-    def _rdfs11(graph: Graph) -> int:
-        return TransitiveReasoner._close(graph, RDFS.subClassOf)
+    def _delta_set(self, graph: Graph, delta: Iterable[Triple | tuple]) -> set[Triple]:
+        """Like :meth:`apply_delta` but returns the added triples."""
+        frontier = {Graph._coerce(triple) for triple in delta}
+        return self._reasoner._run(graph, frontier, None) if frontier else set()

@@ -23,7 +23,7 @@ optional Python guard functions over the bindings::
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.stores.rdf.graph import Graph, Triple
@@ -88,9 +88,42 @@ class GenericRuleReasoner:
         Returns the number of new triples.  ``max_rounds`` bounds the
         fixpoint iteration (None = run to convergence).
         """
-        added_total = 0
+        return len(self._run(graph, None, max_rounds))
+
+    def forward_delta(
+        self,
+        graph: Graph,
+        delta: Iterable[Triple | tuple],
+        max_rounds: int | None = None,
+    ) -> int:
+        """Materialize only the consequences of ``delta`` triples.
+
+        Semi-naive incremental maintenance: assuming ``graph`` was
+        already at fixpoint *before* the delta triples were inserted,
+        this derives exactly the new consequences — every fired rule
+        instance must use at least one delta (or newly derived) triple.
+        The delta triples themselves must already be in the graph.
+        Returns the number of new triples.
+        """
+        frontier = {Graph._coerce(triple) for triple in delta}
+        if not frontier:
+            return 0
+        return len(self._run(graph, frontier, max_rounds))
+
+    def _run(
+        self,
+        graph: Graph,
+        frontier: set[Triple] | None,
+        max_rounds: int | None,
+    ) -> set[Triple]:
+        """The shared fixpoint loop; returns every triple it added.
+
+        ``frontier=None`` means "everything is new" (full evaluation,
+        first round unrestricted); a concrete frontier seeds semi-naive
+        evaluation from those triples only.
+        """
+        added_all: set[Triple] = set()
         rounds = 0
-        frontier: set[Triple] | None = None  # None = everything is new
         while True:
             rounds += 1
             new_triples: set[Triple] = set()
@@ -106,11 +139,11 @@ class GenericRuleReasoner:
                 break
             for triple in new_triples:
                 graph.add(triple)
-            added_total += len(new_triples)
+            added_all |= new_triples
             frontier = new_triples
             if max_rounds is not None and rounds >= max_rounds:
                 break
-        return added_total
+        return added_all
 
     def _rule_bindings(
         self, graph: Graph, rule: Rule, frontier: set[Triple] | None

@@ -119,17 +119,28 @@ class Table:
         return count
 
     def update(self, changes: Mapping[str, object], where: Predicate = None) -> int:
-        """Apply ``changes`` to matching rows; returns the number updated."""
+        """Apply ``changes`` to matching rows; returns the number matched.
+
+        Indexes are only invalidated when an *indexed* column's value
+        actually changed: buckets hold row references, so in-place
+        edits to other columns leave every bucket valid, and no-op
+        updates (same value written back) cost no rebuild at all.
+        """
         predicate = _as_predicate(where)
         validated_changes = {
             name: self._column(name).validate(value) for name, value in changes.items()
         }
         updated = 0
+        index_stale = False
         for row in self.rows:
             if predicate(row):
-                row.update(validated_changes)
+                for name, value in validated_changes.items():
+                    if row[name] != value:
+                        row[name] = value
+                        if name in self._indexed_columns:
+                            index_stale = True
                 updated += 1
-        if updated:
+        if index_stale:
             self._indexes_dirty = True
         return updated
 

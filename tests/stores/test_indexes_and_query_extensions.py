@@ -179,3 +179,42 @@ class TestSmoothing:
             holt_forecast([1, 2], horizon=-1)
         with pytest.raises(ValueError):
             holt_forecast([1, 2], horizon=1, alpha=0.0)
+
+
+class TestOptionalCornerCases:
+    def test_filter_on_unbound_optional_variable_runs_last(self, city_graph):
+        # The filter's only variable is bound by the OPTIONAL group, so
+        # the planner can never push it into the required join; it must
+        # run after OPTIONAL extension — exactly like the naive engine.
+        filters = [lambda b: b.get("?p") == 14]
+        for optimize in (True, False):
+            rows = select(
+                city_graph, [("?x", "rdf:type", "City")],
+                optional=[("?x", "pop", "?p")],
+                filters=filters, optimize=optimize,
+            )
+            assert [row["?x"] for row in rows] == ["tokyo"]
+
+    def test_optional_group_sharing_no_variables_cross_joins(self, city_graph):
+        # No shared variables: every required solution is extended by
+        # every optional match (a cartesian product), none eliminated.
+        rows = select(city_graph, [("?x", "rdf:type", "Country")],
+                      optional=[("?c", "rdf:type", "City")])
+        assert len(rows) == 3
+        assert {row["?x"] for row in rows} == {"japan"}
+        assert {row["?c"] for row in rows} == {"tokyo", "paris", "osaka"}
+
+    def test_optional_patterns_share_bindings_consistently(self, city_graph):
+        # Both optional patterns bind ?p: within one solution the value
+        # must agree, so ?other can only be a subject with the same pop.
+        rows = select(
+            city_graph, [("?x", "rdf:type", "City")],
+            optional=[("?x", "pop", "?p"), ("?other", "pop", "?p")],
+        )
+        by_city = {row["?x"]: row for row in rows}
+        assert by_city["tokyo"]["?other"] == "tokyo"
+        assert by_city["osaka"]["?p"] == 2
+        # paris has no pop: the whole optional group fails together and
+        # the bare solution survives with both variables unbound.
+        assert "?p" not in by_city["paris"]
+        assert "?other" not in by_city["paris"]

@@ -1,0 +1,148 @@
+"""Incrementally maintained materialized views and the result cache."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.stores.rdf.graph import Graph, RDF, RDFS, Triple
+from repro.stores.rdf.materialize import MaterializedGraph, QueryResultCache
+from repro.stores.rdf.reasoner import RdfsReasoner, TransitiveReasoner
+from repro.stores.rdf.rules import GenericRuleReasoner, Rule
+from repro.util.clock import ManualClock
+
+
+SCHEMA = [
+    ("Cat", RDFS.subClassOf, "Mammal"),
+    ("Mammal", RDFS.subClassOf, "Animal"),
+    ("hasPet", RDFS.domain, "Person"),
+    ("hasPet", RDFS.range, "Animal"),
+]
+
+
+def materialized_copy(base_facts):
+    """A freshly, fully materialized graph over the same base facts."""
+    graph = Graph(base_facts)
+    RdfsReasoner().apply(graph)
+    return graph
+
+
+class TestQueryResultCache:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(capacity=0)
+
+    def test_hit_requires_matching_version(self):
+        cache = QueryResultCache()
+        cache.put(1, ("k",), [{"?x": 1}])
+        assert cache.get(1, ("k",)) == [{"?x": 1}]
+        assert cache.get(2, ("k",)) is None  # stale entry dropped
+        assert cache.get(1, ("k",)) is None  # ...and gone for good
+        assert cache.hits == 1
+        assert cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = QueryResultCache(capacity=2)
+        cache.put(1, ("a",), [])
+        cache.put(1, ("b",), [])
+        cache.get(1, ("a",))  # refresh "a"
+        cache.put(1, ("c",), [])  # evicts "b"
+        assert cache.get(1, ("b",)) is None
+        assert cache.get(1, ("a",)) == []
+
+
+class TestMaterializedGraph:
+    def test_construction_materializes(self):
+        view = MaterializedGraph(Graph(SCHEMA + [("tom", RDF.type, "Cat")]))
+        assert Triple("tom", RDF.type, "Animal") in view
+        assert Triple("Cat", RDFS.subClassOf, "Animal") in view
+
+    def test_incremental_add_equals_full(self):
+        view = MaterializedGraph(Graph(SCHEMA))
+        facts = [
+            ("tom", RDF.type, "Cat"),
+            ("alice", "hasPet", "tom"),
+            ("Animal", RDFS.subClassOf, "LivingThing"),
+        ]
+        for fact in facts:
+            view.add(fact)
+        expected = materialized_copy(SCHEMA + facts)
+        assert set(view.graph) == set(expected)
+        assert view.base_facts() == {Graph._coerce(t) for t in SCHEMA + facts}
+
+    def test_add_reports_novelty(self):
+        view = MaterializedGraph(Graph(SCHEMA))
+        assert view.add(("tom", RDF.type, "Cat"))
+        assert not view.add(("tom", RDF.type, "Cat"))
+        # Asserting an already-derived fact is not "new"...
+        assert not view.add(("tom", RDF.type, "Mammal"))
+        # ...but it becomes a base fact, so deleting the premise keeps it.
+        view.remove(("tom", RDF.type, "Cat"))
+        assert Triple("tom", RDF.type, "Mammal") in view
+
+    def test_delete_retracts_stale_derivations(self):
+        view = MaterializedGraph(Graph(SCHEMA + [("tom", RDF.type, "Cat")]))
+        assert Triple("tom", RDF.type, "Animal") in view
+        assert view.remove(("tom", RDF.type, "Cat"))
+        assert Triple("tom", RDF.type, "Animal") not in view
+        assert Triple("Mammal", RDFS.subClassOf, "Animal") in view  # schema-only
+
+    def test_delete_of_unknown_fact_is_noop(self):
+        view = MaterializedGraph(Graph(SCHEMA))
+        version = view.version
+        assert not view.remove(("nobody", RDF.type, "Cat"))
+        assert view.version == version
+
+    def test_multiple_reasoners_reach_joint_fixpoint(self):
+        # The custom rule produces a subClassOf edge; the transitive
+        # reasoner must then extend the closure from it, and vice versa.
+        promote = Rule(
+            premises=[("?c", "promoted", "?d")],
+            conclusions=[("?c", RDFS.subClassOf, "?d")],
+            name="promote",
+        )
+        view = MaterializedGraph(
+            Graph([("Cat", RDFS.subClassOf, "Mammal")]),
+            reasoners=[TransitiveReasoner(), GenericRuleReasoner([promote])],
+        )
+        view.add(("Mammal", "promoted", "Animal"))
+        assert Triple("Cat", RDFS.subClassOf, "Animal") in view
+
+    def test_inferred_count(self):
+        view = MaterializedGraph(Graph(SCHEMA + [("tom", RDF.type, "Cat")]))
+        assert view.inferred_count == len(view) - len(SCHEMA) - 1
+        assert view.inferred_count > 0
+
+    def test_select_caches_until_mutation(self):
+        obs = Observability(clock=ManualClock())
+        view = MaterializedGraph(
+            Graph(SCHEMA + [("tom", RDF.type, "Cat")]), obs=obs)
+        patterns = [("?x", RDF.type, "Animal")]
+        first = view.select(patterns)
+        again = view.select(patterns)
+        assert first == again
+        assert view.cache.hits == 1
+        assert obs.metrics.counter("rdf_query_cache_hits_total").total() == 1.0
+        # A mutation (and its derivations) invalidates via the version.
+        view.add(("jerry", RDF.type, "Cat"))
+        third = view.select(patterns)
+        assert {b["?x"] for b in third} == {"tom", "jerry"}
+        assert view.cache.hits == 1
+
+    def test_cached_results_are_copies(self):
+        view = MaterializedGraph(Graph([("a", "p", "b")]))
+        first = view.select([("?x", "p", "?y")])
+        first[0]["?x"] = "mutated"
+        assert view.select([("?x", "p", "?y")]) == [{"?x": "a", "?y": "b"}]
+
+    def test_filtered_queries_bypass_cache(self):
+        view = MaterializedGraph(Graph([("a", "p", 1), ("b", "p", 2)]))
+        patterns = [("?x", "p", "?v")]
+        view.select(patterns, filters=[lambda b: b["?v"] > 1])
+        view.select(patterns, filters=[lambda b: b["?v"] > 1])
+        assert view.cache.hits == 0
+        assert len(view.cache) == 0
+
+    def test_version_is_monotonic_across_rebuild(self):
+        view = MaterializedGraph(Graph(SCHEMA + [("tom", RDF.type, "Cat")]))
+        before = view.version
+        view.remove(("tom", RDF.type, "Cat"))  # clear + rebuild inside
+        assert view.version > before

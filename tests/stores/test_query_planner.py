@@ -1,0 +1,251 @@
+"""The cost-based query planner: statistics, ordering, pushdown, top-k."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stores.rdf.graph import Graph
+from repro.stores.rdf.plan import (
+    bound_filter,
+    build_plan,
+    execute_plan,
+    filter_variables,
+)
+from repro.stores.rdf.query import distinct_bindings, select, solve, union
+from repro.stores.rdf.stats import BOUND
+
+
+@pytest.fixture
+def people():
+    """Five typed people with names; exactly one employment edge."""
+    graph = Graph()
+    for index in range(5):
+        graph.add((f"p{index}", "rdf:type", "Person"))
+        graph.add((f"p{index}", "name", f"N{index}"))
+    graph.add(("p1", "worksAt", "acme"))
+    return graph
+
+
+class TestStatistics:
+    def test_counts_track_adds(self, people):
+        stats = people.predicate_statistics()
+        assert stats["rdf:type"].count == 5
+        assert stats["rdf:type"].distinct_subjects == 5
+        assert stats["rdf:type"].distinct_objects == 1
+        assert stats["name"].distinct_objects == 5
+        assert stats["worksAt"].count == 1
+
+    def test_counts_track_removes(self, people):
+        people.remove(("p0", "rdf:type", "Person"))
+        people.remove(("p1", "worksAt", "acme"))
+        stats = people.predicate_statistics()
+        assert stats["rdf:type"].count == 4
+        assert stats["rdf:type"].distinct_subjects == 4
+        assert "worksAt" not in stats
+
+    def test_duplicate_add_does_not_inflate(self, people):
+        before = people.predicate_statistics()["rdf:type"].count
+        assert not people.add(("p0", "rdf:type", "Person"))
+        assert people.predicate_statistics()["rdf:type"].count == before
+
+    def test_fanout(self, people):
+        stats = people.predicate_statistics()["rdf:type"]
+        assert stats.subject_fanout == pytest.approx(1.0)
+        assert stats.object_fanout == pytest.approx(5.0)
+
+
+class TestEstimateCardinality:
+    def test_concrete_positions_use_index_counts(self, people):
+        assert people.estimate_cardinality(None, "rdf:type", "Person") == 5.0
+        assert people.estimate_cardinality(None, "worksAt", None) == 1.0
+        assert people.estimate_cardinality("p0", None, None) == 2.0
+        assert people.estimate_cardinality(None, None, None) == 11.0
+
+    def test_missing_term_is_zero(self, people):
+        assert people.estimate_cardinality(None, "nope", None) == 0.0
+        assert people.estimate_cardinality("p0", "rdf:type", "City") == 0.0
+
+    def test_bound_subject_discounts_by_distinct_subjects(self, people):
+        # 5 rdf:type rows over 5 distinct subjects -> 1 row per binding.
+        assert people.estimate_cardinality(
+            BOUND, "rdf:type", "Person") == pytest.approx(1.0)
+
+    def test_fully_concrete_is_membership(self, people):
+        assert people.estimate_cardinality("p1", "worksAt", "acme") == 1.0
+        assert people.estimate_cardinality("p2", "worksAt", "acme") == 0.0
+
+
+class TestFilterVariables:
+    def test_literal_lambda_is_detected(self):
+        assert filter_variables(lambda b: b["?pop"] > 100) == {"?pop"}
+
+    def test_nested_code_is_scanned(self):
+        predicate = lambda b: any(b[name] == "x" for name in ("?a", "?b"))
+        assert filter_variables(predicate) == {"?a", "?b"}
+
+    def test_closure_is_unknowable(self):
+        column = "?pop"
+
+        def predicate(binding):
+            return binding[column] > 100
+
+        assert filter_variables(predicate) is None
+
+    def test_bound_filter_declares(self):
+        column = "?pop"
+        predicate = bound_filter([column], lambda b: b[column] > 100)
+        assert filter_variables(predicate) == {"?pop"}
+
+
+class TestBuildPlan:
+    def test_explain_is_stable(self, people):
+        plan = build_plan(
+            people,
+            [("?p", "rdf:type", "Person"), ("?p", "worksAt", "?org")],
+            filters=[lambda b: b["?org"] == "acme"],
+        )
+        assert plan.explain() == {
+            "strategy": "greedy-selectivity",
+            "steps": [
+                {
+                    "pattern": ["?p", "worksAt", "?org"],
+                    "source_index": 1,
+                    "estimated_rows": 1.0,
+                    "bound_before": [],
+                    "filters_pushed": [0],
+                },
+                {
+                    "pattern": ["?p", "rdf:type", "Person"],
+                    "source_index": 0,
+                    "estimated_rows": 1.0,
+                    "bound_before": ["?org", "?p"],
+                    "filters_pushed": [],
+                },
+            ],
+            "residual_filters": [],
+        }
+
+    def test_selective_pattern_runs_first(self, people):
+        plan = build_plan(people, [
+            ("?p", "rdf:type", "Person"),
+            ("?p", "name", "?n"),
+            ("?p", "worksAt", "?org"),
+        ])
+        assert plan.pattern_order()[0] == 2
+
+    def test_undetectable_filter_stays_residual(self, people):
+        # An opaque filter: reads through closed-over names only, so
+        # the const scan finds nothing and pushdown must not happen.
+        org = "acme"
+        column = "?org"
+        opaque = lambda b: b[column] == org  # noqa: E731
+        plan = build_plan(people, [("?p", "worksAt", "?org")], [opaque])
+        assert plan.residual_filters == (0,)
+        assert plan.steps[0].filter_indexes == ()
+
+    def test_describe_mentions_each_step(self, people):
+        plan = build_plan(people, [("?p", "worksAt", "?org")])
+        assert "worksAt" in plan.describe()
+
+    def test_execute_plan_matches_naive_solve(self, people):
+        patterns = [("?p", "rdf:type", "Person"), ("?p", "name", "?n")]
+        plan = build_plan(people, patterns)
+        planned = execute_plan(people, plan)
+        naive = solve(people, patterns)
+        key = lambda b: sorted(b.items())  # noqa: E731
+        assert sorted(planned, key=key) == sorted(naive, key=key)
+
+
+class TestSelectPlanned:
+    def test_planned_equals_naive(self, people):
+        patterns = [
+            ("?p", "rdf:type", "Person"),
+            ("?p", "name", "?n"),
+            ("?p", "worksAt", "?org"),
+        ]
+        planned = select(people, patterns)
+        naive = select(people, patterns, optimize=False)
+        assert planned == naive == [{"?p": "p1", "?n": "N1", "?org": "acme"}]
+
+    def test_pushed_filter_result_matches_naive(self, people):
+        patterns = [("?p", "rdf:type", "Person"), ("?p", "name", "?n")]
+        filters = [lambda b: b["?n"] in ("N2", "N3")]
+        planned = select(people, patterns, filters=filters, order_by="?n")
+        naive = select(people, patterns, filters=filters, order_by="?n",
+                       optimize=False)
+        assert planned == naive
+        assert [b["?n"] for b in planned] == ["N2", "N3"]
+
+    def test_topk_equals_sort_plus_slice(self):
+        graph = Graph()
+        for index in range(50):
+            graph.add((f"s{index}", "score", (index * 7) % 50))
+        full = select(graph, [("?s", "score", "?v")], order_by="?v",
+                      descending=True, optimize=False)
+        topk = select(graph, [("?s", "score", "?v")], order_by="?v",
+                      descending=True, limit=5)
+        assert topk == full[:5]
+        bottomk = select(graph, [("?s", "score", "?v")], order_by="?v",
+                         limit=3)
+        assert bottomk == full[-3:][::-1]
+
+    def test_order_by_mixes_bool_int_float(self):
+        graph = Graph()
+        graph.add(("a", "score", True))
+        graph.add(("b", "score", 2))
+        graph.add(("c", "score", 1.5))
+        ordered = select(graph, [("?s", "score", "?v")], order_by="?v")
+        assert [b["?s"] for b in ordered] == ["a", "c", "b"]
+
+    def test_order_by_none_sorts_first(self):
+        graph = Graph()
+        graph.add(("a", "score", 3))
+        graph.add(("b", "other", "x"))
+        ordered = select(
+            graph, [("?s", "?p", "?v")],
+            optional=[("?s", "score", "?score")],
+            order_by="?score",
+        )
+        assert ordered[0]["?s"] == "b"
+
+
+class TestDistinctHelper:
+    def test_distinct_bindings_keeps_first(self):
+        bindings = [{"?x": 1}, {"?x": 2}, {"?x": 1}]
+        assert distinct_bindings(bindings) == [{"?x": 1}, {"?x": 2}]
+
+    def test_union_dedups_across_groups(self, people):
+        result = union(people, [
+            [("?p", "rdf:type", "Person")],
+            [("?p", "name", "?n"), ("?p", "rdf:type", "Person")],
+        ], variables=["?p"])
+        assert sorted(b["?p"] for b in result) == [f"p{i}" for i in range(5)]
+
+
+# -- property test: planner output == naive engine output -------------------
+
+_terms = st.sampled_from(["a", "b", "c", 1, 2])
+_subjects = st.sampled_from(["a", "b", "c"])
+_predicates = st.sampled_from(["p", "q"])
+_component = st.sampled_from(["?x", "?y", "?z", "a", "b", "p", "q", 1])
+
+
+def _canonical(bindings):
+    return collections.Counter(
+        tuple(sorted((name, repr(value)) for name, value in binding.items()))
+        for binding in bindings
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    triples=st.lists(st.tuples(_subjects, _predicates, _terms), max_size=12),
+    patterns=st.lists(st.tuples(_component, _component, _component),
+                      min_size=1, max_size=3),
+)
+def test_planner_is_equivalent_to_naive_engine(triples, patterns):
+    graph = Graph(triples)
+    planned = select(graph, patterns)
+    naive = select(graph, patterns, optimize=False)
+    assert _canonical(planned) == _canonical(naive)

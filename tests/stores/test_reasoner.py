@@ -171,3 +171,56 @@ class TestClosureProperties:
             for target in reachable:
                 if target != start:
                     assert (start, RDFS.subClassOf, target) in graph
+
+
+class TestApplyDelta:
+    def test_transitive_delta_extends_closure(self):
+        graph = Graph([("a", RDFS.subClassOf, "b"), ("b", RDFS.subClassOf, "c")])
+        reasoner = TransitiveReasoner()
+        reasoner.apply(graph)
+        delta = ("c", RDFS.subClassOf, "d")
+        graph.add(delta)
+        # Only consequences of the delta: a-d and b-d.
+        assert reasoner.apply_delta(graph, [delta]) == 2
+        assert ("a", RDFS.subClassOf, "d") in graph
+
+    def test_empty_delta_is_free(self):
+        graph = Graph([("a", RDFS.subClassOf, "b")])
+        reasoner = TransitiveReasoner()
+        reasoner.apply(graph)
+        assert reasoner.apply_delta(graph, []) == 0
+
+    def test_rdfs_delta_matches_full_closure(self):
+        schema = [
+            ("hasPet", RDFS.domain, "Person"),
+            ("Cat", RDFS.subClassOf, "Mammal"),
+            ("Mammal", RDFS.subClassOf, "Animal"),
+        ]
+        graph = Graph(schema)
+        reasoner = RdfsReasoner()
+        reasoner.apply(graph)
+        delta = [("alice", "hasPet", "tom"), ("tom", RDF.type, "Cat")]
+        for triple in delta:
+            graph.add(triple)
+        reasoner.apply_delta(graph, delta)
+        reference = Graph(schema + delta)
+        RdfsReasoner().apply(reference)
+        assert set(graph) == set(reference)
+        assert ("tom", RDF.type, "Animal") in graph
+        assert ("alice", RDF.type, "Person") in graph
+
+    @given(st.lists(
+        st.tuples(st.sampled_from("abcde"), st.just(RDFS.subClassOf),
+                  st.sampled_from("abcde")),
+        max_size=10,
+    ), st.tuples(st.sampled_from("abcde"), st.just(RDFS.subClassOf),
+                 st.sampled_from("abcde")))
+    def test_delta_closure_equals_full_closure(self, edges, new_edge):
+        graph = Graph(edges)
+        reasoner = TransitiveReasoner()
+        reasoner.apply(graph)
+        graph.add(new_edge)
+        reasoner.apply_delta(graph, [new_edge])
+        reference = Graph(edges + [new_edge])
+        TransitiveReasoner().apply(reference)
+        assert set(graph) == set(reference)

@@ -218,3 +218,38 @@ class TestPersistence:
         restored = Table.from_dict(people.to_dict())
         with pytest.raises(SchemaError):
             restored.insert({"name": None})
+
+
+class TestIndexDirtyTracking:
+    def test_noop_update_keeps_indexes_fresh(self, people):
+        people.create_index("city")
+        people.select(where={"city": "tokyo"})  # force a rebuild
+        assert not people._indexes_dirty
+        # Writing the same values back changes nothing: no rebuild due.
+        assert people.update({"city": "tokyo"}, where={"city": "tokyo"}) == 2
+        assert not people._indexes_dirty
+
+    def test_update_of_unindexed_column_keeps_indexes_fresh(self, people):
+        people.create_index("city")
+        people.select(where={"city": "tokyo"})
+        # Buckets hold row references, so an in-place edit to an
+        # unindexed column leaves every bucket correct.
+        people.update({"score": 1.0}, where={"city": "tokyo"})
+        assert not people._indexes_dirty
+        rows = people.select(where={"city": "tokyo"})
+        assert all(row["score"] == 1.0 for row in rows)
+
+    def test_update_of_indexed_column_marks_dirty(self, people):
+        people.create_index("city")
+        people.select(where={"city": "tokyo"})
+        people.update({"city": "osaka"}, where={"city": "tokyo"})
+        assert people._indexes_dirty
+        assert len(people.select(where={"city": "osaka"})) == 2
+
+    def test_matching_delete_marks_dirty_but_miss_does_not(self, people):
+        people.create_index("city")
+        people.select(where={"city": "tokyo"})
+        assert people.delete(where={"city": "atlantis"}) == 0
+        assert not people._indexes_dirty
+        assert people.delete(where={"city": "paris"}) == 2
+        assert people._indexes_dirty

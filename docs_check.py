@@ -13,6 +13,9 @@ does).  Three passes, any failure exits non-zero with a report:
 3. **Core docstrings** — every module, public class and public method
    in ``src/repro/core`` carries a docstring (the locally-runnable
    equivalent of CI's ``pydocstyle --select=D100,D101,D102`` pass).
+4. **Analysis clean** — ``repro.analysis`` (the project's own static
+   analysis suite, see ``docs/static-analysis.md``) reports zero
+   unsuppressed findings over ``src/repro`` in strict mode.
 """
 
 from __future__ import annotations
@@ -114,15 +117,34 @@ def check_core_docstrings(failures: list[str]) -> int:
     return scanned
 
 
+def check_analysis_clean(failures: list[str]) -> int:
+    """Run repro.analysis over src/repro in strict mode; returns the
+    number of files it scanned."""
+    if str(ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(ROOT / "src"))
+    from repro.analysis import analyze_paths
+
+    report = analyze_paths([ROOT / "src" / "repro"], root=ROOT)
+    for finding in report.findings:
+        failures.append(f"analysis: {finding.render()}")
+    for error in report.errors:
+        failures.append(f"analysis: {error}")
+    for unknown in report.unknown_suppressions:
+        failures.append(f"analysis: unknown suppression: {unknown}")
+    return report.files_scanned
+
+
 def main() -> int:
-    """Run all three passes; print a summary; 0 on success."""
+    """Run all four passes; print a summary; 0 on success."""
     failures: list[str] = []
     ran = check_snippets(failures)
     links = check_links(failures)
     scanned = check_core_docstrings(failures)
+    analyzed = check_analysis_clean(failures)
     print(f"docs_check: {ran} snippet blocks executed, "
           f"{links} relative links verified, "
-          f"{scanned} core modules docstring-audited")
+          f"{scanned} core modules docstring-audited, "
+          f"{analyzed} files analysis-clean")
     if failures:
         print(f"\n{len(failures)} failure(s):", file=sys.stderr)
         for failure in failures:

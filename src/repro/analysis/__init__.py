@@ -1,0 +1,56 @@
+"""Project-aware static analysis and concurrency lint for the repo.
+
+``python -m repro.analysis src/repro --strict`` runs the full rule
+catalog over the SDK and exits non-zero on any unsuppressed finding:
+
+* **RA001** clock discipline — raw ``time`` / ``datetime.now`` outside
+  ``util/clock.py``;
+* **RA002** swallowed exceptions;
+* **RA003** missing ``raise ... from`` chaining;
+* **RA004** blocking calls inside ``with <lock>`` bodies;
+* **RA005** metric/span names must come from ``repro.obs.names`` and be
+  documented;
+* **RA006** cycles in the static acquired-while-held lock graph
+  (potential ABBA deadlocks).
+
+Suppress a finding with ``# repro: ignore[RA002]`` on its line (plus a
+comment saying why), or ``# repro: ignore-file[RA004]`` for a file.
+:mod:`repro.analysis.runtime` provides the runtime counterpart to
+RA006: :class:`~repro.analysis.runtime.OrderedLock` records actual
+acquisition order and raises on cycle formation.  See
+``docs/static-analysis.md`` for the full catalog and extension guide.
+"""
+
+from repro.analysis.engine import Analyzer, Finding, Report, Rule
+from repro.analysis.rules import ALL_RULE_IDS, RULE_CLASSES, default_rules
+
+
+def analyze_paths(paths, root=None, select=None, ignore=None,
+                  docs_path=None) -> Report:
+    """Run the default rule catalog over ``paths``; returns a Report.
+
+    ``paths`` are files or directories (strings or ``Path``); ``root``
+    anchors relative paths in the report (defaults to the CWD).
+    ``select`` / ``ignore`` filter by rule id.
+    """
+    from pathlib import Path
+
+    root = Path(root) if root is not None else Path.cwd()
+    rules = default_rules(
+        select={rule.upper() for rule in select} if select else None,
+        ignore={rule.upper() for rule in ignore} if ignore else None,
+        root=root, docs_path=docs_path)
+    analyzer = Analyzer(rules)
+    return analyzer.run([Path(path) for path in paths], root=root)
+
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "Analyzer",
+    "Finding",
+    "Report",
+    "Rule",
+    "RULE_CLASSES",
+    "analyze_paths",
+    "default_rules",
+]

@@ -1,0 +1,81 @@
+"""Command-line entry point: ``python -m repro.analysis [paths]``.
+
+Exit status: 0 when clean, 1 when there are findings or parse errors
+(or, under ``--strict``, suppression comments naming unknown rules),
+2 on usage errors.  ``--format json`` emits a machine-readable report
+for CI annotation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import ALL_RULE_IDS, Analyzer, default_rules
+
+
+def _parse_rule_list(raw: str) -> set[str]:
+    return {chunk.strip().upper() for chunk in raw.split(",") if chunk.strip()}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for the docs and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis",
+        description="Project-aware static analysis for the repro codebase.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyze "
+                             "(default: src/repro)")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail on suppressions naming unknown rules")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--ignore", metavar="RULES",
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--root", metavar="DIR",
+                        help="project root for relative paths and the "
+                             "docs/observability.md lookup (default: CWD)")
+    parser.add_argument("--docs", metavar="FILE",
+                        help="observability doc checked by RA005")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also list suppressed findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+    select = _parse_rule_list(args.select) if args.select else None
+    ignore = _parse_rule_list(args.ignore) if args.ignore else None
+    if select is not None:
+        unknown = select - set(ALL_RULE_IDS)
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    root = Path(args.root) if args.root else Path.cwd()
+    rules = default_rules(select=select, ignore=ignore, root=root,
+                          docs_path=args.docs)
+    if not rules:
+        print("no rules selected", file=sys.stderr)
+        return 2
+    report = Analyzer(rules).run([Path(path) for path in args.paths],
+                                 root=root)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text(verbose=args.verbose))
+    return 0 if report.ok(strict=args.strict) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Analysis engine: runs rules over a project and reports findings.
+
+The engine owns everything rule-independent: file collection, the
+suppression protocol (``# repro: ignore[RA001]`` on the offending line,
+``# repro: ignore-file[RA001]`` anywhere in a file, bare ``ignore`` for
+a blanket waiver), deterministic ordering, and text/JSON rendering.
+Rules only yield :class:`Finding` objects; they never decide whether a
+finding is silenced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.project import Project, SourceFile, collect_files
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    relpath: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RAxxx message`` — the text report line."""
+        return f"{self.relpath}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe form used by ``--format json``."""
+        return {"path": self.relpath, "line": self.line, "col": self.col,
+                "rule": self.rule_id, "message": self.message}
+
+
+class Rule:
+    """Base class for analysis rules.
+
+    Subclasses set ``rule_id`` / ``description`` and override either
+    :meth:`check` (project-wide rules such as the lock-order graph) or
+    :meth:`check_file` (per-file rules).
+    """
+
+    rule_id = "RA000"
+    description = "abstract rule"
+
+    def check(self, project: Project) -> list[Finding]:
+        """Run the rule over the whole project."""
+        findings: list[Finding] = []
+        for source in project.files:
+            findings.extend(self.check_file(source, project))
+        return findings
+
+    def check_file(self, source: SourceFile, project: Project) -> list[Finding]:
+        """Run the rule over one file (default: nothing)."""
+        return []
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: list[str] = field(default_factory=list)
+    unknown_suppressions: list[str] = field(default_factory=list)
+
+    def ok(self, strict: bool = False) -> bool:
+        """Whether the run should exit zero."""
+        if self.findings or self.errors:
+            return False
+        if strict and self.unknown_suppressions:
+            return False
+        return True
+
+    def render_text(self, verbose: bool = False) -> str:
+        """Human-readable report."""
+        lines = [finding.render() for finding in self.findings]
+        lines.extend(f"error: {error}" for error in self.errors)
+        lines.extend(
+            f"warning: suppression names unknown rule: {entry}"
+            for entry in self.unknown_suppressions)
+        if verbose:
+            lines.extend(f"suppressed: {finding.render()}"
+                         for finding in self.suppressed)
+        lines.append(
+            f"repro.analysis: {self.files_scanned} files, "
+            f"{len(self.rules_run)} rules, {len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed")
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report."""
+        return json.dumps({
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+            "errors": list(self.errors),
+            "files_scanned": self.files_scanned,
+            "rules": list(self.rules_run),
+            "unknown_suppressions": list(self.unknown_suppressions),
+        }, indent=2, sort_keys=True)
+
+
+class Analyzer:
+    """Parses the target paths once and runs every selected rule."""
+
+    def __init__(self, rules: list[Rule]) -> None:
+        if not rules:
+            raise ValueError("analyzer needs at least one rule")
+        self.rules = rules
+
+    def run_project(self, project: Project, errors: list[str] | None = None) -> Report:
+        """Run the configured rules over an already-built project."""
+        report = Report(errors=list(errors or []),
+                        files_scanned=len(project.files),
+                        rules_run=[rule.rule_id for rule in self.rules])
+        by_relpath = {source.relpath: source for source in project.files}
+        known_rules = {rule.rule_id for rule in self.rules}
+        for rule in self.rules:
+            for finding in rule.check(project):
+                source = by_relpath.get(finding.relpath)
+                if source is not None and source.is_suppressed(
+                        finding.rule_id, finding.line):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+        for source in project.files:
+            for rule_id in sorted(source.suppression_rule_ids()):
+                if rule_id not in known_rules:
+                    report.unknown_suppressions.append(
+                        f"{source.relpath}: {rule_id}")
+        report.findings.sort()
+        report.suppressed.sort()
+        return report
+
+    def run(self, paths: list[Path], root: Path | None = None) -> Report:
+        """Collect, parse and analyze every ``.py`` file under ``paths``."""
+        root = root if root is not None else Path.cwd()
+        files, errors = collect_files(paths, root)
+        return self.run_project(Project(files), errors)

@@ -1,0 +1,252 @@
+"""Project model shared by every analysis rule.
+
+The analyzer parses each source file once into a :class:`SourceFile`
+(AST + suppression comments) and derives a cross-file :class:`Project`
+index: every class with its methods, the attributes that hold locks,
+and best-effort attribute/local types so the concurrency rules (RA004,
+RA006) can resolve ``self._flights.get(key).join()`` to
+``Flight.join`` without running the code.
+
+Type inference is deliberately shallow and conservative — constructor
+assignments (``self.x = Flight(...)``), annotations (``self.x: Flight``
+or ``self.x: dict[str, Flight]``, whose *value* type is taken), and
+direct local constructor calls.  Anything unresolved simply contributes
+no call edge; the rules document this as a soundness limitation.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Callables whose result is treated as a lock-like object when assigned
+#: to an attribute (``self._lock = threading.Lock()``).
+LOCK_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "OrderedLock",
+})
+
+#: Lock kinds that are re-entrant: acquiring the same instance while
+#: already holding it is legal, so self-edges are not deadlocks.
+#: ``Condition`` wraps an RLock by default.
+REENTRANT_FACTORIES = frozenset({"RLock", "Condition"})
+
+_SUPPRESS = re.compile(
+    r"#\s*repro:\s*ignore(?P<file>-file)?"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
+
+
+def _suppress_rules(match: re.Match) -> set[str]:
+    raw = match.group("rules")
+    if raw is None:
+        return {"*"}
+    return {rule.strip().upper() for rule in raw.split(",") if rule.strip()}
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its suppression comments."""
+
+    path: Path
+    relpath: str
+    text: str
+    lines: list[str]
+    tree: ast.Module
+    module: str
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    file_suppressions: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is silenced at ``line`` (1-based)."""
+        if rule_id in self.file_suppressions or "*" in self.file_suppressions:
+            return True
+        rules = self.line_suppressions.get(line, ())
+        return rule_id in rules or "*" in rules
+
+    def suppression_rule_ids(self) -> set[str]:
+        """Every explicit rule id named in a suppression comment."""
+        named: set[str] = set(self.file_suppressions)
+        for rules in self.line_suppressions.values():
+            named.update(rules)
+        named.discard("*")
+        return named
+
+
+@dataclass
+class ClassInfo:
+    """What the rules need to know about one class definition."""
+
+    name: str
+    qualname: str  # "<module>.<Class>", unique within a project
+    source: SourceFile
+    node: ast.ClassDef
+    #: Attribute name -> factory name for attributes assigned a lock.
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: Attribute name -> set of candidate class names (bare).
+    attr_types: dict[str, set[str]] = field(default_factory=dict)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+
+    def is_reentrant(self, attr: str) -> bool:
+        """Whether the lock held in ``attr`` may be re-acquired."""
+        return self.lock_attrs.get(attr) in REENTRANT_FACTORIES
+
+
+def _call_factory_name(node: ast.expr) -> str | None:
+    """``threading.Lock()`` / ``Lock()`` -> ``"Lock"``; else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _annotation_class(node: ast.expr | None) -> str | None:
+    """Best-effort class name out of an annotation expression.
+
+    ``Flight`` -> Flight; ``"Flight"`` -> Flight; ``Flight | None`` ->
+    Flight; ``dict[str, Flight]`` -> Flight (the value type, which is
+    what attribute lookups like ``self._flights.get(k)`` produce).
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # String annotation, possibly subscripted: take the head name.
+        head = re.match(r"[A-Za-z_][A-Za-z0-9_]*", node.value.strip())
+        return head.group(0) if head else None
+    if isinstance(node, ast.Subscript):
+        inner = node.slice
+        if isinstance(inner, ast.Tuple) and inner.elts:
+            return _annotation_class(inner.elts[-1])
+        return _annotation_class(inner)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_class(node.left) or _annotation_class(node.right)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_self_attr(node: ast.expr) -> str | None:
+    """``self.<attr>`` -> attr name, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _collect_class(node: ast.ClassDef, source: SourceFile) -> ClassInfo:
+    info = ClassInfo(name=node.name,
+                     qualname=f"{source.module}.{node.name}",
+                     source=source, node=node)
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[item.name] = item
+    for method in info.methods.values():
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.Assign):
+                targets, value, annotation = stmt.targets, stmt.value, None
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value, annotation = stmt.value, stmt.annotation
+            else:
+                continue
+            for target in targets:
+                attr = _is_self_attr(target)
+                if attr is None:
+                    continue
+                factory = _call_factory_name(value) if value is not None else None
+                if factory in LOCK_FACTORIES:
+                    info.lock_attrs[attr] = factory
+                    continue
+                candidates = set()
+                annotated = _annotation_class(annotation)
+                if annotated is not None:
+                    candidates.add(annotated)
+                if factory is not None:
+                    candidates.add(factory)
+                if candidates:
+                    info.attr_types.setdefault(attr, set()).update(candidates)
+    return info
+
+
+def parse_source(path: Path, root: Path) -> SourceFile:
+    """Parse one file into a :class:`SourceFile` (raises SyntaxError)."""
+    text = path.read_text(encoding="utf-8")
+    try:
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relpath = path.as_posix()
+    module = relpath.removesuffix(".py").replace("/", ".")
+    for prefix in ("src.",):
+        module = module.removeprefix(prefix)
+    tree = ast.parse(text, filename=str(path))
+    source = SourceFile(path=path, relpath=relpath, text=text,
+                        lines=text.splitlines(), tree=tree, module=module)
+    for lineno, line in enumerate(source.lines, start=1):
+        match = _SUPPRESS.search(line)
+        if match is None:
+            continue
+        rules = _suppress_rules(match)
+        if match.group("file"):
+            source.file_suppressions.update(rules)
+        else:
+            source.line_suppressions.setdefault(lineno, set()).update(rules)
+    return source
+
+
+class Project:
+    """Parsed files plus a cross-file class index."""
+
+    def __init__(self, files: list[SourceFile]) -> None:
+        self.files = files
+        self.classes: list[ClassInfo] = []
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        #: module name -> module-level lock variable names.
+        self.module_locks: dict[str, dict[str, str]] = {}
+        for source in files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = _collect_class(node, source)
+                    self.classes.append(info)
+                    self.classes_by_name.setdefault(info.name, []).append(info)
+            for node in source.tree.body:
+                if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                        and isinstance(node.targets[0], ast.Name):
+                    factory = _call_factory_name(node.value)
+                    if factory in LOCK_FACTORIES:
+                        self.module_locks.setdefault(
+                            source.module, {})[node.targets[0].id] = factory
+
+    def resolve_class(self, name: str) -> ClassInfo | None:
+        """The unique class with this bare name, or None if ambiguous."""
+        candidates = self.classes_by_name.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+
+def collect_files(paths: list[Path], root: Path) -> tuple[list[SourceFile], list[str]]:
+    """Parse every ``.py`` under ``paths``; returns (files, errors)."""
+    seen: set[Path] = set()
+    sources: list[SourceFile] = []
+    errors: list[str] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                sources.append(parse_source(candidate, root))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                errors.append(f"{candidate}: cannot parse: {exc}")
+    return sources, errors

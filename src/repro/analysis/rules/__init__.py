@@ -1,0 +1,50 @@
+"""Rule registry for ``repro.analysis``.
+
+Every rule is a small module exporting one :class:`~repro.analysis.engine.Rule`
+subclass; :func:`default_rules` instantiates the full catalog in id
+order.  To add a rule: write ``raNNN_topic.py`` with a ``Rule``
+subclass, import it here, append it to :data:`RULE_CLASSES`, and
+document it in ``docs/static-analysis.md`` (the doc page's catalog test
+keeps the two in sync).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.ra001_clock import ClockDisciplineRule
+from repro.analysis.rules.ra002_swallow import SwallowedExceptionRule
+from repro.analysis.rules.ra003_chain import ExceptionChainingRule
+from repro.analysis.rules.ra004_blocking import BlockingUnderLockRule
+from repro.analysis.rules.ra005_names import NameRegistryRule
+from repro.analysis.rules.ra006_lockorder import LockOrderRule
+
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    ClockDisciplineRule,
+    SwallowedExceptionRule,
+    ExceptionChainingRule,
+    BlockingUnderLockRule,
+    NameRegistryRule,
+    LockOrderRule,
+)
+
+ALL_RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)
+
+
+def default_rules(select: set[str] | None = None,
+                  ignore: set[str] | None = None,
+                  root: Path | None = None,
+                  docs_path: str | None = None) -> list[Rule]:
+    """Instantiate the rule catalog, honoring select/ignore filters."""
+    rules: list[Rule] = []
+    for cls in RULE_CLASSES:
+        if select is not None and cls.rule_id not in select:
+            continue
+        if ignore is not None and cls.rule_id in ignore:
+            continue
+        if cls is NameRegistryRule:
+            rules.append(NameRegistryRule(root=root, docs_path=docs_path))
+        else:
+            rules.append(cls())
+    return rules

@@ -1,0 +1,221 @@
+"""Shared lock-scope scanning for the concurrency rules (RA004, RA006).
+
+Walks a method body tracking which locks are *statically held* at each
+point (``with self._lock:`` bodies, matched against the owning class's
+inferred lock attributes) and resolves method calls through the
+project's shallow type information, so the rules can reason about what
+happens while a lock is held — a blocking call (RA004) or the
+acquisition of another lock, directly or via a resolved callee (RA006).
+
+A ``LockNode`` is ``(owner, attr)`` where owner is the class qualname
+for instance locks or the module name for module-level locks.  The
+analysis is intentionally *per-class*, not per-instance: two instances
+of the same class share a node.  That is the useful granularity for
+lock-ordering (the convention is per-class) and errs toward reporting;
+genuinely instance-partitioned designs can suppress with a comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.project import ClassInfo, Project, SourceFile
+
+LockNode = tuple[str, str]
+MethodKey = tuple[str, str]
+
+#: Container accessors whose result takes the container's value type.
+_CONTAINER_READS = frozenset({"get", "pop", "setdefault"})
+
+
+def format_lock(node: LockNode) -> str:
+    """Human form of a lock node: ``Owner.attr``."""
+    owner, attr = node
+    return f"{owner.rsplit('.', 1)[-1]}.{attr}"
+
+
+def infer_local_types(method: ast.FunctionDef, info: ClassInfo,
+                      project: Project) -> dict[str, set[str]]:
+    """Best-effort local-variable -> candidate-class-name map."""
+    types: dict[str, set[str]] = {}
+    for stmt in ast.walk(method):
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        candidates = _value_types(stmt.value, info, project)
+        if candidates:
+            types.setdefault(target.id, set()).update(candidates)
+    return types
+
+
+def _value_types(value: ast.expr, info: ClassInfo,
+                 project: Project) -> set[str]:
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Name) and func.id in project.classes_by_name:
+            return {func.id}
+        # self._flights.get(key) -> value type of the annotated container.
+        if (isinstance(func, ast.Attribute)
+                and func.attr in _CONTAINER_READS
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"):
+            return set(info.attr_types.get(func.value.attr, ()))
+        return set()
+    if (isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"):
+        return set(info.attr_types.get(value.attr, ()))
+    return set()
+
+
+def resolve_lock_expr(expr: ast.expr, info: ClassInfo,
+                      project: Project) -> LockNode | None:
+    """``self._lock`` / module-level ``LOCK`` -> LockNode, else None."""
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in info.lock_attrs):
+        return (info.qualname, expr.attr)
+    if isinstance(expr, ast.Name):
+        module_locks = project.module_locks.get(info.source.module, {})
+        if expr.id in module_locks:
+            return (info.source.module, expr.id)
+    return None
+
+
+def resolve_call(call: ast.Call, info: ClassInfo,
+                 local_types: dict[str, set[str]],
+                 project: Project) -> list[tuple[ClassInfo, str]]:
+    """Resolve a call to candidate ``(class, method)`` targets."""
+    func = call.func
+    targets: list[tuple[ClassInfo, str]] = []
+    if isinstance(func, ast.Name):
+        cls = project.resolve_class(func.id)
+        if cls is not None and "__init__" in cls.methods:
+            targets.append((cls, "__init__"))
+        return targets
+    if not isinstance(func, ast.Attribute):
+        return targets
+    receiver, method = func.value, func.attr
+    if isinstance(receiver, ast.Name):
+        if receiver.id == "self":
+            if method in info.methods:
+                targets.append((info, method))
+            return targets
+        for type_name in sorted(local_types.get(receiver.id, ())):
+            cls = project.resolve_class(type_name)
+            if cls is not None and method in cls.methods:
+                targets.append((cls, method))
+        return targets
+    if (isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"):
+        for type_name in sorted(info.attr_types.get(receiver.attr, ())):
+            cls = project.resolve_class(type_name)
+            if cls is not None and method in cls.methods:
+                targets.append((cls, method))
+    return targets
+
+
+@dataclass
+class MethodScan:
+    """Everything the lock-order analysis needs from one method body."""
+
+    source: SourceFile
+    #: Locks acquired anywhere in the method (with-statements and
+    #: explicit ``.acquire()`` calls), with line numbers.
+    acquires: list[tuple[LockNode, int]] = field(default_factory=list)
+    #: Calls resolved to project methods, anywhere in the body.
+    calls: list[tuple[MethodKey, int]] = field(default_factory=list)
+    #: (held lock, acquired lock, line) — a direct nesting.
+    held_acquires: list[tuple[LockNode, LockNode, int]] = field(default_factory=list)
+    #: (held lock, callee, line) — a call made under a lock.
+    held_calls: list[tuple[LockNode, MethodKey, int]] = field(default_factory=list)
+    #: Raw calls made while at least one lock is held (for RA004):
+    #: (call node, tuple of held locks).
+    held_raw_calls: list[tuple[ast.Call, tuple[LockNode, ...]]] = field(default_factory=list)
+
+
+class _LockScopeVisitor(ast.NodeVisitor):
+    def __init__(self, info: ClassInfo, project: Project,
+                 local_types: dict[str, set[str]], scan: MethodScan) -> None:
+        self.info = info
+        self.project = project
+        self.local_types = local_types
+        self.scan = scan
+        self.held: list[LockNode] = []
+
+    def _record_acquire(self, lock: LockNode, lineno: int) -> None:
+        self.scan.acquires.append((lock, lineno))
+        for held in self.held:
+            self.scan.held_acquires.append((held, lock, lineno))
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[LockNode] = []
+        for item in node.items:
+            lock = resolve_lock_expr(item.context_expr, self.info, self.project)
+            if lock is None:
+                self.visit(item.context_expr)
+            if lock is not None:
+                self._record_acquire(lock, node.lineno)
+                self.held.append(lock)
+                acquired.append(lock)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # self._lock.acquire() outside a with-statement.
+        if (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+            lock = resolve_lock_expr(func.value, self.info, self.project)
+            if lock is not None:
+                self._record_acquire(lock, node.lineno)
+        for cls, method in resolve_call(node, self.info, self.local_types,
+                                        self.project):
+            key: MethodKey = (cls.qualname, method)
+            self.scan.calls.append((key, node.lineno))
+            for held in self.held:
+                self.scan.held_calls.append((held, key, node.lineno))
+        if self.held:
+            self.scan.held_raw_calls.append((node, tuple(self.held)))
+        self.generic_visit(node)
+
+    # Nested functions (callbacks) run at an unknown time, typically
+    # after the enclosing lock is released — do not scan them as if
+    # they executed under the lock.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+def scan_method(info: ClassInfo, method: ast.FunctionDef,
+                project: Project) -> MethodScan:
+    """Scan one method for lock scopes, acquisitions and calls."""
+    scan = MethodScan(source=info.source)
+    visitor = _LockScopeVisitor(info, project,
+                                infer_local_types(method, info, project), scan)
+    for stmt in method.body:
+        visitor.visit(stmt)
+    return scan
+
+
+def scan_project(project: Project) -> dict[MethodKey, MethodScan]:
+    """Scan every method of every class in the project."""
+    scans: dict[MethodKey, MethodScan] = {}
+    for info in project.classes:
+        for name, method in info.methods.items():
+            scans[(info.qualname, name)] = scan_method(info, method, project)
+    return scans

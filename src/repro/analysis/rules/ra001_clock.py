@@ -1,0 +1,68 @@
+"""RA001 — clock discipline.
+
+Everything in this codebase that needs the current time must go through
+:mod:`repro.util.clock`: the simulated services *charge* latency to a
+``Clock`` instead of sleeping, so a raw ``time.time()`` /
+``time.sleep()`` / ``datetime.now()`` sprinkled elsewhere silently
+breaks determinism under a ``ManualClock`` (and makes tests wall-clock
+dependent).  The rule flags any import of the ``time`` module and any
+naive-"now" ``datetime`` access outside the allowlisted clock module.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import Project, SourceFile
+
+#: Files allowed to touch the raw clock (the abstraction itself).
+DEFAULT_ALLOWED_SUFFIXES = ("util/clock.py",)
+
+#: ``datetime`` attributes that read the ambient wall clock.
+NAIVE_NOW_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+class ClockDisciplineRule(Rule):
+    """Flag raw ``time`` / naive ``datetime`` usage outside util/clock."""
+
+    rule_id = "RA001"
+    description = ("raw time.* / datetime.now usage outside util/clock.py "
+                   "breaks ManualClock determinism")
+
+    def __init__(self, allowed_suffixes: tuple[str, ...] = DEFAULT_ALLOWED_SUFFIXES) -> None:
+        self.allowed_suffixes = allowed_suffixes
+
+    def check_file(self, source: SourceFile, project: Project) -> list[Finding]:
+        """Scan one file for clock-discipline violations."""
+        if source.relpath.endswith(self.allowed_suffixes):
+            return []
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(Finding(source.relpath, node.lineno,
+                                    node.col_offset, self.rule_id, message))
+
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time" or alias.name.startswith("time."):
+                        flag(node, "imports the raw `time` module; route "
+                                   "timing through repro.util.clock")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    flag(node, "imports from the raw `time` module; route "
+                               "timing through repro.util.clock")
+            elif isinstance(node, ast.Attribute):
+                if node.attr in NAIVE_NOW_ATTRS and self._is_datetime(node.value):
+                    flag(node, f"datetime.{node.attr}() reads the ambient "
+                               "wall clock; use a repro.util.clock.Clock")
+        return findings
+
+    @staticmethod
+    def _is_datetime(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in {"datetime", "date"}
+        if isinstance(node, ast.Attribute):
+            return node.attr in {"datetime", "date"}
+        return False

@@ -1,0 +1,53 @@
+"""RA002 — swallowed exceptions.
+
+A dependability SDK must never lose an error on the floor: every
+``except`` handler has to *do something observable* — re-raise, return
+or assign a fallback, log, or record a metric.  The rule flags handlers
+whose body is pure control-flow filler (``pass``, ``...``, ``continue``,
+``break``, a lone docstring): the exception vanished and nothing in the
+process can ever tell.
+
+Intentional fallthroughs (e.g. type-coercion probes where the next line
+*is* the handling) stay legal via an explanatory comment plus
+``# repro: ignore[RA002]`` on the handler line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import Project, SourceFile
+
+
+def _is_filler(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # docstring or `...`
+    return False
+
+
+class SwallowedExceptionRule(Rule):
+    """Flag except handlers that discard the exception without a trace."""
+
+    rule_id = "RA002"
+    description = ("except handler neither re-raises, logs, records a "
+                   "metric nor assigns a fallback — the error is lost")
+
+    def check_file(self, source: SourceFile, project: Project) -> list[Finding]:
+        """Scan one file for silently swallowed exceptions."""
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(_is_filler(stmt) for stmt in node.body):
+                caught = (ast.unparse(node.type)
+                          if node.type is not None else "BaseException")
+                findings.append(Finding(
+                    source.relpath, node.lineno, node.col_offset,
+                    self.rule_id,
+                    f"`except {caught}` swallows the exception silently; "
+                    "re-raise, log, record a metric, or suppress with a "
+                    "justifying comment"))
+        return findings

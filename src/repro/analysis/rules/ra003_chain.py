@@ -1,0 +1,67 @@
+"""RA003 — missing exception chaining.
+
+Raising a *new* exception inside an ``except`` handler without
+``from exc`` severs the causal chain: the traceback the operator sees
+ends at the translation site, and Python prints the misleading "During
+handling of the above exception, another exception occurred" banner
+instead of the honest "The above exception was the direct cause".
+The rule flags ``raise NewError(...)`` statements lexically inside a
+handler whose ``cause`` is absent; bare re-raises and ``raise err`` of
+the caught name are fine, as is explicit ``from None`` when the
+original really is irrelevant.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import Project, SourceFile
+
+
+class _HandlerRaises(ast.NodeVisitor):
+    """Collect unchained constructor raises inside one except handler."""
+
+    def __init__(self) -> None:
+        self.hits: list[ast.Raise] = []
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if isinstance(node.exc, ast.Call) and node.cause is None:
+            self.hits.append(node)
+        self.generic_visit(node)
+
+    # A nested function's raises execute outside the handler's flow.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+class ExceptionChainingRule(Rule):
+    """Flag `raise New(...)` without `from` inside except handlers."""
+
+    rule_id = "RA003"
+    description = ("new exception raised inside an except handler without "
+                   "`from exc` / `from None` — the causal chain is lost")
+
+    def check_file(self, source: SourceFile, project: Project) -> list[Finding]:
+        """Scan one file for unchained raises in handlers."""
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            collector = _HandlerRaises()
+            for stmt in node.body:
+                collector.visit(stmt)
+            for hit in collector.hits:
+                raised = ast.unparse(hit.exc.func) if isinstance(
+                    hit.exc, ast.Call) else "exception"
+                findings.append(Finding(
+                    source.relpath, hit.lineno, hit.col_offset, self.rule_id,
+                    f"raise {raised}(...) inside an except handler without "
+                    "`from exc` (or `from None`)"))
+        return findings

@@ -1,0 +1,139 @@
+"""RA005 — metric / span name registry consistency.
+
+Operators alert on metric names; docs and dashboards reference them by
+string.  A renamed counter that only exists as a literal at its call
+site silently breaks both.  This rule enforces one source of truth,
+:mod:`repro.obs.names`:
+
+* every ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` /
+  ``span(...)`` / ``instant_span(...)`` / ``start_span(...)`` call site
+  must pass a registry constant, never a string literal (the registry
+  module itself is exempt — it is where the literals live);
+* every constant defined in the registry must appear in the
+  observability documentation page, so docs cannot drift from code;
+* registry values must be unique.
+
+The registry and docs paths default to this repository's layout and are
+skipped quietly when absent, so the rule also works on fixture trees in
+the analyzer's own tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import Project, SourceFile
+
+#: Method names whose first argument is a metric or span name.
+NAME_SINKS = frozenset({
+    "counter", "gauge", "histogram", "span", "instant_span", "start_span",
+})
+
+DEFAULT_REGISTRY_SUFFIX = "obs/names.py"
+DEFAULT_DOCS_PATH = "docs/observability.md"
+
+
+def registry_constants(tree: ast.Module) -> dict[str, tuple[str, int]]:
+    """UPPERCASE string constants in a registry module: name -> (value, line)."""
+    constants: dict[str, tuple[str, int]] = {}
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id.isupper()
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            constants[node.targets[0].id] = (node.value.value, node.lineno)
+    return constants
+
+
+class NameRegistryRule(Rule):
+    """Enforce the metric/span name registry and its doc coverage."""
+
+    rule_id = "RA005"
+    description = ("metric/span names must come from the repro.obs.names "
+                   "registry and be documented in docs/observability.md")
+
+    def __init__(self, registry_suffix: str = DEFAULT_REGISTRY_SUFFIX,
+                 docs_path: str | Path | None = None,
+                 root: Path | None = None) -> None:
+        self.registry_suffix = registry_suffix
+        self.docs_path = docs_path
+        self.root = root
+
+    def check(self, project: Project) -> list[Finding]:
+        """Flag literal name sinks and registry/doc drift."""
+        findings: list[Finding] = []
+        registry: SourceFile | None = None
+        for source in project.files:
+            if source.relpath.endswith(self.registry_suffix):
+                registry = source
+                continue
+            findings.extend(self._check_literals(source))
+        if registry is not None:
+            findings.extend(self._check_registry(registry))
+        return findings
+
+    def _check_literals(self, source: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in NAME_SINKS):
+                continue
+            if not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                findings.append(Finding(
+                    source.relpath, first.lineno, first.col_offset,
+                    self.rule_id,
+                    f"literal {func.attr} name {first.value!r}; define a "
+                    "constant in repro/obs/names.py and use it here"))
+        return findings
+
+    def _check_registry(self, registry: SourceFile) -> list[Finding]:
+        findings: list[Finding] = []
+        constants = registry_constants(registry.tree)
+        seen_values: dict[str, str] = {}
+        for name, (value, line) in sorted(constants.items()):
+            if value in seen_values:
+                findings.append(Finding(
+                    registry.relpath, line, 0, self.rule_id,
+                    f"registry value {value!r} defined twice "
+                    f"({seen_values[value]} and {name})"))
+            else:
+                seen_values[value] = name
+        docs_text = self._docs_text(registry)
+        if docs_text is not None:
+            for name, (value, line) in sorted(constants.items()):
+                if value not in docs_text:
+                    findings.append(Finding(
+                        registry.relpath, line, 0, self.rule_id,
+                        f"{name} = {value!r} is not documented in "
+                        f"{self._docs_label()}"))
+        return findings
+
+    def _docs_label(self) -> str:
+        return str(self.docs_path or DEFAULT_DOCS_PATH)
+
+    def _docs_text(self, registry: SourceFile) -> str | None:
+        if self.docs_path is not None:
+            path = Path(self.docs_path)
+        else:
+            root = self.root
+            if root is None:
+                # Walk up from the registry file towards a docs/ dir.
+                root = registry.path.resolve().parent
+                for _ in range(6):
+                    if (root / DEFAULT_DOCS_PATH).exists():
+                        break
+                    root = root.parent
+            path = root / DEFAULT_DOCS_PATH
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None

@@ -1,0 +1,182 @@
+"""RA006 — static lock-order deadlock detection.
+
+Builds the project's **acquired-while-held** graph: a node per lock
+(``Class.attr`` for instance locks, ``module.NAME`` for module-level
+locks) and an edge ``A -> B`` whenever some method acquires ``B`` while
+statically holding ``A`` — either directly (nested ``with`` blocks) or
+through a resolved call chain (``with self._lock: flight.join()`` where
+``Flight.join`` takes ``Flight._lock``).  Call effects are propagated
+to a fixpoint over the project call graph, so the edge is found no
+matter how many frames separate the two acquisitions.
+
+A cycle in this graph is the classic ABBA deadlock recipe: two threads
+entering the cycle from different nodes can each hold the lock the
+other needs.  Every strongly connected component with more than one
+node — and every non-reentrant self-edge (a method re-acquiring the
+plain ``Lock`` it already holds) — is reported.
+
+The runtime counterpart (:mod:`repro.analysis.runtime`) checks the same
+property against *actual* acquisition order in tests.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import Project
+from repro.analysis.rules.lockscan import (
+    LockNode,
+    MethodKey,
+    format_lock,
+    scan_project,
+)
+
+_MAX_FIXPOINT_ROUNDS = 1000
+
+
+def _locks_reachable(scans) -> dict[MethodKey, set[LockNode]]:
+    """Fixpoint: every lock a method may acquire, transitively."""
+    reach: dict[MethodKey, set[LockNode]] = {
+        key: {lock for lock, _ in scan.acquires}
+        for key, scan in scans.items()
+    }
+    for _ in range(_MAX_FIXPOINT_ROUNDS):
+        changed = False
+        for key, scan in scans.items():
+            bucket = reach[key]
+            before = len(bucket)
+            for callee, _ in scan.calls:
+                bucket |= reach.get(callee, set())
+            changed = changed or len(bucket) != before
+        if not changed:
+            break
+    return reach
+
+
+def _strongly_connected(nodes, edges) -> list[list[LockNode]]:
+    """Tarjan's SCC algorithm (iterative), deterministic ordering."""
+    adjacency: dict[LockNode, list[LockNode]] = {node: [] for node in nodes}
+    for src, dst in edges:
+        if dst is not src:
+            adjacency[src].append(dst)
+    index: dict[LockNode, int] = {}
+    lowlink: dict[LockNode, int] = {}
+    on_stack: set[LockNode] = set()
+    stack: list[LockNode] = []
+    counter = [0]
+    components: list[list[LockNode]] = []
+
+    for root in sorted(adjacency):
+        if root in index:
+            continue
+        work: list[tuple[LockNode, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = sorted(adjacency[node])
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in index:
+                    work.append((node, child_index))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[LockNode] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+class LockOrderRule(Rule):
+    """Fail on cycles in the static acquired-while-held lock graph."""
+
+    rule_id = "RA006"
+    description = ("cycle in the acquired-while-held lock graph — "
+                   "a potential ABBA deadlock")
+
+    def check(self, project: Project) -> list[Finding]:
+        """Build the lock graph across the whole project and find cycles."""
+        scans = scan_project(project)
+        reach = _locks_reachable(scans)
+        reentrant = self._reentrant_nodes(project)
+
+        # edge -> (relpath, line, explanation); first witness wins.
+        edges: dict[tuple[LockNode, LockNode], tuple[str, int, str]] = {}
+        for key, scan in sorted(scans.items()):
+            relpath = scan.source.relpath
+            for held, acquired, line in scan.held_acquires:
+                edges.setdefault((held, acquired), (
+                    relpath, line,
+                    f"{format_lock(held)} held while acquiring "
+                    f"{format_lock(acquired)}"))
+            for held, callee, line in scan.held_calls:
+                for acquired in sorted(reach.get(callee, ())):
+                    edges.setdefault((held, acquired), (
+                        relpath, line,
+                        f"{format_lock(held)} held while calling "
+                        f"{callee[0].rsplit('.', 1)[-1]}.{callee[1]}(), "
+                        f"which acquires {format_lock(acquired)}"))
+
+        findings: list[Finding] = []
+        nodes = {node for edge in edges for node in edge}
+
+        # Non-reentrant self-edges: re-acquiring a plain Lock deadlocks
+        # immediately, no second thread required.
+        for (src, dst), (relpath, line, explanation) in sorted(edges.items()):
+            if src == dst and src not in reentrant:
+                findings.append(Finding(
+                    relpath, line, 0, self.rule_id,
+                    f"self-deadlock: {explanation} — the lock is not "
+                    "re-entrant"))
+
+        for component in _strongly_connected(nodes, edges):
+            if len(component) < 2:
+                continue
+            member_set = set(component)
+            witnesses = [
+                f"{explanation} ({relpath}:{line})"
+                for (src, dst), (relpath, line, explanation)
+                in sorted(edges.items())
+                if src in member_set and dst in member_set and src != dst
+            ]
+            cycle = " <-> ".join(format_lock(node) for node in component)
+            first = min(
+                (edges[edge] for edge in edges
+                 if edge[0] in member_set and edge[1] in member_set
+                 and edge[0] != edge[1]),
+                key=lambda item: (item[0], item[1]))
+            findings.append(Finding(
+                first[0], first[1], 0, self.rule_id,
+                f"lock-order cycle ({cycle}): " + "; ".join(witnesses)))
+        return findings
+
+    @staticmethod
+    def _reentrant_nodes(project: Project) -> set[LockNode]:
+        nodes: set[LockNode] = set()
+        for info in project.classes:
+            for attr in info.lock_attrs:
+                if info.is_reentrant(attr):
+                    nodes.add((info.qualname, attr))
+        for module, locks in project.module_locks.items():
+            for name, factory in locks.items():
+                if factory in {"RLock", "Condition"}:
+                    nodes.add((module, name))
+        return nodes

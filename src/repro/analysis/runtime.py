@@ -1,0 +1,173 @@
+"""Runtime lock-order checking: :class:`OrderedLock` and its watchdog.
+
+The static RA006 pass proves the *declared* structure of the code is
+cycle-free; this module proves the *executed* order is.  Wrap the locks
+under test in :class:`OrderedLock` (same ``with`` / ``acquire`` /
+``release`` surface as ``threading.Lock``) and every acquisition
+records an edge ``held -> wanted`` in the process-wide
+:data:`watchdog`'s order graph.  The moment an acquisition would close
+a cycle — the ABBA pattern forming, possibly across different threads
+minutes apart — :class:`LockOrderViolation` is raised *before* the
+caller blocks, so a test fails loudly instead of hanging.
+
+Detection is by accumulated order, not by timing: thread one running
+``A then B`` and thread two later running ``B then A`` is caught even
+though the two never contended, which is exactly what makes the check
+deterministic enough for CI.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.util.errors import ReproError
+
+
+class LockOrderViolation(ReproError):
+    """Acquiring this lock would create a cycle in the order graph."""
+
+    def __init__(self, wanted: str, held: str, cycle: list[str]) -> None:
+        path = " -> ".join(cycle)
+        super().__init__(
+            f"lock-order violation: acquiring {wanted!r} while holding "
+            f"{held!r} closes the cycle {path}")
+        self.wanted = wanted
+        self.held = held
+        self.cycle = cycle
+
+
+class LockOrderWatchdog:
+    """Process-wide acquired-while-held graph over :class:`OrderedLock`.
+
+    Thread-safe.  ``enabled`` can be flipped off to measure the cost of
+    a seeded deadlock going undetected (the analyzer's tests do exactly
+    that); :meth:`reset` clears the graph between test cases.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._graph: dict[str, set[str]] = {}
+        self._graph_lock = threading.Lock()
+        self._held = threading.local()
+
+    # -- per-thread held stack ----------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def held_by_current_thread(self) -> tuple[str, ...]:
+        """Names of OrderedLocks this thread currently holds, in order."""
+        return tuple(self._stack())
+
+    # -- graph ---------------------------------------------------------------
+
+    def edges(self) -> dict[str, set[str]]:
+        """Copy of the recorded ``held -> acquired`` order graph."""
+        with self._graph_lock:
+            return {src: set(dsts) for src, dsts in self._graph.items()}
+
+    def reset(self) -> None:
+        """Forget every recorded edge (the per-thread stacks survive)."""
+        with self._graph_lock:
+            self._graph.clear()
+
+    def _path(self, start: str, goal: str) -> list[str] | None:
+        """A path start -> ... -> goal in the graph, or None.
+
+        Caller holds ``_graph_lock``."""
+        frontier = [(start, [start])]
+        visited = {start}
+        while frontier:
+            node, path = frontier.pop()
+            for neighbor in sorted(self._graph.get(node, ())):
+                if neighbor == goal:
+                    return path + [neighbor]
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append((neighbor, path + [neighbor]))
+        return None
+
+    def notify_acquire(self, name: str) -> None:
+        """Record that the current thread is about to acquire ``name``.
+
+        Raises :class:`LockOrderViolation` if any held lock is already
+        reachable *from* ``name`` (so adding ``held -> name`` would
+        close a cycle), before any edge is recorded.
+        """
+        stack = self._stack()
+        if self.enabled and stack:
+            with self._graph_lock:
+                for held in stack:
+                    if held == name:
+                        raise LockOrderViolation(name, held, [name, name])
+                    cycle = self._path(name, held)
+                    if cycle is not None:
+                        raise LockOrderViolation(name, held, [held] + cycle)
+                for held in stack:
+                    self._graph.setdefault(held, set()).add(name)
+        stack.append(name)
+
+    def notify_release(self, name: str) -> None:
+        """Record that the current thread released ``name``."""
+        stack = self._stack()
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] == name:
+                del stack[position]  # drop the most recent acquisition
+                break
+
+
+#: Default process-wide watchdog shared by every :class:`OrderedLock`.
+watchdog = LockOrderWatchdog()
+
+
+class OrderedLock:
+    """A named ``threading.Lock`` that reports to a lock-order watchdog.
+
+    Drop-in for ``threading.Lock`` in tests and instrumented builds:
+    supports ``with``, :meth:`acquire`/:meth:`release`, and raises
+    :class:`LockOrderViolation` instead of deadlocking when an
+    acquisition is inconsistent with every order seen so far.
+    """
+
+    def __init__(self, name: str,
+                 watchdog: LockOrderWatchdog | None = None) -> None:
+        if not name:
+            raise ValueError("OrderedLock needs a non-empty name")
+        self.name = name
+        self.watchdog = watchdog if watchdog is not None else globals()["watchdog"]
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Check ordering, then acquire the underlying lock."""
+        self.watchdog.notify_acquire(self.name)
+        acquired = False
+        try:
+            acquired = self._lock.acquire(blocking, timeout)
+            return acquired
+        finally:
+            if not acquired:
+                self.watchdog.notify_release(self.name)
+
+    def release(self) -> None:
+        """Release the underlying lock and pop the watchdog stack."""
+        self._lock.release()
+        self.watchdog.notify_release(self.name)
+
+    def locked(self) -> bool:
+        """Whether the underlying lock is currently held."""
+        return self._lock.locked()
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"<OrderedLock {self.name!r} {state}>"

@@ -23,6 +23,7 @@ from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.obs import names
 from repro.util.clock import Clock
 from repro.util.errors import ReproError
 
@@ -126,16 +127,16 @@ class Bulkhead:
         by service (shed additionally by reason).
         """
         self._gauge_inflight = registry.gauge(
-            "admission_inflight", "Calls currently holding a bulkhead permit.")
+            names.ADMISSION_INFLIGHT, "Calls currently holding a bulkhead permit.")
         self._gauge_queue = registry.gauge(
-            "admission_queue_depth", "Callers waiting for a bulkhead permit.")
+            names.ADMISSION_QUEUE_DEPTH, "Callers waiting for a bulkhead permit.")
         self._metric_admitted = registry.counter(
-            "admission_admitted_total", "Calls admitted through the bulkhead.")
+            names.ADMISSION_ADMITTED_TOTAL, "Calls admitted through the bulkhead.")
         self._metric_shed = registry.counter(
-            "admission_shed_total",
+            names.ADMISSION_SHED_TOTAL,
             "Calls shed by admission control, by service and reason.")
         self._metric_wait = registry.counter(
-            "admission_queue_wait_seconds_total",
+            names.ADMISSION_QUEUE_WAIT_SECONDS_TOTAL,
             "Simulated seconds spent queued for a bulkhead permit.")
 
     @property

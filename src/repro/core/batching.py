@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Generic, TypeVar
 
 from repro.core.futures import ListenableFuture
+from repro.obs import names
 from repro.util.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle (invoker imports us)
@@ -169,13 +170,13 @@ class RequestCoalescer:
         and ``coalesce_cancelled_total``.
         """
         self._metric_flights = registry.counter(
-            "coalesce_flights_total",
+            names.COALESCE_FLIGHTS_TOTAL,
             "Upstream flights led by the request coalescer.").bind()
         self._metric_hits = registry.counter(
-            "coalesce_hits_total",
+            names.COALESCE_HITS_TOTAL,
             "Duplicate in-flight requests folded into a shared flight.").bind()
         self._metric_cancelled = registry.counter(
-            "coalesce_cancelled_total",
+            names.COALESCE_CANCELLED_TOTAL,
             "Coalesced flights cancelled because every waiter left.").bind()
 
     def __len__(self) -> int:

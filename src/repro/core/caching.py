@@ -21,6 +21,7 @@ from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass
 
+from repro.obs import names
 from repro.stores.kvstore import KeyValueStore
 from repro.util.clock import Clock
 
@@ -127,15 +128,15 @@ class ServiceCache:
         registry can never disagree with it from this point on.
         """
         self._metric_hits = registry.counter(
-            "cache_hits_total", "Service responses served from the local cache.").bind()
+            names.CACHE_HITS_TOTAL, "Service responses served from the local cache.").bind()
         self._metric_misses = registry.counter(
-            "cache_misses_total", "Cache probes that had to go remote.").bind()
+            names.CACHE_MISSES_TOTAL, "Cache probes that had to go remote.").bind()
         self._metric_evictions = registry.counter(
-            "cache_evictions_total", "Entries evicted by LRU capacity pressure.").bind()
+            names.CACHE_EVICTIONS_TOTAL, "Entries evicted by LRU capacity pressure.").bind()
         self._metric_expirations = registry.counter(
-            "cache_expirations_total", "Entries dropped because their TTL passed.").bind()
+            names.CACHE_EXPIRATIONS_TOTAL, "Entries dropped because their TTL passed.").bind()
         self._metric_invalidations = registry.counter(
-            "cache_invalidations_total", "Entries dropped by explicit invalidation.").bind()
+            names.CACHE_INVALIDATIONS_TOTAL, "Entries dropped by explicit invalidation.").bind()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.invoker import InvocationResult, RichClient
 from repro.core.ranking import Weights
+from repro.obs import names
 
 
 @dataclass
@@ -68,11 +69,11 @@ class HedgedInvoker:
         obs = client.obs
         if obs.enabled:
             self._metric_requests = obs.metrics.counter(
-                "hedge_requests_total", "Requests that went through the hedged invoker.")
+                names.HEDGE_REQUESTS_TOTAL, "Requests that went through the hedged invoker.")
             self._metric_fired = obs.metrics.counter(
-                "hedges_fired_total", "Requests whose backup call was actually sent.")
+                names.HEDGES_FIRED_TOTAL, "Requests whose backup call was actually sent.")
             self._metric_wins = obs.metrics.counter(
-                "hedge_wins_total", "Requests won by the backup call.")
+                names.HEDGE_WINS_TOTAL, "Requests won by the backup call.")
         else:
             self._metric_requests = self._metric_fired = self._metric_wins = None
 
@@ -104,7 +105,7 @@ class HedgedInvoker:
         when an experiment needs a fixed primary.
         """
         with self.client.obs.tracer.span(
-                "sdk.hedged_invoke", {"kind": kind, "operation": operation}):
+                names.SPAN_SDK_HEDGED_INVOKE, {"kind": kind, "operation": operation}):
             return self._invoke_traced(kind, operation, payload, use_cache,
                                        candidates)
 

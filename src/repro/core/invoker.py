@@ -23,6 +23,7 @@ from repro.core.caching import DEFAULT_CACHEABLE_OPERATIONS, ServiceCache, cache
 from repro.core.futures import CallbackExecutor, ListenableFuture
 from repro.core.latency import LatencyPredictor
 from repro.core.monitoring import InvocationRecord, ServiceMonitor
+from repro.obs import names
 from repro.core.quota import ClientQuotaTracker
 from repro.core.ranking import ScoreFormula, ServiceRanker, Weights
 from repro.core.ratelimit import ServiceRateLimiter
@@ -162,11 +163,11 @@ class RichClient:
             self.admission.bind_metrics(self.obs.metrics)
         metrics = self.obs.metrics
         self._metric_batch_flushes = metrics.counter(
-            "batch_flushes_total", "Batched transport calls sent.").bind()
+            names.BATCH_FLUSHES_TOTAL, "Batched transport calls sent.").bind()
         self._metric_batch_items = metrics.counter(
-            "batch_items_total", "Requests shipped inside batched calls.").bind()
+            names.BATCH_ITEMS_TOTAL, "Requests shipped inside batched calls.").bind()
         self._metric_batch_size = metrics.histogram(
-            "batch_size", "Items per batched transport call.",
+            names.BATCH_SIZE, "Items per batched transport call.",
             low=0.0, high=64.0, bins=16)
         seen = set()
         for service in self.registry:
@@ -213,7 +214,7 @@ class RichClient:
         trace_id = None
         if tracer.enabled and tracer.current_span() is not None:
             span = tracer.instant_span(
-                "sdk.invoke",
+                names.SPAN_SDK_INVOKE,
                 {"service": service_name, "operation": operation,
                  "cached": True, "obs.category": "cache"},
                 timestamp=now)
@@ -327,7 +328,7 @@ class RichClient:
         concurrency rather than call counts.
         """
         tracer = self.obs.tracer
-        with tracer.span("sdk.invoke",
+        with tracer.span(names.SPAN_SDK_INVOKE,
                          {"service": service_name, "operation": operation}) as span:
             trace_id = span.trace_id
             self.quota.check(service_name)
@@ -447,9 +448,9 @@ class RichClient:
             return []
         service = self.registry.get(service_name)
         tracer = self.obs.tracer
-        with tracer.span("sdk.invoke_batch",
+        with tracer.span(names.SPAN_SDK_INVOKE_BATCH,
                          {"service": service_name, "operation": operation,
-                          "batch_size": len(payloads),
+                          names.BATCH_SIZE: len(payloads),
                           "obs.category": "batch"}) as span:
             trace_id = span.trace_id
             self.quota.check(service_name)
@@ -639,7 +640,7 @@ class RichClient:
         attempt becomes a child span and backoff sleeps become events,
         so the attribution analyzer can split the call's wall time
         between retry waits and wire time."""
-        with self.obs.tracer.span("sdk.invoke_with_failover",
+        with self.obs.tracer.span(names.SPAN_SDK_INVOKE_WITH_FAILOVER,
                                   {"kind": kind, "operation": operation}):
             candidates = [service.name
                           for service in self.registry.services_of_kind(kind)]

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.analytics.histogram import Histogram
 from repro.analytics.stats import DescriptiveStats, describe
+from repro.obs import names
 
 
 @dataclass(frozen=True)
@@ -63,10 +64,10 @@ class ServiceMonitor:
         """Mirror per-service success/failure/cached counts and latency
         histograms into a MetricsRegistry."""
         self._metric_invocations = registry.counter(
-            "sdk_invocations_total",
+            names.SDK_INVOCATIONS_TOTAL,
             "SDK invocations by service and outcome (success/failure/cached).")
         self._metric_latency = registry.histogram(
-            "sdk_invocation_latency_seconds",
+            names.SDK_INVOCATION_LATENCY_SECONDS,
             "Observed latency of successful remote invocations.",
             low=0.0, high=2.0, bins=20)
         self._bound_counters.clear()  # drop binds into any previous registry

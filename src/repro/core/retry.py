@@ -14,6 +14,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import TypeVar
 
+from repro.obs import names
 from repro.simnet.errors import NetworkError
 from repro.util.clock import Clock
 from repro.util.errors import ReproError
@@ -121,7 +122,7 @@ def invoke_with_retry(
             clock.charge(delay)
         try:
             if tracer is not None and tracer.enabled:
-                with tracer.span("failover.attempt",
+                with tracer.span(names.SPAN_FAILOVER_ATTEMPT,
                                  {"service": service, "attempt": attempt}):
                     result = invoke_once()
             else:
@@ -137,7 +138,8 @@ def invoke_with_retry(
             log.append(AttemptLog(service, attempt, None))
         return result
     assert last_error is not None
-    raise RetriesExhaustedError(service, policy.max_attempts, last_error)
+    raise RetriesExhaustedError(service, policy.max_attempts,
+                                last_error) from last_error
 
 
 class FailoverInvoker:
@@ -154,6 +156,7 @@ class FailoverInvoker:
         self.clock = clock
         self.tracer = None
         self._metric_backoff = None
+        self._metric_exhausted = None
 
     def bind_obs(self, obs) -> None:
         """Attach observability: attempt spans, backoff events/counters."""
@@ -161,8 +164,11 @@ class FailoverInvoker:
             return
         self.tracer = obs.tracer
         self._metric_backoff = obs.metrics.counter(
-            "retry_backoff_seconds_total",
+            names.RETRY_BACKOFF_SECONDS_TOTAL,
             "Simulated seconds slept in retry backoff, by service.")
+        self._metric_exhausted = obs.metrics.counter(
+            names.FAILOVER_EXHAUSTED_TOTAL,
+            "Candidates whose retry budget was exhausted during failover.")
 
     def policy_for(self, service: str) -> RetryPolicy:
         """This service's retry policy (or the default)."""
@@ -183,6 +189,7 @@ class FailoverInvoker:
         if not ordered_services:
             raise ValueError("no candidate services to invoke")
         attempts: list[AttemptLog] = []
+        last_exhausted: RetriesExhaustedError | None = None
         for service in ordered_services:
             try:
                 result = invoke_with_retry(
@@ -194,7 +201,12 @@ class FailoverInvoker:
                     tracer=self.tracer,
                     backoff_counter=self._metric_backoff,
                 )
-            except RetriesExhaustedError:
+            except RetriesExhaustedError as error:
+                # The per-attempt errors are already in `attempts`; count
+                # the exhaustion so fleet dashboards see failover churn.
+                last_exhausted = error
+                if self._metric_exhausted is not None:
+                    self._metric_exhausted.inc(service=service)
                 continue
             return service, result, attempts
-        raise AllServicesFailedError(attempts)
+        raise AllServicesFailedError(attempts) from last_exhausted

@@ -19,6 +19,7 @@ from repro.kb.disambiguation import EntityDisambiguator, ResolvedEntity
 from repro.kb.pipeline import AnalysisPipeline
 from repro.kb.spellcheck import LocalSpellChecker
 from repro.kb.sync import OfflineSyncStore
+from repro.obs import names
 from repro.simnet.errors import NetworkError, RemoteServiceError
 from repro.stores.converters import (
     csv_text_to_table,
@@ -80,7 +81,7 @@ class PersonalKnowledgeBase:
         if self.obs is not None and self.obs.enabled:
             self._tracer = self.obs.tracer
             self._metric_queries = self.obs.metrics.counter(
-                "kb_queries_total", "SELECT queries answered by the PKB.")
+                names.KB_QUERIES_TOTAL, "SELECT queries answered by the PKB.")
         else:
             self._tracer = None
             self._metric_queries = None
@@ -223,7 +224,7 @@ class PersonalKnowledgeBase:
         """
         if self._metric_queries is not None:
             self._metric_queries.inc()
-        span = (self._tracer.span("kb.query", {"patterns": len(patterns)})
+        span = (self._tracer.span(names.SPAN_KB_QUERY, {"patterns": len(patterns)})
                 if self._tracer is not None else nullcontext())
         with span:
             if self.view is not None:

@@ -21,6 +21,7 @@ from contextlib import nullcontext
 
 from repro.analytics.regression import LinearRegression
 from repro.analytics.timeseries import detect_trend, linear_forecast
+from repro.obs import names
 from repro.stores.rdf.graph import Graph, RDF, REPRO, Triple
 from repro.stores.rdf.rules import GenericRuleReasoner, Rule
 
@@ -98,13 +99,13 @@ class AnalysisPipeline:
         if obs is not None and obs.enabled:
             self._tracer = obs.tracer
             self._metric_series = obs.metrics.counter(
-                "kb_series_analyzed_total", "Series run through the analysis pipeline.")
+                names.KB_SERIES_ANALYZED_TOTAL, "Series run through the analysis pipeline.")
             self._metric_facts = obs.metrics.counter(
-                "kb_facts_inferred_total", "New facts derived by the rulebase.")
+                names.KB_FACTS_INFERRED_TOTAL, "New facts derived by the rulebase.")
             self._metric_infer_full = obs.metrics.counter(
-                "kb_infer_full_total", "Full-fixpoint inference runs.")
+                names.KB_INFER_FULL_TOTAL, "Full-fixpoint inference runs.")
             self._metric_infer_delta = obs.metrics.counter(
-                "kb_infer_delta_total", "Incremental (delta) inference runs.")
+                names.KB_INFER_DELTA_TOTAL, "Incremental (delta) inference runs.")
         else:
             self._tracer = None
             self._metric_series = self._metric_facts = None
@@ -149,7 +150,7 @@ class AnalysisPipeline:
         "key mathematical results" Figure 5 shows flowing into the RDF
         store.  Returns the numbers for the caller too.
         """
-        with self._span("kb.analyze_series",
+        with self._span(names.SPAN_KB_ANALYZE_SERIES,
                         {"subject": subject, "series": series_name}):
             return self._analyze_series(subject, xs, ys, series_name, entity_type)
 
@@ -202,7 +203,7 @@ class AnalysisPipeline:
             and current_version is not None
             and current_version == self._synced_version
         )
-        with self._span("kb.infer", {"series_analyzed": self.series_analyzed}) as span:
+        with self._span(names.SPAN_KB_INFER, {"series_analyzed": self.series_analyzed}) as span:
             if incremental:
                 derived = self.reasoner.forward_delta(self.graph, self._pending)
                 self.last_infer_mode = "delta"

@@ -1,0 +1,93 @@
+"""Single source of truth for metric and span names.
+
+Every instrument the SDK registers and every span it opens takes its
+name from a constant defined here — never a string literal at the call
+site.  The RA005 analysis rule (``python -m repro.analysis``) enforces
+both directions: call sites must reference this module, and every
+constant defined here must appear in ``docs/observability.md``, so the
+names operators alert on cannot drift from either the code or the docs.
+
+Constants are plain module-level ``UPPER_CASE = "literal"`` assignments
+on purpose: the rule reads this file with ``ast`` and only recognizes
+that shape (no f-strings, no concatenation), keeping the registry
+trivially greppable.
+"""
+
+from __future__ import annotations
+
+# -- SDK invocation path (monitor choke point) ---------------------------------
+SDK_INVOCATIONS_TOTAL = "sdk_invocations_total"
+SDK_INVOCATION_LATENCY_SECONDS = "sdk_invocation_latency_seconds"
+
+# -- cache ---------------------------------------------------------------------
+CACHE_HITS_TOTAL = "cache_hits_total"
+CACHE_MISSES_TOTAL = "cache_misses_total"
+CACHE_EVICTIONS_TOTAL = "cache_evictions_total"
+CACHE_EXPIRATIONS_TOTAL = "cache_expirations_total"
+CACHE_INVALIDATIONS_TOTAL = "cache_invalidations_total"
+
+# -- request coalescing --------------------------------------------------------
+COALESCE_FLIGHTS_TOTAL = "coalesce_flights_total"
+COALESCE_HITS_TOTAL = "coalesce_hits_total"
+COALESCE_CANCELLED_TOTAL = "coalesce_cancelled_total"
+
+# -- micro-batching ------------------------------------------------------------
+BATCH_FLUSHES_TOTAL = "batch_flushes_total"
+BATCH_ITEMS_TOTAL = "batch_items_total"
+BATCH_SIZE = "batch_size"
+
+# -- admission control ---------------------------------------------------------
+ADMISSION_INFLIGHT = "admission_inflight"
+ADMISSION_QUEUE_DEPTH = "admission_queue_depth"
+ADMISSION_ADMITTED_TOTAL = "admission_admitted_total"
+ADMISSION_SHED_TOTAL = "admission_shed_total"
+ADMISSION_QUEUE_WAIT_SECONDS_TOTAL = "admission_queue_wait_seconds_total"
+
+# -- retry / failover ----------------------------------------------------------
+RETRY_BACKOFF_SECONDS_TOTAL = "retry_backoff_seconds_total"
+FAILOVER_EXHAUSTED_TOTAL = "failover_exhausted_total"
+
+# -- hedging -------------------------------------------------------------------
+HEDGE_REQUESTS_TOTAL = "hedge_requests_total"
+HEDGES_FIRED_TOTAL = "hedges_fired_total"
+HEDGE_WINS_TOTAL = "hedge_wins_total"
+
+# -- simulated transport -------------------------------------------------------
+TRANSPORT_CALLS_TOTAL = "transport_calls_total"
+TRANSPORT_BYTES_SENT_TOTAL = "transport_bytes_sent_total"
+TRANSPORT_BYTES_RECEIVED_TOTAL = "transport_bytes_received_total"
+TRANSPORT_TIMEOUTS_TOTAL = "transport_timeouts_total"
+TRANSPORT_OFFLINE_FAILURES_TOTAL = "transport_offline_failures_total"
+
+# -- knowledge base / reasoning ------------------------------------------------
+KB_QUERIES_TOTAL = "kb_queries_total"
+KB_SERIES_ANALYZED_TOTAL = "kb_series_analyzed_total"
+KB_FACTS_INFERRED_TOTAL = "kb_facts_inferred_total"
+KB_INFER_FULL_TOTAL = "kb_infer_full_total"
+KB_INFER_DELTA_TOTAL = "kb_infer_delta_total"
+RDF_MATERIALIZE_DELTA_TOTAL = "rdf_materialize_delta_total"
+RDF_MATERIALIZE_FULL_TOTAL = "rdf_materialize_full_total"
+RDF_QUERY_CACHE_HITS_TOTAL = "rdf_query_cache_hits_total"
+RDF_QUERY_CACHE_MISSES_TOTAL = "rdf_query_cache_misses_total"
+
+# -- span names ----------------------------------------------------------------
+SPAN_SDK_INVOKE = "sdk.invoke"
+SPAN_SDK_INVOKE_BATCH = "sdk.invoke_batch"
+SPAN_SDK_INVOKE_WITH_FAILOVER = "sdk.invoke_with_failover"
+SPAN_SDK_HEDGED_INVOKE = "sdk.hedged_invoke"
+SPAN_FAILOVER_ATTEMPT = "failover.attempt"
+SPAN_TRANSPORT_CALL = "transport.call"
+SPAN_KB_QUERY = "kb.query"
+SPAN_KB_INFER = "kb.infer"
+SPAN_KB_ANALYZE_SERIES = "kb.analyze_series"
+
+
+def all_names() -> dict[str, str]:
+    """Every registered constant: ``CONSTANT_NAME -> value``."""
+    return {key: value for key, value in globals().items()
+            if key.isupper() and isinstance(value, str)}
+
+
+def all_values() -> frozenset[str]:
+    """The set of registered metric and span name strings."""
+    return frozenset(all_names().values())

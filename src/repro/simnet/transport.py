@@ -21,6 +21,7 @@ import json
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
+from repro.obs import names
 from repro.simnet.connectivity import AlwaysOnline, ConnectivityModel
 from repro.simnet.errors import ConnectivityError, ServiceTimeoutError
 from repro.simnet.latency import ConstantLatency, LatencyDistribution
@@ -128,15 +129,15 @@ class Transport:
         self._tracer = obs.tracer
         metrics = obs.metrics
         self._metric_calls = metrics.counter(
-            "transport_calls_total", "Calls that entered the simulated wire.")
+            names.TRANSPORT_CALLS_TOTAL, "Calls that entered the simulated wire.")
         self._metric_bytes_sent = metrics.counter(
-            "transport_bytes_sent_total", "Request bytes crossing the wire.")
+            names.TRANSPORT_BYTES_SENT_TOTAL, "Request bytes crossing the wire.")
         self._metric_bytes_received = metrics.counter(
-            "transport_bytes_received_total", "Response bytes crossing the wire.")
+            names.TRANSPORT_BYTES_RECEIVED_TOTAL, "Response bytes crossing the wire.")
         self._metric_timeouts = metrics.counter(
-            "transport_timeouts_total", "Calls aborted by the caller's timeout.")
+            names.TRANSPORT_TIMEOUTS_TOTAL, "Calls aborted by the caller's timeout.")
         self._metric_offline = metrics.counter(
-            "transport_offline_failures_total", "Calls rejected while offline.")
+            names.TRANSPORT_OFFLINE_FAILURES_TOTAL, "Calls rejected while offline.")
 
     def is_online(self) -> bool:
         """Whether the network is currently reachable."""
@@ -170,7 +171,7 @@ class Transport:
         attributes = {"endpoint": endpoint, "obs.category": "transport"}
         if batch_size is not None:
             attributes["batch_size"] = batch_size
-        span = tracer.start_span("transport.call", attributes)
+        span = tracer.start_span(names.SPAN_TRANSPORT_CALL, attributes)
         try:
             result = self._call(endpoint, server_fn, request, timeout,
                                 latency_params, batch_size)

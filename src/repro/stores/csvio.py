@@ -23,11 +23,11 @@ def _infer(value: str) -> object:
         return False
     try:
         return int(text)
-    except ValueError:
+    except ValueError:  # repro: ignore[RA002] — coercion probe; fallthrough IS the handling
         pass
     try:
         return float(text)
-    except ValueError:
+    except ValueError:  # repro: ignore[RA002] — coercion probe; fallthrough IS the handling
         pass
     return value
 

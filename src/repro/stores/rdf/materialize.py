@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator, Sequence
 
+from repro.obs import names
 from repro.stores.rdf.graph import Graph, Term, Triple
 from repro.stores.rdf.query import Binding, Pattern, select
 from repro.stores.rdf.reasoner import RdfsReasoner
@@ -121,16 +122,16 @@ class MaterializedGraph:
         # Optional repro.obs.Observability wiring.
         if obs is not None and obs.enabled:
             self._metric_delta = obs.metrics.counter(
-                "rdf_materialize_delta_total",
+                names.RDF_MATERIALIZE_DELTA_TOTAL,
                 "Incremental (semi-naive) materialization runs.")
             self._metric_full = obs.metrics.counter(
-                "rdf_materialize_full_total",
+                names.RDF_MATERIALIZE_FULL_TOTAL,
                 "Full re-materialization runs.")
             self._metric_cache_hits = obs.metrics.counter(
-                "rdf_query_cache_hits_total",
+                names.RDF_QUERY_CACHE_HITS_TOTAL,
                 "Materialized-view query cache hits.")
             self._metric_cache_misses = obs.metrics.counter(
-                "rdf_query_cache_misses_total",
+                names.RDF_QUERY_CACHE_MISSES_TOTAL,
                 "Materialized-view query cache misses.")
         else:
             self._metric_delta = self._metric_full = None

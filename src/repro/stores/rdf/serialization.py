@@ -74,11 +74,11 @@ def _decode_term(token: str) -> Term:
         return False
     try:
         return int(token)
-    except ValueError:
+    except ValueError:  # repro: ignore[RA002] — coercion probe; fallthrough IS the handling
         pass
     try:
         return float(token)
-    except ValueError:
+    except ValueError:  # repro: ignore[RA002] — coercion probe; fallthrough IS the handling
         pass
     return token
 

@@ -1,0 +1,30 @@
+"""Shared fixture: run the analyzer over an inline fixture tree."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+
+@pytest.fixture
+def analyze(tmp_path):
+    """``analyze({relpath: source, ...})`` -> Report over a temp tree."""
+
+    def run(files: dict[str, str], **kwargs):
+        for name, text in files.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        kwargs.setdefault("root", tmp_path)
+        return analyze_paths([tmp_path], **kwargs)
+
+    run.root = tmp_path
+    return run
+
+
+def rule_ids(report) -> list[str]:
+    """Sorted rule ids of a report's unsuppressed findings."""
+    return sorted(finding.rule_id for finding in report.findings)

@@ -1,0 +1,77 @@
+"""The ``python -m repro.analysis`` command line: exit codes, formats."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.__main__ import main
+
+_CLEAN = "def add(left, right):\n    return left + right\n"
+_DIRTY = "import time\n"
+
+
+def _write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    _write(tmp_path, "clean.py", _CLEAN)
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_exit_one_on_findings(tmp_path, capsys):
+    _write(tmp_path, "dirty.py", _DIRTY)
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RA001" in out and "dirty.py:1" in out
+
+
+def test_json_format(tmp_path, capsys):
+    _write(tmp_path, "dirty.py", _DIRTY)
+    assert main([str(tmp_path), "--root", str(tmp_path),
+                 "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert [finding["rule"] for finding in payload["findings"]] == ["RA001"]
+
+
+def test_select_and_ignore_filter_rules(tmp_path):
+    _write(tmp_path, "dirty.py", _DIRTY)
+    root = ["--root", str(tmp_path)]
+    assert main([str(tmp_path), "--select", "RA002", *root]) == 0
+    assert main([str(tmp_path), "--ignore", "RA001", *root]) == 0
+    assert main([str(tmp_path), "--select", "ra001", *root]) == 1
+
+
+def test_unknown_select_is_a_usage_error(tmp_path, capsys):
+    _write(tmp_path, "clean.py", _CLEAN)
+    assert main([str(tmp_path), "--select", "RA999",
+                 "--root", str(tmp_path)]) == 2
+    assert "RA999" in capsys.readouterr().err
+
+
+def test_parse_error_fails_the_run(tmp_path, capsys):
+    _write(tmp_path, "broken.py", "def (:\n")
+    assert main([str(tmp_path), "--root", str(tmp_path)]) == 1
+    assert "cannot parse" in capsys.readouterr().out
+
+
+def test_unknown_suppression_only_fails_under_strict(tmp_path):
+    _write(tmp_path, "waived.py",
+           "VALUE = 1  # repro: ignore[RA999]\n")
+    root = ["--root", str(tmp_path)]
+    assert main([str(tmp_path), *root]) == 0
+    assert main([str(tmp_path), "--strict", *root]) == 1
+
+
+def test_list_rules_prints_the_catalog(capsys):
+    from repro.analysis import ALL_RULE_IDS
+
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in out

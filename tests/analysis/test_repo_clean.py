@@ -1,0 +1,53 @@
+"""Self-gate: the repository ships clean under its own analyzer.
+
+This is the test-suite twin of CI's ``analysis`` job and docs_check's
+``check_analysis_clean`` pass: if a change introduces an unsuppressed
+finding anywhere under ``src/repro``, this fails locally first.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import ALL_RULE_IDS, analyze_paths
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_is_analysis_clean_in_strict_mode():
+    report = analyze_paths([ROOT / "src" / "repro"], root=ROOT)
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.findings == [], f"unsuppressed findings:\n{rendered}"
+    assert report.errors == []
+    assert report.unknown_suppressions == []
+    assert report.ok(strict=True)
+    assert sorted(report.rules_run) == sorted(ALL_RULE_IDS)
+    assert report.files_scanned > 100
+
+
+def test_every_suppression_carries_a_justification():
+    # A waiver without a why is a finding in disguise.
+    for path in sorted((ROOT / "src" / "repro").rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if "repro: ignore" not in line:
+                continue
+            comment = line.split("repro: ignore", 1)[1]
+            trailing = comment.split("]", 1)[-1].strip(" -—#")
+            assert trailing, (
+                f"{path.relative_to(ROOT)}:{lineno}: suppression without "
+                "a justifying comment")
+
+
+def test_rule_catalog_is_documented():
+    doc = (ROOT / "docs" / "static-analysis.md").read_text(encoding="utf-8")
+    for rule_id in ALL_RULE_IDS:
+        assert f"`{rule_id}`" in doc, f"{rule_id} missing from the catalog"
+
+
+def test_registry_names_all_documented():
+    from repro.obs import names
+
+    doc = (ROOT / "docs" / "observability.md").read_text(encoding="utf-8")
+    for constant, value in names.all_names().items():
+        assert value in doc, f"{constant} = {value!r} not documented"
+    assert len(names.all_values()) == len(names.all_names())

@@ -1,0 +1,72 @@
+"""RA005 — metric/span name registry consistency."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+_REGISTRY = """\
+    FOO_TOTAL = "foo_total"
+    BAR_SECONDS = "bar_seconds"
+    """
+
+
+def test_ra005_flags_literal_names_at_sinks(analyze):
+    report = analyze({
+        "obs/names.py": _REGISTRY,
+        "app.py": """\
+            def bind(registry, tracer):
+                counter = registry.counter("foo_total", "doc")
+                with tracer.span("bar_span"):
+                    pass
+                return counter
+            """,
+    }, select=["RA005"])
+    assert rule_ids(report) == ["RA005", "RA005"]
+    assert all("literal" in finding.message for finding in report.findings)
+
+
+def test_ra005_registry_constants_are_clean(analyze):
+    report = analyze({
+        "obs/names.py": _REGISTRY,
+        "app.py": """\
+            from repro.obs import names
+
+            def bind(registry):
+                return registry.counter(names.FOO_TOTAL, "doc")
+            """,
+    }, select=["RA005"])
+    assert report.findings == []
+
+
+def test_ra005_registry_itself_may_hold_literals(analyze):
+    # The registry module is where the strings live; counter() calls in
+    # other files are sinks, plain UPPER = "literal" assignments are not.
+    report = analyze({"obs/names.py": _REGISTRY}, select=["RA005"])
+    assert report.findings == []
+
+
+def test_ra005_duplicate_registry_values(analyze):
+    report = analyze({"obs/names.py": """\
+        FOO_TOTAL = "foo_total"
+        FOO_ALIAS = "foo_total"
+        """}, select=["RA005"])
+    assert rule_ids(report) == ["RA005"]
+    assert "defined twice" in report.findings[0].message
+
+
+def test_ra005_doc_drift(analyze):
+    report = analyze({
+        "obs/names.py": _REGISTRY,
+        "docs/observability.md": "Only `foo_total` is documented here.\n",
+    }, select=["RA005"])
+    assert rule_ids(report) == ["RA005"]
+    assert "bar_seconds" in report.findings[0].message
+    assert "not documented" in report.findings[0].message
+
+
+def test_ra005_doc_coverage_clears_the_drift_finding(analyze):
+    report = analyze({
+        "obs/names.py": _REGISTRY,
+        "docs/observability.md": "`foo_total` and `bar_seconds`.\n",
+    }, select=["RA005"])
+    assert report.findings == []

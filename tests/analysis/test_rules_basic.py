@@ -1,0 +1,133 @@
+"""RA001 (clock discipline), RA002 (swallowed exceptions), RA003
+(exception chaining): true positives, true negatives, suppressions."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# -- RA001 --------------------------------------------------------------------
+
+
+def test_ra001_flags_time_import_and_naive_now(analyze):
+    report = analyze({"app.py": """\
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.time(), datetime.now()
+        """}, select=["RA001"])
+    assert rule_ids(report) == ["RA001", "RA001"]
+    lines = sorted(finding.line for finding in report.findings)
+    assert lines == [1, 5]
+
+
+def test_ra001_flags_from_time_import(analyze):
+    report = analyze({"app.py": "from time import sleep\n"}, select=["RA001"])
+    assert rule_ids(report) == ["RA001"]
+
+
+def test_ra001_allows_clock_module_and_injected_clocks(analyze):
+    report = analyze({
+        "util/clock.py": "import time\n",
+        "app.py": """\
+            def wait(clock):
+                clock.charge(1.0)
+                return clock.now()
+            """,
+    }, select=["RA001"])
+    assert report.findings == []
+
+
+def test_ra001_line_suppression(analyze):
+    report = analyze({"bench.py": (
+        "import time  # repro: ignore[RA001] benchmark needs wall time\n"
+    )}, select=["RA001"])
+    assert report.findings == []
+    assert [finding.rule_id for finding in report.suppressed] == ["RA001"]
+
+
+# -- RA002 --------------------------------------------------------------------
+
+
+def test_ra002_flags_filler_only_handler_bodies(analyze):
+    report = analyze({"app.py": """\
+        def probe(items):
+            try:
+                risky()
+            except ValueError:
+                pass
+            for item in items:
+                try:
+                    risky()
+                except OSError:
+                    continue
+        """}, select=["RA002"])
+    assert rule_ids(report) == ["RA002", "RA002"]
+
+
+def test_ra002_allows_handlers_that_do_something(analyze):
+    report = analyze({"app.py": """\
+        def convert(text, log):
+            try:
+                return int(text)
+            except ValueError:
+                log.warning("not an int: %r", text)
+                return None
+        """}, select=["RA002"])
+    assert report.findings == []
+
+
+def test_ra002_file_suppression(analyze):
+    report = analyze({"app.py": """\
+        # repro: ignore-file[RA002]
+        def probe():
+            try:
+                risky()
+            except ValueError:
+                pass
+        """}, select=["RA002"])
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+# -- RA003 --------------------------------------------------------------------
+
+
+def test_ra003_flags_unchained_raise_in_handler(analyze):
+    report = analyze({"app.py": """\
+        def load(path):
+            try:
+                return parse(path)
+            except OSError:
+                raise RuntimeError(f"cannot load {path}")
+        """}, select=["RA003"])
+    assert rule_ids(report) == ["RA003"]
+
+
+def test_ra003_allows_chained_bare_and_from_none(analyze):
+    report = analyze({"app.py": """\
+        def load(path):
+            try:
+                return parse(path)
+            except OSError as exc:
+                raise RuntimeError("boom") from exc
+            except ValueError:
+                raise
+            except KeyError:
+                raise RuntimeError("unrelated") from None
+        """}, select=["RA003"])
+    assert report.findings == []
+
+
+def test_ra003_ignores_raises_in_nested_defs(analyze):
+    report = analyze({"app.py": """\
+        def load(retry):
+            try:
+                return parse()
+            except OSError:
+                def callback():
+                    raise RuntimeError("runs later, outside the handler")
+                retry(callback)
+                return None
+        """}, select=["RA003"])
+    assert report.findings == []

@@ -1,0 +1,210 @@
+"""RA004 (blocking under lock) and RA006 (static lock-order cycles)."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# -- RA004 --------------------------------------------------------------------
+
+
+def test_ra004_flags_sleep_charge_and_result_under_lock(analyze):
+    report = analyze({"worker.py": """\
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def bad_charge(self, clock):
+                with self._lock:
+                    clock.charge(1.0)
+
+            def bad_result(self, future):
+                with self._lock:
+                    return future.result()
+        """}, select=["RA004"])
+    assert rule_ids(report) == ["RA004", "RA004"]
+    assert all("Worker._lock" in finding.message
+               for finding in report.findings)
+
+
+def test_ra004_allows_blocking_outside_the_critical_section(analyze):
+    report = analyze({"worker.py": """\
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def good(self, clock, future):
+                with self._lock:
+                    pending = future
+                clock.charge(1.0)
+                return pending.result()
+        """}, select=["RA004"])
+    assert report.findings == []
+
+
+def test_ra004_condition_wait_on_held_lock_is_exempt(analyze):
+    report = analyze({"worker.py": """\
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self._lock = threading.Lock()
+                self._done = threading.Event()
+
+            def ok_wait(self):
+                with self._cond:
+                    self._cond.wait()
+
+            def bad_wait(self):
+                with self._lock:
+                    self._done.wait()
+        """}, select=["RA004"])
+    assert rule_ids(report) == ["RA004"]
+    assert "foreign waiter" in report.findings[0].message
+
+
+def test_ra004_nested_defs_do_not_count_as_under_lock(analyze):
+    report = analyze({"worker.py": """\
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def schedule(self, clock, pool):
+                with self._lock:
+                    def later():
+                        clock.charge(1.0)
+                    pool.submit(later)
+        """}, select=["RA004"])
+    assert report.findings == []
+
+
+def test_ra004_suppression(analyze):
+    report = analyze({"worker.py": """\
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def shutdown(self, clock):
+                with self._lock:
+                    clock.charge(1.0)  # repro: ignore[RA004] drain path
+        """}, select=["RA004"])
+    assert report.findings == []
+    assert len(report.suppressed) == 1
+
+
+# -- RA006 --------------------------------------------------------------------
+
+_ABBA = """\
+    import threading
+
+    class Beta:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.alpha: "Alpha" = None
+
+        def poke(self):
+            with self._lock:
+                pass
+
+        def run(self):
+            with self._lock:
+                self.alpha.poke()
+
+    class Alpha:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.beta: Beta = None
+
+        def poke(self):
+            with self._lock:
+                pass
+
+        def run(self):
+            with self._lock:
+                self.beta.poke()
+    """
+
+
+def test_ra006_detects_abba_cycle_through_calls(analyze):
+    report = analyze({"abba.py": _ABBA}, select=["RA006"])
+    assert rule_ids(report) == ["RA006"]
+    message = report.findings[0].message
+    assert "lock-order cycle" in message
+    assert "Alpha._lock" in message and "Beta._lock" in message
+
+
+def test_ra006_one_directional_nesting_is_clean(analyze):
+    # Same shape, but only Alpha ever calls into Beta: a DAG, no cycle.
+    clean = _ABBA.replace("self.alpha.poke()", "pass")
+    report = analyze({"dag.py": clean}, select=["RA006"])
+    assert report.findings == []
+
+
+def test_ra006_direct_nested_with_cycle(analyze):
+    report = analyze({"nested.py": """\
+        import threading
+
+        A = threading.Lock()
+        B = threading.Lock()
+
+        class Runner:
+            def forward(self):
+                with A:
+                    with B:
+                        pass
+
+            def backward(self):
+                with B:
+                    with A:
+                        pass
+        """}, select=["RA006"])
+    assert rule_ids(report) == ["RA006"]
+
+
+def test_ra006_self_deadlock_on_plain_lock_only(analyze):
+    source = """\
+        import threading
+
+        class Selfie:
+            def __init__(self):
+                self._lock = threading.{factory}()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+        """
+    bad = analyze({"plain.py": source.format(factory="Lock")},
+                  select=["RA006"])
+    assert rule_ids(bad) == ["RA006"]
+    assert "self-deadlock" in bad.findings[0].message
+
+
+def test_ra006_reentrant_self_acquire_is_legal(analyze):
+    report = analyze({"reentrant.py": """\
+        import threading
+
+        class Selfie:
+            def __init__(self):
+                self._lock = threading.RLock()
+
+            def outer(self):
+                with self._lock:
+                    self.inner()
+
+            def inner(self):
+                with self._lock:
+                    pass
+        """}, select=["RA006"])
+    assert report.findings == []

@@ -1,0 +1,133 @@
+"""Runtime lock-order watchdog: OrderedLock + LockOrderWatchdog.
+
+The headline test seeds the classic ABBA deadlock across two threads
+and asserts it is detected *deterministically* — by accumulated order,
+not by timing — and only when the watchdog is enabled.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.runtime import (
+    LockOrderViolation,
+    LockOrderWatchdog,
+    OrderedLock,
+)
+
+
+def _locks(dog: LockOrderWatchdog) -> tuple[OrderedLock, OrderedLock]:
+    return OrderedLock("A", watchdog=dog), OrderedLock("B", watchdog=dog)
+
+
+def _run_abba(dog: LockOrderWatchdog) -> list[BaseException]:
+    """Thread one takes A then B; thread two later takes B then A.
+
+    The phases are sequenced with events, so the two threads never
+    actually contend — a timing-based detector would see nothing.
+    Returns the exceptions raised in thread two.
+    """
+    lock_a, lock_b = _locks(dog)
+    phase_one_done = threading.Event()
+    failures: list[BaseException] = []
+
+    def first():
+        with lock_a:
+            with lock_b:
+                pass
+        phase_one_done.set()
+
+    def second():
+        assert phase_one_done.wait(timeout=5.0)
+        try:
+            with lock_b:
+                with lock_a:
+                    pass
+        except LockOrderViolation as violation:
+            failures.append(violation)
+
+    threads = [threading.Thread(target=first), threading.Thread(target=second)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "watchdog failed: threads wedged"
+    return failures
+
+
+def test_abba_across_threads_is_detected():
+    failures = _run_abba(LockOrderWatchdog())
+    assert len(failures) == 1
+    violation = failures[0]
+    assert violation.wanted == "A" and violation.held == "B"
+    assert "lock-order violation" in str(violation)
+
+
+def test_abba_goes_unnoticed_with_watchdog_disabled():
+    # The seeded deadlock pattern must NOT raise when detection is off:
+    # this is the control proving the detector (not luck) catches it.
+    assert _run_abba(LockOrderWatchdog(enabled=False)) == []
+
+
+def test_same_thread_order_reversal_is_detected():
+    dog = LockOrderWatchdog()
+    lock_a, lock_b = _locks(dog)
+    with lock_a:
+        with lock_b:
+            pass
+    with lock_b:
+        with pytest.raises(LockOrderViolation) as excinfo:
+            lock_a.acquire()
+    assert excinfo.value.cycle[0] == "B"
+    # The failed acquisition must not leave A on the held stack.
+    assert dog.held_by_current_thread() == ()
+
+
+def test_reacquiring_the_same_lock_raises_immediately():
+    dog = LockOrderWatchdog()
+    lock_a = OrderedLock("A", watchdog=dog)
+    with lock_a:
+        with pytest.raises(LockOrderViolation):
+            lock_a.acquire()
+    assert not lock_a.locked()
+
+
+def test_consistent_order_never_raises():
+    dog = LockOrderWatchdog()
+    lock_a, lock_b = _locks(dog)
+    for _ in range(3):
+        with lock_a:
+            with lock_b:
+                pass
+    assert dog.edges() == {"A": {"B"}}
+
+
+def test_reset_forgets_recorded_edges():
+    dog = LockOrderWatchdog()
+    lock_a, lock_b = _locks(dog)
+    with lock_a:
+        with lock_b:
+            pass
+    dog.reset()
+    with lock_b:
+        with lock_a:  # no longer a known reversal
+            pass
+    assert dog.edges() == {"B": {"A"}}
+
+
+def test_ordered_lock_is_a_lock():
+    lock = OrderedLock("solo", watchdog=LockOrderWatchdog())
+    assert not lock.locked()
+    with lock:
+        assert lock.locked()
+    assert not lock.locked()
+    assert lock.acquire(blocking=False)
+    lock.release()
+    assert "solo" in repr(lock)
+
+
+def test_ordered_lock_requires_a_name():
+    with pytest.raises(ValueError):
+        OrderedLock("")

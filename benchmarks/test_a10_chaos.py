@@ -1,0 +1,67 @@
+"""A10 — resilience under chaos: protections on vs. off (extension).
+
+The chaos harness's worst case — an error burst rolling straight into a
+network partition (`burst_partition`) — is run twice with the same
+seeded fault schedule: once through the protected stack (end-to-end
+deadlines, circuit breaker, grace-window stale serving) and once
+through a naive caller (patient retry loops, no degradation).
+Measured: served-answer rate, degraded fraction, p99 caller-observed
+latency, and the invariant verdicts.  The protected stack keeps
+serving inside its budget; the control overshoots its deadline by
+seconds and fails the deadline invariant.
+"""
+
+from benchmarks._report import fmt_row, report
+from repro.chaos.scenarios import run_scenario
+
+SEED = 7
+
+
+def test_protections_on_vs_off_under_burst_and_partition():
+    protected = run_scenario("burst_partition", seed=SEED, protections=True)
+    control = run_scenario("burst_partition", seed=SEED, protections=False)
+
+    rows = [fmt_row("mode", "served rate", "degraded frac",
+                    "p99 (s)", "verdict")]
+    for label, result in (("protections on", protected),
+                          ("protections off", control)):
+        rows.append(fmt_row(
+            label,
+            result.metrics["success_rate"],
+            result.metrics["degraded_fraction"],
+            result.metrics["p99_latency"],
+            "PASS" if result.passed else "FAIL"))
+    overshoot = [check for check in control.report.results
+                 if check.name == "deadline-honored"][0]
+    rows.append(fmt_row("control deadline check", overshoot.detail,
+                        widths=(24, 70)))
+    rows.append(fmt_row("faults injected (on)",
+                        int(protected.metrics["faults_injected"])))
+    report("A10.chaos", "error burst + partition, seeded fault schedule "
+           f"(seed={SEED})", rows)
+
+    # The protected stack keeps answering (fresh or explicitly degraded)
+    # and honors every invariant.
+    assert protected.passed
+    assert protected.metrics["success_rate"] > 0.9
+    assert protected.metrics["degraded"] > 0
+
+    # The naive control overshoots its budget and fails the invariant.
+    assert not control.passed
+    assert "deadline-honored" in [f.name for f in control.report.failures()]
+    assert control.metrics["p99_latency"] > protected.metrics["p99_latency"]
+
+
+def test_degradation_is_bounded_not_invented():
+    """Degraded answers stay within the declared staleness bound."""
+    result = run_scenario("burst_partition", seed=SEED, protections=True)
+    staleness = [check for check in result.report.results
+                 if check.name == "bounded-staleness"][0]
+    assert staleness.applicable and staleness.passed
+
+
+def test_bench_chaos_scenario(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_scenario("burst_partition", seed=SEED), rounds=3,
+        iterations=1)
+    assert result.passed

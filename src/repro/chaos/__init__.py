@@ -1,0 +1,61 @@
+"""Deterministic chaos harness for the Rich SDK and the PKB.
+
+The paper's robustness claims (failover, redundancy, caching, offline
+sync) are only as good as the fault schedules they are tested against.
+This package provides:
+
+* :mod:`repro.chaos.plan` — declarative, composable fault specs
+  (error bursts, latency spikes, partitions, flapping links, payload
+  corruption, clock skew) compiled into a seeded :class:`FaultPlan`;
+* :mod:`repro.chaos.inject` — the :class:`ChaosInjector` that the
+  simulated transport consults on every call, plus storage and clock
+  fault wrappers;
+* :mod:`repro.chaos.invariants` — machine-checked resilience
+  invariants (no lost updates, breaker conformance, bounded staleness,
+  deadline honored, counter consistency) rendered as byte-stable
+  reports;
+* :mod:`repro.chaos.scenarios` — named end-to-end scenarios combining
+  all of the above, runnable via ``python -m repro.chaos``.
+
+Everything runs on the simulation clock and a :class:`SeededRng`, so a
+scenario replayed with the same seed yields a byte-identical report.
+"""
+
+from repro.chaos.inject import ChaosInjector, FaultyStore, SkewedClock
+from repro.chaos.invariants import InvariantReport, InvariantResult
+from repro.chaos.plan import (
+    ClockSkew,
+    ErrorBurst,
+    FaultPlan,
+    FlappingLink,
+    LatencySpike,
+    Partition,
+    PayloadCorruption,
+    Window,
+)
+from repro.chaos.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    run_all,
+    run_scenario,
+)
+
+__all__ = [
+    "ChaosInjector",
+    "ClockSkew",
+    "ErrorBurst",
+    "FaultPlan",
+    "FaultyStore",
+    "FlappingLink",
+    "InvariantReport",
+    "InvariantResult",
+    "LatencySpike",
+    "Partition",
+    "PayloadCorruption",
+    "SCENARIOS",
+    "ScenarioResult",
+    "SkewedClock",
+    "Window",
+    "run_all",
+    "run_scenario",
+]

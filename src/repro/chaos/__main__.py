@@ -1,0 +1,67 @@
+"""Command-line entry point: ``python -m repro.chaos``.
+
+Runs the named chaos scenarios, prints each byte-stable invariant
+report, and (with ``--strict``) exits non-zero when any applicable
+invariant fails.  ``--no-protections`` runs the naive-caller control,
+which is *expected* to fail the deadline and lost-update invariants —
+CI runs both modes to prove the invariants have teeth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.scenarios import SCENARIOS, run_all, run_scenario
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Deterministic chaos harness: seeded fault injection "
+                    "with machine-checked resilience invariants.")
+    parser.add_argument("--all", action="store_true",
+                        help="run every scenario (the default)")
+    parser.add_argument("--scenario", action="append", default=[],
+                        metavar="NAME", choices=sorted(SCENARIOS),
+                        help="run one named scenario (repeatable)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="fault-plan seed (default: 7); same seed, "
+                             "same bytes")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 if any applicable invariant fails")
+    parser.add_argument("--no-protections", action="store_true",
+                        help="run the naive-caller control (expected to "
+                             "fail deadline/lost-update invariants)")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenario names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in SCENARIOS:
+            print(name)
+        return 0
+
+    protections = not args.no_protections
+    if args.scenario and not args.all:
+        results = [run_scenario(name, seed=args.seed,
+                                protections=protections)
+                   for name in args.scenario]
+    else:
+        results = run_all(seed=args.seed, protections=protections)
+
+    for result in results:
+        print(result.render())
+        print()
+
+    passed = sum(1 for result in results if result.passed)
+    mode = "on" if protections else "off"
+    print(f"chaos: {passed}/{len(results)} scenarios passed "
+          f"(seed={args.seed} protections={mode})")
+    if args.strict and passed != len(results):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,300 @@
+"""Machine-checked resilience invariants over one chaos scenario run.
+
+A scenario does not "look OK" — it produces a :class:`ScenarioRun`
+evidence ledger (every logical call with its timing and deadline, every
+breaker, every stale serve, the expected vs. observed replicated state)
+and :func:`check_all` grades that ledger against five invariants:
+
+* **deadline-honored** — no call finished more than one transport step
+  past its end-to-end deadline.  Clamped timeouts and deadline-aware
+  queue waits make the overshoot exactly zero in the protections-on
+  harness; a retry loop that sleeps through the budget (the
+  protections-off control) fails this check by construction.
+* **no-lost-updates** — after partitions heal and :meth:`sync` runs,
+  the remote store holds the last locally-written value for every key.
+* **breaker-conformance** — every recorded circuit-breaker transition
+  is an edge of :data:`~repro.core.circuitbreaker.LEGAL_TRANSITIONS`.
+* **bounded-staleness** — every degraded (stale) serve's age is within
+  ``ttl + stale_grace``.
+* **counter-consistency** — every issued request is accounted for:
+  ``requests == successes + degraded + failures + sheds``.
+
+Reports are **byte-stable**: no wall-clock content, floats rendered
+with a fixed ``%.6f`` format, and every number derived from the
+simulation clock and the scenario's seeded rng — replaying the same
+scenario with the same seed renders the identical report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.circuitbreaker import LEGAL_TRANSITIONS, CircuitBreaker
+
+#: Float-comparison tolerance for the timing invariants.
+EPSILON = 1e-9
+
+#: The call-outcome kinds a scenario may record.
+KINDS = ("success", "degraded", "failure", "shed")
+
+
+@dataclass(frozen=True)
+class CallOutcome:
+    """One logical call, as the scenario's caller experienced it."""
+
+    kind: str  # one of KINDS
+    started: float
+    ended: float
+    deadline_expires: float | None = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+
+
+@dataclass
+class ScenarioRun:
+    """The evidence ledger one scenario fills in while it runs.
+
+    ``requests`` is incremented at *issue* time (:meth:`issue`) and the
+    outcome appended at completion (:meth:`record`) — keeping the two
+    separate is what gives the counter-consistency invariant teeth: a
+    dropped or double-counted call shows up as an imbalance instead of
+    silently vanishing.
+    """
+
+    scenario: str
+    seed: int
+    protections: bool
+    #: Largest single indivisible wait a call may experience (the
+    #: allowed deadline overshoot).
+    max_transport_step: float = 0.0
+    requests: int = 0
+    calls: list[CallOutcome] = field(default_factory=list)
+    breakers: list[CircuitBreaker] = field(default_factory=list)
+    #: Ages of degraded (stale) serves, against ``staleness_bound``.
+    stale_ages: list[float] = field(default_factory=list)
+    staleness_bound: float | None = None
+    #: key -> last locally written value (what sync must converge to).
+    expected_state: dict[str, object] = field(default_factory=dict)
+    #: key -> value actually read back from the remote store.
+    remote_state: dict[str, object] = field(default_factory=dict)
+    #: Injected-fault counts by kind (from InjectionStats).
+    injected: dict[str, int] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def issue(self) -> None:
+        """Count one logical request at issue time."""
+        self.requests += 1
+
+    def record(self, kind: str, started: float, ended: float,
+               deadline_expires: float | None = None,
+               detail: str = "") -> None:
+        """Record the outcome of one issued request."""
+        self.calls.append(
+            CallOutcome(kind, started, ended, deadline_expires, detail))
+
+    def count(self, kind: str) -> int:
+        """How many recorded calls ended with ``kind``."""
+        return sum(1 for call in self.calls if call.kind == kind)
+
+    def note(self, text: str) -> None:
+        """Attach one stable free-form line to the report."""
+        self.notes.append(text)
+
+
+@dataclass(frozen=True)
+class InvariantResult:
+    """One invariant's verdict over a scenario run.
+
+    ``applicable=False`` marks an invariant the scenario exercised no
+    evidence for (e.g. no replicated state in a latency scenario); it
+    renders as SKIP and never fails the report.
+    """
+
+    name: str
+    passed: bool
+    applicable: bool
+    detail: str
+
+    @property
+    def verdict(self) -> str:
+        if not self.applicable:
+            return "SKIP"
+        return "PASS" if self.passed else "FAIL"
+
+
+@dataclass
+class InvariantReport:
+    """Every invariant's verdict for one scenario run, renderable."""
+
+    scenario: str
+    seed: int
+    protections: bool
+    results: list[InvariantResult]
+    counts: dict[str, int]
+    injected: dict[str, int]
+    notes: list[str]
+
+    @property
+    def passed(self) -> bool:
+        """True when no *applicable* invariant failed."""
+        return all(result.passed for result in self.results
+                   if result.applicable)
+
+    def failures(self) -> list[InvariantResult]:
+        """The applicable invariants that failed."""
+        return [result for result in self.results
+                if result.applicable and not result.passed]
+
+    def render(self) -> str:
+        """Byte-stable multi-line report (same seed => same bytes)."""
+        protections = "on" if self.protections else "off"
+        lines = [
+            f"chaos scenario={self.scenario} seed={self.seed} "
+            f"protections={protections}",
+            ("requests={requests} successes={success} degraded={degraded} "
+             "failures={failure} sheds={shed}").format(**self.counts),
+            ("injected: errors={errors} latency={latency} "
+             "partitions={partitions} corruptions={corruptions}").format(
+                **self.injected),
+        ]
+        lines.extend(f"note: {note}" for note in self.notes)
+        for result in self.results:
+            dotted = f"invariant {result.name} ".ljust(40, ".")
+            lines.append(f"{dotted} {result.verdict} {result.detail}")
+        lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        return "\n".join(lines)
+
+
+# -- the five invariants ------------------------------------------------------
+
+def check_deadline_honored(run: ScenarioRun) -> InvariantResult:
+    """No call finished more than one transport step past its deadline."""
+    deadlined = [call for call in run.calls
+                 if call.deadline_expires is not None]
+    if not deadlined:
+        return InvariantResult(
+            "deadline-honored", True, False,
+            "no deadlined calls in this scenario")
+    overshoot = max(call.ended - call.deadline_expires for call in deadlined)
+    allowed = run.max_transport_step
+    passed = overshoot <= allowed + EPSILON
+    return InvariantResult(
+        "deadline-honored", passed, True,
+        f"max overshoot {overshoot:.6f}s vs allowed step {allowed:.6f}s "
+        f"over {len(deadlined)} deadlined call(s)")
+
+
+def check_no_lost_updates(run: ScenarioRun) -> InvariantResult:
+    """The remote store converged to the last local write for every key."""
+    if not run.expected_state:
+        return InvariantResult(
+            "no-lost-updates", True, False,
+            "no replicated state in this scenario")
+    lost = sorted(
+        key for key, value in run.expected_state.items()
+        if key not in run.remote_state or run.remote_state[key] != value)
+    extra = sorted(set(run.remote_state) - set(run.expected_state))
+    passed = not lost and not extra
+    if passed:
+        detail = (f"{len(run.expected_state)} key(s) converged after "
+                  f"offline windows")
+    else:
+        detail = (f"lost/stale keys: {lost}; unexpected keys: {extra} "
+                  f"(expected {len(run.expected_state)} key(s))")
+    return InvariantResult("no-lost-updates", passed, True, detail)
+
+
+def check_breaker_conformance(run: ScenarioRun) -> InvariantResult:
+    """Every breaker transition is an edge of the legal state machine."""
+    if not run.breakers:
+        return InvariantResult(
+            "breaker-conformance", True, False,
+            "no circuit breakers in this scenario")
+    transitions = 0
+    illegal: list[str] = []
+    for breaker in run.breakers:
+        for transition in breaker.transitions:
+            transitions += 1
+            edge = (transition.source, transition.target)
+            if edge not in LEGAL_TRANSITIONS:
+                illegal.append(
+                    f"{breaker.service}:{transition.source.value}"
+                    f"->{transition.target.value}@{transition.at:.6f}")
+    passed = not illegal
+    detail = (f"{transitions} transition(s) across {len(run.breakers)} "
+              f"breaker(s), all legal" if passed
+              else f"illegal transition(s): {sorted(illegal)}")
+    return InvariantResult("breaker-conformance", passed, True, detail)
+
+
+def check_bounded_staleness(run: ScenarioRun) -> InvariantResult:
+    """Every degraded serve's age is within ``ttl + stale_grace``."""
+    if run.staleness_bound is None or not run.stale_ages:
+        return InvariantResult(
+            "bounded-staleness", True, False,
+            "no stale serves in this scenario")
+    worst = max(run.stale_ages)
+    passed = worst <= run.staleness_bound + EPSILON
+    return InvariantResult(
+        "bounded-staleness", passed, True,
+        f"max stale age {worst:.6f}s vs bound {run.staleness_bound:.6f}s "
+        f"over {len(run.stale_ages)} stale serve(s)")
+
+
+def check_counter_consistency(run: ScenarioRun) -> InvariantResult:
+    """Every issued request is accounted for exactly once."""
+    if run.requests == 0:
+        return InvariantResult(
+            "counter-consistency", True, False,
+            "no requests issued in this scenario")
+    successes = run.count("success")
+    degraded = run.count("degraded")
+    failures = run.count("failure")
+    sheds = run.count("shed")
+    accounted = successes + degraded + failures + sheds
+    passed = accounted == run.requests
+    return InvariantResult(
+        "counter-consistency", passed, True,
+        f"{run.requests} == {successes}+{degraded}+{failures}+{sheds}"
+        if passed else
+        f"{run.requests} issued but {accounted} accounted "
+        f"({successes}+{degraded}+{failures}+{sheds})")
+
+
+#: The full battery, in report order.
+ALL_CHECKS = (
+    check_deadline_honored,
+    check_no_lost_updates,
+    check_breaker_conformance,
+    check_bounded_staleness,
+    check_counter_consistency,
+)
+
+
+def check_all(run: ScenarioRun) -> InvariantReport:
+    """Grade one scenario run against every invariant."""
+    counts = {
+        "requests": run.requests,
+        "success": run.count("success"),
+        "degraded": run.count("degraded"),
+        "failure": run.count("failure"),
+        "shed": run.count("shed"),
+    }
+    injected = {
+        "errors": run.injected.get("errors", 0),
+        "latency": run.injected.get("latency_spikes", 0),
+        "partitions": run.injected.get("partitions", 0),
+        "corruptions": run.injected.get("corruptions", 0),
+    }
+    return InvariantReport(
+        scenario=run.scenario,
+        seed=run.seed,
+        protections=run.protections,
+        results=[check(run) for check in ALL_CHECKS],
+        counts=counts,
+        injected=injected,
+        notes=list(run.notes),
+    )

@@ -1,0 +1,824 @@
+"""Named end-to-end chaos scenarios, runnable via ``python -m repro.chaos``.
+
+Each scenario builds a fresh simulated world, arms a declarative
+:class:`~repro.chaos.plan.FaultPlan` on its transport, drives the Rich
+SDK / PKB stack through the fault schedule, and grades the evidence
+ledger with :func:`repro.chaos.invariants.check_all`.  Everything runs
+on a :class:`ManualClock` and seeded rngs, so the same ``(name, seed,
+protections)`` triple renders a byte-identical report.
+
+``protections=True`` drives the stack the way a production caller
+should: end-to-end :class:`~repro.util.deadline.Deadline`s, deadline-
+aware retry/admission, serve-stale-on-error degradation, circuit
+breakers and offline-sync queues.  ``protections=False`` is the
+**control**: the same fault schedule against a naive caller — retry
+loops that sleep through the budget and a write-through store that
+swallows offline errors — which demonstrably *fails* the deadline and
+lost-update invariants.  The control failing is part of the harness's
+contract: it proves the invariants can catch the bugs the protections
+exist to prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.stats import percentile
+from repro.chaos.inject import ChaosInjector, SkewedClock
+from repro.chaos.invariants import InvariantReport, ScenarioRun, check_all
+from repro.chaos.plan import (
+    ClockSkew,
+    ErrorBurst,
+    FaultPlan,
+    FlappingLink,
+    LatencySpike,
+    Partition,
+    PayloadCorruption,
+    Window,
+)
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionLimit,
+    AdmissionRejectedError,
+)
+from repro.core.caching import ServiceCache, cache_key
+from repro.core.circuitbreaker import CircuitBreakerRegistry, CircuitOpenError
+from repro.core.invoker import RichClient
+from repro.core.retry import (
+    FailoverInvoker,
+    RetriesExhaustedError,
+    RetryPolicy,
+    invoke_with_retry,
+)
+from repro.crypto.cipher import StreamCipher
+from repro.kb.secure import SecureRemoteStore
+from repro.kb.sync import OfflineSyncStore
+from repro.obs import names
+from repro.services.catalog import build_world
+from repro.simnet.errors import NetworkError
+from repro.stores.kvstore import InMemoryKeyValueStore
+from repro.util.deadline import Deadline
+from repro.util.errors import NotFoundError
+
+#: 32-byte key for the scenarios' secure remote stores (fixed: the
+#: harness must be deterministic, not secret).
+_CIPHER_KEY = b"chaos-harness-key-0123456789abcd"
+
+_TEXTS = (
+    "IBM shares rose sharply after the announcement.",
+    "Globex results were excellent this quarter.",
+    "Initech stumbled badly on weak guidance.",
+    "Umbrella Corporation expanded into new markets.",
+    "Acme Corporation beat every forecast.",
+)
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's graded report plus benchmark-friendly numbers."""
+
+    name: str
+    report: InvariantReport
+    metrics: dict[str, float]
+
+    @property
+    def passed(self) -> bool:
+        return self.report.passed
+
+    def render(self) -> str:
+        """The report's byte-stable text."""
+        return self.report.render()
+
+
+def _advance_to(clock, when: float) -> None:
+    """Charge the clock forward to ``when`` (no-op if already past)."""
+    delta = when - clock.now()
+    if delta > 0:
+        clock.charge(delta)
+
+
+def _scenario_span(client: RichClient, run: ScenarioRun):
+    """The ``chaos.scenario`` span wrapping one scenario's action."""
+    return client.obs.tracer.span(
+        names.SPAN_CHAOS_SCENARIO,
+        {"scenario": run.scenario, "protections": run.protections})
+
+
+def _finish(run: ScenarioRun, injector: ChaosInjector) -> ScenarioRun:
+    """Copy the injector's fault counts into the run ledger."""
+    stats = injector.stats
+    run.injected = {
+        "errors": stats.errors,
+        "latency_spikes": stats.latency_spikes,
+        "partitions": stats.partitions,
+        "corruptions": stats.corruptions,
+    }
+    return run
+
+def _read_remote(run: ScenarioRun, secure: SecureRemoteStore) -> None:
+    """Read back every expected key from the remote store (post-heal)."""
+    for key in sorted(run.expected_state):
+        try:
+            run.remote_state[key] = secure.get(key)
+        except NotFoundError:  # repro: ignore[RA002] — a missing key IS the evidence the lost-update check needs
+            pass
+
+
+def _metrics_from(run: ScenarioRun) -> dict[str, float]:
+    """Benchmark-friendly aggregates over the run's call ledger."""
+    durations = sorted(call.ended - call.started for call in run.calls)
+    requests = max(1, run.requests)
+    served = run.count("success") + run.count("degraded")
+    return {
+        "requests": float(run.requests),
+        "successes": float(run.count("success")),
+        "degraded": float(run.count("degraded")),
+        "failures": float(run.count("failure")),
+        "sheds": float(run.count("shed")),
+        "success_rate": served / requests,
+        "degraded_fraction": run.count("degraded") / requests,
+        "p99_latency": percentile(durations, 0.99) if durations else 0.0,
+        "faults_injected": float(sum(run.injected.values())),
+    }
+
+
+class _NaiveWriteThroughStore:
+    """The protections-off control store: swallows offline write errors.
+
+    Writes locally, then writes through to the remote store — and when
+    the network is down it just *drops* the remote write instead of
+    queueing it.  This is the bug :class:`OfflineSyncStore` exists to
+    prevent, kept here so the no-lost-updates invariant has a positive
+    control to catch.
+    """
+
+    def __init__(self, remote: SecureRemoteStore) -> None:
+        self.remote = remote
+        self.local = InMemoryKeyValueStore()
+        self.dropped = 0
+
+    def put(self, key: str, value: object) -> None:
+        self.local.put(key, value)
+        try:
+            self.remote.put(key, value)
+        except NetworkError:
+            self.dropped += 1  # the lost update, silently
+
+    def get(self, key: str) -> object:
+        return self.local.get(key)
+
+
+# -- scenarios ---------------------------------------------------------------
+
+def scenario_error_burst(seed: int, protections: bool) -> ScenarioRun:
+    """The premium NLU provider answers 500 for a sustained window.
+
+    Protections on: deadlined calls degrade to in-grace stale cache
+    entries, and failover walks to a healthy sibling within budget.
+    Protections off: a patient retry loop sleeps far past the caller's
+    2-second budget — the deadline invariant catches the overshoot.
+    """
+    plan = FaultPlan(
+        (ErrorBurst(Window(5.0, 60.0), endpoint="lexica-prime", status=500),),
+        seed=seed)
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("error_burst", seed, protections,
+                      max_transport_step=1.0)
+    budget = 2.0
+
+    if protections:
+        cache = ServiceCache(capacity=64, ttl=3.0, clock=clock,
+                             stale_grace=30.0)
+        run.staleness_bound = 33.0
+        client = RichClient(
+            world.registry, cache=cache, serve_stale_on_error=True,
+            failover=FailoverInvoker(
+                default_policy=RetryPolicy(max_attempts=2, backoff=0.1),
+                clock=clock))
+        try:
+            with _scenario_span(client, run):
+                for text in _TEXTS[:3]:  # warm the cache pre-burst
+                    run.issue()
+                    started = clock.now()
+                    client.invoke("lexica-prime", "analyze", {"text": text})
+                    run.record("success", started, clock.now())
+                _advance_to(clock, 5.5)  # inside the burst; entries stale
+                for text in _TEXTS[:3]:
+                    run.issue()
+                    started = clock.now()
+                    deadline = Deadline.after(clock, budget)
+                    result = client.invoke(
+                        "lexica-prime", "analyze", {"text": text},
+                        deadline=deadline)
+                    kind = "degraded" if result.degraded else "success"
+                    if result.degraded and result.stale_age is not None:
+                        run.stale_ages.append(result.stale_age)
+                    run.record(kind, started, clock.now(),
+                               deadline_expires=deadline.expires_at)
+                for text in _TEXTS[3:]:  # failover reaches a healthy sibling
+                    run.issue()
+                    started = clock.now()
+                    deadline = Deadline.after(clock, budget)
+                    result = client.invoke_with_failover(
+                        "nlu", "analyze", {"text": text}, deadline=deadline)
+                    run.record("degraded" if result.degraded else "success",
+                               started, clock.now(),
+                               deadline_expires=deadline.expires_at)
+        finally:
+            client.close()
+        return _finish(run, injector)
+
+    client = RichClient(world.registry)
+    policy = RetryPolicy(max_attempts=3, backoff=4.0)
+    try:
+        with _scenario_span(client, run):
+            _advance_to(clock, 5.5)
+            for text in _TEXTS[:3]:
+                run.issue()
+                started = clock.now()
+                try:
+                    invoke_with_retry(
+                        lambda text=text: client.invoke(
+                            "lexica-prime", "analyze", {"text": text},
+                            use_cache=False),
+                        policy, clock=clock, service="lexica-prime")
+                    kind = "success"
+                except RetriesExhaustedError:
+                    kind = "failure"
+                # The caller HAD a 2-second SLA; this stack ignored it.
+                run.record(kind, started, clock.now(),
+                           deadline_expires=started + budget)
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+def scenario_latency_spike(seed: int, protections: bool) -> ScenarioRun:
+    """One provider's responses stall by 2.5 simulated seconds.
+
+    Protections on: the wire timeout is clamped to the 1-second
+    deadline, so the call is cut at exactly the budget and answered
+    from grace-window cache.  Protections off: the caller rides out the
+    full stalled response, overshooting the budget.
+    """
+    plan = FaultPlan(
+        (LatencySpike(Window(2.0, 40.0), endpoint="glotta", extra=2.5),),
+        seed=seed)
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("latency_spike", seed, protections,
+                      max_transport_step=1.0)
+    budget = 1.0
+
+    if protections:
+        cache = ServiceCache(capacity=64, ttl=1.0, clock=clock,
+                             stale_grace=20.0)
+        run.staleness_bound = 21.0
+        client = RichClient(world.registry, cache=cache,
+                            serve_stale_on_error=True)
+    else:
+        client = RichClient(world.registry)
+    try:
+        with _scenario_span(client, run):
+            for text in _TEXTS[:2]:  # warm before the spike
+                run.issue()
+                started = clock.now()
+                client.invoke("glotta", "analyze", {"text": text})
+                run.record("success", started, clock.now())
+            _advance_to(clock, 3.0)  # inside the spike; entries stale
+            for text in _TEXTS[:2]:
+                run.issue()
+                started = clock.now()
+                if protections:
+                    deadline = Deadline.after(clock, budget)
+                    result = client.invoke("glotta", "analyze",
+                                           {"text": text}, deadline=deadline)
+                    kind = "degraded" if result.degraded else "success"
+                    if result.degraded and result.stale_age is not None:
+                        run.stale_ages.append(result.stale_age)
+                else:
+                    client.invoke("glotta", "analyze", {"text": text},
+                                  use_cache=False)
+                    kind = "success"  # a slow success is still a success...
+                run.record(kind, started, clock.now(),
+                           deadline_expires=started + budget)
+            # An unspiked provider stays fast either way.
+            run.issue()
+            started = clock.now()
+            client.invoke("lexica-prime", "analyze", {"text": _TEXTS[4]},
+                          use_cache=False)
+            run.record("success", started, clock.now(),
+                       deadline_expires=started + budget)
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+def scenario_partition_sync(seed: int, protections: bool) -> ScenarioRun:
+    """A full network partition while the PKB keeps writing.
+
+    Protections on: :class:`OfflineSyncStore` queues the writes and
+    replays them after the partition heals — no update is lost.
+    Protections off: the naive write-through store silently drops the
+    offline writes, and the no-lost-updates invariant catches it.
+    """
+    plan = FaultPlan((Partition(Window(2.0, 6.0)),), seed=seed)
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("partition_sync", seed, protections)
+    client = RichClient(world.registry)
+    secure = SecureRemoteStore(client, "store-standard",
+                               StreamCipher(_CIPHER_KEY))
+    try:
+        with _scenario_span(client, run):
+            if protections:
+                store = OfflineSyncStore(remote=secure)
+                run.issue()
+                started = clock.now()
+                store.put("alpha", {"v": 1})  # online: pushed immediately
+                run.record("success", started, clock.now())
+                _advance_to(clock, 2.5)  # partitioned
+                for key, value in (("alpha", {"v": 2}), ("beta", {"v": 1})):
+                    run.issue()
+                    started = clock.now()
+                    store.put(key, value)  # local write + queued push
+                    run.record("success", started, clock.now(),
+                               detail="queued offline")
+                run.issue()
+                started = clock.now()
+                assert store.get("alpha") == {"v": 2}  # local-first read
+                run.record("success", started, clock.now())
+                _advance_to(clock, 4.0)  # still partitioned
+                run.issue()
+                started = clock.now()
+                if store.sync() == 0:  # connectivity still down
+                    run.record("failure", started, clock.now(),
+                               detail="sync attempt while partitioned")
+                else:
+                    run.record("success", started, clock.now())
+                _advance_to(clock, 6.5)  # healed
+                run.issue()
+                started = clock.now()
+                applied = store.sync()
+                run.record("success", started, clock.now())
+                run.note(f"sync applied={applied} "
+                         f"pending={store.pending_count}")
+                run.expected_state = {"alpha": {"v": 2}, "beta": {"v": 1}}
+            else:
+                store = _NaiveWriteThroughStore(secure)
+                run.issue()
+                started = clock.now()
+                store.put("alpha", {"v": 1})
+                run.record("success", started, clock.now())
+                _advance_to(clock, 2.5)
+                for key, value in (("alpha", {"v": 2}), ("beta", {"v": 1})):
+                    run.issue()
+                    started = clock.now()
+                    store.put(key, value)  # remote write silently dropped
+                    run.record("success", started, clock.now(),
+                               detail="write-through dropped offline")
+                _advance_to(clock, 6.5)
+                run.note(f"naive store dropped {store.dropped} "
+                         f"remote write(s)")
+                run.expected_state = {"alpha": {"v": 2}, "beta": {"v": 1}}
+            _read_remote(run, secure)
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+def scenario_flapping_link(seed: int, protections: bool) -> ScenarioRun:
+    """Connectivity flaps on a 2-second duty cycle for 8 seconds.
+
+    Writes land in both online and offline phases, with sync attempts
+    interleaved (including one mid-outage that must fail cleanly and
+    keep its queue).  Convergence across *multiple* short outages is
+    exactly what distinguishes a real offline queue from a lucky one.
+    """
+    plan = FaultPlan(
+        (FlappingLink(Window(1.0, 9.0), period=2.0, duty_offline=0.5),),
+        seed=seed)
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("flapping_link", seed, protections)
+    client = RichClient(world.registry)
+    secure = SecureRemoteStore(client, "store-standard",
+                               StreamCipher(_CIPHER_KEY))
+
+    if protections:
+        store = OfflineSyncStore(remote=secure)
+    else:
+        store = _NaiveWriteThroughStore(secure)
+
+    def write(key: str, value: object, detail: str = "") -> None:
+        run.issue()
+        started = clock.now()
+        store.put(key, value)
+        run.record("success", started, clock.now(), detail=detail)
+
+    def try_sync() -> None:
+        if not protections:
+            return
+        run.issue()
+        started = clock.now()
+        if store.sync() == 0 and store.pending_count:
+            run.record("failure", started, clock.now(),
+                       detail="sync attempt while link down")
+        else:
+            run.record("success", started, clock.now())
+
+    try:
+        with _scenario_span(client, run):
+            _advance_to(clock, 0.3)   # online
+            write("a", {"v": 1})
+            _advance_to(clock, 1.2)   # offline phase 1
+            write("a", {"v": 2}, detail="offline")
+            write("b", {"v": 1}, detail="offline")
+            _advance_to(clock, 2.2)   # online phase
+            try_sync()
+            _advance_to(clock, 3.3)   # offline phase 2
+            write("b", {"v": 2}, detail="offline")
+            try_sync()                # must fail cleanly, keep the queue
+            _advance_to(clock, 4.2)   # online
+            try_sync()
+            _advance_to(clock, 5.4)   # offline phase 3
+            write("c", {"v": 3}, detail="offline")
+            _advance_to(clock, 6.3)   # online
+            write("d", {"v": 4})
+            _advance_to(clock, 8.4)   # flapping over
+            try_sync()
+            run.expected_state = {"a": {"v": 2}, "b": {"v": 2},
+                                  "c": {"v": 3}, "d": {"v": 4}}
+            if not protections:
+                run.note(f"naive store dropped {store.dropped} "
+                         f"remote write(s)")
+            _read_remote(run, secure)
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+def scenario_corrupt_payload(seed: int, protections: bool) -> ScenarioRun:
+    """Responses from the budget NLU provider are mangled on the wire.
+
+    The garbled payload surfaces as a retryable 502.  Protections on:
+    previously-seen requests degrade to in-grace cache entries; a
+    never-seen request still fails (there is nothing to degrade to) —
+    honest degradation, not invention.
+    """
+    plan = FaultPlan(
+        (PayloadCorruption(Window(2.0, 30.0), endpoint="wordsmith-lite"),),
+        seed=seed)
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("corrupt_payload", seed, protections,
+                      max_transport_step=1.5)
+    budget = 1.5
+
+    if protections:
+        cache = ServiceCache(capacity=64, ttl=1.5, clock=clock,
+                             stale_grace=20.0)
+        run.staleness_bound = 21.5
+        client = RichClient(world.registry, cache=cache,
+                            serve_stale_on_error=True)
+    else:
+        client = RichClient(world.registry)
+    try:
+        with _scenario_span(client, run):
+            for text in _TEXTS[:2]:  # warm before corruption starts
+                run.issue()
+                started = clock.now()
+                client.invoke("wordsmith-lite", "analyze", {"text": text})
+                run.record("success", started, clock.now())
+            _advance_to(clock, 2.5)  # corruption window active
+            for text in _TEXTS[:2]:
+                run.issue()
+                started = clock.now()
+                deadline = (Deadline.after(clock, budget)
+                            if protections else None)
+                try:
+                    result = client.invoke(
+                        "wordsmith-lite", "analyze", {"text": text},
+                        deadline=deadline, use_cache=protections)
+                    kind = "degraded" if result.degraded else "success"
+                    if result.degraded and result.stale_age is not None:
+                        run.stale_ages.append(result.stale_age)
+                except NetworkError:
+                    kind = "failure"
+                run.record(kind, started, clock.now(),
+                           deadline_expires=(deadline.expires_at
+                                             if deadline else None))
+            # A request never seen before has no stale entry to fall
+            # back on: it must fail, not fabricate an answer.
+            run.issue()
+            started = clock.now()
+            deadline = Deadline.after(clock, budget) if protections else None
+            try:
+                client.invoke("wordsmith-lite", "analyze",
+                              {"text": _TEXTS[4]}, deadline=deadline,
+                              use_cache=protections)
+                kind = "success"
+            except NetworkError:
+                kind = "failure"
+            run.record(kind, started, clock.now(),
+                       deadline_expires=(deadline.expires_at
+                                         if deadline else None))
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+def scenario_burst_partition(seed: int, protections: bool) -> ScenarioRun:
+    """An error burst rolling straight into a partition (the worst case).
+
+    Protections on: the circuit breaker trips during the burst, its
+    half-open probe fails into the partition (a legal re-open), and the
+    caller rides on grace-window cache until the probe finally lands —
+    every breaker transition is checked against the legal state
+    machine.  Protections off: a patient retry loop grinds through
+    every failure, overshooting the 0.4-second budget by seconds.
+    """
+    plan = FaultPlan(
+        (ErrorBurst(Window(1.0, 4.0), endpoint="glotta", status=500),
+         Partition(Window(4.0, 6.0))),
+        seed=seed)
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("burst_partition", seed, protections,
+                      max_transport_step=0.4)
+    budget = 0.4
+    ticks = [1.0 + 0.5 * index for index in range(15)]  # t = 1.0 .. 8.0
+
+    if protections:
+        cache = ServiceCache(capacity=64, ttl=0.8, clock=clock,
+                             stale_grace=30.0)
+        run.staleness_bound = 30.8
+        client = RichClient(world.registry, cache=cache,
+                            serve_stale_on_error=True)
+        breakers = CircuitBreakerRegistry(clock, failure_threshold=3,
+                                          cooldown=1.5)
+        breakers.bind_metrics(client.obs.metrics)
+        breaker = breakers.breaker("glotta")
+        run.breakers = breakers.all_breakers()
+
+        def degrade(payload: dict) -> str:
+            stale = cache.get_stale(cache_key("glotta", "analyze", payload))
+            if stale is None:
+                return "shed"
+            run.stale_ages.append(stale.age)
+            return "degraded"
+
+        try:
+            with _scenario_span(client, run):
+                for text in _TEXTS[:2]:  # warm pre-burst
+                    run.issue()
+                    started = clock.now()
+                    client.invoke("glotta", "analyze", {"text": text})
+                    run.record("success", started, clock.now())
+                for index, tick in enumerate(ticks):
+                    _advance_to(clock, tick)
+                    payload = {"text": _TEXTS[index % 2]}
+                    run.issue()
+                    started = clock.now()
+                    deadline = Deadline.after(clock, budget)
+                    try:
+                        # Breaker outside, degradation after: a stale
+                        # serve must not mask failures from the breaker.
+                        result = breaker.call(
+                            lambda: client.invoke(
+                                "glotta", "analyze", payload,
+                                deadline=deadline, allow_stale=False))
+                        kind = ("degraded" if result.degraded
+                                else "success")
+                    except CircuitOpenError:
+                        kind = degrade(payload)
+                    except NetworkError:
+                        kind = degrade(payload)
+                        if kind == "shed":
+                            kind = "failure"  # wire failure, no fallback
+                    run.record(kind, started, clock.now(),
+                               deadline_expires=deadline.expires_at)
+                run.note(f"breaker opens={breaker.stats.opens} "
+                         f"closes={breaker.stats.closes} "
+                         f"rejected={breaker.stats.calls_rejected}")
+        finally:
+            client.close()
+        return _finish(run, injector)
+
+    client = RichClient(world.registry)
+    policy = RetryPolicy(max_attempts=3, backoff=2.0)
+    try:
+        with _scenario_span(client, run):
+            for index, tick in enumerate(ticks[:4]):
+                _advance_to(clock, tick)
+                payload = {"text": _TEXTS[index % 2]}
+                run.issue()
+                started = clock.now()
+                try:
+                    invoke_with_retry(
+                        lambda payload=payload: client.invoke(
+                            "glotta", "analyze", payload, use_cache=False),
+                        policy, clock=clock, service="glotta")
+                    kind = "success"
+                except RetriesExhaustedError:
+                    kind = "failure"
+                run.record(kind, started, clock.now(),
+                           deadline_expires=started + budget)
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+def scenario_clock_skew_sync(seed: int, protections: bool) -> ScenarioRun:
+    """A writer whose clock runs 45 seconds slow syncs across an outage.
+
+    Protections on: :class:`OfflineSyncStore` orders its replay by
+    local *sequence number*, so the skewed timestamps embedded in the
+    values are irrelevant to convergence.  Protections off: a
+    timestamp-LWW merge trusts the skewed clock and drops the newer
+    write — the textbook skew-induced lost update.
+    """
+    plan = FaultPlan(
+        (ClockSkew(Window(0.0, 100.0), offset=-45.0),
+         Partition(Window(2.0, 5.0))),
+        seed=seed)
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("clock_skew_sync", seed, protections)
+    writer_clock = SkewedClock(clock, plan.skew_at(0.0))
+    client = RichClient(world.registry)
+    secure = SecureRemoteStore(client, "store-standard",
+                               StreamCipher(_CIPHER_KEY))
+    try:
+        with _scenario_span(client, run):
+            _advance_to(clock, 1.0)
+            if protections:
+                store = OfflineSyncStore(remote=secure)
+                first = {"value": "v1", "written_at": writer_clock.now()}
+                run.issue()
+                started = clock.now()
+                store.put("note", first)  # online: pushed
+                run.record("success", started, clock.now())
+                _advance_to(clock, 2.5)  # partitioned
+                second = {"value": "v2", "written_at": writer_clock.now()}
+                journal = {"value": "j1", "written_at": writer_clock.now()}
+                for key, value in (("note", second), ("journal", journal)):
+                    run.issue()
+                    started = clock.now()
+                    store.put(key, value)
+                    run.record("success", started, clock.now(),
+                               detail="queued offline, skewed stamp")
+                _advance_to(clock, 5.5)  # healed
+                run.issue()
+                started = clock.now()
+                applied = store.sync()
+                run.record("success", started, clock.now())
+                run.note(f"sync applied={applied} with writer skew "
+                         f"{plan.skew_at(0.0):.6f}s (replay by sequence)")
+                run.expected_state = {"note": second, "journal": journal}
+            else:
+                # Control: merge remote state by (skewed) timestamp.
+                first = {"value": "v1", "written_at": clock.now()}
+                run.issue()
+                started = clock.now()
+                secure.put("note", first)  # an unskewed peer wrote first
+                run.record("success", started, clock.now())
+                _advance_to(clock, 2.5)
+                # The skewed writer's update: later in real time, but
+                # stamped ~45s in the past.
+                second = {"value": "v2", "written_at": writer_clock.now()}
+                run.issue()
+                started = clock.now()
+                run.record("success", started, clock.now(),
+                           detail="held offline, skewed stamp")
+                _advance_to(clock, 5.5)
+                run.issue()
+                started = clock.now()
+                current = secure.get("note")
+                if second["written_at"] > current["written_at"]:
+                    secure.put("note", second)
+                    run.record("success", started, clock.now())
+                else:
+                    run.record("failure", started, clock.now(),
+                               detail="timestamp merge dropped the "
+                                      "newer write")
+                run.note("timestamp-LWW merge trusted a clock running "
+                         f"{plan.skew_at(0.0):.6f}s slow")
+                run.expected_state = {"note": second}
+            _read_remote(run, secure)
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+def scenario_deadline_storm(seed: int, protections: bool) -> ScenarioRun:
+    """A stuck upstream call pins the bulkhead while deadlined work piles up.
+
+    Protections on: admission control clamps every queue wait to the
+    caller's remaining budget — work that cannot finish in time is shed
+    *at* its deadline with an honest ``retry_after`` (the queue window,
+    never the caller's own budget), and callers with warm cache degrade
+    instead.  Protections off: every caller waits out the full queue
+    timeout, blowing through its budget before being shed anyway.
+    """
+    plan = FaultPlan((), seed=seed)  # the fault is load, not the network
+    world = build_world(seed=seed, corpus_size=12)
+    clock = world.clock
+    injector = plan.injector().install(world.transport)
+    run = ScenarioRun("deadline_storm", seed, protections,
+                      max_transport_step=0.5)
+    budget = 0.3
+    queue_timeout = 0.5 if protections else 2.0
+    admission = AdmissionController(clock, limits={
+        "glotta": AdmissionLimit(max_concurrent=1, max_queue=4,
+                                 queue_timeout=queue_timeout)})
+    cache = ServiceCache(capacity=64, ttl=0.5, clock=clock,
+                         stale_grace=10.0)
+    if protections:
+        run.staleness_bound = 10.5
+    client = RichClient(world.registry, cache=cache, admission=admission,
+                        serve_stale_on_error=protections)
+    try:
+        with _scenario_span(client, run):
+            warm = {"text": _TEXTS[0]}
+            run.issue()
+            started = clock.now()
+            client.invoke("glotta", "analyze", warm)
+            run.record("success", started, clock.now())
+            bulkhead = admission.bulkhead_for("glotta")
+            assert bulkhead.try_acquire()  # the stuck call holds the permit
+            _advance_to(clock, 1.0)        # warm entry expired, in grace
+            storm = [warm] + [{"text": text} for text in _TEXTS[1:4]]
+            for payload in storm:
+                run.issue()
+                started = clock.now()
+                deadline = (Deadline.after(clock, budget)
+                            if protections else None)
+                try:
+                    result = client.invoke("glotta", "analyze", payload,
+                                           deadline=deadline)
+                    kind = "degraded" if result.degraded else "success"
+                    if result.degraded and result.stale_age is not None:
+                        run.stale_ages.append(result.stale_age)
+                except AdmissionRejectedError as error:
+                    kind = "shed"
+                    run.note(f"shed reason={error.reason} "
+                             f"retry_after={error.retry_after:.6f}")
+                run.record(kind, started, clock.now(),
+                           deadline_expires=started + budget)
+            bulkhead.release()  # the stuck call finally finishes
+            for text in _TEXTS[3:]:  # recovery: permits flow again
+                run.issue()
+                started = clock.now()
+                deadline = (Deadline.after(clock, 2.0)
+                            if protections else None)
+                client.invoke("glotta", "analyze", {"text": text},
+                              deadline=deadline, use_cache=False)
+                run.record("success", started, clock.now(),
+                           deadline_expires=(deadline.expires_at
+                                             if deadline else None))
+            run.note(f"bulkhead shed_deadline="
+                     f"{bulkhead.stats.shed_deadline} "
+                     f"shed_timeout={bulkhead.stats.shed_timeout} "
+                     f"admitted={bulkhead.stats.admitted}")
+    finally:
+        client.close()
+    return _finish(run, injector)
+
+
+#: Every named scenario, in the order ``run_all`` executes them.
+SCENARIOS = {
+    "error_burst": scenario_error_burst,
+    "latency_spike": scenario_latency_spike,
+    "partition_sync": scenario_partition_sync,
+    "flapping_link": scenario_flapping_link,
+    "corrupt_payload": scenario_corrupt_payload,
+    "burst_partition": scenario_burst_partition,
+    "clock_skew_sync": scenario_clock_skew_sync,
+    "deadline_storm": scenario_deadline_storm,
+}
+
+
+def run_scenario(name: str, seed: int = 7,
+                 protections: bool = True) -> ScenarioResult:
+    """Run one named scenario and grade it against every invariant."""
+    if name not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    run = SCENARIOS[name](seed, protections)
+    return ScenarioResult(name=name, report=check_all(run),
+                          metrics=_metrics_from(run))
+
+
+def run_all(seed: int = 7, protections: bool = True) -> list[ScenarioResult]:
+    """Run the full suite, in registry order."""
+    return [run_scenario(name, seed=seed, protections=protections)
+            for name in SCENARIOS]

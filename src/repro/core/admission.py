@@ -30,16 +30,22 @@ from repro.util.errors import ReproError
 #: Rejection reasons carried by :class:`AdmissionRejectedError`.
 REASON_QUEUE_FULL = "queue-full"
 REASON_QUEUE_TIMEOUT = "queue-timeout"
+REASON_DEADLINE = "deadline"
 
 
 class AdmissionRejectedError(ReproError):
     """A request was shed by admission control before reaching the wire.
 
     ``reason`` is :data:`REASON_QUEUE_FULL` (the bulkhead and its wait
-    queue were both full — fast fail, no time spent) or
+    queue were both full — fast fail, no time spent),
     :data:`REASON_QUEUE_TIMEOUT` (the request queued but no permit
-    freed up within ``queue_timeout``).  The SDK gateway maps this to a
-    429 envelope so non-Python callers can back off and retry.
+    freed up within ``queue_timeout``) or :data:`REASON_DEADLINE` (the
+    caller's end-to-end budget could not cover any queue wait, so the
+    request was shed without queueing).  The SDK gateway maps this to a
+    429 envelope so non-Python callers can back off and retry —
+    ``retry_after`` stays *honest* under deadline pressure: it reports
+    when a permit is plausibly free (the queue window), never the
+    caller's own remaining budget.
     """
 
     def __init__(self, service: str, reason: str, retry_after: float = 0.0) -> None:
@@ -83,13 +89,14 @@ class BulkheadStats:
     queued: int = 0
     shed_queue_full: int = 0
     shed_timeout: int = 0
+    shed_deadline: int = 0
     peak_inflight: int = 0
     total_queue_wait: float = 0.0
 
     @property
     def shed(self) -> int:
         """Total requests rejected, for whatever reason."""
-        return self.shed_queue_full + self.shed_timeout
+        return self.shed_queue_full + self.shed_timeout + self.shed_deadline
 
 
 class Bulkhead:
@@ -159,20 +166,33 @@ class Bulkhead:
                 return True
             return False
 
-    def acquire(self) -> float:
+    def acquire(self, deadline=None) -> float:
         """Take a permit, queueing briefly if the bulkhead is full.
 
         Returns the (simulated) seconds spent waiting in the queue.
         Raises :class:`AdmissionRejectedError` with reason
         :data:`REASON_QUEUE_FULL` when the wait queue is already at
-        capacity (fast fail — no time is spent), or
+        capacity (fast fail — no time is spent),
         :data:`REASON_QUEUE_TIMEOUT` when no permit frees up within the
-        limit's ``queue_timeout`` (the wait is charged to the clock).
+        limit's ``queue_timeout`` (the wait is charged to the clock),
+        or :data:`REASON_DEADLINE` when the caller's ``deadline``
+        (:class:`repro.util.deadline.Deadline`) leaves no budget to
+        queue at all.  With a deadline, the queue wait is clamped to
+        the remaining budget — work that cannot finish in time is shed
+        instead of queued, with an honest ``retry_after``.
         """
         with self._condition:
             if self._inflight < self.limit.max_concurrent:
                 self._admit_locked()
                 return 0.0
+            if deadline is not None and deadline.remaining() <= 0.0:
+                self.stats.shed_deadline += 1
+                if self._metric_shed is not None:
+                    self._metric_shed.inc(service=self.service,
+                                          reason=REASON_DEADLINE)
+                raise AdmissionRejectedError(
+                    self.service, REASON_DEADLINE,
+                    retry_after=self.limit.queue_timeout)
             if self._waiting >= self.limit.max_queue:
                 self.stats.shed_queue_full += 1
                 if self._metric_shed is not None:
@@ -186,7 +206,7 @@ class Bulkhead:
             if self._gauge_queue is not None:
                 self._gauge_queue.set(self._waiting, service=self.service)
         try:
-            waited = self._wait_for_permit()
+            waited = self._wait_for_permit(deadline)
         finally:
             with self._condition:
                 self._waiting -= 1
@@ -194,22 +214,29 @@ class Bulkhead:
                     self._gauge_queue.set(self._waiting, service=self.service)
         return waited
 
-    def _wait_for_permit(self) -> float:
+    def _wait_for_permit(self, deadline=None) -> float:
         """Block (scaled real clock) or charge (manual clock) for a permit."""
         timeout = self.limit.queue_timeout
+        if deadline is not None:
+            timeout = min(timeout, deadline.remaining())
+        # A deadline-clamped window that times out is a deadline shed:
+        # the caller was refused because *its* budget ran out, not ours.
+        reason = (REASON_DEADLINE
+                  if timeout < self.limit.queue_timeout
+                  else REASON_QUEUE_TIMEOUT)
         time_scale = getattr(self.clock, "time_scale", None)
         started = self.clock.now()
         if time_scale is not None:
             # Real clock: genuinely wait for a release() notification.
-            deadline = started + timeout
+            wait_until = started + timeout
             with self._condition:
                 while self._inflight >= self.limit.max_concurrent:
-                    remaining = deadline - self.clock.now()
+                    remaining = wait_until - self.clock.now()
                     if remaining <= 0 or not self._condition.wait(
                             timeout=remaining * time_scale):
                         if self._inflight < self.limit.max_concurrent:
                             break
-                        return self._timed_out(started)
+                        return self._timed_out(started, reason)
                 self._admit_locked()
             waited = self.clock.now() - started
         else:
@@ -219,7 +246,7 @@ class Bulkhead:
             self.clock.charge(timeout)
             with self._condition:
                 if self._inflight >= self.limit.max_concurrent:
-                    return self._timed_out(started)
+                    return self._timed_out(started, reason)
                 self._admit_locked()
             waited = timeout
         self.stats.total_queue_wait += waited
@@ -227,16 +254,19 @@ class Bulkhead:
             self._metric_wait.inc(waited, service=self.service)
         return waited
 
-    def _timed_out(self, started: float) -> float:
+    def _timed_out(self, started: float,
+                   reason: str = REASON_QUEUE_TIMEOUT) -> float:
         waited = self.clock.now() - started
         self.stats.total_queue_wait += waited
-        self.stats.shed_timeout += 1
+        if reason == REASON_DEADLINE:
+            self.stats.shed_deadline += 1
+        else:
+            self.stats.shed_timeout += 1
         if self._metric_wait is not None:
             self._metric_wait.inc(waited, service=self.service)
         if self._metric_shed is not None:
-            self._metric_shed.inc(service=self.service,
-                                  reason=REASON_QUEUE_TIMEOUT)
-        raise AdmissionRejectedError(self.service, REASON_QUEUE_TIMEOUT,
+            self._metric_shed.inc(service=self.service, reason=reason)
+        raise AdmissionRejectedError(self.service, reason,
                                      retry_after=self.limit.queue_timeout)
 
     def _admit_locked(self) -> None:

@@ -182,6 +182,56 @@ class MultiServiceCombiner:
         return combined
 
     @staticmethod
+    def combine_partial(
+        outcomes: Mapping[str, object],
+        min_confidence: float = 0.0,
+    ) -> dict:
+        """Degraded aggregation over a mixed success/failure fan-out.
+
+        Takes the per-provider dict produced by
+        :meth:`repro.core.invoker.RichClient.invoke_redundant` — where a
+        failed provider maps to its *exception* — and combines whatever
+        analyses actually arrived.  Confidence is computed against the
+        providers that **answered** (an entity found by 2 of 2 live
+        providers is unanimous even when a third provider was down),
+        and the result is explicitly marked::
+
+            {"entities": [...],          # combine_entities over the answers
+             "degraded": bool,           # any provider failed?
+             "providers_used": [...],    # sorted names that answered
+             "providers_failed": [...],  # sorted names that did not
+             "coverage": float}          # used / total, 0.0 when none
+
+        Raises ``ValueError`` when *no* provider answered — there is
+        nothing to degrade to, and inventing an empty analysis would
+        hide a total outage.
+        """
+        analyses: dict[str, Mapping[str, object]] = {}
+        failed: list[str] = []
+        for provider, outcome in outcomes.items():
+            if isinstance(outcome, BaseException):
+                failed.append(provider)
+                continue
+            value = getattr(outcome, "value", outcome)
+            if isinstance(value, Mapping):
+                analyses[provider] = value
+            else:
+                failed.append(provider)
+        if not analyses:
+            raise ValueError(
+                f"no provider produced an analysis (all "
+                f"{len(outcomes)} failed)")
+        total = len(outcomes)
+        return {
+            "entities": MultiServiceCombiner.combine_entities(
+                analyses, min_confidence=min_confidence),
+            "degraded": bool(failed),
+            "providers_used": sorted(analyses),
+            "providers_failed": sorted(failed),
+            "coverage": round(len(analyses) / total, 4) if total else 0.0,
+        }
+
+    @staticmethod
     def combine_entity_sentiment(
         analyses: Mapping[str, Mapping[str, object]]
     ) -> dict[str, dict]:

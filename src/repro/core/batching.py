@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Generic, TypeVar
 
 from repro.core.futures import ListenableFuture
 from repro.obs import names
+from repro.util.deadline import Deadline
 from repro.util.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle (invoker imports us)
@@ -269,6 +270,10 @@ class _Window:
     #: ``now - opened_at >= max_wait`` loses that to float rounding).
     deadline: float
     items: list[tuple[dict, ListenableFuture]] = field(default_factory=list)
+    #: Tightest end-to-end caller deadline riding in this window (None =
+    #: unbounded); the whole batch is one wire call, so it must honour
+    #: the most impatient caller's budget.
+    call_deadline: Deadline | None = None
 
 
 class MicroBatcher:
@@ -315,7 +320,9 @@ class MicroBatcher:
 
     def submit(self, service_name: str, operation: str,
                payload: dict | None = None,
-               use_cache: bool = True) -> "ListenableFuture[InvocationResult]":
+               use_cache: bool = True,
+               deadline: Deadline | None = None,
+               ) -> "ListenableFuture[InvocationResult]":
         """Queue one request; returns the future for its own result.
 
         Cache hits resolve immediately without entering a window.  A
@@ -323,6 +330,14 @@ class MicroBatcher:
         window (older than ``max_wait``) flushes together with the new
         item.  Raises ``ValueError`` when the service does not declare
         batch support in the catalog.
+
+        A caller ``deadline`` rides with the window: the flush passes
+        the *tightest* deadline seen to
+        :meth:`RichClient.invoke_batched`, so one impatient caller
+        bounds the shared wire call (everyone else simply gets an
+        earlier answer).  An already-expired deadline still enqueues —
+        the flush fails the batch with ``DeadlineExceededError`` on the
+        future, never silently.
         """
         payload = dict(payload or {})
         limit = self._limit_for(service_name)
@@ -340,6 +355,10 @@ class MicroBatcher:
                                  deadline=now + self.max_wait)
                 self._windows[(service_name, operation)] = window
             window.items.append((payload, future))
+            if deadline is not None and (
+                    window.call_deadline is None
+                    or deadline.expires_at < window.call_deadline.expires_at):
+                window.call_deadline = deadline
             self.stats.submitted += 1
             if len(window.items) >= limit:
                 flush_window = self._take_locked(window)
@@ -397,8 +416,20 @@ class MicroBatcher:
             self.stats.empty_flushes += 1
             return 0
         payloads = [payload for payload, _ in window.items]
-        outcomes = self.client.invoke_batched(
-            window.service, window.operation, payloads, use_cache=use_cache)
+        try:
+            outcomes = self.client.invoke_batched(
+                window.service, window.operation, payloads,
+                use_cache=use_cache, deadline=window.call_deadline)
+        except Exception as error:  # noqa: BLE001 — fanned out per future
+            # A whole-batch failure (offline, timeout, spent deadline)
+            # fails every rider's future rather than raising into
+            # whichever caller happened to trigger the flush.
+            for _, future in window.items:
+                future.set_exception(error)
+            self.stats.flushes += 1
+            self.stats.items_flushed += len(window.items)
+            self.stats.max_batch = max(self.stats.max_batch, len(window.items))
+            return len(window.items)
         self.stats.flushes += 1
         self.stats.items_flushed += len(window.items)
         self.stats.max_batch = max(self.stats.max_batch, len(window.items))

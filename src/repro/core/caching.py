@@ -42,6 +42,19 @@ DEFAULT_CACHEABLE_OPERATIONS = frozenset(
 _SENTINEL = object()
 
 
+@dataclass(frozen=True)
+class StaleEntry:
+    """An expired-but-retained entry served in degraded mode.
+
+    ``age`` is seconds since the entry was stored — by construction at
+    most ``ttl + stale_grace``, which is the bounded-staleness
+    guarantee the chaos harness checks.
+    """
+
+    value: object
+    age: float
+
+
 @dataclass
 class CacheStats:
     """Hit/miss accounting (the caching benchmarks report these).
@@ -75,6 +88,7 @@ class CacheStats:
     expirations: int = 0
     expired_reads: int = 0
     invalidations: int = 0
+    stale_serves: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -100,16 +114,31 @@ class ServiceCache:
         capacity: int = 1024,
         ttl: float | None = None,
         clock: Clock | None = None,
+        stale_grace: float | None = None,
     ) -> None:
+        """Build the cache.
+
+        ``stale_grace`` (simulated seconds) opts in to graceful
+        degradation: expired entries are *retained* for that long past
+        their TTL and can be served via :meth:`get_stale` when the
+        upstream service is failing.  ``None`` (the default) keeps the
+        strict behaviour — expired entries are dropped on first probe.
+        """
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         if ttl is not None and ttl <= 0:
             raise ValueError(f"ttl must be positive (or None), got {ttl}")
         if ttl is not None and clock is None:
             raise ValueError("a clock is required when ttl is set")
+        if stale_grace is not None and stale_grace <= 0:
+            raise ValueError(
+                f"stale_grace must be positive (or None), got {stale_grace}")
+        if stale_grace is not None and ttl is None:
+            raise ValueError("stale_grace requires a ttl")
         self.capacity = capacity
         self.ttl = ttl
         self.clock = clock
+        self.stale_grace = stale_grace
         self.stats = CacheStats()
         # key -> (value, stored_at); insertion order tracks recency.
         self._entries: OrderedDict[str, tuple[object, float]] = OrderedDict()
@@ -119,6 +148,7 @@ class ServiceCache:
         self._metric_evictions = None
         self._metric_expirations = None
         self._metric_invalidations = None
+        self._metric_stale_serves = None
 
     def bind_metrics(self, registry) -> None:
         """Mirror hit/miss/eviction accounting into a MetricsRegistry.
@@ -137,6 +167,9 @@ class ServiceCache:
             names.CACHE_EXPIRATIONS_TOTAL, "Entries dropped because their TTL passed.").bind()
         self._metric_invalidations = registry.counter(
             names.CACHE_INVALIDATIONS_TOTAL, "Entries dropped by explicit invalidation.").bind()
+        self._metric_stale_serves = registry.counter(
+            names.CACHE_STALE_SERVES_TOTAL,
+            "Expired entries served in degraded mode within the grace window.").bind()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -153,17 +186,29 @@ class ServiceCache:
     def _expired(self, stored_at: float) -> bool:
         return self.ttl is not None and self._now() - stored_at > self.ttl
 
+    def _beyond_grace(self, stored_at: float) -> bool:
+        """Expired *and* past the stale-grace window (drop it)."""
+        if self.stale_grace is None:
+            return True
+        return self._now() - stored_at > self.ttl + self.stale_grace
+
     def get(self, key: str, default: object = _SENTINEL) -> object:
-        """Cached value, refreshing recency; counts a miss when absent/expired."""
+        """Cached value, refreshing recency; counts a miss when absent/expired.
+
+        With ``stale_grace`` set, an expired-but-in-grace entry still
+        misses here (fresh reads never see stale data) but is retained
+        so :meth:`get_stale` can serve it in degraded mode.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             value, stored_at = entry
             if self._expired(stored_at):
-                del self._entries[key]
-                self.stats.expirations += 1
                 self.stats.expired_reads += 1
-                if self._metric_expirations is not None:
-                    self._metric_expirations.inc()
+                if self._beyond_grace(stored_at):
+                    del self._entries[key]
+                    self.stats.expirations += 1
+                    if self._metric_expirations is not None:
+                        self._metric_expirations.inc()
             else:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
@@ -184,6 +229,35 @@ class ServiceCache:
             return None
         value, stored_at = entry
         return None if self._expired(stored_at) else value
+
+    def get_stale(self, key: str) -> StaleEntry | None:
+        """Serve an entry in degraded mode, fresh or stale.
+
+        Returns a :class:`StaleEntry` for any retained entry — fresh,
+        or expired but within ``stale_grace`` — and ``None`` otherwise.
+        Serving an actually-stale entry counts on ``stats.stale_serves``
+        (and the ``cache_stale_serves_total`` metric); fresh serves do
+        not, so the counter measures degradation, not traffic.  This is
+        the serve-stale-on-error / stale-while-revalidate read path
+        used by :class:`repro.core.invoker.RichClient`.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, stored_at = entry
+        age = self._now() - stored_at
+        if not self._expired(stored_at):
+            return StaleEntry(value, age)
+        if self._beyond_grace(stored_at):
+            del self._entries[key]
+            self.stats.expirations += 1
+            if self._metric_expirations is not None:
+                self._metric_expirations.inc()
+            return None
+        self.stats.stale_serves += 1
+        if self._metric_stale_serves is not None:
+            self._metric_stale_serves.inc()
+        return StaleEntry(value, age)
 
     def put(self, key: str, value: object) -> None:
         """Insert/refresh an entry, evicting the LRU entry when full."""

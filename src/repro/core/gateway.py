@@ -39,6 +39,7 @@ from repro.simnet.errors import (
     RemoteServiceError,
     ServiceTimeoutError,
 )
+from repro.util.deadline import Deadline, DeadlineExceededError
 from repro.util.errors import NotFoundError, SerializationError
 
 
@@ -52,7 +53,9 @@ def _status_for(error: Exception) -> int:
     if isinstance(error, (BudgetExceededError, RateLimitExceededError,
                           CircuitOpenError, AdmissionRejectedError)):
         return 429
-    if isinstance(error, ServiceTimeoutError):
+    # A spent end-to-end deadline is the gateway-side analogue of an
+    # upstream timeout: the caller's budget ran out, 504.
+    if isinstance(error, (ServiceTimeoutError, DeadlineExceededError)):
         return 504
     if isinstance(error, (ConnectivityError, AllServicesFailedError)):
         return 503
@@ -146,6 +149,13 @@ class SdkGateway:
             quality=float(raw.get("quality", 1.0)),
         )
 
+    def _deadline_from(self, params: Mapping[str, object]) -> Deadline | None:
+        """An optional per-request budget: ``{"deadline": seconds}``."""
+        raw = params.get("deadline")
+        if raw is None:
+            return None
+        return Deadline.after(self.client.clock, float(raw))
+
     def _method_invoke(self, params: Mapping[str, object]) -> dict:
         result = self.client.invoke(
             str(params["service"]),
@@ -153,6 +163,7 @@ class SdkGateway:
             params.get("payload") or {},
             timeout=params.get("timeout"),
             use_cache=bool(params.get("use_cache", True)),
+            deadline=self._deadline_from(params),
         )
         return {
             "value": result.value,
@@ -160,6 +171,7 @@ class SdkGateway:
             "cost": result.cost,
             "service": result.service,
             "cached": result.cached,
+            "degraded": result.degraded,
         }
 
     def _method_invoke_many(self, params: Mapping[str, object]) -> dict:
@@ -173,6 +185,7 @@ class SdkGateway:
             [dict(payload) for payload in payloads],
             timeout=params.get("timeout"),
             use_cache=bool(params.get("use_cache", True)),
+            deadline=self._deadline_from(params),
         )
         items = []
         for outcome in outcomes:
@@ -202,10 +215,12 @@ class SdkGateway:
             timeout=params.get("timeout"),
             weights=self._weights_from(params),
             use_cache=bool(params.get("use_cache", True)),
+            deadline=self._deadline_from(params),
         )
         return {
             "value": result.value,
             "served_by": result.service,
+            "degraded": result.degraded,
             "attempts": [
                 {"service": log.service, "attempt": log.attempt,
                  "failed": log.error is not None}

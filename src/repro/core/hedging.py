@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.core.invoker import InvocationResult, RichClient
 from repro.core.ranking import Weights
 from repro.obs import names
+from repro.util.deadline import Deadline
 
 
 @dataclass
@@ -93,6 +94,7 @@ class HedgedInvoker:
         payload: Mapping[str, object] | None = None,
         use_cache: bool = True,
         candidates: list[str] | None = None,
+        deadline: Deadline | None = None,
     ) -> InvocationResult:
         """Invoke with hedging across the top two ranked services.
 
@@ -103,11 +105,16 @@ class HedgedInvoker:
         plain invocation.  ``candidates`` (already ordered, best first)
         overrides the live ranking — the ranking is adaptive, so pin it
         when an experiment needs a fixed primary.
+
+        An end-to-end ``deadline`` is carried into both legs, the hedge
+        wait is clamped to the remaining budget, and **no backup is
+        launched past expiry** — a hedge that cannot beat the deadline
+        is pure extra load.
         """
         with self.client.obs.tracer.span(
                 names.SPAN_SDK_HEDGED_INVOKE, {"kind": kind, "operation": operation}):
             return self._invoke_traced(kind, operation, payload, use_cache,
-                                       candidates)
+                                       candidates, deadline)
 
     def _invoke_traced(
         self,
@@ -116,6 +123,7 @@ class HedgedInvoker:
         payload: Mapping[str, object] | None,
         use_cache: bool,
         candidates: list[str] | None,
+        deadline: Deadline | None = None,
     ) -> InvocationResult:
         tracer = self.client.obs.tracer
         if candidates is None:
@@ -137,7 +145,8 @@ class HedgedInvoker:
 
         if len(ranked) == 1:
             result = self.client.invoke(primary, operation, payload,
-                                        use_cache=use_cache)
+                                        use_cache=use_cache,
+                                        deadline=deadline)
             self.stats.primary_wins += 1
             self.stats.latencies.append(self.client.clock.now() - start)
             return result
@@ -157,7 +166,8 @@ class HedgedInvoker:
             return callback
 
         primary_future = self.client.invoke_async(
-            primary, operation, payload, use_cache=use_cache)
+            primary, operation, payload, use_cache=use_cache,
+            deadline=deadline)
         primary_future.add_listener(record("primary"))
 
         def first_success():
@@ -167,19 +177,26 @@ class HedgedInvoker:
                         return role, outcome
             return None
 
-        deadline = self.deadline_for(primary)
-        real_deadline = deadline * getattr(self.client.clock, "time_scale", 1.0)
+        hedge_after = self.deadline_for(primary)
+        if deadline is not None:
+            # Never wait past the caller's budget before deciding.
+            hedge_after = min(hedge_after, deadline.remaining())
+        real_deadline = hedge_after * getattr(self.client.clock, "time_scale", 1.0)
         wait_start = self.client.clock.now()
         completed_early = first_done.wait(timeout=real_deadline)
         tracer.add_event("hedge.wait",
                          {"service": primary,
                           "seconds": self.client.clock.now() - wait_start,
-                          "deadline": deadline})
+                          "deadline": hedge_after})
         # Hedge when the primary is slow — or when it already failed
         # (an error is the slowest possible answer).
         fired_hedge = not completed_early or (
             completed_early and first_success() is None
         )
+        if fired_hedge and deadline is not None and deadline.expired():
+            # A backup launched past the deadline cannot produce a
+            # usable answer; ride out the primary leg instead.
+            fired_hedge = False
         if fired_hedge:
             self.stats.hedges_fired += 1
             if self._metric_fired is not None:
@@ -190,7 +207,7 @@ class HedgedInvoker:
             # outrun.
             backup_future = self.client.invoke_async(
                 backup, operation, payload, use_cache=use_cache,
-                coalesce=False)
+                coalesce=False, deadline=deadline)
             backup_future.add_listener(record("backup"))
             first_done.wait()
 

@@ -14,10 +14,11 @@ paper's features in one coherent client:
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, replace
 
-from repro.core.admission import AdmissionController
+from repro.core.admission import AdmissionController, AdmissionRejectedError
 from repro.core.batching import MicroBatcher, RequestCoalescer
 from repro.core.caching import DEFAULT_CACHEABLE_OPERATIONS, ServiceCache, cache_key
 from repro.core.futures import CallbackExecutor, ListenableFuture
@@ -30,10 +31,21 @@ from repro.core.ratelimit import ServiceRateLimiter
 from repro.core.retry import AttemptLog, FailoverInvoker, RetryPolicy
 from repro.obs import Observability
 from repro.services.base import ServiceRegistry, ServiceRequest
+from repro.simnet.errors import NetworkError
 from repro.util.clock import Clock
+from repro.util.deadline import Deadline, DeadlineExceededError
 
 QualityRater = Callable[[object], float]
 """User-provided function rating a response's quality (higher = better)."""
+
+#: Failures that may be answered with a stale cached value instead of
+#: an exception when ``serve_stale_on_error`` is enabled: transient
+#: network-side errors, shed admissions, and exhausted deadlines (a
+#: zero-cost stale answer is exactly what an out-of-budget caller can
+#: still use).  Client policy violations (budget, rate limit) are not
+#: degradable — hiding them would defeat the policy.
+DEGRADABLE_ERRORS = (NetworkError, AdmissionRejectedError,
+                     DeadlineExceededError)
 
 
 @dataclass(frozen=True)
@@ -45,7 +57,10 @@ class InvocationResult:
     upstream call (the leader paid the cost, so this result reports
     cost 0); ``batched`` marks an item served by a batched transport
     call, whose ``latency`` is the whole batch's round-trip time (that
-    is what this caller actually waited).
+    is what this caller actually waited).  ``degraded`` marks an answer
+    produced by graceful degradation — a stale cache serve or a
+    partial aggregation — rather than a fresh upstream response;
+    ``stale_age`` carries the served entry's age for stale serves.
     """
 
     value: object
@@ -57,6 +72,8 @@ class InvocationResult:
     attempts: tuple[AttemptLog, ...] = ()
     coalesced: bool = False
     batched: bool = False
+    degraded: bool = False
+    stale_age: float | None = None
 
 
 class RichClient:
@@ -88,6 +105,8 @@ class RichClient:
         coalescer: RequestCoalescer | None = None,
         admission: AdmissionController | None = None,
         coalesce_identical: bool = True,
+        serve_stale_on_error: bool = False,
+        stale_while_revalidate: bool = False,
     ) -> None:
         """Build the client around ``registry``.
 
@@ -111,6 +130,15 @@ class RichClient:
                 control.
             coalesce_identical: set False to disable coalescing without
                 supplying a coalescer.
+            serve_stale_on_error: degrade gracefully — when a remote
+                call fails with a transient error (see
+                :data:`DEGRADABLE_ERRORS`), answer from an
+                expired-but-retained cache entry (``degraded=True``)
+                instead of raising.  Requires a cache built with
+                ``stale_grace``.
+            stale_while_revalidate: serve a stale entry immediately on
+                a cache miss while refreshing it asynchronously on the
+                thread pool (the refresh repopulates the cache).
         """
         self.registry = registry
         self.clock = self._registry_clock(registry)
@@ -138,10 +166,17 @@ class RichClient:
             coalescer = RequestCoalescer()
         self.coalescer = coalescer
         self.admission = admission
+        self.serve_stale_on_error = serve_stale_on_error
+        self.stale_while_revalidate = stale_while_revalidate
+        # Keys with an in-flight stale-while-revalidate refresh.
+        self._swr_refreshing: set[str] = set()
+        self._swr_lock = threading.Lock()
         # Batch metrics, bound lazily in _wire_observability.
         self._metric_batch_flushes = None
         self._metric_batch_items = None
         self._metric_batch_size = None
+        self._metric_deadline_expired = None
+        self._metric_degraded = None
         if self.obs.enabled:
             self._wire_observability()
 
@@ -169,6 +204,12 @@ class RichClient:
         self._metric_batch_size = metrics.histogram(
             names.BATCH_SIZE, "Items per batched transport call.",
             low=0.0, high=64.0, bins=16)
+        self._metric_deadline_expired = metrics.counter(
+            names.DEADLINE_EXPIRED_TOTAL,
+            "Calls refused or cut short because the deadline was spent.").bind()
+        self._metric_degraded = metrics.counter(
+            names.DEGRADED_RESPONSES_TOTAL,
+            "Answers produced by graceful degradation (stale or partial).").bind()
         seen = set()
         for service in self.registry:
             transport = service.transport
@@ -192,6 +233,7 @@ class RichClient:
         operation: str,
         payload: Mapping[str, object],
         use_cache: bool = True,
+        allow_stale: bool = True,
     ) -> InvocationResult | None:
         """Serve one request from the local cache, or return None.
 
@@ -202,12 +244,20 @@ class RichClient:
         cheap.  Used by :meth:`invoke`, :meth:`invoke_many` and the
         :class:`MicroBatcher` so every entry point shares one probe
         path.
+
+        With ``stale_while_revalidate`` enabled, an expired-but-
+        retained entry is served immediately (``degraded=True``) while
+        an asynchronous refresh repopulates the cache; ``allow_stale=
+        False`` disables that path (the refresh call itself uses it to
+        avoid serving stale to its own probe).
         """
         if not use_cache or operation not in self.cacheable_operations:
             return None
         key = cache_key(service_name, operation, dict(payload))
         hit = self.cache.get(key)
         if hit is None:
+            if allow_stale and self.stale_while_revalidate:
+                return self._swr_serve(service_name, operation, payload, key)
             return None
         tracer = self.obs.tracer
         now = self.clock.now()
@@ -240,6 +290,92 @@ class RichClient:
             cached=True,
         )
 
+    # -- graceful degradation ---------------------------------------------------
+
+    def _record_degraded(self, service_name: str, operation: str,
+                         stale) -> InvocationResult:
+        """Account one degraded (stale) serve and build its result."""
+        self.monitor.record(
+            InvocationRecord(
+                service=service_name,
+                operation=operation,
+                timestamp=self.clock.now(),
+                latency=0.0,
+                cost=0.0,
+                success=True,
+                cached=True,
+            )
+        )
+        if self._metric_degraded is not None:
+            self._metric_degraded.inc()
+        return InvocationResult(
+            value=stale.value,
+            latency=0.0,
+            cost=0.0,
+            service=service_name,
+            operation=operation,
+            cached=True,
+            degraded=True,
+            stale_age=stale.age,
+        )
+
+    def _serve_stale(self, service_name: str, operation: str,
+                     key: str | None,
+                     error: BaseException) -> InvocationResult | None:
+        """Serve-stale-on-error: a degraded answer for a failed call.
+
+        Only fires when the client opted in, the request was cacheable
+        and the failure is transient (:data:`DEGRADABLE_ERRORS`); the
+        original failure has already been recorded by the remote path.
+        """
+        if (key is None or not self.serve_stale_on_error
+                or not isinstance(error, DEGRADABLE_ERRORS)):
+            return None
+        stale = self.cache.get_stale(key)
+        if stale is None:
+            return None
+        return self._record_degraded(service_name, operation, stale)
+
+    def _swr_serve(self, service_name: str, operation: str,
+                   payload: Mapping[str, object],
+                   key: str) -> InvocationResult | None:
+        """Stale-while-revalidate: serve stale now, refresh in background."""
+        stale = self.cache.get_stale(key)
+        if stale is None:
+            return None
+        self._refresh_async(service_name, operation, payload, key)
+        return self._record_degraded(service_name, operation, stale)
+
+    def _refresh_async(self, service_name: str, operation: str,
+                       payload: Mapping[str, object], key: str):
+        """Launch (at most one) background refresh for a stale key."""
+        with self._swr_lock:
+            if key in self._swr_refreshing:
+                return None
+            self._swr_refreshing.add(key)
+        future = self.executor.submit(
+            self.invoke, service_name, operation, dict(payload),
+            allow_stale=False)
+
+        def _finished(done) -> None:
+            done.exception()  # a failed refresh keeps the stale entry
+            with self._swr_lock:
+                self._swr_refreshing.discard(key)
+
+        future.add_listener(_finished)
+        return future
+
+    def _deadline_guard(self, deadline: Deadline | None, context: str) -> None:
+        """Raise (and count) when the caller's budget is already spent."""
+        if deadline is None:
+            return
+        try:
+            deadline.check(context)
+        except DeadlineExceededError:
+            if self._metric_deadline_expired is not None:
+                self._metric_deadline_expired.inc()
+            raise
+
     def invoke(
         self,
         service_name: str,
@@ -249,6 +385,8 @@ class RichClient:
         use_cache: bool = True,
         quality_rater: QualityRater | None = None,
         coalesce: bool = True,
+        deadline: Deadline | None = None,
+        allow_stale: bool = True,
     ) -> InvocationResult:
         """Invoke one service synchronously.
 
@@ -274,15 +412,36 @@ class RichClient:
         :class:`~repro.core.ratelimit.RateLimitExceededError` /
         :class:`~repro.core.admission.AdmissionRejectedError` from the
         client-side protections, in that order.
+
+        A ``deadline`` (:class:`repro.util.deadline.Deadline`) bounds
+        the whole invocation end to end: an already-expired budget
+        fails fast (or serves stale, when enabled) before any
+        protection is consulted, follower flight waits and the wire
+        timeout are clamped to the remaining budget, and the bulkhead
+        never queues past it.  ``allow_stale=False`` disables the
+        degraded serve paths for this call (background refreshes use
+        it).
         """
         payload = dict(payload or {})
         service = self.registry.get(service_name)
-        hit = self.cached_result(service_name, operation, payload, use_cache)
+        hit = self.cached_result(service_name, operation, payload, use_cache,
+                                 allow_stale=allow_stale)
         if hit is not None:
             return hit
 
         cacheable = use_cache and operation in self.cacheable_operations
         key = cache_key(service_name, operation, payload) if cacheable else None
+
+        if deadline is not None and deadline.expired():
+            # Spent budget: a stale answer is the only useful response.
+            try:
+                self._deadline_guard(deadline, f"invoke {service_name}.{operation}")
+            except DeadlineExceededError as error:
+                degraded = (self._serve_stale(service_name, operation, key, error)
+                            if allow_stale else None)
+                if degraded is not None:
+                    return degraded
+                raise
 
         flight = None
         if self.coalescer is not None and coalesce and key is not None:
@@ -290,15 +449,20 @@ class RichClient:
             if not leader:
                 # Follower: the leader pays the wire call, the quota and
                 # the monitor record; we report the shared outcome.
-                shared = flight.result(timeout=self._real_timeout(timeout))
+                wait = deadline.clamp(timeout) if deadline is not None else timeout
+                shared = flight.result(timeout=self._real_timeout(wait))
                 return replace(shared, coalesced=True, cost=0.0)
         try:
             result = self._invoke_remote(
                 service, service_name, operation, payload, timeout,
-                key, quality_rater)
+                key, quality_rater, deadline=deadline)
         except Exception as error:
             if flight is not None:
                 self.coalescer.fail(flight, error)
+            degraded = (self._serve_stale(service_name, operation, key, error)
+                        if allow_stale else None)
+            if degraded is not None:
+                return degraded
             raise
         if flight is not None:
             self.coalescer.complete(flight, result)
@@ -319,13 +483,16 @@ class RichClient:
         timeout: float | None,
         key: str | None,
         quality_rater: QualityRater | None,
+        deadline: Deadline | None = None,
     ) -> InvocationResult:
         """One real upstream call: protections, span, monitor, cache.
 
         The client-side protections run in order: budget check, rate
         limiter, then admission control — the bulkhead permit is held
         for exactly the duration of the wire call, so it bounds
-        concurrency rather than call counts.
+        concurrency rather than call counts.  With a ``deadline``, the
+        bulkhead queues only within the remaining budget and the wire
+        timeout is clamped to whatever budget survives the queue wait.
         """
         tracer = self.obs.tracer
         with tracer.span(names.SPAN_SDK_INVOKE,
@@ -337,10 +504,14 @@ class RichClient:
             bulkhead = (self.admission.bulkhead_for(service_name)
                         if self.admission is not None else None)
             if bulkhead is not None:
-                bulkhead.acquire()
+                bulkhead.acquire(deadline=deadline)
             params = service.latency_params(ServiceRequest(operation, payload))
             rater = quality_rater or self.quality_raters.get(operation)
             try:
+                if deadline is not None:
+                    self._deadline_guard(
+                        deadline, f"invoke {service_name}.{operation}")
+                    timeout = deadline.clamp(timeout)
                 response = service.invoke(operation, payload, timeout=timeout)
             except Exception as error:
                 self.monitor.record(
@@ -402,6 +573,7 @@ class RichClient:
         timeout: float | None = None,
         use_cache: bool = True,
         coalesce: bool = True,
+        deadline: Deadline | None = None,
     ) -> ListenableFuture[InvocationResult]:
         """Invoke on the thread pool; returns a listenable future.
 
@@ -409,11 +581,15 @@ class RichClient:
         paper's example of being notified when a cloud-database store
         completes without blocking the application.  ``coalesce=False``
         forces an independent upstream call even when an identical
-        request is already in flight (hedging relies on this).
+        request is already in flight (hedging relies on this).  A
+        ``deadline`` is carried into the pooled call unchanged — it is
+        an absolute expiry, so handing it across threads keeps the
+        original budget.
         """
         return self.executor.submit(
             self.invoke, service_name, operation, payload,
             timeout=timeout, use_cache=use_cache, coalesce=coalesce,
+            deadline=deadline,
         )
 
     # -- batched invocation ------------------------------------------------------
@@ -425,6 +601,7 @@ class RichClient:
         payloads: Sequence[Mapping[str, object]],
         timeout: float | None = None,
         use_cache: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[InvocationResult | Exception]:
         """Ship ``payloads`` to the service's batch endpoint in ONE call.
 
@@ -453,14 +630,20 @@ class RichClient:
                           names.BATCH_SIZE: len(payloads),
                           "obs.category": "batch"}) as span:
             trace_id = span.trace_id
+            self._deadline_guard(
+                deadline, f"invoke_batched {service_name}.{operation}")
             self.quota.check(service_name)
             if self.rate_limiter is not None:
                 self.rate_limiter.acquire_or_raise(service_name)
             bulkhead = (self.admission.bulkhead_for(service_name)
                         if self.admission is not None else None)
             if bulkhead is not None:
-                bulkhead.acquire()
+                bulkhead.acquire(deadline=deadline)
             try:
+                if deadline is not None:
+                    self._deadline_guard(
+                        deadline, f"invoke_batched {service_name}.{operation}")
+                    timeout = deadline.clamp(timeout)
                 responses = service.invoke_batch(operation, payloads,
                                                  timeout=timeout)
             finally:
@@ -525,6 +708,7 @@ class RichClient:
         payloads: Sequence[Mapping[str, object]],
         timeout: float | None = None,
         use_cache: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[InvocationResult | Exception]:
         """Run one operation over many payloads as efficiently as possible.
 
@@ -564,10 +748,14 @@ class RichClient:
             limit = service.batch_max_size
             for start in range(0, len(leaders), limit):
                 chunk = leaders[start:start + limit]
-                outcomes = self.invoke_batched(
-                    service_name, operation,
-                    [payloads[index] for index in chunk],
-                    timeout=timeout, use_cache=use_cache)
+                try:
+                    outcomes = self.invoke_batched(
+                        service_name, operation,
+                        [payloads[index] for index in chunk],
+                        timeout=timeout, use_cache=use_cache,
+                        deadline=deadline)
+                except DeadlineExceededError as error:
+                    outcomes = [error] * len(chunk)
                 for index, outcome in zip(chunk, outcomes):
                     results[index] = outcome
         else:
@@ -575,7 +763,8 @@ class RichClient:
                 try:
                     results[index] = self.invoke(
                         service_name, operation, payloads[index],
-                        timeout=timeout, use_cache=use_cache)
+                        timeout=timeout, use_cache=use_cache,
+                        deadline=deadline)
                 except Exception as error:
                     results[index] = error
 
@@ -604,15 +793,19 @@ class RichClient:
         calls: Sequence[tuple[str, str, Mapping[str, object]]],
         timeout: float | None = None,
         use_cache: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[InvocationResult | Exception]:
         """Run many calls in parallel; preserves order.
 
         Failed calls come back as their exception rather than raising,
-        so one bad service does not lose the other results.
+        so one bad service does not lose the other results.  One shared
+        ``deadline`` bounds every leg — it is absolute, so the legs
+        race the same expiry rather than each getting a fresh budget.
         """
         futures = [
             self.invoke_async(service, operation, payload,
-                              timeout=timeout, use_cache=use_cache)
+                              timeout=timeout, use_cache=use_cache,
+                              deadline=deadline)
             for service, operation, payload in calls
         ]
         results: list[InvocationResult | Exception] = []
@@ -632,6 +825,7 @@ class RichClient:
         weights: Weights = Weights(),
         formula: str | ScoreFormula = "weighted",
         use_cache: bool = True,
+        deadline: Deadline | None = None,
     ) -> InvocationResult:
         """Invoke the best-ranked service of ``kind``, failing over down
         the ranking until one responds (§2.1's strategy).
@@ -639,7 +833,10 @@ class RichClient:
         Runs inside an ``sdk.invoke_with_failover`` root span; each
         attempt becomes a child span and backoff sleeps become events,
         so the attribution analyzer can split the call's wall time
-        between retry waits and wire time."""
+        between retry waits and wire time.  A ``deadline`` bounds the
+        whole failover walk: per-candidate retry loops stop when the
+        remaining budget cannot cover the next backoff, and no new
+        candidate is tried past expiry."""
         with self.obs.tracer.span(names.SPAN_SDK_INVOKE_WITH_FAILOVER,
                                   {"kind": kind, "operation": operation}):
             candidates = [service.name
@@ -654,7 +851,9 @@ class RichClient:
             served_by, result, attempts = self.failover.invoke(
                 ranked,
                 lambda name: self.invoke(name, operation, payload,
-                                         timeout=timeout, use_cache=use_cache),
+                                         timeout=timeout, use_cache=use_cache,
+                                         deadline=deadline),
+                deadline=deadline,
             )
         return InvocationResult(
             value=result.value,
@@ -664,6 +863,8 @@ class RichClient:
             operation=operation,
             cached=result.cached,
             attempts=tuple(attempts),
+            degraded=result.degraded,
+            stale_age=result.stale_age,
         )
 
     # -- redundant multi-service invocation ------------------------------------------
@@ -676,26 +877,30 @@ class RichClient:
         timeout: float | None = None,
         parallel: bool = True,
         use_cache: bool = True,
+        deadline: Deadline | None = None,
     ) -> dict[str, InvocationResult | Exception]:
         """Invoke the *same* request on several services.
 
         §2.1: invoke more than one service to add redundancy, to
         compare providers, or to combine their outputs (see
         :class:`repro.core.aggregation.MultiServiceCombiner`).
-        Returns per-service results; failures are captured per service.
+        Returns per-service results; failures are captured per service,
+        so a partial aggregation (``combine_partial``) can still be
+        built from whoever answered within the shared ``deadline``.
         """
         names = list(service_names)
         if parallel:
             outcomes = self.invoke_all(
                 [(name, operation, dict(payload or {})) for name in names],
-                timeout=timeout, use_cache=use_cache,
+                timeout=timeout, use_cache=use_cache, deadline=deadline,
             )
             return dict(zip(names, outcomes))
         results: dict[str, InvocationResult | Exception] = {}
         for name in names:
             try:
                 results[name] = self.invoke(name, operation, payload,
-                                            timeout=timeout, use_cache=use_cache)
+                                            timeout=timeout, use_cache=use_cache,
+                                            deadline=deadline)
             except Exception as error:
                 results[name] = error
         return results

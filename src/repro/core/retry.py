@@ -65,15 +65,30 @@ class AttemptLog:
 
 
 class RetriesExhaustedError(ReproError):
-    """A single service kept failing through its whole retry budget."""
+    """A single service kept failing through its retry budget.
 
-    def __init__(self, service: str, attempts: int, last_error: BaseException) -> None:
+    ``deadline`` (a :class:`repro.util.deadline.Deadline`, when the
+    caller passed one) records the end-to-end budget the retry loop was
+    running under; ``deadline_truncated`` marks the case where the loop
+    stopped *early* because the remaining budget could not cover the
+    next backoff — the attempts counted are then fewer than the
+    policy's ``max_attempts``.
+    """
+
+    def __init__(self, service: str, attempts: int, last_error: BaseException,
+                 deadline=None, deadline_truncated: bool = False) -> None:
+        suffix = ""
+        if deadline_truncated:
+            suffix = " (stopped early: deadline budget below next backoff)"
         super().__init__(
-            f"service {service!r} failed {attempts} attempt(s); last error: {last_error}"
+            f"service {service!r} failed {attempts} attempt(s); "
+            f"last error: {last_error}{suffix}"
         )
         self.service = service
         self.attempts = attempts
         self.last_error = last_error
+        self.deadline = deadline
+        self.deadline_truncated = deadline_truncated
 
 
 class AllServicesFailedError(ReproError):
@@ -96,11 +111,19 @@ def invoke_with_retry(
     log: list[AttemptLog] | None = None,
     tracer=None,
     backoff_counter=None,
+    deadline=None,
 ) -> T:
     """Call ``invoke_once`` under a retry policy.
 
     Backoff waits are charged to ``clock`` (simulated time).  Raises
     :class:`RetriesExhaustedError` once the budget is spent.
+
+    A ``deadline`` (:class:`repro.util.deadline.Deadline`) makes the
+    loop budget-aware: when the remaining budget cannot cover the next
+    backoff (or is already spent), the loop **stops instead of
+    sleeping** — overshooting the caller's budget just to fail later is
+    never useful.  The resulting :class:`RetriesExhaustedError` carries
+    the deadline and ``deadline_truncated=True``.
 
     With a ``tracer``, every attempt runs inside its own child span and
     each backoff wait is recorded as a ``retry.backoff`` event (with its
@@ -112,6 +135,12 @@ def invoke_with_retry(
     last_error: BaseException | None = None
     for attempt in range(policy.max_attempts):
         delay = policy.delay_before_attempt(attempt)
+        if deadline is not None and last_error is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0.0 or remaining < delay:
+                raise RetriesExhaustedError(
+                    service, attempt, last_error, deadline=deadline,
+                    deadline_truncated=True) from last_error
         if delay and clock is not None:
             if tracer is not None:
                 tracer.add_event(
@@ -138,8 +167,8 @@ def invoke_with_retry(
             log.append(AttemptLog(service, attempt, None))
         return result
     assert last_error is not None
-    raise RetriesExhaustedError(service, policy.max_attempts,
-                                last_error) from last_error
+    raise RetriesExhaustedError(service, policy.max_attempts, last_error,
+                                deadline=deadline) from last_error
 
 
 class FailoverInvoker:
@@ -178,6 +207,7 @@ class FailoverInvoker:
         self,
         ordered_services: Sequence[str],
         invoke_once: Callable[[str], T],
+        deadline=None,
     ) -> tuple[str, T, list[AttemptLog]]:
         """Invoke the first responsive service.
 
@@ -185,12 +215,21 @@ class FailoverInvoker:
         :class:`repro.core.ranking.ServiceRanker`.  Returns the serving
         service's name, its result and the full attempt log; raises
         :class:`AllServicesFailedError` when every candidate is down.
+
+        With a ``deadline``, each candidate's retry loop is
+        budget-aware (see :func:`invoke_with_retry`) and the failover
+        walk itself stops moving down the ranking once the budget is
+        spent — failing over to a service there is no time left to call
+        only adds load.
         """
         if not ordered_services:
             raise ValueError("no candidate services to invoke")
         attempts: list[AttemptLog] = []
         last_exhausted: RetriesExhaustedError | None = None
         for service in ordered_services:
+            if (deadline is not None and deadline.expired()
+                    and attempts):
+                break
             try:
                 result = invoke_with_retry(
                     lambda: invoke_once(service),
@@ -200,6 +239,7 @@ class FailoverInvoker:
                     log=attempts,
                     tracer=self.tracer,
                     backoff_counter=self._metric_backoff,
+                    deadline=deadline,
                 )
             except RetriesExhaustedError as error:
                 # The per-attempt errors are already in `attempts`; count

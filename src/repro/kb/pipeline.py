@@ -142,6 +142,7 @@ class AnalysisPipeline:
         ys: Sequence[float],
         series_name: str = "series",
         entity_type: str | None = None,
+        deadline=None,
     ) -> dict:
         """Regress one series and store the key results as statements.
 
@@ -149,7 +150,14 @@ class AnalysisPipeline:
         label, a goodness-of-fit label and a one-step forecast — the
         "key mathematical results" Figure 5 shows flowing into the RDF
         store.  Returns the numbers for the caller too.
+
+        A ``deadline`` (:class:`repro.util.deadline.Deadline`) is
+        checked *before* any statement is written: an out-of-budget
+        analysis raises without half-materializing its results, so the
+        graph never holds a partial series.
         """
+        if deadline is not None:
+            deadline.check(f"analyze_series {subject}/{series_name}")
         with self._span(names.SPAN_KB_ANALYZE_SERIES,
                         {"subject": subject, "series": series_name}):
             return self._analyze_series(subject, xs, ys, series_name, entity_type)
@@ -189,14 +197,20 @@ class AnalysisPipeline:
             "forecast_next": forecast,
         }
 
-    def infer(self) -> int:
+    def infer(self, deadline=None) -> int:
         """Run the rulebase; returns newly derived facts.
 
         Incremental when possible: if a full fixpoint already ran and
         every graph mutation since then came through this pipeline,
         only the pending delta is re-derived (``last_infer_mode`` is
         set to ``"delta"``, else ``"full"``).
+
+        A ``deadline`` is checked before the run starts; the pending
+        delta stays intact when it raises, so a later in-budget
+        :meth:`infer` still derives everything.
         """
+        if deadline is not None:
+            deadline.check("pipeline infer")
         current_version = getattr(self.graph, "version", None)
         incremental = (
             self._full_fixpoint_done

@@ -25,6 +25,7 @@ CACHE_MISSES_TOTAL = "cache_misses_total"
 CACHE_EVICTIONS_TOTAL = "cache_evictions_total"
 CACHE_EXPIRATIONS_TOTAL = "cache_expirations_total"
 CACHE_INVALIDATIONS_TOTAL = "cache_invalidations_total"
+CACHE_STALE_SERVES_TOTAL = "cache_stale_serves_total"
 
 # -- request coalescing --------------------------------------------------------
 COALESCE_FLIGHTS_TOTAL = "coalesce_flights_total"
@@ -46,6 +47,17 @@ ADMISSION_QUEUE_WAIT_SECONDS_TOTAL = "admission_queue_wait_seconds_total"
 # -- retry / failover ----------------------------------------------------------
 RETRY_BACKOFF_SECONDS_TOTAL = "retry_backoff_seconds_total"
 FAILOVER_EXHAUSTED_TOTAL = "failover_exhausted_total"
+
+# -- deadlines / degradation ---------------------------------------------------
+DEADLINE_EXPIRED_TOTAL = "deadline_expired_total"
+DEGRADED_RESPONSES_TOTAL = "degraded_responses_total"
+
+# -- circuit breaker -----------------------------------------------------------
+CIRCUIT_TRANSITIONS_TOTAL = "circuit_transitions_total"
+CIRCUIT_REJECTED_TOTAL = "circuit_rejected_total"
+
+# -- chaos harness -------------------------------------------------------------
+CHAOS_FAULTS_INJECTED_TOTAL = "chaos_faults_injected_total"
 
 # -- hedging -------------------------------------------------------------------
 HEDGE_REQUESTS_TOTAL = "hedge_requests_total"
@@ -80,6 +92,7 @@ SPAN_TRANSPORT_CALL = "transport.call"
 SPAN_KB_QUERY = "kb.query"
 SPAN_KB_INFER = "kb.infer"
 SPAN_KB_ANALYZE_SERIES = "kb.analyze_series"
+SPAN_CHAOS_SCENARIO = "chaos.scenario"
 
 
 def all_names() -> dict[str, str]:

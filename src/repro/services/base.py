@@ -298,6 +298,12 @@ class SimulatedService(ABC):
             timeout=timeout,
             latency_params=params,
         )
+        if "value" not in result.payload or "cost" not in result.payload:
+            # A garbled wire payload (e.g. chaos corruption) is a
+            # transient transport-side failure, so surface it as a
+            # retryable 502 rather than a KeyError.
+            raise RemoteServiceError(self.name, "malformed response payload",
+                                     status=502)
         return ServiceResponse(
             value=result.payload["value"],
             latency=result.latency,
@@ -356,6 +362,9 @@ class SimulatedService(ABC):
             latency_params=params,
             batch_size=len(requests),
         )
+        if "results" not in result.payload:
+            raise RemoteServiceError(self.name, "malformed batch payload",
+                                     status=502)
         outcomes: list[ServiceResponse | RemoteServiceError] = []
         for item in result.payload["results"]:
             if "error" in item:

@@ -23,7 +23,11 @@ from dataclasses import dataclass, field
 
 from repro.obs import names
 from repro.simnet.connectivity import AlwaysOnline, ConnectivityModel
-from repro.simnet.errors import ConnectivityError, ServiceTimeoutError
+from repro.simnet.errors import (
+    ConnectivityError,
+    RemoteServiceError,
+    ServiceTimeoutError,
+)
 from repro.simnet.latency import ConstantLatency, LatencyDistribution
 from repro.util.clock import Clock, ManualClock
 from repro.util.errors import SerializationError
@@ -107,6 +111,8 @@ class Transport:
             network_latency if network_latency is not None else ConstantLatency(0.0)
         )
         self.stats = TransportStats()
+        # Chaos injection hook (install_injector); None = unfaulted.
+        self.injector = None
         # Observability hooks (bind_obs); None = uninstrumented.
         self._tracer = None
         self._metric_calls = None
@@ -138,6 +144,16 @@ class Transport:
             names.TRANSPORT_TIMEOUTS_TOTAL, "Calls aborted by the caller's timeout.")
         self._metric_offline = metrics.counter(
             names.TRANSPORT_OFFLINE_FAILURES_TOTAL, "Calls rejected while offline.")
+
+    def install_injector(self, injector) -> None:
+        """Arm a :class:`repro.chaos.inject.ChaosInjector` on this wire.
+
+        The injector is consulted on every call for partitions, error
+        bursts, latency shaping and payload corruption.  Pass ``None``
+        to disarm.  Unlike :meth:`bind_obs` this is last-writer-wins:
+        chaos scenarios re-arm transports between phases.
+        """
+        self.injector = injector
 
     def is_online(self) -> bool:
         """Whether the network is currently reachable."""
@@ -197,8 +213,13 @@ class Transport:
         if self._metric_calls is not None:
             self._metric_calls.inc(endpoint=endpoint)
         params = dict(latency_params or {})
+        injector = self.injector
+        now = self.clock.now()
 
-        if not self.is_online():
+        offline = not self.is_online()
+        if not offline and injector is not None:
+            offline = injector.offline(endpoint, now)
+        if offline:
             self.stats.offline_failures += 1
             if self._metric_offline is not None:
                 self._metric_offline.inc()
@@ -207,6 +228,18 @@ class Transport:
         request_payload = _roundtrip(dict(request), "request")
         sent = wire_size(request_payload)
         outbound = self.network_latency.sample(self.rng, params)
+
+        if injector is not None:
+            status = injector.error_status(endpoint, now)
+            if status is not None:
+                # The request crossed the wire; the injected failure
+                # came back as the response, like a real 5xx/429.
+                self.clock.charge(outbound)
+                self.stats.bytes_sent += sent
+                if self._metric_bytes_sent is not None:
+                    self._metric_bytes_sent.inc(sent)
+                raise RemoteServiceError(endpoint, "injected error burst",
+                                         status=status)
 
         try:
             response_payload, compute_latency = server_fn(request_payload)
@@ -222,6 +255,8 @@ class Transport:
 
         inbound = self.network_latency.sample(self.rng, params)
         total = outbound + compute_latency + inbound
+        if injector is not None:
+            total = injector.shape_latency(endpoint, now, total)
 
         if timeout is not None and total > timeout:
             self.clock.charge(timeout)
@@ -232,6 +267,8 @@ class Transport:
                 self._metric_bytes_sent.inc(sent)
             raise ServiceTimeoutError(endpoint, timeout)
 
+        if injector is not None:
+            response_payload = injector.corrupt(endpoint, now, response_payload)
         response_payload = _roundtrip(response_payload, "response")
         received = wire_size(response_payload)
 

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro.chaos`` entry point."""
+
+from repro.chaos.__main__ import main
+from repro.chaos.scenarios import SCENARIOS
+
+
+class TestCli:
+    def test_list_prints_scenario_names(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == list(SCENARIOS)
+
+    def test_single_scenario_strict_passes(self, capsys):
+        exit_code = main(["--scenario", "partition_sync",
+                          "--seed", "7", "--strict"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "chaos scenario=partition_sync seed=7 protections=on" in out
+        assert out.strip().endswith(
+            "chaos: 1/1 scenarios passed (seed=7 protections=on)")
+
+    def test_strict_control_failure_exits_nonzero(self, capsys):
+        exit_code = main(["--scenario", "partition_sync", "--seed", "7",
+                          "--strict", "--no-protections"])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert "protections=off" in out
+        assert "0/1 scenarios passed" in out
+
+    def test_control_without_strict_reports_but_exits_zero(self, capsys):
+        exit_code = main(["--scenario", "clock_skew_sync",
+                          "--no-protections"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "invariant no-lost-updates .............. FAIL" in out
+
+    def test_repeatable_scenario_flag(self, capsys):
+        exit_code = main(["--scenario", "partition_sync",
+                          "--scenario", "deadline_storm", "--strict"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2/2 scenarios passed" in out

@@ -1,0 +1,166 @@
+"""Tests for live fault injection (repro.chaos.inject)."""
+
+import pytest
+
+from repro import RichClient, build_world
+from repro.chaos.inject import (
+    CORRUPTION_MARKER,
+    FaultyStore,
+    SkewedClock,
+    StorageFaultError,
+)
+from repro.chaos.plan import (
+    ErrorBurst,
+    FaultPlan,
+    LatencySpike,
+    Partition,
+    PayloadCorruption,
+    Window,
+)
+from repro.simnet.errors import ConnectivityError, RemoteServiceError
+from repro.stores.kvstore import InMemoryKeyValueStore
+from repro.util.clock import ManualClock
+
+
+def _armed_world(plan, seed=42):
+    world = build_world(seed=seed, corpus_size=10)
+    injector = plan.injector().install(world.transport)
+    return world, injector
+
+
+class TestUnitDecisions:
+    def test_error_status_only_inside_window(self):
+        plan = FaultPlan((ErrorBurst(Window(1.0, 2.0), status=503),), seed=1)
+        injector = plan.injector()
+        assert injector.error_status("svc", 0.5) is None
+        assert injector.error_status("svc", 1.5) == 503
+        assert injector.error_status("svc", 2.0) is None
+        assert injector.stats.errors == 1
+
+    def test_latency_shaping_composes_factor_and_extra(self):
+        plan = FaultPlan((
+            LatencySpike(Window(0.0, 10.0), factor=2.0),
+            LatencySpike(Window(0.0, 10.0), extra=0.5),
+        ))
+        injector = plan.injector()
+        assert injector.shape_latency("svc", 1.0, 0.25) == pytest.approx(1.0)
+        assert injector.stats.latency_spikes == 1
+        assert injector.shape_latency("svc", 20.0, 0.25) == 0.25
+
+    def test_corruption_replaces_payload(self):
+        plan = FaultPlan((PayloadCorruption(Window(0.0, 1.0)),))
+        injector = plan.injector()
+        mangled = injector.corrupt("svc", 0.5, {"entities": []})
+        assert mangled[CORRUPTION_MARKER] is True
+        intact = injector.corrupt("svc", 2.0, {"entities": []})
+        assert intact == {"entities": []}
+
+    def test_flaky_burst_replays_identically(self):
+        plan = FaultPlan(
+            (ErrorBurst(Window(0.0, 100.0), probability=0.4),), seed=99)
+        injector_a = plan.injector()
+        injector_b = plan.injector()
+        draws_a = [injector_a.error_status("svc", float(t))
+                   for t in range(50)]
+        draws_b = [injector_b.error_status("svc", float(t))
+                   for t in range(50)]
+        assert draws_a == draws_b          # same seed, same schedule
+        assert any(status is not None for status in draws_a)
+        assert any(status is None for status in draws_a)
+
+
+class TestTransportIntegration:
+    def test_error_burst_surfaces_as_remote_error(self):
+        plan = FaultPlan(
+            (ErrorBurst(Window(0.0, 60.0), endpoint="glotta", status=500),),
+            seed=7)
+        world, injector = _armed_world(plan)
+        client = RichClient(world.registry)
+        try:
+            with pytest.raises(RemoteServiceError):
+                client.invoke("glotta", "analyze", {"text": "hi"})
+            # Unfaulted endpoints are untouched.
+            client.invoke("lexica-prime", "analyze", {"text": "hi"})
+        finally:
+            client.close()
+        assert injector.stats.errors == 1
+
+    def test_partition_surfaces_as_connectivity_error(self):
+        plan = FaultPlan((Partition(Window(0.0, 5.0)),), seed=7)
+        world, injector = _armed_world(plan)
+        client = RichClient(world.registry)
+        try:
+            before = world.clock.now()
+            with pytest.raises(ConnectivityError):
+                client.invoke("glotta", "analyze", {"text": "hi"})
+            assert world.clock.now() == before  # offline calls are free
+            world.clock.charge(5.0 - world.clock.now())
+            client.invoke("glotta", "analyze", {"text": "hi"})
+        finally:
+            client.close()
+        assert injector.stats.partitions == 1
+
+    def test_corruption_surfaces_as_retryable_502(self):
+        plan = FaultPlan(
+            (PayloadCorruption(Window(0.0, 5.0), endpoint="glotta"),), seed=7)
+        world, _ = _armed_world(plan)
+        client = RichClient(world.registry)
+        try:
+            with pytest.raises(RemoteServiceError) as excinfo:
+                client.invoke("glotta", "analyze", {"text": "hi"})
+            assert excinfo.value.status == 502
+        finally:
+            client.close()
+
+    def test_injection_does_not_perturb_latency_stream(self):
+        """Arming a plan must not change what unfaulted calls sample."""
+        def timings(plan):
+            world = build_world(seed=5, corpus_size=10)
+            if plan is not None:
+                plan.injector().install(world.transport)
+            client = RichClient(world.registry)
+            try:
+                stamps = []
+                for index in range(3):
+                    client.invoke("glotta", "analyze",
+                                  {"text": f"t{index}"}, use_cache=False)
+                    stamps.append(world.clock.now())
+                return stamps
+            finally:
+                client.close()
+
+        # The burst window is far in the future: never fires.
+        armed = FaultPlan(
+            (ErrorBurst(Window(1000.0, 2000.0), probability=0.5),), seed=3)
+        assert timings(None) == timings(armed)
+
+
+class TestSkewedClock:
+    def test_observation_shifts_but_charges_share_time(self):
+        inner = ManualClock()
+        skewed = SkewedClock(inner, -45.0)
+        assert skewed.now() == -45.0
+        skewed.charge(2.0)
+        assert inner.now() == 2.0
+        assert skewed.now() == -43.0
+
+
+class TestFaultyStore:
+    def test_operations_fail_only_inside_windows(self):
+        clock = ManualClock()
+        store = FaultyStore(InMemoryKeyValueStore(), clock,
+                            [Window(1.0, 2.0)])
+        store.put("k", 1)
+        clock.charge(1.5)
+        with pytest.raises(StorageFaultError):
+            store.put("k", 2)
+        with pytest.raises(StorageFaultError):
+            store.get("k")
+        clock.charge(1.0)
+        assert store.get("k") == 1
+        assert store.faults_raised == 2
+
+    def test_missing_key_semantics_preserved(self):
+        store = FaultyStore(InMemoryKeyValueStore(), ManualClock(), [])
+        sentinel = object()
+        assert store.get("absent", sentinel) is sentinel

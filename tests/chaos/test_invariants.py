@@ -1,0 +1,156 @@
+"""Tests for the resilience invariants (repro.chaos.invariants)."""
+
+import pytest
+
+from repro.chaos.invariants import (
+    CallOutcome,
+    InvariantReport,
+    ScenarioRun,
+    check_all,
+    check_bounded_staleness,
+    check_breaker_conformance,
+    check_counter_consistency,
+    check_deadline_honored,
+    check_no_lost_updates,
+)
+from repro.core.circuitbreaker import CircuitBreaker
+from repro.simnet.errors import RemoteServiceError
+from repro.util.clock import ManualClock
+
+
+def _run(**overrides):
+    run = ScenarioRun("unit", seed=1, protections=True)
+    for key, value in overrides.items():
+        setattr(run, key, value)
+    return run
+
+
+class TestCallOutcome:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CallOutcome("mystery", 0.0, 1.0)
+
+
+class TestDeadlineHonored:
+    def test_skips_without_deadlined_calls(self):
+        run = _run()
+        run.issue()
+        run.record("success", 0.0, 1.0)
+        assert check_deadline_honored(run).verdict == "SKIP"
+
+    def test_passes_within_one_transport_step(self):
+        run = _run(max_transport_step=0.5)
+        run.record("success", 0.0, 1.4, deadline_expires=1.0)
+        assert check_deadline_honored(run).verdict == "PASS"
+
+    def test_fails_past_the_allowed_step(self):
+        run = _run(max_transport_step=0.5)
+        run.record("success", 0.0, 1.6, deadline_expires=1.0)
+        result = check_deadline_honored(run)
+        assert result.verdict == "FAIL"
+        assert "0.600000" in result.detail
+
+
+class TestNoLostUpdates:
+    def test_skips_without_replicated_state(self):
+        assert check_no_lost_updates(_run()).verdict == "SKIP"
+
+    def test_passes_on_convergence(self):
+        run = _run(expected_state={"a": 1}, remote_state={"a": 1})
+        assert check_no_lost_updates(run).verdict == "PASS"
+
+    def test_fails_on_missing_stale_or_extra_keys(self):
+        run = _run(expected_state={"a": 2, "b": 1},
+                   remote_state={"a": 1, "c": 9})
+        result = check_no_lost_updates(run)
+        assert result.verdict == "FAIL"
+        assert "['a', 'b']" in result.detail and "['c']" in result.detail
+
+
+class TestBreakerConformance:
+    def test_skips_without_breakers(self):
+        assert check_breaker_conformance(_run()).verdict == "SKIP"
+
+    def test_real_breaker_walk_is_legal(self):
+        clock = ManualClock()
+        breaker = CircuitBreaker(clock, "svc", failure_threshold=1,
+                                 cooldown=1.0)
+        with pytest.raises(RemoteServiceError):
+            breaker.call(lambda: (_ for _ in ()).throw(
+                RemoteServiceError("svc", "down")))
+        clock.advance(1.0)
+        breaker.call(lambda: "ok")  # half-open probe closes it
+        run = _run(breakers=[breaker])
+        result = check_breaker_conformance(run)
+        assert result.verdict == "PASS"
+        assert "3 transition(s)" in result.detail
+
+
+class TestBoundedStaleness:
+    def test_skips_without_bound_or_ages(self):
+        assert check_bounded_staleness(_run()).verdict == "SKIP"
+        assert check_bounded_staleness(
+            _run(staleness_bound=5.0)).verdict == "SKIP"
+
+    def test_pass_and_fail_around_the_bound(self):
+        assert check_bounded_staleness(
+            _run(staleness_bound=5.0, stale_ages=[4.9])).verdict == "PASS"
+        assert check_bounded_staleness(
+            _run(staleness_bound=5.0, stale_ages=[4.9, 5.1])).verdict == "FAIL"
+
+
+class TestCounterConsistency:
+    def test_skips_with_no_requests(self):
+        assert check_counter_consistency(_run()).verdict == "SKIP"
+
+    def test_detects_unaccounted_requests(self):
+        run = _run()
+        run.issue()
+        run.issue()
+        run.record("success", 0.0, 1.0)
+        result = check_counter_consistency(run)
+        assert result.verdict == "FAIL"
+
+    def test_balances_across_all_kinds(self):
+        run = _run()
+        for kind in ("success", "degraded", "failure", "shed"):
+            run.issue()
+            run.record(kind, 0.0, 1.0)
+        assert check_counter_consistency(run).verdict == "PASS"
+
+
+class TestReport:
+    def _report(self) -> InvariantReport:
+        run = _run(max_transport_step=0.5,
+                   injected={"errors": 2, "latency_spikes": 1,
+                             "partitions": 0, "corruptions": 0})
+        run.issue()
+        run.record("success", 0.0, 0.4, deadline_expires=1.0)
+        run.note("unit-test note")
+        return check_all(run)
+
+    def test_passed_ignores_skipped_checks(self):
+        report = self._report()
+        assert report.passed
+        assert report.failures() == []
+
+    def test_render_is_byte_stable(self):
+        first = self._report().render()
+        second = self._report().render()
+        assert first == second
+        assert first.splitlines()[0] == (
+            "chaos scenario=unit seed=1 protections=on")
+        assert "requests=1 successes=1 degraded=0 failures=0 sheds=0" in first
+        assert "injected: errors=2 latency=1 partitions=0 corruptions=0" in first
+        assert "note: unit-test note" in first
+        assert first.splitlines()[-1] == "verdict: PASS"
+
+    def test_failing_report_renders_fail_verdict(self):
+        run = _run(expected_state={"a": 1}, remote_state={})
+        run.issue()
+        run.record("success", 0.0, 0.1)
+        report = check_all(run)
+        assert not report.passed
+        assert [result.name for result in report.failures()] == [
+            "no-lost-updates"]
+        assert report.render().splitlines()[-1] == "verdict: FAIL"

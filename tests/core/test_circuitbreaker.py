@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.circuitbreaker import (
+    LEGAL_TRANSITIONS,
     CircuitBreaker,
     CircuitBreakerRegistry,
     CircuitOpenError,
@@ -89,6 +90,87 @@ class TestStateMachine:
             CircuitBreaker(clock, failure_threshold=0)
         with pytest.raises(ValueError):
             CircuitBreaker(clock, cooldown=0.0)
+
+
+class TestHalfOpenProbeCap:
+    def test_only_the_first_half_open_caller_probes(self, breaker, clock):
+        for _ in range(3):
+            with pytest.raises(RemoteServiceError):
+                breaker.call(boom)
+        clock.advance(10.0)
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.allow()          # this caller becomes the probe
+        assert not breaker.allow()      # a second concurrent probe: rejected
+        assert not breaker.allow()
+        assert breaker.stats.probe_rejections == 2
+
+    def test_probe_slot_frees_after_the_outcome(self, breaker, clock):
+        for _ in range(3):
+            with pytest.raises(RemoteServiceError):
+                breaker.call(boom)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()        # probe failed -> OPEN again
+        assert breaker.state is CircuitState.OPEN
+        clock.advance(10.0)
+        assert breaker.allow()          # next cooldown: a fresh probe slot
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+        assert breaker.allow()          # closed circuit has no probe cap
+        assert breaker.allow()
+
+
+class TestTransitionLog:
+    def test_full_walk_is_recorded_with_timestamps(self, breaker, clock):
+        for _ in range(3):
+            with pytest.raises(RemoteServiceError):
+                breaker.call(boom)
+        clock.advance(10.0)
+        with pytest.raises(RemoteServiceError):
+            breaker.call(boom)          # probe fails: back to OPEN
+        clock.advance(10.0)
+        breaker.call(lambda: "ok")      # probe succeeds: CLOSED
+        edges = [(t.source, t.target) for t in breaker.transitions]
+        assert edges == [
+            (CircuitState.CLOSED, CircuitState.OPEN),
+            (CircuitState.OPEN, CircuitState.HALF_OPEN),
+            (CircuitState.HALF_OPEN, CircuitState.OPEN),
+            (CircuitState.OPEN, CircuitState.HALF_OPEN),
+            (CircuitState.HALF_OPEN, CircuitState.CLOSED),
+        ]
+        assert [t.at for t in breaker.transitions] == [
+            0.0, 10.0, 10.0, 20.0, 20.0]
+
+    def test_every_recorded_transition_is_legal(self, breaker, clock):
+        for _ in range(3):
+            with pytest.raises(RemoteServiceError):
+                breaker.call(boom)
+        clock.advance(10.0)
+        breaker.call(lambda: "ok")
+        assert all((t.source, t.target) in LEGAL_TRANSITIONS
+                   for t in breaker.transitions)
+
+    def test_repeated_successes_do_not_spam_the_log(self, breaker):
+        for _ in range(5):
+            breaker.call(lambda: "fine")
+        assert breaker.transitions == []  # CLOSED -> CLOSED is not a change
+
+    def test_transition_metrics_mirrored(self, clock):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = CircuitBreakerRegistry(clock, failure_threshold=1,
+                                          cooldown=5.0)
+        metrics = MetricsRegistry()
+        registry.bind_metrics(metrics)
+        with pytest.raises(RemoteServiceError):
+            registry.call("svc", boom)
+        with pytest.raises(CircuitOpenError):
+            registry.call("svc", lambda: 1)
+        snapshot = metrics.snapshot()
+        transitions = snapshot["circuit_transitions_total"]["values"]
+        assert sum(value["value"] for value in transitions) == 1
+        rejected = snapshot["circuit_rejected_total"]["values"]
+        assert rejected[0]["value"] == 1
 
 
 class TestRegistry:

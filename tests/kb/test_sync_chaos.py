@@ -1,0 +1,109 @@
+"""Offline-sync convergence under scripted outages (chaos satellite).
+
+Drives :class:`OfflineSyncStore` through **two** scripted offline
+windows with writes interleaved across online and offline phases — from
+the syncing writer *and* a second, directly-connected writer — and
+asserts the remote store converges with no lost update.
+"""
+
+import pytest
+
+from repro import RichClient, build_world
+from repro.chaos.plan import FaultPlan, Partition, Window
+from repro.crypto.cipher import StreamCipher
+from repro.kb.secure import SecureRemoteStore
+from repro.kb.sync import OfflineSyncStore
+from repro.util.errors import NotFoundError
+
+KEY = b"chaos-sync-test-key-0123456789ab"
+
+#: The two scripted outages the writer must ride out.
+WINDOWS = (Window(2.0, 4.0), Window(6.0, 8.0))
+
+
+@pytest.fixture
+def setup():
+    plan = FaultPlan(tuple(Partition(w) for w in WINDOWS), seed=21)
+    world = build_world(seed=21, corpus_size=10)
+    plan.injector().install(world.transport)
+    client = RichClient(world.registry)
+    secure = SecureRemoteStore(client, "store-standard", StreamCipher(KEY))
+    yield world.clock, secure, OfflineSyncStore(remote=secure)
+    client.close()
+
+
+def _advance_to(clock, when):
+    delta = when - clock.now()
+    if delta > 0:
+        clock.charge(delta)
+
+
+class TestTwoWindowConvergence:
+    def test_interleaved_writes_converge_with_no_lost_update(self, setup):
+        clock, secure, store = setup
+
+        # t≈0, online: the first write pushes straight through.
+        store.put("doc", {"rev": 1})
+        assert store.pending_count == 0
+
+        # Window 1 (t in [2,4)): writes queue, reads stay local-first.
+        _advance_to(clock, 2.5)
+        store.put("doc", {"rev": 2})
+        store.put("tags", ["draft"])
+        assert store.pending_count == 2
+        assert store.get("doc") == {"rev": 2}
+        assert store.sync() == 0            # outage: nothing applies
+        assert store.stats.failed_syncs == 1
+        assert store.pending_count == 2     # the queue survives the failure
+
+        # Healed gap (t in [4,6)): a second writer lands a direct write
+        # AND the first writer's backlog replays.
+        _advance_to(clock, 4.5)
+        secure.put("peer", {"author": "B"})
+        assert store.sync() == 2
+        assert store.pending_count == 0
+        assert secure.get("doc") == {"rev": 2}
+
+        # Window 2 (t in [6,8)): a conflicting same-key write queues.
+        _advance_to(clock, 6.5)
+        store.put("doc", {"rev": 3})
+        store.put("notes", "from window two")
+        assert store.pending_count == 2
+
+        # After the second heal everything converges.
+        _advance_to(clock, 8.5)
+        assert store.sync() == 2
+        assert secure.get("doc") == {"rev": 3}      # later writer wins
+        assert secure.get("tags") == ["draft"]      # window-1 write intact
+        assert secure.get("notes") == "from window two"
+        assert secure.get("peer") == {"author": "B"}  # peer write untouched
+
+    def test_coalescing_keeps_only_the_last_write_per_key(self, setup):
+        clock, secure, store = setup
+        _advance_to(clock, 2.1)             # inside window 1
+        for revision in range(5):
+            store.put("doc", {"rev": revision})
+        _advance_to(clock, 4.5)
+        assert store.sync() == 1            # five queued puts, one replay
+        assert secure.get("doc") == {"rev": 4}
+
+    def test_delete_replays_across_an_outage(self, setup):
+        clock, secure, store = setup
+        store.put("doomed", 1)
+        _advance_to(clock, 2.5)
+        store.delete("doomed")
+        _advance_to(clock, 4.5)
+        assert store.sync() == 1
+        with pytest.raises(NotFoundError):
+            secure.get("doomed")
+
+    def test_offline_read_of_unseen_key_is_honest(self, setup):
+        clock, secure, store = setup
+        secure.put("remote-only", 42)       # never read into local store
+        _advance_to(clock, 2.5)             # offline
+        with pytest.raises(NotFoundError):
+            store.get("remote-only")
+        _advance_to(clock, 4.5)             # healed: falls through to remote
+        assert store.get("remote-only") == 42
+        _advance_to(clock, 6.5)             # offline again: now cached
+        assert store.get("remote-only") == 42

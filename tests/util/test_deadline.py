@@ -1,0 +1,68 @@
+"""Tests for end-to-end deadlines (repro.util.deadline)."""
+
+import pytest
+
+from repro.simnet.errors import NetworkError
+from repro.util.deadline import Deadline, DeadlineExceededError
+from repro.util.clock import ManualClock
+
+
+class TestDeadline:
+    def test_after_sets_absolute_expiry(self, clock):
+        clock.advance(3.0)
+        deadline = Deadline.after(clock, 2.0)
+        assert deadline.expires_at == 5.0
+        assert deadline.remaining() == 2.0
+        assert not deadline.expired()
+
+    def test_budget_is_shared_down_the_stack(self, clock):
+        deadline = Deadline.after(clock, 2.0)
+        clock.advance(1.5)  # some layer consumed 1.5s
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert deadline.remaining() == 0.0  # never negative
+        assert deadline.expired()
+
+    def test_check_raises_with_context(self, clock):
+        deadline = Deadline.after(clock, 1.0)
+        deadline.check("warm-up")  # in budget: no raise
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("kb sync")
+        assert excinfo.value.context == "kb sync"
+        assert excinfo.value.expires_at == 1.0
+        assert excinfo.value.now == 1.0
+
+    def test_clamp_tightens_the_wire_timeout(self, clock):
+        deadline = Deadline.after(clock, 2.0)
+        assert deadline.clamp(5.0) == 2.0   # budget is the binding limit
+        assert deadline.clamp(0.5) == 0.5   # explicit timeout is tighter
+        assert deadline.clamp(None) == 2.0  # no timeout: budget alone
+
+    def test_negative_budget_rejected(self, clock):
+        with pytest.raises(ValueError):
+            Deadline.after(clock, -0.1)
+
+    def test_zero_budget_is_immediately_expired(self, clock):
+        deadline = Deadline.after(clock, 0.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceededError):
+            deadline.check()
+
+    def test_not_a_network_error_so_never_retried(self):
+        # Retry policies retry NetworkError; an exhausted budget must
+        # never qualify — retrying it only digs the hole deeper.
+        assert not issubclass(DeadlineExceededError, NetworkError)
+
+    def test_deadline_is_frozen(self, clock):
+        deadline = Deadline.after(clock, 1.0)
+        with pytest.raises(AttributeError):
+            deadline.expires_at = 99.0
+
+
+class TestDeadlineAcrossClocks:
+    def test_manual_clock_charges_count_against_budget(self):
+        clock = ManualClock()
+        deadline = Deadline.after(clock, 1.0)
+        clock.charge(0.25)
+        assert deadline.remaining() == pytest.approx(0.75)

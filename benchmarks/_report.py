@@ -5,10 +5,16 @@ diagrams), so each benchmark both *prints* the quantitative rows it
 reproduces and *writes* them to ``benchmarks/results/<exp_id>.txt`` so
 the output survives pytest's capture.  EXPERIMENTS.md summarizes these
 files against the paper's qualitative claims.
+
+Benchmarks that produce structured numbers additionally persist them
+via :func:`report_json` as ``benchmarks/results/BENCH_<id>.json`` —
+stable-key, machine-readable files that downstream tooling (dashboards,
+regression diffing) can consume without parsing the text tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -21,6 +27,19 @@ def report(exp_id: str, title: str, lines: list[str]) -> None:
     body = "\n".join([header, *lines, ""])
     print("\n" + body)
     (RESULTS_DIR / f"{exp_id}.txt").write_text(body)
+
+
+def report_json(exp_id: str, payload: dict) -> Path:
+    """Persist a machine-readable result block.
+
+    Writes ``benchmarks/results/BENCH_<exp_id>.json`` with sorted keys
+    and a trailing newline, so reruns with identical numbers produce
+    byte-identical files (diff-friendly in review).  Returns the path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{exp_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def fmt_row(*cells: object, widths: tuple[int, ...] | None = None) -> str:

@@ -11,7 +11,7 @@ serving inside its budget; the control overshoots its deadline by
 seconds and fails the deadline invariant.
 """
 
-from benchmarks._report import fmt_row, report
+from benchmarks._report import fmt_row, report, report_json
 from repro.chaos.scenarios import run_scenario
 
 SEED = 7
@@ -39,6 +39,13 @@ def test_protections_on_vs_off_under_burst_and_partition():
                         int(protected.metrics["faults_injected"])))
     report("A10.chaos", "error burst + partition, seeded fault schedule "
            f"(seed={SEED})", rows)
+    report_json("A10", {
+        "experiment": "A10.chaos",
+        "scenario": "burst_partition",
+        "seed": SEED,
+        "protected": {"passed": protected.passed, **protected.metrics},
+        "control": {"passed": control.passed, **control.metrics},
+    })
 
     # The protected stack keeps answering (fresh or explicitly degraded)
     # and honors every invariant.

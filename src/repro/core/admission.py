@@ -19,11 +19,12 @@ same bulkhead works in both the simulated and the threaded paths.
 from __future__ import annotations
 
 import threading
-from collections.abc import Iterator, Mapping
+from collections.abc import Callable, Iterator, Mapping
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.obs import names
+from repro.tenancy.scheduling import DrrScheduler
 from repro.util.clock import Clock
 from repro.util.errors import ReproError
 
@@ -92,6 +93,8 @@ class BulkheadStats:
     shed_deadline: int = 0
     peak_inflight: int = 0
     total_queue_wait: float = 0.0
+    fair_grants: int = 0
+    shed_by_tenant: dict = field(default_factory=dict)
 
     @property
     def shed(self) -> int:
@@ -110,7 +113,21 @@ class Bulkhead:
     """
 
     def __init__(self, clock: Clock, service: str,
-                 limit: AdmissionLimit | None = None) -> None:
+                 limit: AdmissionLimit | None = None,
+                 fair: bool = False,
+                 weight_of: Callable[[str], float] | None = None) -> None:
+        """Build the bulkhead.
+
+        ``fair=True`` turns the wait queue into per-tenant sub-queues
+        drained by deficit round robin (``weight_of`` maps tenant ids
+        to fair-share weights, default 1.0) — under contention an
+        aggressor tenant's backlog can no longer starve everyone else,
+        because permits are *granted* to the DRR-chosen waiter instead
+        of whichever thread wins the wakeup race.  Fairness applies to
+        the threaded (scaled real clock) path; single-threaded virtual
+        clock runs keep the charge-and-reprobe behaviour, where queue
+        order is moot.
+        """
         self.clock = clock
         self.service = service
         self.limit = limit if limit is not None else AdmissionLimit()
@@ -118,12 +135,17 @@ class Bulkhead:
         self._inflight = 0
         self._waiting = 0
         self._condition = threading.Condition()
+        self._fair: DrrScheduler | None = (
+            DrrScheduler(weight_of=weight_of) if fair else None)
+        # Ticket currently allowed to take the next permit (fair mode).
+        self._granted: object | None = None
         # Pre-bound obs instruments (bind_metrics); None = unmirrored.
         self._gauge_inflight = None
         self._gauge_queue = None
         self._metric_admitted = None
         self._metric_shed = None
         self._metric_wait = None
+        self._metric_fair_grants = None
 
     def bind_metrics(self, registry) -> None:
         """Mirror admission accounting into a MetricsRegistry.
@@ -145,6 +167,10 @@ class Bulkhead:
         self._metric_wait = registry.counter(
             names.ADMISSION_QUEUE_WAIT_SECONDS_TOTAL,
             "Simulated seconds spent queued for a bulkhead permit.")
+        if self._fair is not None:
+            self._metric_fair_grants = registry.counter(
+                names.ADMISSION_FAIR_GRANTS_TOTAL,
+                "Permits granted by the weighted-fair (DRR) scheduler.")
 
     @property
     def inflight(self) -> int:
@@ -166,7 +192,48 @@ class Bulkhead:
                 return True
             return False
 
-    def acquire(self, deadline=None) -> float:
+    def _fast_path_open_locked(self) -> bool:
+        """May a newcomer take a free permit without queueing?
+
+        In FIFO mode, any free permit will do.  In fair mode a
+        newcomer must queue behind existing waiters (and behind an
+        outstanding grant), or it would jump the DRR order.
+        """
+        if self._inflight >= self.limit.max_concurrent:
+            return False
+        if self._fair is None:
+            return True
+        return self._granted is None and not self._fair
+
+    def _maybe_grant_locked(self) -> None:
+        """Hand the next free permit to the DRR-chosen waiter."""
+        if (self._fair is not None and self._granted is None
+                and self._inflight < self.limit.max_concurrent and self._fair):
+            self._granted = self._fair.pop_next()
+            if self._granted is not None:
+                self.stats.fair_grants += 1
+                if self._metric_fair_grants is not None:
+                    self._metric_fair_grants.inc(service=self.service)
+                self._condition.notify_all()
+
+    def _count_shed(self, reason: str, tenant: str | None) -> None:
+        """Mirror one shed into stats and (when bound) metrics."""
+        if reason == REASON_QUEUE_FULL:
+            self.stats.shed_queue_full += 1
+        elif reason == REASON_DEADLINE:
+            self.stats.shed_deadline += 1
+        else:
+            self.stats.shed_timeout += 1
+        if tenant is not None:
+            self.stats.shed_by_tenant[tenant] = (
+                self.stats.shed_by_tenant.get(tenant, 0) + 1)
+        if self._metric_shed is not None:
+            labels = {"service": self.service, "reason": reason}
+            if tenant is not None:
+                labels["tenant"] = tenant
+            self._metric_shed.inc(**labels)
+
+    def acquire(self, deadline=None, tenant: str | None = None) -> float:
         """Take a permit, queueing briefly if the bulkhead is full.
 
         Returns the (simulated) seconds spent waiting in the queue.
@@ -181,32 +248,34 @@ class Bulkhead:
         the remaining budget — work that cannot finish in time is shed
         instead of queued, with an honest ``retry_after``.
         """
+        ticket: object | None = None
         with self._condition:
-            if self._inflight < self.limit.max_concurrent:
+            if self._fast_path_open_locked():
                 self._admit_locked()
                 return 0.0
             if deadline is not None and deadline.remaining() <= 0.0:
-                self.stats.shed_deadline += 1
-                if self._metric_shed is not None:
-                    self._metric_shed.inc(service=self.service,
-                                          reason=REASON_DEADLINE)
+                self._count_shed(REASON_DEADLINE, tenant)
                 raise AdmissionRejectedError(
                     self.service, REASON_DEADLINE,
                     retry_after=self.limit.queue_timeout)
             if self._waiting >= self.limit.max_queue:
-                self.stats.shed_queue_full += 1
-                if self._metric_shed is not None:
-                    self._metric_shed.inc(service=self.service,
-                                          reason=REASON_QUEUE_FULL)
+                self._count_shed(REASON_QUEUE_FULL, tenant)
                 raise AdmissionRejectedError(
                     self.service, REASON_QUEUE_FULL,
                     retry_after=self.limit.queue_timeout)
             self._waiting += 1
             self.stats.queued += 1
+            if self._fair is not None:
+                ticket = object()
+                self._fair.push(tenant, ticket)
+                self._maybe_grant_locked()
             if self._gauge_queue is not None:
                 self._gauge_queue.set(self._waiting, service=self.service)
         try:
-            waited = self._wait_for_permit(deadline)
+            if ticket is not None:
+                waited = self._wait_fair(ticket, tenant, deadline)
+            else:
+                waited = self._wait_for_permit(deadline, tenant=tenant)
         finally:
             with self._condition:
                 self._waiting -= 1
@@ -214,8 +283,8 @@ class Bulkhead:
                     self._gauge_queue.set(self._waiting, service=self.service)
         return waited
 
-    def _wait_for_permit(self, deadline=None) -> float:
-        """Block (scaled real clock) or charge (manual clock) for a permit."""
+    def _queue_window(self, deadline) -> tuple[float, str]:
+        """The bounded wait window and the shed reason if it lapses."""
         timeout = self.limit.queue_timeout
         if deadline is not None:
             timeout = min(timeout, deadline.remaining())
@@ -224,6 +293,11 @@ class Bulkhead:
         reason = (REASON_DEADLINE
                   if timeout < self.limit.queue_timeout
                   else REASON_QUEUE_TIMEOUT)
+        return timeout, reason
+
+    def _wait_for_permit(self, deadline=None, tenant: str | None = None) -> float:
+        """Block (scaled real clock) or charge (manual clock) for a permit."""
+        timeout, reason = self._queue_window(deadline)
         time_scale = getattr(self.clock, "time_scale", None)
         started = self.clock.now()
         if time_scale is not None:
@@ -236,7 +310,7 @@ class Bulkhead:
                             timeout=remaining * time_scale):
                         if self._inflight < self.limit.max_concurrent:
                             break
-                        return self._timed_out(started, reason)
+                        return self._timed_out(started, reason, tenant)
                 self._admit_locked()
             waited = self.clock.now() - started
         else:
@@ -246,7 +320,7 @@ class Bulkhead:
             self.clock.charge(timeout)
             with self._condition:
                 if self._inflight >= self.limit.max_concurrent:
-                    return self._timed_out(started, reason)
+                    return self._timed_out(started, reason, tenant)
                 self._admit_locked()
             waited = timeout
         self.stats.total_queue_wait += waited
@@ -254,18 +328,67 @@ class Bulkhead:
             self._metric_wait.inc(waited, service=self.service)
         return waited
 
-    def _timed_out(self, started: float,
-                   reason: str = REASON_QUEUE_TIMEOUT) -> float:
-        waited = self.clock.now() - started
-        self.stats.total_queue_wait += waited
-        if reason == REASON_DEADLINE:
-            self.stats.shed_deadline += 1
+    def _wait_fair(self, ticket: object, tenant: str | None,
+                   deadline=None) -> float:
+        """Wait until the DRR scheduler grants this ticket a permit.
+
+        Permits freed by :meth:`release` are handed to the scheduler's
+        chosen ticket (``_granted``); every waiter wakes on the
+        broadcast and only the granted one admits itself, so wake-up
+        order can never override DRR order.  A ticket that times out
+        withdraws from its sub-queue (or re-grants, if it was the
+        chosen one) before shedding.
+        """
+        timeout, reason = self._queue_window(deadline)
+        time_scale = getattr(self.clock, "time_scale", None)
+        started = self.clock.now()
+        if time_scale is None:
+            # Virtual clock: same deterministic worst-case model as the
+            # FIFO path — charge the window, then re-probe.
+            self.clock.charge(timeout)
+            with self._condition:
+                self._withdraw_locked(ticket, tenant)
+                if self._inflight >= self.limit.max_concurrent:
+                    return self._timed_out(started, reason, tenant)
+                self._admit_locked()
+            waited = timeout
         else:
-            self.stats.shed_timeout += 1
+            wait_until = started + timeout
+            with self._condition:
+                while True:
+                    if (self._granted is ticket
+                            and self._inflight < self.limit.max_concurrent):
+                        self._granted = None
+                        self._admit_locked()
+                        self._maybe_grant_locked()
+                        break
+                    remaining = wait_until - self.clock.now()
+                    if remaining <= 0:
+                        self._withdraw_locked(ticket, tenant)
+                        return self._timed_out(started, reason, tenant)
+                    self._condition.wait(timeout=remaining * time_scale)
+            waited = self.clock.now() - started
+        self.stats.total_queue_wait += waited
         if self._metric_wait is not None:
             self._metric_wait.inc(waited, service=self.service)
-        if self._metric_shed is not None:
-            self._metric_shed.inc(service=self.service, reason=reason)
+        return waited
+
+    def _withdraw_locked(self, ticket: object, tenant: str | None) -> None:
+        """Remove a fair-mode waiter that is giving up (caller holds lock)."""
+        if self._granted is ticket:
+            self._granted = None
+            self._maybe_grant_locked()
+        else:
+            self._fair.remove(tenant, ticket)
+
+    def _timed_out(self, started: float,
+                   reason: str = REASON_QUEUE_TIMEOUT,
+                   tenant: str | None = None) -> float:
+        waited = self.clock.now() - started
+        self.stats.total_queue_wait += waited
+        if self._metric_wait is not None:
+            self._metric_wait.inc(waited, service=self.service)
+        self._count_shed(reason, tenant)
         raise AdmissionRejectedError(self.service, reason,
                                      retry_after=self.limit.queue_timeout)
 
@@ -280,7 +403,12 @@ class Bulkhead:
             self._metric_admitted.inc(service=self.service)
 
     def release(self) -> None:
-        """Return a permit and wake one queued waiter."""
+        """Return a permit and wake the next waiter.
+
+        FIFO mode wakes one arbitrary waiter; fair mode grants the
+        permit to the DRR scheduler's choice and broadcasts, so the
+        chosen waiter (and any granted-but-raced waiter) re-checks.
+        """
         with self._condition:
             if self._inflight <= 0:
                 raise RuntimeError(
@@ -288,12 +416,16 @@ class Bulkhead:
             self._inflight -= 1
             if self._gauge_inflight is not None:
                 self._gauge_inflight.set(self._inflight, service=self.service)
-            self._condition.notify()
+            if self._fair is not None:
+                self._maybe_grant_locked()
+                self._condition.notify_all()
+            else:
+                self._condition.notify()
 
     @contextmanager
-    def admit(self) -> Iterator[None]:
+    def admit(self, tenant: str | None = None) -> Iterator[None]:
         """Context-managed acquire/release pair."""
-        self.acquire()
+        self.acquire(tenant=tenant)
         try:
             yield
         finally:
@@ -313,9 +445,20 @@ class AdmissionController:
 
     def __init__(self, clock: Clock,
                  default_limit: AdmissionLimit | None = None,
-                 limits: Mapping[str, AdmissionLimit] | None = None) -> None:
+                 limits: Mapping[str, AdmissionLimit] | None = None,
+                 fair: bool = False,
+                 weight_of: Callable[[str], float] | None = None) -> None:
+        """Build the controller.
+
+        ``fair=True`` makes every bulkhead drain its wait queue with
+        weighted-fair (deficit-round-robin) scheduling over per-tenant
+        sub-queues; ``weight_of`` maps a tenant id to its fair-share
+        weight (typically ``Tenancy.weight_of``).
+        """
         self.clock = clock
         self.default_limit = default_limit
+        self.fair = fair
+        self.weight_of = weight_of
         self._limits = dict(limits or {})
         self._bulkheads: dict[str, Bulkhead] = {}
         self._metrics = None
@@ -344,7 +487,8 @@ class AdmissionController:
             limit = self._limits.get(service, self.default_limit)
             if limit is None:
                 return None
-            bulkhead = Bulkhead(self.clock, service, limit)
+            bulkhead = Bulkhead(self.clock, service, limit,
+                                fair=self.fair, weight_of=self.weight_of)
             if self._metrics is not None:
                 bulkhead.bind_metrics(self._metrics)
             self._bulkheads[service] = bulkhead

@@ -97,13 +97,20 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-def cache_key(service: str, operation: str, payload: Mapping[str, object]) -> str:
-    """Canonical cache key: sorted-key JSON of the full request."""
-    return json.dumps(
-        {"service": service, "operation": operation, "payload": dict(payload)},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+def cache_key(service: str, operation: str, payload: Mapping[str, object],
+              tenant: str | None = None) -> str:
+    """Canonical cache key: sorted-key JSON of the full request.
+
+    ``tenant`` namespaces the key for multi-tenant isolation — two
+    tenants issuing the identical request get distinct entries, so one
+    can never read a response cached for the other.  Untenanted keys
+    (the default) are byte-identical to the historical format.
+    """
+    request = {"service": service, "operation": operation,
+               "payload": dict(payload)}
+    if tenant is not None:
+        request["tenant"] = tenant
+    return json.dumps(request, sort_keys=True, separators=(",", ":"))
 
 
 class ServiceCache:

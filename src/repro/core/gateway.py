@@ -39,6 +39,8 @@ from repro.simnet.errors import (
     RemoteServiceError,
     ServiceTimeoutError,
 )
+from repro.tenancy.context import tenant_scope
+from repro.tenancy.model import TenantSuspendedError
 from repro.util.deadline import Deadline, DeadlineExceededError
 from repro.util.errors import NotFoundError, SerializationError
 
@@ -46,6 +48,10 @@ from repro.util.errors import NotFoundError, SerializationError
 def _status_for(error: Exception) -> int:
     if isinstance(error, NotFoundError):
         return 404
+    # A suspended tenant is authenticated but forbidden: 403, not 429 —
+    # no amount of backoff will help until the operator unsuspends it.
+    if isinstance(error, TenantSuspendedError):
+        return 403
     # 429-family: the caller should back off and retry, not report a
     # server failure.  Rate limits, open circuits and shed admissions
     # carry a concrete "when" that handle() surfaces as a retry_after
@@ -71,7 +77,13 @@ class SdkGateway:
 
     Methods: ``invoke``, ``invoke_many``, ``invoke_failover``, ``rank_services``,
     ``best_service``, ``service_summaries``, ``cache_stats``, ``spend``,
-    ``metrics``, ``traces``, ``attribution`` and ``health``.
+    ``tenant_usage``, ``metrics``, ``traces``, ``attribution`` and ``health``.
+
+    A top-level ``"tenant"`` field in the request envelope (the
+    HTTP-header analogue) runs the method inside that tenant's scope,
+    so per-tenant budgets, rate limits, cache namespaces and fair
+    scheduling all apply; tenant policy refusals map to 429 (budget /
+    rate) or 403 (suspended).
     """
 
     def __init__(self, client: RichClient) -> None:
@@ -98,8 +110,17 @@ class SdkGateway:
         handler = getattr(self, f"_method_{method}", None)
         if handler is None:
             return self._error(404, f"unknown method {method!r}", "NotFoundError")
+        tenant = request.get("tenant")
+        if tenant is not None and not isinstance(tenant, str):
+            return self._error(400, "'tenant' must be a string", "ValueError")
         try:
-            result = handler(params)
+            if tenant is not None:
+                # The envelope's tenant field is the HTTP-header analogue:
+                # the whole method runs inside that tenant's scope.
+                with tenant_scope(tenant):
+                    result = handler(params)
+            else:
+                result = handler(params)
         except Exception as error:  # noqa: BLE001 — mapped to a status code
             return self._error(_status_for(error), str(error),
                                type(error).__name__,
@@ -270,6 +291,16 @@ class SdkGateway:
                 "cost": self.client.quota.cost(str(service)),
             }
         return {"total_cost": self.client.quota.total_cost()}
+
+    def _method_tenant_usage(self, params: Mapping[str, object]) -> dict:
+        """Per-tenant ledgers: one tenant's, or every registered tenant's."""
+        tenancy = self.client.tenancy
+        if tenancy is None:
+            raise ValueError("this deployment has no tenancy layer")
+        tenant = params.get("tenant")
+        if tenant is not None:
+            return tenancy.usage(str(tenant))
+        return {"tenants": tenancy.usage_report()}
 
     def _method_metrics(self, params: Mapping[str, object]) -> dict:
         """The SDK's metrics registry: exposition text plus raw numbers."""

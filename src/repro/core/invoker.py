@@ -32,6 +32,8 @@ from repro.core.retry import AttemptLog, FailoverInvoker, RetryPolicy
 from repro.obs import Observability
 from repro.services.base import ServiceRegistry, ServiceRequest
 from repro.simnet.errors import NetworkError
+from repro.tenancy.model import Tenant
+from repro.tenancy.runtime import REASON_SHED, Tenancy
 from repro.util.clock import Clock
 from repro.util.deadline import Deadline, DeadlineExceededError
 
@@ -104,6 +106,7 @@ class RichClient:
         rate_limiter: ServiceRateLimiter | None = None,
         coalescer: RequestCoalescer | None = None,
         admission: AdmissionController | None = None,
+        tenancy: Tenancy | None = None,
         coalesce_identical: bool = True,
         serve_stale_on_error: bool = False,
         stale_while_revalidate: bool = False,
@@ -128,6 +131,14 @@ class RichClient:
                 ``coalesce_identical`` is False.
             admission: per-service bulkheads; None = no admission
                 control.
+            tenancy: the multi-tenant serving layer
+                (:class:`repro.tenancy.Tenancy`); when set, calls made
+                inside a :func:`~repro.tenancy.context.tenant_scope`
+                are authorized against the tenant's budget and rate
+                limit, cached in a per-tenant namespace, labelled for
+                weighted-fair admission and counted in the tenant
+                metrics.  None (the default) = untenanted, behavior
+                unchanged.
             coalesce_identical: set False to disable coalescing without
                 supplying a coalescer.
             serve_stale_on_error: degrade gracefully — when a remote
@@ -166,6 +177,9 @@ class RichClient:
             coalescer = RequestCoalescer()
         self.coalescer = coalescer
         self.admission = admission
+        self.tenancy = tenancy
+        if tenancy is not None:
+            tenancy.attach_clock(self.clock)
         self.serve_stale_on_error = serve_stale_on_error
         self.stale_while_revalidate = stale_while_revalidate
         # Keys with an in-flight stale-while-revalidate refresh.
@@ -196,6 +210,8 @@ class RichClient:
             self.coalescer.bind_metrics(self.obs.metrics)
         if self.admission is not None:
             self.admission.bind_metrics(self.obs.metrics)
+        if self.tenancy is not None:
+            self.tenancy.bind_metrics(self.obs.metrics)
         metrics = self.obs.metrics
         self._metric_batch_flushes = metrics.counter(
             names.BATCH_FLUSHES_TOTAL, "Batched transport calls sent.").bind()
@@ -225,6 +241,32 @@ class RichClient:
 
         return ManualClock()
 
+    # -- tenancy ---------------------------------------------------------------
+
+    def _active_tenant(self) -> Tenant | None:
+        """The resolved tenant for the current context, or None.
+
+        Raises :class:`~repro.tenancy.model.TenantSuspendedError` /
+        :class:`~repro.tenancy.model.UnknownTenantError` when the scope
+        names a tenant the registry refuses — refusal happens before
+        any cache probe or protection spends work on the call.
+        """
+        if self.tenancy is None:
+            return None
+        return self.tenancy.resolve()
+
+    def _cache_tenant(self) -> str | None:
+        """Cache namespace for the active tenant (None = shared).
+
+        Tenants with ``isolated_cache=False`` opt back into the shared
+        namespace (useful for public reference data every tenant reads
+        identically).
+        """
+        tenant = self._active_tenant()
+        if tenant is None or not tenant.isolated_cache:
+            return None
+        return tenant.tenant_id
+
     # -- core invocation -------------------------------------------------------
 
     def cached_result(
@@ -253,7 +295,8 @@ class RichClient:
         """
         if not use_cache or operation not in self.cacheable_operations:
             return None
-        key = cache_key(service_name, operation, dict(payload))
+        key = cache_key(service_name, operation, dict(payload),
+                        tenant=self._cache_tenant())
         hit = self.cache.get(key)
         if hit is None:
             if allow_stale and self.stale_while_revalidate:
@@ -430,7 +473,9 @@ class RichClient:
             return hit
 
         cacheable = use_cache and operation in self.cacheable_operations
-        key = cache_key(service_name, operation, payload) if cacheable else None
+        key = (cache_key(service_name, operation, payload,
+                         tenant=self._cache_tenant())
+               if cacheable else None)
 
         if deadline is not None and deadline.expired():
             # Spent budget: a stale answer is the only useful response.
@@ -487,24 +532,56 @@ class RichClient:
     ) -> InvocationResult:
         """One real upstream call: protections, span, monitor, cache.
 
-        The client-side protections run in order: budget check, rate
-        limiter, then admission control — the bulkhead permit is held
-        for exactly the duration of the wire call, so it bounds
-        concurrency rather than call counts.  With a ``deadline``, the
-        bulkhead queues only within the remaining budget and the wire
-        timeout is clamped to whatever budget survives the queue wait.
+        The client-side protections run in order: tenant authorization
+        (rate limit then budget, when a tenant scope is active), the
+        client-wide budget reservation, rate limiter, then admission
+        control — the bulkhead permit is held for exactly the duration
+        of the wire call, so it bounds concurrency rather than call
+        counts.  Budgets are charged atomically up front (a call slot
+        plus the cost-model estimate) and settled to the billed cost on
+        success or refunded on failure, so a concurrent burst cannot
+        overshoot.  With a ``deadline``, the bulkhead queues only
+        within the remaining budget and the wire timeout is clamped to
+        whatever budget survives the queue wait.
         """
         tracer = self.obs.tracer
         with tracer.span(names.SPAN_SDK_INVOKE,
                          {"service": service_name, "operation": operation}) as span:
             trace_id = span.trace_id
-            self.quota.check(service_name)
-            if self.rate_limiter is not None:
-                self.rate_limiter.acquire_or_raise(service_name)
-            bulkhead = (self.admission.bulkhead_for(service_name)
-                        if self.admission is not None else None)
-            if bulkhead is not None:
-                bulkhead.acquire(deadline=deadline)
+            tenant = self._active_tenant()
+            if tenant is not None:
+                span.set_attribute("tenant", tenant.tenant_id)
+            # The cost estimate feeds the atomic budget reservations; it
+            # is only computed when some ledger will actually use it.
+            estimate = 0.0
+            if tenant is not None or self.quota.has_cost_limit(service_name):
+                estimate = service.cost_model.cost(
+                    ServiceRequest(operation, payload))
+            charge = (self.tenancy.authorize(tenant, estimate)
+                      if tenant is not None else None)
+            reservation = None
+            try:
+                reservation = self.quota.reserve(service_name, estimate)
+                if self.rate_limiter is not None:
+                    self.rate_limiter.acquire_or_raise(service_name)
+                bulkhead = (self.admission.bulkhead_for(service_name)
+                            if self.admission is not None else None)
+                if bulkhead is not None:
+                    try:
+                        bulkhead.acquire(
+                            deadline=deadline,
+                            tenant=tenant.tenant_id if tenant is not None else None)
+                    except AdmissionRejectedError:
+                        if tenant is not None:
+                            self.tenancy.count_rejection(
+                                tenant.tenant_id, REASON_SHED)
+                        raise
+            except Exception:
+                if reservation is not None:
+                    self.quota.cancel(reservation)
+                if charge is not None:
+                    self.tenancy.cancel(tenant, charge)
+                raise
             params = service.latency_params(ServiceRequest(operation, payload))
             rater = quality_rater or self.quality_raters.get(operation)
             try:
@@ -527,13 +604,18 @@ class RichClient:
                         trace_id=trace_id,
                     )
                 )
+                self.quota.cancel(reservation)
+                if charge is not None:
+                    self.tenancy.cancel(tenant, charge)
                 raise
             finally:
                 if bulkhead is not None:
                     bulkhead.release()
 
             quality = rater(response.value) if rater is not None else None
-            self.quota.record(service_name, response.cost)
+            self.quota.settle(reservation, response.cost)
+            if charge is not None:
+                self.tenancy.settle(tenant, charge, response.cost)
             self.monitor.record(
                 InvocationRecord(
                     service=service_name,
@@ -619,6 +701,12 @@ class RichClient:
         exceeds its declared limit; transport-level failures (offline,
         timeout) raise for the whole batch, because the single wire
         call failed for every item.
+
+        Under a tenant scope the batch is authorized as **one** tenant
+        call (one call slot, one rate token) charged with the summed
+        per-item cost estimate, settled to the summed billed cost —
+        the tenant-ledger analogue of the batch paying one wire round
+        trip.
         """
         payloads = [dict(payload) for payload in payloads]
         if not payloads:
@@ -632,29 +720,55 @@ class RichClient:
             trace_id = span.trace_id
             self._deadline_guard(
                 deadline, f"invoke_batched {service_name}.{operation}")
-            self.quota.check(service_name)
-            if self.rate_limiter is not None:
-                self.rate_limiter.acquire_or_raise(service_name)
-            bulkhead = (self.admission.bulkhead_for(service_name)
-                        if self.admission is not None else None)
-            if bulkhead is not None:
-                bulkhead.acquire(deadline=deadline)
+            tenant = self._active_tenant()
+            if tenant is not None:
+                span.set_attribute("tenant", tenant.tenant_id)
+            estimate = (sum(service.cost_model.cost(ServiceRequest(operation, p))
+                            for p in payloads)
+                        if tenant is not None else 0.0)
+            charge = (self.tenancy.authorize(tenant, estimate)
+                      if tenant is not None else None)
             try:
-                if deadline is not None:
-                    self._deadline_guard(
-                        deadline, f"invoke_batched {service_name}.{operation}")
-                    timeout = deadline.clamp(timeout)
-                responses = service.invoke_batch(operation, payloads,
-                                                 timeout=timeout)
-            finally:
+                self.quota.check(service_name)
+                if self.rate_limiter is not None:
+                    self.rate_limiter.acquire_or_raise(service_name)
+                bulkhead = (self.admission.bulkhead_for(service_name)
+                            if self.admission is not None else None)
                 if bulkhead is not None:
-                    bulkhead.release()
+                    try:
+                        bulkhead.acquire(
+                            deadline=deadline,
+                            tenant=tenant.tenant_id if tenant is not None else None)
+                    except AdmissionRejectedError:
+                        if tenant is not None:
+                            self.tenancy.count_rejection(
+                                tenant.tenant_id, REASON_SHED)
+                        raise
+                try:
+                    if deadline is not None:
+                        self._deadline_guard(
+                            deadline, f"invoke_batched {service_name}.{operation}")
+                        timeout = deadline.clamp(timeout)
+                    responses = service.invoke_batch(operation, payloads,
+                                                     timeout=timeout)
+                finally:
+                    if bulkhead is not None:
+                        bulkhead.release()
+            except Exception:
+                if charge is not None:
+                    self.tenancy.cancel(tenant, charge)
+                raise
+            if charge is not None:
+                billed = sum(response.cost for response in responses
+                             if not isinstance(response, Exception))
+                self.tenancy.settle(tenant, charge, billed)
             if self._metric_batch_flushes is not None:
                 self._metric_batch_flushes.inc()
                 self._metric_batch_items.inc(len(payloads))
                 self._metric_batch_size.observe(float(len(payloads)))
             now = self.clock.now()
             cacheable = use_cache and operation in self.cacheable_operations
+            namespace = self._cache_tenant() if cacheable else None
             batch_latency = 0.0
             outcomes: list[InvocationResult | Exception] = []
             for payload, response in zip(payloads, responses):
@@ -688,7 +802,8 @@ class RichClient:
                 )
                 if cacheable:
                     self.cache.put(
-                        cache_key(service_name, operation, payload),
+                        cache_key(service_name, operation, payload,
+                                  tenant=namespace),
                         response.value)
                 outcomes.append(InvocationResult(
                     value=response.value,
@@ -735,9 +850,11 @@ class RichClient:
                 remaining.append(index)
 
         # In-batch dedup: identical payloads ride one upstream item.
+        namespace = self._cache_tenant()
         groups: dict[str, list[int]] = {}
         for index in remaining:
-            key = cache_key(service_name, operation, payloads[index])
+            key = cache_key(service_name, operation, payloads[index],
+                            tenant=namespace)
             groups.setdefault(key, []).append(index)
         folded = len(remaining) - len(groups)
         if folded and self.coalescer is not None:

@@ -11,6 +11,7 @@ incentive to limit the number of service invocations."
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.util.errors import ReproError
@@ -41,19 +42,46 @@ class _Spend:
 
 
 @dataclass
+class QuotaReservation:
+    """A call slot plus estimated cost charged atomically up front.
+
+    Handed out by :meth:`ClientQuotaTracker.reserve`; the caller must
+    either :meth:`~ClientQuotaTracker.settle` it (the call completed,
+    true-up to the billed cost) or :meth:`~ClientQuotaTracker.cancel`
+    it (the call failed, refund the slot and the estimate).
+    """
+
+    service: str
+    estimated_cost: float = 0.0
+    open: bool = True
+
+
+@dataclass
 class ClientQuotaTracker:
-    """Tracks spend and enforces optional self-imposed budgets."""
+    """Tracks spend and enforces optional self-imposed budgets.
+
+    Thread-safe.  The historical :meth:`check` / :meth:`record` pair is
+    kept for sequential callers, but it is **racy under concurrency**:
+    a burst of threads can all pass ``check`` before any of them
+    ``record``s, overshooting ``max_calls`` and ``max_cost``.  The
+    invoker therefore uses the atomic :meth:`reserve` /
+    :meth:`settle` / :meth:`cancel` path, which charges the call slot
+    and the estimated cost in the same critical section as the check.
+    """
 
     budgets: dict[str, ServiceBudget] = field(default_factory=dict)
     _spend: dict[str, _Spend] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def set_budget(self, service: str, max_calls: int | None = None,
                    max_cost: float | None = None) -> None:
         """Set (or replace) this service's self-imposed budget."""
-        self.budgets[service] = ServiceBudget(max_calls=max_calls, max_cost=max_cost)
+        with self._lock:
+            self.budgets[service] = ServiceBudget(max_calls=max_calls,
+                                                  max_cost=max_cost)
 
-    def check(self, service: str, upcoming_cost: float = 0.0) -> None:
-        """Raise :class:`BudgetExceededError` if one more call would overspend."""
+    def _check_locked(self, service: str, upcoming_cost: float) -> None:
         budget = self.budgets.get(service)
         if budget is None:
             return
@@ -63,27 +91,90 @@ class ClientQuotaTracker:
         if budget.max_cost is not None and spend.cost + upcoming_cost > budget.max_cost:
             raise BudgetExceededError(service, "cost", budget.max_cost)
 
+    def check(self, service: str, upcoming_cost: float = 0.0) -> None:
+        """Raise :class:`BudgetExceededError` if one more call would overspend.
+
+        Check-only: nothing is charged, so two threads that both pass
+        can still jointly overspend.  Concurrent callers should use
+        :meth:`reserve` instead.
+        """
+        with self._lock:
+            self._check_locked(service, upcoming_cost)
+
+    def has_cost_limit(self, service: str) -> bool:
+        """Whether this service has a ``max_cost`` budget configured.
+
+        The invoker uses this to skip computing a cost estimate on the
+        hot path when no ledger would ever look at it.
+        """
+        with self._lock:
+            budget = self.budgets.get(service)
+            return budget is not None and budget.max_cost is not None
+
+    def reserve(self, service: str,
+                estimated_cost: float = 0.0) -> QuotaReservation:
+        """Atomically check the budget **and** charge one call.
+
+        The call slot and ``estimated_cost`` are charged in the same
+        critical section as the check, so a concurrent burst cannot
+        overshoot ``max_calls`` (each admitted call holds its slot) or
+        ``max_cost`` beyond estimate error.  Pair with :meth:`settle`
+        on success (adjusts to the actual billed cost) or
+        :meth:`cancel` on failure (refunds slot and estimate).
+        """
+        with self._lock:
+            self._check_locked(service, estimated_cost)
+            spend = self._spend.setdefault(service, _Spend())
+            spend.calls += 1
+            spend.cost += estimated_cost
+        return QuotaReservation(service, estimated_cost)
+
+    def settle(self, reservation: QuotaReservation, actual_cost: float) -> None:
+        """True a reservation up to the cost the service actually billed."""
+        with self._lock:
+            if not reservation.open:
+                raise ValueError("reservation already settled or cancelled")
+            reservation.open = False
+            spend = self._spend.setdefault(reservation.service, _Spend())
+            spend.cost += actual_cost - reservation.estimated_cost
+
+    def cancel(self, reservation: QuotaReservation) -> None:
+        """Refund a reservation whose call never completed."""
+        with self._lock:
+            if not reservation.open:
+                raise ValueError("reservation already settled or cancelled")
+            reservation.open = False
+            spend = self._spend.setdefault(reservation.service, _Spend())
+            spend.calls -= 1
+            spend.cost -= reservation.estimated_cost
+
     def record(self, service: str, cost: float) -> None:
         """Charge one completed call's cost against the ledger."""
-        spend = self._spend.setdefault(service, _Spend())
-        spend.calls += 1
-        spend.cost += cost
+        with self._lock:
+            spend = self._spend.setdefault(service, _Spend())
+            spend.calls += 1
+            spend.cost += cost
 
     def calls(self, service: str) -> int:
         """Calls recorded for this service."""
-        return self._spend.get(service, _Spend()).calls
+        with self._lock:
+            return self._spend.get(service, _Spend()).calls
 
     def cost(self, service: str) -> float:
         """Spend recorded for this service."""
-        return self._spend.get(service, _Spend()).cost
+        with self._lock:
+            return self._spend.get(service, _Spend()).cost
 
     def total_cost(self) -> float:
         """Spend recorded across every service."""
-        return sum(spend.cost for spend in self._spend.values())
+        with self._lock:
+            return sum(spend.cost for spend in self._spend.values())
 
     def remaining_calls(self, service: str) -> int | None:
         """Calls left under the budget (None = unlimited)."""
-        budget = self.budgets.get(service)
-        if budget is None or budget.max_calls is None:
-            return None
-        return max(0, budget.max_calls - self.calls(service))
+        with self._lock:
+            budget = self.budgets.get(service)
+            if budget is None or budget.max_calls is None:
+                return None
+            spend = self._spend.get(service, _Spend())
+            return max(0, budget.max_calls - spend.calls)

@@ -37,6 +37,7 @@ from repro.stores.rdf.query import select
 from repro.stores.rdf.reasoner import RdfsReasoner, TransitiveReasoner
 from repro.stores.rdf.rules import GenericRuleReasoner, Rule
 from repro.stores.relational import Database, Table
+from repro.tenancy.context import current_tenant
 from repro.util.errors import ConfigurationError, NotFoundError
 
 
@@ -224,7 +225,11 @@ class PersonalKnowledgeBase:
         """
         if self._metric_queries is not None:
             self._metric_queries.inc()
-        span = (self._tracer.span(names.SPAN_KB_QUERY, {"patterns": len(patterns)})
+        attributes = {"patterns": len(patterns)}
+        tenant = current_tenant()
+        if tenant is not None:
+            attributes["tenant"] = tenant
+        span = (self._tracer.span(names.SPAN_KB_QUERY, attributes)
                 if self._tracer is not None else nullcontext())
         with span:
             if self.view is not None:

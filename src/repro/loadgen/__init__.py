@@ -1,0 +1,36 @@
+"""repro.loadgen — deterministic multi-tenant load generation.
+
+The measurement companion to :mod:`repro.tenancy`: a discrete-event
+simulator (:mod:`~repro.loadgen.driver`) that drives Zipf-skewed
+tenant populations — tens of thousands of tenants, scripted aggressors
+— against fair (DRR) or FIFO queueing on the virtual clock, reporting
+per-tenant p50/p99 latency, shed rates and Jain's fairness index
+(:mod:`~repro.loadgen.report`); plus an end-to-end smoke scenario
+(:mod:`~repro.loadgen.smoke`) that machine-checks the tenant-isolation
+contract on the real SDK stack.  ``python -m repro.loadgen --help``
+for the CLI.
+"""
+
+from repro.loadgen.driver import (
+    DISCIPLINE_FAIR,
+    DISCIPLINE_FIFO,
+    LoadDriver,
+    LoadSpec,
+    run_spec,
+)
+from repro.loadgen.report import RunReport, TenantStats, jain_index
+from repro.loadgen.workload import Aggressor, TenantPopulation, ZipfSampler
+
+__all__ = [
+    "LoadSpec",
+    "LoadDriver",
+    "run_spec",
+    "RunReport",
+    "TenantStats",
+    "jain_index",
+    "Aggressor",
+    "TenantPopulation",
+    "ZipfSampler",
+    "DISCIPLINE_FAIR",
+    "DISCIPLINE_FIFO",
+]

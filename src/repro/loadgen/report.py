@@ -1,0 +1,176 @@
+"""Run reports: per-tenant latency percentiles, shed rates, fairness.
+
+The driver produces a :class:`RunReport`; benchmarks persist its
+:meth:`~RunReport.to_dict` as machine-readable JSON and print its
+:meth:`~RunReport.render` text.  Fairness is summarized with **Jain's
+index** over weight-normalized delivered fractions — 1.0 means every
+tenant got the same share of what it asked for, 1/n means one tenant
+got everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytics.stats import mean, percentile
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when all values are equal; approaches ``1/n`` as one value
+    dominates.  Empty or all-zero inputs score 1.0 (nothing was unfair
+    because nothing happened).
+    """
+    if not values:
+        return 1.0
+    square_sum = sum(value * value for value in values)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(values)
+    return (total * total) / (len(values) * square_sum)
+
+
+@dataclass
+class TenantStats:
+    """One tenant's ledger for a run."""
+
+    tenant_id: str
+    weight: float = 1.0
+    arrivals: int = 0
+    completions: int = 0
+    sheds: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of this tenant's arrivals that were refused."""
+        return self.sheds / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Completions over arrivals — the share of offered load served."""
+        return self.completions / self.arrivals if self.arrivals else 0.0
+
+    def latency_percentile(self, fraction: float) -> float | None:
+        """Interpolated completion-latency percentile (None = no data)."""
+        if not self.latencies:
+            return None
+        return percentile(self.latencies, fraction)
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (latency samples are not included)."""
+        return {
+            "tenant": self.tenant_id,
+            "weight": self.weight,
+            "arrivals": self.arrivals,
+            "completions": self.completions,
+            "sheds": self.sheds,
+            "shed_rate": round(self.shed_rate, 6),
+            "delivered_fraction": round(self.delivered_fraction, 6),
+            "p50": _rounded(self.latency_percentile(0.50)),
+            "p99": _rounded(self.latency_percentile(0.99)),
+            "mean": _rounded(mean(self.latencies)) if self.latencies else None,
+        }
+
+
+def _rounded(value: float | None) -> float | None:
+    return round(value, 6) if value is not None else None
+
+
+@dataclass
+class RunReport:
+    """Everything one load-generation run measured."""
+
+    discipline: str
+    seed: int
+    duration: float
+    tenants: dict[str, TenantStats]
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(stats.arrivals for stats in self.tenants.values())
+
+    @property
+    def total_completions(self) -> int:
+        return sum(stats.completions for stats in self.tenants.values())
+
+    @property
+    def total_sheds(self) -> int:
+        return sum(stats.sheds for stats in self.tenants.values())
+
+    @property
+    def shed_rate(self) -> float:
+        arrivals = self.total_arrivals
+        return self.total_sheds / arrivals if arrivals else 0.0
+
+    def overall_percentile(self, fraction: float) -> float | None:
+        """Latency percentile across every completed request."""
+        merged: list[float] = []
+        for stats in self.tenants.values():
+            merged.extend(stats.latencies)
+        return percentile(merged, fraction) if merged else None
+
+    def fairness(self, min_arrivals: int = 1) -> float:
+        """Jain's index over weight-normalized delivered fractions.
+
+        Only tenants that offered at least ``min_arrivals`` requests
+        participate — idle tenants received nothing because they asked
+        for nothing, which is not unfairness.
+        """
+        values = [stats.delivered_fraction / stats.weight
+                  for stats in self.tenants.values()
+                  if stats.arrivals >= min_arrivals]
+        return jain_index(values)
+
+    def tenant(self, tenant_id: str) -> TenantStats:
+        """One tenant's stats (KeyError when it never appeared)."""
+        return self.tenants[tenant_id]
+
+    def to_dict(self) -> dict:
+        """Machine-readable report (stable ordering, rounded floats)."""
+        return {
+            "discipline": self.discipline,
+            "seed": self.seed,
+            "duration": self.duration,
+            "arrivals": self.total_arrivals,
+            "completions": self.total_completions,
+            "sheds": self.total_sheds,
+            "shed_rate": round(self.shed_rate, 6),
+            "fairness_jain": round(self.fairness(), 6),
+            "p50": _rounded(self.overall_percentile(0.50)),
+            "p99": _rounded(self.overall_percentile(0.99)),
+            "tenants": [self.tenants[tenant_id].to_dict()
+                        for tenant_id in sorted(self.tenants)],
+        }
+
+    def render(self, top: int = 10) -> str:
+        """Human-readable summary: aggregate line plus the busiest tenants."""
+        lines = [
+            f"loadgen run: discipline={self.discipline} seed={self.seed} "
+            f"duration={self.duration:g}s",
+            f"  arrivals={self.total_arrivals} "
+            f"completions={self.total_completions} "
+            f"sheds={self.total_sheds} "
+            f"(shed rate {self.shed_rate:.1%})",
+            f"  p50={_fmt(self.overall_percentile(0.50))} "
+            f"p99={_fmt(self.overall_percentile(0.99))} "
+            f"jain={self.fairness():.4f} "
+            f"({len(self.tenants)} tenants)",
+        ]
+        busiest = sorted(self.tenants.values(),
+                         key=lambda stats: (-stats.arrivals, stats.tenant_id))
+        if busiest[:top]:
+            lines.append("  busiest tenants:")
+            lines.append("    tenant    arrivals  done  shed     p50      p99")
+        for stats in busiest[:top]:
+            lines.append(
+                f"    {stats.tenant_id:<9} {stats.arrivals:>8} "
+                f"{stats.completions:>5} {stats.sheds:>5} "
+                f"{_fmt(stats.latency_percentile(0.50)):>7} "
+                f"{_fmt(stats.latency_percentile(0.99)):>8}")
+        return "\n".join(lines)
+
+
+def _fmt(value: float | None) -> str:
+    return f"{value:.4f}" if value is not None else "-"

@@ -1,0 +1,109 @@
+"""Workload specification: tenant populations, Zipf skew, aggressors.
+
+Real multi-tenant traffic is heavy-tailed — a handful of applications
+generate most of the requests while a long tail stays mostly idle.
+:class:`TenantPopulation` models that with a Zipf popularity law over
+tenant ranks, and :class:`Aggressor` scripts the adversarial case the
+fairness benchmark needs: one tenant deliberately offering a multiple
+of its fair share for a window of the run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.util.rng import SeededRng
+
+
+class ZipfSampler:
+    """Zipf-skewed index sampler with O(log n) draws.
+
+    Same popularity law as :meth:`repro.util.rng.SeededRng.zipf_index`
+    (rank ``r`` weighs ``1 / (r + 1) ** exponent``, rank 0 most
+    popular) but the cumulative mass is precomputed once, so sampling
+    a population of tens of thousands of tenants is one bisect per
+    draw instead of an O(n) scan.
+    """
+
+    def __init__(self, size: int, exponent: float = 1.0) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        if exponent < 0:
+            raise ValueError(f"exponent must be >= 0, got {exponent}")
+        self.size = size
+        self.exponent = exponent
+        cumulative: list[float] = []
+        total = 0.0
+        for rank in range(size):
+            total += 1.0 / (rank + 1) ** exponent
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def draw(self, rng: SeededRng) -> int:
+        """One index in ``[0, size)``; all randomness comes from ``rng``."""
+        return bisect_left(self._cumulative, rng.random() * self._total)
+
+    def share(self, rank: int) -> float:
+        """Rank's fraction of the total arrival mass (sums to 1.0)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside [0, {self.size})")
+        return (1.0 / (rank + 1) ** self.exponent) / self._total
+
+
+@dataclass(frozen=True)
+class Aggressor:
+    """A scripted misbehaving tenant.
+
+    During ``[start, stop)`` (stop ``None`` = until the run ends) the
+    tenant at ``rank`` offers ``multiplier`` times its natural Zipf
+    arrival rate *on top of* the background stream — the 10x flood the
+    fairness benchmark throws at the scheduler.
+    """
+
+    rank: int
+    multiplier: float = 10.0
+    start: float = 0.0
+    stop: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.multiplier <= 0:
+            raise ValueError(
+                f"multiplier must be positive, got {self.multiplier}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError("stop must be after start")
+
+    def active_until(self, duration: float) -> float:
+        """When this aggressor's stream ends, clamped to the run."""
+        return min(self.stop, duration) if self.stop is not None else duration
+
+
+class TenantPopulation:
+    """``size`` tenants with Zipf-distributed arrival popularity.
+
+    Tenant ids are stable (``t00000``, ``t00001``, ... by rank) so runs
+    with the same spec name the same tenants; the load driver samples
+    arrival tenants through :attr:`sampler`.
+    """
+
+    def __init__(self, size: int, zipf_exponent: float = 1.0,
+                 prefix: str = "t") -> None:
+        self.size = size
+        self.prefix = prefix
+        self.sampler = ZipfSampler(size, zipf_exponent)
+
+    def tenant_id(self, rank: int) -> str:
+        """The stable id for one rank (zero-padded for sortability)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside [0, {self.size})")
+        return f"{self.prefix}{rank:05d}"
+
+    def arrival_share(self, rank: int) -> float:
+        """Rank's share of background arrivals (the Zipf mass)."""
+        return self.sampler.share(rank)
+
+    def __len__(self) -> int:
+        return self.size

@@ -44,6 +44,12 @@ ADMISSION_ADMITTED_TOTAL = "admission_admitted_total"
 ADMISSION_SHED_TOTAL = "admission_shed_total"
 ADMISSION_QUEUE_WAIT_SECONDS_TOTAL = "admission_queue_wait_seconds_total"
 
+# -- tenancy -------------------------------------------------------------------
+TENANT_REQUESTS_TOTAL = "tenant_requests_total"
+TENANT_REJECTED_TOTAL = "tenant_rejected_total"
+TENANT_COST_TOTAL = "tenant_cost_total"
+ADMISSION_FAIR_GRANTS_TOTAL = "admission_fair_grants_total"
+
 # -- retry / failover ----------------------------------------------------------
 RETRY_BACKOFF_SECONDS_TOTAL = "retry_backoff_seconds_total"
 FAILOVER_EXHAUSTED_TOTAL = "failover_exhausted_total"

@@ -1,0 +1,144 @@
+"""Per-tenant budgets and rate limits.
+
+Composes the SDK's existing client-side protections per tenant: one
+:class:`~repro.core.quota.ClientQuotaTracker` ledger (budget keyed
+across all services) and one :class:`~repro.core.ratelimit.TokenBucket`
+per tenant that declares a ``rate``.  Both checks run on the atomic
+reserve path, so a concurrent burst from one tenant cannot overshoot
+its budget, and a rejected tenant is refused *before* any service-level
+protection spends work on its request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.quota import (
+    BudgetExceededError,
+    ClientQuotaTracker,
+    QuotaReservation,
+)
+from repro.core.ratelimit import RateLimitExceededError, TokenBucket
+from repro.tenancy.model import Tenant
+from repro.util.clock import Clock
+
+#: Ledger key under which a tenant's cross-service spend accumulates.
+ALL_SERVICES = "*"
+
+
+class TenantBudgetExceededError(BudgetExceededError):
+    """A tenant's self-imposed budget refused one more call.
+
+    Subclasses :class:`BudgetExceededError` so the gateway's existing
+    429 mapping applies unchanged; carries the tenant id for the
+    rejection metrics.
+    """
+
+    def __init__(self, tenant_id: str, kind: str, limit: float) -> None:
+        super().__init__(f"tenant:{tenant_id}", kind, limit)
+        self.tenant_id = tenant_id
+
+
+class TenantRateLimitedError(RateLimitExceededError):
+    """A tenant's token bucket was empty.
+
+    Subclasses :class:`RateLimitExceededError`, so the gateway returns
+    429 with the bucket's honest ``retry_after`` hint.
+    """
+
+    def __init__(self, tenant_id: str, wait_needed: float) -> None:
+        super().__init__(f"tenant:{tenant_id}", wait_needed)
+        self.tenant_id = tenant_id
+
+
+class TenantCharge:
+    """One authorized call's pending charge against a tenant's ledger."""
+
+    __slots__ = ("tenant_id", "reservation")
+
+    def __init__(self, tenant_id: str, reservation: QuotaReservation) -> None:
+        self.tenant_id = tenant_id
+        self.reservation = reservation
+
+
+class TenantLimiter:
+    """Per-tenant quota ledgers and token buckets, built lazily.
+
+    One instance serves every tenant: state is keyed by tenant id and
+    created on first use from the tenant's declared terms, so a
+    population of tens of thousands of mostly-idle tenants costs
+    nothing until each first call.
+    """
+
+    def __init__(self, clock: Clock) -> None:
+        self.clock = clock
+        self._trackers: dict[str, ClientQuotaTracker] = {}
+        self._buckets: dict[str, TokenBucket | None] = {}
+        self._lock = threading.Lock()
+
+    def _tracker_for(self, tenant: Tenant) -> ClientQuotaTracker:
+        with self._lock:
+            tracker = self._trackers.get(tenant.tenant_id)
+            if tracker is None:
+                tracker = ClientQuotaTracker()
+                tracker.set_budget(ALL_SERVICES, max_calls=tenant.max_calls,
+                                   max_cost=tenant.max_cost)
+                self._trackers[tenant.tenant_id] = tracker
+            return tracker
+
+    def _bucket_for(self, tenant: Tenant) -> TokenBucket | None:
+        with self._lock:
+            if tenant.tenant_id not in self._buckets:
+                bucket = None
+                if tenant.rate is not None:
+                    bucket = TokenBucket(self.clock, tenant.rate,
+                                         burst=tenant.burst,
+                                         service=f"tenant:{tenant.tenant_id}")
+                self._buckets[tenant.tenant_id] = bucket
+            return self._buckets[tenant.tenant_id]
+
+    def authorize(self, tenant: Tenant,
+                  estimated_cost: float = 0.0) -> TenantCharge:
+        """Admit one call under the tenant's terms, or raise.
+
+        Order: token bucket first (rate violations are cheap to refuse
+        and refill on their own), then the atomic budget reservation.
+        Raises :class:`TenantRateLimitedError` or
+        :class:`TenantBudgetExceededError`; on success returns a
+        :class:`TenantCharge` to :meth:`settle` or :meth:`cancel`.
+        """
+        bucket = self._bucket_for(tenant)
+        if bucket is not None:
+            try:
+                bucket.acquire_or_raise()
+            except RateLimitExceededError as error:
+                raise TenantRateLimitedError(
+                    tenant.tenant_id, error.wait_needed) from error
+        tracker = self._tracker_for(tenant)
+        try:
+            reservation = tracker.reserve(ALL_SERVICES, estimated_cost)
+        except BudgetExceededError as error:
+            raise TenantBudgetExceededError(
+                tenant.tenant_id, error.kind, error.limit) from error
+        return TenantCharge(tenant.tenant_id, reservation)
+
+    def settle(self, tenant: Tenant, charge: TenantCharge,
+               actual_cost: float) -> None:
+        """True the charge up to what the call actually billed."""
+        self._tracker_for(tenant).settle(charge.reservation, actual_cost)
+
+    def cancel(self, tenant: Tenant, charge: TenantCharge) -> None:
+        """Refund a charge whose call failed."""
+        self._tracker_for(tenant).cancel(charge.reservation)
+
+    def usage(self, tenant: Tenant) -> dict:
+        """The tenant's ledger: calls, cost, throttle count."""
+        tracker = self._tracker_for(tenant)
+        bucket = self._bucket_for(tenant)
+        return {
+            "tenant": tenant.tenant_id,
+            "calls": tracker.calls(ALL_SERVICES),
+            "cost": tracker.cost(ALL_SERVICES),
+            "remaining_calls": tracker.remaining_calls(ALL_SERVICES),
+            "throttled": bucket.stats.throttled if bucket is not None else 0,
+        }

@@ -1,0 +1,79 @@
+"""Tenant-scoped resources: one Personalized Knowledge Base per tenant.
+
+The paper's PKB is *personal* — §4's whole point — so a multi-tenant
+deployment needs one KB instance per tenant, not one shared graph.
+:class:`TenantPkbManager` materializes them lazily: the first access
+for a tenant builds a :class:`~repro.kb.knowledge_base.PersonalKnowledgeBase`
+over the shared :class:`~repro.core.invoker.RichClient` (optionally
+rooted in a per-tenant data directory so on-disk state is isolated
+too), and :meth:`scope` pairs the KB with a
+:func:`~repro.tenancy.context.tenant_scope` so every service call the
+KB makes — disambiguation, ingestion, secure persistence — is charged,
+rate-limited, cached and traced as that tenant.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.tenancy.context import tenant_scope
+from repro.tenancy.model import TenantRegistry
+
+
+class TenantPkbManager:
+    """Lazily builds and hands out per-tenant knowledge bases.
+
+    ``registry`` validates tenant ids (auto-registering guests when it
+    allows that); ``data_dir``, when given, roots each tenant's KB at
+    ``data_dir/<tenant_id>`` so persisted state is isolated on disk.
+    Extra ``kb_kwargs`` are forwarded to every PKB constructor
+    (disambiguator, spellchecker, ...).
+    """
+
+    def __init__(self, client=None, registry: TenantRegistry | None = None,
+                 data_dir: str | Path | None = None, **kb_kwargs) -> None:
+        self.client = client
+        self.registry = registry if registry is not None else TenantRegistry()
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.kb_kwargs = kb_kwargs
+        self._kbs: dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def pkb_for(self, tenant_id: str):
+        """The tenant's knowledge base, built on first access."""
+        self.registry.resolve(tenant_id)
+        with self._lock:
+            kb = self._kbs.get(tenant_id)
+            if kb is None:
+                from repro.kb.knowledge_base import PersonalKnowledgeBase
+
+                tenant_dir = (self.data_dir / tenant_id
+                              if self.data_dir is not None else None)
+                kb = PersonalKnowledgeBase(client=self.client,
+                                           data_dir=tenant_dir,
+                                           **self.kb_kwargs)
+                self._kbs[tenant_id] = kb
+            return kb
+
+    @contextmanager
+    def scope(self, tenant_id: str) -> Iterator[object]:
+        """The tenant's KB with its tenant context active.
+
+        Everything the KB does inside the block — queries, inference,
+        remote persistence through the client — runs as ``tenant_id``.
+        """
+        kb = self.pkb_for(tenant_id)
+        with tenant_scope(tenant_id):
+            yield kb
+
+    def tenants(self) -> list[str]:
+        """Tenants whose KB has been materialized, sorted."""
+        with self._lock:
+            return sorted(self._kbs)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._kbs)

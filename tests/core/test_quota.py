@@ -1,5 +1,7 @@
 """Tests for client-side quota/budget tracking."""
 
+import threading
+
 import pytest
 
 from repro.core.quota import BudgetExceededError, ClientQuotaTracker
@@ -59,3 +61,74 @@ class TestBudgets:
         with pytest.raises(BudgetExceededError):
             tracker.check("a")
         tracker.check("b")  # other services unaffected
+
+
+class TestReservations:
+    def test_reserve_charges_up_front(self, tracker):
+        reservation = tracker.reserve("svc", estimated_cost=0.05)
+        assert tracker.calls("svc") == 1
+        assert tracker.cost("svc") == pytest.approx(0.05)
+        assert reservation.open
+
+    def test_settle_trues_up_to_actual(self, tracker):
+        reservation = tracker.reserve("svc", estimated_cost=0.05)
+        tracker.settle(reservation, 0.02)
+        assert tracker.calls("svc") == 1
+        assert tracker.cost("svc") == pytest.approx(0.02)
+
+    def test_cancel_refunds_slot_and_estimate(self, tracker):
+        reservation = tracker.reserve("svc", estimated_cost=0.05)
+        tracker.cancel(reservation)
+        assert tracker.calls("svc") == 0
+        assert tracker.cost("svc") == 0.0
+
+    def test_reservation_cannot_be_closed_twice(self, tracker):
+        reservation = tracker.reserve("svc")
+        tracker.settle(reservation, 0.01)
+        with pytest.raises(ValueError):
+            tracker.settle(reservation, 0.01)
+        with pytest.raises(ValueError):
+            tracker.cancel(reservation)
+
+    def test_reserve_refuses_over_call_budget(self, tracker):
+        tracker.set_budget("svc", max_calls=1)
+        tracker.reserve("svc")
+        with pytest.raises(BudgetExceededError):
+            tracker.reserve("svc")
+
+    def test_reserve_counts_estimate_against_cost_budget(self, tracker):
+        tracker.set_budget("svc", max_cost=0.10)
+        tracker.reserve("svc", estimated_cost=0.08)
+        with pytest.raises(BudgetExceededError):
+            tracker.reserve("svc", estimated_cost=0.05)
+
+    def test_has_cost_limit(self, tracker):
+        assert not tracker.has_cost_limit("svc")
+        tracker.set_budget("svc", max_calls=5)
+        assert not tracker.has_cost_limit("svc")
+        tracker.set_budget("svc", max_cost=1.0)
+        assert tracker.has_cost_limit("svc")
+
+    def test_concurrent_burst_cannot_overshoot_max_calls(self, tracker):
+        # Regression: the check()/record() pair was racy — a burst of
+        # threads could all pass check() before any record()ed.  The
+        # atomic reserve path must admit exactly max_calls of them.
+        tracker.set_budget("svc", max_calls=10)
+        admitted, refused = [], []
+        barrier = threading.Barrier(32)
+
+        def worker():
+            barrier.wait()
+            try:
+                admitted.append(tracker.reserve("svc"))
+            except BudgetExceededError:
+                refused.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 10
+        assert len(refused) == 22
+        assert tracker.calls("svc") == 10

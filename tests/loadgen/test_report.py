@@ -1,0 +1,104 @@
+"""Tests for load-run reporting: Jain's index, tenant stats, reports."""
+
+import pytest
+
+from repro.loadgen.report import RunReport, TenantStats, jain_index
+
+
+class TestJainIndex:
+    def test_equal_shares_score_one(self):
+        assert jain_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_monopoly_approaches_one_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_all_zero_are_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_mild_skew_scores_between(self):
+        value = jain_index([1.0, 0.5])
+        assert 0.25 < value < 1.0
+
+
+class TestTenantStats:
+    def test_rates(self):
+        stats = TenantStats("t1", arrivals=10, completions=7, sheds=3)
+        assert stats.shed_rate == pytest.approx(0.3)
+        assert stats.delivered_fraction == pytest.approx(0.7)
+
+    def test_idle_tenant_rates_are_zero(self):
+        stats = TenantStats("t1")
+        assert stats.shed_rate == 0.0
+        assert stats.delivered_fraction == 0.0
+
+    def test_percentiles(self):
+        stats = TenantStats("t1", latencies=[0.1, 0.2, 0.3, 0.4])
+        assert stats.latency_percentile(0.5) == pytest.approx(0.25)
+        assert TenantStats("t1").latency_percentile(0.5) is None
+
+    def test_to_dict_survives_no_data(self):
+        payload = TenantStats("t1", arrivals=2, sheds=2).to_dict()
+        assert payload["p99"] is None
+        assert payload["mean"] is None
+        assert payload["shed_rate"] == 1.0
+
+
+def _report(tenants):
+    return RunReport(discipline="fair", seed=7, duration=10.0,
+                     tenants={stats.tenant_id: stats for stats in tenants})
+
+
+class TestRunReport:
+    def test_totals(self):
+        report = _report([
+            TenantStats("a", arrivals=10, completions=8, sheds=2),
+            TenantStats("b", arrivals=5, completions=5),
+        ])
+        assert report.total_arrivals == 15
+        assert report.total_completions == 13
+        assert report.shed_rate == pytest.approx(2 / 15)
+
+    def test_fairness_normalizes_by_weight(self):
+        # A weight-2 tenant delivered at double the fraction is *fair*.
+        report = _report([
+            TenantStats("heavy", weight=2.0, arrivals=10, completions=10),
+            TenantStats("light", weight=1.0, arrivals=10, completions=5),
+        ])
+        assert report.fairness() == pytest.approx(1.0)
+
+    def test_fairness_ignores_idle_tenants(self):
+        report = _report([
+            TenantStats("busy", arrivals=10, completions=10),
+            TenantStats("idle"),
+        ])
+        assert report.fairness(min_arrivals=1) == pytest.approx(1.0)
+
+    def test_fairness_penalizes_starvation(self):
+        report = _report([
+            TenantStats("winner", arrivals=10, completions=10),
+            TenantStats("starved", arrivals=10, completions=0),
+        ])
+        assert report.fairness() == pytest.approx(0.5)
+
+    def test_to_dict_orders_tenants(self):
+        report = _report([TenantStats("b", arrivals=1),
+                          TenantStats("a", arrivals=1)])
+        payload = report.to_dict()
+        assert [entry["tenant"] for entry in payload["tenants"]] == ["a", "b"]
+
+    def test_tenant_lookup(self):
+        report = _report([TenantStats("a")])
+        assert report.tenant("a").tenant_id == "a"
+        with pytest.raises(KeyError):
+            report.tenant("ghost")
+
+    def test_render_mentions_the_aggregates(self):
+        report = _report([
+            TenantStats("a", arrivals=3, completions=3,
+                        latencies=[0.1, 0.2, 0.3]),
+        ])
+        text = report.render()
+        assert "discipline=fair" in text
+        assert "arrivals=3" in text
+        assert "a" in text

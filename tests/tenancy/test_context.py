@@ -1,0 +1,46 @@
+"""Tests for tenant context propagation."""
+
+import pytest
+
+from repro.core.futures import CallbackExecutor
+from repro.tenancy.context import current_tenant, tenant_scope
+
+
+class TestTenantScope:
+    def test_default_is_none(self):
+        assert current_tenant() is None
+
+    def test_scope_sets_and_restores(self):
+        with tenant_scope("acme") as tenant:
+            assert tenant == "acme"
+            assert current_tenant() == "acme"
+        assert current_tenant() is None
+
+    def test_scopes_nest_innermost_wins(self):
+        with tenant_scope("outer"):
+            with tenant_scope("inner"):
+                assert current_tenant() == "inner"
+            assert current_tenant() == "outer"
+
+    def test_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with tenant_scope("acme"):
+                raise RuntimeError("boom")
+        assert current_tenant() is None
+
+    def test_empty_tenant_rejected(self):
+        with pytest.raises(ValueError):
+            with tenant_scope(""):
+                pass
+
+
+class TestThreadPoolPropagation:
+    def test_executor_carries_tenant_to_worker(self):
+        # CallbackExecutor submits inside a copied context, so async
+        # invokes issued under a tenant scope execute as that tenant.
+        with CallbackExecutor(max_workers=2) as executor:
+            with tenant_scope("acme"):
+                future = executor.submit(current_tenant)
+            assert future.get(timeout=5.0) == "acme"
+            # Outside the scope, submissions are untenanted again.
+            assert executor.submit(current_tenant).get(timeout=5.0) is None

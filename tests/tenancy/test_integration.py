@@ -1,0 +1,164 @@
+"""End-to-end tenancy tests: RichClient + gateway over the real stack."""
+
+import pytest
+
+from repro.core.admission import AdmissionController, AdmissionLimit
+from repro.core.gateway import SdkGateway
+from repro.core.invoker import RichClient
+from repro.obs import Observability, names
+from repro.tenancy import Tenancy, Tenant, TenantRegistry
+
+TEXT = "Shares of Vantora Systems rallied in Meridian City."
+
+
+@pytest.fixture
+def tenancy():
+    registry = TenantRegistry()
+    registry.register(Tenant("alpha", weight=2.0))
+    registry.register(Tenant("bravo", max_calls=2))
+    registry.register(Tenant("charlie", rate=0.5, burst=1))
+    registry.register(Tenant("shared", isolated_cache=False))
+    registry.register(Tenant("mallory"))
+    registry.suspend("mallory")
+    return Tenancy(registry)
+
+
+@pytest.fixture
+def tenant_client(world, tenancy):
+    admission = AdmissionController(
+        world.clock, default_limit=AdmissionLimit(max_concurrent=4),
+        fair=True, weight_of=tenancy.weight_of)
+    client = RichClient(world.registry, admission=admission, tenancy=tenancy,
+                        obs=Observability(clock=world.clock))
+    yield client
+    client.close()
+
+
+@pytest.fixture
+def gateway(tenant_client):
+    return SdkGateway(tenant_client)
+
+
+def invoke(gateway, tenant, text=TEXT):
+    envelope = {"method": "invoke",
+                "params": {"service": "lexica-prime", "operation": "analyze",
+                           "payload": {"text": text}}}
+    if tenant is not None:
+        envelope["tenant"] = tenant
+    return gateway.handle(envelope)
+
+
+class TestCacheIsolation:
+    def test_same_tenant_hits_its_own_cache(self, gateway):
+        assert invoke(gateway, "alpha")["status"] == 200
+        assert invoke(gateway, "alpha")["result"]["cached"] is True
+
+    def test_tenants_never_share_cache_entries(self, gateway):
+        invoke(gateway, "alpha")
+        other = invoke(gateway, "bravo")
+        assert other["status"] == 200
+        assert other["result"]["cached"] is False
+
+    def test_untenanted_namespace_is_separate(self, gateway):
+        invoke(gateway, "alpha")
+        legacy = invoke(gateway, None)
+        assert legacy["result"]["cached"] is False
+
+    def test_opt_out_tenant_shares_the_global_namespace(self, gateway):
+        # isolated_cache=False keeps the historical shared-cache
+        # behaviour for tenants that want dedup over isolation.
+        invoke(gateway, None)
+        shared = invoke(gateway, "shared")
+        assert shared["result"]["cached"] is True
+
+
+class TestPolicyRefusals:
+    def test_budget_exhaustion_maps_to_429(self, gateway):
+        assert invoke(gateway, "bravo", "First call.")["status"] == 200
+        assert invoke(gateway, "bravo", "Second call.")["status"] == 200
+        refused = invoke(gateway, "bravo", "Third call.")
+        assert refused["status"] == 429
+        assert refused["error_type"] == "TenantBudgetExceededError"
+
+    def test_rate_limit_maps_to_429_with_retry_after(self, gateway):
+        assert invoke(gateway, "charlie")["status"] == 200
+        throttled = invoke(gateway, "charlie", "Again, immediately.")
+        assert throttled["status"] == 429
+        assert throttled["error_type"] == "TenantRateLimitedError"
+        assert throttled["retry_after"] > 0
+
+    def test_suspended_tenant_maps_to_403(self, gateway):
+        assert invoke(gateway, "mallory")["status"] == 403
+
+    def test_failed_policy_call_is_not_cached(self, gateway):
+        invoke(gateway, "mallory")
+        # Unsuspending later must not reveal a cached refusal; the
+        # request never reached the cache or the wire.
+        assert invoke(gateway, None)["result"]["cached"] is False
+
+    def test_non_string_tenant_is_a_400(self, gateway):
+        response = gateway.handle({"method": "invoke", "tenant": 7,
+                                   "params": {}})
+        assert response["status"] == 400
+
+
+class TestAccounting:
+    def test_ledger_and_metrics_count_the_call(self, gateway, tenant_client):
+        invoke(gateway, "alpha")
+        usage = gateway.handle({"method": "tenant_usage",
+                                "params": {"tenant": "alpha"}})
+        assert usage["status"] == 200
+        assert usage["result"]["calls"] == 1
+        assert usage["result"]["cost"] > 0
+        metrics = tenant_client.obs.metrics
+        assert metrics.get(names.TENANT_REQUESTS_TOTAL).value(
+            tenant="alpha", outcome="ok") == 1
+
+    def test_cache_hits_are_not_charged(self, gateway):
+        invoke(gateway, "alpha")
+        invoke(gateway, "alpha")  # served from cache
+        usage = gateway.handle({"method": "tenant_usage",
+                                "params": {"tenant": "alpha"}})
+        assert usage["result"]["calls"] == 1
+
+    def test_usage_report_lists_every_tenant(self, gateway):
+        report = gateway.handle({"method": "tenant_usage", "params": {}})
+        assert report["status"] == 200
+        listed = [entry["tenant"] for entry in report["result"]["tenants"]]
+        assert listed == sorted(listed)
+        assert "alpha" in listed and "mallory" in listed
+
+    def test_tenant_usage_without_tenancy_is_a_400(self, world):
+        client = RichClient(world.registry)
+        try:
+            response = SdkGateway(client).handle(
+                {"method": "tenant_usage", "params": {}})
+            assert response["status"] == 400
+        finally:
+            client.close()
+
+    def test_batch_is_one_tenant_charge(self, gateway, tenant_client):
+        response = gateway.handle({
+            "method": "invoke",  # prime the tenant so the batch path runs
+            "tenant": "alpha",
+            "params": {"service": "wordsmith-lite", "operation": "analyze",
+                       "payload": {"text": "Batch primer."}},
+        })
+        assert response["status"] == 200
+        from repro.tenancy.context import tenant_scope
+        with tenant_scope("alpha"):
+            results = tenant_client.invoke_batched(
+                "wordsmith-lite", "analyze",
+                [{"text": f"Item {index}."} for index in range(3)],
+                use_cache=False)
+        assert all(not isinstance(result, Exception) for result in results)
+        usage = gateway.handle({"method": "tenant_usage",
+                                "params": {"tenant": "alpha"}})
+        # One primer call + ONE batch call slot (not three).
+        assert usage["result"]["calls"] == 2
+
+    def test_invoke_span_carries_the_tenant(self, gateway, tenant_client):
+        invoke(gateway, "alpha", "Span attribution check.")
+        spans = [span for span in tenant_client.obs.collector.spans()
+                 if span.name == names.SPAN_SDK_INVOKE]
+        assert spans and spans[-1].attributes.get("tenant") == "alpha"

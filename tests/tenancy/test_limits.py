@@ -1,0 +1,111 @@
+"""Tests for per-tenant budgets and rate limits."""
+
+import pytest
+
+from repro.core.quota import BudgetExceededError
+from repro.core.ratelimit import RateLimitExceededError
+from repro.tenancy.limits import (
+    TenantBudgetExceededError,
+    TenantLimiter,
+    TenantRateLimitedError,
+)
+from repro.tenancy.model import Tenant
+
+
+@pytest.fixture
+def limiter(clock):
+    return TenantLimiter(clock)
+
+
+class TestBudgets:
+    def test_call_budget_exhausts(self, limiter):
+        tenant = Tenant("acme", max_calls=2)
+        for _ in range(2):
+            charge = limiter.authorize(tenant)
+            limiter.settle(tenant, charge, 0.01)
+        with pytest.raises(TenantBudgetExceededError) as excinfo:
+            limiter.authorize(tenant)
+        assert excinfo.value.tenant_id == "acme"
+
+    def test_budget_error_is_a_budget_error(self, limiter):
+        # Subclassing keeps the gateway's existing 429 mapping working.
+        tenant = Tenant("acme", max_calls=0)
+        with pytest.raises(BudgetExceededError):
+            limiter.authorize(tenant)
+
+    def test_cost_budget_checks_the_estimate(self, limiter):
+        tenant = Tenant("acme", max_cost=0.05)
+        charge = limiter.authorize(tenant, estimated_cost=0.04)
+        limiter.settle(tenant, charge, 0.04)
+        with pytest.raises(TenantBudgetExceededError):
+            limiter.authorize(tenant, estimated_cost=0.02)
+
+    def test_settle_trues_up_to_actual_cost(self, limiter):
+        tenant = Tenant("acme", max_cost=0.05)
+        charge = limiter.authorize(tenant, estimated_cost=0.04)
+        # The call billed far less than estimated; the refund must
+        # free budget for the next call.
+        limiter.settle(tenant, charge, 0.01)
+        limiter.authorize(tenant, estimated_cost=0.03)
+
+    def test_cancel_refunds_the_slot(self, limiter):
+        tenant = Tenant("acme", max_calls=1)
+        charge = limiter.authorize(tenant)
+        limiter.cancel(tenant, charge)
+        # The failed call must not consume the only slot.
+        limiter.authorize(tenant)
+
+    def test_unbudgeted_tenant_never_refused(self, limiter):
+        tenant = Tenant("acme")
+        for _ in range(100):
+            limiter.settle(tenant, limiter.authorize(tenant), 1.0)
+
+
+class TestRateLimits:
+    def test_bucket_refuses_past_burst(self, limiter):
+        tenant = Tenant("acme", rate=1.0, burst=1)
+        limiter.authorize(tenant)
+        with pytest.raises(TenantRateLimitedError) as excinfo:
+            limiter.authorize(tenant)
+        assert excinfo.value.tenant_id == "acme"
+        assert excinfo.value.wait_needed > 0
+
+    def test_rate_error_is_a_rate_limit_error(self, limiter):
+        tenant = Tenant("acme", rate=1.0, burst=1)
+        limiter.authorize(tenant)
+        with pytest.raises(RateLimitExceededError):
+            limiter.authorize(tenant)
+
+    def test_bucket_refills_with_the_clock(self, limiter, clock):
+        tenant = Tenant("acme", rate=2.0, burst=1)
+        limiter.authorize(tenant)
+        with pytest.raises(TenantRateLimitedError):
+            limiter.authorize(tenant)
+        clock.advance(0.5)  # one token at 2/s
+        limiter.authorize(tenant)
+
+    def test_unthrottled_tenant_has_no_bucket(self, limiter):
+        tenant = Tenant("acme")
+        for _ in range(50):
+            limiter.authorize(tenant)
+        assert limiter.usage(tenant)["throttled"] == 0
+
+
+class TestUsage:
+    def test_ledger_adds_up(self, limiter):
+        tenant = Tenant("acme", max_calls=10)
+        limiter.settle(tenant, limiter.authorize(tenant), 0.02)
+        limiter.settle(tenant, limiter.authorize(tenant), 0.03)
+        usage = limiter.usage(tenant)
+        assert usage["tenant"] == "acme"
+        assert usage["calls"] == 2
+        assert usage["cost"] == pytest.approx(0.05)
+        assert usage["remaining_calls"] == 8
+
+    def test_tenants_do_not_share_ledgers(self, limiter):
+        alpha, bravo = Tenant("alpha", max_calls=1), Tenant("bravo", max_calls=1)
+        limiter.settle(alpha, limiter.authorize(alpha), 0.01)
+        # Alpha is exhausted; bravo's budget is untouched.
+        with pytest.raises(TenantBudgetExceededError):
+            limiter.authorize(alpha)
+        limiter.authorize(bravo)

@@ -1,0 +1,108 @@
+"""Tests for the tenant model and registry."""
+
+import pytest
+
+from repro.tenancy.model import (
+    GUEST_PROFILE,
+    Tenant,
+    TenantRegistry,
+    TenantSuspendedError,
+    UnknownTenantError,
+)
+
+
+class TestTenantValidation:
+    def test_minimal_tenant(self):
+        tenant = Tenant("acme")
+        assert tenant.weight == 1.0
+        assert tenant.max_calls is None
+        assert tenant.isolated_cache is True
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Tenant("")
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Tenant("acme", weight=0.0)
+        with pytest.raises(ValueError):
+            Tenant("acme", weight=-1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tenant("acme", rate=0.0)
+
+    def test_burst_floor(self):
+        with pytest.raises(ValueError):
+            Tenant("acme", rate=1.0, burst=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Tenant("acme").weight = 2.0
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("acme", weight=3.0))
+        assert registry.get("acme").weight == 3.0
+        assert "acme" in registry
+        assert len(registry) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownTenantError):
+            TenantRegistry().get("ghost")
+
+    def test_register_replaces(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("acme", weight=1.0))
+        registry.register(Tenant("acme", weight=5.0))
+        assert registry.get("acme").weight == 5.0
+        assert len(registry) == 1
+
+    def test_resolve_auto_registers_guest(self):
+        registry = TenantRegistry()
+        tenant = registry.resolve("walk-in")
+        assert tenant.tenant_id == "walk-in"
+        assert tenant.weight == GUEST_PROFILE.weight
+        assert "walk-in" in registry
+
+    def test_resolve_closed_registry_raises(self):
+        registry = TenantRegistry(auto_register=False)
+        with pytest.raises(UnknownTenantError):
+            registry.resolve("walk-in")
+        assert "walk-in" not in registry
+
+    def test_guest_profile_override(self):
+        registry = TenantRegistry(
+            guest_profile=Tenant("guest", weight=0.5, max_calls=10))
+        tenant = registry.resolve("drive-by")
+        assert tenant.weight == 0.5
+        assert tenant.max_calls == 10
+
+    def test_suspend_refuses_at_resolve_only(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("acme"))
+        registry.suspend("acme")
+        # get() still returns the record (operators need to see it) ...
+        assert registry.get("acme").suspended
+        # ... but the serving path's resolve() refuses.
+        with pytest.raises(TenantSuspendedError):
+            registry.resolve("acme")
+
+    def test_suspend_unknown_raises(self):
+        with pytest.raises(UnknownTenantError):
+            TenantRegistry().suspend("ghost")
+
+    def test_weight_of(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("heavy", weight=4.0))
+        assert registry.weight_of("heavy") == 4.0
+        # Unknown tenants weigh what a guest would.
+        assert registry.weight_of("stranger") == GUEST_PROFILE.weight
+
+    def test_iter_lists_tenants(self):
+        registry = TenantRegistry()
+        registry.register(Tenant("a"))
+        registry.register(Tenant("b"))
+        assert {tenant.tenant_id for tenant in registry} == {"a", "b"}

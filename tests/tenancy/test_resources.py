@@ -1,0 +1,80 @@
+"""Tests for per-tenant knowledge bases (repro.tenancy.resources)."""
+
+import pytest
+
+from repro.tenancy.context import current_tenant
+from repro.tenancy.model import (
+    Tenant,
+    TenantRegistry,
+    TenantSuspendedError,
+    UnknownTenantError,
+)
+from repro.tenancy.resources import TenantPkbManager
+
+
+class TestLazyConstruction:
+    def test_no_kbs_before_first_access(self):
+        mgr = TenantPkbManager()
+        assert len(mgr) == 0
+        assert mgr.tenants() == []
+
+    def test_first_access_builds_then_reuses(self):
+        mgr = TenantPkbManager()
+        kb = mgr.pkb_for("acme")
+        assert mgr.pkb_for("acme") is kb
+        assert len(mgr) == 1
+        assert mgr.tenants() == ["acme"]
+
+    def test_tenants_are_isolated(self):
+        mgr = TenantPkbManager()
+        kb_a = mgr.pkb_for("acme")
+        kb_b = mgr.pkb_for("bravo")
+        assert kb_a is not kb_b
+        assert kb_a.graph is not kb_b.graph
+        assert kb_a.kv is not kb_b.kv
+        assert mgr.tenants() == ["acme", "bravo"]
+
+    def test_data_dir_roots_each_tenant(self, tmp_path):
+        mgr = TenantPkbManager(data_dir=tmp_path)
+        kb = mgr.pkb_for("acme")
+        assert kb.data_dir == tmp_path / "acme"
+        assert kb.data_dir.is_dir()
+        other = mgr.pkb_for("bravo")
+        assert other.data_dir == tmp_path / "bravo"
+
+
+class TestRegistryEnforcement:
+    def test_closed_registry_refuses_unknown_tenants(self):
+        registry = TenantRegistry(auto_register=False)
+        registry.register(Tenant(tenant_id="acme"))
+        mgr = TenantPkbManager(registry=registry)
+        assert mgr.pkb_for("acme") is not None
+        with pytest.raises(UnknownTenantError):
+            mgr.pkb_for("nobody")
+        assert mgr.tenants() == ["acme"]
+
+    def test_suspended_tenant_refused(self):
+        registry = TenantRegistry()
+        registry.register(Tenant(tenant_id="mallory"))
+        registry.suspend("mallory")
+        mgr = TenantPkbManager(registry=registry)
+        with pytest.raises(TenantSuspendedError):
+            mgr.pkb_for("mallory")
+        assert len(mgr) == 0
+
+
+class TestScope:
+    def test_scope_activates_tenant_context(self):
+        mgr = TenantPkbManager()
+        assert current_tenant() is None
+        with mgr.scope("acme") as kb:
+            assert current_tenant() == "acme"
+            assert kb is mgr.pkb_for("acme")
+        assert current_tenant() is None
+
+    def test_scope_restores_on_error(self):
+        mgr = TenantPkbManager()
+        with pytest.raises(RuntimeError):
+            with mgr.scope("acme"):
+                raise RuntimeError("boom")
+        assert current_tenant() is None

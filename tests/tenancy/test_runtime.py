@@ -1,0 +1,127 @@
+"""Tests for the Tenancy runtime (registry + limiter + metrics)."""
+
+import pytest
+
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry
+from repro.tenancy.context import tenant_scope
+from repro.tenancy.limits import TenantBudgetExceededError, TenantRateLimitedError
+from repro.tenancy.model import Tenant, TenantRegistry, TenantSuspendedError
+from repro.tenancy.runtime import (
+    OUTCOME_ERROR,
+    OUTCOME_OK,
+    REASON_BUDGET,
+    REASON_RATE,
+    REASON_SUSPENDED,
+    Tenancy,
+)
+
+
+@pytest.fixture
+def tenancy(clock):
+    tenancy = Tenancy(clock=clock)
+    tenancy.registry.register(Tenant("acme", max_calls=5))
+    return tenancy
+
+
+class TestResolve:
+    def test_no_scope_resolves_to_none(self, tenancy):
+        assert tenancy.resolve() is None
+
+    def test_scope_resolves_the_tenant(self, tenancy):
+        with tenant_scope("acme"):
+            assert tenancy.resolve().tenant_id == "acme"
+
+    def test_unknown_tenant_auto_registers(self, tenancy):
+        with tenant_scope("walk-in"):
+            assert tenancy.resolve().tenant_id == "walk-in"
+
+    def test_suspended_tenant_refused_and_counted(self, tenancy):
+        metrics = MetricsRegistry()
+        tenancy.bind_metrics(metrics)
+        tenancy.registry.suspend("acme")
+        with tenant_scope("acme"):
+            with pytest.raises(TenantSuspendedError):
+                tenancy.resolve()
+        rejected = metrics.get(names.TENANT_REJECTED_TOTAL)
+        assert rejected.value(tenant="acme", reason=REASON_SUSPENDED) == 1
+
+
+class TestClockBinding:
+    def test_authorize_without_clock_raises(self):
+        tenancy = Tenancy()
+        with pytest.raises(RuntimeError):
+            tenancy.authorize(Tenant("acme"))
+
+    def test_attach_clock_builds_the_limiter(self, clock):
+        tenancy = Tenancy()
+        tenancy.attach_clock(clock)
+        tenancy.authorize(Tenant("acme"))
+
+    def test_attach_clock_is_idempotent(self, clock):
+        tenancy = Tenancy(clock=clock)
+        limiter = tenancy.limiter
+        tenancy.attach_clock(clock)
+        assert tenancy.limiter is limiter
+
+
+class TestMetrics:
+    def test_settle_counts_ok_and_cost(self, tenancy):
+        metrics = MetricsRegistry()
+        tenancy.bind_metrics(metrics)
+        tenant = tenancy.registry.get("acme")
+        charge = tenancy.authorize(tenant, estimated_cost=0.01)
+        tenancy.settle(tenant, charge, 0.02)
+        requests = metrics.get(names.TENANT_REQUESTS_TOTAL)
+        assert requests.value(tenant="acme", outcome=OUTCOME_OK) == 1
+        cost = metrics.get(names.TENANT_COST_TOTAL)
+        assert cost.value(tenant="acme") == pytest.approx(0.02)
+
+    def test_cancel_counts_error(self, tenancy):
+        metrics = MetricsRegistry()
+        tenancy.bind_metrics(metrics)
+        tenant = tenancy.registry.get("acme")
+        charge = tenancy.authorize(tenant)
+        tenancy.cancel(tenant, charge)
+        requests = metrics.get(names.TENANT_REQUESTS_TOTAL)
+        assert requests.value(tenant="acme", outcome=OUTCOME_ERROR) == 1
+
+    def test_rejections_count_by_reason(self, tenancy):
+        metrics = MetricsRegistry()
+        tenancy.bind_metrics(metrics)
+        budgeted = tenancy.registry.register(Tenant("tight", max_calls=0))
+        with pytest.raises(TenantBudgetExceededError):
+            tenancy.authorize(budgeted)
+        limited = tenancy.registry.register(Tenant("slow", rate=1.0, burst=1))
+        tenancy.authorize(limited)
+        with pytest.raises(TenantRateLimitedError):
+            tenancy.authorize(limited)
+        rejected = metrics.get(names.TENANT_REJECTED_TOTAL)
+        assert rejected.value(tenant="tight", reason=REASON_BUDGET) == 1
+        assert rejected.value(tenant="slow", reason=REASON_RATE) == 1
+
+    def test_unbound_metrics_are_optional(self, tenancy):
+        # No bind_metrics call: the whole protocol still works.
+        tenant = tenancy.registry.get("acme")
+        tenancy.settle(tenant, tenancy.authorize(tenant), 0.01)
+        tenancy.count_rejection("acme", REASON_BUDGET)
+
+
+class TestUsage:
+    def test_usage_reads_the_ledger(self, tenancy):
+        tenant = tenancy.registry.get("acme")
+        tenancy.settle(tenant, tenancy.authorize(tenant), 0.03)
+        usage = tenancy.usage("acme")
+        assert usage["calls"] == 1
+        assert usage["cost"] == pytest.approx(0.03)
+        assert usage["remaining_calls"] == 4
+
+    def test_usage_report_covers_all_tenants_sorted(self, tenancy):
+        tenancy.registry.register(Tenant("zeta"))
+        tenancy.registry.register(Tenant("beta"))
+        report = tenancy.usage_report()
+        assert [entry["tenant"] for entry in report] == ["acme", "beta", "zeta"]
+
+    def test_weight_of_delegates_to_registry(self, tenancy):
+        tenancy.registry.register(Tenant("heavy", weight=7.0))
+        assert tenancy.weight_of("heavy") == 7.0

@@ -109,7 +109,7 @@ def _missing_docstrings(tree: ast.Module) -> list[tuple[int, str]]:
 def check_core_docstrings(failures: list[str]) -> int:
     """Audit src/repro/core for missing docstrings; returns files scanned."""
     scanned = 0
-    for path in sorted(CORE.glob("*.py")):
+    for path in sorted(CORE.rglob("*.py")):
         scanned += 1
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
         for line, problem in _missing_docstrings(tree):

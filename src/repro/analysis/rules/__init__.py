@@ -19,6 +19,7 @@ from repro.analysis.rules.ra003_chain import ExceptionChainingRule
 from repro.analysis.rules.ra004_blocking import BlockingUnderLockRule
 from repro.analysis.rules.ra005_names import NameRegistryRule
 from repro.analysis.rules.ra006_lockorder import LockOrderRule
+from repro.analysis.rules.ra007_async_blocking import AsyncBlockingRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ClockDisciplineRule,
@@ -27,6 +28,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     BlockingUnderLockRule,
     NameRegistryRule,
     LockOrderRule,
+    AsyncBlockingRule,
 )
 
 ALL_RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)

@@ -1,0 +1,53 @@
+"""The asyncio-native invocation core (event-loop hot path).
+
+The thread-per-in-flight-call :class:`~repro.core.futures.ListenableFuture`
+core caps concurrency at thread-pool scale.  This package rebuilds the
+invocation hot path on one event loop:
+
+* :class:`AsyncInvoker` — ``await``-able mirror of
+  :class:`~repro.core.invoker.RichClient` (``ainvoke`` /
+  ``ainvoke_batched`` / ``ainvoke_many`` / ``ainvoke_all`` /
+  ``ainvoke_with_failover`` / ``ainvoke_redundant``), sharing the
+  client's monitor, cache, quota, tenancy and observability so both
+  cores report into the same metric names and span names;
+* :class:`LoopRunner` — the sync facade's shim: a dedicated event-loop
+  thread that runs coroutines on behalf of blocking callers, copying
+  the caller's contextvars (tenant scope, trace span) onto the task;
+* :class:`AsyncBulkhead` / :class:`AsyncAdmissionController` —
+  admission queues and DRR fair scheduling as awaitables;
+* :class:`AsyncCoalescer` — single-flight coalescing on asyncio
+  futures (followers await a shielded shared flight);
+* :class:`AsyncHedgedInvoker` — hedges as cancellable tasks (the
+  losing leg is cancelled, not abandoned);
+* :class:`AsyncMicroBatcher` — bounded batch windows on asyncio
+  futures, no background thread;
+* :func:`ainvoke_with_retry` / :class:`AsyncFailoverInvoker` — the
+  retry/failover walk with backoffs awaited instead of slept.
+
+Concurrency and cancellation rules are documented per-coroutine and in
+``docs/async-guide.md``.
+"""
+
+from repro.core.aio.admission import AsyncAdmissionController, AsyncBulkhead
+from repro.core.aio.batching import AsyncMicroBatcher
+from repro.core.aio.bridge import listenable_to_asyncio, task_to_listenable
+from repro.core.aio.coalesce import AsyncCoalescer, AsyncFlight
+from repro.core.aio.hedging import AsyncHedgedInvoker
+from repro.core.aio.invoker import AsyncInvoker
+from repro.core.aio.retry import AsyncFailoverInvoker, ainvoke_with_retry
+from repro.core.aio.runner import LoopRunner
+
+__all__ = [
+    "AsyncAdmissionController",
+    "AsyncBulkhead",
+    "AsyncCoalescer",
+    "AsyncFailoverInvoker",
+    "AsyncFlight",
+    "AsyncHedgedInvoker",
+    "AsyncInvoker",
+    "AsyncMicroBatcher",
+    "LoopRunner",
+    "ainvoke_with_retry",
+    "listenable_to_asyncio",
+    "task_to_listenable",
+]

@@ -1,0 +1,71 @@
+"""Bridges between :class:`ListenableFuture` and asyncio.
+
+The two cores meet at exactly two seams: sync code waiting on async
+work (handled by :class:`~repro.core.aio.runner.LoopRunner`) and
+futures crossing between the idioms, handled here.  Both directions
+preserve the error/result unchanged; neither blocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core.futures import ListenableFuture
+
+
+def listenable_to_asyncio(
+    listenable: ListenableFuture,
+    loop: asyncio.AbstractEventLoop | None = None,
+) -> asyncio.Future:
+    """Mirror a :class:`ListenableFuture` into an asyncio future.
+
+    The listener fires on whatever thread settles the listenable, so
+    the asyncio future is settled via ``call_soon_threadsafe`` — safe
+    from any thread, delivered on the loop.  Cancelling the returned
+    asyncio future detaches the waiter only; the underlying listenable
+    (and the work behind it) keeps running, which matches the
+    thread-pool core's inability to interrupt a worker.
+    """
+    if loop is None:
+        loop = asyncio.get_running_loop()
+    future: asyncio.Future = loop.create_future()
+
+    def settle(done: ListenableFuture) -> None:
+        error = done.exception()
+
+        def deliver() -> None:
+            if future.cancelled():
+                return
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(done.get())
+
+        loop.call_soon_threadsafe(deliver)
+
+    listenable.add_listener(settle)
+    return future
+
+
+def task_to_listenable(task: asyncio.Task) -> ListenableFuture:
+    """Mirror an asyncio task into a :class:`ListenableFuture`.
+
+    Listeners run on the loop thread when the task finishes; a
+    cancelled task settles the listenable with
+    ``asyncio.CancelledError``.  Must be called from the loop that owns
+    the task (``add_done_callback`` is not thread-safe).
+    """
+    listenable: ListenableFuture = ListenableFuture()
+
+    def settle(finished: asyncio.Task) -> None:
+        if finished.cancelled():
+            listenable.set_exception(asyncio.CancelledError())
+            return
+        error = finished.exception()
+        if error is not None:
+            listenable.set_exception(error)
+        else:
+            listenable.set_result(finished.result())
+
+    task.add_done_callback(settle)
+    return listenable

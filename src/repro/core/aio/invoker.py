@@ -1,0 +1,608 @@
+"""AsyncInvoker: the event-loop mirror of :class:`RichClient`.
+
+One :class:`AsyncInvoker` wraps an existing
+:class:`~repro.core.invoker.RichClient` and re-implements its hot path
+as coroutines.  Everything *stateful* is shared with the client —
+registry, monitor, cache, latency predictor, ranker, quota ledger,
+rate limiter, tenancy, observability — so results, records and metrics
+are identical whichever core served a call.  Only the *waiting*
+machinery differs: coalescing, admission and retries are loop-native
+(:mod:`repro.core.aio.coalesce`, :mod:`repro.core.aio.admission`,
+:mod:`repro.core.aio.retry`), and wire latency is awaited through
+:meth:`repro.simnet.transport.Transport.acall`.
+
+Cancellation contract (applies to every coroutine here):
+
+* cancelling a call releases its bulkhead permit and **refunds** its
+  quota/tenant reservations — protections are never leaked;
+* once the wire call has returned, the success path (settle, record,
+  cache) runs without suspension points, so accounting is at-most-once
+  and never torn by cancellation;
+* a cancelled coalescing *leader* fails the shared flight with its
+  cancellation (followers see the error); a cancelled *follower*
+  detaches silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Mapping, Sequence
+from dataclasses import replace
+
+from repro.core.aio.admission import AsyncAdmissionController
+from repro.core.aio.coalesce import AsyncCoalescer
+from repro.core.aio.retry import AsyncFailoverInvoker
+from repro.core.admission import AdmissionRejectedError
+from repro.core.caching import cache_key
+from repro.core.invoker import InvocationResult, QualityRater, RichClient
+from repro.core.monitoring import InvocationRecord
+from repro.core.ranking import ScoreFormula, Weights
+from repro.obs import names
+from repro.services.base import ServiceRequest
+from repro.tenancy.runtime import REASON_SHED
+from repro.util.deadline import Deadline, DeadlineExceededError
+
+
+class AsyncInvoker:
+    """The Rich SDK's facade as coroutines, sharing one client's state.
+
+    Construct via :attr:`RichClient.aio` (lazy, cached) or directly
+    from a client.  All coroutines must run on a single event loop;
+    the :class:`~repro.core.aio.runner.LoopRunner` shim provides one
+    for blocking callers.
+    """
+
+    def __init__(self, client: RichClient) -> None:
+        """Wrap ``client``, cloning its admission/failover policies.
+
+        The coalescer and admission bulkheads are loop-native clones
+        (same policy, same metric names, independent permit state);
+        everything else is the client's own object.
+        """
+        self.client = client
+        self.clock = client.clock
+        self.obs = client.obs
+        self.registry = client.registry
+        self.monitor = client.monitor
+        self.cache = client.cache
+        self.quota = client.quota
+        self.rate_limiter = client.rate_limiter
+        self.tenancy = client.tenancy
+        self.cacheable_operations = client.cacheable_operations
+        self.quality_raters = client.quality_raters
+        self.ranker = client.ranker
+        self.coalescer = (AsyncCoalescer()
+                          if client.coalescer is not None else None)
+        self.admission = (AsyncAdmissionController.from_sync(client.admission)
+                          if client.admission is not None else None)
+        self.failover = AsyncFailoverInvoker(
+            default_policy=client.failover.default_policy,
+            per_service=client.failover.per_service,
+            clock=self.clock,
+        )
+        if self.obs.enabled:
+            if self.coalescer is not None:
+                self.coalescer.bind_metrics(self.obs.metrics)
+            if self.admission is not None:
+                self.admission.bind_metrics(self.obs.metrics)
+            self.failover.bind_obs(self.obs)
+
+    # -- core invocation ---------------------------------------------------
+
+    async def ainvoke(
+        self,
+        service_name: str,
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+        use_cache: bool = True,
+        quality_rater: QualityRater | None = None,
+        coalesce: bool = True,
+        deadline: Deadline | None = None,
+        allow_stale: bool = True,
+    ) -> InvocationResult:
+        """Invoke one service on the event loop.
+
+        The awaitable mirror of :meth:`RichClient.invoke`: same cache
+        probe, coalescing, protections, span names, monitor records,
+        error types and graceful-degradation paths.  See the module
+        docstring for the cancellation contract.
+        """
+        payload = dict(payload or {})
+        service = self.registry.get(service_name)
+        hit = self.client.cached_result(service_name, operation, payload,
+                                        use_cache, allow_stale=allow_stale)
+        if hit is not None:
+            return hit
+
+        cacheable = use_cache and operation in self.cacheable_operations
+        key = (cache_key(service_name, operation, payload,
+                         tenant=self.client._cache_tenant())
+               if cacheable else None)
+
+        if deadline is not None and deadline.expired():
+            try:
+                self.client._deadline_guard(
+                    deadline, f"invoke {service_name}.{operation}")
+            except DeadlineExceededError as error:
+                degraded = (self.client._serve_stale(
+                    service_name, operation, key, error)
+                    if allow_stale else None)
+                if degraded is not None:
+                    return degraded
+                raise
+
+        flight = None
+        if self.coalescer is not None and coalesce and key is not None:
+            leader, flight = self.coalescer.lead_or_join(key)
+            if not leader:
+                wait = deadline.clamp(timeout) if deadline is not None else timeout
+                shared = await flight.result(
+                    timeout=self.client._real_timeout(wait))
+                return replace(shared, coalesced=True, cost=0.0)
+        try:
+            result = await self._ainvoke_remote(
+                service, service_name, operation, payload, timeout,
+                key, quality_rater, deadline=deadline)
+        except BaseException as error:
+            if flight is not None:
+                # Fail the flight (cancellation included) so followers
+                # are never stranded on a dead leader.
+                self.coalescer.fail(flight, error)
+            if not isinstance(error, Exception):
+                raise
+            degraded = (self.client._serve_stale(
+                service_name, operation, key, error)
+                if allow_stale else None)
+            if degraded is not None:
+                return degraded
+            raise
+        if flight is not None:
+            self.coalescer.complete(flight, result)
+        return result
+
+    async def _ainvoke_remote(
+        self,
+        service,
+        service_name: str,
+        operation: str,
+        payload: dict,
+        timeout: float | None,
+        key: str | None,
+        quality_rater: QualityRater | None,
+        deadline: Deadline | None = None,
+    ) -> InvocationResult:
+        """One real upstream call: protections, span, monitor, cache.
+
+        Same protection order as the sync core (tenant authorization,
+        quota reservation, rate limiter, bulkhead).  Cleanup handlers
+        catch ``BaseException`` so cancellation refunds reservations
+        and releases the permit; after the wire call returns there are
+        no suspension points, so settle/record/cache are atomic.
+        """
+        tracer = self.obs.tracer
+        with tracer.span(names.SPAN_SDK_INVOKE,
+                         {"service": service_name, "operation": operation}) as span:
+            trace_id = span.trace_id
+            tenant = self.client._active_tenant()
+            if tenant is not None:
+                span.set_attribute("tenant", tenant.tenant_id)
+            estimate = 0.0
+            if tenant is not None or self.quota.has_cost_limit(service_name):
+                estimate = service.cost_model.cost(
+                    ServiceRequest(operation, payload))
+            charge = (self.tenancy.authorize(tenant, estimate)
+                      if tenant is not None else None)
+            reservation = None
+            try:
+                reservation = self.quota.reserve(service_name, estimate)
+                if self.rate_limiter is not None:
+                    self.rate_limiter.acquire_or_raise(service_name)
+                bulkhead = (self.admission.bulkhead_for(service_name)
+                            if self.admission is not None else None)
+                if bulkhead is not None:
+                    try:
+                        await bulkhead.acquire(
+                            deadline=deadline,
+                            tenant=tenant.tenant_id if tenant is not None else None)
+                    except AdmissionRejectedError:
+                        if tenant is not None:
+                            self.tenancy.count_rejection(
+                                tenant.tenant_id, REASON_SHED)
+                        raise
+            except BaseException:
+                if reservation is not None:
+                    self.quota.cancel(reservation)
+                if charge is not None:
+                    self.tenancy.cancel(tenant, charge)
+                raise
+            params = service.latency_params(ServiceRequest(operation, payload))
+            rater = quality_rater or self.quality_raters.get(operation)
+            try:
+                if deadline is not None:
+                    self.client._deadline_guard(
+                        deadline, f"invoke {service_name}.{operation}")
+                    timeout = deadline.clamp(timeout)
+                response = await service.ainvoke(operation, payload,
+                                                 timeout=timeout)
+            except BaseException as error:
+                if isinstance(error, Exception):
+                    self.monitor.record(
+                        InvocationRecord(
+                            service=service_name,
+                            operation=operation,
+                            timestamp=self.clock.now(),
+                            latency=None,
+                            cost=0.0,
+                            success=False,
+                            error=repr(error),
+                            latency_params=params,
+                            trace_id=trace_id,
+                        )
+                    )
+                self.quota.cancel(reservation)
+                if charge is not None:
+                    self.tenancy.cancel(tenant, charge)
+                raise
+            finally:
+                if bulkhead is not None:
+                    bulkhead.release()
+
+            quality = rater(response.value) if rater is not None else None
+            self.quota.settle(reservation, response.cost)
+            if charge is not None:
+                self.tenancy.settle(tenant, charge, response.cost)
+            self.monitor.record(
+                InvocationRecord(
+                    service=service_name,
+                    operation=operation,
+                    timestamp=self.clock.now(),
+                    latency=response.latency,
+                    cost=response.cost,
+                    success=True,
+                    latency_params=params,
+                    quality=quality,
+                    trace_id=trace_id,
+                )
+            )
+            span.set_attribute("latency", response.latency)
+            span.set_attribute("cost", response.cost)
+            if key is not None:
+                self.cache.put(key, response.value)
+            if operation in ("put", "delete"):
+                self.cache.invalidate_service(service_name)
+            return InvocationResult(
+                value=response.value,
+                latency=response.latency,
+                cost=response.cost,
+                service=service_name,
+                operation=operation,
+            )
+
+    # -- batched invocation ------------------------------------------------
+
+    async def ainvoke_batched(
+        self,
+        service_name: str,
+        operation: str,
+        payloads: Sequence[Mapping[str, object]],
+        timeout: float | None = None,
+        use_cache: bool = True,
+        deadline: Deadline | None = None,
+    ) -> list[InvocationResult | Exception]:
+        """Ship ``payloads`` to the service's batch endpoint in one call.
+
+        The awaitable mirror of :meth:`RichClient.invoke_batched`: one
+        awaited round trip, one tenant charge, one bulkhead permit,
+        per-item outcomes in input order.  Cancellation mid-wire
+        abandons every item at once (they share the single call) and
+        refunds the tenant charge; admission and accounting are never
+        leaked.
+        """
+        payloads = [dict(payload) for payload in payloads]
+        if not payloads:
+            return []
+        service = self.registry.get(service_name)
+        tracer = self.obs.tracer
+        with tracer.span(names.SPAN_SDK_INVOKE_BATCH,
+                         {"service": service_name, "operation": operation,
+                          names.BATCH_SIZE: len(payloads),
+                          "obs.category": "batch"}) as span:
+            trace_id = span.trace_id
+            self.client._deadline_guard(
+                deadline, f"invoke_batched {service_name}.{operation}")
+            tenant = self.client._active_tenant()
+            if tenant is not None:
+                span.set_attribute("tenant", tenant.tenant_id)
+            estimate = (sum(service.cost_model.cost(ServiceRequest(operation, p))
+                            for p in payloads)
+                        if tenant is not None else 0.0)
+            charge = (self.tenancy.authorize(tenant, estimate)
+                      if tenant is not None else None)
+            try:
+                self.quota.check(service_name)
+                if self.rate_limiter is not None:
+                    self.rate_limiter.acquire_or_raise(service_name)
+                bulkhead = (self.admission.bulkhead_for(service_name)
+                            if self.admission is not None else None)
+                if bulkhead is not None:
+                    try:
+                        await bulkhead.acquire(
+                            deadline=deadline,
+                            tenant=tenant.tenant_id if tenant is not None else None)
+                    except AdmissionRejectedError:
+                        if tenant is not None:
+                            self.tenancy.count_rejection(
+                                tenant.tenant_id, REASON_SHED)
+                        raise
+                try:
+                    if deadline is not None:
+                        self.client._deadline_guard(
+                            deadline, f"invoke_batched {service_name}.{operation}")
+                        timeout = deadline.clamp(timeout)
+                    responses = await service.ainvoke_batch(
+                        operation, payloads, timeout=timeout)
+                finally:
+                    if bulkhead is not None:
+                        bulkhead.release()
+            except BaseException:
+                if charge is not None:
+                    self.tenancy.cancel(tenant, charge)
+                raise
+            if charge is not None:
+                billed = sum(response.cost for response in responses
+                             if not isinstance(response, Exception))
+                self.tenancy.settle(tenant, charge, billed)
+            if self.client._metric_batch_flushes is not None:
+                self.client._metric_batch_flushes.inc()
+                self.client._metric_batch_items.inc(len(payloads))
+                self.client._metric_batch_size.observe(float(len(payloads)))
+            now = self.clock.now()
+            cacheable = use_cache and operation in self.cacheable_operations
+            namespace = self.client._cache_tenant() if cacheable else None
+            batch_latency = 0.0
+            outcomes: list[InvocationResult | Exception] = []
+            for payload, response in zip(payloads, responses):
+                if isinstance(response, Exception):
+                    self.monitor.record(
+                        InvocationRecord(
+                            service=service_name,
+                            operation=operation,
+                            timestamp=now,
+                            latency=None,
+                            cost=0.0,
+                            success=False,
+                            error=repr(response),
+                            trace_id=trace_id,
+                        )
+                    )
+                    outcomes.append(response)
+                    continue
+                batch_latency = response.latency
+                self.quota.record(service_name, response.cost)
+                self.monitor.record(
+                    InvocationRecord(
+                        service=service_name,
+                        operation=operation,
+                        timestamp=now,
+                        latency=response.latency,
+                        cost=response.cost,
+                        success=True,
+                        trace_id=trace_id,
+                    )
+                )
+                if cacheable:
+                    self.cache.put(
+                        cache_key(service_name, operation, payload,
+                                  tenant=namespace),
+                        response.value)
+                outcomes.append(InvocationResult(
+                    value=response.value,
+                    latency=response.latency,
+                    cost=response.cost,
+                    service=service_name,
+                    operation=operation,
+                    batched=True,
+                ))
+            span.set_attribute("latency", batch_latency)
+            return outcomes
+
+    async def ainvoke_many(
+        self,
+        service_name: str,
+        operation: str,
+        payloads: Sequence[Mapping[str, object]],
+        timeout: float | None = None,
+        use_cache: bool = True,
+        deadline: Deadline | None = None,
+    ) -> list[InvocationResult | Exception]:
+        """Run one operation over many payloads as efficiently as possible.
+
+        The awaitable mirror of :meth:`RichClient.invoke_many`: cache
+        hits first, in-burst dedup (counted as coalesce hits), then
+        batch-endpoint chunks or sequential awaited calls.  Per-item
+        failures come back as exceptions; cancellation aborts the
+        remaining chunks (already-returned items are simply lost with
+        the coroutine, their server-side effects stand).
+        """
+        payloads = [dict(payload) for payload in payloads]
+        service = self.registry.get(service_name)
+        results: list[InvocationResult | Exception | None] = [None] * len(payloads)
+
+        remaining: list[int] = []
+        for index, payload in enumerate(payloads):
+            hit = self.client.cached_result(service_name, operation, payload,
+                                            use_cache)
+            if hit is not None:
+                results[index] = hit
+            else:
+                remaining.append(index)
+
+        namespace = self.client._cache_tenant()
+        groups: dict[str, list[int]] = {}
+        for index in remaining:
+            key = cache_key(service_name, operation, payloads[index],
+                            tenant=namespace)
+            groups.setdefault(key, []).append(index)
+        folded = len(remaining) - len(groups)
+        if folded and self.coalescer is not None:
+            self.coalescer.count_folded(folded)
+        leaders = [indices[0] for indices in groups.values()]
+
+        if service.supports_batching and leaders:
+            limit = service.batch_max_size
+            for start in range(0, len(leaders), limit):
+                chunk = leaders[start:start + limit]
+                try:
+                    outcomes = await self.ainvoke_batched(
+                        service_name, operation,
+                        [payloads[index] for index in chunk],
+                        timeout=timeout, use_cache=use_cache,
+                        deadline=deadline)
+                except DeadlineExceededError as error:
+                    outcomes = [error] * len(chunk)
+                for index, outcome in zip(chunk, outcomes):
+                    results[index] = outcome
+        else:
+            for index in leaders:
+                try:
+                    results[index] = await self.ainvoke(
+                        service_name, operation, payloads[index],
+                        timeout=timeout, use_cache=use_cache,
+                        deadline=deadline)
+                except Exception as error:
+                    results[index] = error
+
+        for indices in groups.values():
+            shared = results[indices[0]]
+            for index in indices[1:]:
+                if isinstance(shared, InvocationResult):
+                    results[index] = replace(shared, coalesced=True, cost=0.0)
+                else:
+                    results[index] = shared
+        return results
+
+    # -- fan-out -----------------------------------------------------------
+
+    async def ainvoke_all(
+        self,
+        calls: Sequence[tuple[str, str, Mapping[str, object]]],
+        timeout: float | None = None,
+        use_cache: bool = True,
+        deadline: Deadline | None = None,
+    ) -> list[InvocationResult | Exception]:
+        """Run many calls concurrently as tasks; preserves order.
+
+        The awaitable mirror of :meth:`RichClient.invoke_all` — except
+        the legs are event-loop tasks, so fan-out width is no longer
+        bounded by a thread pool.  Per-leg failures come back as their
+        exception; cancelling this coroutine cancels every in-flight
+        leg (the legs are child tasks of the gather).
+        """
+        async def one(service: str, operation: str,
+                      payload: Mapping[str, object]):
+            try:
+                return await self.ainvoke(service, operation, payload,
+                                          timeout=timeout, use_cache=use_cache,
+                                          deadline=deadline)
+            except Exception as error:  # noqa: BLE001 — per-leg isolation
+                return error
+
+        return list(await asyncio.gather(
+            *(one(service, operation, payload)
+              for service, operation, payload in calls)))
+
+    # -- ranked failover ---------------------------------------------------
+
+    async def ainvoke_with_failover(
+        self,
+        kind: str,
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+        weights: Weights = Weights(),
+        formula: str | ScoreFormula = "weighted",
+        use_cache: bool = True,
+        deadline: Deadline | None = None,
+    ) -> InvocationResult:
+        """Invoke the best-ranked service of ``kind`` with failover.
+
+        The awaitable mirror of
+        :meth:`RichClient.invoke_with_failover`: same ranking, same
+        span structure, backoffs awaited.  Cancellation stops the walk
+        immediately — no further candidate is contacted.
+        """
+        with self.obs.tracer.span(names.SPAN_SDK_INVOKE_WITH_FAILOVER,
+                                  {"kind": kind, "operation": operation}):
+            candidates = [service.name
+                          for service in self.registry.services_of_kind(kind)]
+            if not candidates:
+                raise ValueError(f"no services of kind {kind!r}")
+            request = ServiceRequest(operation, dict(payload or {}))
+            params = self.registry.get(candidates[0]).latency_params(request)
+            ranked = [name for name, _ in
+                      self.ranker.rank(candidates, params, formula, weights)]
+
+            served_by, result, attempts = await self.failover.ainvoke(
+                ranked,
+                lambda name: self.ainvoke(name, operation, payload,
+                                          timeout=timeout, use_cache=use_cache,
+                                          deadline=deadline),
+                deadline=deadline,
+            )
+        return InvocationResult(
+            value=result.value,
+            latency=result.latency,
+            cost=result.cost,
+            service=served_by,
+            operation=operation,
+            cached=result.cached,
+            attempts=tuple(attempts),
+            degraded=result.degraded,
+            stale_age=result.stale_age,
+        )
+
+    # -- redundant multi-service invocation --------------------------------
+
+    async def ainvoke_redundant(
+        self,
+        service_names: Sequence[str],
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+        parallel: bool = True,
+        use_cache: bool = True,
+        deadline: Deadline | None = None,
+    ) -> dict[str, InvocationResult | Exception]:
+        """Invoke the same request on several services.
+
+        The awaitable mirror of :meth:`RichClient.invoke_redundant`;
+        ``parallel=True`` fans the legs out as tasks via
+        :meth:`ainvoke_all`, which cancellation tears down together.
+        """
+        ordered = list(service_names)
+        if parallel:
+            outcomes = await self.ainvoke_all(
+                [(name, operation, dict(payload or {})) for name in ordered],
+                timeout=timeout, use_cache=use_cache, deadline=deadline,
+            )
+            return dict(zip(ordered, outcomes))
+        results: dict[str, InvocationResult | Exception] = {}
+        for name in ordered:
+            try:
+                results[name] = await self.ainvoke(
+                    name, operation, payload, timeout=timeout,
+                    use_cache=use_cache, deadline=deadline)
+            except Exception as error:
+                results[name] = error
+        return results
+
+    # -- convenience -------------------------------------------------------
+
+    def batcher(self, max_batch_size: int | None = None,
+                max_wait: float = 0.05):
+        """An :class:`~repro.core.aio.batching.AsyncMicroBatcher` bound here."""
+        from repro.core.aio.batching import AsyncMicroBatcher
+
+        return AsyncMicroBatcher(self, max_batch_size=max_batch_size,
+                                 max_wait=max_wait)

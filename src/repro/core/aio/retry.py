@@ -1,0 +1,140 @@
+"""Retries and ranked failover as awaitables.
+
+The event-loop mirror of :mod:`repro.core.retry`: the same policies,
+attempt logs, error types and span/metric names, with backoff waits
+awaited (:func:`repro.util.clock.acharge`) instead of slept and each
+attempt awaiting an async ``invoke_once``.
+
+Cancellation: ``asyncio.CancelledError`` is never retryable (it is not
+a :class:`~repro.simnet.NetworkError`), so cancelling the task aborts
+the retry loop — and the failover walk — immediately, mid-backoff or
+mid-attempt, with no further candidates tried.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Awaitable, Callable, Sequence
+from typing import TypeVar
+
+from repro.core.retry import (
+    AllServicesFailedError,
+    AttemptLog,
+    FailoverInvoker,
+    RetriesExhaustedError,
+    RetryPolicy,
+)
+from repro.obs import names
+from repro.util.clock import Clock, acharge
+
+T = TypeVar("T")
+
+
+async def ainvoke_with_retry(
+    invoke_once: Callable[[], Awaitable[T]],
+    policy: RetryPolicy,
+    clock: Clock | None = None,
+    service: str = "<service>",
+    log: list[AttemptLog] | None = None,
+    tracer=None,
+    backoff_counter=None,
+    deadline=None,
+) -> T:
+    """Await ``invoke_once`` under a retry policy.
+
+    Mirrors :func:`repro.core.retry.invoke_with_retry` exactly — same
+    deadline truncation, attempt spans, backoff events and
+    :class:`~repro.core.retry.RetriesExhaustedError` — except backoffs
+    are awaited, so other tasks run during the wait.  At-most-once per
+    attempt: cancellation between attempts retries nothing further;
+    cancellation *during* an attempt propagates from that attempt
+    (non-retryable by construction).
+    """
+    last_error: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        delay = policy.delay_before_attempt(attempt)
+        if deadline is not None and last_error is not None:
+            remaining = deadline.remaining()
+            if remaining <= 0.0 or remaining < delay:
+                raise RetriesExhaustedError(
+                    service, attempt, last_error, deadline=deadline,
+                    deadline_truncated=True) from last_error
+        if delay and clock is not None:
+            if tracer is not None:
+                tracer.add_event(
+                    "retry.backoff",
+                    {"service": service, "attempt": attempt, "seconds": delay})
+            if backoff_counter is not None:
+                backoff_counter.inc(delay, service=service)
+            await acharge(clock, delay)
+        try:
+            if tracer is not None and tracer.enabled:
+                with tracer.span(names.SPAN_FAILOVER_ATTEMPT,
+                                 {"service": service, "attempt": attempt}):
+                    result = await invoke_once()
+            else:
+                result = await invoke_once()
+        except BaseException as error:  # noqa: BLE001 — classified below
+            if not policy.is_retryable(error):
+                raise
+            last_error = error
+            if log is not None:
+                log.append(AttemptLog(service, attempt, repr(error)))
+            continue
+        if log is not None:
+            log.append(AttemptLog(service, attempt, None))
+        return result
+    assert last_error is not None
+    raise RetriesExhaustedError(service, policy.max_attempts, last_error,
+                                deadline=deadline) from last_error
+
+
+class AsyncFailoverInvoker(FailoverInvoker):
+    """Ranked failover whose per-candidate retry loops are awaitable.
+
+    Inherits policy lookup, observability binding and configuration
+    from :class:`~repro.core.retry.FailoverInvoker`; only the walk is
+    async.  The sync :meth:`~repro.core.retry.FailoverInvoker.invoke`
+    remains available (it is unaware of the event loop).
+    """
+
+    async def ainvoke(
+        self,
+        ordered_services: Sequence[str],
+        invoke_once: Callable[[str], Awaitable[T]],
+        deadline=None,
+    ) -> tuple[str, T, list[AttemptLog]]:
+        """Await the first responsive service down the ranking.
+
+        Mirrors :meth:`~repro.core.retry.FailoverInvoker.invoke`:
+        returns ``(service, result, attempts)`` or raises
+        :class:`~repro.core.retry.AllServicesFailedError`.  A
+        ``deadline`` stops the walk once the budget is spent.
+        Cancellation aborts the walk wherever it stands — no further
+        candidate is contacted.
+        """
+        if not ordered_services:
+            raise ValueError("no candidate services to invoke")
+        attempts: list[AttemptLog] = []
+        last_exhausted: RetriesExhaustedError | None = None
+        for service in ordered_services:
+            if (deadline is not None and deadline.expired()
+                    and attempts):
+                break
+            try:
+                result = await ainvoke_with_retry(
+                    lambda service=service: invoke_once(service),
+                    self.policy_for(service),
+                    clock=self.clock,
+                    service=service,
+                    log=attempts,
+                    tracer=self.tracer,
+                    backoff_counter=self._metric_backoff,
+                    deadline=deadline,
+                )
+            except RetriesExhaustedError as error:
+                last_exhausted = error
+                if self._metric_exhausted is not None:
+                    self._metric_exhausted.inc(service=service)
+                continue
+            return service, result, attempts
+        raise AllServicesFailedError(attempts) from last_exhausted

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import contextvars
 import threading
+from collections import deque
 from collections.abc import Callable
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Generic, TypeVar
@@ -23,11 +24,19 @@ T = TypeVar("T")
 class ListenableFuture(Generic[T]):
     """A future with registered completion callbacks.
 
-    Callbacks receive the future itself and run exactly once, on the
-    completing thread — or immediately on the registering thread when
-    the future is already done (Guava's semantics).
+    Callbacks receive the future itself and run exactly once.  Delivery
+    is **serialized and in registration order**: at any moment at most
+    one listener is executing, listeners never run while the future's
+    internal lock is held, and a listener registered while an earlier
+    one is still being delivered is queued behind it instead of running
+    concurrently on the registering thread.  (The pre-async-core
+    implementation delivered a late-registered listener immediately on
+    the registering thread, which could overlap and reorder callbacks —
+    unsafe for the asyncio bridge, whose callbacks assume serialized
+    delivery.)  A listener added after delivery has fully drained runs
+    immediately on the registering thread, Guava's semantics.
 
-    A callback that raises cannot poison the completing thread or
+    A callback that raises cannot poison the delivering thread or
     starve the remaining callbacks: the exception is captured into
     ``listener_errors`` (Guava logs it the same way) and delivery
     continues.
@@ -35,8 +44,11 @@ class ListenableFuture(Generic[T]):
 
     def __init__(self) -> None:
         self._future: Future = Future()
-        self._listeners: list[Callable[["ListenableFuture[T]"], None]] = []
+        self._listeners: deque[Callable[["ListenableFuture[T]"], None]] = deque()
         self._lock = threading.Lock()
+        # True while some thread is draining the listener queue; makes
+        # delivery single-file without holding _lock across callbacks.
+        self._delivering = False
         #: Exceptions raised by listeners, in delivery order.
         self.listener_errors: list[BaseException] = []
 
@@ -45,17 +57,32 @@ class ListenableFuture(Generic[T]):
     def set_result(self, value: T) -> None:
         """Settle the future with a value and fire listeners."""
         self._future.set_result(value)
-        self._fire()
+        self._drain()
 
     def set_exception(self, error: BaseException) -> None:
         """Settle the future with an error and fire listeners."""
         self._future.set_exception(error)
-        self._fire()
+        self._drain()
 
-    def _fire(self) -> None:
+    def _drain(self) -> None:
+        """Deliver queued listeners one at a time, in order.
+
+        Exactly one thread drains at a time: a second thread arriving
+        while delivery is in progress leaves its listener on the queue
+        for the draining thread (which re-checks the queue after every
+        callback, so nothing is stranded).  The lock is only held to
+        pop the queue, never across a callback.
+        """
         with self._lock:
-            listeners, self._listeners = self._listeners, []
-        for listener in listeners:
+            if self._delivering:
+                return
+            self._delivering = True
+        while True:
+            with self._lock:
+                if not self._listeners:
+                    self._delivering = False
+                    return
+                listener = self._listeners.popleft()
             self._deliver(listener)
 
     def _deliver(self, listener: Callable[["ListenableFuture[T]"], None]) -> None:
@@ -79,15 +106,19 @@ class ListenableFuture(Generic[T]):
         return self._future.exception(timeout=timeout)
 
     def add_listener(self, listener: Callable[["ListenableFuture[T]"], None]) -> None:
-        """Register a completion callback (fires immediately if done)."""
-        fire_now = False
+        """Register a completion callback.
+
+        On an unsettled future the listener fires when the future
+        settles.  On a settled future it fires before this method
+        returns — on the registering thread — unless another thread is
+        mid-delivery, in which case it is queued so that delivery stays
+        serialized and ordered (that thread delivers it).
+        """
         with self._lock:
-            if self._future.done():
-                fire_now = True
-            else:
-                self._listeners.append(listener)
-        if fire_now:
-            self._deliver(listener)
+            self._listeners.append(listener)
+            if not self._future.done():
+                return
+        self._drain()
 
     def transform(self, mapper: Callable[[T], object]) -> "ListenableFuture":
         """Derived future holding ``mapper(result)`` (errors propagate)."""

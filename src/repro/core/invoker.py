@@ -110,6 +110,7 @@ class RichClient:
         coalesce_identical: bool = True,
         serve_stale_on_error: bool = False,
         stale_while_revalidate: bool = False,
+        use_async_core: bool = False,
     ) -> None:
         """Build the client around ``registry``.
 
@@ -150,6 +151,14 @@ class RichClient:
             stale_while_revalidate: serve a stale entry immediately on
                 a cache miss while refreshing it asynchronously on the
                 thread pool (the refresh repopulates the cache).
+            use_async_core: route ``invoke`` / ``invoke_async`` /
+                ``invoke_batched`` (and everything built on them)
+                through the asyncio core (:mod:`repro.core.aio`) via a
+                loop-runner shim instead of the thread pool.  The API,
+                results, error types and metric/span names are
+                unchanged; the difference is that waits happen on one
+                event loop, so in-flight concurrency is no longer
+                bounded by threads.
         """
         self.registry = registry
         self.clock = self._registry_clock(registry)
@@ -182,6 +191,12 @@ class RichClient:
             tenancy.attach_clock(self.clock)
         self.serve_stale_on_error = serve_stale_on_error
         self.stale_while_revalidate = stale_while_revalidate
+        self.use_async_core = use_async_core
+        # Lazy async-core state: the AsyncInvoker mirror and the
+        # loop-runner shim are only built when first used.
+        self._aio = None
+        self._runner = None
+        self._aio_lock = threading.Lock()
         # Keys with an in-flight stale-while-revalidate refresh.
         self._swr_refreshing: set[str] = set()
         self._swr_lock = threading.Lock()
@@ -232,6 +247,36 @@ class RichClient:
             if id(transport) not in seen:
                 seen.add(id(transport))
                 transport.bind_obs(self.obs)
+
+    # -- async core ------------------------------------------------------------
+
+    @property
+    def aio(self):
+        """The event-loop mirror of this client (lazy, cached).
+
+        An :class:`repro.core.aio.AsyncInvoker` sharing this client's
+        monitor, cache, quota, tenancy and observability — the
+        ``await``-able API for callers that already run an event loop.
+        The import is deferred to keep ``repro.core.invoker`` free of a
+        package cycle with :mod:`repro.core.aio`.
+        """
+        if self._aio is None:
+            from repro.core.aio import AsyncInvoker
+
+            with self._aio_lock:
+                if self._aio is None:
+                    self._aio = AsyncInvoker(self)
+        return self._aio
+
+    def _loop_runner(self):
+        """The facade shim's loop runner (lazy, cached)."""
+        if self._runner is None:
+            from repro.core.aio import LoopRunner
+
+            with self._aio_lock:
+                if self._runner is None:
+                    self._runner = LoopRunner()
+        return self._runner
 
     @staticmethod
     def _registry_clock(registry: ServiceRegistry) -> Clock:
@@ -464,7 +509,17 @@ class RichClient:
         never queues past it.  ``allow_stale=False`` disables the
         degraded serve paths for this call (background refreshes use
         it).
+
+        With ``use_async_core=True`` the whole call runs as a
+        coroutine on the client's loop runner; semantics, errors and
+        telemetry are unchanged.
         """
+        if self.use_async_core:
+            return self._loop_runner().run(self.aio.ainvoke(
+                service_name, operation, payload, timeout=timeout,
+                use_cache=use_cache, quality_rater=quality_rater,
+                coalesce=coalesce, deadline=deadline,
+                allow_stale=allow_stale))
         payload = dict(payload or {})
         service = self.registry.get(service_name)
         hit = self.cached_result(service_name, operation, payload, use_cache,
@@ -667,7 +722,15 @@ class RichClient:
         ``deadline`` is carried into the pooled call unchanged — it is
         an absolute expiry, so handing it across threads keeps the
         original budget.
+
+        With ``use_async_core=True`` the call becomes an event-loop
+        task instead of occupying a pool thread; the returned
+        listenable settles from the loop with identical semantics.
         """
+        if self.use_async_core:
+            return self._loop_runner().submit_listenable(self.aio.ainvoke(
+                service_name, operation, payload, timeout=timeout,
+                use_cache=use_cache, coalesce=coalesce, deadline=deadline))
         return self.executor.submit(
             self.invoke, service_name, operation, payload,
             timeout=timeout, use_cache=use_cache, coalesce=coalesce,
@@ -707,7 +770,14 @@ class RichClient:
         per-item cost estimate, settled to the summed billed cost —
         the tenant-ledger analogue of the batch paying one wire round
         trip.
+
+        With ``use_async_core=True`` the batch call runs as a
+        coroutine on the client's loop runner, unchanged otherwise.
         """
+        if self.use_async_core:
+            return self._loop_runner().run(self.aio.ainvoke_batched(
+                service_name, operation, payloads, timeout=timeout,
+                use_cache=use_cache, deadline=deadline))
         payloads = [dict(payload) for payload in payloads]
         if not payloads:
             return []
@@ -1053,8 +1123,11 @@ class RichClient:
         return [self.monitor.summary(name) for name in self.monitor.services()]
 
     def close(self) -> None:
-        """Shut down the thread pool."""
+        """Shut down the thread pool (and the loop runner, if started)."""
         self.executor.shutdown()
+        if self._runner is not None:
+            self._runner.shutdown()
+            self._runner = None
 
     def __enter__(self) -> "RichClient":
         return self

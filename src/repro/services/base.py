@@ -285,19 +285,54 @@ class SimulatedService(ABC):
         failure; otherwise returns a :class:`ServiceResponse` carrying
         the observed latency and billed cost.
         """
+        server_fn, wire_request, params = self._prepare_invoke(operation, payload)
+        result = self.transport.call(
+            endpoint=self.name,
+            server_fn=server_fn,
+            request=wire_request,
+            timeout=timeout,
+            latency_params=params,
+        )
+        return self._parse_invoke(result, operation)
+
+    async def ainvoke(
+        self,
+        operation: str,
+        payload: Mapping[str, object] | None = None,
+        timeout: float | None = None,
+    ) -> ServiceResponse:
+        """Event-loop counterpart of :meth:`invoke`.
+
+        Same request/response semantics and the same exceptions; latency
+        is awaited on the event loop (:meth:`Transport.acall`) instead
+        of blocking a thread.  Cancelling the awaiting task abandons the
+        call mid-wire: server-side effects that already happened (quota
+        consumed, handler run) are not undone, matching a real network
+        where cancellation only stops the client from waiting.
+        """
+        server_fn, wire_request, params = self._prepare_invoke(operation, payload)
+        result = await self.transport.acall(
+            endpoint=self.name,
+            server_fn=server_fn,
+            request=wire_request,
+            timeout=timeout,
+            latency_params=params,
+        )
+        return self._parse_invoke(result, operation)
+
+    def _prepare_invoke(self, operation, payload):
+        """Build the (server_fn, wire request, latency params) triple."""
         request = ServiceRequest(operation, dict(payload or {}))
         params = self.latency_params(request)
 
         def server_fn(request_payload: dict) -> tuple[dict, float]:
             return self._serve(request, params)
 
-        result = self.transport.call(
-            endpoint=self.name,
-            server_fn=server_fn,
-            request={"operation": operation, "payload": dict(request.payload)},
-            timeout=timeout,
-            latency_params=params,
-        )
+        wire_request = {"operation": operation, "payload": dict(request.payload)}
+        return server_fn, wire_request, params
+
+    def _parse_invoke(self, result, operation: str) -> ServiceResponse:
+        """Turn a transport result into a :class:`ServiceResponse`."""
         if "value" not in result.payload or "cost" not in result.payload:
             # A garbled wire payload (e.g. chaos corruption) is a
             # transient transport-side failure, so surface it as a
@@ -338,11 +373,55 @@ class SimulatedService(ABC):
         (offline, timeout) still raise for the batch as a whole because
         the one wire call failed for every item.
         """
+        prepared = self._prepare_batch(operation, payloads)
+        if prepared is None:
+            return []
+        server_fn, wire_request, params, size = prepared
+        result = self.transport.call(
+            endpoint=self.name,
+            server_fn=server_fn,
+            request=wire_request,
+            timeout=timeout,
+            latency_params=params,
+            batch_size=size,
+        )
+        return self._parse_batch(result, operation)
+
+    async def ainvoke_batch(
+        self,
+        operation: str,
+        payloads: Sequence[Mapping[str, object]],
+        timeout: float | None = None,
+    ) -> list[ServiceResponse | RemoteServiceError]:
+        """Event-loop counterpart of :meth:`invoke_batch`.
+
+        One awaited round trip for the whole batch, with the same
+        per-item isolation and error semantics as the sync path.
+        Cancellation mid-wire abandons every item of the batch at once
+        (they share the single transport call); server-side effects for
+        items already served are not undone.
+        """
+        prepared = self._prepare_batch(operation, payloads)
+        if prepared is None:
+            return []
+        server_fn, wire_request, params, size = prepared
+        result = await self.transport.acall(
+            endpoint=self.name,
+            server_fn=server_fn,
+            request=wire_request,
+            timeout=timeout,
+            latency_params=params,
+            batch_size=size,
+        )
+        return self._parse_batch(result, operation)
+
+    def _prepare_batch(self, operation, payloads):
+        """Validate a batch; None for an empty one, else the call parts."""
         if not self.supports_batching:
             raise ValueError(f"service {self.name!r} has no batch endpoint")
         payloads = [dict(payload) for payload in payloads]
         if not payloads:
-            return []
+            return None
         if len(payloads) > self.batch_max_size:
             raise ValueError(
                 f"batch of {len(payloads)} exceeds {self.name!r}'s "
@@ -354,14 +433,11 @@ class SimulatedService(ABC):
         def server_fn(request_payload: dict) -> tuple[dict, float]:
             return self._serve_batch(requests)
 
-        result = self.transport.call(
-            endpoint=self.name,
-            server_fn=server_fn,
-            request={"operation": operation, "batch": payloads},
-            timeout=timeout,
-            latency_params=params,
-            batch_size=len(requests),
-        )
+        wire_request = {"operation": operation, "batch": payloads}
+        return server_fn, wire_request, params, len(requests)
+
+    def _parse_batch(self, result, operation: str) -> list[ServiceResponse | RemoteServiceError]:
+        """Unpack a batched transport result into per-item outcomes."""
         if "results" not in result.payload:
             raise RemoteServiceError(self.name, "malformed batch payload",
                                      status=502)

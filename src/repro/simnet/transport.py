@@ -18,7 +18,7 @@ transport would:
 from __future__ import annotations
 
 import json
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Generator, Mapping
 from dataclasses import dataclass, field
 
 from repro.obs import names
@@ -29,7 +29,7 @@ from repro.simnet.errors import (
     ServiceTimeoutError,
 )
 from repro.simnet.latency import ConstantLatency, LatencyDistribution
-from repro.util.clock import Clock, ManualClock
+from repro.util.clock import Clock, ManualClock, acharge
 from repro.util.errors import SerializationError
 from repro.util.rng import SeededRng
 
@@ -184,21 +184,66 @@ class Transport:
         if tracer is None:
             return self._call(endpoint, server_fn, request, timeout,
                               latency_params, batch_size)
-        attributes = {"endpoint": endpoint, "obs.category": "transport"}
-        if batch_size is not None:
-            attributes["batch_size"] = batch_size
-        span = tracer.start_span(names.SPAN_TRANSPORT_CALL, attributes)
+        span = self._start_span(tracer, endpoint, batch_size)
         try:
             result = self._call(endpoint, server_fn, request, timeout,
                                 latency_params, batch_size)
         except Exception as error:
             tracer.end_span(span, error)
             raise
+        self._finish_span(tracer, span, result)
+        return result
+
+    async def acall(
+        self,
+        endpoint: str,
+        server_fn: ServerFn,
+        request: Mapping[str, object],
+        timeout: float | None = None,
+        latency_params: Mapping[str, float] | None = None,
+        batch_size: int | None = None,
+    ) -> TransportResult:
+        """Event-loop counterpart of :meth:`call`.
+
+        Identical wire semantics (same plan, same errors, same stats
+        and spans); the difference is purely *how* latency is spent —
+        each charge point becomes an ``await``
+        (:func:`repro.util.clock.acharge`), so under a scaled
+        :class:`~repro.util.clock.RealClock` thousands of calls can be
+        in flight on one event loop, and under a virtual clock the call
+        completes instantly exactly like the sync path.
+
+        Cancellation: cancelling the awaiting task between charge
+        points abandons the call mid-wire — the charges spent so far
+        remain charged (the simulated bytes really crossed) but no
+        success or failure is recorded for the aborted remainder.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            return await self._acall(endpoint, server_fn, request, timeout,
+                                     latency_params, batch_size)
+        span = self._start_span(tracer, endpoint, batch_size)
+        try:
+            result = await self._acall(endpoint, server_fn, request, timeout,
+                                       latency_params, batch_size)
+        except Exception as error:
+            tracer.end_span(span, error)
+            raise
+        self._finish_span(tracer, span, result)
+        return result
+
+    def _start_span(self, tracer, endpoint: str, batch_size: int | None):
+        attributes = {"endpoint": endpoint, "obs.category": "transport"}
+        if batch_size is not None:
+            attributes["batch_size"] = batch_size
+        return tracer.start_span(names.SPAN_TRANSPORT_CALL, attributes)
+
+    @staticmethod
+    def _finish_span(tracer, span, result: TransportResult) -> None:
         span.attributes["latency"] = result.latency
         span.attributes["bytes_sent"] = result.bytes_sent
         span.attributes["bytes_received"] = result.bytes_received
         tracer.end_span(span)
-        return result
 
     def _call(
         self,
@@ -209,6 +254,54 @@ class Transport:
         latency_params: Mapping[str, float] | None,
         batch_size: int | None = None,
     ) -> TransportResult:
+        """Drive the shared charge plan synchronously (thread path)."""
+        plan = self._call_plan(endpoint, server_fn, request, timeout,
+                               latency_params, batch_size)
+        while True:
+            try:
+                charge = next(plan)
+            except StopIteration as done:
+                return done.value
+            self.clock.charge(charge)
+
+    async def _acall(
+        self,
+        endpoint: str,
+        server_fn: ServerFn,
+        request: Mapping[str, object],
+        timeout: float | None,
+        latency_params: Mapping[str, float] | None,
+        batch_size: int | None = None,
+    ) -> TransportResult:
+        """Drive the shared charge plan from the event loop."""
+        plan = self._call_plan(endpoint, server_fn, request, timeout,
+                               latency_params, batch_size)
+        while True:
+            try:
+                charge = next(plan)
+            except StopIteration as done:
+                return done.value
+            await acharge(self.clock, charge)
+
+    def _call_plan(
+        self,
+        endpoint: str,
+        server_fn: ServerFn,
+        request: Mapping[str, object],
+        timeout: float | None,
+        latency_params: Mapping[str, float] | None,
+        batch_size: int | None = None,
+    ) -> Generator[float, None, TransportResult]:
+        """One wire call as a generator of latency charges.
+
+        Yields each amount of simulated latency to spend; the sync
+        driver charges it to the clock (blocking under a scaled real
+        clock), the async driver awaits it.  Exceptions raised between
+        yields propagate to whichever driver is iterating, after the
+        charges already yielded have been spent — both paths therefore
+        share one copy of the connectivity/injection/timeout logic and
+        cannot drift apart.
+        """
         self.stats.record_call(endpoint, batch_size)
         if self._metric_calls is not None:
             self._metric_calls.inc(endpoint=endpoint)
@@ -234,7 +327,7 @@ class Transport:
             if status is not None:
                 # The request crossed the wire; the injected failure
                 # came back as the response, like a real 5xx/429.
-                self.clock.charge(outbound)
+                yield outbound
                 self.stats.bytes_sent += sent
                 if self._metric_bytes_sent is not None:
                     self._metric_bytes_sent.inc(sent)
@@ -247,7 +340,7 @@ class Transport:
             # The request crossed the wire and the service failed while
             # working on it; the client still paid the outbound trip and
             # the wait for the error response.
-            self.clock.charge(outbound)
+            yield outbound
             self.stats.bytes_sent += sent
             if self._metric_bytes_sent is not None:
                 self._metric_bytes_sent.inc(sent)
@@ -259,7 +352,7 @@ class Transport:
             total = injector.shape_latency(endpoint, now, total)
 
         if timeout is not None and total > timeout:
-            self.clock.charge(timeout)
+            yield timeout
             self.stats.timeouts += 1
             self.stats.bytes_sent += sent
             if self._metric_timeouts is not None:
@@ -272,7 +365,7 @@ class Transport:
         response_payload = _roundtrip(response_payload, "response")
         received = wire_size(response_payload)
 
-        self.clock.charge(total)
+        yield total
         self.stats.successes += 1
         self.stats.bytes_sent += sent
         self.stats.bytes_received += received

@@ -17,6 +17,7 @@ implementations are provided:
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from abc import ABC, abstractmethod
@@ -94,3 +95,31 @@ class RealClock(Clock):
 
 SYSTEM_CLOCK = RealClock()
 """A shared unscaled wall clock, the default for components that need one."""
+
+
+async def acharge(clock: Clock, seconds: float) -> None:
+    """Charge ``seconds`` of simulated latency without blocking the loop.
+
+    The event-loop counterpart of :meth:`Clock.charge`, used by the
+    async invocation core (:mod:`repro.core.aio`):
+
+    * under a virtual :class:`ManualClock`, charging is an instant
+      bookkeeping advance — identical to the sync path, so virtual-time
+      runs stay deterministic and bit-for-bit comparable;
+    * under a scaled :class:`RealClock`, the (scaled) wait becomes an
+      ``await asyncio.sleep`` instead of a thread-blocking
+      ``time.sleep``, which is what lets thousands of in-flight calls
+      share one event loop.
+
+    Cancellation: an ``asyncio.CancelledError`` raised while sleeping
+    aborts the charge; under a real clock :meth:`Clock.now` is derived
+    from wall time, so the partial wait is still observed.
+    """
+    time_scale = getattr(clock, "time_scale", None)
+    if time_scale is None:
+        # Virtual clock: charge() only advances a counter; it never
+        # sleeps, so calling it from a coroutine cannot stall the loop.
+        clock.charge(seconds)  # repro: ignore[RA007] — instant on a virtual clock
+        return
+    if seconds > 0:
+        await asyncio.sleep(seconds * time_scale)

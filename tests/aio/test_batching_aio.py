@@ -1,0 +1,87 @@
+"""Tests for the asyncio micro-batcher."""
+
+import asyncio
+
+import pytest
+
+from repro import RichClient, build_world
+from repro.simnet.connectivity import ScriptedConnectivity
+from repro.simnet.errors import ConnectivityError
+
+TEXT = "IBM announced excellent results while Initech struggled badly."
+OTHER = "Globex thrives while Vandelay Industries imports nothing."
+
+
+@pytest.fixture
+def client():
+    world = build_world(seed=42, corpus_size=30)
+    rich_client = RichClient(world.registry)
+    yield rich_client
+    rich_client.close()
+
+
+class TestSubmitAndFlush:
+    def test_window_fills_then_flushes_as_one_batch(self, client):
+        async def scenario():
+            batcher = client.aio.batcher(max_batch_size=2)
+            first = await batcher.submit("glotta", "analyze", {"text": TEXT},
+                                         use_cache=False)
+            assert not first.done()
+            assert batcher.pending() == 1
+            second = await batcher.submit("glotta", "analyze", {"text": OTHER},
+                                          use_cache=False)
+            # The second submit crossed the size limit: flushed inline.
+            assert batcher.pending() == 0
+            results = [await first, await second]
+            assert [r.batched for r in results] == [True, True]
+            assert batcher.stats.size_flushes == 1
+            assert batcher.stats.items_flushed == 2
+
+        asyncio.run(scenario())
+
+    def test_flush_all_drains_open_windows(self, client):
+        async def scenario():
+            batcher = client.aio.batcher(max_batch_size=8)
+            future = await batcher.submit("glotta", "analyze", {"text": TEXT},
+                                          use_cache=False)
+            sent = await batcher.flush_all()
+            assert sent == 1
+            return (await future).value
+
+        assert asyncio.run(scenario())["entities"]
+
+    def test_cache_hit_resolves_without_a_window(self, client):
+        async def scenario():
+            client.invoke("glotta", "analyze", {"text": TEXT})
+            batcher = client.aio.batcher()
+            future = await batcher.submit("glotta", "analyze", {"text": TEXT})
+            assert future.done()
+            assert batcher.pending() == 0
+            return await future
+
+        assert asyncio.run(scenario()).cached
+
+    def test_validation(self, client):
+        batcher = client.aio
+        with pytest.raises(ValueError):
+            batcher.batcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            batcher.batcher(max_wait=-1.0)
+
+    def test_whole_batch_failure_fails_every_rider(self, client):
+        async def scenario():
+            batcher = client.aio.batcher(max_batch_size=8)
+            futures = [
+                await batcher.submit("glotta", "analyze", {"text": text},
+                                     use_cache=False)
+                for text in (TEXT, OTHER)
+            ]
+            client.registry.get("glotta").transport.connectivity = \
+                ScriptedConnectivity([], initially_online=False)
+            # The flush itself returns: the shared failure lands on
+            # every rider's future instead of the flushing caller.
+            assert await batcher.flush_all() == 2
+            for future in futures:
+                assert isinstance(future.exception(), ConnectivityError)
+
+        asyncio.run(scenario())

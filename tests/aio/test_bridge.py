@@ -1,0 +1,78 @@
+"""Tests for the ListenableFuture <-> asyncio bridges."""
+
+import asyncio
+
+import pytest
+
+from repro.core.aio import listenable_to_asyncio, task_to_listenable
+from repro.core.futures import ListenableFuture
+
+
+class TestListenableToAsyncio:
+    def test_result_crosses(self):
+        async def scenario():
+            listenable = ListenableFuture()
+            mirrored = listenable_to_asyncio(listenable)
+            listenable.set_result("payload")
+            return await mirrored
+
+        assert asyncio.run(scenario()) == "payload"
+
+    def test_already_settled_listenable_crosses(self):
+        async def scenario():
+            listenable = ListenableFuture()
+            listenable.set_result(5)
+            return await listenable_to_asyncio(listenable)
+
+        assert asyncio.run(scenario()) == 5
+
+    def test_error_crosses(self):
+        async def scenario():
+            listenable = ListenableFuture()
+            mirrored = listenable_to_asyncio(listenable)
+            listenable.set_exception(KeyError("missing"))
+            await mirrored
+
+        with pytest.raises(KeyError):
+            asyncio.run(scenario())
+
+    def test_cancelling_the_mirror_detaches_only(self):
+        async def scenario():
+            listenable = ListenableFuture()
+            mirrored = listenable_to_asyncio(listenable)
+            mirrored.cancel()
+            listenable.set_result("survives")
+            await asyncio.sleep(0)
+            return listenable.get(timeout=0)
+
+        assert asyncio.run(scenario()) == "survives"
+
+
+class TestTaskToListenable:
+    def test_result_crosses(self):
+        async def scenario():
+            async def work():
+                return 11
+
+            listenable = task_to_listenable(asyncio.ensure_future(work()))
+            await asyncio.sleep(0)
+            return listenable
+
+        listenable = asyncio.run(scenario())
+        assert listenable.get(timeout=0) == 11
+
+    def test_cancelled_task_settles_with_cancellation(self):
+        async def scenario():
+            async def hang():
+                await asyncio.sleep(3600)
+
+            task = asyncio.ensure_future(hang())
+            listenable = task_to_listenable(task)
+            await asyncio.sleep(0)
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
+            return listenable
+
+        listenable = asyncio.run(scenario())
+        with pytest.raises(asyncio.CancelledError):
+            listenable.get(timeout=0)

@@ -1,0 +1,122 @@
+"""Tests for hedged requests as cancellable event-loop tasks."""
+
+import asyncio
+
+import pytest
+
+from repro import RichClient, build_world
+from repro.core.aio.hedging import AsyncHedgedInvoker
+from repro.core.aio.invoker import AsyncInvoker
+from repro.core.ranking import Weights
+from repro.util.clock import RealClock
+
+TIME_SCALE = 0.02
+TEXT = "Globex thrives while Initech struggles."
+
+
+@pytest.fixture
+def rt_client():
+    world = build_world(seed=59, corpus_size=20,
+                        clock=RealClock(time_scale=TIME_SCALE))
+    client = RichClient(world.registry)
+    yield client
+    client.close()
+
+
+class TestDeadlines:
+    def test_default_deadline_without_history(self, rt_client):
+        hedger = AsyncHedgedInvoker(AsyncInvoker(rt_client),
+                                    default_deadline=0.42)
+        assert hedger.deadline_for("lexica-prime") == 0.42
+
+    def test_percentile_validated(self, rt_client):
+        with pytest.raises(ValueError):
+            AsyncHedgedInvoker(AsyncInvoker(rt_client),
+                               deadline_percentile=1.0)
+
+
+class TestHedgedInvocation:
+    def test_fast_primary_never_hedges(self, rt_client):
+        async def scenario():
+            hedger = AsyncHedgedInvoker(
+                AsyncInvoker(rt_client),
+                weights=Weights(response_time=1, cost=0, quality=0))
+            hedger.deadline_for = lambda service: 10.0
+            return hedger, await hedger.ainvoke(
+                "nlu", "analyze", {"text": TEXT}, use_cache=False)
+
+        hedger, result = asyncio.run(scenario())
+        assert result.value["sentiment"]
+        assert hedger.stats.hedges_fired == 0
+        assert hedger.stats.primary_wins == 1
+
+    def test_slow_primary_fires_a_hedge_and_cancels_the_loser(self, rt_client):
+        async def scenario():
+            invoker = AsyncInvoker(rt_client)
+            hedger = AsyncHedgedInvoker(invoker)
+            hedger.deadline_for = lambda service: 0.0
+            original = invoker.ainvoke
+            cancelled = set()
+
+            async def instrumented(service, operation, payload=None, **kwargs):
+                try:
+                    if service == "lexica-prime":
+                        await asyncio.sleep(0.5)
+                    return await original(service, operation, payload, **kwargs)
+                except asyncio.CancelledError:
+                    cancelled.add(service)
+                    raise
+
+            invoker.ainvoke = instrumented
+            result = await hedger.ainvoke(
+                "nlu", "analyze", {"text": TEXT}, use_cache=False,
+                candidates=["lexica-prime", "glotta"])
+            return hedger, result, cancelled
+
+        hedger, result, cancelled = asyncio.run(scenario())
+        assert result.service == "glotta"
+        assert hedger.stats.hedges_fired == 1
+        assert hedger.stats.hedge_wins == 1
+        assert cancelled == {"lexica-prime"}
+
+    def test_single_candidate_cannot_hedge(self, rt_client):
+        async def scenario():
+            hedger = AsyncHedgedInvoker(AsyncInvoker(rt_client))
+            hedger.deadline_for = lambda service: 0.0
+            return hedger, await hedger.ainvoke(
+                "nlu", "analyze", {"text": TEXT}, use_cache=False,
+                candidates=["glotta"])
+
+        hedger, result = asyncio.run(scenario())
+        assert result.service == "glotta"
+        assert hedger.stats.hedges_fired == 0
+
+    def test_cancelling_the_caller_cancels_both_legs(self, rt_client):
+        async def scenario():
+            invoker = AsyncInvoker(rt_client)
+            hedger = AsyncHedgedInvoker(invoker)
+            hedger.deadline_for = lambda service: 0.0
+            original = invoker.ainvoke
+            cancelled = set()
+
+            async def instrumented(service, operation, payload=None, **kwargs):
+                try:
+                    await asyncio.sleep(0.5)
+                    return await original(service, operation, payload, **kwargs)
+                except asyncio.CancelledError:
+                    cancelled.add(service)
+                    raise
+
+            invoker.ainvoke = instrumented
+            call = asyncio.ensure_future(hedger.ainvoke(
+                "nlu", "analyze", {"text": TEXT}, use_cache=False,
+                candidates=["lexica-prime", "glotta"]))
+            await asyncio.sleep(0.1)
+            call.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await call
+            await asyncio.sleep(0.05)
+            return cancelled
+
+        cancelled = asyncio.run(scenario())
+        assert cancelled == {"lexica-prime", "glotta"}

@@ -151,3 +151,90 @@ class TestCallbackExecutor:
     def test_workers_validated(self):
         with pytest.raises(ValueError):
             CallbackExecutor(max_workers=0)
+
+
+class TestSerializedListenerDelivery:
+    """Regression: listener dispatch must be serialized and in order.
+
+    The pre-async-core implementation delivered a listener registered
+    during an in-progress completion immediately on the registering
+    thread, overlapping (and reordering) it with the completing
+    thread's own dispatch loop — unsafe for callbacks that assume
+    Guava's serialized delivery (the asyncio bridge does).
+    """
+
+    def test_listener_added_mid_delivery_waits_its_turn(self):
+        future = ListenableFuture()
+        order = []
+        in_first = threading.Event()
+        release_first = threading.Event()
+        registered = threading.Event()
+
+        def slow_first(_):
+            order.append("first")
+            in_first.set()
+            # Hold delivery open until the racing add_listener returned.
+            assert release_first.wait(timeout=5)
+
+        def late(_):
+            order.append("late")
+
+        future.add_listener(slow_first)
+
+        def racer():
+            assert in_first.wait(timeout=5)
+            future.add_listener(late)  # must queue, not run here
+            registered.set()
+
+        thread = threading.Thread(target=racer)
+        thread.start()
+        completer = threading.Thread(target=future.set_result, args=(1,))
+        completer.start()
+        assert registered.wait(timeout=5)
+        # The late listener was registered while `slow_first` is still
+        # executing; serialized delivery means it has NOT run yet.
+        assert order == ["first"]
+        release_first.set()
+        completer.join(timeout=5)
+        thread.join(timeout=5)
+        assert order == ["first", "late"]
+        assert future.listener_errors == []
+
+    def test_concurrent_registrations_never_overlap(self):
+        """Hammer add_listener against set_result; delivery stays single-file."""
+        for _ in range(50):
+            future = ListenableFuture()
+            running = []
+            overlaps = []
+            lock = threading.Lock()
+
+            def listener(_):
+                with lock:
+                    running.append(1)
+                    if len(running) > 1:
+                        overlaps.append(1)
+                with lock:
+                    running.pop()
+
+            for _ in range(4):
+                future.add_listener(listener)
+            barrier = threading.Barrier(3)
+
+            def register():
+                barrier.wait()
+                for _ in range(8):
+                    future.add_listener(listener)
+
+            def complete():
+                barrier.wait()
+                future.set_result("x")
+
+            threads = [threading.Thread(target=register),
+                       threading.Thread(target=register),
+                       threading.Thread(target=complete)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert not overlaps
+            assert future.listener_errors == []

@@ -1,0 +1,182 @@
+"""A13 — sharded storage: parallel fan-out crossover and SQLite scale.
+
+Two quantitative claims for the storage tentpole:
+
+1. **Parallel scatter beats a single store past a crossover size.**
+   The same native numeric top-k query (range filter + ORDER BY +
+   LIMIT, compiled to each shard's ``scan_numeric``) is timed against
+   ``ShardedGraph(1, sqlite)`` and ``ShardedGraph(N, sqlite)`` on a
+   ladder of triple counts.  Both sides run identical SQLite C scans —
+   the only variable is fan-out across the worker pool — so the
+   reported crossover isolates parallelism, not engine differences.
+   SQLite releases the GIL inside its scans, which is what makes the
+   threads real; the in-memory family is also timed as context to show
+   pure-Python shard scans *cannot* win under the GIL.
+
+2. **A SQLite-backed KB handles a graph beyond comfortable in-memory
+   size, byte-identically.**  A file-backed KB is loaded with more
+   triples than the in-memory reference, its on-disk footprint is
+   compared with the tracemalloc cost of holding the same triples in
+   RAM, and a query suite must answer byte-for-byte the same on both.
+
+Results land in ``benchmarks/results/BENCH_A13.json``.  The default
+run is a smoke-sized ladder (CI-friendly); set ``A13_FULL=1`` for the
+full ladder, where the crossover assertion is enforced.
+"""
+
+import os
+import time
+import tracemalloc
+
+from benchmarks._report import fmt_row, report, report_json
+from repro.kb import PersonalKnowledgeBase
+from repro.stores.backends.sqlite import SqliteTripleStore
+from repro.stores.rdf.graph import Graph
+from repro.stores.rdf.query import RangeFilter, select
+from repro.stores.rdf.shard import ShardedGraph
+
+FULL = os.environ.get("A13_FULL") == "1"
+#: Scatter wall-clock wins need real cores to land the per-shard C
+#: scans on; on a single-core host the fan-out can only tie, so the
+#: speedup assertion is gated on this.
+CORES = os.cpu_count() or 1
+SHARDS = 4
+REPEATS = 5 if FULL else 3
+LADDER = [4_000, 16_000, 64_000, 160_000] if FULL else [2_000, 8_000]
+KB_TRIPLES = 120_000 if FULL else 12_000
+
+
+def _triples(count: int):
+    for i in range(count):
+        yield (f"repro:reading{i}", "repro:value", (i * 7919) % count * 0.5)
+
+
+def _query(graph) -> list:
+    """The benchmarked query: numeric range + descending top-100."""
+    patterns = [("?s", "repro:value", "?v")]
+    filters = [RangeFilter("?v", 100.0, None)]
+    runner = getattr(graph, "select", None)
+    if callable(runner):
+        return runner(patterns, filters=filters, order_by="?v",
+                      descending=True, limit=100)
+    return select(graph, patterns, filters=filters, order_by="?v",
+                  descending=True, limit=100)
+
+
+def _best_time(graph) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        _query(graph)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _build(count: int, shards: int, sqlite: bool):
+    factory = (lambda index: SqliteTripleStore()) if sqlite else None
+    graph = ShardedGraph(shards=shards, backend_factory=factory,
+                         parallel_threshold=0)
+    graph.add_all(_triples(count))
+    return graph
+
+
+def test_a13_parallel_scatter_crossover_and_sqlite_scale(tmp_path):
+    # -- claim 1: the crossover ladder ---------------------------------
+    ladder_rows = []
+    crossover = None
+    for count in LADDER:
+        single = _build(count, 1, sqlite=True)
+        sharded = _build(count, SHARDS, sqlite=True)
+        assert _query(single) == _query(sharded)  # identical bytes first
+        t_single = _best_time(single)
+        t_sharded = _best_time(sharded)
+        memory_single = Graph()
+        memory_single.add_all(_triples(count))
+        t_memory = _best_time(memory_single)
+        memory_sharded = _build(count, SHARDS, sqlite=False)
+        t_memory_sharded = _best_time(memory_sharded)
+        single.close()
+        sharded.close()
+        memory_sharded.close()
+        speedup = t_single / t_sharded
+        if crossover is None and t_sharded < t_single:
+            crossover = count
+        ladder_rows.append({
+            "triples": count,
+            "sqlite_single_ms": round(t_single * 1000, 3),
+            "sqlite_sharded_ms": round(t_sharded * 1000, 3),
+            "sqlite_speedup": round(speedup, 3),
+            "memory_single_ms": round(t_memory * 1000, 3),
+            "memory_sharded_ms": round(t_memory_sharded * 1000, 3),
+        })
+
+    # -- claim 2: SQLite KB beyond comfortable in-memory size -----------
+    kb = PersonalKnowledgeBase(data_dir=tmp_path, storage="sqlite",
+                               shards=SHARDS)
+    kb.graph.add_all(_triples(KB_TRIPLES))
+    disk_bytes = sum(
+        path.stat().st_size for path in (tmp_path / "triples").glob("*"))
+
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    in_memory = Graph()
+    in_memory.add_all(_triples(KB_TRIPLES))
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    ram_bytes = sum(stat.size_diff
+                    for stat in after.compare_to(before, "filename"))
+
+    reference_kb = PersonalKnowledgeBase()
+    reference_kb.graph.add_all(_triples(KB_TRIPLES))
+    suite = [
+        dict(patterns=[("?s", "repro:value", "?v")],
+             filters=[RangeFilter("?v", 50.0, 200.0)], order_by="?v",
+             limit=250),
+        dict(patterns=[("repro:reading17", "repro:value", "?v")]),
+        dict(patterns=[("?s", "repro:value", "?v")], order_by="?v",
+             descending=True, limit=50),
+    ]
+    for query in suite:
+        assert kb.query(**query) == reference_kb.query(**query)
+    kb.graph.close()
+
+    # -- report ---------------------------------------------------------
+    lines = [fmt_row("triples", "sqlite 1-shard", f"sqlite {SHARDS}-shard",
+                     "speedup", "memory 1", f"memory {SHARDS}")]
+    for row in ladder_rows:
+        lines.append(fmt_row(
+            row["triples"], f"{row['sqlite_single_ms']:.2f} ms",
+            f"{row['sqlite_sharded_ms']:.2f} ms",
+            f"{row['sqlite_speedup']:.2f}x",
+            f"{row['memory_single_ms']:.2f} ms",
+            f"{row['memory_sharded_ms']:.2f} ms"))
+    lines.append(f"crossover (sharded wins): "
+                 f"{crossover if crossover else 'not reached on this ladder'}"
+                 f" [{CORES} core(s) available]")
+    lines.append(f"sqlite KB: {KB_TRIPLES} triples, "
+                 f"{disk_bytes / 1e6:.1f} MB on disk vs "
+                 f"{ram_bytes / 1e6:.1f} MB resident in-memory")
+    report("A13", "sharded storage: fan-out crossover + SQLite scale", lines)
+    report_json("A13", {
+        "experiment": "A13.sharded-storage",
+        "shards": SHARDS,
+        "cores": CORES,
+        "full": FULL,
+        "ladder": ladder_rows,
+        "crossover_triples": crossover,
+        "sqlite_kb": {
+            "triples": KB_TRIPLES,
+            "disk_bytes": disk_bytes,
+            "in_memory_bytes": ram_bytes,
+            "query_suite_identical": True,
+        },
+    })
+
+    # Correctness invariants always hold; the parallel-speedup claim is
+    # only enforceable on the full ladder AND with real cores to fan
+    # out onto — a single-core host can at best tie (the numbers are
+    # still reported so the crossover is visible where it exists).
+    assert all(row["sqlite_sharded_ms"] > 0 for row in ladder_rows)
+    if FULL and CORES >= 2:
+        assert crossover is not None, "sharded never beat single-shard"
+        assert ladder_rows[-1]["sqlite_speedup"] > 1.2

@@ -21,7 +21,13 @@ Everything runs on the simulation clock and a :class:`SeededRng`, so a
 scenario replayed with the same seed yields a byte-identical report.
 """
 
-from repro.chaos.inject import ChaosInjector, FaultyStore, SkewedClock
+from repro.chaos.inject import (
+    ChaosInjector,
+    FaultyStore,
+    SkewedClock,
+    SqliteWriteBurst,
+    StorageFaultError,
+)
 from repro.chaos.invariants import InvariantReport, InvariantResult
 from repro.chaos.plan import (
     ClockSkew,
@@ -55,6 +61,8 @@ __all__ = [
     "SCENARIOS",
     "ScenarioResult",
     "SkewedClock",
+    "SqliteWriteBurst",
+    "StorageFaultError",
     "Window",
     "run_all",
     "run_scenario",

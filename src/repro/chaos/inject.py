@@ -224,6 +224,43 @@ class FaultyStore(KeyValueStore):
         return self.inner.keys(prefix)
 
 
+class SqliteWriteBurst:
+    """A mid-transaction write fault for the SQLite triple backend.
+
+    Pass as ``fault_hook`` to
+    :class:`~repro.stores.backends.sqlite.SqliteTripleStore`: the
+    backend consults the hook *between chunks of one open batch
+    transaction*.  Each consultation charges ``chunk_cost`` simulated
+    seconds on ``clock`` and raises :class:`StorageFaultError` if time
+    has entered one of ``fault_windows`` — so the failure lands with
+    earlier chunks already executed, exactly where a partial-write bug
+    would surface.  The backend's contract under this fault is total
+    rollback: no triple from the failed batch (and no interned term)
+    may ever become visible, which
+    ``tests/chaos/test_sqlite_faults.py`` asserts.
+    """
+
+    def __init__(self, clock: Clock, fault_windows: list[Window],
+                 chunk_cost: float = 0.01,
+                 name: str = "sqlite-shard") -> None:
+        self.clock = clock
+        self.fault_windows = list(fault_windows)
+        self.chunk_cost = chunk_cost
+        self.name = name
+        self.faults_raised = 0
+        self.chunks_seen = 0
+
+    def __call__(self, chunk_index: int) -> None:
+        """Charge one chunk's write time, then fail if inside a window."""
+        self.chunks_seen += 1
+        self.clock.charge(self.chunk_cost)
+        now = self.clock.now()
+        for window in self.fault_windows:
+            if window.contains(now):
+                self.faults_raised += 1
+                raise StorageFaultError(self.name)
+
+
 def _specs_summary(specs: tuple[FaultSpec, ...]) -> str:
     """Short stable summary used by scenario descriptions."""
     return ", ".join(spec.describe() for spec in specs) if specs else "none"

@@ -10,7 +10,7 @@ remote storage; and keeps operating while disconnected, resynchronizing
 later.
 """
 
-from repro.kb.knowledge_base import PersonalKnowledgeBase
+from repro.kb.knowledge_base import KnowledgeBase, PersonalKnowledgeBase
 from repro.kb.disambiguation import (
     EntityDisambiguator,
     ExactMatchStrategy,
@@ -26,6 +26,7 @@ from repro.kb.trust import TrustAwarePipeline
 __all__ = [
     "TrustAwarePipeline",
     "PersonalKnowledgeBase",
+    "KnowledgeBase",
     "EntityDisambiguator",
     "ExactMatchStrategy",
     "ServiceBackedStrategy",

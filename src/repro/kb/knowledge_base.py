@@ -30,10 +30,12 @@ from repro.stores.converters import (
 )
 from repro.stores.csvio import read_csv, write_csv
 from repro.stores.kvstore import FileKeyValueStore, InMemoryKeyValueStore, KeyValueStore
+from repro.stores.backends.sqlite import SqliteTripleStore
 from repro.stores.rdf.graph import Graph, RDF, RDFS, REPRO, Triple
 from repro.stores.rdf.materialize import MaterializedGraph
-from repro.stores.rdf.plan import QueryPlan, build_plan
+from repro.stores.rdf.plan import QueryPlan, build_plan, build_sharded_plan
 from repro.stores.rdf.query import select
+from repro.stores.rdf.shard import ShardedGraph
 from repro.stores.rdf.reasoner import RdfsReasoner, TransitiveReasoner
 from repro.stores.rdf.rules import GenericRuleReasoner, Rule
 from repro.stores.relational import Database, Table
@@ -48,6 +50,16 @@ class PersonalKnowledgeBase:
     fully offline (local stores, local analysis, local spell check);
     attaching a client adds disambiguation services, public data
     ingestion and secure remote persistence.
+
+    The RDF store's physical layer is configurable: ``storage`` picks
+    the backend (``"memory"``, ``"sqlite"``, or a ``factory(index)``
+    callable building any :class:`~repro.stores.backends.base.\
+StorageBackend`) and ``shards`` splits it into N hash-sharded pieces
+    queried with parallel fan-out.  The defaults keep the original
+    single in-memory :class:`Graph` — bit-for-bit, including planner
+    estimates.  SQLite shards persist under ``data_dir/triples/`` when
+    a ``data_dir`` is configured (reopening the same KB finds its
+    triples again), else they live in ``:memory:``.
     """
 
     def __init__(
@@ -57,6 +69,8 @@ class PersonalKnowledgeBase:
         disambiguator: EntityDisambiguator | None = None,
         spellchecker: LocalSpellChecker | None = None,
         remote: OfflineSyncStore | None = None,
+        storage: str | object = "memory",
+        shards: int = 1,
         obs=None,
     ) -> None:
         self.client = client
@@ -68,14 +82,19 @@ class PersonalKnowledgeBase:
         else:
             self.kv = InMemoryKeyValueStore()
         self.database = Database()
-        self.graph = Graph()
+        self.storage = storage
+        self.shards = shards
+        # Observability is resolved before the graph is built so the
+        # sharded router and SQLite backends can register instruments.
+        self._storage_obs = obs if obs is not None else (
+            client.obs if client is not None else None)
+        self.graph = self._build_graph()
         self.disambiguator = disambiguator
         self.spellchecker = spellchecker
         self.remote = remote
         # Observability: an explicit bundle wins; otherwise reuse the
         # client's so KB spans land in the same trace collector.
-        self.obs = obs if obs is not None else (
-            client.obs if client is not None else None)
+        self.obs = self._storage_obs
         self.view: MaterializedGraph | None = None
         self._view_reasoners: list | None = None
         self.pipeline = AnalysisPipeline(self.graph, obs=self.obs)
@@ -92,6 +111,44 @@ class PersonalKnowledgeBase:
         """Where writes go: the materialized view when enabled, else
         the raw graph (both share the same underlying triples)."""
         return self.view if self.view is not None else self.graph
+
+    @property
+    def uses_default_storage(self) -> bool:
+        """Whether the RDF store is the original single in-memory Graph."""
+        return self.storage == "memory" and self.shards == 1
+
+    def _backend_factory(self):
+        """The per-shard backend builder for the configured storage."""
+        if callable(self.storage):
+            return self.storage
+        if self.storage == "memory":
+            return lambda index: Graph()
+        if self.storage == "sqlite":
+            if self.data_dir is None:
+                return lambda index: SqliteTripleStore(
+                    ":memory:", obs=self._storage_obs)
+            triples_dir = self.data_dir / "triples"
+            triples_dir.mkdir(parents=True, exist_ok=True)
+            return lambda index: SqliteTripleStore(
+                triples_dir / f"shard{index}.sqlite", obs=self._storage_obs)
+        raise ConfigurationError(
+            f"unknown storage {self.storage!r}; choose 'memory', 'sqlite' "
+            "or pass a backend factory")
+
+    def _build_graph(self):
+        """Construct the RDF store per ``storage`` / ``shards``.
+
+        The default configuration returns a plain :class:`Graph` —
+        not a one-shard router — so existing KBs see the exact same
+        object type and behavior.  Anything else goes through
+        :class:`ShardedGraph` (even at ``shards=1``, which adds the
+        fan-out engine's native numeric pushdown at no routing cost).
+        """
+        if self.uses_default_storage:
+            return Graph()
+        return ShardedGraph(shards=self.shards,
+                            backend_factory=self._backend_factory(),
+                            obs=self._storage_obs)
 
     # ------------------------------------------------------------------
     # Fact entry ("it is very easy for users to enter new facts")
@@ -234,16 +291,47 @@ class PersonalKnowledgeBase:
         with span:
             if self.view is not None:
                 return self.view.select(patterns, **kwargs)
+            runner = getattr(self.graph, "select", None)
+            if callable(runner):
+                # A store with its own execution strategy (the sharded
+                # router) routes / scatters / broadcasts itself.
+                return runner(patterns, **kwargs)
             return select(self.graph, patterns, **kwargs)
+
+    async def aquery(self, patterns, **kwargs):
+        """Awaitable :meth:`query` for ``repro.core.aio`` callers.
+
+        Sharded stores fan out natively (one awaited task per shard);
+        single stores run the query on the default executor so the
+        event loop stays unblocked either way.
+        """
+        if self._metric_queries is not None:
+            self._metric_queries.inc()
+        arunner = getattr(self.graph, "aselect", None)
+        if self.view is None and callable(arunner):
+            return await arunner(patterns, **kwargs)
+        import asyncio
+        import functools
+
+        loop = asyncio.get_running_loop()
+        target = self.view.select if self.view is not None else functools.partial(
+            select, self.graph)
+        return await loop.run_in_executor(
+            None, functools.partial(target, patterns, **kwargs))
 
     def explain(self, patterns, filters: Sequence = ()) -> QueryPlan:
         """The planner's chosen join order and filter placement.
 
-        Returns a :class:`QueryPlan`; its :meth:`~QueryPlan.explain`
-        gives a stable dict (pattern order, per-step cardinality
-        estimates, pushed-down filters) and :meth:`~QueryPlan.describe`
-        a human-readable rendering.
+        Returns a :class:`QueryPlan` for single stores; sharded stores
+        get a :class:`~repro.stores.rdf.plan.FanoutPlan` whose envelope
+        adds the routing decision (scatter / broadcast / single-shard)
+        and native-pushdown flag around the same inner plan.  Both
+        expose ``explain()`` (stable dict) and ``describe()`` (text);
+        the inner join plan is byte-identical across shard counts
+        because the router's statistics are global.
         """
+        if hasattr(self.graph, "route_select"):
+            return build_sharded_plan(self.graph, patterns, filters)
         return build_plan(self.graph, patterns, filters)
 
     def enable_materialization(
@@ -348,7 +436,14 @@ class PersonalKnowledgeBase:
 
     def restore(self, snapshot: dict) -> None:
         """Replace current contents with a snapshot's."""
-        self.graph = Graph.from_list(snapshot.get("graph", []))
+        payload = snapshot.get("graph", [])
+        if self.uses_default_storage:
+            self.graph = Graph.from_list(payload)
+        else:
+            # Reuse the configured backends in place (SQLite files stay
+            # open and are cleared transactionally; versions advance).
+            self.graph.clear()
+            self.graph.add_all(tuple(item) for item in payload)
         if self.view is not None:
             # Re-wrap the fresh graph; restored triples all count as
             # base facts (a snapshot of a closed graph stays closed).
@@ -397,3 +492,8 @@ class PersonalKnowledgeBase:
         if not isinstance(snapshot, dict):
             raise NotFoundError(f"remote key {key!r} does not hold a snapshot")
         self.restore(snapshot)
+
+
+#: Short alias — the configuration-facing name used in docs/examples
+#: (``KnowledgeBase(storage="sqlite", shards=4)``).
+KnowledgeBase = PersonalKnowledgeBase

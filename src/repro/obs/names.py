@@ -77,6 +77,11 @@ TRANSPORT_BYTES_RECEIVED_TOTAL = "transport_bytes_received_total"
 TRANSPORT_TIMEOUTS_TOTAL = "transport_timeouts_total"
 TRANSPORT_OFFLINE_FAILURES_TOTAL = "transport_offline_failures_total"
 
+# -- storage backends / sharding -----------------------------------------------
+KB_SHARD_SCANS_TOTAL = "kb_shard_scans_total"
+KB_SHARD_FANOUT_MS = "kb_shard_fanout_ms"
+STORAGE_BACKEND_OPS_TOTAL = "storage_backend_ops_total"
+
 # -- knowledge base / reasoning ------------------------------------------------
 KB_QUERIES_TOTAL = "kb_queries_total"
 KB_SERIES_ANALYZED_TOTAL = "kb_series_analyzed_total"
@@ -96,6 +101,7 @@ SPAN_SDK_HEDGED_INVOKE = "sdk.hedged_invoke"
 SPAN_FAILOVER_ATTEMPT = "failover.attempt"
 SPAN_TRANSPORT_CALL = "transport.call"
 SPAN_KB_QUERY = "kb.query"
+SPAN_KB_SHARD_SCAN = "kb.shard.scan"
 SPAN_KB_INFER = "kb.infer"
 SPAN_KB_ANALYZE_SERIES = "kb.analyze_series"
 SPAN_CHAOS_SCENARIO = "chaos.scenario"

@@ -5,9 +5,18 @@ DBMS (MySQL in the paper), key-value stores, and an RDF triple store
 with reasoning (Apache Jena in the paper).  Each has a from-scratch
 equivalent here, plus the format converters the paper calls "a key
 property" of the PKB.
+
+The triple store's physical layer is pluggable
+(:mod:`repro.stores.backends`): the in-memory indexed graph and a
+stdlib-``sqlite3`` file backend satisfy the same
+:class:`~repro.stores.backends.base.StorageBackend` contract, and
+:class:`~repro.stores.rdf.shard.ShardedGraph` composes N of either
+behind hash sharding with parallel fan-out queries.
 """
 
+from repro.stores.backends import SqliteTripleStore, StorageBackend
 from repro.stores.kvstore import KeyValueStore, InMemoryKeyValueStore, FileKeyValueStore
+from repro.stores.rdf.shard import ShardedGraph, shard_of
 from repro.stores.csvio import read_csv, write_csv, read_csv_text, write_csv_text
 from repro.stores.relational import Column, Database, Table
 from repro.stores.converters import (
@@ -19,6 +28,10 @@ from repro.stores.converters import (
 )
 
 __all__ = [
+    "StorageBackend",
+    "SqliteTripleStore",
+    "ShardedGraph",
+    "shard_of",
     "KeyValueStore",
     "InMemoryKeyValueStore",
     "FileKeyValueStore",

@@ -1,0 +1,22 @@
+"""Pluggable storage backends for the PKB triple store.
+
+* :mod:`repro.stores.backends.base` — the :class:`StorageBackend`
+  protocol (structural; the in-memory
+  :class:`~repro.stores.rdf.graph.Graph` satisfies it unchanged) and
+  the shared canonical dump order.
+* :mod:`repro.stores.backends.sqlite` — :class:`SqliteTripleStore`,
+  a stdlib-``sqlite3`` file / ``:memory:`` backend with WAL, batched
+  transactional writes and index-backed prefix scans.
+
+The hash-sharded composite lives in :mod:`repro.stores.rdf.shard`
+(it is a query-execution layer as much as a storage one).
+"""
+
+from repro.stores.backends.base import StorageBackend, canonical_triple_list
+from repro.stores.backends.sqlite import SqliteTripleStore
+
+__all__ = [
+    "StorageBackend",
+    "SqliteTripleStore",
+    "canonical_triple_list",
+]

@@ -1,0 +1,130 @@
+"""The pluggable triple-storage contract behind the PKB's RDF store.
+
+PR 3 made one in-memory :class:`~repro.stores.rdf.graph.Graph` fast;
+this package makes the *storage layer itself* replaceable, the way
+``wware/med-lit-schema`` hides SQLite (dev) and Postgres (prod) behind
+one ``PipelineStorageInterface``.  Every backend speaks the same
+structural protocol — :class:`StorageBackend` — so the query engine,
+planner, materializer and knowledge base never know which engine holds
+the triples:
+
+* :class:`~repro.stores.rdf.graph.Graph` — the dictionary-encoded
+  in-memory store with SPO/POS/OSP hash indexes (the default);
+* :class:`~repro.stores.backends.sqlite.SqliteTripleStore` — a
+  stdlib-``sqlite3`` store (file or ``:memory:``) whose prefix scans
+  are backed by B-tree indexes over the same three orderings;
+* :class:`~repro.stores.rdf.shard.ShardedGraph` — N independent
+  backends keyed by a stable subject hash, with parallel fan-out
+  query execution.
+
+The protocol is deliberately the surface :mod:`repro.stores.rdf.query`
+already consumes.  ``match`` *is* the prefix-scan API: each bound /
+wildcard combination corresponds to a prefix of exactly one of the
+SPO, POS or OSP orderings, and every backend must dispatch to the
+matching index rather than scanning:
+
+======================  ==============  ========================
+pattern (S, P, O)       index           prefix
+======================  ==============  ========================
+(s, p, o)               SPO             full key (membership)
+(s, p, ?)               SPO             (s, p)
+(s, ?, ?)               SPO             (s,)
+(?, p, o)               POS             (p, o)
+(?, p, ?)               POS             (p,)
+(s, ?, o)               OSP             (o, s)
+(?, ?, o)               OSP             (o,)
+(?, ?, ?)               —               full iteration
+======================  ==============  ========================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Protocol, runtime_checkable
+
+from repro.stores.rdf.graph import Term, Triple
+from repro.stores.rdf.stats import PredicateStats
+
+
+@runtime_checkable
+class StorageBackend(Protocol):
+    """What a triple store must provide to back the PKB.
+
+    Structural (duck-typed): :class:`~repro.stores.rdf.graph.Graph`
+    satisfies it unchanged.  Two semantic obligations matter beyond
+    the signatures:
+
+    * **Term collapsing** — terms that compare equal in Python
+      (``1``, ``1.0`` and ``True``) are one term; the first-seen
+      representation wins.  The contract suite pins this.
+    * **Version discipline** — ``version`` increases on every
+      successful mutation (including ``clear``) and never decreases,
+      so it stays safe as a cache-invalidation key.
+    """
+
+    def add(self, triple: Triple | tuple) -> bool:
+        """Insert a triple; False when it was already present."""
+
+    def add_all(self, triples: Iterable[Triple | tuple]) -> int:
+        """Insert many triples; returns how many were new."""
+
+    def remove(self, triple: Triple | tuple) -> bool:
+        """Delete a triple; returns whether it was present."""
+
+    def discard(self, triple: Triple | tuple) -> bool:
+        """Alias of :meth:`remove` (set-like naming)."""
+
+    def clear(self) -> None:
+        """Drop every triple; the version still advances."""
+
+    def match(self, subject: str | None = None, predicate: str | None = None,
+              obj: Term | None = None) -> list[Triple]:
+        """Index-backed prefix scan; ``None`` is a wildcard."""
+
+    def objects(self, subject: str, predicate: str) -> set[Term]:
+        """All objects of ``(subject, predicate, ?)``."""
+
+    def subjects(self, predicate: str, obj: Term) -> set[str]:
+        """All subjects of ``(?, predicate, object)``."""
+
+    def predicates(self) -> set[str]:
+        """Every predicate with at least one triple."""
+
+    def estimate_cardinality(self, subject: object = None,
+                             predicate: object = None,
+                             obj: object = None) -> float:
+        """Estimated matching rows; see :meth:`Graph.estimate_cardinality`."""
+
+    def predicate_statistics(self) -> dict[str, PredicateStats]:
+        """Per-predicate cardinality statistics, keyed by predicate."""
+
+    def to_list(self) -> list[list[Term]]:
+        """JSON-friendly dump, deterministically ordered."""
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter."""
+
+    def __len__(self) -> int:
+        """How many triples the store holds."""
+
+    def __iter__(self) -> Iterator[Triple]:
+        """Iterate every stored triple (order unspecified)."""
+
+    def __contains__(self, triple: Triple | tuple) -> bool:
+        """Membership test for one concrete triple."""
+
+
+def canonical_triple_list(triples: Iterable[Triple]) -> list[list[Term]]:
+    """The shared deterministic dump order every backend uses.
+
+    Matches :meth:`Graph.to_list` byte-for-byte: sort by subject,
+    predicate, object type name, then stringified object (objects mix
+    numeric and string literals, which do not compare directly).
+    """
+    ordered = sorted(
+        triples,
+        key=lambda t: (t.subject, t.predicate, type(t.object).__name__,
+                       str(t.object)),
+    )
+    return [[t.subject, t.predicate, t.object] for t in ordered]

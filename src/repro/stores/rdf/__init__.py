@@ -14,6 +14,9 @@
   planner built on them.
 * :mod:`repro.stores.rdf.materialize` — incrementally maintained
   materialized views with a version-keyed query-result cache.
+* :mod:`repro.stores.rdf.shard` — the hash-sharded composite store
+  with parallel fan-out query execution (backends pluggable via
+  :mod:`repro.stores.backends`).
 """
 
 from repro.stores.rdf.graph import Triple, Graph, RDF, RDFS, REPRO
@@ -21,18 +24,23 @@ from repro.stores.rdf.query import (
     select,
     union,
     distinct_bindings,
+    project_bindings,
     Pattern,
+    RangeFilter,
     is_variable,
 )
 from repro.stores.rdf.stats import BOUND, GraphStatistics, PredicateStats
 from repro.stores.rdf.plan import (
     QueryPlan,
     PlanStep,
+    FanoutPlan,
     build_plan,
+    build_sharded_plan,
     execute_plan,
     bound_filter,
     filter_variables,
 )
+from repro.stores.rdf.shard import ShardedGraph, shard_of
 from repro.stores.rdf.materialize import MaterializedGraph, QueryResultCache
 from repro.stores.rdf.reasoner import TransitiveReasoner, RdfsReasoner
 from repro.stores.rdf.rules import Rule, GenericRuleReasoner
@@ -61,15 +69,21 @@ __all__ = [
     "select",
     "union",
     "distinct_bindings",
+    "project_bindings",
     "Pattern",
+    "RangeFilter",
     "is_variable",
     "BOUND",
     "GraphStatistics",
     "PredicateStats",
     "QueryPlan",
     "PlanStep",
+    "FanoutPlan",
     "build_plan",
+    "build_sharded_plan",
     "execute_plan",
+    "ShardedGraph",
+    "shard_of",
     "bound_filter",
     "filter_variables",
     "MaterializedGraph",

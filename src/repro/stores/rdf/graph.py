@@ -161,6 +161,15 @@ class Graph:
         """Insert many triples; returns how many were new."""
         return sum(1 for triple in triples if self.add(triple))
 
+    def add_many(self, triples: Iterable[Triple | tuple]) -> list[bool]:
+        """Insert many triples; returns per-triple newness flags.
+
+        The sharded router prefers this over :meth:`add_all` so it can
+        maintain its global statistics from exactly the triples that
+        were new.  Batching backends override it with one transaction.
+        """
+        return [self.add(triple) for triple in triples]
+
     def remove(self, triple: Triple | tuple) -> bool:
         """Delete a triple; returns whether it was present.
 

@@ -159,6 +159,32 @@ class MaterializedGraph:
         """Pattern match over the materialized graph."""
         return self.graph.match(subject, predicate, obj)
 
+    def objects(self, subject: str, predicate: str) -> set[Term]:
+        """All objects of ``(subject, predicate, ?)`` in the closure."""
+        return self.graph.objects(subject, predicate)
+
+    def subjects(self, predicate: str, obj: Term) -> set[str]:
+        """All subjects of ``(?, predicate, object)`` in the closure."""
+        return self.graph.subjects(predicate, obj)
+
+    def predicates(self) -> set[str]:
+        """Every predicate present in the materialized graph."""
+        return self.graph.predicates()
+
+    def estimate_cardinality(self, subject: object = None,
+                             predicate: object = None,
+                             obj: object = None) -> float:
+        """Planner cardinality estimate over the materialized triples."""
+        return self.graph.estimate_cardinality(subject, predicate, obj)
+
+    def predicate_statistics(self):
+        """Per-predicate statistics over the materialized triples."""
+        return self.graph.predicate_statistics()
+
+    def to_list(self) -> list[list[Term]]:
+        """Deterministic JSON-friendly dump of the materialized triples."""
+        return self.graph.to_list()
+
     def base_facts(self) -> set[Triple]:
         """The explicitly asserted (non-derived) triples."""
         return set(self._base)
@@ -206,6 +232,12 @@ class MaterializedGraph:
     def discard(self, triple: Triple | tuple) -> bool:
         """Alias of :meth:`remove` (set-like naming)."""
         return self.remove(triple)
+
+    def clear(self) -> None:
+        """Drop every triple, asserted and derived (version advances)."""
+        self.graph.clear()
+        self._base.clear()
+        self._cache.clear()
 
     # -- materialization ---------------------------------------------------
 
@@ -301,11 +333,22 @@ class MaterializedGraph:
                 return [dict(binding) for binding in cached]
             if self._metric_cache_misses is not None:
                 self._metric_cache_misses.inc()
-        result = select(
-            self.graph, patterns, variables=variables, filters=filters,
-            distinct=distinct, order_by=order_by, descending=descending,
-            limit=limit, optional=optional, optimize=optimize,
-        )
+        # A wrapped store with its own execution strategy (the sharded
+        # router's scatter/fan-out) answers itself; plain backends go
+        # through the single-store engine.
+        runner = getattr(self.graph, "select", None)
+        if callable(runner):
+            result = runner(
+                patterns, variables=variables, filters=filters,
+                distinct=distinct, order_by=order_by, descending=descending,
+                limit=limit, optional=optional, optimize=optimize,
+            )
+        else:
+            result = select(
+                self.graph, patterns, variables=variables, filters=filters,
+                distinct=distinct, order_by=order_by, descending=descending,
+                limit=limit, optional=optional, optimize=optimize,
+            )
         if cacheable:
             self._cache.put(self.graph.version, key,
                             [dict(binding) for binding in result])

@@ -188,6 +188,76 @@ def build_plan(
     return QueryPlan(steps, residual)
 
 
+class FanoutPlan:
+    """A sharded execution wrapper around a :class:`QueryPlan`.
+
+    Adds the routing layer's decisions — which shards participate,
+    whether the query scatters whole per-shard SELECTs or broadcasts
+    a router-level join, and whether the per-shard work compiles to a
+    native numeric index scan — on top of the inner join plan.  The
+    inner plan is built against the sharded store's *global*
+    statistics, so its ``explain()`` is byte-identical to the plan a
+    single store holding the same triples would produce; only the
+    fan-out envelope differs.
+    """
+
+    def __init__(self, plan: QueryPlan, route: str, target_shard: int | None,
+                 shards: int, native_numeric: bool) -> None:
+        self.plan = plan
+        self.route = route
+        self.target_shard = target_shard
+        self.shards = shards
+        self.native_numeric = native_numeric
+
+    def explain(self) -> dict:
+        """The inner plan's explain plus a stable fan-out envelope."""
+        return {
+            "strategy": "shard-fanout",
+            "route": self.route,
+            "target_shard": self.target_shard,
+            "shards": self.shards,
+            "native_numeric": self.native_numeric,
+            "plan": self.plan.explain(),
+        }
+
+    def describe(self) -> str:
+        """Human-readable rendering: routing header, then join steps."""
+        target = (f" -> shard {self.target_shard}"
+                  if self.target_shard is not None else "")
+        native = " | native numeric scan" if self.native_numeric else ""
+        header = f"route {self.route}{target} over {self.shards} shard(s){native}"
+        return "\n".join([header, self.plan.describe()])
+
+
+def build_sharded_plan(
+    graph,
+    patterns: Sequence[Pattern],
+    filters: Sequence[Callable[[Binding], bool]] = (),
+    optional: Sequence[Pattern] = (),
+) -> FanoutPlan:
+    """Plan a query against a (possibly) sharded store.
+
+    Works on any graph: a store without routing hooks plans as one
+    ``single-shard`` target.  For a
+    :class:`~repro.stores.rdf.shard.ShardedGraph` the route comes from
+    its broadcast-vs-colocate decision and ``native_numeric`` reports
+    whether the per-shard scans will run inside the backend's numeric
+    index (duck-typed so this module needs no import of the sharding
+    layer).
+    """
+    inner = build_plan(graph, patterns, filters)
+    route_fn = getattr(graph, "route_select", None)
+    if route_fn is None:
+        return FanoutPlan(inner, "single-shard", 0, 1, False)
+    route, target = route_fn(patterns, optional)
+    pushdown_fn = getattr(graph, "native_numeric_pushdown", None)
+    native = (pushdown_fn is not None
+              and route == "scatter"
+              and pushdown_fn(patterns, filters, optional=optional) is not None)
+    return FanoutPlan(inner, route, target,
+                      getattr(graph, "shard_count", 1), native)
+
+
 def execute_plan(
     graph: Graph,
     plan: QueryPlan,

@@ -157,6 +157,81 @@ def distinct_bindings(bindings: Sequence[Binding]) -> list[Binding]:
     return unique
 
 
+class RangeFilter:
+    """A declarative numeric range filter over one variable.
+
+    Behaves exactly like a hand-written filter callable — it can be
+    passed anywhere in ``filters`` — but carries its variable and
+    bounds as inspectable data, so execution layers can do better than
+    calling it per binding: the planner pushes it down like any
+    ``bound_filter`` (it exposes ``variables``), and storage backends
+    with native numeric scans (SQLite's ``onum`` column, fanned out
+    per shard by :class:`~repro.stores.rdf.shard.ShardedGraph`)
+    evaluate the range inside the index scan itself.
+
+    Non-numeric binding values never satisfy a RangeFilter (a
+    declared numeric range is also a numeric type constraint).
+    """
+
+    __slots__ = ("variable", "low", "high", "low_inclusive",
+                 "high_inclusive")
+
+    def __init__(self, variable: str, low: float | None = None,
+                 high: float | None = None, *,
+                 low_inclusive: bool = True,
+                 high_inclusive: bool = True) -> None:
+        if not is_variable(variable):
+            raise ValueError(
+                f"RangeFilter needs a ?variable, got {variable!r}")
+        self.variable = variable
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    @property
+    def variables(self) -> frozenset[str]:
+        """The single variable this filter reads (planner pushdown hook)."""
+        return frozenset((self.variable,))
+
+    def __call__(self, binding: Binding) -> bool:
+        """Whether the binding's value is numeric and inside the range."""
+        value = binding.get(self.variable)
+        if not isinstance(value, (bool, int, float)):
+            return False
+        if self.low is not None:
+            if self.low_inclusive:
+                if value < self.low:
+                    return False
+            elif value <= self.low:
+                return False
+        if self.high is not None:
+            if self.high_inclusive:
+                if value > self.high:
+                    return False
+            elif value >= self.high:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        lo = "[" if self.low_inclusive else "("
+        hi = "]" if self.high_inclusive else ")"
+        return (f"RangeFilter({self.variable} in "
+                f"{lo}{self.low}, {self.high}{hi})")
+
+
+def project_bindings(solutions: list[Binding],
+                     variables: Sequence[str]) -> list[Binding]:
+    """Project each binding onto ``variables`` (validated)."""
+    unknown = [name for name in variables if not is_variable(name)]
+    if unknown:
+        raise ValueError(f"projection must list variables, got {unknown}")
+    return [
+        {name: binding[name] for name in variables if name in binding}
+        for binding in solutions
+    ]
+
+
 def select(
     graph: Graph,
     patterns: Sequence[Pattern],
@@ -211,13 +286,7 @@ def select(
         else:
             solutions.sort(key=sort_key, reverse=descending)
     if variables is not None:
-        unknown = [name for name in variables if not is_variable(name)]
-        if unknown:
-            raise ValueError(f"projection must list variables, got {unknown}")
-        solutions = [
-            {name: binding[name] for name in variables if name in binding}
-            for binding in solutions
-        ]
+        solutions = project_bindings(solutions, variables)
     if distinct:
         solutions = distinct_bindings(solutions)
     if limit is not None:

@@ -1,0 +1,714 @@
+"""Hash-sharded triple storage with parallel fan-out query execution.
+
+One dictionary-encoded graph caps both KB size and scan parallelism:
+every query runs single-threaded over one index set.  A
+:class:`ShardedGraph` splits the triple set across N independent
+:class:`~repro.stores.backends.base.StorageBackend` shards keyed by a
+**stable subject hash** (CRC-32, so placement survives restarts and
+file-backed shards reopen onto the same data), and turns queries into
+scatter/gather plans:
+
+* **Routing** — a pattern with a concrete subject touches exactly one
+  shard; everything else fans out.  Because a subject's triples are
+  colocated, *star queries* (every pattern sharing one subject
+  variable) decompose perfectly: each shard answers the whole query
+  over its slice and the union of slices is the global answer.
+* **Scatter execution** — per-shard SELECTs run on a small worker
+  pool with filters and top-k heaps pushed down per shard, and merge
+  with stable ordering (``heapq.merge`` keeps ties in shard order).
+  An :func:`asyncio`-native :meth:`ShardedGraph.aselect` awaits the
+  same fan-out from coroutine code.
+* **Native numeric pushdown** — a single-pattern query whose filters
+  are :class:`~repro.stores.rdf.query.RangeFilter`\\ s compiles to each
+  backend's numeric index scan
+  (:meth:`~repro.stores.backends.sqlite.SqliteTripleStore.scan_numeric`),
+  so SQLite shards scan in C with the GIL released — N shards really
+  do scan on N cores.
+* **Broadcast joins** — cross-shard joins fall back to the cost-based
+  planner over the router itself: each join step's pattern scan is
+  scattered across shards and the bindings join at the router (the
+  "broadcast" side of the broadcast-vs-colocate decision).
+
+The router maintains **global cardinality statistics** (predicate
+counts plus distinct subject/object multiplicities) so
+:meth:`estimate_cardinality` returns bit-identical floats to a single
+:class:`~repro.stores.rdf.graph.Graph` holding the same triples —
+which keeps planner ``explain()`` output byte-stable across shard
+counts.
+
+Thread-safety matches :class:`Graph`: concurrent reads are fine,
+concurrent writers need external synchronization.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+import heapq
+import zlib
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from itertools import chain, islice
+
+from repro.obs import names
+from repro.stores.rdf.graph import Graph, Term, Triple
+from repro.stores.rdf.materialize import MaterializedGraph
+from repro.stores.rdf.query import (
+    Binding,
+    Pattern,
+    RangeFilter,
+    _order_key,
+    distinct_bindings,
+    is_variable,
+    project_bindings,
+    select as _select,
+)
+from repro.stores.rdf.stats import BOUND, PredicateStats
+from repro.util.clock import SYSTEM_CLOCK, Clock
+
+#: Route labels (also used by ``FanoutPlan.explain()``).
+ROUTE_SINGLE = "single-shard"
+ROUTE_SCATTER = "scatter"
+ROUTE_BROADCAST = "broadcast"
+
+#: Below this many held triples a fan-out ``match`` stays serial —
+#: thread dispatch costs more than the scan it would parallelize.
+DEFAULT_PARALLEL_THRESHOLD = 4096
+
+_POOL_CAP = 8
+
+
+def shard_of(subject: str, shards: int) -> int:
+    """The stable shard index for a subject (CRC-32 of its UTF-8)."""
+    return zlib.crc32(subject.encode("utf-8")) % shards
+
+
+def merged_range(filters: Sequence[RangeFilter]) -> tuple:
+    """Intersect RangeFilters into one ``(low, low_inc, high, high_inc)``."""
+    low: float | None = None
+    low_inc = True
+    high: float | None = None
+    high_inc = True
+    for f in filters:
+        if f.low is not None and (low is None or f.low > low
+                                  or (f.low == low and not f.low_inclusive)):
+            low, low_inc = f.low, f.low_inclusive
+        if f.high is not None and (high is None or f.high < high
+                                   or (f.high == high
+                                       and not f.high_inclusive)):
+            high, high_inc = f.high, f.high_inclusive
+    return low, low_inc, high, high_inc
+
+
+def _fallback_numeric_scan(backend, predicate: str, low, low_inc, high,
+                           high_inc, descending: bool,
+                           limit: int | None) -> list[Triple]:
+    """Python-side numeric range + top-k for backends without a native scan.
+
+    Mirrors ``SqliteTripleStore.scan_numeric`` semantics: numeric
+    objects only, ordered by value with a deterministic subject
+    tie-break, bounded by a heap when a limit is given.
+    """
+    probe = RangeFilter("?v", low, high, low_inclusive=low_inc,
+                        high_inclusive=high_inc)
+
+    def in_range(value: object) -> bool:
+        return probe({"?v": value})
+
+    candidates = [t for t in backend.match(None, predicate, None)
+                  if in_range(t.object)]
+    # Same total order as the SQL scan: value (per ``descending``),
+    # then subject ascending for ties.
+    sign = -1.0 if descending else 1.0
+    key = (lambda t: (sign * float(t.object), t.subject))
+    if limit is not None:
+        return heapq.nsmallest(limit, candidates, key=key)
+    return sorted(candidates, key=key)
+
+
+class ShardedGraph:
+    """N independent storage shards behind one Graph-shaped surface.
+
+    ``backend_factory(index)`` builds each shard (default: an
+    in-memory :class:`Graph`).  ``shard_reasoners`` wraps every shard
+    in a :class:`MaterializedGraph`, giving the scatter path per-shard
+    version-keyed query caches; only pass reasoners whose premises are
+    subject-local (schema-spanning rules like ``rdfs:subClassOf``
+    chains must instead materialize at the router — wrap the whole
+    ShardedGraph in a MaterializedGraph, which the KB's
+    ``enable_materialization`` does).
+    """
+
+    def __init__(self, shards: int = 4,
+                 backend_factory: Callable[[int], object] | None = None,
+                 *,
+                 executor: ThreadPoolExecutor | None = None,
+                 obs=None,
+                 clock: Clock | None = None,
+                 parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+                 shard_reasoners: Sequence[object] | None = None) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shard_count = shards
+        self.parallel_threshold = parallel_threshold
+        factory = backend_factory if backend_factory is not None else (
+            lambda index: Graph())
+        self._factory = factory
+        built = [factory(index) for index in range(shards)]
+        if shard_reasoners is not None:
+            built = [MaterializedGraph(base, reasoners=list(shard_reasoners))
+                     for base in built]
+        self._shards = built
+        self._owns_pool = executor is None
+        self._pool = executor
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
+        # Router-global statistics: exact mirrors of what a single
+        # Graph's GraphStatistics would hold, maintained per mutation.
+        self._total = 0
+        self._pred_count: dict[str, int] = {}
+        self._pred_subjects: dict[str, dict[str, int]] = {}
+        self._pred_objects: dict[str, dict[Term, int]] = {}
+        self._subject_count: dict[str, int] = {}
+        self._object_count: dict[Term, int] = {}
+        # File-backed shards may reopen with existing triples; hydrate
+        # the router's global statistics from them (one O(n) pass).
+        for shard in self._shards:
+            for triple in shard:
+                self._stats_add(triple)
+        if obs is not None and obs.enabled:
+            self._tracer = obs.tracer
+            self._metric_scans = obs.metrics.counter(
+                names.KB_SHARD_SCANS_TOTAL,
+                "Per-shard scans issued by fan-out query execution.")
+            self._metric_fanout = obs.metrics.histogram(
+                names.KB_SHARD_FANOUT_MS,
+                "Wall milliseconds spent in scatter/gather fan-outs.")
+        else:
+            self._tracer = None
+            self._metric_scans = None
+            self._metric_fanout = None
+
+    # -- infrastructure ----------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=min(self.shard_count, _POOL_CAP),
+                thread_name_prefix="repro-shard")
+        return self._pool
+
+    def _submit(self, function, *args):
+        """Submit to the pool with the caller's contextvars (spans, tenant)."""
+        context = contextvars.copy_context()
+        return self._ensure_pool().submit(context.run, function, *args)
+
+    def _fan_out(self, function) -> list:
+        """Run ``function(shard)`` for every shard, in parallel when the
+        pool pays for itself; results come back in shard order."""
+        if self.shard_count == 1:
+            return [function(self._shards[0])]
+        if self._metric_scans is not None:
+            self._metric_scans.inc(self.shard_count)
+        if self._total < self.parallel_threshold:
+            return [function(shard) for shard in self._shards]
+        futures = [self._submit(function, shard) for shard in self._shards]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut down the owned worker pool and close closable shards."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for shard in self._shards:
+            backend = shard.graph if isinstance(shard, MaterializedGraph) else shard
+            closer = getattr(backend, "close", None)
+            if callable(closer):
+                closer()
+
+    def shard_for(self, subject: str):
+        """The shard backend holding ``subject``'s triples."""
+        return self._shards[shard_of(subject, self.shard_count)]
+
+    @property
+    def shards(self) -> list:
+        """The shard backends, in index order (read-only use)."""
+        return list(self._shards)
+
+    # -- statistics maintenance --------------------------------------------
+
+    def _stats_add(self, triple: Triple) -> None:
+        self._total += 1
+        predicate = triple.predicate
+        self._pred_count[predicate] = self._pred_count.get(predicate, 0) + 1
+        bucket = self._pred_subjects.setdefault(predicate, {})
+        bucket[triple.subject] = bucket.get(triple.subject, 0) + 1
+        objects = self._pred_objects.setdefault(predicate, {})
+        objects[triple.object] = objects.get(triple.object, 0) + 1
+        self._subject_count[triple.subject] = (
+            self._subject_count.get(triple.subject, 0) + 1)
+        self._object_count[triple.object] = (
+            self._object_count.get(triple.object, 0) + 1)
+
+    def _stats_remove(self, triple: Triple) -> None:
+        self._total -= 1
+        predicate = triple.predicate
+
+        def decrement(table: dict, key) -> None:
+            left = table[key] - 1
+            if left:
+                table[key] = left
+            else:
+                del table[key]
+
+        decrement(self._pred_count, predicate)
+        decrement(self._pred_subjects[predicate], triple.subject)
+        if not self._pred_subjects[predicate]:
+            del self._pred_subjects[predicate]
+        decrement(self._pred_objects[predicate], triple.object)
+        if not self._pred_objects[predicate]:
+            del self._pred_objects[predicate]
+        decrement(self._subject_count, triple.subject)
+        decrement(self._object_count, triple.object)
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(self, triple: Triple | tuple) -> bool:
+        """Insert a triple on its subject's shard."""
+        triple = Graph._coerce(triple)
+        added = self.shard_for(triple.subject).add(triple)
+        if added:
+            self._stats_add(triple)
+        return added
+
+    def add_all(self, triples: Iterable[Triple | tuple]) -> int:
+        """Bulk insert: triples are grouped per shard and written as one
+        batched transaction each (``add_many``) where the backend
+        supports it."""
+        groups: dict[int, list[Triple]] = {}
+        for triple in triples:
+            triple = Graph._coerce(triple)
+            groups.setdefault(shard_of(triple.subject, self.shard_count),
+                              []).append(triple)
+        added = 0
+        for index in sorted(groups):
+            shard = self._shards[index]
+            batch = groups[index]
+            add_many = getattr(shard, "add_many", None)
+            if callable(add_many):
+                flags = add_many(batch)
+            else:
+                flags = [shard.add(triple) for triple in batch]
+            for triple, fresh in zip(batch, flags):
+                if fresh:
+                    self._stats_add(triple)
+                    added += 1
+        return added
+
+    def add_many(self, triples: Iterable[Triple | tuple]) -> list[bool]:
+        """Per-triple newness flags (order preserved across shards)."""
+        rows = [Graph._coerce(triple) for triple in triples]
+        flags = []
+        for triple in rows:
+            flags.append(self.add(triple))
+        return flags
+
+    def remove(self, triple: Triple | tuple) -> bool:
+        """Delete a triple from its subject's shard."""
+        triple = Graph._coerce(triple)
+        removed = self.shard_for(triple.subject).remove(triple)
+        if removed:
+            self._stats_remove(triple)
+        return removed
+
+    def discard(self, triple: Triple | tuple) -> bool:
+        """Alias of :meth:`remove` (set-like naming)."""
+        return self.remove(triple)
+
+    def clear(self) -> None:
+        """Clear every shard; versions still advance."""
+        for shard in self._shards:
+            shard.clear()
+        self._total = 0
+        self._pred_count.clear()
+        self._pred_subjects.clear()
+        self._pred_objects.clear()
+        self._subject_count.clear()
+        self._object_count.clear()
+
+    # -- reads -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __iter__(self) -> Iterator[Triple]:
+        return chain.from_iterable(self._shards)
+
+    def __contains__(self, triple: Triple | tuple) -> bool:
+        triple = Graph._coerce(triple)
+        return triple in self.shard_for(triple.subject)
+
+    @property
+    def version(self) -> int:
+        """Sum of shard versions — monotonic, bumps on any mutation."""
+        return sum(shard.version for shard in self._shards)
+
+    def match(self, subject: str | None = None, predicate: str | None = None,
+              obj: Term | None = None) -> list[Triple]:
+        """Prefix scan: routed when the subject is bound, else scattered.
+
+        Shard triple sets are disjoint, so the concatenation (in shard
+        order) needs no dedup.
+        """
+        if subject is not None:
+            return self.shard_for(subject).match(subject, predicate, obj)
+        results = self._fan_out(lambda shard: shard.match(subject, predicate,
+                                                          obj))
+        return [triple for rows in results for triple in rows]
+
+    def objects(self, subject: str, predicate: str) -> set[Term]:
+        """All objects of ``(subject, predicate, ?)`` — routed."""
+        return {t.object for t in self.match(subject, predicate, None)}
+
+    def subjects(self, predicate: str, obj: Term) -> set[str]:
+        """All subjects of ``(?, predicate, object)`` — scattered."""
+        return {t.subject for t in self.match(None, predicate, obj)}
+
+    def predicates(self) -> set[str]:
+        """Every predicate with at least one triple (router stats)."""
+        return set(self._pred_count)
+
+    def copy(self) -> "ShardedGraph":
+        """An in-memory sharded copy with the same shard count."""
+        duplicate = ShardedGraph(shards=self.shard_count,
+                                 parallel_threshold=self.parallel_threshold)
+        duplicate.add_all(self)
+        return duplicate
+
+    # -- statistics and cardinality estimation -----------------------------
+
+    def predicate_statistics(self) -> dict[str, PredicateStats]:
+        """Global per-predicate statistics (identical to a single store's)."""
+        return {
+            predicate: PredicateStats(
+                predicate=predicate,
+                count=count,
+                distinct_subjects=len(self._pred_subjects[predicate]),
+                distinct_objects=len(self._pred_objects[predicate]),
+            )
+            for predicate, count in self._pred_count.items()
+        }
+
+    def estimate_cardinality(self, subject: object = None,
+                             predicate: object = None,
+                             obj: object = None) -> float:
+        """Bit-identical to a single Graph's estimate on the same data.
+
+        Concrete-subject patterns route to one shard (which holds every
+        triple of that subject, so its exact count *is* the global
+        count); concrete predicate/object bases sum exact per-shard
+        counts; BOUND discounts divide by the router's global distinct
+        counts.  This is what keeps ``explain()`` byte-stable across
+        shard counts.
+        """
+        if self._total == 0:
+            return 0.0
+        s_const = subject is not None and subject is not BOUND
+        p_const = predicate is not None and predicate is not BOUND
+        o_const = obj is not None and obj is not BOUND
+
+        sub = subject if s_const else None
+        pred = predicate if p_const else None
+        objc = obj if o_const else None
+        if s_const:
+            base = self.shard_for(sub).estimate_cardinality(sub, pred, objc)
+        elif p_const and o_const:
+            base = sum(shard.estimate_cardinality(None, pred, objc)
+                       for shard in self._shards)
+        elif p_const:
+            base = float(self._pred_count.get(pred, 0))
+        elif o_const:
+            base = sum(shard.estimate_cardinality(None, None, objc)
+                       for shard in self._shards)
+        else:
+            base = float(self._total)
+        if base == 0:
+            return 0.0
+
+        estimate = float(base)
+        if subject is BOUND:
+            distinct = (len(self._pred_subjects.get(pred, ()))
+                        if p_const else len(self._subject_count))
+            estimate /= max(1, distinct)
+        if obj is BOUND:
+            distinct = (len(self._pred_objects.get(pred, ()))
+                        if p_const else len(self._object_count))
+            estimate /= max(1, distinct)
+        if predicate is BOUND:
+            estimate /= max(1, len(self._pred_count))
+        return estimate
+
+    # -- query routing -----------------------------------------------------
+
+    def route_select(self, patterns: Sequence[Pattern],
+                     optional: Sequence[Pattern] = ()) -> tuple[str, int | None]:
+        """The broadcast-vs-colocate decision for one SELECT.
+
+        * every subject concrete and on one shard → ``single-shard``;
+        * every pattern sharing one subject *variable* that appears in
+          no other position → ``scatter`` (per-shard answers union to
+          the global answer);
+        * anything else → ``broadcast`` (router-level join; each
+          pattern scan still routes or scatters individually).
+        """
+        all_patterns = [tuple(p) for p in patterns] + [tuple(p) for p in optional]
+        if not all_patterns:
+            return ROUTE_BROADCAST, None
+        subjects = {pattern[0] for pattern in all_patterns}
+        if all(isinstance(s, str) and not is_variable(s) for s in subjects):
+            targets = {shard_of(s, self.shard_count) for s in subjects}
+            if len(targets) == 1:
+                return ROUTE_SINGLE, targets.pop()
+            return ROUTE_BROADCAST, None
+        if len(subjects) == 1:
+            star = next(iter(subjects))
+            if is_variable(star):
+                for pattern in all_patterns:
+                    if pattern[1] == star or pattern[2] == star:
+                        return ROUTE_BROADCAST, None
+                return ROUTE_SCATTER, None
+        return ROUTE_BROADCAST, None
+
+    def native_numeric_pushdown(self, patterns: Sequence[Pattern],
+                                filters: Sequence = (),
+                                distinct: bool = False,
+                                order_by: str | None = None,
+                                optional: Sequence[Pattern] = ()) -> dict | None:
+        """The compiled per-shard numeric scan, or None when inapplicable.
+
+        Applies to ``[(?s, p, ?v)]`` with every filter a
+        :class:`RangeFilter` on ``?v`` (at least one — the declared
+        range is also the numeric-type constraint that makes the
+        index scan exact) and ordering absent or on ``?v``.
+        """
+        if len(patterns) != 1 or optional:
+            return None
+        subject, predicate, obj = tuple(patterns[0])
+        if not (is_variable(subject) and is_variable(obj)
+                and subject != obj):
+            return None
+        if not isinstance(predicate, str) or is_variable(predicate):
+            return None
+        if order_by not in (None, obj):
+            return None
+        if not filters or not all(
+                isinstance(f, RangeFilter) and f.variable == obj
+                for f in filters):
+            return None
+        low, low_inc, high, high_inc = merged_range(filters)
+        return {
+            "subject_var": subject,
+            "object_var": obj,
+            "predicate": predicate,
+            "low": low, "low_inclusive": low_inc,
+            "high": high, "high_inclusive": high_inc,
+        }
+
+    # -- scatter execution -------------------------------------------------
+
+    @staticmethod
+    def _shard_select(shard, patterns, **kwargs) -> list[Binding]:
+        """One shard's SELECT, through its materialized view if it has one."""
+        if isinstance(shard, MaterializedGraph):
+            return shard.select(patterns, **kwargs)
+        return _select(shard, patterns, **kwargs)
+
+    def select(
+        self,
+        patterns: Sequence[Pattern],
+        variables: Sequence[str] | None = None,
+        filters: Sequence = (),
+        distinct: bool = False,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        optional: Sequence[Pattern] = (),
+        optimize: bool = True,
+    ) -> list[Binding]:
+        """A SELECT with fan-out execution — same results as the
+        single-store engine, different evaluation topology.
+
+        Colocated queries scatter whole per-shard SELECTs (filters,
+        heaps and limits pushed down) and merge with stable ordering;
+        cross-shard joins broadcast through the router's pattern
+        scans.  See :meth:`route_select`.
+        """
+        route, target = self.route_select(patterns, optional)
+        if route == ROUTE_SINGLE:
+            return self._shard_select(
+                self._shards[target], patterns, variables=variables,
+                filters=filters, distinct=distinct, order_by=order_by,
+                descending=descending, limit=limit, optional=optional,
+                optimize=optimize)
+        if route == ROUTE_BROADCAST:
+            return _select(self, patterns, variables=variables,
+                           filters=filters, distinct=distinct,
+                           order_by=order_by, descending=descending,
+                           limit=limit, optional=optional, optimize=optimize)
+        return self._scatter_select(
+            patterns, variables=variables, filters=filters, distinct=distinct,
+            order_by=order_by, descending=descending, limit=limit,
+            optional=optional, optimize=optimize)
+
+    def _scatter_tasks(self, patterns, filters, distinct, order_by,
+                       descending, limit, optional, optimize):
+        """Build the per-shard callable plus merge metadata for one scatter."""
+        native = self.native_numeric_pushdown(
+            patterns, filters, distinct=distinct, order_by=order_by,
+            optional=optional)
+        push_limit = limit if not distinct else None
+        if native is not None:
+            subject_var = native["subject_var"]
+            object_var = native["object_var"]
+
+            def per_shard(shard) -> list[Binding]:
+                backend = (shard.graph if isinstance(shard, MaterializedGraph)
+                           else shard)
+                scan = getattr(backend, "scan_numeric", None)
+                if callable(scan):
+                    triples = scan(
+                        native["predicate"], native["low"], native["high"],
+                        low_inclusive=native["low_inclusive"],
+                        high_inclusive=native["high_inclusive"],
+                        descending=descending, limit=push_limit)
+                else:
+                    triples = _fallback_numeric_scan(
+                        backend, native["predicate"], native["low"],
+                        native["low_inclusive"], native["high"],
+                        native["high_inclusive"], descending, push_limit)
+                return [{subject_var: t.subject, object_var: t.object}
+                        for t in triples]
+
+            # Native scans always come back value-ordered, so the merge
+            # is sorted even when the caller gave no order_by.
+            merge_key = (lambda b: _order_key(b.get(object_var)))
+            return per_shard, merge_key, True
+        per_shard = (lambda shard: self._shard_select(
+            shard, patterns, variables=None, filters=filters, distinct=False,
+            order_by=order_by, descending=descending, limit=push_limit,
+            optional=optional, optimize=optimize))
+        if order_by is not None:
+            merge_key = (lambda b: _order_key(b.get(order_by)))
+            return per_shard, merge_key, True
+        return per_shard, None, False
+
+    def _merge_scatter(self, results, merge_key, ordered, variables, distinct,
+                       descending, limit) -> list[Binding]:
+        """Gather per-shard solutions: stable merge, project, distinct, trim."""
+        if ordered:
+            merged_iter = heapq.merge(*results, key=merge_key,
+                                      reverse=descending)
+            if limit is not None and not distinct:
+                merged = list(islice(merged_iter, limit))
+            else:
+                merged = list(merged_iter)
+        else:
+            merged = [binding for rows in results for binding in rows]
+            if limit is not None and not distinct:
+                merged = merged[:limit]
+        if variables is not None:
+            merged = project_bindings(merged, variables)
+        if distinct:
+            merged = distinct_bindings(merged)
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def _scatter_select(self, patterns, *, variables, filters, distinct,
+                        order_by, descending, limit, optional,
+                        optimize) -> list[Binding]:
+        per_shard, merge_key, ordered = self._scatter_tasks(
+            patterns, filters, distinct, order_by, descending, limit,
+            optional, optimize)
+        span = (self._tracer.span(names.SPAN_KB_SHARD_SCAN,
+                                  {"route": ROUTE_SCATTER,
+                                   "shards": self.shard_count,
+                                   "patterns": len(patterns)})
+                if self._tracer is not None else nullcontext())
+        with span:
+            started = self._clock.now()
+            results = self._fan_out(per_shard)
+            merged = self._merge_scatter(results, merge_key, ordered,
+                                         variables, distinct, descending,
+                                         limit)
+            if self._metric_fanout is not None:
+                self._metric_fanout.observe(
+                    (self._clock.now() - started) * 1000.0)
+        return merged
+
+    async def aselect(
+        self,
+        patterns: Sequence[Pattern],
+        variables: Sequence[str] | None = None,
+        filters: Sequence = (),
+        distinct: bool = False,
+        order_by: str | None = None,
+        descending: bool = False,
+        limit: int | None = None,
+        optional: Sequence[Pattern] = (),
+        optimize: bool = True,
+    ) -> list[Binding]:
+        """Awaitable SELECT: the same fan-out on ``asyncio`` awaitables.
+
+        Scatter routes await one task per shard (each running on the
+        worker pool, so SQLite shards still scan in parallel C);
+        routed and broadcast queries run as a single pooled task.  Use
+        from :mod:`repro.core.aio` coroutine code to keep the event
+        loop unblocked during KB queries.
+        """
+        route, _target = self.route_select(patterns, optional)
+        if route != ROUTE_SCATTER:
+            future = self._submit(
+                lambda: self.select(
+                    patterns, variables=variables, filters=filters,
+                    distinct=distinct, order_by=order_by,
+                    descending=descending, limit=limit, optional=optional,
+                    optimize=optimize))
+            return await asyncio.wrap_future(future)
+        per_shard, merge_key, ordered = self._scatter_tasks(
+            patterns, filters, distinct, order_by, descending, limit,
+            optional, optimize)
+        span = (self._tracer.span(names.SPAN_KB_SHARD_SCAN,
+                                  {"route": ROUTE_SCATTER,
+                                   "shards": self.shard_count,
+                                   "patterns": len(patterns), "aio": True})
+                if self._tracer is not None else nullcontext())
+        with span:
+            started = self._clock.now()
+            if self._metric_scans is not None and self.shard_count > 1:
+                self._metric_scans.inc(self.shard_count)
+            futures = [asyncio.wrap_future(self._submit(per_shard, shard))
+                       for shard in self._shards]
+            results = await asyncio.gather(*futures)
+            merged = self._merge_scatter(results, merge_key, ordered,
+                                         variables, distinct, descending,
+                                         limit)
+            if self._metric_fanout is not None:
+                self._metric_fanout.observe(
+                    (self._clock.now() - started) * 1000.0)
+        return merged
+
+    # -- persistence -------------------------------------------------------
+
+    def to_list(self) -> list[list[Term]]:
+        """JSON-friendly dump in the shared deterministic order."""
+        from repro.stores.backends.base import canonical_triple_list
+
+        return canonical_triple_list(self)
+
+    @classmethod
+    def from_list(cls, payload: Iterable[list], **kwargs) -> "ShardedGraph":
+        """Build a sharded graph (see ``__init__`` kwargs) from a dump."""
+        sharded = cls(**kwargs)
+        sharded.add_all(tuple(item) for item in payload)
+        return sharded

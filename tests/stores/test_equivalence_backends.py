@@ -1,0 +1,165 @@
+"""Property-based equivalence: every backend ≡ the in-memory Graph.
+
+Hypothesis generates random triple sets and random SELECT queries
+(joins, optionals, range filters, order_by, distinct, limit, union)
+and asserts that a ShardedGraph (several shard counts) and the SQLite
+backend answer each query identically to a single in-memory
+:class:`Graph` over the same triples.  Order-insensitive comparisons
+canonicalize bindings; ordered queries check the order key sequence
+(ties are unordered between equal keys); limited-unordered queries
+check count + subset.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stores.backends.sqlite import SqliteTripleStore
+from repro.stores.rdf.graph import Graph
+from repro.stores.rdf.query import RangeFilter, _order_key, select, union
+from repro.stores.rdf.shard import ShardedGraph
+
+SUBJECTS = [f"s{i}" for i in range(8)]
+PREDICATES = ["type", "score", "owner", "tag"]
+OBJECTS = ["Item", "Widget", "u1", "u2", 0, 1, 2.5, 7, 10.0, True]
+
+triples_strategy = st.lists(
+    st.tuples(st.sampled_from(SUBJECTS), st.sampled_from(PREDICATES),
+              st.sampled_from(OBJECTS)),
+    min_size=0, max_size=40)
+
+# Star-shaped and join-shaped pattern lists over a shared vocabulary.
+pattern_strategy = st.lists(
+    st.tuples(st.sampled_from(["?s", "?a", "s0", "s3"]),
+              st.sampled_from(PREDICATES),
+              st.sampled_from(["?v", "?w", "Item", 1, "u1"])),
+    min_size=1, max_size=3)
+
+query_strategy = st.fixed_dictionaries({
+    "patterns": pattern_strategy,
+    "optional": st.one_of(st.just([]), pattern_strategy),
+    "range": st.one_of(
+        st.none(),
+        st.tuples(st.sampled_from(["?v", "?w"]),
+                  st.integers(-1, 5), st.integers(2, 12))),
+    "distinct": st.booleans(),
+    "order_by": st.sampled_from([None, "?s", "?v"]),
+    "descending": st.booleans(),
+    "limit": st.sampled_from([None, 0, 1, 3, 100]),
+})
+
+
+def build_query(spec) -> dict:
+    filters = []
+    if spec["range"] is not None:
+        variable, low, high = spec["range"]
+        filters.append(RangeFilter(variable, low, high))
+    return dict(patterns=spec["patterns"], optional=spec["optional"],
+                filters=filters, distinct=spec["distinct"],
+                order_by=spec["order_by"], descending=spec["descending"],
+                limit=spec["limit"])
+
+
+def canon(rows):
+    return sorted(
+        sorted((k, type(v).__name__, str(v)) for k, v in binding.items())
+        for binding in rows)
+
+
+def assert_equivalent(reference_rows, got_rows, query):
+    if query["order_by"] is not None and query["limit"] is None:
+        # Full ordered result: same multiset and same key sequence.
+        assert canon(got_rows) == canon(reference_rows)
+        keys = [_order_key(b.get(query["order_by"])) for b in got_rows]
+        ref_keys = [_order_key(b.get(query["order_by"]))
+                    for b in reference_rows]
+        assert keys == ref_keys
+    elif query["order_by"] is not None:
+        # Ordered + limited: same key sequence; each row must exist in
+        # the reference's full result (ties may resolve differently).
+        keys = [_order_key(b.get(query["order_by"])) for b in got_rows]
+        ref_keys = [_order_key(b.get(query["order_by"]))
+                    for b in reference_rows]
+        assert keys == ref_keys
+        full = canon(select_reference(query, limitless=True))
+        for row in canon(got_rows):
+            assert row in full
+    elif query["limit"] is not None:
+        assert len(got_rows) == len(reference_rows)
+        full = canon(select_reference(query, limitless=True))
+        for row in canon(got_rows):
+            assert row in full
+    else:
+        assert canon(got_rows) == canon(reference_rows)
+
+
+_REFERENCE_GRAPH = None
+
+
+def select_reference(query, limitless=False):
+    kwargs = dict(query)
+    if limitless:
+        kwargs["limit"] = None
+    return select(_REFERENCE_GRAPH, **kwargs)
+
+
+@settings(max_examples=120, deadline=None)
+@given(triples=triples_strategy, spec=query_strategy,
+       shards=st.sampled_from([1, 2, 4, 7]))
+def test_sharded_select_equivalent_to_single_store(triples, spec, shards):
+    global _REFERENCE_GRAPH
+    reference = Graph()
+    reference.add_all(triples)
+    _REFERENCE_GRAPH = reference
+    sharded = ShardedGraph(shards=shards)
+    sharded.add_all(triples)
+    query = build_query(spec)
+    assert_equivalent(select(reference, **query), sharded.select(**query),
+                      query)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples=triples_strategy, spec=query_strategy)
+def test_sqlite_select_equivalent_to_single_store(triples, spec):
+    global _REFERENCE_GRAPH
+    reference = Graph()
+    reference.add_all(triples)
+    _REFERENCE_GRAPH = reference
+    store = SqliteTripleStore()
+    store.add_all(triples)
+    query = build_query(spec)
+    assert_equivalent(select(reference, **query), select(store, **query),
+                      query)
+    store.close()
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples=triples_strategy,
+       groups=st.lists(pattern_strategy, min_size=1, max_size=3),
+       shards=st.sampled_from([2, 5]))
+def test_union_equivalent_across_backends(triples, groups, shards):
+    reference = Graph()
+    reference.add_all(triples)
+    sharded = ShardedGraph(shards=shards)
+    sharded.add_all(triples)
+    store = SqliteTripleStore()
+    store.add_all(triples)
+    want = canon(union(reference, groups))
+    assert canon(union(sharded, groups)) == want
+    assert canon(union(store, groups)) == want
+    store.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples=triples_strategy, spec=query_strategy,
+       shards=st.sampled_from([1, 3]))
+def test_optimize_off_still_equivalent(triples, spec, shards):
+    global _REFERENCE_GRAPH
+    reference = Graph()
+    reference.add_all(triples)
+    _REFERENCE_GRAPH = reference
+    sharded = ShardedGraph(shards=shards)
+    sharded.add_all(triples)
+    query = build_query(spec)
+    want = select(reference, optimize=False, **query)
+    got = sharded.select(optimize=False, **query)
+    assert_equivalent(want, got, query)

@@ -1,0 +1,108 @@
+"""Planner determinism on empty and sharded stores.
+
+The ``explain()`` dict is asserted verbatim in tests and docs, so it
+must be byte-stable: across runs, across empty stores, and — because
+the sharded router keeps *global* statistics — across shard counts.
+"""
+
+from repro.stores.backends.sqlite import SqliteTripleStore
+from repro.stores.rdf.graph import Graph
+from repro.stores.rdf.plan import build_plan, build_sharded_plan
+from repro.stores.rdf.query import RangeFilter
+from repro.stores.rdf.shard import ShardedGraph
+
+PATTERNS = [
+    ("?s", "rdf:type", "repro:Item"),
+    ("?s", "repro:score", "?v"),
+    ("?s", "repro:owner", "?u"),
+]
+
+
+def test_explain_on_empty_graph_is_pinned():
+    plan = build_plan(Graph(), PATTERNS)
+    # Every estimate is 0.0 on an empty graph, so the greedy tie-break
+    # (original pattern index) fully determines the order.
+    assert plan.explain() == {
+        "strategy": "greedy-selectivity",
+        "steps": [
+            {"pattern": ["?s", "rdf:type", "repro:Item"],
+             "source_index": 0, "estimated_rows": 0.0,
+             "bound_before": [], "filters_pushed": []},
+            {"pattern": ["?s", "repro:score", "?v"],
+             "source_index": 1, "estimated_rows": 0.0,
+             "bound_before": ["?s"], "filters_pushed": []},
+            {"pattern": ["?s", "repro:owner", "?u"],
+             "source_index": 2, "estimated_rows": 0.0,
+             "bound_before": ["?s", "?v"], "filters_pushed": []},
+        ],
+        "residual_filters": [],
+    }
+
+
+def test_empty_stores_agree_across_backends_and_shard_counts(tmp_path):
+    reference = build_plan(Graph(), PATTERNS).explain()
+    empties = [
+        SqliteTripleStore(),
+        ShardedGraph(shards=1),
+        ShardedGraph(shards=4),
+        ShardedGraph(shards=3,
+                     backend_factory=lambda i: SqliteTripleStore()),
+    ]
+    for store in empties:
+        assert build_plan(store, PATTERNS).explain() == reference, store
+        assert store.estimate_cardinality(None, None, None) == 0.0
+        close = getattr(store, "close", None)
+        if close:
+            close()
+
+
+def test_inner_plan_byte_stable_across_shard_counts():
+    triples = []
+    for i in range(60):
+        s = f"repro:item{i}"
+        triples.append((s, "rdf:type", "repro:Item"))
+        triples.append((s, "repro:score", float(i)))
+        if i % 2 == 0:
+            triples.append((s, "repro:owner", f"repro:user{i % 7}"))
+    single = Graph()
+    single.add_all(triples)
+    reference = build_plan(single, PATTERNS,
+                           [RangeFilter("?v", 10, 50)]).explain()
+    for shards in (1, 2, 4, 9):
+        sharded = ShardedGraph(shards=shards)
+        sharded.add_all(triples)
+        got = build_plan(sharded, PATTERNS,
+                         [RangeFilter("?v", 10, 50)]).explain()
+        assert got == reference, shards
+        # The fan-out envelope differs (it reports the topology), but
+        # its inner plan is the same bytes.
+        envelope = build_sharded_plan(sharded, PATTERNS,
+                                      [RangeFilter("?v", 10, 50)])
+        assert envelope.explain()["plan"] == reference
+
+
+def test_partially_empty_shards_stay_deterministic():
+    # Two subjects land on a strict subset of 8 shards: most shards are
+    # empty, and estimates must still match the single-store numbers.
+    triples = [("repro:a", "repro:score", 1.0),
+               ("repro:a", "rdf:type", "repro:Item"),
+               ("repro:b", "repro:score", 2.0)]
+    single = Graph()
+    single.add_all(triples)
+    sharded = ShardedGraph(shards=8)
+    sharded.add_all(triples)
+    assert build_plan(sharded, PATTERNS).explain() == \
+        build_plan(single, PATTERNS).explain()
+    # Scanning an empty shard contributes nothing but breaks nothing.
+    rows = sharded.select([("?s", "repro:score", "?v")], order_by="?v")
+    assert [r["?v"] for r in rows] == [1.0, 2.0]
+
+
+def test_explain_with_unknown_terms_is_zero_not_error():
+    sharded = ShardedGraph(shards=4)
+    sharded.add(("repro:a", "repro:score", 1))
+    assert sharded.estimate_cardinality("repro:missing", None, None) == 0.0
+    assert sharded.estimate_cardinality(None, "repro:nope", None) == 0.0
+    assert sharded.estimate_cardinality(None, None, "never") == 0.0
+    plan = build_plan(sharded, [("?s", "repro:nope", "?v")])
+    assert plan.explain()["steps"][0]["estimated_rows"] == 0.0

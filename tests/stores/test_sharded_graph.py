@@ -1,0 +1,225 @@
+"""ShardedGraph behavior: routing, global stats, fan-out execution.
+
+Equivalence of *results* with the single store is covered by the
+contract suite and the Hypothesis suite; these tests pin down the
+router's decisions — which shard serves what, when queries scatter vs
+broadcast, that the native numeric pushdown engages, and that the
+async path and observability wiring work.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import Observability, names
+from repro.stores.backends.sqlite import SqliteTripleStore
+from repro.stores.rdf.graph import Graph
+from repro.stores.rdf.plan import build_plan, build_sharded_plan
+from repro.stores.rdf.query import RangeFilter, select
+from repro.stores.rdf.shard import (
+    ROUTE_BROADCAST,
+    ROUTE_SCATTER,
+    ROUTE_SINGLE,
+    ShardedGraph,
+    shard_of,
+)
+
+
+def populated(shards=4, factory=None, **kwargs) -> ShardedGraph:
+    sharded = ShardedGraph(shards=shards, backend_factory=factory, **kwargs)
+    triples = []
+    for i in range(40):
+        s = f"repro:item{i}"
+        triples.append((s, "rdf:type", "repro:Item"))
+        triples.append((s, "repro:score", i))
+        triples.append((s, "repro:owner", f"repro:user{i % 5}"))
+    sharded.add_all(triples)
+    return sharded
+
+
+def test_subject_routing_is_stable_and_partitioning():
+    sharded = populated()
+    for i in range(40):
+        subject = f"repro:item{i}"
+        index = shard_of(subject, 4)
+        shard = sharded.shards[index]
+        assert shard.match(subject, None, None), subject
+        for other_index, other in enumerate(sharded.shards):
+            if other_index != index:
+                assert not other.match(subject, None, None)
+    # Shard sizes partition the total.
+    assert sum(len(shard) for shard in sharded.shards) == len(sharded)
+
+
+def test_concrete_subject_operations_touch_one_shard():
+    sharded = populated()
+    route, target = sharded.route_select(
+        [("repro:item3", "repro:score", "?v")])
+    assert route == ROUTE_SINGLE
+    assert target == shard_of("repro:item3", 4)
+    rows = sharded.select([("repro:item3", "repro:score", "?v")])
+    assert rows == [{"?v": 3}]
+
+
+def test_star_queries_scatter():
+    patterns = [("?s", "rdf:type", "repro:Item"),
+                ("?s", "repro:score", "?v")]
+    sharded = populated()
+    assert sharded.route_select(patterns)[0] == ROUTE_SCATTER
+    # Subject variable reused in object position → cannot colocate.
+    assert sharded.route_select(
+        [("?s", "repro:knows", "?s")])[0] == ROUTE_BROADCAST
+    # Two different subject variables → cross-shard join → broadcast.
+    assert sharded.route_select(
+        [("?a", "repro:owner", "?u"),
+         ("?b", "repro:owner", "?u")])[0] == ROUTE_BROADCAST
+
+
+def test_scatter_results_match_single_store():
+    sharded = populated()
+    single = Graph()
+    single.add_all(sharded)
+    patterns = [("?s", "rdf:type", "repro:Item"), ("?s", "repro:score", "?v")]
+    kwargs = dict(order_by="?v", descending=True, limit=7)
+    assert sharded.select(patterns, **kwargs) == select(
+        single, patterns, **kwargs)
+
+
+def test_broadcast_join_matches_single_store():
+    sharded = populated()
+    single = Graph()
+    single.add_all(sharded)
+    patterns = [("?a", "repro:owner", "?u"), ("?b", "repro:owner", "?u")]
+
+    def canon(rows):
+        return sorted(tuple(sorted(b.items())) for b in rows)
+
+    assert canon(sharded.select(patterns)) == canon(select(single, patterns))
+
+
+def test_native_numeric_pushdown_detection():
+    sharded = populated()
+    patterns = [("?s", "repro:score", "?v")]
+    in_range = [RangeFilter("?v", 10, 20)]
+    assert sharded.native_numeric_pushdown(patterns, in_range) is not None
+    assert sharded.native_numeric_pushdown(
+        patterns, in_range, order_by="?v") is not None
+    # Disqualifiers: no filters, a non-range filter, ordering on the
+    # subject, multiple patterns, optional patterns.
+    assert sharded.native_numeric_pushdown(patterns, []) is None
+    assert sharded.native_numeric_pushdown(
+        patterns, [lambda b: True]) is None
+    assert sharded.native_numeric_pushdown(
+        patterns, in_range, order_by="?s") is None
+    assert sharded.native_numeric_pushdown(
+        patterns + [("?s", "rdf:type", "repro:Item")], in_range) is None
+    assert sharded.native_numeric_pushdown(
+        patterns, in_range, optional=[("?s", "repro:owner", "?u")]) is None
+
+
+@pytest.mark.parametrize("factory", [None, lambda i: SqliteTripleStore()],
+                         ids=["memory", "sqlite"])
+def test_native_numeric_scan_matches_generic_path(factory):
+    sharded = populated(factory=factory)
+    single = Graph()
+    single.add_all(sharded)
+    patterns = [("?s", "repro:score", "?v")]
+    filters = [RangeFilter("?v", 5, 30, high_inclusive=False)]
+    got = sharded.select(patterns, filters=filters, order_by="?v",
+                         descending=True, limit=9)
+    want = select(single, patterns, filters=filters, order_by="?v",
+                  descending=True, limit=9)
+    assert got == want
+    if factory is not None:
+        sharded.close()
+
+
+def test_global_statistics_exactness_through_mutation():
+    sharded = populated()
+    single = Graph()
+    single.add_all(sharded)
+    for victim in ["repro:item0", "repro:item17", "repro:item39"]:
+        sharded.remove((victim, "repro:owner",
+                        f"repro:user{int(victim[10:]) % 5}"))
+        single.remove((victim, "repro:owner",
+                       f"repro:user{int(victim[10:]) % 5}"))
+    assert sharded.predicate_statistics() == single.predicate_statistics()
+    assert len(sharded) == len(single)
+    sharded.clear()
+    assert sharded.predicate_statistics() == {}
+    assert sharded.estimate_cardinality(None, None, None) == 0.0
+
+
+def test_rehydrates_statistics_from_reopened_shards(tmp_path):
+    paths = [tmp_path / f"shard{i}.sqlite" for i in range(3)]
+    first = ShardedGraph(shards=3,
+                         backend_factory=lambda i: SqliteTripleStore(paths[i]))
+    first.add_all([(f"s{i}", "p", i) for i in range(20)])
+    stats = first.predicate_statistics()
+    first.close()
+    reopened = ShardedGraph(
+        shards=3, backend_factory=lambda i: SqliteTripleStore(paths[i]))
+    assert len(reopened) == 20
+    assert reopened.predicate_statistics() == stats
+    reopened.close()
+
+
+def test_aselect_matches_select():
+    sharded = populated(parallel_threshold=0)
+    patterns = [("?s", "repro:score", "?v")]
+    filters = [RangeFilter("?v", 12, 25)]
+
+    async def main():
+        scatter = await sharded.aselect(patterns, filters=filters,
+                                        order_by="?v")
+        routed = await sharded.aselect([("repro:item3", "repro:score", "?v")])
+        return scatter, routed
+
+    scatter, routed = asyncio.run(main())
+    assert scatter == sharded.select(patterns, filters=filters, order_by="?v")
+    assert routed == [{"?v": 3}]
+
+
+def test_observability_wiring():
+    obs = Observability(enabled=True)
+    sharded = populated(obs=obs, parallel_threshold=0)
+    sharded.select([("?s", "repro:score", "?v")],
+                   filters=[RangeFilter("?v", 0, 10)])
+    scans = obs.metrics.counter(names.KB_SHARD_SCANS_TOTAL)
+    assert scans.value() == 4.0
+    fanout = obs.metrics.get(names.KB_SHARD_FANOUT_MS)
+    assert fanout is not None
+
+
+def test_per_shard_materialized_views_cache_scatter_reads():
+    sharded = populated(shard_reasoners=[])
+    patterns = [("?s", "repro:score", "?v")]
+    first = sharded.select(patterns, order_by="?v", limit=5)
+    again = sharded.select(patterns, order_by="?v", limit=5)
+    assert first == again
+    hits = sum(shard.cache.hits for shard in sharded.shards)
+    assert hits >= sharded.shard_count
+    # Writes through the router invalidate the per-shard caches.
+    sharded.add(("repro:new", "repro:score", -1))
+    bumped = sharded.select(patterns, order_by="?v", limit=5)
+    assert bumped[0] == {"?s": "repro:new", "?v": -1}
+
+
+def test_fanout_plan_envelope():
+    sharded = populated()
+    single = Graph()
+    single.add_all(sharded)
+    patterns = [("?s", "repro:score", "?v")]
+    filters = [RangeFilter("?v", 10, None)]
+    plan = build_sharded_plan(sharded, patterns, filters)
+    info = plan.explain()
+    assert info["strategy"] == "shard-fanout"
+    assert info["route"] == "scatter"
+    assert info["shards"] == 4
+    assert info["native_numeric"] is True
+    assert info["plan"] == build_plan(single, patterns, filters).explain()
+    assert "scatter" in plan.describe()
+    # Non-sharded graphs still plan (single-shard envelope).
+    flat = build_sharded_plan(single, patterns, filters)
+    assert flat.explain()["route"] == "single-shard"
+    assert flat.explain()["shards"] == 1

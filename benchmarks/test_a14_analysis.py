@@ -1,0 +1,104 @@
+"""A14 — incremental analysis: cold vs warm vs one-file edit.
+
+The analysis tentpole claims the content-hash cache makes the
+whole-program pass cheap enough to run on every edit.  Three timed
+configurations over a pristine copy of ``src/repro`` (plus the
+observability doc RA005 audits against):
+
+1. **cold** — empty cache: parse every file, build the call graph, run
+   all eleven rules, persist the cache document;
+2. **warm** — nothing changed: the report must rehydrate with *zero*
+   files analyzed, byte-identical to the cold text/JSON output, at
+   least 5x faster (in practice two orders of magnitude);
+3. **incremental** — one leaf file edited: only the file and its
+   transitive dependents re-analyze; the cache hit count stays high.
+
+Results land in ``benchmarks/results/BENCH_A14.json``.
+"""
+
+import shutil
+import time
+from pathlib import Path
+
+from benchmarks._report import fmt_row, report, report_json
+from repro.analysis import Analyzer, default_rules
+from repro.analysis.cache import AnalysisCache
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Warm replay must beat a full pass by at least this factor; CI
+#: asserts the same floor on the real tree.
+SPEEDUP_FLOOR = 5.0
+
+#: A leaf module whose edit should dirty only a small dependent set.
+EDIT_TARGET = "src/repro/util/rng.py"
+
+
+def _copy_tree(tmp_path: Path) -> Path:
+    root = tmp_path / "repo"
+    shutil.copytree(REPO / "src" / "repro", root / "src" / "repro")
+    (root / "docs").mkdir()
+    shutil.copy(REPO / "docs" / "observability.md",
+                root / "docs" / "observability.md")
+    return root
+
+
+def _timed_run(analyzer: Analyzer, root: Path, cache: AnalysisCache):
+    started = time.perf_counter()
+    report_obj = analyzer.run([root / "src" / "repro"], root=root,
+                              cache=cache)
+    return report_obj, time.perf_counter() - started
+
+
+def test_a14_incremental_analysis(tmp_path):
+    root = _copy_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / "cache")
+    analyzer = Analyzer(default_rules(root=root))
+
+    cold, cold_s = _timed_run(analyzer, root, cache)
+    assert cold.ok(strict=True), cold.render_text()
+    assert cold.stats["cache_hits"] == 0
+
+    warm, warm_s = _timed_run(analyzer, root, cache)
+    assert warm.stats["files_analyzed"] == 0
+    assert warm.stats["cache_hits"] == cold.files_scanned
+    assert warm.render_text() == cold.render_text()
+    assert warm.to_json() == cold.to_json()
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm cache only {speedup:.1f}x faster ({warm_s:.3f}s vs "
+        f"{cold_s:.3f}s cold)")
+
+    target = root / EDIT_TARGET
+    target.write_text(target.read_text(encoding="utf-8")
+                      + "\n\nA14_TOUCH = 1\n", encoding="utf-8")
+    incremental, incremental_s = _timed_run(analyzer, root, cache)
+    reanalyzed = incremental.stats["files_analyzed"]
+    assert incremental.ok(strict=True), incremental.render_text()
+    assert 1 <= reanalyzed < cold.files_scanned
+    assert incremental.stats["cache_hits"] == (
+        cold.files_scanned - reanalyzed)
+
+    rows = [
+        fmt_row("configuration", "wall_s", "files_analyzed", "cache_hits"),
+        fmt_row("cold", cold_s, cold.stats["files_analyzed"], 0),
+        fmt_row("warm", warm_s, 0, warm.stats["cache_hits"]),
+        fmt_row("edit 1 file", incremental_s, reanalyzed,
+                incremental.stats["cache_hits"]),
+        "",
+        f"warm speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR}x); "
+        f"reports byte-identical across all runs",
+    ]
+    report("A14", "incremental whole-program analysis", rows)
+    report_json("A14", {
+        "files": cold.files_scanned,
+        "rules": len(cold.rules_run),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "incremental_s": round(incremental_s, 4),
+        "warm_speedup_x": round(speedup, 1),
+        "speedup_floor_x": SPEEDUP_FLOOR,
+        "edit_target": EDIT_TARGET,
+        "files_reanalyzed_after_edit": reanalyzed,
+        "byte_identical_outputs": True,
+    })

@@ -11,7 +11,21 @@ catalog over the SDK and exits non-zero on any unsuppressed finding:
 * **RA005** metric/span names must come from ``repro.obs.names`` and be
   documented;
 * **RA006** cycles in the static acquired-while-held lock graph
-  (potential ABBA deadlocks).
+  (potential ABBA deadlocks);
+* **RA007** blocking calls inside ``async def`` bodies;
+* **RA008** orphaned tasks — un-awaited coroutines and dropped
+  ``asyncio.create_task`` / ``ensure_future`` handles;
+* **RA009** sync locks held across ``await``;
+* **RA010** deadline propagation — a held ``Deadline`` must be threaded
+  to every deadline-accepting callee;
+* **RA011** contextvar discipline at bare thread hand-offs.
+
+The interprocedural rules share one whole-program layer: a call graph
+with shallow type inference (:mod:`repro.analysis.graph`) and fixpoint
+machinery (:mod:`repro.analysis.dataflow`).  An incremental cache
+(:mod:`repro.analysis.cache`), SARIF 2.1.0 output
+(:mod:`repro.analysis.sarif`) and an accepted-debt baseline
+(:mod:`repro.analysis.baseline`) make the CLI CI-grade.
 
 Suppress a finding with ``# repro: ignore[RA002]`` on its line (plus a
 comment saying why), or ``# repro: ignore-file[RA004]`` for a file.

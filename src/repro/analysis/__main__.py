@@ -3,16 +3,31 @@
 Exit status: 0 when clean, 1 when there are findings or parse errors
 (or, under ``--strict``, suppression comments naming unknown rules),
 2 on usage errors.  ``--format json`` emits a machine-readable report
-for CI annotation.
+for CI annotation, ``--format sarif`` the SARIF 2.1.0 document code
+scanners ingest.  ``--cache`` enables the incremental cache,
+``--baseline`` / ``--write-baseline`` manage accepted debt, and
+``--changed-only`` / ``--since REF`` narrow the *reported* findings to
+files the git working tree (or a ref range) touched — the analysis
+itself always covers the full tree so interprocedural rules stay sound.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+import time  # repro: ignore[RA001] — wall-clock timing of the analyzer process itself, not domain deadline math
 from pathlib import Path
 
 from repro.analysis import ALL_RULE_IDS, Analyzer, default_rules
+from repro.analysis.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.cache import DEFAULT_CACHE_DIR, AnalysisCache
+from repro.analysis.engine import Report
+from repro.analysis.sarif import render_sarif
 
 
 def _parse_rule_list(raw: str) -> set[str]:
@@ -29,7 +44,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: src/repro)")
     parser.add_argument("--strict", action="store_true",
                         help="also fail on suppressions naming unknown rules")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="report format (default: text)")
     parser.add_argument("--select", metavar="RULES",
                         help="comma-separated rule ids to run (default: all)")
@@ -44,7 +60,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also list suppressed findings")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--cache", metavar="DIR", nargs="?",
+                        const=DEFAULT_CACHE_DIR, default=None,
+                        help="incremental cache directory (bare flag: "
+                             f"{DEFAULT_CACHE_DIR})")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="accepted-debt baseline; matching findings "
+                             "are reported but never fatal")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write the current findings as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="only report findings in files the git "
+                             "working tree changed (analysis still covers "
+                             "the full tree)")
+    parser.add_argument("--since", metavar="REF",
+                        help="only report findings in files changed since "
+                             "the given git ref (implies --changed-only "
+                             "semantics)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print files-analyzed / cache-hit / wall-time "
+                             "stats to stderr (never part of the report)")
     return parser
+
+
+def _git_changed_relpaths(root: Path, since: str | None) -> set[str] | None:
+    """Relpaths git reports as changed (plus untracked), or ``None``."""
+    base = ["git", "-C", str(root)]
+    # --relative keys the paths to ``root`` (the reports' relpath base),
+    # not the repository toplevel.
+    diff = base + ["diff", "--name-only", "--relative"]
+    diff += [since] if since else ["HEAD"]
+    try:
+        changed = subprocess.run(diff, capture_output=True, text=True,
+                                 check=True).stdout
+        untracked = subprocess.run(
+            base + ["ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        print(f"git change detection failed: {detail.strip()}",
+              file=sys.stderr)
+        return None
+    return {line.strip() for line in (changed + untracked).splitlines()
+            if line.strip()}
+
+
+def _restrict_to(report: Report, relpaths: set[str]) -> None:
+    """Drop findings outside ``relpaths`` (analysis already ran fully)."""
+    report.findings = [f for f in report.findings if f.relpath in relpaths]
+    report.suppressed = [f for f in report.suppressed
+                         if f.relpath in relpaths]
+    report.baselined = [f for f in report.baselined
+                        if f.relpath in relpaths]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,12 +136,43 @@ def main(argv: list[str] | None = None) -> int:
     if not rules:
         print("no rules selected", file=sys.stderr)
         return 2
+
+    cache = AnalysisCache(args.cache) if args.cache else None
+    started = time.perf_counter()
     report = Analyzer(rules).run([Path(path) for path in args.paths],
-                                 root=root)
+                                 root=root, cache=cache)
+    elapsed = time.perf_counter() - started
+
+    if args.write_baseline:
+        count = write_baseline(report.findings, Path(args.write_baseline))
+        print(f"wrote {count} fingerprint(s) to {args.write_baseline}",
+              file=sys.stderr)
+        return 0
+    if args.baseline:
+        try:
+            accepted = load_baseline(Path(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        apply_baseline(report, accepted)
+
+    if args.changed_only or args.since:
+        changed = _git_changed_relpaths(root, args.since)
+        if changed is None:
+            return 2
+        _restrict_to(report, changed)
+
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(render_sarif(report, rules))
     else:
         print(report.render_text(verbose=args.verbose))
+    if args.stats:
+        analyzed = report.stats.get("files_analyzed", report.files_scanned)
+        hits = report.stats.get("cache_hits", 0)
+        print(f"stats: files_analyzed={analyzed} cache_hits={hits} "
+              f"wall_time={elapsed:.3f}s", file=sys.stderr)
     return 0 if report.ok(strict=args.strict) else 1
 
 

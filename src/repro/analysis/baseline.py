@@ -1,0 +1,85 @@
+"""Accepted-debt baselines: adopt the analyzer without fixing the past.
+
+A baseline file records the findings a team has explicitly accepted.
+Runs that pass ``--baseline`` move matching findings into the report's
+``baselined`` bucket: still rendered (and marked ``external`` in
+SARIF), but never fatal — only *new* findings fail the build.  The
+workflow is two commands::
+
+    python -m repro.analysis src --write-baseline analysis-baseline.json
+    python -m repro.analysis src --strict --baseline analysis-baseline.json
+
+Fingerprints are **line-number independent**: hashing ``(relpath,
+rule_id, message, occurrence-index)`` means reformatting or inserting
+code above an accepted finding does not un-baseline it, while a second
+*new* instance of the same message in the same file gets a fresh index
+and fails as it should.  Fixing a baselined finding simply leaves a
+stale fingerprint behind; rewrite the file when it gets noisy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.engine import Finding, Report
+
+#: Bump when the fingerprint recipe changes.
+SCHEMA_VERSION = 1
+
+
+def fingerprint(finding: Finding, index: int) -> str:
+    """Stable id for the ``index``-th identical finding in its file."""
+    material = "\x00".join((finding.relpath, finding.rule_id,
+                            finding.message, str(index)))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:20]
+
+
+def fingerprints_for(findings: list[Finding]) -> list[tuple[Finding, str]]:
+    """Each finding paired with its occurrence-indexed fingerprint."""
+    counts: dict[tuple[str, str, str], int] = {}
+    pairs: list[tuple[Finding, str]] = []
+    for finding in sorted(findings):
+        key = (finding.relpath, finding.rule_id, finding.message)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        pairs.append((finding, fingerprint(finding, index)))
+    return pairs
+
+
+def write_baseline(findings: list[Finding], path: Path) -> int:
+    """Persist the current findings as accepted debt; returns the count."""
+    entries = {
+        print_key: {"path": finding.relpath, "rule": finding.rule_id,
+                    "message": finding.message}
+        for finding, print_key in fingerprints_for(findings)
+    }
+    path.write_text(json.dumps({
+        "schema": SCHEMA_VERSION,
+        "fingerprints": entries,
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The accepted fingerprints (raises ValueError on a bad file)."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"{path}: not a baseline file")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported baseline schema "
+                         f"{payload.get('schema')!r}")
+    return set(payload["fingerprints"])
+
+
+def apply_baseline(report: Report, accepted: set[str]) -> None:
+    """Move accepted findings into ``report.baselined`` (in place)."""
+    kept: list[Finding] = []
+    for finding, print_key in fingerprints_for(report.findings):
+        if print_key in accepted:
+            report.baselined.append(finding)
+        else:
+            kept.append(finding)
+    report.findings = kept
+    report.baselined.sort()

@@ -1,0 +1,151 @@
+"""Incremental analysis cache: skip what provably did not change.
+
+The cache is one JSON file keyed by **content hashes**: every analyzed
+``.py`` file is recorded with its sha256 digest, the relpaths its
+resolution depends on (imports, resolved cross-file call edges and base
+classes from :class:`repro.analysis.graph.CallGraph`), and the
+:class:`~repro.analysis.engine.FileSlice` the file-scope rules produced
+for it.  The full report is stored alongside so a completely unchanged
+tree needs **zero** parsing: the previous report is rehydrated verbatim
+and ``stats`` says ``files_analyzed=0``.
+
+When some files changed, invalidation is the dataflow question the
+engine already answers: the dirty set is the changed files **plus every
+transitive dependent** in the reversed dependency graph
+(:func:`repro.analysis.dataflow.affected_by`).  Clean files keep their
+cached file-scope slices; dirty files are re-checked; project-scope
+rules (lock-order graph, deadline flow, name registry…) always re-run
+because their findings depend on global structure.
+
+Warm and cold runs of the same tree are byte-identical in every output
+format: cache bookkeeping lives only in ``Report.stats``, which no
+renderer includes — the CLI prints it to stderr on ``--stats``.
+
+Soundness notes:
+
+* Adding or removing a file changes bare-name resolution everywhere, so
+  the cache falls back to a full (uncached) run for those trees.
+* A file with a parse error never enters the file table, which keeps
+  the tree from ever taking the zero-parse fast path while broken.
+* A rule-set change (``--select`` / ``--ignore``) invalidates the whole
+  cache — the recorded rule list must match exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.dataflow import affected_by, reverse
+from repro.analysis.engine import Analyzer, FileSlice, Report
+from repro.analysis.project import (
+    Project,
+    collect_files,
+    iter_candidates,
+    relpath_for,
+)
+
+#: Bump when the payload layout or rule semantics change shape.
+SCHEMA_VERSION = 1
+
+#: Default cache directory for the CLI's bare ``--cache`` flag.
+DEFAULT_CACHE_DIR = ".repro-analysis-cache"
+
+
+def file_digest(path: Path) -> str | None:
+    """sha256 of the file's bytes, or ``None`` if unreadable."""
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+class AnalysisCache:
+    """Content-hash keyed cache persisted as one JSON document."""
+
+    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "cache.json"
+
+    # -- persistence -------------------------------------------------------
+
+    def load(self) -> dict | None:
+        """The cached payload, or ``None`` if absent/corrupt/outdated."""
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    def store(self, payload: dict) -> None:
+        """Atomically replace the cache document."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        staging = self.path.with_suffix(".json.tmp")
+        staging.write_text(json.dumps(payload, sort_keys=True),
+                           encoding="utf-8")
+        staging.replace(self.path)
+
+    # -- the cached run ----------------------------------------------------
+
+    def run(self, analyzer: Analyzer, paths: list[Path],
+            root: Path) -> Report:
+        """Analyze ``paths`` reusing everything the hashes allow."""
+        digests: dict[str, str] = {}
+        for candidate in iter_candidates(paths):
+            digest = file_digest(candidate)
+            if digest is not None:
+                digests[relpath_for(candidate, root)] = digest
+
+        rules_run = [rule.rule_id for rule in analyzer.rules]
+        cached = self.load()
+        if cached is not None and cached.get("rules") != rules_run:
+            cached = None
+        same_file_set = (cached is not None
+                         and set(cached["files"]) == set(digests))
+
+        if same_file_set:
+            changed = {rel for rel, meta in cached["files"].items()
+                       if meta["digest"] != digests[rel]}
+            if not changed:
+                # Zero-parse fast path: nothing moved, replay the report.
+                report = Report.from_payload(cached["report"])
+                report.stats = {"files_analyzed": 0,
+                                "cache_hits": len(digests)}
+                return report
+
+        files, errors = collect_files(paths, root)
+        project = Project(files)
+
+        reuse: dict[str, FileSlice] = {}
+        if same_file_set:
+            deps = {rel: sorted(meta["deps"])
+                    for rel, meta in cached["files"].items()}
+            dirty = affected_by(changed, reverse(deps))
+            reuse = {rel: FileSlice.from_payload(meta["slice"])
+                     for rel, meta in cached["files"].items()
+                     if rel not in dirty}
+
+        run = analyzer.run_partitioned(project, errors, reuse=reuse)
+        graph = project.call_graph()
+        self.store({
+            "schema": SCHEMA_VERSION,
+            "rules": rules_run,
+            "files": {
+                rel: {
+                    "digest": digests[rel],
+                    "deps": sorted(graph.file_deps.get(rel, ())),
+                    "slice": run.file_slices[rel].to_payload(),
+                }
+                for rel in run.file_slices if rel in digests
+            },
+            "report": run.report.to_payload(),
+        })
+        hits = len(reuse)
+        run.report.stats = {"files_analyzed": len(run.file_slices) - hits,
+                            "cache_hits": hits}
+        return run.report

@@ -1,0 +1,92 @@
+"""Forward dataflow over project graphs.
+
+Small, deterministic fixpoint machinery shared by the interprocedural
+rules and the incremental cache:
+
+* :func:`collect_transitive` — the "what my callees do, I do" union
+  fixpoint RA006 pioneered for lock reachability, generalized to any
+  fact set (locks acquired, coroutines spawned, deadline sinks);
+* :func:`reachable` — plain closure over an adjacency map;
+* :func:`reverse` — flip an edge map (callees -> callers, imports ->
+  importers);
+* :func:`affected_by` — a change set plus everything that transitively
+  depends on it, which is exactly the cache-invalidation question.
+
+All functions are pure, take plain dicts of hashable keys, and iterate
+in sorted order so results are reproducible run to run — byte-identical
+reports are a feature the cache layer depends on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V", bound=Hashable)
+
+#: Fixpoint guard: generous for any real project, finite for pathology.
+MAX_ROUNDS = 1000
+
+
+def collect_transitive(initial: dict[K, set[V]],
+                       successors: dict[K, Iterable[K]],
+                       max_rounds: int = MAX_ROUNDS) -> dict[K, set[V]]:
+    """Union fixpoint: ``facts[k] = initial[k] | facts[s] for s in succ``.
+
+    With ``successors`` the call graph's caller -> callees map and
+    ``initial`` the facts each function establishes directly, the
+    result is the facts each function establishes *transitively* —
+    no matter how many frames separate cause and effect.
+    """
+    facts: dict[K, set[V]] = {key: set(values)
+                              for key, values in initial.items()}
+    for key in successors:
+        facts.setdefault(key, set())
+    for _ in range(max_rounds):
+        changed = False
+        for key in sorted(facts):
+            bucket = facts[key]
+            before = len(bucket)
+            for successor in successors.get(key, ()):
+                bucket |= facts.get(successor, set())
+            changed = changed or len(bucket) != before
+        if not changed:
+            break
+    return facts
+
+
+def reachable(successors: dict[K, Iterable[K]],
+              starts: Iterable[K]) -> set[K]:
+    """Every key reachable from ``starts`` (starts included)."""
+    seen: set[K] = set()
+    frontier = list(starts)
+    while frontier:
+        key = frontier.pop()
+        if key in seen:
+            continue
+        seen.add(key)
+        frontier.extend(successors.get(key, ()))
+    return seen
+
+
+def reverse(edges: dict[K, Iterable[K]]) -> dict[K, set[K]]:
+    """Flip an adjacency map: ``a -> b`` becomes ``b -> a``."""
+    flipped: dict[K, set[K]] = {}
+    for src, dsts in edges.items():
+        flipped.setdefault(src, set())
+        for dst in dsts:
+            flipped.setdefault(dst, set()).add(src)
+    return flipped
+
+
+def affected_by(changed: Iterable[K],
+                dependents: dict[K, set[K]]) -> set[K]:
+    """The change set plus its transitive dependents.
+
+    ``dependents`` maps a key to the keys that depend *on* it (i.e. the
+    :func:`reverse` of a dependency map).  This is the incremental
+    cache's invalidation rule: editing ``deadline.py`` dirties every
+    file whose resolution reached into it, however indirectly.
+    """
+    return reachable(dependents, changed)

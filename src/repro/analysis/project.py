@@ -33,6 +33,12 @@ LOCK_FACTORIES = frozenset({
 #: ``Condition`` wraps an RLock by default.
 REENTRANT_FACTORIES = frozenset({"RLock", "Condition"})
 
+#: Receiver modules whose lock factories produce *event-loop* locks.
+#: ``asyncio.Lock()`` cooperates with the loop — holding it across an
+#: ``await`` is normal — while a ``threading.Lock()`` held across an
+#: ``await`` stalls every task on the loop (RA009).
+ASYNC_LOCK_MODULES = frozenset({"asyncio", "anyio", "trio"})
+
 _SUPPRESS = re.compile(
     r"#\s*repro:\s*ignore(?P<file>-file)?"
     r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?")
@@ -84,9 +90,13 @@ class ClassInfo:
     node: ast.ClassDef
     #: Attribute name -> factory name for attributes assigned a lock.
     lock_attrs: dict[str, str] = field(default_factory=dict)
+    #: Lock attributes built by an event-loop factory (``asyncio.Lock``).
+    async_lock_attrs: set[str] = field(default_factory=set)
     #: Attribute name -> set of candidate class names (bare).
     attr_types: dict[str, set[str]] = field(default_factory=dict)
     methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: Bare names of the classes this class lists as bases.
+    bases: list[str] = field(default_factory=list)
 
     def is_reentrant(self, attr: str) -> bool:
         """Whether the lock held in ``attr`` may be re-acquired."""
@@ -103,6 +113,17 @@ def _call_factory_name(node: ast.expr) -> str | None:
     if isinstance(func, ast.Attribute):
         return func.attr
     return None
+
+
+def _is_async_factory(node: ast.expr) -> bool:
+    """Whether a factory call is rooted in an event-loop module
+    (``asyncio.Lock()`` as opposed to ``threading.Lock()``)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    return (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ASYNC_LOCK_MODULES)
 
 
 def _annotation_class(node: ast.expr | None) -> str | None:
@@ -132,6 +153,10 @@ def _annotation_class(node: ast.expr | None) -> str | None:
     return None
 
 
+#: Public alias — the call-graph layer reuses the annotation parser.
+annotation_class = _annotation_class
+
+
 def _is_self_attr(node: ast.expr) -> str | None:
     """``self.<attr>`` -> attr name, else None."""
     if (isinstance(node, ast.Attribute)
@@ -145,6 +170,11 @@ def _collect_class(node: ast.ClassDef, source: SourceFile) -> ClassInfo:
     info = ClassInfo(name=node.name,
                      qualname=f"{source.module}.{node.name}",
                      source=source, node=node)
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            info.bases.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            info.bases.append(base.attr)
     for item in node.body:
         if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
             info.methods[item.name] = item
@@ -164,6 +194,8 @@ def _collect_class(node: ast.ClassDef, source: SourceFile) -> ClassInfo:
                 factory = _call_factory_name(value) if value is not None else None
                 if factory in LOCK_FACTORIES:
                     info.lock_attrs[attr] = factory
+                    if value is not None and _is_async_factory(value):
+                        info.async_lock_attrs.add(attr)
                     continue
                 candidates = set()
                 annotated = _annotation_class(annotation)
@@ -179,10 +211,7 @@ def _collect_class(node: ast.ClassDef, source: SourceFile) -> ClassInfo:
 def parse_source(path: Path, root: Path) -> SourceFile:
     """Parse one file into a :class:`SourceFile` (raises SyntaxError)."""
     text = path.read_text(encoding="utf-8")
-    try:
-        relpath = path.resolve().relative_to(root.resolve()).as_posix()
-    except ValueError:
-        relpath = path.as_posix()
+    relpath = relpath_for(path, root)
     module = relpath.removesuffix(".py").replace("/", ".")
     for prefix in ("src.",):
         module = module.removeprefix(prefix)
@@ -208,14 +237,19 @@ class Project:
         self.files = files
         self.classes: list[ClassInfo] = []
         self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        self.classes_by_qualname: dict[str, ClassInfo] = {}
         #: module name -> module-level lock variable names.
         self.module_locks: dict[str, dict[str, str]] = {}
+        #: module name -> module-level locks built by asyncio-like factories.
+        self.async_module_locks: dict[str, set[str]] = {}
+        self._call_graph = None
         for source in files:
             for node in ast.walk(source.tree):
                 if isinstance(node, ast.ClassDef):
                     info = _collect_class(node, source)
                     self.classes.append(info)
                     self.classes_by_name.setdefault(info.name, []).append(info)
+                    self.classes_by_qualname[info.qualname] = info
             for node in source.tree.body:
                 if isinstance(node, ast.Assign) and len(node.targets) == 1 \
                         and isinstance(node.targets[0], ast.Name):
@@ -223,18 +257,33 @@ class Project:
                     if factory in LOCK_FACTORIES:
                         self.module_locks.setdefault(
                             source.module, {})[node.targets[0].id] = factory
+                        if _is_async_factory(node.value):
+                            self.async_module_locks.setdefault(
+                                source.module, set()).add(node.targets[0].id)
 
     def resolve_class(self, name: str) -> ClassInfo | None:
         """The unique class with this bare name, or None if ambiguous."""
         candidates = self.classes_by_name.get(name, [])
         return candidates[0] if len(candidates) == 1 else None
 
+    def call_graph(self):
+        """The project-wide :class:`~repro.analysis.graph.CallGraph`.
 
-def collect_files(paths: list[Path], root: Path) -> tuple[list[SourceFile], list[str]]:
-    """Parse every ``.py`` under ``paths``; returns (files, errors)."""
+        Built on first use and cached: every graph-based rule (RA006,
+        RA008–RA011) and the incremental cache share one symbol table
+        and one set of resolved call edges.
+        """
+        if self._call_graph is None:
+            from repro.analysis.graph import CallGraph
+
+            self._call_graph = CallGraph(self)
+        return self._call_graph
+
+
+def iter_candidates(paths: list[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, deduplicated, in scan order."""
     seen: set[Path] = set()
-    sources: list[SourceFile] = []
-    errors: list[str] = []
+    ordered: list[Path] = []
     for path in paths:
         if path.is_dir():
             candidates = sorted(path.rglob("*.py"))
@@ -245,8 +294,25 @@ def collect_files(paths: list[Path], root: Path) -> tuple[list[SourceFile], list
             if resolved in seen:
                 continue
             seen.add(resolved)
-            try:
-                sources.append(parse_source(candidate, root))
-            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-                errors.append(f"{candidate}: cannot parse: {exc}")
+            ordered.append(candidate)
+    return ordered
+
+
+def relpath_for(path: Path, root: Path) -> str:
+    """The report-facing relative path for ``path`` (matches parsing)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def collect_files(paths: list[Path], root: Path) -> tuple[list[SourceFile], list[str]]:
+    """Parse every ``.py`` under ``paths``; returns (files, errors)."""
+    sources: list[SourceFile] = []
+    errors: list[str] = []
+    for candidate in iter_candidates(paths):
+        try:
+            sources.append(parse_source(candidate, root))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            errors.append(f"{candidate}: cannot parse: {exc}")
     return sources, errors

@@ -20,6 +20,10 @@ from repro.analysis.rules.ra004_blocking import BlockingUnderLockRule
 from repro.analysis.rules.ra005_names import NameRegistryRule
 from repro.analysis.rules.ra006_lockorder import LockOrderRule
 from repro.analysis.rules.ra007_async_blocking import AsyncBlockingRule
+from repro.analysis.rules.ra008_orphan_tasks import OrphanTaskRule
+from repro.analysis.rules.ra009_lock_await import LockAcrossAwaitRule
+from repro.analysis.rules.ra010_deadline import DeadlinePropagationRule
+from repro.analysis.rules.ra011_contextvar import ContextvarDisciplineRule
 
 RULE_CLASSES: tuple[type[Rule], ...] = (
     ClockDisciplineRule,
@@ -29,6 +33,10 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     NameRegistryRule,
     LockOrderRule,
     AsyncBlockingRule,
+    OrphanTaskRule,
+    LockAcrossAwaitRule,
+    DeadlinePropagationRule,
+    ContextvarDisciplineRule,
 )
 
 ALL_RULE_IDS: tuple[str, ...] = tuple(cls.rule_id for cls in RULE_CLASSES)

@@ -25,9 +25,6 @@ from repro.analysis.project import ClassInfo, Project, SourceFile
 LockNode = tuple[str, str]
 MethodKey = tuple[str, str]
 
-#: Container accessors whose result takes the container's value type.
-_CONTAINER_READS = frozenset({"get", "pop", "setdefault"})
-
 
 def format_lock(node: LockNode) -> str:
     """Human form of a lock node: ``Owner.attr``."""
@@ -37,39 +34,13 @@ def format_lock(node: LockNode) -> str:
 
 def infer_local_types(method: ast.FunctionDef, info: ClassInfo,
                       project: Project) -> dict[str, set[str]]:
-    """Best-effort local-variable -> candidate-class-name map."""
-    types: dict[str, set[str]] = {}
-    for stmt in ast.walk(method):
-        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
-            continue
-        target = stmt.targets[0]
-        if not isinstance(target, ast.Name):
-            continue
-        candidates = _value_types(stmt.value, info, project)
-        if candidates:
-            types.setdefault(target.id, set()).update(candidates)
-    return types
+    """Best-effort local-variable -> candidate-class-name map.
 
-
-def _value_types(value: ast.expr, info: ClassInfo,
-                 project: Project) -> set[str]:
-    if isinstance(value, ast.Call):
-        func = value.func
-        if isinstance(func, ast.Name) and func.id in project.classes_by_name:
-            return {func.id}
-        # self._flights.get(key) -> value type of the annotated container.
-        if (isinstance(func, ast.Attribute)
-                and func.attr in _CONTAINER_READS
-                and isinstance(func.value, ast.Attribute)
-                and isinstance(func.value.value, ast.Name)
-                and func.value.value.id == "self"):
-            return set(info.attr_types.get(func.value.attr, ()))
-        return set()
-    if (isinstance(value, ast.Attribute)
-            and isinstance(value.value, ast.Name)
-            and value.value.id == "self"):
-        return set(info.attr_types.get(value.attr, ()))
-    return set()
+    Delegates to the shared call-graph inference (parameter
+    annotations, constructor assignments, attribute/container reads,
+    resolved return types), which is cached per function node.
+    """
+    return project.call_graph().infer_local_types(method, info, info.source)
 
 
 def resolve_lock_expr(expr: ast.expr, info: ClassInfo,
@@ -90,34 +61,21 @@ def resolve_lock_expr(expr: ast.expr, info: ClassInfo,
 def resolve_call(call: ast.Call, info: ClassInfo,
                  local_types: dict[str, set[str]],
                  project: Project) -> list[tuple[ClassInfo, str]]:
-    """Resolve a call to candidate ``(class, method)`` targets."""
-    func = call.func
+    """Resolve a call to candidate ``(class, method)`` targets.
+
+    Thin adapter over the shared call graph: resolves through imports,
+    base classes, attribute types and return-type inference, then maps
+    the resulting function keys back to the ``(class, method)`` shape
+    the lock rules consume (module-level functions are dropped — they
+    hold no instance locks).
+    """
+    graph = project.call_graph()
     targets: list[tuple[ClassInfo, str]] = []
-    if isinstance(func, ast.Name):
-        cls = project.resolve_class(func.id)
-        if cls is not None and "__init__" in cls.methods:
-            targets.append((cls, "__init__"))
-        return targets
-    if not isinstance(func, ast.Attribute):
-        return targets
-    receiver, method = func.value, func.attr
-    if isinstance(receiver, ast.Name):
-        if receiver.id == "self":
-            if method in info.methods:
-                targets.append((info, method))
-            return targets
-        for type_name in sorted(local_types.get(receiver.id, ())):
-            cls = project.resolve_class(type_name)
-            if cls is not None and method in cls.methods:
-                targets.append((cls, method))
-        return targets
-    if (isinstance(receiver, ast.Attribute)
-            and isinstance(receiver.value, ast.Name)
-            and receiver.value.id == "self"):
-        for type_name in sorted(info.attr_types.get(receiver.attr, ())):
-            cls = project.resolve_class(type_name)
-            if cls is not None and method in cls.methods:
-                targets.append((cls, method))
+    for key in graph.resolve_call(call, info.source, info, local_types):
+        owner_qualname, method = key.rsplit(".", 1)
+        cls = project.classes_by_qualname.get(owner_qualname)
+        if cls is not None:
+            targets.append((cls, method))
     return targets
 
 

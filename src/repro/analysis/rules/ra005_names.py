@@ -53,6 +53,7 @@ class NameRegistryRule(Rule):
     """Enforce the metric/span name registry and its doc coverage."""
 
     rule_id = "RA005"
+    scope = "project"
     description = ("metric/span names must come from the repro.obs.names "
                    "registry and be documented in docs/observability.md")
 

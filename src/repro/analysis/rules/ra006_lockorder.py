@@ -21,6 +21,7 @@ property against *actual* acquisition order in tests.
 
 from __future__ import annotations
 
+from repro.analysis.dataflow import collect_transitive
 from repro.analysis.engine import Finding, Rule
 from repro.analysis.project import Project
 from repro.analysis.rules.lockscan import (
@@ -30,26 +31,14 @@ from repro.analysis.rules.lockscan import (
     scan_project,
 )
 
-_MAX_FIXPOINT_ROUNDS = 1000
-
 
 def _locks_reachable(scans) -> dict[MethodKey, set[LockNode]]:
     """Fixpoint: every lock a method may acquire, transitively."""
-    reach: dict[MethodKey, set[LockNode]] = {
-        key: {lock for lock, _ in scan.acquires}
-        for key, scan in scans.items()
-    }
-    for _ in range(_MAX_FIXPOINT_ROUNDS):
-        changed = False
-        for key, scan in scans.items():
-            bucket = reach[key]
-            before = len(bucket)
-            for callee, _ in scan.calls:
-                bucket |= reach.get(callee, set())
-            changed = changed or len(bucket) != before
-        if not changed:
-            break
-    return reach
+    return collect_transitive(
+        initial={key: {lock for lock, _ in scan.acquires}
+                 for key, scan in scans.items()},
+        successors={key: [callee for callee, _ in scan.calls]
+                    for key, scan in scans.items()})
 
 
 def _strongly_connected(nodes, edges) -> list[list[LockNode]]:
@@ -109,6 +98,7 @@ class LockOrderRule(Rule):
     """Fail on cycles in the static acquired-while-held lock graph."""
 
     rule_id = "RA006"
+    scope = "project"
     description = ("cycle in the acquired-while-held lock graph — "
                    "a potential ABBA deadlock")
 

@@ -1,0 +1,156 @@
+"""RA008 — un-awaited coroutines and orphaned asyncio tasks.
+
+Two ways the async core silently loses work:
+
+* a call to an ``async def`` whose coroutine is created and dropped —
+  the body never runs, errors never surface (``self._flush()`` instead
+  of ``await self._flush()``);
+* an ``asyncio.create_task`` / ``ensure_future`` whose returned task is
+  discarded (or bound to a name that is never read) — the task runs,
+  but nothing can await it, observe its exception, or cancel it on
+  shutdown; the loop may even garbage-collect it mid-flight.
+
+The check is interprocedural: whether a dropped call produces a
+coroutine is answered by the project call graph, so ``fetch()`` defined
+``async`` three modules away is caught at a sync-looking call site.
+``TaskGroup``/nursery ``create_task`` results are exempt (the group
+*is* the kept reference and the cancellation path), as is anything
+awaited, returned, passed on, or stored on an attribute/container.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import Project
+
+#: Spawn APIs whose result must be kept to await/cancel the task.
+_SPAWN_QUALNAMES = frozenset({
+    "asyncio.create_task", "asyncio.ensure_future",
+})
+_SPAWN_ATTRS = frozenset({"create_task", "ensure_future"})
+
+#: Receiver-name substrings marking a *managed* spawn (the receiver
+#: keeps the reference and cancels on scope exit).
+_MANAGED_RECEIVERS = ("group", "nursery", "tg", "supervisor")
+
+
+def _spawn_reason(call: ast.Call, graph, source) -> str | None:
+    """Why this call creates a task needing a kept reference, if it does."""
+    func = call.func
+    qualified = graph.qualified_name(func, source)
+    if qualified in _SPAWN_QUALNAMES:
+        return qualified
+    if isinstance(func, ast.Attribute) and func.attr in _SPAWN_ATTRS:
+        receiver = ast.unparse(func.value).lower()
+        if any(hint in receiver for hint in _MANAGED_RECEIVERS):
+            return None
+        return f"{receiver}.{func.attr}"
+    return None
+
+
+class _LoadCounter(ast.NodeVisitor):
+    """Count Name loads per identifier across a whole function body."""
+
+    def __init__(self) -> None:
+        self.loads: dict[str, int] = {}
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.loads[node.id] = self.loads.get(node.id, 0) + 1
+
+
+class OrphanTaskRule(Rule):
+    """Flag dropped coroutines and unreferenced spawned tasks."""
+
+    rule_id = "RA008"
+    description = ("un-awaited coroutine or orphaned asyncio task "
+                   "(create_task/ensure_future result dropped — nothing "
+                   "can await, observe or cancel it)")
+    scope = "project"
+
+    def check(self, project: Project) -> list[Finding]:
+        """Walk every function via the call graph; resolve async callees."""
+        graph = project.call_graph()
+        findings: list[Finding] = []
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            findings.extend(self._check_function(info, graph))
+        return findings
+
+    def _check_function(self, info, graph) -> list[Finding]:
+        findings: list[Finding] = []
+        local_types = graph.infer_local_types(info.node, info.owner,
+                                              info.source)
+        loads = _LoadCounter()
+        loads.visit(info.node)
+        for stmt in self._body_statements(info.node):
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                findings.extend(self._check_dropped(
+                    stmt.value, info, graph, local_types))
+            elif (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)):
+                target = stmt.targets[0].id
+                if loads.loads.get(target, 0) == 0:
+                    findings.extend(self._check_unread(
+                        stmt.value, target, info, graph, local_types))
+        return findings
+
+    @staticmethod
+    def _body_statements(node: ast.FunctionDef | ast.AsyncFunctionDef):
+        """Every statement in the function's own body, nested defs skipped."""
+        stack = list(node.body)
+        while stack:
+            stmt = stack.pop(0)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield stmt
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    stack.append(child)
+                elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                    stack.extend(child.body)
+
+    def _check_dropped(self, call, info, graph, local_types) -> list[Finding]:
+        spawn = _spawn_reason(call, graph, info.source)
+        if spawn is not None:
+            return [Finding(
+                info.source.relpath, call.lineno, call.col_offset,
+                self.rule_id,
+                f"{spawn}(...) result is discarded — an orphaned task has "
+                "no reference to await, observe or cancel; keep it (e.g. "
+                "in a task set or attribute)")]
+        for callee in graph.resolve_call(call, info.source, info.owner,
+                                         local_types):
+            target = graph.functions.get(callee)
+            if target is not None and target.is_async:
+                return [Finding(
+                    info.source.relpath, call.lineno, call.col_offset,
+                    self.rule_id,
+                    f"call to async `{callee}` is never awaited — the "
+                    "coroutine is created and dropped, its body never "
+                    "runs")]
+        return []
+
+    def _check_unread(self, call, target, info, graph,
+                      local_types) -> list[Finding]:
+        spawn = _spawn_reason(call, graph, info.source)
+        if spawn is not None:
+            return [Finding(
+                info.source.relpath, call.lineno, call.col_offset,
+                self.rule_id,
+                f"task from {spawn}(...) is bound to `{target}` but never "
+                "read — no await, no cancellation path; keep a live "
+                "reference or await it")]
+        for callee in graph.resolve_call(call, info.source, info.owner,
+                                         local_types):
+            resolved = graph.functions.get(callee)
+            if resolved is not None and resolved.is_async:
+                return [Finding(
+                    info.source.relpath, call.lineno, call.col_offset,
+                    self.rule_id,
+                    f"coroutine from async `{callee}` is bound to "
+                    f"`{target}` but never awaited — its body never runs")]
+        return []

@@ -1,0 +1,229 @@
+"""RA009 — a synchronous lock held across an ``await``.
+
+The async extension of the RA004/RA006 family.  A ``threading.Lock``
+held while a coroutine suspends is poison twice over: every *other*
+task scheduled onto the loop that touches the lock blocks the whole
+loop thread (instant self-deadlock if it is the same task's lock), and
+the critical section now spans an arbitrary amount of wall time —
+whatever the awaited IO takes.  ``asyncio.Lock`` exists precisely so
+waiting cooperates with the loop; holding *it* across an ``await`` is
+normal and not flagged.
+
+Three shapes are reported:
+
+* an ``await`` inside a ``with <sync lock>:`` body;
+* ``async with`` on a sync lock (``threading.Lock`` has no async
+  protocol worth trusting — and blocking in ``__enter__`` stalls the
+  loop exactly like RA007 describes);
+* the interprocedural case: the lock was taken by a *helper* — a
+  resolved callee whose body calls ``.acquire()`` without a matching
+  ``.release()`` — and an ``await`` runs before the releasing call.
+  Effect summaries are propagated over the project call graph with
+  :func:`~repro.analysis.dataflow.collect_transitive`, so the
+  acquisition may sit any number of frames away.
+
+Branch-insensitive by design: an acquire in an ``if`` arm is assumed
+held afterwards (erring toward reporting); balanced ``with`` blocks
+contribute no summary effects.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow import collect_transitive
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import ClassInfo, Project, SourceFile
+from repro.analysis.rules.lockscan import LockNode, format_lock
+
+
+def _resolve_lock(expr: ast.expr, owner: ClassInfo | None,
+                  source: SourceFile, project: Project) -> LockNode | None:
+    """``self._lock`` / module-level ``LOCK`` -> LockNode, else None."""
+    if (owner is not None
+            and isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and expr.attr in owner.lock_attrs):
+        return (owner.qualname, expr.attr)
+    if isinstance(expr, ast.Name):
+        module_locks = project.module_locks.get(source.module, {})
+        if expr.id in module_locks:
+            return (source.module, expr.id)
+    return None
+
+
+def _is_async_lock(node: LockNode, project: Project) -> bool:
+    """Whether a lock node was built by an asyncio-like factory."""
+    owner, attr = node
+    cls = project.classes_by_qualname.get(owner)
+    if cls is not None:
+        return attr in cls.async_lock_attrs
+    return attr in project.async_module_locks.get(owner, set())
+
+
+class _EffectScan(ast.NodeVisitor):
+    """Direct ``.acquire()`` / ``.release()`` effects of one function."""
+
+    def __init__(self, owner: ClassInfo | None, source: SourceFile,
+                 project: Project) -> None:
+        self.owner = owner
+        self.source = source
+        self.project = project
+        self.acquired: set[LockNode] = set()
+        self.released: set[LockNode] = set()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire",
+                                                             "release"):
+            lock = _resolve_lock(func.value, self.owner, self.source,
+                                 self.project)
+            if lock is not None and not _is_async_lock(lock, self.project):
+                target = (self.acquired if func.attr == "acquire"
+                          else self.released)
+                target.add(lock)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+
+class _AsyncBodyVisitor(ast.NodeVisitor):
+    """Track held sync locks through one coroutine body, in order."""
+
+    def __init__(self, rule: "LockAcrossAwaitRule", info, graph,
+                 net_acquires: dict[str, set[LockNode]],
+                 net_releases: dict[str, set[LockNode]]) -> None:
+        self.rule = rule
+        self.info = info
+        self.graph = graph
+        self.project = graph.project
+        self.net_acquires = net_acquires
+        self.net_releases = net_releases
+        self.local_types = graph.infer_local_types(info.node, info.owner,
+                                                   info.source)
+        #: lock -> how it came to be held ("" for a direct with/acquire).
+        self.held: dict[LockNode, str] = {}
+        self.findings: list[Finding] = []
+
+    # -- scope boundaries --------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    # -- lock scoping ------------------------------------------------------
+
+    def _resolve(self, expr: ast.expr) -> LockNode | None:
+        return _resolve_lock(expr, self.info.owner, self.info.source,
+                             self.project)
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[LockNode] = []
+        for item in node.items:
+            lock = self._resolve(item.context_expr)
+            if lock is None or _is_async_lock(lock, self.project):
+                self.visit(item.context_expr)
+            else:
+                self.held.setdefault(lock, "")
+                acquired.append(lock)
+        for stmt in node.body:
+            self.visit(stmt)
+        for lock in acquired:
+            self.held.pop(lock, None)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        for item in node.items:
+            lock = self._resolve(item.context_expr)
+            if lock is not None and not _is_async_lock(lock, self.project):
+                self.findings.append(Finding(
+                    self.info.source.relpath, item.context_expr.lineno,
+                    item.context_expr.col_offset, self.rule.rule_id,
+                    f"`async with` on sync lock {format_lock(lock)} — a "
+                    "threading lock blocks the loop thread in __enter__ "
+                    "and is held across every await in the body; use "
+                    "asyncio.Lock"))
+        for stmt in node.body:
+            self.visit(stmt)
+
+    # -- acquire / release flow -------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire",
+                                                             "release"):
+            lock = self._resolve(func.value)
+            if lock is not None and not _is_async_lock(lock, self.project):
+                if func.attr == "acquire":
+                    self.held.setdefault(lock, "")
+                else:
+                    self.held.pop(lock, None)
+        for callee in self.graph.resolve_call(node, self.info.source,
+                                              self.info.owner,
+                                              self.local_types):
+            for lock in sorted(self.net_releases.get(callee, ())):
+                self.held.pop(lock, None)
+            for lock in sorted(self.net_acquires.get(callee, ())):
+                short = callee.rsplit(".", 1)[-1]
+                self.held.setdefault(
+                    lock, f" (acquired via {short}() at line {node.lineno})")
+        self.generic_visit(node)
+
+    def visit_Await(self, node: ast.Await) -> None:
+        for lock, how in sorted(self.held.items()):
+            self.findings.append(Finding(
+                self.info.source.relpath, node.lineno, node.col_offset,
+                self.rule.rule_id,
+                f"sync lock {format_lock(lock)} held across await{how} — "
+                "every task contending for it blocks the loop thread; "
+                "release before awaiting or use asyncio.Lock"))
+        self.generic_visit(node)
+
+
+class LockAcrossAwaitRule(Rule):
+    """Flag threading locks held while a coroutine suspends."""
+
+    rule_id = "RA009"
+    description = ("sync (threading) lock held across an await, or "
+                   "`async with` on a sync lock — the loop thread blocks "
+                   "for the whole critical section")
+    scope = "project"
+
+    def check(self, project: Project) -> list[Finding]:
+        """Summarize lock effects project-wide, then walk coroutines."""
+        graph = project.call_graph()
+        direct_acquires: dict[str, set[LockNode]] = {}
+        direct_releases: dict[str, set[LockNode]] = {}
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            scan = _EffectScan(info.owner, info.source, project)
+            for stmt in info.node.body:
+                scan.visit(stmt)
+            # Balanced acquire+release pairs are no net effect.
+            direct_acquires[key] = scan.acquired - scan.released
+            direct_releases[key] = scan.released - scan.acquired
+        successors = graph.successors()
+        net_acquires = collect_transitive(direct_acquires, successors)
+        net_releases = collect_transitive(direct_releases, successors)
+
+        findings: list[Finding] = []
+        for key in sorted(graph.functions):
+            info = graph.functions[key]
+            if not info.is_async:
+                continue
+            visitor = _AsyncBodyVisitor(self, info, graph,
+                                        net_acquires, net_releases)
+            for stmt in info.node.body:
+                visitor.visit(stmt)
+            findings.extend(visitor.findings)
+        return findings

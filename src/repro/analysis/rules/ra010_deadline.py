@@ -1,0 +1,113 @@
+"""RA010 — a received deadline must be threaded to deadline-aware callees.
+
+PR 5 made deadlines *absolute*: a caller that gives the SDK one second
+has budgeted the entire call chain, and every layer —
+``invoke``/``invoke_async``, retry, failover, hedging, admission, the
+transports, the KB pipeline — accepts a ``deadline`` so the budget is
+visible everywhere.  The invariant is only as strong as its weakest
+frame: one function that receives a ``Deadline`` and then calls a
+deadline-accepting callee *without passing it* silently converts a
+bounded call into an unbounded one, exactly the class of bug the chaos
+``deadline-honored`` invariant exists to catch at runtime.
+
+This rule catches it at lint time, interprocedurally: the caller's
+signature comes from its own file, the callee's from wherever the call
+graph resolved it — module boundaries included.  A call *threads* the
+deadline when it passes the deadline parameter by keyword or position,
+forwards ``**kwargs``, or passes any expression derived from the
+deadline variable (``deadline.clamp(t)``, ``deadline.remaining()`` —
+budget handed over in another shape).  An explicit ``deadline=None`` is
+a visible decision and is not flagged; an *absent* deadline is a silent
+drop and is.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+from repro.analysis.project import Project
+
+#: The canonical parameter name plus the annotation that marks others.
+_PARAM = "deadline"
+_ANNOTATION = "Deadline"
+
+
+def _deadline_param(info) -> str | None:
+    """The function's deadline parameter name, if it has one."""
+    if info.accepts(_PARAM):
+        return _PARAM
+    for name, annotated in sorted(info.annotations.items()):
+        if annotated == _ANNOTATION and info.accepts(name):
+            return name
+    return None
+
+
+def _mentions(node: ast.expr, name: str) -> bool:
+    """Whether an expression reads ``name`` anywhere inside it."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name) and inner.id == name \
+                and isinstance(inner.ctx, ast.Load):
+            return True
+    return False
+
+
+class DeadlinePropagationRule(Rule):
+    """Flag deadline drops at calls into deadline-accepting functions."""
+
+    rule_id = "RA010"
+    description = ("function receives a deadline but calls a "
+                   "deadline-accepting callee without threading it — the "
+                   "callee waits with no budget")
+    scope = "project"
+
+    def check(self, project: Project) -> list[Finding]:
+        """Inspect every resolved call edge whose caller holds a deadline."""
+        graph = project.call_graph()
+        findings: list[Finding] = []
+        for key in sorted(graph.functions):
+            caller = graph.functions[key]
+            held = _deadline_param(caller)
+            if held is None:
+                continue
+            seen: set[int] = set()
+            for site in graph.out_calls.get(key, ()):
+                if id(site.node) in seen:
+                    continue
+                callee = graph.functions.get(site.callee)
+                if callee is None or callee.key == key:
+                    continue
+                callee_param = _deadline_param(callee)
+                if callee_param is None:
+                    continue
+                if self._threads_deadline(site.node, held, callee,
+                                          callee_param):
+                    continue
+                seen.add(id(site.node))
+                findings.append(Finding(
+                    caller.source.relpath, site.lineno, site.col,
+                    self.rule_id,
+                    f"`{caller.name}` receives `{held}` but calls "
+                    f"deadline-accepting `{callee.name}()` without "
+                    f"passing it — the callee runs with no budget; pass "
+                    f"{callee_param}={held} (or an explicit None with a "
+                    "suppression saying why)"))
+        return findings
+
+    @staticmethod
+    def _threads_deadline(call: ast.Call, held: str, callee,
+                          callee_param: str) -> bool:
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                return True  # **kwargs forwarded — assume threaded
+            if keyword.arg == callee_param:
+                return True  # explicit decision, None included
+            if _mentions(keyword.value, held):
+                return True  # budget passed in another shape
+        index = callee.param_index(callee_param)
+        if index is not None and len(call.args) > index:
+            return True  # positional value occupies the deadline slot
+        for arg in call.args:
+            if isinstance(arg, ast.Starred) or _mentions(arg, held):
+                return True
+        return False

@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 renderer for analysis reports.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest natively — GitHub code scanning renders a
+``*.sarif`` artifact as inline review annotations.  One run object
+carries the full rule catalog (``tool.driver.rules``) plus one result
+per finding:
+
+* live findings  -> plain ``error`` results;
+* in-source suppressions (``# repro: ignore[...]``) -> results with a
+  ``suppressions`` entry of kind ``inSource``;
+* baselined findings (accepted debt) -> kind ``external``.
+
+Output is deterministic: no timestamps, results in the engine's sorted
+order, ``sort_keys`` JSON — so a warm-cache rerun produces the same
+bytes as a cold run, which the CI cache gate asserts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import Finding, Report, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            suppression_kind: str | None) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index.get(finding.rule_id, -1),
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.relpath,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {"startLine": finding.line,
+                           "startColumn": finding.col + 1},
+            },
+        }],
+    }
+    if suppression_kind is not None:
+        result["suppressions"] = [{"kind": suppression_kind}]
+    return result
+
+
+def render_sarif(report: Report, rules: list[Rule]) -> str:
+    """The report as a SARIF 2.1.0 JSON document."""
+    catalog = [{
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "error"},
+    } for rule in rules]
+    rule_index = {entry["id"]: position
+                  for position, entry in enumerate(catalog)}
+
+    results = [_result(finding, rule_index, None)
+               for finding in report.findings]
+    results += [_result(finding, rule_index, "inSource")
+                for finding in report.suppressed]
+    results += [_result(finding, rule_index, "external")
+                for finding in report.baselined]
+
+    invocation = {
+        "executionSuccessful": not report.errors,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": error}}
+            for error in report.errors
+        ],
+    }
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro.analysis",
+                "informationUri":
+                    "https://example.invalid/repro/docs/static-analysis",
+                "rules": catalog,
+            }},
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

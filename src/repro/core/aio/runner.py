@@ -34,7 +34,10 @@ class LoopRunner:
         """Start the loop thread and wait until the loop is running."""
         self._loop = asyncio.new_event_loop()
         self._started = threading.Event()
-        self._thread = threading.Thread(target=self._serve, name=name,
+        # The loop thread is a process-lifetime service: it must NOT
+        # inherit whichever tenant/trace scope happened to construct it
+        # — each submitted coroutine carries its own context instead.
+        self._thread = threading.Thread(target=self._serve, name=name,  # repro: ignore[RA011] — service thread; per-task context enters via submit()'s Context.run
                                         daemon=True)
         self._thread.start()
         self._started.wait()

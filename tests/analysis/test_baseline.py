@@ -1,0 +1,82 @@
+"""Accepted-debt baselines: fingerprints, application, line drift."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    apply_baseline,
+    fingerprints_for,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import Finding, Report
+
+
+def _finding(line=9, message="swallowed", path="pkg/app.py") -> Finding:
+    return Finding(path, line, 4, "RA002", message)
+
+
+def test_fingerprint_survives_line_drift():
+    before = fingerprints_for([_finding(line=9)])[0][1]
+    after = fingerprints_for([_finding(line=42)])[0][1]
+    assert before == after
+
+
+def test_duplicate_messages_get_distinct_occurrence_indexes():
+    pair = fingerprints_for([_finding(line=9), _finding(line=20)])
+    assert pair[0][1] != pair[1][1]
+
+
+def test_round_trip_write_then_load(tmp_path):
+    path = tmp_path / "baseline.json"
+    count = write_baseline([_finding()], path)
+    assert count == 1
+    accepted = load_baseline(path)
+    assert accepted == {fingerprints_for([_finding()])[0][1]}
+    payload = json.loads(path.read_text())
+    entry = next(iter(payload["fingerprints"].values()))
+    assert entry == {"path": "pkg/app.py", "rule": "RA002",
+                     "message": "swallowed"}
+
+
+def test_apply_moves_accepted_findings_to_baselined(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], path)
+    report = Report(findings=[_finding(line=50),
+                              _finding(message="fresh debt")])
+    apply_baseline(report, load_baseline(path))
+    assert [f.message for f in report.baselined] == ["swallowed"]
+    assert [f.message for f in report.findings] == ["fresh debt"]
+    assert not report.ok()
+
+
+def test_baselined_findings_do_not_fail_ok(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], path)
+    report = Report(findings=[_finding()])
+    apply_baseline(report, load_baseline(path))
+    assert report.findings == []
+    assert report.ok(strict=True)
+    assert ", 1 baselined" in report.render_text()
+
+
+def test_second_identical_finding_is_not_covered(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], path)
+    report = Report(findings=[_finding(line=9), _finding(line=80)])
+    apply_baseline(report, load_baseline(path))
+    assert len(report.baselined) == 1
+    assert len(report.findings) == 1
+
+
+def test_bad_baseline_file_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema": 999, "fingerprints": {}}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+    path.write_text("[]")
+    with pytest.raises(ValueError):
+        load_baseline(path)

@@ -1,0 +1,139 @@
+"""The incremental analysis cache: reuse, invalidation, determinism."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.analysis import Analyzer, default_rules
+from repro.analysis.cache import AnalysisCache
+
+_FILES = {
+    "pkg/util.py": """\
+        def helper(value):
+            return value * 2
+        """,
+    "pkg/app.py": """\
+        from pkg.util import helper
+
+        def run():
+            try:
+                return helper(1)
+            except Exception:
+                pass
+        """,
+    "pkg/solo.py": """\
+        def alone():
+            return 1
+        """,
+}
+
+
+def _write_tree(root: Path, files=_FILES) -> None:
+    for name, text in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+
+
+def _run(root: Path, cache: AnalysisCache | None, select={"RA002"}):
+    analyzer = Analyzer(default_rules(select=set(select), root=root))
+    return analyzer.run([root / "pkg"], root=root, cache=cache)
+
+
+def test_warm_run_analyzes_zero_files_and_matches_cold(tmp_path):
+    _write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / ".cache")
+    cold = _run(tmp_path, cache)
+    warm = _run(tmp_path, cache)
+    assert cold.stats == {"files_analyzed": 3, "cache_hits": 0}
+    assert warm.stats == {"files_analyzed": 0, "cache_hits": 3}
+    assert warm.render_text() == cold.render_text()
+    assert warm.to_json() == cold.to_json()
+
+
+def test_edit_invalidates_file_and_its_dependents(tmp_path):
+    _write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / ".cache")
+    _run(tmp_path, cache)
+    util = tmp_path / "pkg/util.py"
+    util.write_text(util.read_text() + "\n\ndef extra():\n    return 3\n")
+    report = _run(tmp_path, cache)
+    # util.py changed; app.py depends on it; solo.py stays cached.
+    assert report.stats == {"files_analyzed": 2, "cache_hits": 1}
+
+
+def test_incremental_report_matches_fresh_run(tmp_path):
+    _write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / ".cache")
+    _run(tmp_path, cache)
+    solo = tmp_path / "pkg/solo.py"
+    solo.write_text("def alone():\n    try:\n        return 1\n"
+                    "    except Exception:\n        pass\n")
+    incremental = _run(tmp_path, cache)
+    fresh = _run(tmp_path, None)
+    assert incremental.render_text() == fresh.render_text()
+    assert incremental.to_json() == fresh.to_json()
+    assert [f.relpath for f in incremental.findings] == [
+        "pkg/app.py", "pkg/solo.py"]
+
+
+def test_rule_set_change_invalidates_everything(tmp_path):
+    _write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / ".cache")
+    _run(tmp_path, cache, select={"RA002"})
+    report = _run(tmp_path, cache, select={"RA002", "RA001"})
+    assert report.stats["files_analyzed"] == 3
+
+
+def test_added_file_forces_a_full_run(tmp_path):
+    _write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / ".cache")
+    _run(tmp_path, cache)
+    (tmp_path / "pkg/new.py").write_text("def fresh():\n    return 4\n")
+    report = _run(tmp_path, cache)
+    assert report.stats == {"files_analyzed": 4, "cache_hits": 0}
+
+
+def test_corrupt_cache_degrades_to_full_run(tmp_path):
+    _write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / ".cache")
+    _run(tmp_path, cache)
+    cache.path.write_text("{ not json")
+    report = _run(tmp_path, cache)
+    assert report.stats["files_analyzed"] == 3
+    # ...and the cache heals itself for the next run.
+    assert _run(tmp_path, cache).stats["files_analyzed"] == 0
+
+
+def test_cached_suppressions_and_unknown_warnings_round_trip(tmp_path):
+    files = dict(_FILES)
+    files["pkg/waived.py"] = """\
+        def waived():
+            try:
+                return 1
+            except Exception:  # repro: ignore[RA002] -- probe result, failure means absent
+                pass
+            value = 1  # repro: ignore[RA999] -- typo'd rule id
+            return value
+        """
+    _write_tree(tmp_path, files)
+    cache = AnalysisCache(tmp_path / ".cache")
+    cold = _run(tmp_path, cache)
+    warm = _run(tmp_path, cache)
+    assert [f.rule_id for f in warm.suppressed] == ["RA002"]
+    assert warm.unknown_suppressions == cold.unknown_suppressions != []
+    assert warm.render_text(verbose=True) == cold.render_text(verbose=True)
+
+
+def test_cache_document_records_digests_and_deps(tmp_path):
+    _write_tree(tmp_path)
+    cache = AnalysisCache(tmp_path / ".cache")
+    _run(tmp_path, cache)
+    payload = json.loads(cache.path.read_text())
+    assert set(payload["files"]) == {"pkg/util.py", "pkg/app.py",
+                                     "pkg/solo.py"}
+    assert "pkg/util.py" in payload["files"]["pkg/app.py"]["deps"]
+    assert all(len(meta["digest"]) == 64
+               for meta in payload["files"].values())

@@ -75,3 +75,92 @@ def test_list_rules_prints_the_catalog(capsys):
     out = capsys.readouterr().out
     for rule_id in ALL_RULE_IDS:
         assert rule_id in out
+
+
+def test_sarif_format(tmp_path, capsys):
+    _write(tmp_path, "dirty.py", _DIRTY)
+    assert main([str(tmp_path), "--root", str(tmp_path),
+                 "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    results = document["runs"][0]["results"]
+    assert [result["ruleId"] for result in results] == ["RA001"]
+
+
+def test_stats_go_to_stderr_not_the_report(tmp_path, capsys):
+    _write(tmp_path, "clean.py", _CLEAN)
+    assert main([str(tmp_path), "--root", str(tmp_path), "--stats"]) == 0
+    captured = capsys.readouterr()
+    assert "files_analyzed=" not in captured.out
+    assert "files_analyzed=1" in captured.err
+    assert "wall_time=" in captured.err
+
+
+def test_cache_flag_warm_run_reports_hits(tmp_path, capsys):
+    _write(tmp_path, "clean.py", _CLEAN)
+    base = [str(tmp_path), "--root", str(tmp_path),
+            "--cache", str(tmp_path / ".cache"), "--stats"]
+    assert main(base) == 0
+    cold = capsys.readouterr()
+    assert main(base) == 0
+    warm = capsys.readouterr()
+    assert warm.out == cold.out
+    assert "files_analyzed=0 cache_hits=1" in warm.err
+
+
+def test_write_then_apply_baseline(tmp_path, capsys):
+    _write(tmp_path, "dirty.py", _DIRTY)
+    baseline = tmp_path / "baseline.json"
+    root = ["--root", str(tmp_path)]
+    assert main([str(tmp_path), *root,
+                 "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path), *root, "--strict",
+                 "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out and "0 finding(s)" in out
+
+
+def test_missing_baseline_is_a_usage_error(tmp_path, capsys):
+    _write(tmp_path, "clean.py", _CLEAN)
+    assert main([str(tmp_path), "--root", str(tmp_path),
+                 "--baseline", str(tmp_path / "absent.json")]) == 2
+    assert "cannot load baseline" in capsys.readouterr().err
+
+
+def _git(tmp_path, *argv):
+    import subprocess
+
+    subprocess.run(["git", "-C", str(tmp_path),
+                    "-c", "user.email=ci@test", "-c", "user.name=ci",
+                    *argv], check=True, capture_output=True)
+
+
+def test_changed_only_filters_to_working_tree_edits(tmp_path, capsys):
+    _write(tmp_path, "dirty.py", _DIRTY)
+    _write(tmp_path, "clean.py", _CLEAN)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    root = ["--root", str(tmp_path)]
+    # Committed finding, clean working tree: filtered out.
+    assert main([str(tmp_path), *root, "--changed-only"]) == 0
+    capsys.readouterr()
+    # Touch the dirty file: its finding comes back.
+    _write(tmp_path, "dirty.py", _DIRTY + "VALUE = 1\n")
+    assert main([str(tmp_path), *root, "--changed-only"]) == 1
+    assert "dirty.py:1" in capsys.readouterr().out
+
+
+def test_since_ref_filters_to_the_commit_range(tmp_path, capsys):
+    _write(tmp_path, "clean.py", _CLEAN)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "seed")
+    _write(tmp_path, "dirty.py", _DIRTY)
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "regress")
+    root = ["--root", str(tmp_path)]
+    assert main([str(tmp_path), *root, "--since", "HEAD~1"]) == 1
+    assert "dirty.py:1" in capsys.readouterr().out
+    assert main([str(tmp_path), *root, "--since", "HEAD"]) == 0

@@ -1,0 +1,154 @@
+"""The shared whole-program layer: call graph, types, dataflow."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.dataflow import (
+    affected_by,
+    collect_transitive,
+    reachable,
+    reverse,
+)
+from repro.analysis.project import Project, collect_files
+
+
+def _project(tmp_path, files: dict[str, str]) -> Project:
+    for name, text in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    sources, errors = collect_files([tmp_path], tmp_path)
+    assert errors == []
+    return Project(sources)
+
+
+# -- call resolution ----------------------------------------------------------
+
+
+def test_resolves_imported_function_across_files(tmp_path):
+    project = _project(tmp_path, {
+        "util.py": """\
+            def helper(value):
+                return value
+            """,
+        "app.py": """\
+            from util import helper
+
+            def run():
+                return helper(1)
+            """,
+    })
+    graph = project.call_graph()
+    assert "util.helper" in graph.callees("app.run")
+
+
+def test_resolves_method_through_base_class(tmp_path):
+    project = _project(tmp_path, {
+        "shapes.py": """\
+            class Base:
+                def area(self):
+                    return 0
+
+            class Square(Base):
+                def describe(self):
+                    return self.area()
+            """,
+    })
+    graph = project.call_graph()
+    assert "shapes.Base.area" in graph.callees("shapes.Square.describe")
+
+
+def test_resolves_receiver_via_constructor_assignment(tmp_path):
+    project = _project(tmp_path, {
+        "svc.py": """\
+            class Engine:
+                def start(self):
+                    return 1
+
+            def boot():
+                engine = Engine()
+                return engine.start()
+            """,
+    })
+    graph = project.call_graph()
+    assert "svc.Engine.start" in graph.callees("svc.boot")
+
+
+def test_resolves_receiver_via_callee_return_type(tmp_path):
+    project = _project(tmp_path, {
+        "svc.py": """\
+            class Engine:
+                def start(self):
+                    return 1
+
+            def make_engine():
+                return Engine()
+
+            def boot():
+                return make_engine().start()
+            """,
+    })
+    graph = project.call_graph()
+    assert "svc.Engine.start" in graph.callees("svc.boot")
+
+
+def test_file_deps_record_cross_file_resolution(tmp_path):
+    project = _project(tmp_path, {
+        "util.py": "def helper():\n    return 1\n",
+        "app.py": "from util import helper\n\n\ndef run():\n"
+                  "    return helper()\n",
+        "solo.py": "def alone():\n    return 2\n",
+    })
+    graph = project.call_graph()
+    assert "util.py" in graph.file_deps["app.py"]
+    assert graph.file_deps["solo.py"] == set()
+
+
+def test_qualified_name_follows_import_aliases(tmp_path):
+    project = _project(tmp_path, {
+        "app.py": """\
+            import asyncio
+            from asyncio import ensure_future as keep
+
+            def run(coro):
+                return keep(coro)
+            """,
+    })
+    graph = project.call_graph()
+    source = project.files[0]
+    import ast
+
+    call = next(node for node in ast.walk(source.tree)
+                if isinstance(node, ast.Call))
+    assert graph.qualified_name(call.func, source) == "asyncio.ensure_future"
+
+
+# -- dataflow fixpoints -------------------------------------------------------
+
+
+def test_collect_transitive_reaches_across_frames():
+    facts = collect_transitive(
+        initial={"a": set(), "b": set(), "c": {"lock"}},
+        successors={"a": ["b"], "b": ["c"], "c": []})
+    assert facts["a"] == {"lock"}
+
+
+def test_collect_transitive_handles_cycles():
+    facts = collect_transitive(
+        initial={"a": {"x"}, "b": {"y"}},
+        successors={"a": ["b"], "b": ["a"]})
+    assert facts["a"] == facts["b"] == {"x", "y"}
+
+
+def test_reverse_and_affected_by_invalidation():
+    deps = {"app.py": ["util.py"], "solo.py": [], "util.py": []}
+    dependents = reverse(deps)
+    dirty = affected_by({"util.py"}, dependents)
+    assert dirty == {"util.py", "app.py"}
+    assert "solo.py" not in dirty
+
+
+def test_reachable_includes_starts():
+    assert reachable({"a": ["b"], "b": []}, ["a"]) == {"a", "b"}

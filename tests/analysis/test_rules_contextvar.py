@@ -1,0 +1,117 @@
+"""RA011 — contextvar scope at bare thread hand-offs."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# -- true positives -----------------------------------------------------------
+
+
+def test_ra011_flags_bare_executor_submit(analyze):
+    report = analyze({"svc.py": """\
+        from concurrent.futures import ThreadPoolExecutor
+
+        class Service:
+            def __init__(self):
+                self._pool = ThreadPoolExecutor(max_workers=2)
+
+            def handle(self, fn):
+                return self._pool.submit(fn)
+        """}, select=["RA011"])
+    assert rule_ids(report) == ["RA011"]
+    assert "drops contextvars" in report.findings[0].message
+
+
+def test_ra011_flags_bare_thread_target(analyze):
+    report = analyze({"svc.py": """\
+        import threading
+
+        def spawn(fn):
+            worker = threading.Thread(target=fn)
+            worker.start()
+            return worker
+        """}, select=["RA011"])
+    assert rule_ids(report) == ["RA011"]
+    assert "threading.Thread" in report.findings[0].message
+
+
+def test_ra011_flags_pool_obtained_from_factory_return_type(analyze):
+    """Interprocedural: the receiver type comes from a callee's return."""
+    report = analyze({"svc.py": """\
+        from concurrent.futures import ThreadPoolExecutor
+
+        def make_pool():
+            return ThreadPoolExecutor(max_workers=2)
+
+        def handle(fn):
+            return make_pool().submit(fn)
+        """}, select=["RA011"])
+    assert rule_ids(report) == ["RA011"]
+
+
+# -- true negatives -----------------------------------------------------------
+
+
+def test_ra011_context_run_submission_passes(analyze):
+    report = analyze({"svc.py": """\
+        import contextvars
+        from concurrent.futures import ThreadPoolExecutor
+
+        class Service:
+            def __init__(self):
+                self._pool = ThreadPoolExecutor(max_workers=2)
+
+            def handle(self, fn):
+                context = contextvars.copy_context()
+                return self._pool.submit(context.run, fn)
+        """}, select=["RA011"])
+    assert report.findings == []
+
+
+def test_ra011_propagating_wrapper_class_exempts_users(analyze):
+    report = analyze({"svc.py": """\
+        import contextvars
+        from concurrent.futures import ThreadPoolExecutor
+
+        class SafeExecutor(ThreadPoolExecutor):
+            def submit(self, fn, *args):
+                context = contextvars.copy_context()
+                return super().submit(context.run, fn, *args)
+
+        class Service:
+            def __init__(self):
+                self._pool = SafeExecutor(max_workers=2)
+
+            def handle(self, fn):
+                return self._pool.submit(fn)
+        """}, select=["RA011"])
+    findings = [f for f in report.findings if f.line > 7]
+    assert findings == []
+
+
+def test_ra011_unrelated_submit_receivers_pass(analyze):
+    report = analyze({"svc.py": """\
+        class Batcher:
+            def submit(self, item):
+                return item
+
+        def handle(batcher, item):
+            return batcher.submit(item)
+        """}, select=["RA011"])
+    assert report.findings == []
+
+
+# -- suppression --------------------------------------------------------------
+
+
+def test_ra011_line_suppression_is_honored(analyze):
+    report = analyze({"svc.py": """\
+        import threading
+
+        def spawn(fn):
+            worker = threading.Thread(target=fn)  # repro: ignore[RA011] -- service thread must not inherit tenant scope
+            worker.start()
+            return worker
+        """}, select=["RA011"])
+    assert report.findings == []
+    assert [f.rule_id for f in report.suppressed] == ["RA011"]

@@ -1,0 +1,105 @@
+"""RA010 — received deadlines must be threaded to deadline-aware callees."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# -- true positives -----------------------------------------------------------
+
+
+def test_ra010_flags_deadline_dropped_at_call(analyze):
+    report = analyze({"svc.py": """\
+        def backend(payload, deadline=None):
+            return payload
+
+        def frontend(payload, deadline=None):
+            return backend(payload)
+        """}, select=["RA010"])
+    assert rule_ids(report) == ["RA010"]
+    assert "without" in report.findings[0].message
+
+
+def test_ra010_flags_cross_module_deadline_drop(analyze):
+    """Interprocedural: caller and callee live in different files."""
+    report = analyze({
+        "transport.py": """\
+            def send(request, deadline=None):
+                return request
+            """,
+        "client.py": """\
+            from transport import send
+
+            def invoke(request, deadline=None):
+                return send(request)
+            """,
+    }, select=["RA010"])
+    assert rule_ids(report) == ["RA010"]
+    assert report.findings[0].relpath == "client.py"
+
+
+def test_ra010_flags_method_chain_drop(analyze):
+    report = analyze({"svc.py": """\
+        class Transport:
+            def send(self, request, deadline=None):
+                return request
+
+        class Client:
+            def __init__(self):
+                self._transport = Transport()
+
+            def invoke(self, request, deadline=None):
+                return self._transport.send(request)
+        """}, select=["RA010"])
+    assert rule_ids(report) == ["RA010"]
+
+
+# -- true negatives -----------------------------------------------------------
+
+
+def test_ra010_threading_forms_pass(analyze):
+    report = analyze({"svc.py": """\
+        def backend(payload, deadline=None):
+            return payload
+
+        def by_keyword(payload, deadline=None):
+            return backend(payload, deadline=deadline)
+
+        def by_position(payload, deadline=None):
+            return backend(payload, deadline)
+
+        def by_kwargs(payload, **kwargs):
+            return backend(payload, **kwargs)
+
+        def explicit_opt_out(payload, deadline=None):
+            return backend(payload, deadline=None)
+
+        def derived(payload, deadline=None):
+            return backend(payload, deadline=deadline.remaining())
+        """}, select=["RA010"])
+    assert report.findings == []
+
+
+def test_ra010_callers_without_deadline_are_out_of_scope(analyze):
+    report = analyze({"svc.py": """\
+        def backend(payload, deadline=None):
+            return payload
+
+        def no_deadline_here(payload):
+            return backend(payload)
+        """}, select=["RA010"])
+    assert report.findings == []
+
+
+# -- suppression --------------------------------------------------------------
+
+
+def test_ra010_line_suppression_is_honored(analyze):
+    report = analyze({"svc.py": """\
+        def backend(payload, deadline=None):
+            return payload
+
+        def frontend(payload, deadline=None):
+            return backend(payload)  # repro: ignore[RA010] -- backend is fire-and-forget, no deadline applies
+        """}, select=["RA010"])
+    assert report.findings == []
+    assert [f.rule_id for f in report.suppressed] == ["RA010"]

@@ -1,0 +1,120 @@
+"""RA009 — sync locks held across ``await``."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# -- true positives -----------------------------------------------------------
+
+
+def test_ra009_flags_await_inside_sync_with_block(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def refresh(self):
+                with self._lock:
+                    await asyncio.sleep(0.1)
+        """}, select=["RA009"])
+    assert rule_ids(report) == ["RA009"]
+    assert "held across await" in report.findings[0].message
+
+
+def test_ra009_flags_async_with_on_sync_lock(analyze):
+    report = analyze({"svc.py": """\
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def refresh(self):
+                async with self._lock:
+                    return 1
+        """}, select=["RA009"])
+    assert rule_ids(report) == ["RA009"]
+    assert "`async with` on sync lock" in report.findings[0].message
+
+
+def test_ra009_flags_lock_acquired_via_helper_call(analyze):
+    """Interprocedural: the acquire happens two frames away."""
+    report = analyze({"svc.py": """\
+        import asyncio
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def _pin(self):
+                self._lock.acquire()
+
+            def _unpin(self):
+                self._lock.release()
+
+            async def refresh(self):
+                self._pin()
+                await asyncio.sleep(0.1)
+                self._unpin()
+        """}, select=["RA009"])
+    assert rule_ids(report) == ["RA009"]
+    assert "acquired via" in report.findings[0].message
+
+
+# -- true negatives -----------------------------------------------------------
+
+
+def test_ra009_async_lock_across_await_passes(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+
+        class Store:
+            def __init__(self):
+                self._lock = asyncio.Lock()
+
+            async def refresh(self):
+                async with self._lock:
+                    await asyncio.sleep(0.1)
+        """}, select=["RA009"])
+    assert report.findings == []
+
+
+def test_ra009_await_after_release_passes(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def refresh(self):
+                with self._lock:
+                    value = 1
+                await asyncio.sleep(value)
+        """}, select=["RA009"])
+    assert report.findings == []
+
+
+# -- suppression --------------------------------------------------------------
+
+
+def test_ra009_line_suppression_is_honored(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            async def refresh(self):
+                with self._lock:
+                    await asyncio.sleep(0)  # repro: ignore[RA009] -- zero-tick yield, lock hold is intentional
+        """}, select=["RA009"])
+    assert report.findings == []
+    assert [f.rule_id for f in report.suppressed] == ["RA009"]

@@ -1,0 +1,108 @@
+"""RA008 — un-awaited coroutines and orphaned asyncio tasks."""
+
+from __future__ import annotations
+
+from tests.analysis.conftest import rule_ids
+
+# -- true positives -----------------------------------------------------------
+
+
+def test_ra008_flags_discarded_create_task(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+
+        async def work():
+            return 1
+
+        async def fire_and_forget():
+            asyncio.create_task(work())
+        """}, select=["RA008"])
+    assert rule_ids(report) == ["RA008"]
+    assert "discarded" in report.findings[0].message
+
+
+def test_ra008_flags_task_bound_but_never_read(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+
+        async def work():
+            return 1
+
+        async def leaky():
+            task = asyncio.create_task(work())
+            return None
+        """}, select=["RA008"])
+    assert rule_ids(report) == ["RA008"]
+    assert "never" in report.findings[0].message
+
+
+def test_ra008_flags_cross_module_dropped_coroutine(analyze):
+    """The interprocedural case: the async def lives in another file."""
+    report = analyze({
+        "jobs.py": """\
+            async def flush(batch):
+                return len(batch)
+            """,
+        "svc.py": """\
+            from jobs import flush
+
+            async def handle(batch):
+                flush(batch)
+            """,
+    }, select=["RA008"])
+    assert rule_ids(report) == ["RA008"]
+    finding = report.findings[0]
+    assert finding.relpath == "svc.py"
+    assert "never awaited" in finding.message
+
+
+# -- true negatives -----------------------------------------------------------
+
+
+def test_ra008_kept_awaited_and_managed_tasks_pass(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+
+        async def work():
+            return 1
+
+        async def good():
+            task = asyncio.create_task(work())
+            await task
+
+        async def stored(self):
+            self._tasks.add(asyncio.create_task(work()))
+
+        async def grouped(group):
+            group.create_task(work())
+        """}, select=["RA008"])
+    assert report.findings == []
+
+
+def test_ra008_sync_call_with_same_name_passes(analyze):
+    report = analyze({"svc.py": """\
+        def flush(batch):
+            return len(batch)
+
+        async def handle(batch):
+            flush(batch)
+        """}, select=["RA008"])
+    assert report.findings == []
+
+
+# -- suppression --------------------------------------------------------------
+
+
+def test_ra008_line_suppression_is_honored(analyze):
+    report = analyze({"svc.py": """\
+        import asyncio
+
+        async def work():
+            return 1
+
+        async def fire_and_forget():
+            asyncio.create_task(work())  # repro: ignore[RA008] -- telemetry flush, loss is acceptable
+        """}, select=["RA008"])
+    assert report.findings == []
+    assert rule_ids(report) == []
+    assert [f.rule_id for f in report.suppressed] == ["RA008"]

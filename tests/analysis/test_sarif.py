@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 output: schema shape and determinism."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import Analyzer, default_rules
+from repro.analysis.engine import Finding, Report
+from repro.analysis.sarif import render_sarif
+
+
+def _report() -> Report:
+    return Report(
+        findings=[Finding("pkg/app.py", 9, 4, "RA002", "swallowed")],
+        suppressed=[Finding("pkg/app.py", 12, 0, "RA001", "raw time")],
+        baselined=[Finding("pkg/old.py", 3, 0, "RA002", "legacy")],
+        files_scanned=2,
+        rules_run=["RA001", "RA002"],
+    )
+
+
+def _document() -> dict:
+    rules = default_rules(select={"RA001", "RA002"})
+    return json.loads(render_sarif(_report(), rules))
+
+
+def test_sarif_envelope_declares_the_standard():
+    document = _document()
+    assert document["version"] == "2.1.0"
+    assert "sarif-2.1.0" in document["$schema"]
+    assert len(document["runs"]) == 1
+
+
+def test_sarif_driver_carries_the_rule_catalog():
+    driver = _document()["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro.analysis"
+    ids = [rule["id"] for rule in driver["rules"]]
+    assert ids == ["RA001", "RA002"]
+    assert all(rule["shortDescription"]["text"] for rule in driver["rules"])
+
+
+def test_sarif_results_cover_live_suppressed_and_baselined():
+    results = _document()["runs"][0]["results"]
+    kinds = [result.get("suppressions", [{}])[0].get("kind")
+             for result in results]
+    assert kinds == [None, "inSource", "external"]
+    live = results[0]
+    location = live["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "pkg/app.py"
+    assert location["region"] == {"startLine": 9, "startColumn": 5}
+    assert live["ruleId"] == "RA002"
+    assert live["ruleIndex"] == 1
+    assert live["level"] == "error"
+
+
+def test_sarif_invocation_reports_parse_errors():
+    report = _report()
+    report.errors = ["broken.py: cannot parse: bad syntax"]
+    rules = default_rules(select={"RA001", "RA002"})
+    invocation = json.loads(render_sarif(report, rules))["runs"][0][
+        "invocations"][0]
+    assert invocation["executionSuccessful"] is False
+    assert "cannot parse" in invocation[
+        "toolExecutionNotifications"][0]["message"]["text"]
+
+
+def test_sarif_is_deterministic():
+    rules = default_rules(select={"RA001", "RA002"})
+    assert render_sarif(_report(), rules) == render_sarif(_report(), rules)
+
+
+def test_sarif_end_to_end_over_a_tree(tmp_path):
+    (tmp_path / "dirty.py").write_text("import time\n")
+    analyzer = Analyzer(default_rules(select={"RA001"}, root=tmp_path))
+    report = analyzer.run([tmp_path], root=tmp_path)
+    document = json.loads(render_sarif(report, analyzer.rules))
+    results = document["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["locations"][0]["physicalLocation"][
+        "artifactLocation"]["uri"] == "dirty.py"
